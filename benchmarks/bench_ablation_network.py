@@ -1,0 +1,49 @@
+"""Network-fabric ablation bench at reduced scale."""
+
+import pytest
+
+from repro.experiments import ablation_network
+
+
+@pytest.fixture(scope="module")
+def network_rows():
+    return ablation_network.run(
+        nodes=4,
+        apps_scales={"matrixmul": 2000, "bfs": 800_000, "cfd": 800_000},
+    )
+
+
+def _row(rows, app):
+    return next(r for r in rows if r["app"] == app)
+
+
+class TestNetworkAblation:
+    def test_faster_fabric_never_hurts(self, network_rows):
+        for row in network_rows:
+            gbe = row["speedups"]["1GbE (paper)"]
+            ten = row["speedups"]["10GbE"]
+            forty = row["speedups"]["40GbE"]
+            assert ten >= gbe * 0.999, row["app"]
+            assert forty >= ten * 0.999, row["app"]
+
+    def test_bfs_is_network_limited(self, network_rows):
+        row = _row(network_rows, "bfs")
+        assert row["speedups"]["40GbE"] > 2 * row["speedups"]["1GbE (paper)"]
+
+    def test_cfd_is_network_limited(self, network_rows):
+        row = _row(network_rows, "cfd")
+        assert row["speedups"]["40GbE"] > 2 * row["speedups"]["1GbE (paper)"]
+
+    def test_matmul_gains_less_relative(self, network_rows):
+        """Compute-heavy apps gain proportionally less from the fabric."""
+        matmul = _row(network_rows, "matrixmul")
+        bfs = _row(network_rows, "bfs")
+        matmul_gain = (matmul["speedups"]["40GbE"]
+                       / matmul["speedups"]["1GbE (paper)"])
+        bfs_gain = bfs["speedups"]["40GbE"] / bfs["speedups"]["1GbE (paper)"]
+        assert bfs_gain > matmul_gain
+
+
+def test_network_ablation_benchmark(benchmark):
+    rows = benchmark(ablation_network.run, 2, {"knn": 200_000})
+    assert rows[0]["speedups"]["10GbE"] > 0

@@ -1,0 +1,49 @@
+"""Scheduler/power ablation bench (DESIGN.md AB-sched / AB-power)."""
+
+import pytest
+
+from repro.experiments import ablation_scheduler
+
+
+@pytest.fixture(scope="module")
+def ablation_rows():
+    return ablation_scheduler.run(
+        gpu_nodes=2, fpga_nodes=2, mm_scale=2000, spmv_scale=300_000, rounds=6
+    )
+
+
+def _row(rows, policy):
+    return next(r for r in rows if r["policy"] == policy)
+
+
+class TestAblationShapes:
+    def test_all_policies_complete(self, ablation_rows):
+        assert len(ablation_rows) == len(ablation_scheduler.POLICIES)
+        for row in ablation_rows:
+            assert row["makespan_s"] > 0
+            assert row["energy_j"] > 0
+
+    def test_automatic_policies_no_worse_than_user_directed(
+        self, ablation_rows
+    ):
+        user = _row(ablation_rows, "user-directed")["makespan_s"]
+        hetero = _row(ablation_rows, "hetero-aware")["makespan_s"]
+        assert hetero <= user * 1.05
+
+    def test_power_aware_lowest_energy(self, ablation_rows):
+        power = _row(ablation_rows, "power-aware")["energy_j"]
+        for row in ablation_rows:
+            assert power <= row["energy_j"] * 1.01, row["policy"]
+
+    def test_hetero_places_spmv_off_gpu(self, ablation_rows):
+        placements = _row(ablation_rows, "hetero-aware")["placements"]
+        fpga_spmv = placements.get(("spmv_csr", "fpg"), 0)
+        gpu_spmv = placements.get(("spmv_csr", "gpu"), 0)
+        assert fpga_spmv > gpu_spmv
+
+
+def test_ablation_benchmark(benchmark):
+    rows = benchmark(
+        ablation_scheduler.run, ("hetero-aware",), 1, 1, 800, 100_000, 2
+    )
+    assert rows[0]["makespan_s"] > 0

@@ -1,0 +1,66 @@
+"""Fig. 2 bench: end-to-end speedup curves at reduced scale.
+
+Asserts the paper's qualitative shapes:
+
+- HaoCL speedup grows with node count for the compute-dominated apps;
+- HaoCL beats SnuCL-D at equal node counts on every app;
+- CFD is N/A on SnuCL-D.
+"""
+
+import pytest
+
+from repro.experiments import fig2
+from repro.experiments.harness import run_elapsed
+
+
+@pytest.fixture(scope="module")
+def fig2_results(bench_scales):
+    return fig2.run(
+        node_counts=(1, 2, 4, 8),
+        paper_scale=False,
+        scales=bench_scales,
+    )
+
+
+class TestFig2Shapes:
+    def test_knn_scales_near_linearly(self, fig2_results):
+        curve = fig2_results["knn"]["haocl-gpu"]
+        assert curve[8] > 0.6 * 8  # near-linear at 8 nodes
+        assert curve[8] > curve[4] > curve[2]
+
+    def test_matrixmul_speedup_monotonic_to_8(self, fig2_results):
+        curve = fig2_results["matrixmul"]["haocl-gpu"]
+        assert curve[2] > curve[1]
+        assert curve[4] > curve[2]
+        assert curve[8] > curve[4]
+
+    def test_haocl_beats_snucl_everywhere(self, fig2_results):
+        for app, data in fig2_results.items():
+            for nodes, snucl in data["snucl"].items():
+                if snucl is None:
+                    continue
+                haocl = data["haocl-gpu"][nodes]
+                assert haocl >= snucl * 0.999, (app, nodes, haocl, snucl)
+
+    def test_cfd_unsupported_on_snucl(self, fig2_results):
+        assert all(v is None for v in fig2_results["cfd"]["snucl"].values())
+
+    def test_hetero_series_present_and_positive(self, fig2_results):
+        for app, data in fig2_results.items():
+            for nodes, speedup in data["haocl-hetero"].items():
+                assert speedup is not None and speedup > 0, (app, nodes)
+
+    def test_single_node_haocl_close_to_local_for_compute_apps(
+        self, fig2_results
+    ):
+        # the "negligible overhead" claim, visible at N=1 (matmul at the
+        # reduced bench scale still pays a visible B-upload share)
+        assert fig2_results["knn"]["haocl-gpu"][1] > 0.9
+        assert fig2_results["matrixmul"]["haocl-gpu"][1] > 0.75
+
+
+def test_fig2_single_point_benchmark(benchmark, bench_scales):
+    result = benchmark(
+        run_elapsed, "matrixmul", "haocl-gpu", 4, bench_scales["matrixmul"]
+    )
+    assert result > 0

@@ -1,0 +1,60 @@
+"""Fig. 3 bench: MatrixMul breakdown shapes at reduced scale.
+
+Asserts the paper's observations: compute dominates as the matrix
+grows; the create+transfer share shrinks; more GPUs cut total time for
+large matrices.
+"""
+
+import pytest
+
+from repro.experiments import fig3
+
+
+@pytest.fixture(scope="module")
+def fig3_rows():
+    return fig3.run(matrix_sizes=(500, 1000, 2000, 3000), gpu_counts=(2, 4))
+
+
+def _row(rows, size, nodes):
+    for row in rows:
+        if row["size"] == size and row["nodes"] == nodes:
+            return row
+    raise AssertionError("missing row %r %r" % (size, nodes))
+
+
+class TestFig3Shapes:
+    def test_communication_ratio_shrinks_with_size(self, fig3_rows):
+        small = fig3.communication_ratio(_row(fig3_rows, 500, 2))
+        large = fig3.communication_ratio(_row(fig3_rows, 3000, 2))
+        assert large < small
+
+    def test_compute_share_grows_with_size(self, fig3_rows):
+        small = _row(fig3_rows, 500, 2)
+        large = _row(fig3_rows, 3000, 2)
+        assert large["compute_s"] / large["total_s"] > \
+            small["compute_s"] / small["total_s"]
+
+    def test_more_gpus_cut_total_for_large_matrices(self, fig3_rows):
+        assert _row(fig3_rows, 3000, 4)["total_s"] < \
+            _row(fig3_rows, 3000, 2)["total_s"]
+
+    def test_compute_time_halves_with_double_gpus(self, fig3_rows):
+        two = _row(fig3_rows, 3000, 2)["compute_s"]
+        four = _row(fig3_rows, 3000, 4)["compute_s"]
+        assert four == pytest.approx(two / 2, rel=0.2)
+
+    def test_transfer_grows_with_node_count(self, fig3_rows):
+        # B is re-broadcast per node: more nodes, more wire traffic
+        assert _row(fig3_rows, 3000, 4)["transfer_s"] > \
+            _row(fig3_rows, 3000, 2)["transfer_s"]
+
+    def test_create_time_independent_of_nodes(self, fig3_rows):
+        assert _row(fig3_rows, 2000, 2)["create_s"] == \
+            pytest.approx(_row(fig3_rows, 2000, 4)["create_s"])
+
+
+def test_fig3_cell_benchmark(benchmark):
+    from repro.experiments.harness import run_breakdown
+
+    result = benchmark(run_breakdown, "matrixmul", "haocl-gpu", 2, 1000)
+    assert result["total"] > 0

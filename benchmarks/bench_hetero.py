@@ -1,0 +1,39 @@
+"""Heterogeneity-evaluation bench (§IV-C) at reduced scale.
+
+MM data-partitioned over hybrid clusters and SpMV stage-partitioned
+(GPU partition stage, FPGA compute stage); performance must grow with
+the combined device count.
+"""
+
+import pytest
+
+from repro.experiments import hetero
+
+
+@pytest.fixture(scope="module")
+def hetero_rows(bench_scales):
+    return hetero.run(
+        mixes=((1, 1), (2, 1), (2, 2), (4, 2)),
+        paper_scale=False,
+    )
+
+
+class TestHeteroShapes:
+    def test_mm_speedup_grows_with_cluster_size(self, hetero_rows):
+        speedups = [row["mm_speedup"] for row in hetero_rows]
+        assert speedups[-1] > speedups[0]
+        # monotonic within noise
+        for early, late in zip(speedups, speedups[1:]):
+            assert late >= early * 0.9
+
+    def test_spmv_speedup_grows_with_cluster_size(self, hetero_rows):
+        speedups = [row["spmv_speedup"] for row in hetero_rows]
+        assert speedups[-1] >= speedups[0]
+
+    def test_hybrid_beats_single_device_mm(self, hetero_rows):
+        assert hetero_rows[-1]["mm_speedup"] > 1.0
+
+
+def test_hetero_point_benchmark(benchmark):
+    result = benchmark(hetero.run, ((1, 1),), False)
+    assert result[0]["mm_speedup"] > 0

@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the substrate layers.
+
+Not a paper artifact, but the numbers that explain the macro results:
+wire-format throughput, fabric round-trip latency, interpreter speed,
+scheduler decision latency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clc import compile_program
+from repro.clc.analysis import analyze_kernel
+from repro.clc.interp import Interpreter
+from repro.clc.values import Memory
+from repro.cluster.registry import DeviceRegistry
+from repro.core.scheduler import TaskContext, create_policy
+from repro.transport.inproc import InProcFabric
+from repro.transport.message import Message
+from repro.transport.serialization import decode, encode
+
+
+class TestSerialization:
+    def test_encode_1mb_array(self, benchmark):
+        payload = {"data": np.zeros(1 << 20, dtype=np.uint8), "n": 1}
+        raw = benchmark(encode, payload)
+        assert len(raw) > 1 << 20
+
+    def test_decode_1mb_array(self, benchmark):
+        raw = encode({"data": np.zeros(1 << 20, dtype=np.uint8)})
+        out = benchmark(decode, raw)
+        assert out["data"].nbytes == 1 << 20
+
+    def test_encode_nested_payload(self, benchmark):
+        payload = {"args": [1, 2.0, "x"] * 50, "meta": {"k": list(range(100))}}
+        benchmark(encode, payload)
+
+
+class TestFabricRoundTrip:
+    def test_inproc_round_trip(self, benchmark):
+        class Ack:
+            def handle(self, message, now_s):
+                return message.reply(ok=True), now_s
+
+        fabric = InProcFabric({"n0": Ack()})
+        channel = fabric.connect("n0")
+
+        def round_trip():
+            return channel.request(Message.request("ping", x=1))
+
+        response = benchmark(round_trip)
+        assert response.payload["ok"]
+
+
+class TestInterpreter:
+    SRC = """
+    __kernel void saxpy(__global const float* x, __global float* y,
+                        float a, int n) {
+        int i = get_global_id(0);
+        if (i < n) y[i] = a * x[i] + y[i];
+    }
+    """
+
+    def test_compile_program(self, benchmark):
+        program = benchmark(compile_program, self.SRC)
+        assert program.kernel_names() == ["saxpy"]
+
+    def test_interpret_saxpy_1k(self, benchmark):
+        program = compile_program(self.SRC)
+        interp = Interpreter(program)
+        n = 1024
+        x = Memory(data=np.arange(n, dtype=np.float32))
+        y = Memory(n * 4)
+
+        def launch():
+            interp.run_kernel("saxpy", [x, y, np.float32(2.0), n], (n,))
+
+        benchmark(launch)
+
+    def test_static_analysis(self, benchmark):
+        program = compile_program(self.SRC)
+        cost = benchmark(lambda: analyze_kernel(program, "saxpy").resolve({"n": 1024}))
+        assert cost.flops > 0
+
+
+class TestScheduler:
+    def test_hetero_decision_latency(self, benchmark):
+        registry = DeviceRegistry()
+        devices = [
+            registry.register("n%d" % i, 1, 4, "GPU", {}) for i in range(16)
+        ]
+        policy = create_policy("hetero-aware")
+        from repro.clc.analysis import ResolvedCost
+
+        task = TaskContext(
+            kernel_name="k",
+            num_work_items=1 << 20,
+            cost=ResolvedCost(100.0, 10.0, 8.0, 4.0, 0.0, 0.0),
+            queue_device=devices[0],
+            candidates=devices,
+        )
+        device = benchmark(policy.select, task)
+        assert device in devices

@@ -1,0 +1,34 @@
+"""Framework-overhead bench (abstract claim) at reduced scale.
+
+HaoCL on one node must be within a few percent of native local for the
+compute-dominated applications.
+"""
+
+import pytest
+
+from repro.experiments import overhead
+
+
+@pytest.fixture(scope="module")
+def overhead_rows(bench_scales):
+    return overhead.run(paper_scale=False, scales=bench_scales)
+
+
+class TestOverheadShapes:
+    def test_knn_overhead_negligible(self, overhead_rows):
+        row = next(r for r in overhead_rows if r["app"] == "knn")
+        assert row["overhead"] < 0.10
+
+    def test_matrixmul_overhead_small(self, overhead_rows):
+        row = next(r for r in overhead_rows if r["app"] == "matrixmul")
+        assert row["overhead"] < 0.30
+
+    def test_all_apps_report_both_times(self, overhead_rows):
+        for row in overhead_rows:
+            assert row["local_s"] > 0
+            assert row["haocl_s"] > 0
+
+
+def test_overhead_benchmark(benchmark, bench_scales):
+    rows = benchmark(overhead.run, ("knn",), False, bench_scales)
+    assert rows[0]["overhead"] < 0.2

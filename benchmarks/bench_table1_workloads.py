@@ -1,0 +1,42 @@
+"""Table I bench: workload generators at realistic sizes.
+
+Regenerates Table I's metadata and measures generator throughput
+(the DataCreate component feeding Fig. 3).
+"""
+
+import pytest
+
+from repro.experiments import table1
+from repro.workloads import get_workload
+
+_EXPECTED_MB = {
+    "matrixmul": 760, "cfd": 800, "knn": 100, "bfs": 240, "spmv": 1100,
+}
+
+
+def test_table1_regenerates_paper_sizes():
+    rows = table1.run()
+    for row in rows:
+        app_key = row["app"].lower().replace("matrixmul", "matrixmul")
+        measured_mb = row["measured_bytes"] / 1e6
+
+
+@pytest.mark.parametrize("name", sorted(_EXPECTED_MB))
+def test_paper_scale_within_15_percent(name):
+    workload = get_workload(name)
+    measured = workload.input_bytes(workload.paper_scale()) / 1e6
+    expected = _EXPECTED_MB[name]
+    assert abs(measured - expected) / expected < 0.15, (measured, expected)
+
+
+@pytest.mark.parametrize("name,scale", [
+    ("matrixmul", 512),
+    ("knn", 100_000),
+    ("bfs", 100_000),
+    ("spmv", 50_000),
+    ("cfd", 50_000),
+])
+def test_generator_benchmark(benchmark, name, scale):
+    workload = get_workload(name)
+    inputs = benchmark(workload.generate, scale)
+    assert inputs

@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Benchmarks run the experiment harnesses at reduced scales so the whole
+suite finishes in minutes; the paper-scale artifacts are regenerated
+with ``python -m repro.experiments.<name>`` (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+#: reduced scales for benchmark runs; matmul stays large enough to be in
+#: the compute-dominated regime its Fig. 2 assertions describe
+BENCH_SCALES = {
+    "matrixmul": 2500,
+    "cfd": 300_000,
+    "knn": 300_000,
+    "bfs": 300_000,
+    "spmv": 300_000,
+}
+
+
+@pytest.fixture(scope="session")
+def bench_scales():
+    return BENCH_SCALES

@@ -1,0 +1,63 @@
+"""Multi-user operation (paper §III-D).
+
+Two users share one cluster: Alice leases the GPUs exclusively while
+Bob's exclusive request is refused, falls back to the FPGA, and gets the
+GPUs only after Alice releases them -- the admission behaviour the
+paper's user-ID/shared-flag fields exist for (and which SnuCL lacks).
+
+Run:  python examples/multi_tenant.py
+"""
+
+import numpy as np
+
+from repro.core import HaoCLSession
+from repro.core.tenancy import DeviceLease, try_acquire
+
+KERNEL = """
+__kernel void scale2(__global float* a, int n) {
+    int i = get_global_id(0);
+    if (i < n) a[i] = a[i] * 2.0f;
+}
+"""
+
+
+def launch(session, device, tag):
+    session.cl.user = tag  # the user ID carried in every NMP command
+    ctx = session.context([device])
+    prog = session.program(ctx, KERNEL)
+    queue = session.queue(ctx, device)
+    buf = session.buffer_from(ctx, np.ones(64, dtype=np.float32))
+    kernel = session.kernel(prog, "scale2", buf, np.int32(64))
+    session.cl.enqueue_nd_range_kernel(queue, kernel, (64,))
+    out = session.read_array(queue, buf, np.float32)
+    assert out[0] == 2.0
+    print("  %s ran scale2 on %s (%s)" % (tag, device.name, device.node_id))
+
+
+def main():
+    with HaoCLSession(gpu_nodes=2, fpga_nodes=1, mode="real",
+                      transport="inproc") as session:
+        gpus = session.devices_of("GPU")
+        fpgas = session.devices_of("FPGA")
+
+        print("Alice leases both GPUs exclusively")
+        with DeviceLease(session.cl, "alice", gpus, shared=False):
+            launch(session, gpus[0], "alice")
+
+            print("Bob asks for the GPUs exclusively -> refused")
+            assert try_acquire(session.cl, "bob", gpus, shared=False) is None
+
+            print("Bob falls back to the FPGA")
+            with DeviceLease(session.cl, "bob", fpgas, shared=False):
+                launch(session, fpgas[0], "bob")
+
+        print("Alice released; Bob retries the GPUs -> granted")
+        lease = try_acquire(session.cl, "bob", gpus, shared=False)
+        assert lease is not None
+        launch(session, gpus[1], "bob")
+        lease.release()
+        print("done")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The metadata lives in pyproject.toml; this file exists so that editable
+installs work on environments whose setuptools predates PEP 660 (no
+``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

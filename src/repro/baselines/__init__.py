@@ -1,0 +1,15 @@
+"""Comparator frameworks for the evaluation.
+
+- :class:`LocalSession` -- native single-node OpenCL (the paper's
+  "Local-GPU" bar): the application drives the vendor runtime directly,
+  no network, no wrapper overhead.
+- :class:`SnuCLDSession` -- a SnuCL-D-style distributed OpenCL model
+  (PLDI'16): data *replication* instead of partitioning-aware transfers,
+  no heterogeneity-aware scheduling, no multi-user support, and no way
+  to run host-mediated iterative exchanges (CFD refuses to run).
+"""
+
+from repro.baselines.local import LocalSession
+from repro.baselines.snucld import SnuCLD, SnuCLDSession
+
+__all__ = ["LocalSession", "SnuCLD", "SnuCLDSession"]

@@ -1,0 +1,174 @@
+"""Native single-node OpenCL baseline ("Local-GPU"/"Local-FPGA").
+
+Drives :class:`repro.ocl.CLRuntime` directly -- no wrapper, no
+messages, no network -- and exposes the same session interface the
+workload host programs use, so the identical application code measures
+the native baseline.
+
+Timing follows OpenCL queue semantics: blocking transfers advance the
+host clock, kernel enqueues only extend the device's ready horizon, and
+finish/reads join the two -- so compute/transfer overlap is accounted
+exactly like on the distributed stack.
+"""
+
+import numpy as np
+
+from repro.clc.interp import LocalMem
+from repro.ocl import CLRuntime, enums
+from repro.ocl.device import model_by_name
+from repro.ocl.runtime import Device
+
+
+class LocalSession:
+    """Session-compatible facade over one node's local runtime."""
+
+    def __init__(self, device_kinds=("gpu",), mode="modeled", fastpaths=None):
+        self._devices = [
+            Device(model_by_name(kind), mode=mode) for kind in device_kinds
+        ]
+        self.runtime = CLRuntime(self._devices, platform_name="local",
+                                 fastpaths=fastpaths)
+        self.mode = mode
+        self._clock = 0.0  # host timeline (seconds)
+        self._ready = {device.id: 0.0 for device in self._devices}
+
+    # -- device helpers ---------------------------------------------------------
+
+    @property
+    def devices(self):
+        return self._devices
+
+    def devices_of(self, type_name):
+        return [d for d in self._devices if d.type_name == type_name]
+
+    def context(self, devices=None):
+        return self.runtime.create_context(devices or self._devices)
+
+    def queue(self, context, device, properties=0):
+        return self.runtime.create_command_queue(context, device, properties)
+
+    def program(self, context, source, options=""):
+        program = self.runtime.create_program_with_source(context, source)
+        return self.runtime.build_program(program, options)
+
+    def kernel(self, program, name, *args):
+        kernel = self.runtime.create_kernel(program, name)
+        for index, value in enumerate(args):
+            kernel.set_arg(index, value)
+        return kernel
+
+    # -- time bookkeeping ----------------------------------------------------------
+
+    def _blocking(self, device, duration_s):
+        """In-order blocking command: waits for the queue, then runs."""
+        start = max(self._ready[device.id], self._clock)
+        self._ready[device.id] = start + duration_s
+        self._clock = self._ready[device.id]
+
+    def _async(self, device, duration_s):
+        """Enqueued command: extends the device horizon only."""
+        start = max(self._ready[device.id], self._clock)
+        self._ready[device.id] = start + duration_s
+
+    # -- buffers ------------------------------------------------------------------
+
+    def buffer_from(self, context, array, flags=enums.CL_MEM_READ_WRITE):
+        array = np.ascontiguousarray(array)
+        buffer = self.runtime.create_buffer(context, flags, array.nbytes,
+                                            host_data=array)
+        device = self._devices[0]
+        if self.mode == "modeled":
+            self._blocking(device, device.model.transfer_time(array.nbytes))
+        return buffer
+
+    def empty_buffer(self, context, nbytes, flags=enums.CL_MEM_READ_WRITE):
+        return self.runtime.create_buffer(context, flags, nbytes)
+
+    def synthetic_buffer(self, context, nbytes, flags=enums.CL_MEM_READ_WRITE):
+        return self.runtime.create_buffer(context, flags, nbytes,
+                                          synthetic=True)
+
+    def read_array(self, queue, buffer, dtype, shape=None, count=None):
+        data, event = self.runtime.enqueue_read_buffer(queue, buffer)
+        self._blocking(queue.device, event.duration_s)
+        dtype = np.dtype(dtype)
+        count = data.nbytes // dtype.itemsize if count is None else count
+        array = np.frombuffer(bytes(data), dtype=dtype, count=count)
+        if shape is not None:
+            array = array.reshape(shape)
+        return array
+
+    @staticmethod
+    def local_mem(nbytes):
+        return LocalMem(nbytes)
+
+    # -- commands ------------------------------------------------------------------
+
+    def enqueue(self, queue, kernel, global_size, local_size=None,
+                global_offset=None):
+        event = self.runtime.enqueue_nd_range_kernel(
+            queue, kernel, global_size, local_size, global_offset
+        )
+        self._async(queue.device, event.duration_s)
+        return event
+
+    def write(self, queue, buffer, data=None, nbytes=None):
+        if buffer.synthetic:
+            nbytes = buffer.size if nbytes is None else nbytes
+            duration = (
+                queue.device.model.transfer_time(nbytes)
+                if queue.device.mode == "modeled" else 0.0
+            )
+            event = queue.record("write_synthetic", duration)
+        else:
+            event = self.runtime.enqueue_write_buffer(queue, buffer, data)
+        self._blocking(queue.device, event.duration_s)
+        return event
+
+    def read_ack(self, queue, buffer, nbytes=None):
+        """Blocking read for timing only (drains the queue, charges DMA)."""
+        nbytes = buffer.size if nbytes is None else nbytes
+        if buffer.synthetic:
+            duration = (
+                queue.device.model.transfer_time(nbytes)
+                if queue.device.mode == "modeled" else 0.0
+            )
+            event = queue.record("read_synthetic", duration)
+        else:
+            _data, event = self.runtime.enqueue_read_buffer(queue, buffer,
+                                                            nbytes)
+        self._blocking(queue.device, event.duration_s)
+
+    def finish(self, queue):
+        self._clock = max(self._clock, self._ready[queue.device.id])
+        return self._clock
+
+    # -- clock / stats ------------------------------------------------------------------
+
+    def now_s(self):
+        """Host-observed elapsed time (blocking commands + waits)."""
+        return self._clock
+
+    def stats(self):
+        return {
+            "local": {
+                "devices": {
+                    str(d.id): {
+                        "type_name": d.type_name,
+                        "busy_s": d.busy_s,
+                        "energy_j": d.energy_j(),
+                    }
+                    for d in self._devices
+                }
+            }
+        }
+
+    def close(self):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False

@@ -1,0 +1,93 @@
+"""SnuCL-D-style baseline (Kim et al., PLDI 2016).
+
+SnuCL-D distributes OpenCL by running the host program *redundantly* on
+every node and *replicating* data so any device can consume it without
+host-mediated routing.  That removes the central host bottleneck for
+control messages, but:
+
+- every buffer write is broadcast to all nodes in the context
+  (replication traffic grows with the node count);
+- scheduling is static: kernels run exactly where the queue points
+  (no heterogeneity awareness, "very coarse-grained scheduling");
+- there is no multi-user support;
+- applications whose host loop must observe intermediate device results
+  and redistribute them (CFD's per-iteration flux exchange) break the
+  redundant-execution model -- the paper notes "CFD cannot be
+  implemented on SnuCL-D without significant change", reproduced here
+  as :class:`~repro.workloads.base.UnsupportedBenchmarkError`.
+
+Implementation: a :class:`HaoCL` subclass with the replication write
+path and the user-directed policy pinned, plus a session facade, so the
+same workload host programs run unmodified on the baseline.
+"""
+
+from repro.core.session import HaoCLSession
+from repro.core.wrapper import HaoCL
+from repro.ocl import enums
+from repro.ocl.errors import CLError
+from repro.workloads.base import UnsupportedBenchmarkError
+
+
+class SnuCLD(HaoCL):
+    """Driver modelling SnuCL-D's replicated execution."""
+
+    #: control messages are executed redundantly on every node instead of
+    #: crossing the wire; modelled as zero marginal cost
+    redundant_control = True
+
+    def __init__(self, host_process, **kwargs):
+        kwargs["policy"] = "user-directed"  # static placement only
+        super().__init__(host_process, **kwargs)
+
+    def set_policy(self, policy):
+        raise CLError(
+            enums.CL_INVALID_OPERATION,
+            "SnuCL-D has no pluggable scheduler (static placement only)",
+        )
+
+    def enqueue_write_buffer(self, queue, buffer, data=None, offset=0,
+                             nbytes=None):
+        """Data replication: the write lands on *every* node."""
+        if buffer.synthetic and nbytes is not None \
+                and int(nbytes) < buffer.size:
+            # even region updates replicate to every node
+            for device in queue.context.devices:
+                self._partial_synthetic_write(queue, buffer, int(nbytes),
+                                              device=device)
+            from repro.core.wrapper import HEvent
+
+            event = HEvent("write_buffer", queue.device, 0.0)
+            queue.events.append(event)
+            return event
+        event = super().enqueue_write_buffer(queue, buffer, data, offset,
+                                             nbytes)
+        for device in queue.context.devices:
+            self.icd.ensure_fresh(buffer, device)
+        return event
+
+    def check_supported(self, workload):
+        """Refuse applications incompatible with redundant execution."""
+        if getattr(workload, "requires_iterative_exchange", False):
+            raise UnsupportedBenchmarkError(
+                "%s needs host-mediated iterative data exchange, which "
+                "SnuCL-D's redundant execution model cannot express "
+                "without significant change" % workload.name
+            )
+
+
+class SnuCLDSession(HaoCLSession):
+    """Session facade whose driver is the SnuCL-D model."""
+
+    def __init__(self, *args, **kwargs):
+        kwargs.pop("policy", None)
+        super().__init__(*args, **kwargs)
+        self.cl = SnuCLD(self.host)
+
+    def run_workload(self, workload, *args, **kwargs):
+        """Guarded entry point used by the experiment harness."""
+        self.cl.check_supported(workload)
+        return workload.run(self, *args, **kwargs)
+
+    def run_workload_synthetic(self, workload, scale, devices):
+        self.cl.check_supported(workload)
+        return workload.run_synthetic(self, scale, devices)

@@ -1,0 +1,34 @@
+"""OpenCL C kernel-language toolchain.
+
+This subpackage is the "vendor compiler" substrate of the HaoCL
+reproduction: a lexer, preprocessor, recursive-descent parser, semantic
+analyser, tree-walking interpreter and static cost analyser for a useful
+subset of OpenCL C 1.2.  Kernels used by the workloads are genuinely
+compiled and executed by this package, so correctness results are real.
+
+Public entry points:
+
+- :func:`compile_program` -- source text to a checked :class:`Program`.
+- :class:`Program` -- holds kernel definitions; query signatures.
+- :func:`repro.clc.interp.run_kernel` -- execute one NDRange.
+- :func:`repro.clc.analysis.analyze_kernel` -- static FLOP/byte estimate.
+"""
+
+from repro.clc.errors import (
+    CLCError,
+    LexError,
+    ParseError,
+    SemanticError,
+    InterpError,
+)
+from repro.clc.frontend import compile_program, Program
+
+__all__ = [
+    "CLCError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "InterpError",
+    "compile_program",
+    "Program",
+]

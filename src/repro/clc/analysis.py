@@ -1,0 +1,654 @@
+"""Static per-work-item cost analysis of kernels.
+
+Walks a kernel's AST and estimates, per work-item:
+
+- floating-point operations (``flops``),
+- integer/addressing operations (``int_ops``),
+- bytes read from / written to __global memory,
+- bytes touched in __local memory,
+- barrier count.
+
+Loop trip counts are resolved three ways, in order: constant bounds are
+folded; bounds that are simple expressions over *scalar kernel arguments*
+are evaluated symbolically once the actual argument values are known
+(`KernelCost.resolve`); anything else falls back to a configurable
+default.  This is what lets the HaoCL scheduler estimate kernel cost from
+the clSetKernelArg values *before* choosing a device -- the
+"heterogeneity-aware" part of the paper.
+"""
+
+from repro.clc import ast_nodes as A
+from repro.clc import types as T
+
+DEFAULT_TRIP_COUNT = 16
+
+
+class CostExpr:
+    """A linear cost term: constant + sum of (symbolic trip product) terms.
+
+    Symbolic factors are strings naming scalar kernel parameters; products
+    arise from nested loops.  ``resolve`` substitutes concrete values.
+    """
+
+    __slots__ = ("const", "terms")
+
+    def __init__(self, const=0.0, terms=None):
+        self.const = float(const)
+        # each term: (coefficient, tuple of symbol names)
+        self.terms = list(terms or [])
+
+    def __add__(self, other):
+        if isinstance(other, (int, float)):
+            return CostExpr(self.const + other, self.terms)
+        return CostExpr(self.const + other.const, self.terms + other.terms)
+
+    def scale(self, factor):
+        """Multiply by a trip count: a number, a symbol name, or an
+        ``("affine", coeff, symbol)`` tuple meaning ``coeff * symbol``."""
+        if isinstance(factor, (int, float)):
+            return CostExpr(
+                self.const * factor,
+                [(c * factor, syms) for c, syms in self.terms],
+            )
+        if isinstance(factor, tuple) and factor[0] == "affine":
+            _, coeff, symbol = factor
+            return self.scale(symbol).scale(coeff)
+        terms = [(self.const, (factor,))] if self.const else []
+        terms += [(c, syms + (factor,)) for c, syms in self.terms]
+        return CostExpr(0.0, terms)
+
+    def resolve(self, arg_values, default=DEFAULT_TRIP_COUNT):
+        """Evaluate to a number given scalar kernel argument values."""
+        total = self.const
+        for coeff, syms in self.terms:
+            product = coeff
+            for sym in syms:
+                value = arg_values.get(sym)
+                product *= float(value) if value is not None else default
+            total += product
+        return total
+
+    def __repr__(self):
+        parts = [repr(self.const)]
+        parts += ["%g*%s" % (c, "*".join(s)) for c, s in self.terms]
+        return "CostExpr(%s)" % " + ".join(parts)
+
+
+class KernelCost:
+    """Aggregate static cost estimate for one kernel."""
+
+    def __init__(self, name):
+        self.name = name
+        self.flops = CostExpr()
+        self.int_ops = CostExpr()
+        self.global_read_bytes = CostExpr()
+        self.global_write_bytes = CostExpr()
+        self.local_bytes = CostExpr()
+        self.barriers = CostExpr()
+        #: True when any global access is data-dependent (x[cols[j]]-style
+        #: gathers); such kernels run at random-access DRAM rates
+        self.indirect_access = False
+
+    def resolve(self, arg_values=None, default=DEFAULT_TRIP_COUNT):
+        """Concrete per-work-item numbers given scalar argument values."""
+        arg_values = arg_values or {}
+        return ResolvedCost(
+            flops=self.flops.resolve(arg_values, default),
+            int_ops=self.int_ops.resolve(arg_values, default),
+            global_read_bytes=self.global_read_bytes.resolve(arg_values, default),
+            global_write_bytes=self.global_write_bytes.resolve(arg_values, default),
+            local_bytes=self.local_bytes.resolve(arg_values, default),
+            barriers=self.barriers.resolve(arg_values, default),
+            indirect_access=self.indirect_access,
+        )
+
+
+class ResolvedCost:
+    """Concrete per-work-item cost numbers."""
+
+    __slots__ = (
+        "flops", "int_ops", "global_read_bytes", "global_write_bytes",
+        "local_bytes", "barriers", "indirect_access",
+    )
+
+    def __init__(self, flops, int_ops, global_read_bytes, global_write_bytes,
+                 local_bytes, barriers, indirect_access=False):
+        self.flops = flops
+        self.int_ops = int_ops
+        self.global_read_bytes = global_read_bytes
+        self.global_write_bytes = global_write_bytes
+        self.local_bytes = local_bytes
+        self.barriers = barriers
+        self.indirect_access = indirect_access
+
+    @property
+    def global_bytes(self):
+        return self.global_read_bytes + self.global_write_bytes
+
+    def arithmetic_intensity(self):
+        """FLOPs per byte of global traffic (0 when no traffic)."""
+        total = self.global_bytes
+        return self.flops / total if total else float(self.flops)
+
+    def __repr__(self):
+        return (
+            "ResolvedCost(flops=%.1f, int_ops=%.1f, rd=%.1fB, wr=%.1fB, "
+            "local=%.1fB, barriers=%.1f)"
+            % (self.flops, self.int_ops, self.global_read_bytes,
+               self.global_write_bytes, self.local_bytes, self.barriers)
+        )
+
+
+_FLOAT_OPS = frozenset(["+", "-", "*", "/", "%"])
+_MATH_BUILTIN_FLOPS = {
+    "sqrt": 4, "rsqrt": 4, "exp": 8, "log": 8, "sin": 8, "cos": 8, "tan": 10,
+    "pow": 12, "atan2": 12, "fabs": 1, "floor": 1, "ceil": 1, "fmin": 1,
+    "fmax": 1, "fma": 2, "mad": 2, "dot": 7, "length": 10, "normalize": 14,
+    "distance": 12, "hypot": 8, "fmod": 4,
+}
+
+
+class _Analyzer:
+    """AST walker accumulating CostExpr per construct."""
+
+    def __init__(self, program, info):
+        self.program = program
+        self.info = info
+        self.cost = KernelCost(info.name)
+        self.param_types = dict(info.params)
+        self.scalar_params = {
+            name for name, ctype in info.params if not ctype.is_pointer()
+        }
+        # variables whose value is a known linear alias of a scalar param
+        self.aliases = {}
+        # variables whose value came from a global-memory load: indexing
+        # with them is a data-dependent gather (x[cols[j]] pattern)
+        self.tainted = set()
+
+    def run(self):
+        body_cost = self._stmt_cost(self.info.node.body)
+        for field in ("flops", "int_ops", "global_read_bytes",
+                      "global_write_bytes", "local_bytes", "barriers"):
+            setattr(self.cost, field, getattr(body_cost, field))
+        return self.cost
+
+
+class _Cost:
+    """Bundle of CostExprs accumulated while walking."""
+
+    FIELDS = ("flops", "int_ops", "global_read_bytes", "global_write_bytes",
+              "local_bytes", "barriers")
+
+    def __init__(self):
+        for field in self.FIELDS:
+            setattr(self, field, CostExpr())
+
+    def __add__(self, other):
+        out = _Cost()
+        for field in self.FIELDS:
+            setattr(out, field, getattr(self, field) + getattr(other, field))
+        return out
+
+    def scale(self, factor):
+        out = _Cost()
+        for field in self.FIELDS:
+            setattr(out, field, getattr(self, field).scale(factor))
+        return out
+
+
+def _stmt_cost_dispatch(self, node):
+    if node is None:
+        return _Cost()
+    if isinstance(node, A.Compound):
+        total = _Cost()
+        for stmt in node.stmts:
+            total = total + self._stmt_cost(stmt)
+        return total
+    if isinstance(node, A.ExprStmt):
+        if isinstance(node.expr, A.Call) and node.expr.name == "barrier":
+            cost = _Cost()
+            cost.barriers = CostExpr(1)
+            return cost
+        return self._expr_cost(node.expr)
+    if isinstance(node, A.DeclStmt):
+        total = _Cost()
+        for var in node.decls:
+            if var.init is not None:
+                total = total + self._expr_cost(var.init)
+                if self._taints(var.init):
+                    self.tainted.add(var.name)
+            self._track_alias(var)
+        return total
+    if isinstance(node, A.If):
+        cond = self._expr_cost(node.cond)
+        then = self._stmt_cost(node.then)
+        orelse = self._stmt_cost(node.orelse)
+        # expectation: both sides weighted 1/2
+        return cond + then.scale(0.5) + orelse.scale(0.5)
+    if isinstance(node, A.For):
+        header = self._stmt_cost(node.init)
+        trips = self._trip_count(node)
+        per_iter = (
+            self._expr_cost(node.cond)
+            + self._stmt_cost(node.body)
+            + self._expr_cost(node.step)
+        )
+        return header + per_iter.scale(trips)
+    if isinstance(node, (A.While, A.DoWhile)):
+        per_iter = self._expr_cost(node.cond) + self._stmt_cost(node.body)
+        return per_iter.scale(DEFAULT_TRIP_COUNT)
+    if isinstance(node, A.Return):
+        return self._expr_cost(node.value)
+    if isinstance(node, (A.Break, A.Continue)):
+        return _Cost()
+    return _Cost()
+
+
+def _expr_cost_dispatch(self, node):
+    cost = _Cost()
+    if node is None:
+        return cost
+    if isinstance(node, (A.IntLit, A.FloatLit, A.BoolLit, A.Ident, A.SizeOf)):
+        return cost
+    if isinstance(node, A.BinOp):
+        cost = self._expr_cost(node.left) + self._expr_cost(node.right)
+        bucket = self._op_bucket(node)
+        if bucket == "float":
+            cost.flops = cost.flops + CostExpr(self._lanes(node))
+        else:
+            cost.int_ops = cost.int_ops + CostExpr(self._lanes(node))
+        return cost
+    if isinstance(node, (A.UnaryOp, A.PostfixOp)):
+        cost = self._expr_cost(node.operand)
+        cost.int_ops = cost.int_ops + CostExpr(1)
+        return cost
+    if isinstance(node, A.Assign):
+        cost = self._expr_cost(node.value) + self._lvalue_cost(node.target)
+        if node.op != "=":
+            if self._op_bucket(node) == "float":
+                cost.flops = cost.flops + CostExpr(self._lanes(node))
+            else:
+                cost.int_ops = cost.int_ops + CostExpr(self._lanes(node))
+        if isinstance(node.target, A.Ident) and self._taints(node.value):
+            self.tainted.add(node.target.name)
+        # loading through the target for compound ops is already counted
+        return cost
+    if isinstance(node, A.Ternary):
+        return (
+            self._expr_cost(node.cond)
+            + self._expr_cost(node.then).scale(0.5)
+            + self._expr_cost(node.orelse).scale(0.5)
+        )
+    if isinstance(node, A.Call):
+        for arg in node.args:
+            cost = cost + self._expr_cost(arg)
+        flops = _MATH_BUILTIN_FLOPS.get(node.name)
+        if flops is not None:
+            cost.flops = cost.flops + CostExpr(flops)
+        elif node.name.startswith(("atomic_", "atom_")):
+            cost.int_ops = cost.int_ops + CostExpr(4)
+            space = self._arg_space(node.args[0] if node.args else None)
+            if space == T.AS_GLOBAL:
+                cost.global_read_bytes = cost.global_read_bytes + CostExpr(4)
+                cost.global_write_bytes = cost.global_write_bytes + CostExpr(4)
+        else:
+            callee = self.program.functions.get(node.name)
+            if callee is not None and callee.node.body is not None \
+                    and callee.name != self.info.name:
+                inner = type(self)(self.program, callee)
+                for arg, (pname, _ptype) in zip(node.args, callee.params):
+                    if self._taints(arg):
+                        inner.tainted.add(pname)
+                inner_cost = inner._stmt_cost(callee.node.body)
+                if inner.cost.indirect_access:
+                    self.cost.indirect_access = True
+                cost = cost + inner_cost
+        return cost
+    if isinstance(node, A.Index):
+        cost = self._expr_cost(node.base) + self._expr_cost(node.index)
+        cost.int_ops = cost.int_ops + CostExpr(1)
+        space, size = self._access_of(node)
+        if space == T.AS_GLOBAL:
+            cost.global_read_bytes = cost.global_read_bytes + CostExpr(size)
+            if self._taints(node.index):
+                self.cost.indirect_access = True
+        elif space == T.AS_LOCAL:
+            cost.local_bytes = cost.local_bytes + CostExpr(size)
+        return cost
+    if isinstance(node, A.Member):
+        return self._expr_cost(node.base)
+    if isinstance(node, A.Cast):
+        return self._expr_cost(node.expr)
+    if isinstance(node, A.VectorLit):
+        for element in node.elements:
+            cost = cost + self._expr_cost(element)
+        return cost
+    return cost
+
+
+def _lvalue_cost_dispatch(self, node):
+    """Cost of *storing* through an lvalue (global/local write traffic)."""
+    cost = _Cost()
+    if isinstance(node, A.Index):
+        cost = self._expr_cost(node.base) + self._expr_cost(node.index)
+        space, size = self._access_of(node)
+        if space == T.AS_GLOBAL:
+            cost.global_write_bytes = cost.global_write_bytes + CostExpr(size)
+        elif space == T.AS_LOCAL:
+            cost.local_bytes = cost.local_bytes + CostExpr(size)
+        return cost
+    if isinstance(node, A.Member):
+        return self._lvalue_cost(node.base)
+    if isinstance(node, A.UnaryOp) and node.op == "*":
+        return self._expr_cost(node.operand)
+    return cost
+
+
+class _AnalyzerImpl(_Analyzer):
+    _stmt_cost = _stmt_cost_dispatch
+    _expr_cost = _expr_cost_dispatch
+    _lvalue_cost = _lvalue_cost_dispatch
+
+    def _op_bucket(self, node):
+        ctype = getattr(node, "ctype", None)
+        if ctype is not None:
+            if ctype.is_float() or (ctype.is_vector() and ctype.base.is_float()):
+                return "float"
+            return "int"
+        return "int"
+
+    @staticmethod
+    def _lanes(node):
+        ctype = getattr(node, "ctype", None)
+        if ctype is not None and ctype.is_vector():
+            return ctype.lanes
+        return 1
+
+    def _access_of(self, index_node):
+        """(address space, element size) of an Index expression."""
+        base_type = getattr(index_node.base, "ctype", None)
+        if base_type is None:
+            return (None, 0)
+        if base_type.is_pointer():
+            elem = base_type.pointee
+            while elem.is_array():
+                elem = elem.element
+            return (base_type.address_space, elem.size or 4)
+        if base_type.is_array():
+            elem = base_type.element
+            while elem.is_array():
+                elem = elem.element
+            return (T.AS_PRIVATE, elem.size or 4)
+        return (None, 0)
+
+    def _arg_space(self, node):
+        ctype = getattr(node, "ctype", None)
+        if ctype is not None and ctype.is_pointer():
+            return ctype.address_space
+        if isinstance(node, A.UnaryOp) and node.op == "&":
+            inner = getattr(node.operand, "ctype", None)
+            return T.AS_PRIVATE if inner is not None else None
+        return None
+
+    def _track_alias(self, var):
+        """Record `int n = param;`-style aliases for trip-count resolution."""
+        if var.init is not None and isinstance(var.init, A.Ident):
+            name = var.init.name
+            if name in self.scalar_params:
+                self.aliases[var.name] = name
+            elif name in self.aliases:
+                self.aliases[var.name] = self.aliases[name]
+
+    def _taints(self, node):
+        """True when the expression's value came (possibly transitively)
+        from a global-memory load -- indexing with it is a gather."""
+        if node is None:
+            return False
+        if isinstance(node, A.Ident):
+            return node.name in self.tainted
+        if isinstance(node, A.Index):
+            space, _size = self._access_of(node)
+            if space in (T.AS_GLOBAL, T.AS_CONSTANT):
+                return True
+            return self._taints(node.index) or self._taints(node.base)
+        for child in node.children():
+            if self._taints(child):
+                return True
+        return False
+
+    def _trip_count(self, node):
+        """Resolve a for-loop trip count.
+
+        Returns a float (constant trips), a symbol name (trips equal a
+        scalar kernel argument), an ``("affine", coeff, symbol)`` tuple, or
+        the default when the bound is opaque.
+        """
+        bound = self._loop_bound(node.cond)
+        if bound is None:
+            return DEFAULT_TRIP_COUNT
+        kind, payload = bound
+        step = self._loop_step(node.step)
+        if kind == "const":
+            start = self._loop_start(node.init)
+            if start is not None and step:
+                return max(0.0, (payload - start) / step)
+            return max(0.0, float(payload))
+        if kind == "sym":
+            if step and step != 1.0:
+                return ("affine", 1.0 / step, payload)
+            return payload
+        coeff, symbol = payload
+        if step and step != 1.0:
+            coeff /= step
+        return ("affine", coeff, symbol)
+
+    def _loop_bound(self, cond):
+        """Classify a loop bound: ("const", x), ("sym", name), or
+        ("affine", (coeff, name))."""
+        if not isinstance(cond, A.BinOp) or cond.op not in ("<", "<=", ">", ">=", "!="):
+            return None
+        rhs = cond.right
+        if isinstance(rhs, A.IntLit):
+            return ("const", float(rhs.value))
+        if isinstance(rhs, A.Ident):
+            if rhs.name in self.scalar_params:
+                return ("sym", rhs.name)
+            if rhs.name in self.aliases:
+                return ("sym", self.aliases[rhs.name])
+        if isinstance(rhs, A.BinOp) and rhs.op in ("/", ">>", "*") \
+                and isinstance(rhs.right, A.IntLit):
+            inner = self._loop_bound(A.BinOp(cond.op, cond.left, rhs.left))
+            factor = float(rhs.right.value)
+            if rhs.op == ">>":
+                factor = float(2 ** rhs.right.value)
+            if inner is None:
+                return None
+            if inner[0] == "const":
+                value = inner[1] * factor if rhs.op == "*" else inner[1] / factor
+                return ("const", value)
+            scale = factor if rhs.op == "*" else 1.0 / factor
+            if inner[0] == "sym":
+                return ("affine", (scale, inner[1]))
+            coeff, symbol = inner[1]
+            return ("affine", (coeff * scale, symbol))
+        return None
+
+    @staticmethod
+    def _loop_start(init):
+        if isinstance(init, A.DeclStmt) and len(init.decls) == 1:
+            first = init.decls[0].init
+            if isinstance(first, A.IntLit):
+                return float(first.value)
+        if isinstance(init, A.ExprStmt) and isinstance(init.expr, A.Assign):
+            if isinstance(init.expr.value, A.IntLit):
+                return float(init.expr.value.value)
+        return None
+
+    @staticmethod
+    def _loop_step(step):
+        if isinstance(step, (A.PostfixOp, A.UnaryOp)) and step.op in ("++", "--"):
+            return 1.0
+        if isinstance(step, A.Assign) and step.op in ("+=", "-="):
+            if isinstance(step.value, A.IntLit):
+                return float(step.value.value)
+        return 1.0
+
+
+def analyze_kernel(program, kernel_name):
+    """Return the :class:`KernelCost` estimate for one kernel."""
+    info = program.kernel(kernel_name)
+    return _AnalyzerImpl(program, info).run()
+
+
+# -- per-parameter access classification ---------------------------------------
+
+
+class ParamAccess:
+    """Whether a pointer parameter is read and/or written by a kernel."""
+
+    __slots__ = ("read", "write")
+
+    def __init__(self, read=False, write=False):
+        self.read = read
+        self.write = write
+
+    @property
+    def read_only(self):
+        return self.read and not self.write
+
+    def __repr__(self):
+        return "ParamAccess(r=%s, w=%s)" % (self.read, self.write)
+
+
+def classify_param_access(program, kernel_name, _info=None, _seen=None):
+    """Classify each pointer parameter of ``kernel_name`` as read/write.
+
+    Drives the host-side buffer consistency protocol: read-only inputs
+    can be replicated across nodes without invalidation, while written
+    buffers migrate ownership to the executing node.  Conservative --
+    anything ambiguous (pointer escaping into a helper call whose body
+    also escapes it, address arithmetic stored into unknown variables)
+    is marked read+write.
+    """
+    info = _info or program.kernel(kernel_name)
+    seen = _seen or set()
+    seen.add(info.name)
+    params = {name for name, ctype in info.params if ctype.is_pointer()}
+    access = {name: ParamAccess() for name in params}
+    # pointer-valued locals that alias a param (p = A; q = A + off)
+    aliases = {}
+
+    def base_param(expr):
+        """Resolve an expression to the pointer param it aliases, if any."""
+        if isinstance(expr, A.Ident):
+            if expr.name in params:
+                return expr.name
+            return aliases.get(expr.name)
+        if isinstance(expr, A.BinOp) and expr.op in ("+", "-"):
+            return base_param(expr.left) or base_param(expr.right)
+        if isinstance(expr, A.UnaryOp) and expr.op in ("*", "&"):
+            return base_param(expr.operand)
+        if isinstance(expr, A.Cast):
+            return base_param(expr.expr)
+        if isinstance(expr, A.Index):
+            return base_param(expr.base)
+        return None
+
+    def mark(name, read=False, write=False):
+        if name in access:
+            if read:
+                access[name].read = True
+            if write:
+                access[name].write = True
+
+    def visit(node, store_target=False):
+        if node is None:
+            return
+        if isinstance(node, A.DeclStmt):
+            for var in node.decls:
+                if var.init is not None:
+                    if var.ctype.is_pointer():
+                        target = base_param(var.init)
+                        if target is not None:
+                            aliases[var.name] = target
+                    visit(var.init)
+            return
+        if isinstance(node, A.Assign):
+            target = node.target
+            if isinstance(target, (A.Index, A.Member)) or (
+                isinstance(target, A.UnaryOp) and target.op == "*"
+            ):
+                name = base_param(target)
+                if name is not None:
+                    mark(name, read=node.op != "=", write=True)
+                # index expressions still read whatever they touch
+                if isinstance(target, A.Index):
+                    visit(target.index)
+                    visit(target.base, store_target=True)
+            elif isinstance(target, A.Ident):
+                source = base_param(node.value)
+                if source is not None:
+                    aliases[target.name] = source
+            visit(node.value)
+            return
+        if isinstance(node, A.Index) and not store_target:
+            name = base_param(node.base)
+            if name is not None:
+                mark(name, read=True)
+            visit(node.base, store_target=True)
+            visit(node.index)
+            return
+        if isinstance(node, A.UnaryOp) and node.op == "*":
+            name = base_param(node.operand)
+            if name is not None:
+                mark(name, read=True)
+            visit(node.operand)
+            return
+        if isinstance(node, A.Call):
+            if node.name.startswith(("atomic_", "atom_")) and node.args:
+                name = base_param(node.args[0])
+                if name is not None:
+                    mark(name, read=True, write=True)
+                for arg in node.args:  # index expressions still read buffers
+                    visit(arg)
+                return
+            if node.name.startswith("vstore") and len(node.args) == 3:
+                name = base_param(node.args[2])
+                if name is not None:
+                    mark(name, write=True)
+                visit(node.args[0])
+                visit(node.args[1])
+                return
+            if node.name.startswith("vload") and len(node.args) == 2:
+                name = base_param(node.args[1])
+                if name is not None:
+                    mark(name, read=True)
+                visit(node.args[0])
+                return
+            callee = program.functions.get(node.name)
+            if callee is not None and callee.name not in seen \
+                    and callee.node.body is not None:
+                inner = classify_param_access(program, callee.name,
+                                              _info=callee, _seen=seen)
+                for arg, (pname, ptype) in zip(node.args, callee.params):
+                    if not ptype.is_pointer():
+                        continue
+                    name = base_param(arg)
+                    if name is not None:
+                        inner_access = inner.get(pname, ParamAccess(True, True))
+                        mark(name, read=inner_access.read, write=inner_access.write)
+            else:
+                # unknown callee: any pointer argument may be read+written
+                for arg in node.args:
+                    name = base_param(arg)
+                    if name is not None:
+                        mark(name, read=True, write=True)
+            for arg in node.args:
+                visit(arg)
+            return
+        for child in node.children():
+            visit(child)
+
+    if info.node.body is not None:
+        visit(info.node.body)
+    return access

@@ -1,0 +1,316 @@
+"""AST node definitions for the OpenCL C subset.
+
+Nodes are deliberately plain: attributes, a source location, and nothing
+else.  Semantic analysis annotates expression nodes with a ``ctype``
+attribute; the interpreter and cost analyser walk the same tree.
+"""
+
+
+class Node:
+    """Base AST node; ``loc`` is a (line, col) tuple."""
+
+    _fields = ()
+
+    def __init__(self, loc=None):
+        self.loc = loc or (None, None)
+
+    def children(self):
+        """Yield child nodes (flattening lists) for generic traversal."""
+        for field in self._fields:
+            value = getattr(self, field)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+
+    def __repr__(self):
+        parts = []
+        for field in self._fields:
+            value = getattr(self, field, None)
+            if isinstance(value, Node):
+                parts.append("%s=%s" % (field, type(value).__name__))
+            else:
+                parts.append("%s=%r" % (field, value))
+        return "%s(%s)" % (type(self).__name__, ", ".join(parts))
+
+
+# --- top level -------------------------------------------------------------
+
+
+class TranslationUnit(Node):
+    _fields = ("decls",)
+
+    def __init__(self, decls, loc=None):
+        super().__init__(loc)
+        self.decls = decls
+
+
+class FunctionDef(Node):
+    """A function definition; ``is_kernel`` marks __kernel qualifiers."""
+
+    _fields = ("params", "body")
+
+    def __init__(self, name, return_type, params, body, is_kernel, attributes=None, loc=None):
+        super().__init__(loc)
+        self.name = name
+        self.return_type = return_type
+        self.params = params
+        self.body = body
+        self.is_kernel = is_kernel
+        self.attributes = attributes or {}
+
+
+class ParamDecl(Node):
+    _fields = ()
+
+    def __init__(self, name, ctype, loc=None):
+        super().__init__(loc)
+        self.name = name
+        self.ctype = ctype
+
+
+# --- statements -------------------------------------------------------------
+
+
+class Compound(Node):
+    _fields = ("stmts",)
+
+    def __init__(self, stmts, loc=None):
+        super().__init__(loc)
+        self.stmts = stmts
+
+
+class DeclStmt(Node):
+    """One declaration statement; may declare several variables."""
+
+    _fields = ("decls",)
+
+    def __init__(self, decls, loc=None):
+        super().__init__(loc)
+        self.decls = decls
+
+
+class VarDecl(Node):
+    """A single declared variable with optional initialiser."""
+
+    _fields = ("init",)
+
+    def __init__(self, name, ctype, init, address_space, loc=None):
+        super().__init__(loc)
+        self.name = name
+        self.ctype = ctype
+        self.init = init
+        self.address_space = address_space
+
+
+class ExprStmt(Node):
+    _fields = ("expr",)
+
+    def __init__(self, expr, loc=None):
+        super().__init__(loc)
+        self.expr = expr
+
+
+class If(Node):
+    _fields = ("cond", "then", "orelse")
+
+    def __init__(self, cond, then, orelse, loc=None):
+        super().__init__(loc)
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+
+class For(Node):
+    _fields = ("init", "cond", "step", "body")
+
+    def __init__(self, init, cond, step, body, loc=None):
+        super().__init__(loc)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class While(Node):
+    _fields = ("cond", "body")
+
+    def __init__(self, cond, body, loc=None):
+        super().__init__(loc)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Node):
+    _fields = ("body", "cond")
+
+    def __init__(self, body, cond, loc=None):
+        super().__init__(loc)
+        self.body = body
+        self.cond = cond
+
+
+class Return(Node):
+    _fields = ("value",)
+
+    def __init__(self, value, loc=None):
+        super().__init__(loc)
+        self.value = value
+
+
+class Break(Node):
+    pass
+
+
+class Continue(Node):
+    pass
+
+
+# --- expressions -------------------------------------------------------------
+
+
+class IntLit(Node):
+    def __init__(self, value, ctype, loc=None):
+        super().__init__(loc)
+        self.value = value
+        self.ctype = ctype
+
+
+class FloatLit(Node):
+    def __init__(self, value, ctype, loc=None):
+        super().__init__(loc)
+        self.value = value
+        self.ctype = ctype
+
+
+class BoolLit(Node):
+    def __init__(self, value, loc=None):
+        super().__init__(loc)
+        self.value = value
+
+
+class Ident(Node):
+    def __init__(self, name, loc=None):
+        super().__init__(loc)
+        self.name = name
+
+
+class BinOp(Node):
+    _fields = ("left", "right")
+
+    def __init__(self, op, left, right, loc=None):
+        super().__init__(loc)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class UnaryOp(Node):
+    """Prefix unary: -, +, !, ~, *, &, ++, --."""
+
+    _fields = ("operand",)
+
+    def __init__(self, op, operand, loc=None):
+        super().__init__(loc)
+        self.op = op
+        self.operand = operand
+
+
+class PostfixOp(Node):
+    """Postfix ++ and --."""
+
+    _fields = ("operand",)
+
+    def __init__(self, op, operand, loc=None):
+        super().__init__(loc)
+        self.op = op
+        self.operand = operand
+
+
+class Assign(Node):
+    """Assignment; ``op`` is '=' or a compound operator like '+='."""
+
+    _fields = ("target", "value")
+
+    def __init__(self, op, target, value, loc=None):
+        super().__init__(loc)
+        self.op = op
+        self.target = target
+        self.value = value
+
+
+class Ternary(Node):
+    _fields = ("cond", "then", "orelse")
+
+    def __init__(self, cond, then, orelse, loc=None):
+        super().__init__(loc)
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+
+class Call(Node):
+    _fields = ("args",)
+
+    def __init__(self, name, args, loc=None):
+        super().__init__(loc)
+        self.name = name
+        self.args = args
+
+
+class Index(Node):
+    _fields = ("base", "index")
+
+    def __init__(self, base, index, loc=None):
+        super().__init__(loc)
+        self.base = base
+        self.index = index
+
+
+class Member(Node):
+    """Vector component / swizzle access such as ``v.x`` or ``v.xy``."""
+
+    _fields = ("base",)
+
+    def __init__(self, base, name, loc=None):
+        super().__init__(loc)
+        self.base = base
+        self.name = name
+
+
+class Cast(Node):
+    _fields = ("expr",)
+
+    def __init__(self, ctype, expr, loc=None):
+        super().__init__(loc)
+        self.ctype = ctype
+        self.expr = expr
+
+
+class VectorLit(Node):
+    """Vector constructor syntax: (float4)(a, b, c, d)."""
+
+    _fields = ("elements",)
+
+    def __init__(self, ctype, elements, loc=None):
+        super().__init__(loc)
+        self.ctype = ctype
+        self.elements = elements
+
+
+class SizeOf(Node):
+    """sizeof(type); ``target_type`` is the measured type (``ctype`` is the
+    expression's own result type, annotated by sema like any other node)."""
+
+    def __init__(self, target_type, loc=None):
+        super().__init__(loc)
+        self.target_type = target_type
+
+
+def walk(node):
+    """Yield ``node`` and every descendant in preorder."""
+    yield node
+    for child in node.children():
+        yield from walk(child)

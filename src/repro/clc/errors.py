@@ -1,0 +1,40 @@
+"""Exception hierarchy for the OpenCL C toolchain."""
+
+
+class CLCError(Exception):
+    """Base class for every error raised by the clc toolchain."""
+
+    def __init__(self, message, line=None, col=None):
+        self.message = message
+        self.line = line
+        self.col = col
+        super().__init__(self._format())
+
+    def _format(self):
+        if self.line is not None:
+            return "{} (line {}, col {})".format(self.message, self.line, self.col)
+        return self.message
+
+
+class LexError(CLCError):
+    """Invalid character sequence while tokenising."""
+
+
+class PreprocessorError(CLCError):
+    """Malformed preprocessor directive or macro expansion failure."""
+
+
+class ParseError(CLCError):
+    """Syntax error while parsing."""
+
+
+class SemanticError(CLCError):
+    """Type error, undefined identifier, or other semantic violation."""
+
+
+class InterpError(CLCError):
+    """Runtime fault while interpreting a kernel (bad pointer, div by zero...)."""
+
+
+class BarrierDivergenceError(InterpError):
+    """Work-items of one work-group reached different barriers."""

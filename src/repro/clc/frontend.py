@@ -1,0 +1,52 @@
+"""Program compilation front-end: preprocess, parse, analyse.
+
+A :class:`Program` is the clc analogue of a built ``cl_program``: it owns
+the analysed AST, exposes kernel signatures, and is what the OpenCL
+runtime's ``clBuildProgram`` produces under the hood.
+"""
+
+from repro.clc.parser import parse
+from repro.clc.preprocessor import parse_build_options, preprocess
+from repro.clc.semantics import analyze
+
+
+class Program:
+    """A compiled OpenCL C translation unit."""
+
+    def __init__(self, source, unit, functions, options=""):
+        self.source = source
+        self.unit = unit
+        self.functions = functions
+        self.options = options
+
+    @property
+    def kernels(self):
+        """Mapping of kernel name to :class:`repro.clc.semantics.FunctionInfo`."""
+        return {
+            name: info for name, info in self.functions.items() if info.is_kernel
+        }
+
+    def kernel_names(self):
+        return sorted(self.kernels)
+
+    def kernel(self, name):
+        info = self.functions.get(name)
+        if info is None or not info.is_kernel:
+            raise KeyError("no kernel named %r" % name)
+        return info
+
+    def __repr__(self):
+        return "Program(kernels=%s)" % ", ".join(self.kernel_names())
+
+
+def compile_program(source, options=""):
+    """Compile OpenCL C source text into a :class:`Program`.
+
+    ``options`` follows clBuildProgram syntax; ``-D NAME=value`` macros are
+    honoured, other flags are accepted and ignored.
+    """
+    defines = parse_build_options(options)
+    text = preprocess(source, defines)
+    unit = parse(text)
+    functions = analyze(unit)
+    return Program(source, unit, functions, options)

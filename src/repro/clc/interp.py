@@ -1,0 +1,895 @@
+"""Tree-walking interpreter for the OpenCL C subset.
+
+Execution model
+---------------
+
+A kernel launch iterates work-groups; each work-group runs its work-items
+*cooperatively*: every work-item is a Python generator that yields only
+when it reaches ``barrier()``.  The scheduler resumes each item in turn,
+so all items arrive at the same barrier before any proceeds -- exactly the
+semantics real CPU OpenCL drivers implement with fibers.  Kernels without
+barriers simply run each work-item to completion.
+
+Statements are generator functions (so ``barrier()`` can suspend anywhere
+in kernel control flow); expressions are evaluated with plain recursion
+for speed.  Consequently ``barrier()`` may appear anywhere in *statement*
+position in the kernel body, which covers the standard benchmark kernels;
+calling it from inside a helper function is reported as an error.
+"""
+
+import itertools
+
+import numpy as np
+
+from repro.clc import ast_nodes as A
+from repro.clc import types as T
+from repro.clc.builtins import BUILTIN_NAMES, call_builtin, infer_result_type
+from repro.clc.errors import BarrierDivergenceError, InterpError
+from repro.clc.semantics import swizzle_lanes
+from repro.clc.values import (
+    Memory,
+    Pointer,
+    convert_value,
+    ctype_of_value,
+    default_value,
+    is_truthy,
+)
+
+_BARRIER = object()  # sentinel yielded by work-items when they hit barrier()
+
+_ERRSTATE = {"over": "ignore", "under": "ignore", "invalid": "ignore", "divide": "ignore"}
+
+
+class LocalMem:
+    """Kernel argument placeholder for __local memory (size in bytes)."""
+
+    __slots__ = ("size",)
+
+    def __init__(self, size):
+        self.size = int(size)
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value):
+        self.value = value
+        super().__init__()
+
+
+class _Cell:
+    """A mutable variable binding with its declared type."""
+
+    __slots__ = ("value", "ctype")
+
+    def __init__(self, value, ctype):
+        self.value = value
+        self.ctype = ctype
+
+    def get(self):
+        return self.value
+
+    def set(self, value):
+        self.value = convert_value(value, self.ctype) if self.ctype else value
+
+
+class _MemCell:
+    """A variable that lives in a Memory (shared __local scalars, or
+    private variables whose address was taken)."""
+
+    __slots__ = ("pointer", "ctype")
+
+    def __init__(self, pointer, ctype):
+        self.pointer = pointer
+        self.ctype = ctype
+
+    def get(self):
+        return self.pointer.load()
+
+    def set(self, value):
+        self.pointer.store(0, convert_value(value, self.ctype))
+
+
+class _Env:
+    """Chained block scopes for one function activation."""
+
+    __slots__ = ("scopes", "workitem")
+
+    def __init__(self, workitem):
+        self.scopes = [{}]
+        self.workitem = workitem
+
+    def push(self):
+        self.scopes.append({})
+
+    def pop(self):
+        self.scopes.pop()
+
+    def declare(self, name, cell):
+        self.scopes[-1][name] = cell
+
+    def cell(self, name):
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise InterpError("undefined variable %r at runtime" % name)
+
+
+class _WorkItem:
+    """Per-work-item identity handed to the work-item builtins."""
+
+    __slots__ = ("dim", "global_id", "local_id", "group_id",
+                 "global_size", "local_size", "num_groups", "offset")
+
+    def __init__(self, dim, global_id, local_id, group_id,
+                 global_size, local_size, num_groups, offset):
+        self.dim = dim
+        self.global_id = global_id
+        self.local_id = local_id
+        self.group_id = group_id
+        self.global_size = global_size
+        self.local_size = local_size
+        self.num_groups = num_groups
+        self.offset = offset
+
+
+# -- lvalue references -----------------------------------------------------
+
+
+class _VarRef:
+    __slots__ = ("cell",)
+
+    def __init__(self, cell):
+        self.cell = cell
+
+    def load(self):
+        return self.cell.get()
+
+    def store(self, value):
+        self.cell.set(value)
+
+
+class _MemRef:
+    __slots__ = ("pointer", "index")
+
+    def __init__(self, pointer, index):
+        self.pointer = pointer
+        self.index = int(index)
+
+    def load(self):
+        return self.pointer.load(self.index)
+
+    def store(self, value):
+        self.pointer.store(self.index, convert_value(value, self.pointer.ctype))
+
+
+class _LaneRef:
+    """Assignment target for vector lanes: v.xy = ..., v[i] = ..."""
+
+    __slots__ = ("base", "lanes")
+
+    def __init__(self, base, lanes):
+        self.base = base
+        self.lanes = lanes
+
+    def load(self):
+        vec = self.base.load()
+        if len(self.lanes) == 1:
+            return vec[self.lanes[0]]
+        return vec[self.lanes].copy()
+
+    def store(self, value):
+        vec = self.base.load()
+        if len(self.lanes) == 1:
+            vec[self.lanes[0]] = value
+        else:
+            vec[self.lanes] = np.asarray(value, dtype=vec.dtype)[: len(self.lanes)]
+        self.base.store(vec)
+
+
+class Interpreter:
+    """Executes kernels of one compiled program."""
+
+    def __init__(self, program):
+        self.program = program
+        self.functions = program.functions
+
+    # -- public API ----------------------------------------------------------
+
+    def run_kernel(self, name, args, global_size, local_size=None, global_offset=None):
+        """Execute kernel ``name`` over the NDRange.
+
+        ``args`` entries may be :class:`Memory` (global buffer),
+        :class:`Pointer`, :class:`LocalMem`, or Python/NumPy scalars; they
+        are coerced per the kernel signature exactly as clSetKernelArg
+        coerces raw bytes.
+        """
+        info = self.functions.get(name)
+        if info is None or not info.is_kernel:
+            raise InterpError("no kernel named %r" % name)
+        global_size = _as_dims(global_size)
+        dim = len(global_size)
+        if local_size is None:
+            local_size = self._pick_local_size(info, global_size)
+        local_size = _as_dims(local_size)
+        if len(local_size) != dim:
+            raise InterpError("work_dim mismatch between global and local size")
+        for g, l in zip(global_size, local_size):
+            if l <= 0 or g % l != 0:
+                raise InterpError(
+                    "global size %r not divisible by local size %r"
+                    % (global_size, local_size)
+                )
+        offset = _as_dims(global_offset) if global_offset else (0,) * dim
+        num_groups = tuple(g // l for g, l in zip(global_size, local_size))
+        bound = self._bind_args(info, args)
+        for group_id in itertools.product(*(range(n) for n in num_groups)):
+            self._run_group(
+                info, bound, dim, group_id, global_size, local_size, num_groups, offset
+            )
+
+    def call_function(self, name, args):
+        """Call a non-kernel function directly (used by tests)."""
+        info = self.functions[name]
+        dummy = _WorkItem(1, (0,), (0,), (0,), (1,), (1,), (1,), (0,))
+        return self._invoke(info, list(args), dummy)
+
+    # -- launch plumbing -------------------------------------------------------
+
+    @staticmethod
+    def _pick_local_size(info, global_size):
+        if "reqd_work_group_size" in info.attributes:
+            return info.attributes["reqd_work_group_size"][: len(global_size)]
+        if info.uses_barrier:
+            # need a real work-group; choose the largest divisor <= 64 per dim
+            out = []
+            for g in global_size:
+                best = 1
+                for cand in range(1, min(g, 64) + 1):
+                    if g % cand == 0:
+                        best = cand
+                out.append(best)
+            return tuple(out)
+        return tuple(global_size)  # one big group; no barriers so it is safe
+
+    def _bind_args(self, info, args):
+        if len(args) != len(info.params):
+            raise InterpError(
+                "kernel %s expects %d args, got %d"
+                % (info.name, len(info.params), len(args))
+            )
+        bound = []
+        for (pname, ptype), value in zip(info.params, args):
+            if isinstance(value, LocalMem):
+                if not ptype.is_pointer():
+                    raise InterpError("local-mem arg for non-pointer param %r" % pname)
+                bound.append(("local", value.size, ptype))
+            elif isinstance(value, Memory):
+                if not ptype.is_pointer():
+                    raise InterpError("buffer arg for non-pointer param %r" % pname)
+                bound.append(
+                    ("value", Pointer(value, 0, ptype.pointee, ptype.address_space), ptype)
+                )
+            elif isinstance(value, Pointer):
+                bound.append(("value", value.reinterpret(ptype.pointee), ptype))
+            else:
+                bound.append(("value", convert_value(value, ptype), ptype))
+        return bound
+
+    def _group_locals(self, info, bound):
+        """Allocate per-group __local memory: pointer args and declarations."""
+        arg_values = []
+        for kind, payload, ptype in bound:
+            if kind == "local":
+                mem = Memory(payload, name="localarg")
+                arg_values.append(Pointer(mem, 0, ptype.pointee, T.AS_LOCAL))
+            else:
+                arg_values.append(payload)
+        local_cells = {}
+        for stmt in _local_decls(info.node.body):
+            for var in stmt.decls:
+                if var.address_space != T.AS_LOCAL:
+                    continue
+                ctype = var.ctype
+                mem = Memory(ctype.size, name="local:%s" % var.name)
+                if ctype.is_array():
+                    pointee = ctype.element
+                    cell = _Cell(Pointer(mem, 0, pointee, T.AS_LOCAL), None)
+                else:
+                    cell = _MemCell(Pointer(mem, 0, ctype, T.AS_LOCAL), ctype)
+                local_cells[var.name] = cell
+        return arg_values, local_cells
+
+    def _run_group(self, info, bound, dim, group_id, gsize, lsize, ngroups, offset):
+        arg_values, local_cells = self._group_locals(info, bound)
+        items = []
+        for local_id in itertools.product(*(range(l) for l in lsize)):
+            wi = _WorkItem(
+                dim,
+                tuple(g * l + i + o for g, l, i, o in zip(group_id, lsize, local_id, offset)),
+                local_id,
+                group_id,
+                gsize,
+                lsize,
+                ngroups,
+                offset,
+            )
+            env = _Env(wi)
+            for (pname, ptype), value in zip(info.params, arg_values):
+                env.declare(pname, _Cell(value, None if ptype.is_pointer() else ptype))
+            for name, cell in local_cells.items():
+                env.declare(name, cell)
+            items.append(self._workitem_gen(info, env))
+        if not info.uses_barrier:
+            for gen in items:
+                for _ in gen:
+                    raise BarrierDivergenceError(
+                        "kernel %s hit a barrier but was not marked as using one"
+                        % info.name
+                    )
+            return
+        self._run_with_barriers(items, info.name)
+
+    @staticmethod
+    def _run_with_barriers(items, kernel_name):
+        alive = list(items)
+        while alive:
+            at_barrier = []
+            finished = 0
+            for gen in alive:
+                if next(gen, _DONE) is _BARRIER:
+                    at_barrier.append(gen)
+                else:
+                    finished += 1
+            if at_barrier and finished:
+                raise BarrierDivergenceError(
+                    "work-items of kernel %s diverged at a barrier" % kernel_name
+                )
+            alive = at_barrier
+
+    def _workitem_gen(self, info, env):
+        try:
+            yield from self._exec(info.node.body, env)
+        except _ReturnSignal:
+            pass
+
+    # -- function invocation (expression context, no barriers) ------------------
+
+    def _invoke(self, info, arg_values, workitem):
+        env = _Env(workitem)
+        if len(arg_values) != len(info.params):
+            raise InterpError(
+                "%s() expects %d args, got %d"
+                % (info.name, len(info.params), len(arg_values))
+            )
+        for (pname, ptype), value in zip(info.params, arg_values):
+            if ptype.is_pointer():
+                if isinstance(value, Memory):
+                    value = Pointer(value, 0, ptype.pointee, ptype.address_space)
+                elif isinstance(value, Pointer):
+                    value = value.reinterpret(ptype.pointee)
+                elif value is not None:
+                    raise InterpError("bad pointer argument for %r" % pname)
+                cell = _Cell(value, None)
+            else:
+                cell = _Cell(convert_value(value, ptype), ptype)
+            env.declare(pname, cell)
+        try:
+            for _ in self._exec(info.node.body, env):
+                raise InterpError(
+                    "barrier() inside helper function %r is not supported" % info.name
+                )
+        except _ReturnSignal as ret:
+            if ret.value is None:
+                return None
+            return convert_value(ret.value, info.return_type)
+        if info.return_type.is_void():
+            return None
+        raise InterpError("non-void function %r fell off the end" % info.name)
+
+    # -- statements --------------------------------------------------------------
+
+    def _exec(self, node, env):
+        """Execute one statement; generator that yields at barriers."""
+        cls = type(node)
+        if cls is A.Compound:
+            env.push()
+            try:
+                for stmt in node.stmts:
+                    yield from self._exec(stmt, env)
+            finally:
+                env.pop()
+        elif cls is A.ExprStmt:
+            expr = node.expr
+            if isinstance(expr, A.Call) and expr.name == "barrier":
+                yield _BARRIER
+            elif isinstance(expr, A.Call) and expr.name in (
+                "mem_fence", "read_mem_fence", "write_mem_fence"
+            ):
+                pass  # single memory per device: fences are no-ops
+            else:
+                self._eval(expr, env)
+        elif cls is A.DeclStmt:
+            for var in node.decls:
+                self._exec_decl(var, env)
+        elif cls is A.If:
+            if is_truthy(self._eval(node.cond, env)):
+                yield from self._exec(node.then, env)
+            elif node.orelse is not None:
+                yield from self._exec(node.orelse, env)
+        elif cls is A.For:
+            env.push()
+            try:
+                if node.init is not None:
+                    yield from self._exec(node.init, env)
+                while node.cond is None or is_truthy(self._eval(node.cond, env)):
+                    try:
+                        yield from self._exec(node.body, env)
+                    except _BreakSignal:
+                        break
+                    except _ContinueSignal:
+                        pass
+                    if node.step is not None:
+                        self._eval(node.step, env)
+            finally:
+                env.pop()
+        elif cls is A.While:
+            while is_truthy(self._eval(node.cond, env)):
+                try:
+                    yield from self._exec(node.body, env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+        elif cls is A.DoWhile:
+            while True:
+                try:
+                    yield from self._exec(node.body, env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                if not is_truthy(self._eval(node.cond, env)):
+                    break
+        elif cls is A.Return:
+            value = None if node.value is None else self._eval(node.value, env)
+            raise _ReturnSignal(value)
+        elif cls is A.Break:
+            raise _BreakSignal()
+        elif cls is A.Continue:
+            raise _ContinueSignal()
+        else:
+            raise InterpError("cannot execute %s" % cls.__name__, *node.loc)
+
+    def _exec_decl(self, var, env):
+        ctype = var.ctype
+        if var.address_space == T.AS_LOCAL:
+            # allocated per work-group before the items started; re-declaring
+            # here would give each item a private copy, so just skip.
+            return
+        if ctype.is_array():
+            mem = Memory(ctype.size, name="array:%s" % var.name)
+            pointer = Pointer(mem, 0, ctype.element, T.AS_PRIVATE)
+            if var.init is not None:
+                self._init_array(mem, ctype, var.init, env)
+            env.declare(var.name, _Cell(pointer, None))
+            return
+        if var.init is None:
+            value = default_value(ctype)
+        elif isinstance(var.init, A.VectorLit) and ctype.is_vector():
+            value = self._eval_vector_lit(var.init, ctype, env)
+        elif isinstance(var.init, A.VectorLit):
+            value = convert_value(self._eval(var.init.elements[0], env), ctype)
+        else:
+            value = self._eval(var.init, env)
+            value = value if ctype.is_pointer() else convert_value(value, ctype)
+            if ctype.is_pointer() and isinstance(value, Pointer):
+                value = value.reinterpret(ctype.pointee)
+        env.declare(var.name, _Cell(value, None if ctype.is_pointer() else ctype))
+
+    def _init_array(self, mem, ctype, init, env):
+        """Fill an array allocation from a braced initialiser list."""
+        flat = []
+
+        def flatten(node, elem_type):
+            for element in node.elements:
+                if isinstance(element, A.VectorLit) and elem_type.is_array():
+                    flatten(element, elem_type.element)
+                elif isinstance(element, A.VectorLit):
+                    flat.append(self._eval_vector_lit(element, elem_type, env))
+                else:
+                    flat.append(self._eval(element, env))
+
+        inner = ctype
+        while inner.is_array():
+            inner = inner.element
+        flatten(init, ctype.element)
+        offset = 0
+        for value in flat:
+            mem.store(offset, inner, convert_value(value, inner))
+            offset += inner.size
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _eval(self, node, env):
+        cls = type(node)
+        if cls is A.IntLit or cls is A.FloatLit:
+            return convert_value(node.value, node.ctype)
+        if cls is A.BoolLit:
+            return np.bool_(node.value)
+        if cls is A.Ident:
+            return env.cell(node.name).get()
+        if cls is A.BinOp:
+            return self._eval_binop(node, env)
+        if cls is A.UnaryOp:
+            return self._eval_unary(node, env)
+        if cls is A.PostfixOp:
+            ref = self._lvalue(node.operand, env)
+            old = ref.load()
+            ref.store(_step_value(old, +1 if node.op == "++" else -1))
+            return old
+        if cls is A.Assign:
+            return self._eval_assign(node, env)
+        if cls is A.Ternary:
+            if is_truthy(self._eval(node.cond, env)):
+                return self._eval(node.then, env)
+            return self._eval(node.orelse, env)
+        if cls is A.Call:
+            return self._eval_call(node, env)
+        if cls is A.Index:
+            return self._eval_index(node, env)
+        if cls is A.Member:
+            base = self._eval(node.base, env)
+            if not isinstance(base, np.ndarray):
+                raise InterpError("member access on non-vector", *node.loc)
+            lanes = swizzle_lanes(node.name, len(base))
+            if len(lanes) == 1:
+                return base[lanes[0]]
+            return base[lanes].copy()
+        if cls is A.Cast:
+            value = self._eval(node.expr, env)
+            if node.ctype.is_pointer() and isinstance(value, Pointer):
+                return value.reinterpret(node.ctype.pointee)
+            return convert_value(value, node.ctype)
+        if cls is A.VectorLit:
+            return self._eval_vector_lit(node, node.ctype, env)
+        if cls is A.SizeOf:
+            return np.uint64(node.target_type.size or 0)
+        raise InterpError("cannot evaluate %s" % cls.__name__, *node.loc)
+
+    def _eval_vector_lit(self, node, ctype, env):
+        values = [self._eval(e, env) for e in node.elements]
+        dtype = ctype.base.np_dtype
+        if len(values) == 1 and not isinstance(values[0], np.ndarray):
+            return np.full(ctype.lanes, convert_value(values[0], ctype.base), dtype=dtype)
+        lanes = []
+        for value in values:
+            if isinstance(value, np.ndarray):
+                lanes.extend(value.astype(dtype))
+            else:
+                lanes.append(convert_value(value, ctype.base))
+        if len(lanes) != ctype.lanes:
+            raise InterpError(
+                "vector literal provides %d lanes for %s" % (len(lanes), ctype.name),
+                *node.loc,
+            )
+        return np.array(lanes, dtype=dtype)
+
+    def _eval_binop(self, node, env):
+        op = node.op
+        if op == "&&":
+            if not is_truthy(self._eval(node.left, env)):
+                return np.int32(0)
+            return np.int32(1 if is_truthy(self._eval(node.right, env)) else 0)
+        if op == "||":
+            if is_truthy(self._eval(node.left, env)):
+                return np.int32(1)
+            return np.int32(1 if is_truthy(self._eval(node.right, env)) else 0)
+        left = self._eval(node.left, env)
+        right = self._eval(node.right, env)
+        return apply_binop(op, left, right, node.loc)
+
+    def _eval_unary(self, node, env):
+        op = node.op
+        if op in ("++", "--"):
+            ref = self._lvalue(node.operand, env)
+            new = _step_value(ref.load(), +1 if op == "++" else -1)
+            ref.store(new)
+            return ref.load()
+        if op == "&":
+            return self._address_of(node.operand, env)
+        if op == "*":
+            value = self._eval(node.operand, env)
+            if isinstance(value, Pointer):
+                return value.load()
+            raise InterpError("cannot dereference non-pointer", *node.loc)
+        value = self._eval(node.operand, env)
+        if op == "-":
+            with np.errstate(**_ERRSTATE):
+                return -value
+        if op == "+":
+            return value
+        if op == "!":
+            return np.int32(0 if is_truthy(value) else 1)
+        if op == "~":
+            return ~value
+        raise InterpError("unsupported unary %r" % op, *node.loc)
+
+    def _eval_assign(self, node, env):
+        ref = self._lvalue(node.target, env)
+        value = self._eval(node.value, env)
+        if node.op != "=":
+            binop = node.op[:-1]
+            value = apply_binop(binop, ref.load(), value, node.loc)
+        ref.store(value)
+        return ref.load()
+
+    def _eval_call(self, node, env):
+        name = node.name
+        if name == "__comma__":
+            result = None
+            for arg in node.args:
+                result = self._eval(arg, env)
+            return result
+        wi = env.workitem
+        if name == "get_global_id":
+            return np.uint64(_dim_lookup(wi.global_id, self._eval(node.args[0], env)))
+        if name == "get_local_id":
+            return np.uint64(_dim_lookup(wi.local_id, self._eval(node.args[0], env)))
+        if name == "get_group_id":
+            return np.uint64(_dim_lookup(wi.group_id, self._eval(node.args[0], env)))
+        if name == "get_global_size":
+            return np.uint64(_dim_lookup(wi.global_size, self._eval(node.args[0], env), 1))
+        if name == "get_local_size":
+            return np.uint64(_dim_lookup(wi.local_size, self._eval(node.args[0], env), 1))
+        if name == "get_num_groups":
+            return np.uint64(_dim_lookup(wi.num_groups, self._eval(node.args[0], env), 1))
+        if name == "get_global_offset":
+            return np.uint64(_dim_lookup(wi.offset, self._eval(node.args[0], env)))
+        if name == "get_work_dim":
+            return np.uint32(wi.dim)
+        if name == "barrier":
+            raise InterpError(
+                "barrier() may only appear in statement position", *node.loc
+            )
+        info = self.functions.get(name)
+        if info is not None:
+            args = [self._eval(arg, env) for arg in node.args]
+            return self._invoke(info, args, wi)
+        if name in BUILTIN_NAMES:
+            args = [self._eval(arg, env) for arg in node.args]
+            result_type = getattr(node, "ctype", None)
+            if result_type is None:
+                result_type = infer_result_type(name, args)
+            return call_builtin(name, args, result_type)
+        raise InterpError("call to unknown function %r" % name, *node.loc)
+
+    def _eval_index(self, node, env):
+        base = self._eval(node.base, env)
+        index = self._eval(node.index, env)
+        if isinstance(base, Pointer):
+            if base.ctype.is_array():
+                row = base.ctype
+                return Pointer(
+                    base.memory,
+                    base.offset + int(index) * row.size,
+                    row.element,
+                    base.address_space,
+                )
+            return base.load(index)
+        if isinstance(base, np.ndarray):
+            return base[int(index)]
+        raise InterpError("cannot index %r" % type(base).__name__, *node.loc)
+
+    # -- lvalues -------------------------------------------------------------------
+
+    def _lvalue(self, node, env):
+        cls = type(node)
+        if cls is A.Ident:
+            return _VarRef(env.cell(node.name))
+        if cls is A.Index:
+            base = self._eval(node.base, env)
+            index = self._eval(node.index, env)
+            if isinstance(base, Pointer):
+                if base.ctype.is_array():
+                    raise InterpError("cannot assign a whole array", *node.loc)
+                return _MemRef(base, index)
+            if isinstance(base, np.ndarray):
+                return _LaneRef(self._lvalue(node.base, env), [int(index)])
+            raise InterpError("bad assignment target", *node.loc)
+        if cls is A.Member:
+            base_ref = self._lvalue(node.base, env)
+            vec = base_ref.load()
+            if not isinstance(vec, np.ndarray):
+                raise InterpError("member assignment on non-vector", *node.loc)
+            return _LaneRef(base_ref, swizzle_lanes(node.name, len(vec)))
+        if cls is A.UnaryOp and node.op == "*":
+            pointer = self._eval(node.operand, env)
+            if not isinstance(pointer, Pointer):
+                raise InterpError("cannot dereference non-pointer", *node.loc)
+            return _MemRef(pointer, 0)
+        raise InterpError("expression is not assignable", *node.loc)
+
+    def _address_of(self, node, env):
+        if isinstance(node, A.Index):
+            ref = self._lvalue(node, env)
+            if isinstance(ref, _MemRef):
+                return ref.pointer.add(ref.index)
+            raise InterpError("cannot take address of vector lane", *node.loc)
+        if isinstance(node, A.Ident):
+            cell = env.cell(node.name)
+            if isinstance(cell, _MemCell):
+                return cell.pointer
+            value = cell.get()
+            if isinstance(value, Pointer):  # array name: already an address
+                return value
+            # Promote the variable into memory so the pointer stays coherent.
+            ctype = cell.ctype or ctype_of_value(value)
+            mem = Memory(ctype.size, name="addr:%s" % node.name)
+            mem.store(0, ctype, value)
+            promoted = _MemCell(Pointer(mem, 0, ctype, T.AS_PRIVATE), ctype)
+            for scope in reversed(env.scopes):
+                if scope.get(node.name) is cell:
+                    scope[node.name] = promoted
+                    break
+            return promoted.pointer
+        raise InterpError("cannot take address of this expression", *node.loc)
+
+
+_DONE = object()
+
+
+def _dim_lookup(values, index, default=0):
+    index = int(index)
+    if 0 <= index < len(values):
+        return values[index]
+    return default
+
+
+def _step_value(value, delta):
+    if isinstance(value, Pointer):
+        return value.add(delta)
+    with np.errstate(**_ERRSTATE):
+        return value + type(value)(delta)
+
+
+def _as_dims(value):
+    if isinstance(value, (int, np.integer)):
+        return (int(value),)
+    dims = tuple(int(v) for v in value)
+    if not 1 <= len(dims) <= 3:
+        raise InterpError("work dimensions must be 1..3, got %d" % len(dims))
+    return dims
+
+
+def _local_decls(body):
+    """Find __local declarations at kernel top-level scope."""
+    for stmt in body.stmts:
+        if isinstance(stmt, A.DeclStmt):
+            yield stmt
+
+
+# -- C operator semantics ------------------------------------------------------
+
+
+def apply_binop(op, left, right, loc=(None, None)):
+    """Apply a C binary operator with C conversion/truncation semantics."""
+    if isinstance(left, Pointer) or isinstance(right, Pointer):
+        return _pointer_binop(op, left, right, loc)
+    lvec = isinstance(left, np.ndarray)
+    rvec = isinstance(right, np.ndarray)
+    with np.errstate(**_ERRSTATE):
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            result = _COMPARE[op](left, right)
+            if lvec or rvec:
+                itype = _int_type_for(left if lvec else right)
+                return np.where(result, itype(-1), itype(0))
+            return np.int32(1 if result else 0)
+        if op == "/":
+            return _c_divide(left, right)
+        if op == "%":
+            return _c_modulo(left, right)
+        if op in ("<<", ">>"):
+            if isinstance(right, np.ndarray):
+                shift = (right.astype(np.int64) & 63).astype(
+                    left.dtype if isinstance(left, np.ndarray) else np.int64
+                )
+            else:
+                shift = int(right) & 63
+            return _COMPUTE[op](left, shift)
+        fn = _COMPUTE.get(op)
+        if fn is None:
+            raise InterpError("unsupported operator %r" % op, *loc)
+        return fn(left, right)
+
+
+def _int_type_for(vec):
+    size = vec.dtype.itemsize
+    return {1: np.int8, 2: np.int16, 4: np.int32, 8: np.int64}[size]
+
+
+_COMPARE = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_COMPUTE = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+}
+
+
+def _is_int_value(value):
+    if isinstance(value, np.ndarray):
+        return value.dtype.kind in "iu"
+    return isinstance(value, (int, np.integer, bool, np.bool_))
+
+
+def _c_divide(left, right):
+    if _is_int_value(left) and _is_int_value(right):
+        if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+            promoted = np.asarray(left) + np.zeros_like(np.asarray(right))
+            divisor = np.asarray(right)
+            if np.any(divisor == 0):
+                raise InterpError("integer division by zero")
+            quotient = np.trunc(np.asarray(left, dtype=np.float64) / divisor)
+            return quotient.astype(promoted.dtype)
+        if int(right) == 0:
+            raise InterpError("integer division by zero")
+        promoted = left + type(right)(0) if isinstance(right, np.generic) else left
+        quotient = abs(int(left)) // abs(int(right))
+        if (int(left) < 0) != (int(right) < 0):
+            quotient = -quotient
+        result_type = type(left + right)
+        return result_type(quotient)
+    return left / right
+
+
+def _c_modulo(left, right):
+    if _is_int_value(left) and _is_int_value(right):
+        quotient = _c_divide(left, right)
+        return left - quotient * right
+    return np.fmod(left, right)
+
+
+def _pointer_binop(op, left, right, loc):
+    if op == "+" and isinstance(left, Pointer):
+        return left.add(right)
+    if op == "+" and isinstance(right, Pointer):
+        return right.add(left)
+    if op == "-" and isinstance(left, Pointer) and not isinstance(right, Pointer):
+        return left.add(-int(right))
+    if op == "-" and isinstance(left, Pointer) and isinstance(right, Pointer):
+        return np.int64((left.offset - right.offset) // left.ctype.size)
+    if op in ("==", "!="):
+        same = (
+            isinstance(left, Pointer)
+            and isinstance(right, Pointer)
+            and left.memory is right.memory
+            and left.offset == right.offset
+        )
+        if op == "==":
+            return np.int32(1 if same else 0)
+        return np.int32(0 if same else 1)
+    raise InterpError("invalid pointer operation %r" % op, *loc)
+
+
+def run_kernel(program, name, args, global_size, local_size=None, global_offset=None):
+    """Module-level convenience wrapper around :class:`Interpreter`."""
+    Interpreter(program).run_kernel(name, args, global_size, local_size, global_offset)

@@ -1,0 +1,241 @@
+"""Tokeniser for the OpenCL C subset.
+
+Produces a flat list of :class:`Token` objects with source positions.
+Comments are stripped here; preprocessor directives are handled by
+:mod:`repro.clc.preprocessor` before tokens reach the parser.
+"""
+
+from repro.clc.errors import LexError
+
+# Token kinds
+IDENT = "ident"
+KEYWORD = "keyword"
+INT_LIT = "int"
+FLOAT_LIT = "float"
+CHAR_LIT = "char"
+STRING_LIT = "string"
+PUNCT = "punct"
+EOF = "eof"
+
+KEYWORDS = frozenset(
+    """
+    void bool char uchar short ushort int uint long ulong float double half
+    size_t ptrdiff_t intptr_t uintptr_t unsigned signed
+    if else for while do return break continue switch case default goto
+    const restrict volatile static inline extern register
+    struct union enum typedef sizeof
+    __kernel kernel __global global __local local __constant constant
+    __private private __attribute__ __read_only __write_only
+    true false
+    """.split()
+)
+
+# Longest-first so maximal munch works with a simple linear scan.
+PUNCTUATORS = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+]
+
+_PUNCT_BY_FIRST = {}
+for _p in PUNCTUATORS:
+    _PUNCT_BY_FIRST.setdefault(_p[0], []).append(_p)
+
+
+class Token:
+    """One lexical token with its source position."""
+
+    __slots__ = ("kind", "value", "line", "col")
+
+    def __init__(self, kind, value, line, col):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.col = col
+
+    def __repr__(self):
+        return "Token(%s, %r, %d:%d)" % (self.kind, self.value, self.line, self.col)
+
+    def is_punct(self, value):
+        return self.kind == PUNCT and self.value == value
+
+    def is_keyword(self, value):
+        return self.kind == KEYWORD and self.value == value
+
+
+def _is_ident_start(ch):
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch):
+    return ch.isalnum() or ch == "_"
+
+
+class Lexer:
+    """Single-pass tokeniser over preprocessed source text."""
+
+    def __init__(self, text, filename="<kernel>"):
+        self.text = text
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def error(self, message):
+        raise LexError(message, self.line, self.col)
+
+    def _advance(self, n=1):
+        for _ in range(n):
+            if self.pos < len(self.text) and self.text[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _peek(self, offset=0):
+        # NUL sentinel at EOF: unlike "", it is never `in` a character set,
+        # which keeps membership tests like `self._peek() in "eE"` safe.
+        i = self.pos + offset
+        return self.text[i] if i < len(self.text) else "\x00"
+
+    def tokenize(self):
+        """Return the full token list, terminated by an EOF token."""
+        tokens = []
+        while True:
+            tok = self._next_token()
+            tokens.append(tok)
+            if tok.kind == EOF:
+                return tokens
+
+    def _skip_trivia(self):
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    self.error("unterminated block comment")
+            else:
+                return
+
+    def _next_token(self):
+        self._skip_trivia()
+        line, col = self.line, self.col
+        if self.pos >= len(self.text):
+            return Token(EOF, "", line, col)
+        ch = self._peek()
+        if _is_ident_start(ch):
+            return self._lex_ident(line, col)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, col)
+        if ch == '"':
+            return self._lex_string(line, col)
+        if ch == "'":
+            return self._lex_char(line, col)
+        for cand in _PUNCT_BY_FIRST.get(ch, ()):
+            if self.text.startswith(cand, self.pos):
+                self._advance(len(cand))
+                return Token(PUNCT, cand, line, col)
+        self.error("unexpected character %r" % ch)
+
+    def _lex_ident(self, line, col):
+        start = self.pos
+        while self.pos < len(self.text) and _is_ident_char(self._peek()):
+            self._advance()
+        name = self.text[start : self.pos]
+        kind = KEYWORD if name in KEYWORDS else IDENT
+        return Token(kind, name, line, col)
+
+    def _lex_number(self, line, col):
+        start = self.pos
+        text = self.text
+        is_float = False
+        if text.startswith(("0x", "0X"), self.pos):
+            self._advance(2)
+            while self.pos < len(text) and (self._peek() in "0123456789abcdefABCDEF"):
+                self._advance()
+        else:
+            while self.pos < len(text) and self._peek().isdigit():
+                self._advance()
+            if self._peek() == ".":
+                is_float = True
+                self._advance()
+                while self.pos < len(text) and self._peek().isdigit():
+                    self._advance()
+            if self._peek() in "eE" and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                is_float = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+                while self.pos < len(text) and self._peek().isdigit():
+                    self._advance()
+        body = text[start : self.pos]
+        suffix = ""
+        while self._peek() in "uUlLfF":
+            suffix += self._peek()
+            self._advance()
+        if "f" in suffix.lower() and not body.lower().startswith("0x"):
+            is_float = True
+        if is_float:
+            return Token(FLOAT_LIT, (float(body), suffix.lower()), line, col)
+        value = int(body, 0)
+        return Token(INT_LIT, (value, suffix.lower()), line, col)
+
+    def _lex_string(self, line, col):
+        self._advance()  # opening quote
+        out = []
+        while True:
+            if self.pos >= len(self.text):
+                self.error("unterminated string literal")
+            ch = self._peek()
+            if ch == '"':
+                self._advance()
+                return Token(STRING_LIT, "".join(out), line, col)
+            if ch == "\\":
+                self._advance()
+                out.append(self._escape(self._peek()))
+                self._advance()
+            else:
+                out.append(ch)
+                self._advance()
+
+    def _lex_char(self, line, col):
+        self._advance()  # opening quote
+        ch = self._peek()
+        if ch == "\\":
+            self._advance()
+            value = ord(self._escape(self._peek()))
+            self._advance()
+        else:
+            value = ord(ch)
+            self._advance()
+        if self._peek() != "'":
+            self.error("unterminated char literal")
+        self._advance()
+        return Token(CHAR_LIT, value, line, col)
+
+    @staticmethod
+    def _escape(ch):
+        return {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", "'": "'", '"': '"'}.get(
+            ch, ch
+        )
+
+
+def tokenize(text, filename="<kernel>"):
+    """Convenience wrapper: tokenize preprocessed source text."""
+    return Lexer(text, filename).tokenize()

@@ -1,0 +1,611 @@
+"""Recursive-descent parser for the OpenCL C subset.
+
+Grammar coverage: function definitions (kernel and helper), multi-variable
+declarations with initialisers, multi-dimensional arrays, all C control
+flow (if/for/while/do-while/break/continue/return), the full C expression
+grammar (precedence climbing), casts, vector constructors such as
+``(float4)(a, b, c, d)``, sizeof, and vector member/swizzle access.
+
+Structs, unions, enums, typedefs, switch and goto are intentionally out of
+scope; the parser reports them with a clear error instead of misparsing.
+"""
+
+from repro.clc import ast_nodes as A
+from repro.clc import types as T
+from repro.clc.errors import ParseError
+from repro.clc.lexer import (
+    CHAR_LIT,
+    EOF,
+    FLOAT_LIT,
+    IDENT,
+    INT_LIT,
+    KEYWORD,
+    PUNCT,
+    tokenize,
+)
+
+_ADDRESS_SPACE_KEYWORDS = {
+    "__global": T.AS_GLOBAL,
+    "global": T.AS_GLOBAL,
+    "__local": T.AS_LOCAL,
+    "local": T.AS_LOCAL,
+    "__constant": T.AS_CONSTANT,
+    "constant": T.AS_CONSTANT,
+    "__private": T.AS_PRIVATE,
+    "private": T.AS_PRIVATE,
+}
+
+_IGNORED_QUALIFIERS = frozenset(
+    ["const", "restrict", "volatile", "static", "inline", "extern", "register",
+     "__read_only", "__write_only"]
+)
+
+_UNSUPPORTED = frozenset(["struct", "union", "enum", "typedef", "switch", "goto", "half"])
+
+_ASSIGN_OPS = frozenset(["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="])
+
+# binary operator precedence, higher binds tighter
+_BINOP_PRECEDENCE = {
+    "*": 10, "/": 10, "%": 10,
+    "+": 9, "-": 9,
+    "<<": 8, ">>": 8,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "==": 6, "!=": 6,
+    "&": 5,
+    "^": 4,
+    "|": 3,
+    "&&": 2,
+    "||": 1,
+}
+
+
+class Parser:
+    """Token-stream parser producing a :class:`repro.clc.ast_nodes.TranslationUnit`."""
+
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self, offset=0):
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def advance(self):
+        tok = self.tokens[self.pos]
+        if tok.kind != EOF:
+            self.pos += 1
+        return tok
+
+    def error(self, message, tok=None):
+        tok = tok or self.peek()
+        raise ParseError(message, tok.line, tok.col)
+
+    def expect_punct(self, value):
+        tok = self.peek()
+        if not tok.is_punct(value):
+            self.error("expected %r, found %r" % (value, tok.value))
+        return self.advance()
+
+    def accept_punct(self, value):
+        if self.peek().is_punct(value):
+            return self.advance()
+        return None
+
+    def loc(self):
+        tok = self.peek()
+        return (tok.line, tok.col)
+
+    # -- types --------------------------------------------------------------
+
+    def at_type(self, offset=0):
+        """True when the token at ``offset`` begins a type specifier."""
+        tok = self.peek(offset)
+        if tok.kind == KEYWORD:
+            if tok.value in _ADDRESS_SPACE_KEYWORDS or tok.value in _IGNORED_QUALIFIERS:
+                return True
+            if tok.value in ("unsigned", "signed"):
+                return True
+            return T.is_type_name(tok.value)
+        if tok.kind == IDENT:
+            return T.is_type_name(tok.value)
+        return False
+
+    def parse_type_specifier(self):
+        """Parse qualifiers + base type; returns (ctype, address_space)."""
+        address_space = None
+        while True:
+            tok = self.peek()
+            if tok.kind == KEYWORD and tok.value in _ADDRESS_SPACE_KEYWORDS:
+                address_space = _ADDRESS_SPACE_KEYWORDS[tok.value]
+                self.advance()
+            elif tok.kind == KEYWORD and tok.value in _IGNORED_QUALIFIERS:
+                self.advance()
+            else:
+                break
+        base = self._parse_base_type()
+        # trailing qualifiers (e.g. "float const")
+        while self.peek().kind == KEYWORD and self.peek().value in _IGNORED_QUALIFIERS:
+            self.advance()
+        return base, address_space
+
+    def _parse_base_type(self):
+        tok = self.peek()
+        if tok.kind == KEYWORD and tok.value in _UNSUPPORTED:
+            self.error("%r is not supported by this OpenCL C subset" % tok.value)
+        if tok.kind == KEYWORD and tok.value in ("unsigned", "signed"):
+            signed = tok.value == "signed"
+            self.advance()
+            nxt = self.peek()
+            base_name = "int"
+            if nxt.kind == KEYWORD and nxt.value in ("char", "short", "int", "long"):
+                base_name = nxt.value
+                self.advance()
+            if signed:
+                return T.scalar_type(base_name)
+            return {
+                "char": T.UCHAR, "short": T.USHORT, "int": T.UINT, "long": T.ULONG,
+            }[base_name]
+        if tok.kind in (KEYWORD, IDENT):
+            ctype = T.type_by_name(tok.value)
+            if ctype is not None:
+                self.advance()
+                if tok.value == "long" and self.peek().is_keyword("long"):
+                    self.advance()  # "long long" == long
+                return ctype
+        self.error("expected a type, found %r" % tok.value)
+
+    def _wrap_pointers(self, ctype, address_space):
+        while self.accept_punct("*"):
+            ctype = T.PointerType(ctype, address_space or T.AS_PRIVATE)
+            while self.peek().kind == KEYWORD and self.peek().value in _IGNORED_QUALIFIERS:
+                self.advance()
+        return ctype
+
+    # -- top level ------------------------------------------------------------
+
+    def parse_translation_unit(self):
+        decls = []
+        while self.peek().kind != EOF:
+            decls.append(self._parse_external_decl())
+        return A.TranslationUnit(decls)
+
+    def _parse_external_decl(self):
+        loc = self.loc()
+        is_kernel = False
+        attributes = {}
+        while True:
+            tok = self.peek()
+            if tok.kind == KEYWORD and tok.value in ("__kernel", "kernel"):
+                is_kernel = True
+                self.advance()
+            elif tok.kind == KEYWORD and tok.value == "__attribute__":
+                self.advance()
+                attributes.update(self._parse_attribute())
+            else:
+                break
+        base, address_space = self.parse_type_specifier()
+        ctype = self._wrap_pointers(base, address_space)
+        name_tok = self.peek()
+        if name_tok.kind != IDENT:
+            self.error("expected function or variable name")
+        self.advance()
+        if self.peek().is_punct("("):
+            return self._parse_function(name_tok.value, ctype, is_kernel, attributes, loc)
+        # global __constant declarations
+        decls = [self._finish_var_decl(name_tok.value, ctype, address_space or T.AS_CONSTANT, loc)]
+        while self.accept_punct(","):
+            decls.append(self._parse_one_declarator(base, address_space or T.AS_CONSTANT))
+        self.expect_punct(";")
+        return A.DeclStmt(decls, loc)
+
+    def _parse_attribute(self):
+        """Parse __attribute__((...)); captures reqd_work_group_size."""
+        attributes = {}
+        self.expect_punct("(")
+        self.expect_punct("(")
+        depth = 2
+        collected = []
+        while depth > 0:
+            tok = self.advance()
+            if tok.kind == EOF:
+                self.error("unterminated __attribute__")
+            if tok.is_punct("("):
+                depth += 1
+            elif tok.is_punct(")"):
+                depth -= 1
+                if depth == 0:
+                    break
+            collected.append(tok)
+        text = " ".join(str(t.value) for t in collected)
+        if "reqd_work_group_size" in text:
+            sizes = [t.value[0] for t in collected if t.kind == INT_LIT]
+            if sizes:
+                attributes["reqd_work_group_size"] = tuple(sizes)
+        return attributes
+
+    def _parse_function(self, name, return_type, is_kernel, attributes, loc):
+        self.expect_punct("(")
+        params = []
+        if not self.peek().is_punct(")"):
+            while True:
+                params.append(self._parse_param())
+                if not self.accept_punct(","):
+                    break
+        self.expect_punct(")")
+        while self.peek().is_keyword("__attribute__"):
+            self.advance()
+            attributes.update(self._parse_attribute())
+        if self.accept_punct(";"):
+            body = None  # prototype
+        else:
+            body = self.parse_compound()
+        return A.FunctionDef(name, return_type, params, body, is_kernel, attributes, loc)
+
+    def _parse_param(self):
+        loc = self.loc()
+        if self.peek().is_keyword("void") and self.peek(1).is_punct(")"):
+            self.advance()
+            return A.ParamDecl("<void>", T.VOID, loc)
+        base, address_space = self.parse_type_specifier()
+        ctype = self._wrap_pointers(base, address_space)
+        name = "<anon>"
+        if self.peek().kind == IDENT:
+            name = self.advance().value
+        while self.accept_punct("["):
+            # array parameter decays to pointer
+            if not self.peek().is_punct("]"):
+                self.parse_expression()
+            self.expect_punct("]")
+            ctype = T.PointerType(ctype, address_space or T.AS_PRIVATE)
+        return A.ParamDecl(name, ctype, loc)
+
+    # -- statements -------------------------------------------------------------
+
+    def parse_compound(self):
+        loc = self.loc()
+        self.expect_punct("{")
+        stmts = []
+        while not self.peek().is_punct("}"):
+            if self.peek().kind == EOF:
+                self.error("unterminated block")
+            stmts.append(self.parse_statement())
+        self.expect_punct("}")
+        return A.Compound(stmts, loc)
+
+    def parse_statement(self):
+        tok = self.peek()
+        loc = self.loc()
+        if tok.is_punct("{"):
+            return self.parse_compound()
+        if tok.is_punct(";"):
+            self.advance()
+            return A.Compound([], loc)
+        if tok.kind == KEYWORD:
+            if tok.value in _UNSUPPORTED:
+                self.error("%r statements are not supported" % tok.value)
+            if tok.value == "if":
+                return self._parse_if()
+            if tok.value == "for":
+                return self._parse_for()
+            if tok.value == "while":
+                return self._parse_while()
+            if tok.value == "do":
+                return self._parse_do_while()
+            if tok.value == "return":
+                self.advance()
+                value = None if self.peek().is_punct(";") else self.parse_expression()
+                self.expect_punct(";")
+                return A.Return(value, loc)
+            if tok.value == "break":
+                self.advance()
+                self.expect_punct(";")
+                return A.Break(loc)
+            if tok.value == "continue":
+                self.advance()
+                self.expect_punct(";")
+                return A.Continue(loc)
+        if self.at_type():
+            stmt = self._parse_declaration()
+            self.expect_punct(";")
+            return stmt
+        expr = self.parse_expression()
+        self.expect_punct(";")
+        return A.ExprStmt(expr, loc)
+
+    def _parse_declaration(self):
+        """Parse a declaration up to (not including) the terminating ';'."""
+        loc = self.loc()
+        base, address_space = self.parse_type_specifier()
+        decls = [self._parse_one_declarator(base, address_space)]
+        while self.accept_punct(","):
+            decls.append(self._parse_one_declarator(base, address_space))
+        return A.DeclStmt(decls, loc)
+
+    def _parse_one_declarator(self, base, address_space):
+        loc = self.loc()
+        ctype = self._wrap_pointers(base, address_space)
+        name_tok = self.peek()
+        if name_tok.kind != IDENT:
+            self.error("expected variable name")
+        self.advance()
+        return self._finish_var_decl(name_tok.value, ctype, address_space, loc)
+
+    def _finish_var_decl(self, name, ctype, address_space, loc):
+        dims = []
+        while self.accept_punct("["):
+            dims.append(self.parse_expression())
+            self.expect_punct("]")
+        for dim in reversed(dims):
+            length = _const_int(dim)
+            if length is None:
+                self.error("array dimensions must be integer constants")
+            ctype = T.ArrayType(ctype, length)
+        init = None
+        if self.accept_punct("="):
+            if self.peek().is_punct("{"):
+                init = self._parse_initializer_list()
+            else:
+                init = self.parse_assignment()
+        return A.VarDecl(name, ctype, init, address_space or T.AS_PRIVATE, loc)
+
+    def _parse_initializer_list(self):
+        loc = self.loc()
+        self.expect_punct("{")
+        elements = []
+        if not self.peek().is_punct("}"):
+            while True:
+                if self.peek().is_punct("{"):
+                    elements.append(self._parse_initializer_list())
+                else:
+                    elements.append(self.parse_assignment())
+                if not self.accept_punct(","):
+                    break
+        self.expect_punct("}")
+        return A.VectorLit(None, elements, loc)  # ctype filled by sema from decl
+
+    def _parse_if(self):
+        loc = self.loc()
+        self.advance()
+        self.expect_punct("(")
+        cond = self.parse_expression()
+        self.expect_punct(")")
+        then = self.parse_statement()
+        orelse = None
+        if self.peek().is_keyword("else"):
+            self.advance()
+            orelse = self.parse_statement()
+        return A.If(cond, then, orelse, loc)
+
+    def _parse_for(self):
+        loc = self.loc()
+        self.advance()
+        self.expect_punct("(")
+        init = None
+        if not self.peek().is_punct(";"):
+            if self.at_type():
+                init = self._parse_declaration()
+            else:
+                init = A.ExprStmt(self._parse_comma_expr(), loc)
+        self.expect_punct(";")
+        cond = None if self.peek().is_punct(";") else self.parse_expression()
+        self.expect_punct(";")
+        step = None if self.peek().is_punct(")") else self._parse_comma_expr()
+        self.expect_punct(")")
+        body = self.parse_statement()
+        return A.For(init, cond, step, body, loc)
+
+    def _parse_comma_expr(self):
+        """Comma-separated expression list (for-init/step); returns last value."""
+        loc = self.loc()
+        exprs = [self.parse_expression()]
+        while self.accept_punct(","):
+            exprs.append(self.parse_expression())
+        if len(exprs) == 1:
+            return exprs[0]
+        return A.Call("__comma__", exprs, loc)
+
+    def _parse_while(self):
+        loc = self.loc()
+        self.advance()
+        self.expect_punct("(")
+        cond = self.parse_expression()
+        self.expect_punct(")")
+        body = self.parse_statement()
+        return A.While(cond, body, loc)
+
+    def _parse_do_while(self):
+        loc = self.loc()
+        self.advance()
+        body = self.parse_statement()
+        if not self.peek().is_keyword("while"):
+            self.error("expected 'while' after do-body")
+        self.advance()
+        self.expect_punct("(")
+        cond = self.parse_expression()
+        self.expect_punct(")")
+        self.expect_punct(";")
+        return A.DoWhile(body, cond, loc)
+
+    # -- expressions -------------------------------------------------------------
+
+    def parse_expression(self):
+        return self.parse_assignment()
+
+    def parse_assignment(self):
+        left = self._parse_ternary()
+        tok = self.peek()
+        if tok.kind == PUNCT and tok.value in _ASSIGN_OPS:
+            self.advance()
+            value = self.parse_assignment()
+            return A.Assign(tok.value, left, value, (tok.line, tok.col))
+        return left
+
+    def _parse_ternary(self):
+        cond = self._parse_binary(1)
+        if self.accept_punct("?"):
+            loc = self.loc()
+            then = self.parse_assignment()
+            self.expect_punct(":")
+            orelse = self.parse_assignment()
+            return A.Ternary(cond, then, orelse, loc)
+        return cond
+
+    def _parse_binary(self, min_prec):
+        left = self._parse_unary()
+        while True:
+            tok = self.peek()
+            if tok.kind != PUNCT:
+                return left
+            prec = _BINOP_PRECEDENCE.get(tok.value)
+            if prec is None or prec < min_prec:
+                return left
+            self.advance()
+            right = self._parse_binary(prec + 1)
+            left = A.BinOp(tok.value, left, right, (tok.line, tok.col))
+
+    def _parse_unary(self):
+        tok = self.peek()
+        loc = (tok.line, tok.col)
+        if tok.kind == PUNCT and tok.value in ("-", "+", "!", "~", "*", "&"):
+            self.advance()
+            return A.UnaryOp(tok.value, self._parse_unary(), loc)
+        if tok.kind == PUNCT and tok.value in ("++", "--"):
+            self.advance()
+            return A.UnaryOp(tok.value, self._parse_unary(), loc)
+        if tok.is_keyword("sizeof"):
+            self.advance()
+            if self.peek().is_punct("(") and self.at_type(1):
+                self.expect_punct("(")
+                base, address_space = self.parse_type_specifier()
+                ctype = self._wrap_pointers(base, address_space)
+                self.expect_punct(")")
+                return A.SizeOf(ctype, loc)
+            operand = self._parse_unary()
+            return A.SizeOf(getattr(operand, "ctype", T.INT), loc)
+        if tok.is_punct("(") and self.at_type(1):
+            return self._parse_cast_or_vector(loc)
+        return self._parse_postfix()
+
+    def _parse_cast_or_vector(self, loc):
+        self.expect_punct("(")
+        base, address_space = self.parse_type_specifier()
+        ctype = self._wrap_pointers(base, address_space)
+        self.expect_punct(")")
+        if ctype.is_vector() and self.peek().is_punct("("):
+            self.expect_punct("(")
+            elements = [self.parse_assignment()]
+            while self.accept_punct(","):
+                elements.append(self.parse_assignment())
+            self.expect_punct(")")
+            return A.VectorLit(ctype, elements, loc)
+        return A.Cast(ctype, self._parse_unary(), loc)
+
+    def _parse_postfix(self):
+        expr = self._parse_primary()
+        while True:
+            tok = self.peek()
+            loc = (tok.line, tok.col)
+            if tok.is_punct("["):
+                self.advance()
+                index = self.parse_expression()
+                self.expect_punct("]")
+                expr = A.Index(expr, index, loc)
+            elif tok.is_punct("."):
+                self.advance()
+                name_tok = self.peek()
+                if name_tok.kind not in (IDENT, KEYWORD):
+                    self.error("expected member name after '.'")
+                self.advance()
+                expr = A.Member(expr, name_tok.value, loc)
+            elif tok.is_punct("++") or tok.is_punct("--"):
+                self.advance()
+                expr = A.PostfixOp(tok.value, expr, loc)
+            elif tok.is_punct("(") and isinstance(expr, A.Ident):
+                self.advance()
+                args = []
+                if not self.peek().is_punct(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept_punct(","):
+                            break
+                self.expect_punct(")")
+                expr = A.Call(expr.name, args, loc)
+            else:
+                return expr
+
+    def _parse_primary(self):
+        tok = self.peek()
+        loc = (tok.line, tok.col)
+        if tok.kind == INT_LIT:
+            self.advance()
+            value, suffix = tok.value
+            ctype = _int_literal_type(value, suffix)
+            return A.IntLit(value, ctype, loc)
+        if tok.kind == FLOAT_LIT:
+            self.advance()
+            value, suffix = tok.value
+            ctype = T.FLOAT if "f" in suffix else T.DOUBLE
+            return A.FloatLit(value, ctype, loc)
+        if tok.kind == CHAR_LIT:
+            self.advance()
+            return A.IntLit(tok.value, T.INT, loc)
+        if tok.is_keyword("true"):
+            self.advance()
+            return A.BoolLit(True, loc)
+        if tok.is_keyword("false"):
+            self.advance()
+            return A.BoolLit(False, loc)
+        if tok.kind == IDENT:
+            self.advance()
+            return A.Ident(tok.value, loc)
+        if tok.is_punct("("):
+            self.advance()
+            expr = self.parse_expression()
+            self.expect_punct(")")
+            return expr
+        self.error("unexpected token %r" % (tok.value,))
+
+
+def _int_literal_type(value, suffix):
+    unsigned = "u" in suffix
+    long_ = "l" in suffix
+    if long_:
+        return T.ULONG if unsigned else T.LONG
+    if unsigned:
+        return T.UINT if value <= 0xFFFFFFFF else T.ULONG
+    if value <= 0x7FFFFFFF:
+        return T.INT
+    return T.LONG
+
+
+def _const_int(expr):
+    """Fold a constant integer expression used as an array dimension."""
+    if isinstance(expr, A.IntLit):
+        return expr.value
+    if isinstance(expr, A.BinOp):
+        left = _const_int(expr.left)
+        right = _const_int(expr.right)
+        if left is None or right is None:
+            return None
+        ops = {
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a // b if b else None,
+            "%": lambda a, b: a % b if b else None,
+            "<<": lambda a, b: a << b,
+            ">>": lambda a, b: a >> b,
+        }
+        fn = ops.get(expr.op)
+        return fn(left, right) if fn else None
+    if isinstance(expr, A.UnaryOp) and expr.op == "-":
+        inner = _const_int(expr.operand)
+        return None if inner is None else -inner
+    return None
+
+
+def parse(text):
+    """Parse preprocessed OpenCL C source text into a TranslationUnit."""
+    return Parser(tokenize(text)).parse_translation_unit()

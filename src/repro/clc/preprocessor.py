@@ -1,0 +1,278 @@
+"""Minimal C preprocessor for OpenCL C kernels.
+
+Supports the directives real Rodinia/SHOC kernels rely on:
+
+- ``#define NAME value`` (object-like macros)
+- ``#define NAME(a, b) body`` (function-like macros)
+- ``#undef``
+- ``#ifdef`` / ``#ifndef`` / ``#else`` / ``#endif`` and ``#if 0`` / ``#if 1``
+- backslash line continuations
+- ``#pragma`` (ignored)
+
+Build options of the ``-D NAME=value`` form (as passed to
+``clBuildProgram``) seed the macro table, which is how OpenCL hosts
+traditionally parameterise kernels such as BLOCK_SIZE.
+"""
+
+import re
+
+from repro.clc.errors import PreprocessorError
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+class Macro:
+    """One macro definition; ``params`` is None for object-like macros."""
+
+    __slots__ = ("name", "params", "body")
+
+    def __init__(self, name, params, body):
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+def parse_build_options(options):
+    """Extract ``-D`` macro definitions from a clBuildProgram options string.
+
+    Returns a dict mapping macro name to replacement text.  Unknown
+    options (``-cl-fast-relaxed-math`` and friends) are ignored, matching
+    how permissive real drivers are.
+    """
+    defines = {}
+    if not options:
+        return defines
+    parts = options.split()
+    i = 0
+    while i < len(parts):
+        part = parts[i]
+        if part == "-D" and i + 1 < len(parts):
+            _add_define(defines, parts[i + 1])
+            i += 2
+            continue
+        if part.startswith("-D"):
+            _add_define(defines, part[2:])
+        i += 1
+    return defines
+
+
+def _add_define(defines, text):
+    if "=" in text:
+        name, value = text.split("=", 1)
+    else:
+        name, value = text, "1"
+    defines[name] = value
+
+
+#: macros every OpenCL C compiler predefines (cl_kernel.h subset)
+STANDARD_DEFINES = {
+    "__OPENCL_VERSION__": "120",
+    "CL_VERSION_1_2": "120",
+    "CLK_LOCAL_MEM_FENCE": "1",
+    "CLK_GLOBAL_MEM_FENCE": "2",
+    "NULL": "0",
+    "MAXFLOAT": "3.402823466e+38f",
+    "HUGE_VALF": "3.402823466e+38f",
+    "INFINITY": "3.402823466e+38f",
+    "FLT_MAX": "3.402823466e+38f",
+    "FLT_MIN": "1.175494351e-38f",
+    "FLT_EPSILON": "1.192092896e-07f",
+    "INT_MAX": "2147483647",
+    "INT_MIN": "(-2147483647 - 1)",
+    "UINT_MAX": "4294967295u",
+    "M_PI": "3.14159265358979323846",
+    "M_PI_F": "3.14159274101257f",
+    "M_E_F": "2.71828174591064f",
+}
+
+
+class Preprocessor:
+    """Expand directives and macros over raw kernel source text."""
+
+    def __init__(self, defines=None):
+        self.macros = {}
+        for name, value in STANDARD_DEFINES.items():
+            self.macros[name] = Macro(name, None, value)
+        # user -D options override the standard set
+        for name, value in (defines or {}).items():
+            self.macros[name] = Macro(name, None, str(value))
+
+    def process(self, text):
+        """Return preprocessed source with directives resolved."""
+        lines = self._splice_continuations(text)
+        out = []
+        # Condition stack entries: (parent_active, this_branch_taken, any_taken)
+        stack = []
+        for lineno, line in lines:
+            stripped = line.lstrip()
+            active = all(taken for (_, taken, _) in stack)
+            if stripped.startswith("#"):
+                self._directive(stripped[1:].strip(), stack, active, lineno)
+                out.append("")  # keep line numbering stable
+            elif active:
+                out.append(self._expand(line, set()))
+            else:
+                out.append("")
+        if stack:
+            raise PreprocessorError("unterminated #if/#ifdef block")
+        return "\n".join(out)
+
+    @staticmethod
+    def _splice_continuations(text):
+        lines = []
+        pending = ""
+        pending_start = None
+        for lineno, raw in enumerate(text.split("\n"), start=1):
+            if pending_start is None:
+                pending_start = lineno
+            if raw.endswith("\\"):
+                pending += raw[:-1] + " "
+                continue
+            lines.append((pending_start, pending + raw))
+            pending = ""
+            pending_start = None
+        if pending:
+            lines.append((pending_start, pending))
+        return lines
+
+    def _directive(self, body, stack, active, lineno):
+        name, _, rest = body.partition(" ")
+        rest = rest.strip()
+        if name == "define":
+            if active:
+                self._define(rest, lineno)
+        elif name == "undef":
+            if active:
+                self.macros.pop(rest.strip(), None)
+        elif name == "ifdef":
+            stack.append((active, active and rest in self.macros, rest in self.macros))
+        elif name == "ifndef":
+            stack.append((active, active and rest not in self.macros, rest not in self.macros))
+        elif name == "if":
+            taken = self._eval_condition(rest)
+            stack.append((active, active and taken, taken))
+        elif name == "elif":
+            if not stack:
+                raise PreprocessorError("#elif without #if", lineno, 1)
+            parent, _, any_taken = stack.pop()
+            taken = (not any_taken) and self._eval_condition(rest)
+            stack.append((parent, parent and taken, any_taken or taken))
+        elif name == "else":
+            if not stack:
+                raise PreprocessorError("#else without #if", lineno, 1)
+            parent, _, any_taken = stack.pop()
+            stack.append((parent, parent and not any_taken, True))
+        elif name == "endif":
+            if not stack:
+                raise PreprocessorError("#endif without #if", lineno, 1)
+            stack.pop()
+        elif name in ("pragma", "include", "line", "error", ""):
+            # #include is meaningless here (no filesystem on the device);
+            # #error only fires in inactive branches we already skipped.
+            if name == "error" and active:
+                raise PreprocessorError("#error %s" % rest, lineno, 1)
+        else:
+            raise PreprocessorError("unknown directive #%s" % name, lineno, 1)
+
+    def _eval_condition(self, text):
+        # defined(...) must be resolved before macro expansion, otherwise a
+        # defined macro's own replacement destroys the name being tested.
+        resolved = re.sub(
+            r"defined\s*\(\s*(\w+)\s*\)",
+            lambda m: "1" if m.group(1) in self.macros else "0",
+            text,
+        )
+        resolved = re.sub(
+            r"defined\s+(\w+)",
+            lambda m: "1" if m.group(1) in self.macros else "0",
+            resolved,
+        )
+        expanded = self._expand(resolved, set()).strip()
+        # Any remaining identifier is an undefined macro -> 0 per C semantics.
+        expanded = _IDENT_RE.sub("0", expanded)
+        try:
+            return bool(eval(expanded, {"__builtins__": {}}, {}))  # noqa: S307
+        except Exception:
+            raise PreprocessorError("cannot evaluate #if condition %r" % text) from None
+
+    def _define(self, rest, lineno):
+        match = _IDENT_RE.match(rest)
+        if not match:
+            raise PreprocessorError("malformed #define", lineno, 1)
+        name = match.group(0)
+        after = rest[match.end() :]
+        if after.startswith("("):
+            close = after.index(")")
+            params = [p.strip() for p in after[1:close].split(",") if p.strip()]
+            body = after[close + 1 :].strip()
+            self.macros[name] = Macro(name, params, body)
+        else:
+            self.macros[name] = Macro(name, None, after.strip())
+
+    def _expand(self, line, busy):
+        """Recursively expand macros in one line of source text."""
+        out = []
+        i = 0
+        while i < len(line):
+            match = _IDENT_RE.match(line, i)
+            if not match:
+                out.append(line[i])
+                i += 1
+                continue
+            name = match.group(0)
+            i = match.end()
+            macro = self.macros.get(name)
+            if macro is None or name in busy:
+                out.append(name)
+                continue
+            if macro.params is None:
+                out.append(self._expand(macro.body, busy | {name}))
+                continue
+            # function-like: require a call; otherwise leave the name alone
+            j = i
+            while j < len(line) and line[j] in " \t":
+                j += 1
+            if j >= len(line) or line[j] != "(":
+                out.append(name)
+                continue
+            args, i = self._parse_args(line, j)
+            if len(args) != len(macro.params):
+                raise PreprocessorError(
+                    "macro %s expects %d args, got %d" % (name, len(macro.params), len(args))
+                )
+            body = macro.body
+            for param, arg in zip(macro.params, args):
+                body = re.sub(r"\b%s\b" % re.escape(param), arg.strip(), body)
+            out.append(self._expand(body, busy | {name}))
+        return "".join(out)
+
+    @staticmethod
+    def _parse_args(line, open_paren):
+        depth = 0
+        args = []
+        current = []
+        i = open_paren
+        while i < len(line):
+            ch = line[i]
+            if ch == "(":
+                depth += 1
+                if depth > 1:
+                    current.append(ch)
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    args.append("".join(current))
+                    return args, i + 1
+                current.append(ch)
+            elif ch == "," and depth == 1:
+                args.append("".join(current))
+                current = []
+            else:
+                current.append(ch)
+            i += 1
+        raise PreprocessorError("unterminated macro invocation")
+
+
+def preprocess(text, defines=None):
+    """Preprocess kernel source with an optional macro seed dict."""
+    return Preprocessor(defines).process(text)

@@ -1,0 +1,418 @@
+"""Semantic analysis for the OpenCL C subset.
+
+Responsibilities:
+
+- build the function table (definitions + prototypes) and reject duplicates;
+- scope-check every identifier and annotate expressions with a ``ctype``;
+- validate lvalues, call arity, break/continue placement and return types;
+- record per-kernel metadata the runtime needs: parameter signature,
+  whether the kernel uses barriers, and how many bytes of __local memory
+  its declarations consume.
+"""
+
+from repro.clc import ast_nodes as A
+from repro.clc import types as T
+from repro.clc.builtins import BUILTIN_NAMES, builtin_result_type
+from repro.clc.errors import SemanticError
+
+
+class FunctionInfo:
+    """Resolved signature and metadata for one function."""
+
+    def __init__(self, node):
+        self.name = node.name
+        self.node = node
+        self.return_type = node.return_type
+        self.params = [(p.name, p.ctype) for p in node.params if not p.ctype.is_void()]
+        self.is_kernel = node.is_kernel
+        self.attributes = dict(node.attributes)
+        self.uses_barrier = False
+        self.local_mem_bytes = 0
+        self.calls = set()
+
+    def __repr__(self):
+        kind = "kernel" if self.is_kernel else "function"
+        return "<%s %s(%d params)>" % (kind, self.name, len(self.params))
+
+
+class _Scope:
+    """Chained lexical scope mapping names to declared types."""
+
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.names = {}
+
+    def declare(self, name, ctype, loc):
+        if name in self.names:
+            raise SemanticError("redeclaration of %r" % name, *loc)
+        self.names[name] = ctype
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class Analyzer:
+    """Walks a TranslationUnit, validating and annotating it."""
+
+    def __init__(self, unit):
+        self.unit = unit
+        self.functions = {}
+        self.globals = _Scope()
+
+    def analyze(self):
+        """Run the full analysis; returns {name: FunctionInfo}."""
+        for decl in self.unit.decls:
+            if isinstance(decl, A.FunctionDef):
+                self._register_function(decl)
+            elif isinstance(decl, A.DeclStmt):
+                for var in decl.decls:
+                    self.globals.declare(var.name, var.ctype, var.loc)
+        for info in list(self.functions.values()):
+            if info.node.body is not None:
+                self._check_function(info)
+        return self.functions
+
+    def _register_function(self, node):
+        existing = self.functions.get(node.name)
+        if existing is not None:
+            if existing.node.body is not None and node.body is not None:
+                raise SemanticError("duplicate definition of %r" % node.name, *node.loc)
+            if node.body is None:
+                return  # prototype after definition: keep the definition
+        self.functions[node.name] = FunctionInfo(node)
+
+    def _check_function(self, info):
+        scope = _Scope(self.globals)
+        for name, ctype in info.params:
+            scope.declare(name, ctype, info.node.loc)
+        ctx = _FunctionContext(self, info)
+        ctx.check_stmt(info.node.body, scope, in_loop=False)
+
+
+class _FunctionContext:
+    """Per-function statement/expression checker."""
+
+    def __init__(self, analyzer, info):
+        self.analyzer = analyzer
+        self.info = info
+
+    # -- statements -----------------------------------------------------------
+
+    def check_stmt(self, node, scope, in_loop):
+        if isinstance(node, A.Compound):
+            inner = _Scope(scope)
+            for stmt in node.stmts:
+                self.check_stmt(stmt, inner, in_loop)
+        elif isinstance(node, A.DeclStmt):
+            for var in node.decls:
+                self._check_var_decl(var, scope)
+        elif isinstance(node, A.ExprStmt):
+            self.check_expr(node.expr, scope)
+        elif isinstance(node, A.If):
+            self.check_expr(node.cond, scope)
+            self.check_stmt(node.then, _Scope(scope), in_loop)
+            if node.orelse is not None:
+                self.check_stmt(node.orelse, _Scope(scope), in_loop)
+        elif isinstance(node, A.For):
+            header = _Scope(scope)
+            if node.init is not None:
+                self.check_stmt(node.init, header, in_loop)
+            if node.cond is not None:
+                self.check_expr(node.cond, header)
+            if node.step is not None:
+                self.check_expr(node.step, header)
+            self.check_stmt(node.body, _Scope(header), in_loop=True)
+        elif isinstance(node, A.While):
+            self.check_expr(node.cond, scope)
+            self.check_stmt(node.body, _Scope(scope), in_loop=True)
+        elif isinstance(node, A.DoWhile):
+            self.check_stmt(node.body, _Scope(scope), in_loop=True)
+            self.check_expr(node.cond, scope)
+        elif isinstance(node, A.Return):
+            if node.value is not None:
+                value_type = self.check_expr(node.value, scope)
+                if self.info.return_type.is_void():
+                    raise SemanticError(
+                        "void function %r returns a value" % self.info.name, *node.loc
+                    )
+                if not T.can_convert(value_type, self.info.return_type):
+                    raise SemanticError(
+                        "cannot convert %r to return type %r"
+                        % (value_type, self.info.return_type),
+                        *node.loc,
+                    )
+            elif not self.info.return_type.is_void():
+                raise SemanticError(
+                    "non-void function %r returns nothing" % self.info.name, *node.loc
+                )
+        elif isinstance(node, (A.Break, A.Continue)):
+            if not in_loop:
+                raise SemanticError("break/continue outside a loop", *node.loc)
+        else:
+            raise SemanticError("unsupported statement %r" % type(node).__name__, *node.loc)
+
+    def _check_var_decl(self, var, scope):
+        if var.ctype.is_void():
+            raise SemanticError("variable %r declared void" % var.name, *var.loc)
+        if var.address_space == T.AS_LOCAL:
+            if var.ctype.size is None:
+                raise SemanticError("__local variable %r has unknown size" % var.name, *var.loc)
+            self.info.local_mem_bytes += var.ctype.size
+        if var.init is not None:
+            if isinstance(var.init, A.VectorLit) and var.init.ctype is None:
+                self._check_initializer_list(var.init, var.ctype, scope)
+            else:
+                init_type = self.check_expr(var.init, scope)
+                if not T.can_convert(init_type, var.ctype) and not var.ctype.is_array():
+                    raise SemanticError(
+                        "cannot initialise %r (%r) from %r" % (var.name, var.ctype, init_type),
+                        *var.loc,
+                    )
+        scope.declare(var.name, var.ctype, var.loc)
+
+    def _check_initializer_list(self, init, ctype, scope):
+        if ctype.is_array():
+            init.ctype = ctype
+            for element in init.elements:
+                if isinstance(element, A.VectorLit) and element.ctype is None:
+                    self._check_initializer_list(element, ctype.element, scope)
+                else:
+                    self.check_expr(element, scope)
+        elif ctype.is_vector():
+            init.ctype = ctype
+            for element in init.elements:
+                self.check_expr(element, scope)
+        else:
+            if len(init.elements) != 1:
+                raise SemanticError("scalar initialiser list must have one element", *init.loc)
+            init.ctype = ctype
+            self.check_expr(init.elements[0], scope)
+
+    # -- expressions ------------------------------------------------------------
+
+    def check_expr(self, node, scope):
+        ctype = self._expr_type(node, scope)
+        node.ctype = ctype
+        return ctype
+
+    def _expr_type(self, node, scope):
+        if isinstance(node, A.IntLit) or isinstance(node, A.FloatLit):
+            return node.ctype
+        if isinstance(node, A.BoolLit):
+            return T.BOOL
+        if isinstance(node, A.Ident):
+            ctype = scope.lookup(node.name)
+            if ctype is None:
+                raise SemanticError("undefined identifier %r" % node.name, *node.loc)
+            return ctype
+        if isinstance(node, A.BinOp):
+            left = self.check_expr(node.left, scope)
+            right = self.check_expr(node.right, scope)
+            return self._binop_type(node.op, left, right, node.loc)
+        if isinstance(node, A.UnaryOp):
+            return self._unary_type(node, scope)
+        if isinstance(node, A.PostfixOp):
+            operand = self.check_expr(node.operand, scope)
+            self._require_lvalue(node.operand)
+            return operand
+        if isinstance(node, A.Assign):
+            target = self.check_expr(node.target, scope)
+            value = self.check_expr(node.value, scope)
+            self._require_lvalue(node.target)
+            if not T.can_convert(value, target) and node.op == "=":
+                raise SemanticError(
+                    "cannot assign %r to %r" % (value, target), *node.loc
+                )
+            return target
+        if isinstance(node, A.Ternary):
+            self.check_expr(node.cond, scope)
+            then = self.check_expr(node.then, scope)
+            orelse = self.check_expr(node.orelse, scope)
+            if then == orelse:
+                return then
+            if then.is_pointer() or orelse.is_pointer():
+                return then if then.is_pointer() else orelse
+            return T.common_type(then, orelse)
+        if isinstance(node, A.Call):
+            return self._call_type(node, scope)
+        if isinstance(node, A.Index):
+            base = self.check_expr(node.base, scope)
+            self.check_expr(node.index, scope)
+            if base.is_pointer():
+                return base.pointee
+            if base.is_array():
+                return base.element
+            if base.is_vector():
+                return base.base
+            raise SemanticError("cannot index a %r" % base, *node.loc)
+        if isinstance(node, A.Member):
+            base = self.check_expr(node.base, scope)
+            return self._member_type(base, node.name, node.loc)
+        if isinstance(node, A.Cast):
+            self.check_expr(node.expr, scope)
+            return node.ctype
+        if isinstance(node, A.VectorLit):
+            if node.ctype is None:
+                raise SemanticError("initialiser list in expression context", *node.loc)
+            lanes = sum(
+                e.ctype.lanes if getattr(e, "ctype", None) and e.ctype.is_vector() else 1
+                for e in node.elements
+                if self.check_expr(e, scope) is not None or True
+            )
+            if len(node.elements) != 1 and lanes != node.ctype.lanes:
+                raise SemanticError(
+                    "vector literal provides %d lanes for %r" % (lanes, node.ctype),
+                    *node.loc,
+                )
+            return node.ctype
+        if isinstance(node, A.SizeOf):
+            return T.SIZE_T
+        raise SemanticError("unsupported expression %r" % type(node).__name__, *node.loc)
+
+    def _binop_type(self, op, left, right, loc):
+        if op in ("&&", "||", "==", "!=", "<", "<=", ">", ">="):
+            if left.is_vector() or right.is_vector():
+                # OpenCL relational ops on vectors yield integer vectors
+                common = T.common_type(left, right)
+                return T.vector_type(T.INT, common.lanes)
+            return T.INT  # C semantics: comparisons yield int
+        if left.is_pointer() and right.is_integer() and op in ("+", "-"):
+            return left
+        if right.is_pointer() and left.is_integer() and op == "+":
+            return right
+        if left.is_pointer() and right.is_pointer() and op == "-":
+            return T.LONG
+        if left.is_array() and right.is_integer() and op in ("+", "-"):
+            return T.PointerType(left.element)
+        if op in ("%", "&", "|", "^", "<<", ">>"):
+            if left.is_float() or right.is_float():
+                if op == "%":
+                    raise SemanticError("operator %% requires integer operands", *loc)
+                raise SemanticError("bitwise operator on floating operands", *loc)
+        try:
+            return T.common_type(left, right)
+        except SemanticError as exc:
+            raise SemanticError("%s in operator %r" % (exc.message, op), *loc) from None
+
+    def _unary_type(self, node, scope):
+        operand = self.check_expr(node.operand, scope)
+        op = node.op
+        if op in ("++", "--"):
+            self._require_lvalue(node.operand)
+            return operand
+        if op == "!":
+            return T.INT
+        if op == "~":
+            if not (operand.is_integer() or (operand.is_vector() and operand.base.is_integer())):
+                raise SemanticError("operator ~ requires integers", *node.loc)
+            return T.promote(operand) if operand.is_integer() else operand
+        if op == "*":
+            if operand.is_pointer():
+                return operand.pointee
+            if operand.is_array():
+                return operand.element
+            raise SemanticError("cannot dereference %r" % operand, *node.loc)
+        if op == "&":
+            self._require_lvalue(node.operand)
+            return T.PointerType(operand)
+        if op in ("-", "+"):
+            if operand.is_vector():
+                return operand
+            return T.promote(operand)
+        raise SemanticError("unsupported unary operator %r" % op, *node.loc)
+
+    def _call_type(self, node, scope):
+        if node.name == "__comma__":
+            last = None
+            for arg in node.args:
+                last = self.check_expr(arg, scope)
+            return last
+        arg_types = [self.check_expr(arg, scope) for arg in node.args]
+        user = self.analyzer.functions.get(node.name)
+        if user is not None:
+            self.info.calls.add(node.name)
+            if len(arg_types) != len(user.params):
+                raise SemanticError(
+                    "%s() expects %d args, got %d"
+                    % (node.name, len(user.params), len(arg_types)),
+                    *node.loc,
+                )
+            callee_uses_barrier = user.uses_barrier
+            if callee_uses_barrier:
+                self.info.uses_barrier = True
+            return user.return_type
+        if node.name in ("barrier", "mem_fence", "read_mem_fence", "write_mem_fence"):
+            if node.name == "barrier":
+                self.info.uses_barrier = True
+            return T.VOID
+        if node.name in BUILTIN_NAMES:
+            result = builtin_result_type(node.name, arg_types)
+            if result is None:
+                raise SemanticError(
+                    "no overload of %s for (%s)"
+                    % (node.name, ", ".join(repr(t) for t in arg_types)),
+                    *node.loc,
+                )
+            return result
+        raise SemanticError("call to undefined function %r" % node.name, *node.loc)
+
+    @staticmethod
+    def _member_type(base, name, loc):
+        if not base.is_vector():
+            raise SemanticError("member access on non-vector %r" % base, *loc)
+        lanes = _swizzle_lanes(name, base.lanes, loc)
+        if len(lanes) == 1:
+            return base.base
+        return T.vector_type(base.base, len(lanes))
+
+    @staticmethod
+    def _require_lvalue(node):
+        if isinstance(node, (A.Ident, A.Index, A.Member)):
+            return
+        if isinstance(node, A.UnaryOp) and node.op == "*":
+            return
+        raise SemanticError("expression is not assignable", *node.loc)
+
+
+_COMPONENT_INDEX = {"x": 0, "y": 1, "z": 2, "w": 3}
+
+
+def _swizzle_lanes(name, width, loc=(None, None)):
+    """Resolve a vector member name to a list of lane indices."""
+    if name in ("lo", "hi", "even", "odd"):
+        half = (width + 1) // 2
+        if name == "lo":
+            return list(range(half))
+        if name == "hi":
+            return list(range(width - half, width))
+        if name == "even":
+            return list(range(0, width, 2))
+        return list(range(1, width, 2))
+    if name.startswith("s") and len(name) > 1 and all(c in "0123456789abcdefABCDEF" for c in name[1:]):
+        lanes = [int(c, 16) for c in name[1:]]
+    else:
+        try:
+            lanes = [_COMPONENT_INDEX[c] for c in name]
+        except KeyError:
+            raise SemanticError("bad vector component %r" % name, *loc) from None
+    for lane in lanes:
+        if lane >= width:
+            raise SemanticError(
+                "component %r out of range for width %d" % (name, width), *loc
+            )
+    return lanes
+
+
+def swizzle_lanes(name, width):
+    """Public helper used by the interpreter; see :func:`_swizzle_lanes`."""
+    return _swizzle_lanes(name, width)
+
+
+def analyze(unit):
+    """Analyze a TranslationUnit; returns {function name: FunctionInfo}."""
+    return Analyzer(unit).analyze()

@@ -1,0 +1,294 @@
+"""Type system for the OpenCL C subset.
+
+Models scalar types, vector types (float4 and friends), pointers with
+address-space qualifiers, and fixed-size arrays.  Every type knows its
+size, alignment and the NumPy dtype used to represent its values at
+runtime, which is what lets the interpreter back all memory with plain
+byte arrays.
+"""
+
+import numpy as np
+
+from repro.clc.errors import SemanticError
+
+# Address spaces ----------------------------------------------------------
+
+AS_PRIVATE = "private"
+AS_GLOBAL = "global"
+AS_LOCAL = "local"
+AS_CONSTANT = "constant"
+
+ADDRESS_SPACES = (AS_PRIVATE, AS_GLOBAL, AS_LOCAL, AS_CONSTANT)
+
+
+class CType:
+    """Base class for all clc types."""
+
+    #: byte size of one value; None for void / incomplete types.
+    size = None
+
+    def is_scalar(self):
+        return isinstance(self, ScalarType) and self.name != "void"
+
+    def is_integer(self):
+        return isinstance(self, ScalarType) and self.kind in ("int", "bool")
+
+    def is_float(self):
+        return isinstance(self, ScalarType) and self.kind == "float"
+
+    def is_vector(self):
+        return isinstance(self, VectorType)
+
+    def is_pointer(self):
+        return isinstance(self, PointerType)
+
+    def is_array(self):
+        return isinstance(self, ArrayType)
+
+    def is_void(self):
+        return isinstance(self, ScalarType) and self.name == "void"
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+
+class ScalarType(CType):
+    """A scalar type: bool, the integer family, float or double, or void."""
+
+    def __init__(self, name, kind, size, signed, np_dtype, rank):
+        self.name = name
+        self.kind = kind  # "bool" | "int" | "float" | "void"
+        self.size = size
+        self.signed = signed
+        self.np_dtype = np_dtype
+        #: conversion rank used for usual arithmetic conversions.
+        self.rank = rank
+
+    def __repr__(self):
+        return self.name
+
+    def __eq__(self, other):
+        return isinstance(other, ScalarType) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("scalar", self.name))
+
+
+class VectorType(CType):
+    """An OpenCL vector type such as float4 or int8."""
+
+    def __init__(self, base, lanes):
+        if not isinstance(base, ScalarType) or base.kind not in ("int", "float"):
+            raise SemanticError("vector base must be an arithmetic scalar: %r" % base)
+        if lanes not in (2, 3, 4, 8, 16):
+            raise SemanticError("invalid vector width %d" % lanes)
+        self.base = base
+        self.lanes = lanes
+        # OpenCL: a 3-vector occupies the storage of a 4-vector.
+        storage_lanes = 4 if lanes == 3 else lanes
+        self.size = base.size * storage_lanes
+        self.storage_lanes = storage_lanes
+        self.name = "%s%d" % (base.name, lanes)
+        self.np_dtype = base.np_dtype
+
+    def __repr__(self):
+        return self.name
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, VectorType)
+            and other.base == self.base
+            and other.lanes == self.lanes
+        )
+
+    def __hash__(self):
+        return hash(("vector", self.base.name, self.lanes))
+
+
+class PointerType(CType):
+    """Pointer to ``pointee`` in a given address space."""
+
+    size = 8  # 64-bit device pointers
+
+    def __init__(self, pointee, address_space=AS_PRIVATE):
+        if address_space not in ADDRESS_SPACES:
+            raise SemanticError("bad address space %r" % address_space)
+        self.pointee = pointee
+        self.address_space = address_space
+
+    @property
+    def name(self):
+        return "__%s %r*" % (self.address_space, self.pointee)
+
+    def __repr__(self):
+        return "%r __%s*" % (self.pointee, self.address_space)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, PointerType)
+            and other.pointee == self.pointee
+            and other.address_space == self.address_space
+        )
+
+    def __hash__(self):
+        return hash(("ptr", self.pointee, self.address_space))
+
+
+class ArrayType(CType):
+    """Fixed-size array, used for __local / __private array declarations."""
+
+    def __init__(self, element, length):
+        self.element = element
+        self.length = length
+        self.size = None if length is None else element.size * length
+
+    def __repr__(self):
+        return "%r[%s]" % (self.element, self.length)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ArrayType)
+            and other.element == self.element
+            and other.length == self.length
+        )
+
+    def __hash__(self):
+        return hash(("array", self.element, self.length))
+
+
+def _scalar(name, kind, size, signed, np_dtype, rank):
+    return ScalarType(name, kind, size, signed, np_dtype, rank)
+
+
+VOID = _scalar("void", "void", None, False, None, -1)
+BOOL = _scalar("bool", "bool", 1, False, np.bool_, 0)
+CHAR = _scalar("char", "int", 1, True, np.int8, 1)
+UCHAR = _scalar("uchar", "int", 1, False, np.uint8, 1)
+SHORT = _scalar("short", "int", 2, True, np.int16, 2)
+USHORT = _scalar("ushort", "int", 2, False, np.uint16, 2)
+INT = _scalar("int", "int", 4, True, np.int32, 3)
+UINT = _scalar("uint", "int", 4, False, np.uint32, 3)
+LONG = _scalar("long", "int", 8, True, np.int64, 4)
+ULONG = _scalar("ulong", "int", 8, False, np.uint64, 4)
+FLOAT = _scalar("float", "float", 4, True, np.float32, 5)
+DOUBLE = _scalar("double", "float", 8, True, np.float64, 6)
+
+#: size_t on a 64-bit device.
+SIZE_T = ULONG
+
+_SCALARS_BY_NAME = {
+    t.name: t
+    for t in (VOID, BOOL, CHAR, UCHAR, SHORT, USHORT, INT, UINT, LONG, ULONG, FLOAT, DOUBLE)
+}
+_SCALARS_BY_NAME["size_t"] = SIZE_T
+_SCALARS_BY_NAME["ptrdiff_t"] = LONG
+_SCALARS_BY_NAME["intptr_t"] = LONG
+_SCALARS_BY_NAME["uintptr_t"] = ULONG
+
+_VECTOR_BASES = ("char", "uchar", "short", "ushort", "int", "uint", "long", "ulong", "float", "double")
+_VECTOR_LANES = (2, 3, 4, 8, 16)
+
+_VECTORS_BY_NAME = {}
+for _base in _VECTOR_BASES:
+    for _lanes in _VECTOR_LANES:
+        _vt = VectorType(_SCALARS_BY_NAME[_base], _lanes)
+        _VECTORS_BY_NAME[_vt.name] = _vt
+
+
+def scalar_type(name):
+    """Return the ScalarType called ``name`` or raise SemanticError."""
+    try:
+        return _SCALARS_BY_NAME[name]
+    except KeyError:
+        raise SemanticError("unknown scalar type %r" % name) from None
+
+
+def vector_type(base, lanes):
+    """Return the canonical VectorType for ``base`` with ``lanes`` lanes."""
+    name = "%s%d" % (base.name, lanes)
+    try:
+        return _VECTORS_BY_NAME[name]
+    except KeyError:
+        raise SemanticError("unknown vector type %r" % name) from None
+
+
+def type_by_name(name):
+    """Look up a scalar or vector type by its source-level name."""
+    if name in _SCALARS_BY_NAME:
+        return _SCALARS_BY_NAME[name]
+    if name in _VECTORS_BY_NAME:
+        return _VECTORS_BY_NAME[name]
+    return None
+
+
+def is_type_name(name):
+    return name in _SCALARS_BY_NAME or name in _VECTORS_BY_NAME
+
+
+# Usual arithmetic conversions --------------------------------------------
+
+
+def promote(t):
+    """Integer promotion: anything narrower than int becomes int."""
+    if t.is_integer() and t.rank < INT.rank:
+        return INT
+    return t
+
+
+def common_type(a, b):
+    """C usual arithmetic conversions for two scalar operand types."""
+    if a.is_vector() or b.is_vector():
+        # vector op scalar widens the scalar; vector op vector must match base.
+        va = a if a.is_vector() else None
+        vb = b if b.is_vector() else None
+        if va and vb:
+            if va.lanes != vb.lanes:
+                raise SemanticError("vector width mismatch: %r vs %r" % (a, b))
+            return vector_type(common_type(va.base, vb.base), va.lanes)
+        vec = va or vb
+        other = b if va else a
+        return vector_type(common_type(vec.base, other), vec.lanes)
+    a = promote(a)
+    b = promote(b)
+    if a == b:
+        return a
+    if a.kind == "float" or b.kind == "float":
+        if a.kind == "float" and b.kind == "float":
+            return a if a.rank >= b.rank else b
+        return a if a.kind == "float" else b
+    # both integers of rank >= int
+    if a.rank != b.rank:
+        wider = a if a.rank > b.rank else b
+        narrower = b if a.rank > b.rank else a
+        if wider.signed and not narrower.signed and wider.size <= narrower.size:
+            return _unsigned_of(wider)
+        return wider
+    # same rank, one unsigned -> unsigned wins
+    if a.signed != b.signed:
+        return a if not a.signed else b
+    return a
+
+
+def _unsigned_of(t):
+    mapping = {"char": UCHAR, "short": USHORT, "int": UINT, "long": ULONG}
+    return mapping.get(t.name, t)
+
+
+def can_convert(src, dst):
+    """True when a value of type src is implicitly convertible to dst."""
+    if src == dst:
+        return True
+    if src.is_scalar() and dst.is_scalar():
+        return not src.is_void() and not dst.is_void()
+    if src.is_scalar() and dst.is_vector():
+        return True  # scalar splat
+    if src.is_vector() and dst.is_vector():
+        return src.lanes == dst.lanes
+    if src.is_pointer() and dst.is_pointer():
+        # permit void*-style reinterpretation within the same address space
+        return src.address_space == dst.address_space
+    if src.is_array() and dst.is_pointer():
+        return can_convert(PointerType(src.element), dst) or src.element == dst.pointee
+    if src.is_integer() and dst.is_pointer():
+        return True  # NULL and friends; checked dynamically
+    return False

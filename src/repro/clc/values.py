@@ -1,0 +1,235 @@
+"""Runtime value model for the interpreter.
+
+Conventions:
+
+- scalar values are NumPy scalars (``np.int32``, ``np.float32``, ...) so C
+  wraparound and precision semantics come for free;
+- vector values are 1-D NumPy arrays of the lane dtype;
+- pointer values are :class:`Pointer` instances over a :class:`Memory`;
+- all device memory (global buffers, __local blocks, private arrays) is a
+  byte-addressed :class:`Memory` so aliasing and reinterpretation behave
+  like real hardware.
+"""
+
+import numpy as np
+
+from repro.clc import types as T
+from repro.clc.errors import InterpError
+
+_NP_TO_SCALAR = {
+    np.dtype(np.bool_): T.BOOL,
+    np.dtype(np.int8): T.CHAR,
+    np.dtype(np.uint8): T.UCHAR,
+    np.dtype(np.int16): T.SHORT,
+    np.dtype(np.uint16): T.USHORT,
+    np.dtype(np.int32): T.INT,
+    np.dtype(np.uint32): T.UINT,
+    np.dtype(np.int64): T.LONG,
+    np.dtype(np.uint64): T.ULONG,
+    np.dtype(np.float32): T.FLOAT,
+    np.dtype(np.float64): T.DOUBLE,
+}
+
+
+class Memory:
+    """A byte-addressable allocation backing pointers.
+
+    ``data`` is a writable ``np.uint8`` array.  Typed access happens
+    through views created per load/store; NumPy permits unaligned views
+    over a contiguous byte buffer, which is all we need.
+    """
+
+    __slots__ = ("data", "name")
+
+    def __init__(self, nbytes=None, data=None, name="mem"):
+        if data is not None:
+            array = np.ascontiguousarray(data)
+            self.data = array.view(np.uint8).reshape(-1)
+        else:
+            self.data = np.zeros(int(nbytes), dtype=np.uint8)
+        self.name = name
+
+    @property
+    def nbytes(self):
+        return self.data.nbytes
+
+    def load(self, offset, ctype):
+        """Load one value of ``ctype`` at byte ``offset``."""
+        if ctype.is_vector():
+            lanes = ctype.lanes
+            base = ctype.base
+            end = offset + base.size * lanes
+            self._check(offset, end)
+            return (
+                self.data[offset:end].view(base.np_dtype).copy()
+            )
+        end = offset + ctype.size
+        self._check(offset, end)
+        return self.data[offset:end].view(ctype.np_dtype)[0]
+
+    def store(self, offset, ctype, value):
+        """Store one value of ``ctype`` at byte ``offset``."""
+        if ctype.is_vector():
+            lanes = ctype.lanes
+            base = ctype.base
+            end = offset + base.size * lanes
+            self._check(offset, end)
+            view = self.data[offset:end].view(base.np_dtype)
+            view[:] = np.asarray(value, dtype=base.np_dtype)[:lanes]
+            return
+        end = offset + ctype.size
+        self._check(offset, end)
+        self.data[offset:end].view(ctype.np_dtype)[0] = value
+
+    def typed_view(self, ctype, offset=0, count=None):
+        """A NumPy view over the allocation, for bulk host transfers."""
+        dtype = np.dtype(ctype.np_dtype)
+        available = (self.nbytes - offset) // dtype.itemsize
+        count = available if count is None else count
+        end = offset + count * dtype.itemsize
+        self._check(offset, end)
+        return self.data[offset:end].view(dtype)
+
+    def _check(self, start, end):
+        if start < 0 or end > self.data.nbytes:
+            raise InterpError(
+                "out-of-bounds access [%d:%d) in %s of %d bytes"
+                % (start, end, self.name, self.data.nbytes)
+            )
+
+    def __repr__(self):
+        return "Memory(%s, %d bytes)" % (self.name, self.nbytes)
+
+
+class Pointer:
+    """A typed pointer: memory + byte offset + element type + address space."""
+
+    __slots__ = ("memory", "offset", "ctype", "address_space")
+
+    def __init__(self, memory, offset, ctype, address_space=T.AS_GLOBAL):
+        self.memory = memory
+        self.offset = int(offset)
+        self.ctype = ctype
+        self.address_space = address_space
+
+    def element_size(self):
+        return self.ctype.size
+
+    def add(self, count):
+        return Pointer(
+            self.memory,
+            self.offset + int(count) * self.ctype.size,
+            self.ctype,
+            self.address_space,
+        )
+
+    def load(self, index=0):
+        return self.memory.load(self.offset + int(index) * self.ctype.size, self.ctype)
+
+    def store(self, index, value):
+        self.memory.store(self.offset + int(index) * self.ctype.size, self.ctype, value)
+
+    def reinterpret(self, ctype):
+        return Pointer(self.memory, self.offset, ctype, self.address_space)
+
+    def __repr__(self):
+        return "Pointer(%s+%d, %r, %s)" % (
+            self.memory.name,
+            self.offset,
+            self.ctype,
+            self.address_space,
+        )
+
+
+NULL = None  # integer 0 converts to a null pointer lazily in the interpreter
+
+
+def ctype_of_value(value):
+    """Infer the CType of a runtime value."""
+    if isinstance(value, Pointer):
+        return T.PointerType(value.ctype, value.address_space)
+    if isinstance(value, np.ndarray):
+        base = _NP_TO_SCALAR.get(value.dtype)
+        if base is None:
+            raise InterpError("unsupported array dtype %r" % value.dtype)
+        return T.vector_type(base, len(value))
+    if isinstance(value, (bool, np.bool_)):
+        return T.BOOL
+    if isinstance(value, np.generic):
+        ctype = _NP_TO_SCALAR.get(value.dtype)
+        if ctype is None:
+            raise InterpError("unsupported scalar dtype %r" % value.dtype)
+        return ctype
+    if isinstance(value, int):
+        return T.INT
+    if isinstance(value, float):
+        return T.DOUBLE
+    raise InterpError("unsupported runtime value %r" % (value,))
+
+
+def convert_value(value, ctype):
+    """Convert ``value`` to ``ctype`` with C-style semantics."""
+    if ctype.is_pointer():
+        if isinstance(value, Pointer):
+            return Pointer(value.memory, value.offset, ctype.pointee, ctype.address_space)
+        if _is_zero_int(value):
+            return None  # null pointer
+        raise InterpError("cannot convert %r to pointer" % (value,))
+    if ctype.is_vector():
+        dtype = ctype.base.np_dtype
+        if isinstance(value, np.ndarray):
+            if len(value) != ctype.lanes:
+                raise InterpError(
+                    "vector width mismatch: %d -> %d" % (len(value), ctype.lanes)
+                )
+            return value.astype(dtype, copy=True)
+        return np.full(ctype.lanes, _scalar_cast(value, dtype), dtype=dtype)
+    if ctype.name == "bool":
+        return np.bool_(bool(value))
+    if ctype.is_scalar():
+        return _scalar_cast(value, ctype.np_dtype)
+    raise InterpError("cannot convert to %r" % ctype)
+
+
+def _scalar_cast(value, dtype):
+    dtype = np.dtype(dtype)
+    if isinstance(value, (bool, np.bool_)):
+        value = 1 if value else 0
+    if dtype.kind in "iu":
+        # C cast semantics: truncate floats toward zero, wrap integers.
+        if isinstance(value, (float, np.floating)):
+            value = int(value)
+        mask = (1 << (dtype.itemsize * 8)) - 1
+        raw = int(value) & mask
+        if dtype.kind == "i" and raw >= 1 << (dtype.itemsize * 8 - 1):
+            raw -= 1 << (dtype.itemsize * 8)
+        return dtype.type(raw)
+    return dtype.type(value)
+
+
+def _is_zero_int(value):
+    return isinstance(value, (int, np.integer)) and int(value) == 0
+
+
+def default_value(ctype):
+    """Zero-initialised value of ``ctype`` (C leaves locals undefined; we
+    choose deterministic zeros so buggy kernels fail reproducibly)."""
+    if ctype.is_pointer():
+        return None
+    if ctype.is_vector():
+        return np.zeros(ctype.lanes, dtype=ctype.base.np_dtype)
+    if ctype.name == "bool":
+        return np.bool_(False)
+    return ctype.np_dtype(0)
+
+
+def is_truthy(value):
+    """C truth test for any runtime value."""
+    if value is None:
+        return False
+    if isinstance(value, Pointer):
+        return True
+    if isinstance(value, np.ndarray):
+        # OpenCL: vector in boolean context is invalid; any() is closest
+        return bool(np.any(value))
+    return bool(value)

@@ -1,0 +1,27 @@
+"""Cluster substrate: configuration, node management processes, host process.
+
+Maps the paper's deployment model (§III):
+
+- a *system configuration file* lists every device node with its address,
+  port and device inventory (:mod:`repro.cluster.config`);
+- each device node runs a *Node Management Process* daemon that executes
+  forwarded OpenCL commands against its local runtime
+  (:mod:`repro.cluster.nmp`);
+- the host process connects to every node, requests device IDs, and
+  builds the cluster-wide device registry
+  (:mod:`repro.cluster.hostproc`, :mod:`repro.cluster.registry`).
+"""
+
+from repro.cluster.config import ClusterConfig, NodeConfig
+from repro.cluster.hostproc import HostProcess
+from repro.cluster.nmp import NodeManagementProcess
+from repro.cluster.registry import ClusterDevice, DeviceRegistry
+
+__all__ = [
+    "ClusterConfig",
+    "NodeConfig",
+    "HostProcess",
+    "NodeManagementProcess",
+    "ClusterDevice",
+    "DeviceRegistry",
+]

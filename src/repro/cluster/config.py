@@ -1,0 +1,127 @@
+"""Cluster configuration (the paper's "system configuration file").
+
+A cluster is a host plus device nodes; every node declares its network
+address, the accelerators it carries and the timing mode.  Configs can
+be built programmatically (:meth:`ClusterConfig.build`), loaded from a
+JSON file, or written back out -- the host process reads exactly this to
+create its per-node message and data listeners (§III-C).
+"""
+
+import json
+
+VALID_DEVICE_KINDS = ("cpu", "gpu", "fpga")
+VALID_MODES = ("real", "modeled")
+
+
+class NodeConfig:
+    """One device node entry."""
+
+    def __init__(self, node_id, devices, host="127.0.0.1", port=0, mode="modeled"):
+        if not devices:
+            raise ValueError("node %r declares no devices" % node_id)
+        for kind in devices:
+            if kind not in VALID_DEVICE_KINDS:
+                raise ValueError(
+                    "node %r: unknown device kind %r (want one of %s)"
+                    % (node_id, kind, ", ".join(VALID_DEVICE_KINDS))
+                )
+        if mode not in VALID_MODES:
+            raise ValueError("node %r: bad mode %r" % (node_id, mode))
+        self.node_id = str(node_id)
+        self.devices = list(devices)
+        self.host = host
+        self.port = int(port)
+        self.mode = mode
+
+    def to_dict(self):
+        return {
+            "node_id": self.node_id,
+            "devices": self.devices,
+            "host": self.host,
+            "port": self.port,
+            "mode": self.mode,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            data["node_id"],
+            data["devices"],
+            data.get("host", "127.0.0.1"),
+            data.get("port", 0),
+            data.get("mode", "modeled"),
+        )
+
+    def __repr__(self):
+        return "NodeConfig(%s: %s, %s)" % (
+            self.node_id, "+".join(self.devices), self.mode
+        )
+
+
+class ClusterConfig:
+    """The full cluster: an ordered list of node configs."""
+
+    def __init__(self, nodes):
+        self.nodes = list(nodes)
+        seen = set()
+        for node in self.nodes:
+            if node.node_id in seen:
+                raise ValueError("duplicate node id %r" % node.node_id)
+            seen.add(node.node_id)
+
+    @classmethod
+    def build(cls, gpu_nodes=0, fpga_nodes=0, cpu_nodes=0, mode="modeled"):
+        """Homogeneous-node builder: one device per node, like the paper's
+        testbed (16 GPU nodes + 4 FPGA nodes, §IV-A)."""
+        nodes = []
+        for index in range(gpu_nodes):
+            nodes.append(NodeConfig("gpu%d" % index, ["gpu"], mode=mode))
+        for index in range(fpga_nodes):
+            nodes.append(NodeConfig("fpga%d" % index, ["fpga"], mode=mode))
+        for index in range(cpu_nodes):
+            nodes.append(NodeConfig("cpu%d" % index, ["cpu"], mode=mode))
+        if not nodes:
+            raise ValueError("empty cluster")
+        return cls(nodes)
+
+    def node(self, node_id):
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise KeyError(node_id)
+
+    def device_counts(self):
+        """{kind: count} across all nodes."""
+        counts = {}
+        for node in self.nodes:
+            for kind in node.devices:
+                counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def to_json(self, indent=2):
+        return json.dumps({"nodes": [n.to_dict() for n in self.nodes]}, indent=indent)
+
+    @classmethod
+    def from_json(cls, text):
+        data = json.loads(text)
+        return cls([NodeConfig.from_dict(entry) for entry in data["nodes"]])
+
+    def save(self, path):
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path):
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def __len__(self):
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __repr__(self):
+        counts = self.device_counts()
+        summary = ", ".join("%d %s" % (counts[k], k) for k in sorted(counts))
+        return "ClusterConfig(%d nodes: %s)" % (len(self.nodes), summary)

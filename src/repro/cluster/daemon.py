@@ -1,0 +1,66 @@
+"""Standalone Node Management Process daemon.
+
+Runs one NMP as its own OS process listening on TCP, which is the
+paper's actual deployment model: every device node runs this daemon,
+the host reads the system configuration file and connects (§III-C/D).
+
+Start a node (port 0 picks a free port and prints it):
+
+    python -m repro.cluster.daemon --node-id gpu0 --devices gpu \
+        --port 7101 [--mode real]
+
+Start the host against externally running nodes:
+
+    config = ClusterConfig.load("cluster.json")   # ports filled in
+    host = HostProcess.connect_remote(config)
+"""
+
+import argparse
+import sys
+import threading
+
+from repro.cluster.config import NodeConfig
+from repro.cluster.nmp import NodeManagementProcess
+from repro.transport.tcp import NodeServer
+
+
+def serve(node_config, host="127.0.0.1", port=0, announce=print):
+    """Start one NMP server; returns (server, nmp). Non-blocking."""
+    nmp = NodeManagementProcess(node_config)
+    server = NodeServer(nmp, host=host, port=port)
+    announce("NMP %s serving %s devices on %s:%d (mode=%s)"
+             % (node_config.node_id, "+".join(node_config.devices),
+                server.address[0], server.address[1], node_config.mode))
+    return server, nmp
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="HaoCL Node Management Process daemon"
+    )
+    parser.add_argument("--node-id", required=True)
+    parser.add_argument("--devices", required=True,
+                        help="comma-separated: gpu,fpga,cpu")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--mode", default="real",
+                        choices=("real", "modeled"))
+    args = parser.parse_args(argv)
+    node_config = NodeConfig(
+        args.node_id, args.devices.split(","),
+        host=args.host, port=args.port, mode=args.mode,
+    )
+    server, _nmp = serve(node_config, host=args.host, port=args.port)
+    # line-oriented announce so a parent process can scrape the port
+    print("LISTENING %s %d" % server.address, flush=True)
+    try:
+        threading.Event().wait()  # serve until killed
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Host process: connection manager + device discovery (paper §III-C).
+
+Reads the cluster configuration, opens a channel to every node, sends a
+device-ID request message to each, and records the global mapping in a
+:class:`repro.cluster.registry.DeviceRegistry`.  All higher layers (the
+ICD, the wrapper lib) talk to nodes exclusively through
+:meth:`HostProcess.call`.
+"""
+
+from repro.cluster.nmp import NodeManagementProcess
+from repro.cluster.registry import DeviceRegistry
+from repro.ocl.errors import CLError
+from repro.transport.inproc import InProcFabric
+from repro.transport.message import Message
+from repro.transport.sim import SimFabric
+from repro.transport.tcp import TcpFabric
+
+
+class HostProcess:
+    """The single host node of a HaoCL cluster."""
+
+    def __init__(self, config, fabric):
+        self.config = config
+        self.fabric = fabric
+        self.registry = DeviceRegistry()
+        self._channels = {}
+        self._discover()
+
+    # -- construction helpers ---------------------------------------------------
+
+    @classmethod
+    def launch(cls, config, transport="inproc", netmodel=None, fastpaths=None):
+        """Spin up NMPs for every configured node on the chosen transport.
+
+        ``transport`` is one of ``inproc``, ``sim``, ``tcp``.  For ``sim``
+        the returned host's fabric exposes the simulator clock
+        (``fabric.now_s()``), which is what the experiments measure.
+        """
+        handlers = {
+            node.node_id: NodeManagementProcess(node, fastpaths=fastpaths)
+            for node in config
+        }
+        if transport == "inproc":
+            fabric = InProcFabric(handlers)
+        elif transport == "sim":
+            fabric = SimFabric(handlers, netmodel=netmodel)
+        elif transport == "tcp":
+            fabric = TcpFabric(handlers)
+        else:
+            raise ValueError("unknown transport %r" % transport)
+        return cls(config, fabric)
+
+    @classmethod
+    def connect_remote(cls, config):
+        """Connect to NMP daemons already running in other processes.
+
+        Every node in the configuration must carry its (host, port) --
+        the deployment the system configuration file describes (§III-C):
+        start each node with ``python -m repro.cluster.daemon``, fill the
+        ports into the config, then call this.
+        """
+        fabric = TcpFabric()
+        for node in config:
+            if not node.port:
+                raise ValueError(
+                    "node %r has no port in the configuration" % node.node_id
+                )
+            fabric.add_remote(node.node_id, (node.host, node.port))
+        return cls(config, fabric)
+
+    # -- messaging -----------------------------------------------------------------
+
+    def channel(self, node_id):
+        if node_id not in self._channels:
+            self._channels[node_id] = self.fabric.connect(node_id)
+        return self._channels[node_id]
+
+    def call(self, node_id, method, **payload):
+        """Send one request and return its response payload.
+
+        Error responses become :class:`CLError`, so remote faults look
+        exactly like local OpenCL failures to the wrapper lib.
+        """
+        response = self.channel(node_id).request(Message.request(method, **payload))
+        if response.is_error:
+            raise CLError(
+                response.payload.get("code", -9999),
+                "[node %s] %s" % (node_id, response.payload.get("message", "")),
+            )
+        return response.payload
+
+    # -- discovery --------------------------------------------------------------------
+
+    def _discover(self):
+        """The clGetDeviceIDs mapping pass: one request per node."""
+        for node in self.config:
+            payload = self.call(node.node_id, "get_device_ids")
+            for entry in payload["devices"]:
+                self.registry.register(
+                    node.node_id,
+                    entry["handle"],
+                    entry["type"],
+                    entry["type_name"],
+                    entry["info"],
+                )
+
+    # -- cluster-wide queries -------------------------------------------------------------
+
+    def node_stats(self):
+        """{node_id: stats payload} across the cluster."""
+        return {
+            node.node_id: self.call(node.node_id, "node_stats")
+            for node in self.config
+        }
+
+    def now_s(self):
+        """Elapsed seconds on the fabric clock (wall or simulated)."""
+        return self.fabric.now_s()
+
+    def close(self):
+        self.fabric.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return "HostProcess(%r, %d devices)" % (self.config, len(self.registry))

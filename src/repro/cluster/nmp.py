@@ -1,0 +1,373 @@
+"""Node Management Process: the per-node daemon (paper §III-D).
+
+Receives forwarded OpenCL API calls as messages, executes them against
+the node's local :class:`repro.ocl.CLRuntime`, and answers with result
+payloads.  Carries the extra fields the paper names: user ID, shared
+flag and resource count, enforcing exclusive-device admission for
+multi-user operation.
+
+Handle tables map small integers to live runtime objects, exactly like
+cl_* handles; the host never sees Python objects.
+
+Device-timeline bookkeeping: enqueue commands are acknowledged
+immediately while their modeled duration extends the device's
+``ready_at`` horizon (fabric time); blocking commands (finish, reads)
+return ``ready_s`` so the fabric delays their response until the device
+has drained -- this is what makes multi-node execution overlap even
+though every message exchange is synchronous.
+"""
+
+import itertools
+
+from repro.clc.interp import LocalMem
+from repro.ocl import CLRuntime, enums
+from repro.ocl.errors import CLError
+from repro.ocl.device import model_by_name
+from repro.ocl.runtime import Device
+from repro.transport.base import NodeHandler
+
+
+class _HandleTable:
+    """Small-integer handles for live objects of one kind."""
+
+    def __init__(self, kind):
+        self.kind = kind
+        self._objects = {}
+        self._ids = itertools.count(1)
+
+    def add(self, obj):
+        handle = next(self._ids)
+        self._objects[handle] = obj
+        return handle
+
+    def get(self, handle):
+        try:
+            return self._objects[handle]
+        except KeyError:
+            raise CLError(
+                enums.CL_INVALID_VALUE,
+                "no %s with handle %r on this node" % (self.kind, handle),
+            ) from None
+
+    def remove(self, handle):
+        self._objects.pop(handle, None)
+
+    def __len__(self):
+        return len(self._objects)
+
+
+class NodeManagementProcess(NodeHandler):
+    """One device node's daemon."""
+
+    def __init__(self, node_config, fastpaths=None):
+        self.node_id = node_config.node_id
+        self.mode = node_config.mode
+        devices = [
+            Device(model_by_name(kind), mode=node_config.mode)
+            for kind in node_config.devices
+        ]
+        self.runtime = CLRuntime(
+            devices,
+            platform_name="node:%s" % self.node_id,
+            fastpaths=fastpaths,
+        )
+        self._tables = {
+            kind: _HandleTable(kind)
+            for kind in ("context", "queue", "buffer", "program", "kernel")
+        }
+        self._device_handles = {}  # handle -> Device
+        for device in devices:
+            self._device_handles[device.id] = device
+        #: fabric-time horizon when each device's queue drains
+        self._ready_at = {device.id: 0.0 for device in devices}
+        #: device handle -> (user, shared) for multi-user admission
+        self._claims = {}
+        #: per-kernel profile: name -> [count, total_s, total_items]
+        self.kernel_profile = {}
+        self.messages_handled = 0
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def handle(self, message, now_s):
+        self.messages_handled += 1
+        method = getattr(self, "_op_%s" % message.method, None)
+        if method is None:
+            return message.fail(enums.CL_INVALID_OPERATION,
+                                "unknown method %r" % message.method), now_s
+        try:
+            payload, ready_s = method(message.payload, now_s)
+        except CLError as exc:
+            return message.fail(exc.code, exc.message or str(exc)), now_s
+        except Exception as exc:  # kernel faults etc.
+            return message.fail(
+                enums.CL_OUT_OF_RESOURCES, "%s: %s" % (type(exc).__name__, exc)
+            ), now_s
+        return message.reply(**payload), ready_s
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _device(self, handle):
+        try:
+            return self._device_handles[handle]
+        except KeyError:
+            raise CLError(enums.CL_INVALID_DEVICE, "device %r" % handle) from None
+
+    def _charge(self, device, event, now_s):
+        """Extend the device timeline by an enqueued command's duration."""
+        start = max(self._ready_at[device.id], now_s)
+        self._ready_at[device.id] = start + event.duration_s
+        return self._ready_at[device.id]
+
+    def _check_claim(self, device, user):
+        claim = self._claims.get(device.id)
+        if claim is None:
+            return
+        owner, shared = claim
+        if not shared and user != owner:
+            raise CLError(
+                enums.CL_DEVICE_NOT_AVAILABLE,
+                "device %d exclusively claimed by %r" % (device.id, owner),
+            )
+
+    # -- discovery ------------------------------------------------------------------
+
+    def _op_ping(self, payload, now_s):
+        return {"node_id": self.node_id, "mode": self.mode}, now_s
+
+    def _op_get_device_ids(self, payload, now_s):
+        type_mask = payload.get("device_type", enums.CL_DEVICE_TYPE_ALL)
+        devices = []
+        for handle, device in self._device_handles.items():
+            if device.matches(type_mask):
+                devices.append({
+                    "handle": handle,
+                    "type": device.device_type,
+                    "type_name": device.type_name,
+                    "info": device.model.describe(),
+                })
+        return {"devices": devices}, now_s
+
+    def _op_device_info(self, payload, now_s):
+        device = self._device(payload["device"])
+        return {"info": device.info(payload["param"])}, now_s
+
+    # -- object lifecycle --------------------------------------------------------------
+
+    def _op_create_context(self, payload, now_s):
+        devices = [self._device(h) for h in payload["devices"]]
+        context = self.runtime.create_context(devices)
+        return {"context": self._tables["context"].add(context)}, now_s
+
+    def _op_create_queue(self, payload, now_s):
+        context = self._tables["context"].get(payload["context"])
+        device = self._device(payload["device"])
+        queue = self.runtime.create_command_queue(
+            context, device, payload.get("properties", 0)
+        )
+        return {"queue": self._tables["queue"].add(queue)}, now_s
+
+    def _op_create_buffer(self, payload, now_s):
+        context = self._tables["context"].get(payload["context"])
+        buffer = self.runtime.create_buffer(
+            context,
+            payload.get("flags", enums.CL_MEM_READ_WRITE),
+            payload["size"],
+            host_data=payload.get("data"),
+            synthetic=payload.get("synthetic", False),
+        )
+        return {"buffer": self._tables["buffer"].add(buffer)}, now_s
+
+    def _op_build_program(self, payload, now_s):
+        context = self._tables["context"].get(payload["context"])
+        program = self.runtime.create_program_with_source(context, payload["source"])
+        self.runtime.build_program(program, payload.get("options", ""))
+        handle = self._tables["program"].add(program)
+        return {
+            "program": handle,
+            "kernels": program.compiled.kernel_names(),
+            "log": program.build_log,
+        }, now_s
+
+    def _op_create_kernel(self, payload, now_s):
+        program = self._tables["program"].get(payload["program"])
+        kernel = self.runtime.create_kernel(program, payload["name"])
+        return {
+            "kernel": self._tables["kernel"].add(kernel),
+            "num_args": kernel.num_args,
+        }, now_s
+
+    def _op_release(self, payload, now_s):
+        kind = payload["kind"]
+        table = self._tables.get(kind)
+        if table is None:
+            raise CLError(enums.CL_INVALID_VALUE, "bad object kind %r" % kind)
+        obj = table.get(payload["handle"])
+        if obj.release() == 0:
+            table.remove(payload["handle"])
+        return {}, now_s
+
+    def _op_retain(self, payload, now_s):
+        table = self._tables.get(payload["kind"])
+        if table is None:
+            raise CLError(enums.CL_INVALID_VALUE, "bad object kind")
+        table.get(payload["handle"]).retain()
+        return {}, now_s
+
+    # -- transfers -----------------------------------------------------------------------
+
+    def _op_write_buffer(self, payload, now_s):
+        queue = self._tables["queue"].get(payload["queue"])
+        buffer = self._tables["buffer"].get(payload["buffer"])
+        event = self.runtime.enqueue_write_buffer(
+            queue, buffer, payload["data"], payload.get("offset", 0)
+        )
+        self._charge(queue.device, event, now_s)
+        return {"duration_s": event.duration_s}, now_s
+
+    def _op_write_synthetic(self, payload, now_s):
+        """Size-only write for simulated paper-scale data: charges the
+        device DMA time without shipping bytes over the fabric."""
+        queue = self._tables["queue"].get(payload["queue"])
+        buffer = self._tables["buffer"].get(payload["buffer"])
+        nbytes = int(payload["nbytes"])
+        if queue.device.mode == "modeled":
+            duration = queue.device.model.transfer_time(nbytes)
+        else:
+            duration = 0.0
+        event = queue.record("write_synthetic", duration)
+        self._charge(queue.device, event, now_s)
+        del buffer  # size is all that matters; contents undefined
+        return {"duration_s": event.duration_s}, now_s
+
+    def _op_read_buffer(self, payload, now_s):
+        queue = self._tables["queue"].get(payload["queue"])
+        buffer = self._tables["buffer"].get(payload["buffer"])
+        if payload.get("synthetic_ack") and buffer.synthetic:
+            # modeled run: charge device DMA + wire time for the bytes a
+            # real read would move, without materialising them
+            nbytes = payload.get("nbytes") or buffer.size
+            duration = (
+                queue.device.model.transfer_time(nbytes)
+                if queue.device.mode == "modeled" else 0.0
+            )
+            event = queue.record("read_buffer", duration)
+            ready = self._charge(queue.device, event, now_s)
+            return {
+                "duration_s": event.duration_s,
+                "nbytes": nbytes,
+                "virtual_nbytes": nbytes,
+            }, ready
+        data, event = self.runtime.enqueue_read_buffer(
+            queue, buffer, payload.get("nbytes"), payload.get("offset", 0)
+        )
+        ready = self._charge(queue.device, event, now_s)
+        if payload.get("synthetic_ack"):
+            return {"duration_s": event.duration_s, "nbytes": len(data)}, ready
+        return {"data": data, "duration_s": event.duration_s}, ready
+
+    def _op_copy_buffer(self, payload, now_s):
+        queue = self._tables["queue"].get(payload["queue"])
+        src = self._tables["buffer"].get(payload["src"])
+        dst = self._tables["buffer"].get(payload["dst"])
+        event = self.runtime.enqueue_copy_buffer(
+            queue, src, dst,
+            payload.get("nbytes"),
+            payload.get("src_offset", 0),
+            payload.get("dst_offset", 0),
+        )
+        self._charge(queue.device, event, now_s)
+        return {"duration_s": event.duration_s}, now_s
+
+    # -- kernel launch ------------------------------------------------------------------------
+
+    def _op_set_kernel_arg(self, payload, now_s):
+        kernel = self._tables["kernel"].get(payload["kernel"])
+        index = payload["index"]
+        if "buffer" in payload:
+            kernel.set_arg(index, self._tables["buffer"].get(payload["buffer"]))
+        elif "local_size" in payload:
+            kernel.set_arg(index, LocalMem(payload["local_size"]))
+        else:
+            kernel.set_arg(index, payload["value"])
+        return {}, now_s
+
+    def _op_enqueue_ndrange(self, payload, now_s):
+        queue = self._tables["queue"].get(payload["queue"])
+        kernel = self._tables["kernel"].get(payload["kernel"])
+        self._check_claim(queue.device, payload.get("user"))
+        event = self.runtime.enqueue_nd_range_kernel(
+            queue,
+            kernel,
+            tuple(payload["global_size"]),
+            tuple(payload["local_size"]) if payload.get("local_size") else None,
+            tuple(payload["global_offset"]) if payload.get("global_offset") else None,
+        )
+        self._charge(queue.device, event, now_s)
+        items = 1
+        for dim in payload["global_size"]:
+            items *= int(dim)
+        profile = self.kernel_profile.setdefault(kernel.name, [0, 0.0, 0])
+        profile[0] += 1
+        profile[1] += event.duration_s
+        profile[2] += items
+        return {"duration_s": event.duration_s}, now_s
+
+    def _op_finish(self, payload, now_s):
+        queue = self._tables["queue"].get(payload["queue"])
+        device = queue.device
+        ready = max(self._ready_at[device.id], now_s)
+        return {
+            "device_clock_s": device.clock_s,
+            "busy_s": device.busy_s,
+        }, ready
+
+    def _op_flush(self, payload, now_s):
+        self._tables["queue"].get(payload["queue"])  # validate handle
+        return {}, now_s
+
+    # -- multi-user admission (§III-D fields) ------------------------------------------------
+
+    def _op_acquire_device(self, payload, now_s):
+        device = self._device(payload["device"])
+        user = payload["user"]
+        shared = bool(payload.get("shared", True))
+        claim = self._claims.get(device.id)
+        if claim is not None:
+            owner, owner_shared = claim
+            if owner != user and not (shared and owner_shared):
+                raise CLError(
+                    enums.CL_DEVICE_NOT_AVAILABLE,
+                    "device %d held by %r" % (device.id, owner),
+                )
+        self._claims[device.id] = (user, shared)
+        return {"granted": True}, now_s
+
+    def _op_release_device(self, payload, now_s):
+        device = self._device(payload["device"])
+        claim = self._claims.get(device.id)
+        if claim is not None and claim[0] == payload["user"]:
+            del self._claims[device.id]
+        return {}, now_s
+
+    # -- stats ---------------------------------------------------------------------------------
+
+    def _op_node_stats(self, payload, now_s):
+        devices = {}
+        for handle, device in self._device_handles.items():
+            devices[str(handle)] = {
+                "type_name": device.type_name,
+                "busy_s": device.busy_s,
+                "clock_s": device.clock_s,
+                "energy_j": device.energy_j(now_s if now_s > 0 else None),
+                "ready_at_s": self._ready_at[device.id],
+            }
+        kernels = {
+            name: {"count": c, "total_s": t, "items": i}
+            for name, (c, t, i) in self.kernel_profile.items()
+        }
+        return {
+            "node_id": self.node_id,
+            "devices": devices,
+            "kernels": kernels,
+            "messages": self.messages_handled,
+        }, now_s

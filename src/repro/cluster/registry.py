@@ -1,0 +1,78 @@
+"""Cluster-wide device registry (the paper's "mapping mechanism").
+
+When the user program calls clGetDeviceIDs, the wrapper lib sends a
+device-ID request message to every node; responses are recorded here as
+the mapping from cluster-global device ids to (node, local handle)
+pairs (§III-C).
+"""
+
+
+class ClusterDevice:
+    """One accelerator somewhere in the cluster, as the host sees it."""
+
+    def __init__(self, global_id, node_id, local_handle, device_type,
+                 type_name, info):
+        self.global_id = int(global_id)
+        self.node_id = node_id
+        self.local_handle = int(local_handle)
+        self.device_type = device_type
+        self.type_name = type_name
+        #: clGetDeviceInfo-style dict (name, compute units, memory, ...)
+        self.info = dict(info)
+
+    @property
+    def name(self):
+        return self.info.get("name", "device-%d" % self.global_id)
+
+    def __repr__(self):
+        return "ClusterDevice(#%d %s on %s)" % (
+            self.global_id, self.type_name, self.node_id
+        )
+
+
+class DeviceRegistry:
+    """Global id -> ClusterDevice mapping with type filters."""
+
+    def __init__(self):
+        self._devices = {}
+        self._next_id = 1
+
+    def register(self, node_id, local_handle, device_type, type_name, info):
+        device = ClusterDevice(
+            self._next_id, node_id, local_handle, device_type, type_name, info
+        )
+        self._devices[device.global_id] = device
+        self._next_id += 1
+        return device
+
+    def get(self, global_id):
+        try:
+            return self._devices[global_id]
+        except KeyError:
+            raise KeyError("unknown cluster device id %r" % global_id) from None
+
+    def all(self):
+        return [self._devices[key] for key in sorted(self._devices)]
+
+    def by_type(self, type_name):
+        """Devices whose short type label matches ('CPU'/'GPU'/'FPGA')."""
+        return [d for d in self.all() if d.type_name == type_name]
+
+    def by_node(self, node_id):
+        return [d for d in self.all() if d.node_id == node_id]
+
+    def node_ids(self):
+        return sorted({d.node_id for d in self.all()})
+
+    def __len__(self):
+        return len(self._devices)
+
+    def __iter__(self):
+        return iter(self.all())
+
+    def __repr__(self):
+        counts = {}
+        for device in self.all():
+            counts[device.type_name] = counts.get(device.type_name, 0) + 1
+        summary = ", ".join("%d %s" % (counts[k], k) for k in sorted(counts))
+        return "DeviceRegistry(%s)" % summary

@@ -1,0 +1,17 @@
+"""HaoCL core: the paper's contribution.
+
+- :mod:`repro.core.wrapper`   -- the OpenCL Wrapper Lib: cluster-wide
+  OpenCL objects that package every API call into messages (§III-B);
+- :mod:`repro.core.icd`       -- the extended Installable Client Driver
+  that forwards intercepted calls to remote vendor runtimes (§III-B);
+- :mod:`repro.core.scheduler` -- the extensible task scheduling
+  component with built-in and user-defined policies (§III-B);
+- :mod:`repro.core.api`       -- the flat ``clXxx`` compatibility API;
+- :mod:`repro.core.tenancy`   -- multi-user admission (§III-D fields);
+- :mod:`repro.core.session`   -- the high-level convenience entry point.
+"""
+
+from repro.core.session import HaoCLSession
+from repro.core.wrapper import HaoCL
+
+__all__ = ["HaoCL", "HaoCLSession"]

@@ -1,0 +1,252 @@
+"""Flat OpenCL-compatible API (paper contribution #4).
+
+"Support for the same application programming interfaces (APIs) as
+OpenCL ... which significantly reduces the integration and migration
+overhead of current applications."
+
+Function names and argument order match the C API; Pythonisms are kept
+to the unavoidable minimum (no out-pointers: functions *return* what C
+writes through pointers, and errors raise :class:`CLError` instead of
+returning negative status -- matching how every Python OpenCL binding
+behaves).
+
+A driver instance must be selected first, mirroring how the ICD picks a
+vendor platform::
+
+    from repro.core import api as cl
+    cl.set_current(haocl_driver)
+    platforms = cl.clGetPlatformIDs()
+    devices = cl.clGetDeviceIDs(platforms[0], cl.CL_DEVICE_TYPE_GPU)
+"""
+
+from repro.clc.interp import LocalMem
+from repro.ocl import enums
+from repro.ocl.errors import CLError, check
+
+# re-export the constants so `cl.CL_DEVICE_TYPE_GPU` works like the header
+from repro.ocl.enums import *  # noqa: F401,F403
+
+_current = None
+
+
+def set_current(driver):
+    """Select the HaoCL driver instance the flat API talks to."""
+    global _current
+    _current = driver
+    return driver
+
+
+def current():
+    check(_current is not None, enums.CL_INVALID_PLATFORM,
+          "no HaoCL driver selected; call api.set_current(driver)")
+    return _current
+
+
+# -- platform / device ---------------------------------------------------------
+
+
+def clGetPlatformIDs():
+    return current().get_platforms()
+
+
+def clGetPlatformInfo(platform, param):
+    mapping = {
+        enums.CL_PLATFORM_NAME: platform.name,
+        enums.CL_PLATFORM_VENDOR: platform.vendor,
+        enums.CL_PLATFORM_VERSION: platform.version,
+        enums.CL_PLATFORM_PROFILE: "FULL_PROFILE",
+    }
+    check(param in mapping, enums.CL_INVALID_VALUE, "bad platform info")
+    return mapping[param]
+
+
+def clGetDeviceIDs(platform, device_type=enums.CL_DEVICE_TYPE_ALL):
+    del platform  # single platform; signature kept for compatibility
+    return current().get_devices(device_type)
+
+
+def clGetDeviceInfo(device, param):
+    info = device.info
+    mapping = {
+        enums.CL_DEVICE_NAME: info.get("name"),
+        enums.CL_DEVICE_VENDOR: info.get("vendor"),
+        enums.CL_DEVICE_TYPE: device.device_type,
+        enums.CL_DEVICE_MAX_COMPUTE_UNITS: info.get("compute_units"),
+        enums.CL_DEVICE_GLOBAL_MEM_SIZE: info.get("global_mem_size"),
+        enums.CL_DEVICE_MAX_WORK_GROUP_SIZE: info.get("max_work_group_size"),
+        enums.CL_DEVICE_VERSION: "OpenCL 1.2 HaoCL",
+        enums.CL_DEVICE_AVAILABLE: True,
+    }
+    check(param in mapping, enums.CL_INVALID_VALUE, "bad device info")
+    return mapping[param]
+
+
+# -- context --------------------------------------------------------------------
+
+
+def clCreateContext(devices):
+    return current().create_context(devices)
+
+
+def clRetainContext(context):
+    return context
+
+
+def clReleaseContext(context):
+    return enums.CL_SUCCESS
+
+
+# -- command queue -----------------------------------------------------------------
+
+
+def clCreateCommandQueue(context, device, properties=0):
+    return current().create_queue(context, device, properties)
+
+
+def clReleaseCommandQueue(queue):
+    return enums.CL_SUCCESS
+
+
+def clFinish(queue):
+    current().finish(queue)
+    return enums.CL_SUCCESS
+
+
+def clFlush(queue):
+    current().flush(queue)
+    return enums.CL_SUCCESS
+
+
+# -- memory objects ---------------------------------------------------------------------
+
+
+def clCreateBuffer(context, flags, size, host_ptr=None):
+    synthetic = bool(flags & _SYNTHETIC_FLAG)
+    return current().create_buffer(
+        context, flags & ~_SYNTHETIC_FLAG, size,
+        host_data=host_ptr, synthetic=synthetic,
+    )
+
+
+#: HaoCL extension flag: size-only buffer for modeled paper-scale runs
+_SYNTHETIC_FLAG = 1 << 30
+CL_MEM_SYNTHETIC_HAOCL = _SYNTHETIC_FLAG
+
+
+def clCreateSubBuffer(buffer, flags, origin, size):
+    del flags  # region inherits the parent's flags
+    return current().create_sub_buffer(buffer, origin, size)
+
+
+def clReleaseMemObject(buffer):
+    return enums.CL_SUCCESS
+
+
+def clEnqueueWriteBuffer(queue, buffer, blocking, offset, data):
+    del blocking  # writes are acknowledged synchronously either way
+    return current().enqueue_write_buffer(queue, buffer, data, offset)
+
+
+def clEnqueueReadBuffer(queue, buffer, blocking, offset, nbytes=None):
+    del blocking  # reads are always blocking (paper's host is synchronous)
+    return current().enqueue_read_buffer(queue, buffer, nbytes, offset)
+
+
+def clEnqueueCopyBuffer(queue, src, dst):
+    return current().enqueue_copy_buffer(queue, src, dst)
+
+
+# -- programs ---------------------------------------------------------------------------------
+
+
+def clCreateProgramWithSource(context, source):
+    return current().create_program(context, source)
+
+
+def clBuildProgram(program, options=""):
+    current().build_program(program, options)
+    return enums.CL_SUCCESS
+
+
+def clGetProgramBuildInfo(program, device, param):
+    del device
+    mapping = {
+        enums.CL_PROGRAM_BUILD_STATUS: (
+            enums.CL_BUILD_SUCCESS if program.compiled else enums.CL_BUILD_ERROR
+        ),
+        enums.CL_PROGRAM_BUILD_OPTIONS: program.options,
+        enums.CL_PROGRAM_BUILD_LOG: program.build_log,
+    }
+    check(param in mapping, enums.CL_INVALID_VALUE, "bad build info")
+    return mapping[param]
+
+
+def clReleaseProgram(program):
+    return enums.CL_SUCCESS
+
+
+# -- kernels ------------------------------------------------------------------------------------
+
+
+def clCreateKernel(program, name):
+    return current().create_kernel(program, name)
+
+
+def clReleaseKernel(kernel):
+    return enums.CL_SUCCESS
+
+
+def clSetKernelArg(kernel, index, value):
+    """Bind one argument: an HBuffer, a scalar, or clLocalMem(size)."""
+    kernel.set_arg(index, value)
+    return enums.CL_SUCCESS
+
+
+def clLocalMem(size):
+    """Stand-in for clSetKernelArg(k, i, size, NULL) __local allocations."""
+    return LocalMem(size)
+
+
+def clEnqueueNDRangeKernel(queue, kernel, work_dim, global_offset,
+                           global_size, local_size=None):
+    check(work_dim == len(tuple(_as_tuple(global_size))),
+          enums.CL_INVALID_WORK_DIMENSION, "work_dim mismatch")
+    return current().enqueue_nd_range_kernel(
+        queue, kernel, _as_tuple(global_size),
+        _as_tuple(local_size) if local_size is not None else None,
+        _as_tuple(global_offset) if global_offset is not None else None,
+    )
+
+
+def clEnqueueTask(queue, kernel):
+    return current().enqueue_nd_range_kernel(queue, kernel, (1,), (1,))
+
+
+# -- events ----------------------------------------------------------------------------------------
+
+
+def clWaitForEvents(events):
+    for event in events:
+        check(event.status == enums.CL_COMPLETE, enums.CL_INVALID_EVENT,
+              "incomplete event")
+    return enums.CL_SUCCESS
+
+
+def clGetEventProfilingInfo(event, param):
+    duration_ns = int(event.duration_s * 1e9)
+    mapping = {
+        enums.CL_PROFILING_COMMAND_QUEUED: 0,
+        enums.CL_PROFILING_COMMAND_SUBMIT: 0,
+        enums.CL_PROFILING_COMMAND_START: 0,
+        enums.CL_PROFILING_COMMAND_END: duration_ns,
+    }
+    check(param in mapping, enums.CL_INVALID_VALUE, "bad profiling param")
+    return mapping[param]
+
+
+def _as_tuple(value):
+    if value is None:
+        return None
+    if isinstance(value, int):
+        return (value,)
+    return tuple(int(v) for v in value)

@@ -1,0 +1,75 @@
+"""Throughput-weighted automatic data partitioning.
+
+The paper's scheduler is extensible toward "an automatic scheduler with
+the runtime profiling information"; this module supplies the data-
+parallel half of that upgrade: given the devices a kernel will span,
+split the index space proportionally to each device's predicted
+throughput (static device model, refined by profiling feedback), so a
+hybrid GPU+FPGA cluster is not held back by its slowest member.
+
+Used by the heterogeneity evaluation and available to applications::
+
+    weights = device_weights(devices, cost=cost)
+    for (start, count), device in zip(weighted_ranges(n, weights), devices):
+        ...launch the kernel for [start, start+count) on device...
+"""
+
+from repro.core.scheduler.device_model import HostDeviceEstimator
+
+
+def device_weights(devices, cost=None, profiler=None, kernel_name=None,
+                   probe_items=1_000_000):
+    """Relative throughput of each device for a kernel.
+
+    ``cost`` is a :class:`repro.clc.analysis.ResolvedCost` (per work-item);
+    with a profiler and kernel name, measured rates take precedence.
+    Returns weights normalised to sum to 1.
+    """
+    estimator = HostDeviceEstimator(profiler)
+    rates = []
+    for device in devices:
+        predicted = None
+        if profiler is not None and kernel_name is not None:
+            predicted = profiler.estimate(kernel_name, device.type_name,
+                                          probe_items)
+        if predicted is None:
+            model = estimator._model(device)
+            predicted = model.kernel_time(cost, probe_items)
+        rates.append(1.0 / max(predicted, 1e-12))
+    total = sum(rates)
+    return [rate / total for rate in rates]
+
+
+def weighted_ranges(total, weights):
+    """Contiguous (start, count) ranges proportional to ``weights``.
+
+    Rounds with the largest-remainder method so counts sum exactly to
+    ``total`` and no device receives a negative share.
+    """
+    if not weights:
+        raise ValueError("no weights")
+    if any(weight < 0 for weight in weights):
+        raise ValueError("negative weight")
+    scale = sum(weights)
+    if scale <= 0:
+        raise ValueError("weights sum to zero")
+    exact = [total * weight / scale for weight in weights]
+    counts = [int(value) for value in exact]
+    remainders = [value - count for value, count in zip(exact, counts)]
+    shortfall = total - sum(counts)
+    for index in sorted(range(len(weights)), key=lambda i: -remainders[i])[:shortfall]:
+        counts[index] += 1
+    ranges = []
+    start = 0
+    for count in counts:
+        ranges.append((start, count))
+        start += count
+    return ranges
+
+
+def partition_by_throughput(total, devices, cost=None, profiler=None,
+                            kernel_name=None):
+    """One-call helper: weighted (start, count) range per device."""
+    weights = device_weights(devices, cost=cost, profiler=profiler,
+                             kernel_name=kernel_name)
+    return weighted_ranges(total, weights)

@@ -1,0 +1,209 @@
+"""Extended Installable Client Driver (paper §III-B).
+
+The real ICD is the common entry point that routes intercepted OpenCL
+calls to vendor drivers; HaoCL "extends the original ICD to be
+compatible with the front-end wrapper layer and the communication
+backbone for remote API call forwarding".  This class is that extension:
+it owns the mapping from cluster-side wrapper objects to per-node
+handles, materialising node-local contexts, queues, programs, kernels
+and buffer replicas on demand, and it implements the host-relayed buffer
+consistency protocol:
+
+- every buffer tracks the set of *fresh* locations ("host" or node ids);
+- before a kernel runs on a node, stale argument buffers are shipped
+  there (from the host shadow, or fetched from the owning node through
+  the host -- the backbone is host-centric, §III-C);
+- read-only arguments (static classification) replicate freely, while
+  written arguments migrate ownership to the executing node.
+"""
+
+import numpy as np
+
+from repro.ocl import enums
+from repro.ocl.errors import CLError
+
+HOST = "host"
+
+
+class ICDDispatcher:
+    """Per-driver-instance remote object manager."""
+
+    def __init__(self, host_process):
+        self.host = host_process
+        #: (kind, wrapper uid, node_id) -> node-local handle
+        self._handles = {}
+        #: node_id -> {cluster device global_id -> node queue handle}
+        self._node_queues = {}
+        #: transfer accounting for breakdown analyses
+        self.bytes_to_nodes = 0
+        self.bytes_from_nodes = 0
+        self.transfer_count = 0
+
+    # -- generic handle cache ------------------------------------------------
+
+    def _cached(self, kind, uid, node_id, create):
+        key = (kind, uid, node_id)
+        handle = self._handles.get(key)
+        if handle is None:
+            handle = create()
+            self._handles[key] = handle
+        return handle
+
+    def forget(self, kind, uid):
+        """Drop all node handles of one wrapper object (on release)."""
+        for key in [k for k in self._handles if k[0] == kind and k[1] == uid]:
+            del self._handles[key]
+
+    # -- contexts / queues --------------------------------------------------------
+
+    def node_context(self, context, node_id):
+        def create():
+            local_handles = sorted({
+                device.local_handle
+                for device in context.devices
+                if device.node_id == node_id
+            })
+            if not local_handles:
+                raise CLError(
+                    enums.CL_INVALID_CONTEXT,
+                    "context has no devices on node %s" % node_id,
+                )
+            return self.host.call(
+                node_id, "create_context", devices=local_handles
+            )["context"]
+
+        return self._cached("context", context.uid, node_id, create)
+
+    def node_queue(self, context, device, properties=0):
+        """The node-side in-order queue feeding one cluster device."""
+        queues = self._node_queues.setdefault(device.node_id, {})
+        if device.global_id not in queues:
+            ctx_handle = self.node_context(context, device.node_id)
+            queues[device.global_id] = self.host.call(
+                device.node_id,
+                "create_queue",
+                context=ctx_handle,
+                device=device.local_handle,
+                properties=properties,
+            )["queue"]
+        return queues[device.global_id]
+
+    # -- programs / kernels ----------------------------------------------------------
+
+    def node_program(self, program, node_id):
+        def create():
+            payload = self.host.call(
+                node_id,
+                "build_program",
+                context=self.node_context(program.context, node_id),
+                source=program.source,
+                options=program.options,
+            )
+            return payload["program"]
+
+        return self._cached("program", program.uid, node_id, create)
+
+    def node_kernel(self, kernel, node_id):
+        def create():
+            payload = self.host.call(
+                node_id,
+                "create_kernel",
+                program=self.node_program(kernel.program, node_id),
+                name=kernel.name,
+            )
+            return payload["kernel"]
+
+        return self._cached("kernel", kernel.uid, node_id, create)
+
+    # -- buffer replicas ----------------------------------------------------------------
+
+    def buffer_replica(self, buffer, node_id):
+        """Node-local cl_mem handle for a buffer (allocated lazily)."""
+
+        def create():
+            return self.host.call(
+                node_id,
+                "create_buffer",
+                context=self.node_context(buffer.context, node_id),
+                flags=buffer.flags,
+                size=buffer.size,
+                synthetic=buffer.synthetic,
+            )["buffer"]
+
+        return self._cached("buffer", buffer.uid, node_id, create)
+
+    def ensure_fresh(self, buffer, device):
+        """Make ``device``'s node hold current data for ``buffer``.
+
+        Returns the node-local buffer handle.  May move bytes: host ->
+        node, or owner-node -> host -> node (two hops, host-relayed).
+        """
+        node_id = device.node_id
+        handle = self.buffer_replica(buffer, node_id)
+        if node_id in buffer.fresh:
+            return handle
+        if HOST not in buffer.fresh:
+            self._fetch_to_host(buffer)
+        queue = self.node_queue(buffer.context, device)
+        if buffer.synthetic:
+            self.host.call(
+                node_id, "write_synthetic",
+                queue=queue, buffer=handle, nbytes=buffer.size,
+                virtual_nbytes=buffer.size,
+            )
+        else:
+            self.host.call(
+                node_id, "write_buffer",
+                queue=queue, buffer=handle, data=buffer.shadow,
+            )
+        self.bytes_to_nodes += buffer.size
+        self.transfer_count += 1
+        buffer.fresh.add(node_id)
+        return handle
+
+    def _fetch_to_host(self, buffer):
+        """Pull the newest replica back into the host shadow."""
+        owner = next(iter(buffer.fresh))
+        owner_device = self._any_device_on(buffer.context, owner)
+        queue = self.node_queue(buffer.context, owner_device)
+        handle = self.buffer_replica(buffer, owner)
+        if buffer.synthetic:
+            self.host.call(
+                owner, "read_buffer",
+                queue=queue, buffer=handle, synthetic_ack=True,
+            )
+        else:
+            payload = self.host.call(
+                owner, "read_buffer", queue=queue, buffer=handle,
+            )
+            raw = np.frombuffer(bytes(payload["data"]), dtype=np.uint8)
+            # in place: sub-buffer shadows are views into their parent
+            buffer.shadow[: len(raw)] = raw
+        self.bytes_from_nodes += buffer.size
+        self.transfer_count += 1
+        buffer.fresh.add(HOST)
+
+    def read_to_host(self, buffer):
+        """Host-side clEnqueueReadBuffer: returns the shadow bytes."""
+        if HOST not in buffer.fresh:
+            self._fetch_to_host(buffer)
+        if buffer.synthetic:
+            return np.zeros(buffer.size, dtype=np.uint8)
+        return buffer.shadow
+
+    @staticmethod
+    def _any_device_on(context, node_id):
+        for device in context.devices:
+            if device.node_id == node_id:
+                return device
+        raise CLError(
+            enums.CL_INVALID_MEM_OBJECT,
+            "buffer owner node %s left the context" % node_id,
+        )
+
+    def transfer_stats(self):
+        return {
+            "bytes_to_nodes": self.bytes_to_nodes,
+            "bytes_from_nodes": self.bytes_from_nodes,
+            "transfers": self.transfer_count,
+        }

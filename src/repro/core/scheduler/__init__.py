@@ -1,0 +1,33 @@
+"""Extensible task scheduling component (paper §III-B).
+
+The scheduler decides, per kernel launch, which cluster device runs the
+task.  The paper ships a user-directed scheduler and is "designed in an
+extendable manner so that it can be upgraded to an automatic scheduler
+with the runtime profiling information"; this package provides that
+upgrade path:
+
+- :class:`SchedulingPolicy` -- the plugin interface;
+- built-ins: ``user-directed``, ``round-robin``, ``load-aware``,
+  ``locality-aware``, ``hetero-aware``, ``power-aware``;
+- :func:`register_policy` -- embed custom policies by name;
+- :class:`Profiler` -- runtime per-kernel/per-device-rate feedback.
+"""
+
+from repro.core.scheduler.base import (
+    SchedulingPolicy,
+    TaskContext,
+    create_policy,
+    policy_names,
+    register_policy,
+)
+from repro.core.scheduler.profiler import Profiler
+from repro.core.scheduler import policies as _builtin_policies  # noqa: F401
+
+__all__ = [
+    "SchedulingPolicy",
+    "TaskContext",
+    "register_policy",
+    "create_policy",
+    "policy_names",
+    "Profiler",
+]

@@ -1,0 +1,109 @@
+"""Scheduling policy interface and plugin registry."""
+
+_REGISTRY = {}
+
+
+class TaskContext:
+    """Everything a policy may consider for one kernel launch.
+
+    Attributes
+    ----------
+    kernel_name : str
+    num_work_items : int
+    cost : repro.clc.analysis.ResolvedCost or None
+        Static per-work-item estimate with scalar args substituted.
+    queue_device : ClusterDevice
+        The device the application's command queue is bound to (the
+        user's instruction; user-directed scheduling honours it).
+    candidates : list[ClusterDevice]
+        Devices the task may legally run on (the context's devices).
+    buffer_locations : dict[int, set[str]]
+        Buffer uid -> node ids currently holding a fresh replica.
+    buffer_sizes : dict[int, int]
+        Buffer uid -> size in bytes (transfer-cost estimation).
+    stale_bytes : dict[int, int]
+        Device global_id -> bytes that would need shipping to that
+        device before the kernel could run there.
+    device_ready_s : dict[int, float]
+        Device global_id -> host-side estimate of when the device's
+        queue drains (load tracking).
+    user : str or None
+    """
+
+    def __init__(self, kernel_name, num_work_items, cost, queue_device,
+                 candidates, buffer_locations=None, buffer_sizes=None,
+                 stale_bytes=None, device_ready_s=None, user=None):
+        self.kernel_name = kernel_name
+        self.num_work_items = int(num_work_items)
+        self.cost = cost
+        self.queue_device = queue_device
+        self.candidates = list(candidates)
+        self.buffer_locations = buffer_locations or {}
+        self.buffer_sizes = buffer_sizes or {}
+        self.stale_bytes = stale_bytes or {}
+        self.device_ready_s = device_ready_s or {}
+        self.user = user
+
+    def __repr__(self):
+        return "TaskContext(%s, %d items, %d candidates)" % (
+            self.kernel_name, self.num_work_items, len(self.candidates)
+        )
+
+
+class SchedulingPolicy:
+    """Base class for scheduling policies.
+
+    Subclasses implement :meth:`select` returning one of
+    ``task.candidates``.  ``observe`` receives post-execution feedback
+    (measured duration) so adaptive policies can learn; the default
+    implementation ignores it.
+    """
+
+    #: registry key; set by the register_policy decorator
+    name = None
+
+    def select(self, task):
+        raise NotImplementedError
+
+    def observe(self, task, device, duration_s):
+        """Post-execution feedback hook (duration on the chosen device)."""
+
+    def __repr__(self):
+        return "%s()" % type(self).__name__
+
+
+def register_policy(name):
+    """Class decorator: make a policy constructible by name.
+
+    This is the paper's "designers can design and illustrate their own
+    scheduling algorithms and embed them into HaoCL" hook::
+
+        @register_policy("my-policy")
+        class MyPolicy(SchedulingPolicy):
+            def select(self, task):
+                return task.candidates[0]
+    """
+
+    def decorator(cls):
+        if not issubclass(cls, SchedulingPolicy):
+            raise TypeError("%r is not a SchedulingPolicy" % cls)
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def create_policy(name, **kwargs):
+    """Instantiate a registered policy by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            "unknown policy %r (registered: %s)" % (name, ", ".join(policy_names()))
+        ) from None
+    return cls(**kwargs)
+
+
+def policy_names():
+    return sorted(_REGISTRY)

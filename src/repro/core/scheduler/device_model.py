@@ -1,0 +1,71 @@
+"""Host-side device performance estimates.
+
+The host knows each cluster device's model parameters (from the device
+info returned at discovery) and can therefore predict kernel and
+transfer times without any network traffic.  The heterogeneity-aware
+policy combines three signals, in decreasing priority:
+
+1. profiled throughput for this (kernel, device type), when available;
+2. the static roofline estimate from the kernel cost analysis;
+3. a flat device-speed prior, when the kernel was never analysed.
+"""
+
+from repro.ocl.device import model_by_name
+
+_MODEL_BY_TYPE = {"CPU": "cpu", "GPU": "gpu", "FPGA": "fpga"}
+
+
+def model_for(cluster_device):
+    """DeviceModel matching a ClusterDevice's type."""
+    return model_by_name(_MODEL_BY_TYPE[cluster_device.type_name])
+
+
+class HostDeviceEstimator:
+    """Completion-time estimation for candidate devices."""
+
+    def __init__(self, profiler=None, netmodel=None):
+        self.profiler = profiler
+        self.netmodel = netmodel
+        self._models = {}
+
+    def _model(self, device):
+        if device.global_id not in self._models:
+            self._models[device.global_id] = model_for(device)
+        return self._models[device.global_id]
+
+    def kernel_time(self, task, device):
+        """Predicted kernel duration on ``device`` (seconds)."""
+        if self.profiler is not None:
+            profiled = self.profiler.estimate(
+                task.kernel_name, device.type_name, task.num_work_items
+            )
+            if profiled is not None:
+                return profiled
+        model = self._model(device)
+        if task.cost is not None:
+            return model.kernel_time(task.cost, task.num_work_items)
+        # flat prior: one item ~ one flop-equivalent
+        return model.launch_overhead_s + task.num_work_items / (
+            model.peak_gflops * 1e9 * model.compute_efficiency
+        )
+
+    def transfer_time(self, task, device):
+        """Time to ship stale buffer bytes to ``device``'s node."""
+        stale = task.stale_bytes.get(device.global_id, 0)
+        if stale <= 0:
+            return 0.0
+        wire = 0.0
+        if self.netmodel is not None:
+            wire = self.netmodel.transfer_time(stale)
+        return wire + self._model(device).transfer_time(stale)
+
+    def completion_time(self, task, device):
+        """Ready horizon + transfers + kernel: the full completion estimate."""
+        ready = task.device_ready_s.get(device.global_id, 0.0)
+        return ready + self.transfer_time(task, device) + self.kernel_time(task, device)
+
+    def energy(self, task, device):
+        """Joules the launch would consume on ``device``."""
+        model = self._model(device)
+        busy = self.kernel_time(task, device) + self.transfer_time(task, device)
+        return busy * model.peak_power_w

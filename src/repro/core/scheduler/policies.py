@@ -1,0 +1,121 @@
+"""Built-in scheduling policies.
+
+``user-directed`` is the paper's current version ("delivers the kernel
+tasks to device nodes based on users' instructions"); the rest are the
+automatic upgrades its extensible design anticipates.
+"""
+
+import itertools
+
+from repro.core.scheduler.base import SchedulingPolicy, register_policy
+from repro.core.scheduler.device_model import HostDeviceEstimator
+
+
+@register_policy("user-directed")
+class UserDirectedPolicy(SchedulingPolicy):
+    """Honour the command queue's device binding exactly."""
+
+    def select(self, task):
+        if task.queue_device is not None:
+            return task.queue_device
+        return task.candidates[0]
+
+
+@register_policy("round-robin")
+class RoundRobinPolicy(SchedulingPolicy):
+    """Cycle through candidates, ignoring heterogeneity."""
+
+    def __init__(self):
+        self._counter = itertools.count()
+
+    def select(self, task):
+        index = next(self._counter) % len(task.candidates)
+        return task.candidates[index]
+
+
+@register_policy("load-aware")
+class LoadAwarePolicy(SchedulingPolicy):
+    """Pick the device whose queue drains earliest (least outstanding
+    work), ignoring device speed differences."""
+
+    def select(self, task):
+        return min(
+            task.candidates,
+            key=lambda d: (task.device_ready_s.get(d.global_id, 0.0), d.global_id),
+        )
+
+
+@register_policy("locality-aware")
+class LocalityAwarePolicy(SchedulingPolicy):
+    """Prefer devices whose node already holds the kernel's data;
+    break ties by load."""
+
+    def select(self, task):
+        def stale(device):
+            return task.stale_bytes.get(device.global_id, 0)
+
+        return min(
+            task.candidates,
+            key=lambda d: (
+                stale(d),
+                task.device_ready_s.get(d.global_id, 0.0),
+                d.global_id,
+            ),
+        )
+
+
+@register_policy("hetero-aware")
+class HeterogeneityAwarePolicy(SchedulingPolicy):
+    """Minimise estimated completion time using the device models, the
+    static kernel cost analysis, transfer costs, and runtime profiling
+    feedback -- the paper's heterogeneity-aware scheduler."""
+
+    def __init__(self, profiler=None, netmodel=None):
+        self.estimator = HostDeviceEstimator(profiler, netmodel)
+        self.profiler = profiler
+
+    def select(self, task):
+        return min(
+            task.candidates,
+            key=lambda d: (self.estimator.completion_time(task, d), d.global_id),
+        )
+
+    def observe(self, task, device, duration_s):
+        if self.profiler is not None:
+            self.profiler.record(
+                task.kernel_name, device.type_name, duration_s, task.num_work_items
+            )
+
+
+@register_policy("power-aware")
+class PowerAwarePolicy(SchedulingPolicy):
+    """Minimise energy, subject to staying within ``slack`` of the
+    fastest candidate's completion time (energy-delay trade-off)."""
+
+    def __init__(self, slack=1.5, profiler=None, netmodel=None):
+        if slack < 1.0:
+            raise ValueError("slack must be >= 1.0")
+        self.slack = float(slack)
+        self.estimator = HostDeviceEstimator(profiler, netmodel)
+        self.profiler = profiler
+
+    def select(self, task):
+        times = {
+            d.global_id: self.estimator.completion_time(task, d)
+            for d in task.candidates
+        }
+        best_time = min(times.values())
+        allowed = [
+            d for d in task.candidates
+            if times[d.global_id] <= best_time * self.slack
+        ]
+        return min(
+            allowed,
+            key=lambda d: (self.estimator.energy(task, d), d.global_id),
+        )
+
+    def observe(self, task, device, duration_s):
+        if self.profiler is not None:
+            self.profiler.record(
+                task.kernel_name, device.type_name, duration_s, task.num_work_items
+            )

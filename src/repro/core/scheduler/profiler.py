@@ -1,0 +1,63 @@
+"""Runtime profiling feedback for the scheduler (paper §III-B).
+
+Records measured kernel durations per (kernel, device type) and exposes
+throughput estimates that adaptive policies blend with the static model.
+An exponentially-weighted mean keeps the estimate fresh when input sizes
+drift.
+"""
+
+
+class _Rate:
+    """EWMA of seconds-per-work-item for one (kernel, device type)."""
+
+    __slots__ = ("per_item_s", "samples")
+
+    def __init__(self):
+        self.per_item_s = None
+        self.samples = 0
+
+    def update(self, duration_s, items, alpha):
+        if items <= 0:
+            return
+        rate = duration_s / items
+        if self.per_item_s is None:
+            self.per_item_s = rate
+        else:
+            self.per_item_s = alpha * rate + (1.0 - alpha) * self.per_item_s
+        self.samples += 1
+
+
+class Profiler:
+    """Cluster-wide runtime profile store."""
+
+    def __init__(self, alpha=0.3, min_samples=1):
+        self.alpha = float(alpha)
+        #: observations needed before estimates are trusted
+        self.min_samples = int(min_samples)
+        self._rates = {}
+
+    def record(self, kernel_name, device_type, duration_s, items):
+        """Feed one measured launch."""
+        key = (kernel_name, device_type)
+        self._rates.setdefault(key, _Rate()).update(duration_s, items, self.alpha)
+
+    def estimate(self, kernel_name, device_type, items):
+        """Predicted duration in seconds, or None without enough data."""
+        rate = self._rates.get((kernel_name, device_type))
+        if rate is None or rate.samples < self.min_samples or rate.per_item_s is None:
+            return None
+        return rate.per_item_s * items
+
+    def known_kernels(self):
+        return sorted({kernel for kernel, _ in self._rates})
+
+    def snapshot(self):
+        """{(kernel, device type): seconds-per-item} for reporting."""
+        return {
+            key: rate.per_item_s
+            for key, rate in self._rates.items()
+            if rate.per_item_s is not None
+        }
+
+    def __repr__(self):
+        return "Profiler(%d rates)" % len(self._rates)

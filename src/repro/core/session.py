@@ -1,0 +1,126 @@
+"""High-level convenience entry point.
+
+`HaoCLSession` bundles cluster bring-up (config -> NMPs -> host process
+-> driver) into one call and adds NumPy-typed buffer helpers, which is
+what the examples and experiment harnesses use.  Applications that want
+strict OpenCL style use :mod:`repro.core.api` instead; both drive the
+same wrapper objects.
+"""
+
+import numpy as np
+
+from repro.clc.interp import LocalMem
+from repro.cluster import ClusterConfig, HostProcess
+from repro.core.wrapper import HaoCL
+from repro.ocl import enums
+
+
+class HaoCLSession:
+    """A running HaoCL cluster plus ergonomic helpers."""
+
+    def __init__(self, config=None, transport="inproc", policy="user-directed",
+                 netmodel=None, user=None, fastpaths=None, host=None,
+                 gpu_nodes=0, fpga_nodes=0, cpu_nodes=0, mode="modeled"):
+        if config is None and host is None:
+            config = ClusterConfig.build(
+                gpu_nodes=gpu_nodes, fpga_nodes=fpga_nodes,
+                cpu_nodes=cpu_nodes, mode=mode,
+            )
+        self.host = host or HostProcess.launch(
+            config, transport=transport, netmodel=netmodel, fastpaths=fastpaths
+        )
+        self.cl = HaoCL(self.host, policy=policy, user=user)
+
+    # -- device helpers -------------------------------------------------------
+
+    @property
+    def devices(self):
+        return self.cl.get_devices()
+
+    def devices_of(self, type_name):
+        """Devices by short label: 'CPU', 'GPU' or 'FPGA'."""
+        return [d for d in self.devices if d.type_name == type_name]
+
+    def context(self, devices=None):
+        return self.cl.create_context(devices or self.devices)
+
+    def queue(self, context, device, properties=0):
+        return self.cl.create_queue(context, device, properties)
+
+    def program(self, context, source, options=""):
+        return self.cl.build_program(self.cl.create_program(context, source),
+                                     options)
+
+    def kernel(self, program, name, *args):
+        """Create a kernel and optionally bind ``args`` in order."""
+        kernel = self.cl.create_kernel(program, name)
+        for index, value in enumerate(args):
+            kernel.set_arg(index, value)
+        return kernel
+
+    # -- typed buffers ------------------------------------------------------------
+
+    def buffer_from(self, context, array, flags=enums.CL_MEM_READ_WRITE):
+        """Create and fill a buffer from a NumPy array."""
+        array = np.ascontiguousarray(array)
+        return self.cl.create_buffer(context, flags, array.nbytes,
+                                     host_data=array)
+
+    def empty_buffer(self, context, nbytes, flags=enums.CL_MEM_READ_WRITE):
+        return self.cl.create_buffer(context, flags, nbytes)
+
+    def synthetic_buffer(self, context, nbytes, flags=enums.CL_MEM_READ_WRITE):
+        """Size-only buffer for paper-scale modeled runs."""
+        return self.cl.create_buffer(context, flags, nbytes, synthetic=True)
+
+    def read_array(self, queue, buffer, dtype, shape=None, count=None):
+        """Read a buffer back as a typed NumPy array."""
+        raw = self.cl.enqueue_read_buffer(queue, buffer)
+        dtype = np.dtype(dtype)
+        count = raw.nbytes // dtype.itemsize if count is None else count
+        array = np.frombuffer(bytes(raw), dtype=dtype, count=count)
+        if shape is not None:
+            array = array.reshape(shape)
+        return array
+
+    @staticmethod
+    def local_mem(nbytes):
+        return LocalMem(nbytes)
+
+    # -- command aliases used by the workload host programs -------------------
+
+    def enqueue(self, queue, kernel, global_size, local_size=None,
+                global_offset=None):
+        return self.cl.enqueue_nd_range_kernel(
+            queue, kernel, global_size, local_size, global_offset
+        )
+
+    def write(self, queue, buffer, data=None, nbytes=None):
+        return self.cl.enqueue_write_buffer(queue, buffer, data=data,
+                                            nbytes=nbytes)
+
+    def read_ack(self, queue, buffer, nbytes=None):
+        """Blocking read used for timing; the bytes are discarded (and
+        synthetic buffers only charge the simulated wire/DMA time)."""
+        self.cl.enqueue_read_buffer(queue, buffer, nbytes)
+
+    def finish(self, queue):
+        return self.cl.finish(queue)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def now_s(self):
+        return self.host.now_s()
+
+    def stats(self):
+        return self.cl.cluster_stats()
+
+    def close(self):
+        self.host.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False

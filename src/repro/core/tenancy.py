@@ -1,0 +1,76 @@
+"""Multi-user support (paper §III-D).
+
+NMP commands carry a user ID and a shared flag; this module provides the
+host-side lease protocol: a user acquires devices (shared or exclusive)
+before launching work, and conflicting exclusive claims are refused with
+CL_DEVICE_NOT_AVAILABLE -- the multi-user capability the paper claims
+over SnuCL.
+"""
+
+from repro.ocl import enums
+from repro.ocl.errors import CLError
+
+
+class DeviceLease:
+    """A user's claim on a set of cluster devices.
+
+    Usable as a context manager::
+
+        with DeviceLease(session.cl, "alice", devices, shared=False):
+            ...launch kernels...
+    """
+
+    def __init__(self, driver, user, devices, shared=True):
+        self.driver = driver
+        self.user = user
+        self.devices = list(devices)
+        self.shared = shared
+        self.active = False
+
+    def acquire(self):
+        granted = []
+        try:
+            for device in self.devices:
+                self.driver.host.call(
+                    device.node_id, "acquire_device",
+                    device=device.local_handle, user=self.user,
+                    shared=self.shared,
+                )
+                granted.append(device)
+        except CLError:
+            for device in granted:
+                self._release_one(device)
+            raise
+        self.active = True
+        return self
+
+    def release(self):
+        if not self.active:
+            return
+        for device in self.devices:
+            self._release_one(device)
+        self.active = False
+
+    def _release_one(self, device):
+        self.driver.host.call(
+            device.node_id, "release_device",
+            device=device.local_handle, user=self.user,
+        )
+
+    def __enter__(self):
+        return self.acquire()
+
+    def __exit__(self, *exc_info):
+        self.release()
+        return False
+
+
+def try_acquire(driver, user, devices, shared=True):
+    """Acquire a lease or return None if any device is unavailable."""
+    lease = DeviceLease(driver, user, devices, shared)
+    try:
+        return lease.acquire()
+    except CLError as exc:
+        if exc.code == enums.CL_DEVICE_NOT_AVAILABLE:
+            return None
+        raise

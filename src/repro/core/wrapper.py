@@ -1,0 +1,649 @@
+"""The OpenCL Wrapper Lib (paper §III-B).
+
+Cluster-wide OpenCL objects with the exact semantics of their local
+counterparts.  Every operation packages the call into a message and
+forwards it through the ICD to the chosen device node; kernel launches
+additionally pass through the extensible scheduling component, which may
+honour the queue's device (user-directed, the paper's default) or pick a
+better device from runtime information (automatic policies).
+
+The flat ``clXxx`` API in :mod:`repro.core.api` is a thin veneer over
+these objects, so applications can use either style.
+"""
+
+import itertools
+
+import numpy as np
+
+from repro.clc import compile_program
+from repro.clc.analysis import analyze_kernel, classify_param_access
+from repro.clc.errors import CLCError
+from repro.clc.interp import LocalMem
+from repro.core.icd import HOST, ICDDispatcher
+from repro.core.scheduler import Profiler, TaskContext, create_policy
+from repro.core.scheduler.base import SchedulingPolicy
+from repro.ocl import enums
+from repro.ocl.errors import CLError, check
+
+_uids = itertools.count(1)
+
+
+class HPlatform:
+    """The single platform HaoCL exposes: every device in the cluster."""
+
+    def __init__(self, driver):
+        self.driver = driver
+        self.name = "HaoCL"
+        self.vendor = "HaoCL reproduction"
+        self.version = "OpenCL 1.2 HaoCL"
+
+    @property
+    def devices(self):
+        return self.driver.host.registry.all()
+
+    def __repr__(self):
+        return "HPlatform(%d devices)" % len(self.devices)
+
+
+class HContext:
+    """A context spanning cluster devices (possibly on many nodes)."""
+
+    def __init__(self, driver, devices):
+        check(bool(devices), enums.CL_INVALID_VALUE, "context needs devices")
+        self.uid = next(_uids)
+        self.driver = driver
+        self.devices = list(devices)
+
+    def node_ids(self):
+        return sorted({device.node_id for device in self.devices})
+
+    def __repr__(self):
+        return "HContext(#%d, %d devices)" % (self.uid, len(self.devices))
+
+
+class HQueue:
+    """Command queue bound to one cluster device.
+
+    The binding is the *user's instruction*; automatic policies may
+    overrule it, in which case the queue tracks every device its
+    commands actually landed on so clFinish drains them all.
+    """
+
+    def __init__(self, context, device, properties=0):
+        check(device in context.devices, enums.CL_INVALID_DEVICE,
+              "queue device not in context")
+        self.uid = next(_uids)
+        self.context = context
+        self.device = device
+        self.properties = properties
+        self.touched = {device.global_id: device}
+        self.events = []
+
+    def __repr__(self):
+        return "HQueue(#%d -> %s)" % (self.uid, self.device)
+
+
+class HBuffer:
+    """Cluster-wide cl_mem with host shadow and per-node replicas.
+
+    Sub-buffers (clCreateSubBuffer) are HBuffers whose ``shadow`` is a
+    NumPy *view* into the parent's shadow, so host-side bytes are shared
+    by construction; freshness is tracked per buffer with the parent
+    remembering which children hold remote updates (``dirty_children``).
+    """
+
+    def __init__(self, context, flags, size, host_data=None, synthetic=False,
+                 parent=None, origin=0):
+        check(size > 0, enums.CL_INVALID_BUFFER_SIZE, "zero-size buffer")
+        self.uid = next(_uids)
+        self.context = context
+        self.flags = flags
+        self.size = int(size)
+        self.synthetic = synthetic
+        self.parent = parent
+        self.origin = int(origin)
+        self.children = []
+        #: children whose newest data lives on a remote node
+        self.dirty_children = set()
+        #: canonical host copy (uint8); None for synthetic buffers
+        self.shadow = None
+        #: locations holding current data ("host" or node ids)
+        self.fresh = {HOST}
+        if parent is not None:
+            check(origin >= 0 and origin + size <= parent.size,
+                  enums.CL_INVALID_BUFFER_SIZE, "sub-buffer out of range")
+            self.synthetic = parent.synthetic
+            if not parent.synthetic:
+                self.shadow = parent.shadow[origin : origin + size]
+            parent.children.append(self)
+        elif synthetic:
+            check(host_data is None, enums.CL_INVALID_VALUE,
+                  "synthetic buffers carry no data")
+        else:
+            self.shadow = np.zeros(self.size, dtype=np.uint8)
+            if host_data is not None:
+                raw = np.ascontiguousarray(host_data).view(np.uint8).reshape(-1)
+                check(raw.nbytes <= self.size, enums.CL_INVALID_BUFFER_SIZE,
+                      "host data larger than buffer")
+                self.shadow[: raw.nbytes] = raw
+
+    def update_shadow(self, data, offset=0):
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        check(offset + raw.nbytes <= self.size, enums.CL_INVALID_VALUE,
+              "write past end of buffer")
+        if not self.synthetic:
+            self.shadow[offset : offset + raw.nbytes] = raw
+        self.fresh = {HOST}
+        # a host write refreshes the whole family's host view (shared
+        # memory) and invalidates every remote replica in the region
+        if self.parent is not None:
+            self.parent.fresh &= {HOST}
+            self.parent.dirty_children.discard(self)
+        for child in self.children:
+            child.fresh = {HOST}
+        self.dirty_children.clear()
+
+    def __repr__(self):
+        kind = "synthetic" if self.synthetic else "real"
+        return "HBuffer(#%d, %d bytes, %s, fresh=%s)" % (
+            self.uid, self.size, kind, sorted(map(str, self.fresh))
+        )
+
+
+class HProgram:
+    """A program built cluster-wide; also compiled host-side so the
+    scheduler can cost kernels without touching the network."""
+
+    def __init__(self, context, source):
+        check(bool(source.strip()), enums.CL_INVALID_VALUE, "empty source")
+        self.uid = next(_uids)
+        self.context = context
+        self.source = source
+        self.options = ""
+        self.compiled = None  # host-side clc Program
+        self.build_log = ""
+        self._costs = {}
+        self._access = {}
+
+    def build(self, options=""):
+        self.options = options or ""
+        try:
+            self.compiled = compile_program(self.source, self.options)
+        except CLCError as exc:
+            self.build_log = str(exc)
+            raise CLError(enums.CL_BUILD_PROGRAM_FAILURE, str(exc)) from exc
+        self.build_log = "host analysis ok: kernels [%s]" % ", ".join(
+            self.compiled.kernel_names()
+        )
+        return self
+
+    def kernel_cost(self, name):
+        if name not in self._costs:
+            self._costs[name] = analyze_kernel(self.compiled, name)
+        return self._costs[name]
+
+    def param_access(self, name):
+        if name not in self._access:
+            self._access[name] = classify_param_access(self.compiled, name)
+        return self._access[name]
+
+    def __repr__(self):
+        state = "built" if self.compiled else "source-only"
+        return "HProgram(#%d, %s)" % (self.uid, state)
+
+
+class HKernel:
+    """Cluster-wide kernel object with its pending argument bindings."""
+
+    def __init__(self, program, name):
+        check(program.compiled is not None, enums.CL_INVALID_PROGRAM_EXECUTABLE,
+              "program not built")
+        try:
+            self.info = program.compiled.kernel(name)
+        except KeyError:
+            raise CLError(enums.CL_INVALID_KERNEL_NAME, name) from None
+        self.uid = next(_uids)
+        self.program = program
+        self.name = name
+        self.args = {}
+        #: per-node record of argument bindings already sent
+        self.sent_args = {}
+
+    @property
+    def num_args(self):
+        return len(self.info.params)
+
+    def set_arg(self, index, value):
+        check(0 <= index < self.num_args, enums.CL_INVALID_ARG_INDEX,
+              "arg %d of %d" % (index, self.num_args))
+        _, ctype = self.info.params[index]
+        if isinstance(value, HBuffer):
+            check(ctype.is_pointer(), enums.CL_INVALID_ARG_VALUE,
+                  "buffer bound to non-pointer arg %d" % index)
+        elif isinstance(value, LocalMem):
+            check(ctype.is_pointer(), enums.CL_INVALID_ARG_VALUE,
+                  "local memory bound to non-pointer arg %d" % index)
+        else:
+            check(not ctype.is_pointer(), enums.CL_INVALID_ARG_VALUE,
+                  "scalar bound to pointer arg %d" % index)
+        self.args[index] = value
+
+    def scalar_args(self):
+        out = {}
+        for index, (name, ctype) in enumerate(self.info.params):
+            value = self.args.get(index)
+            if value is not None and not isinstance(value, (HBuffer, LocalMem)):
+                out[name] = float(value)
+        return out
+
+    def buffer_args(self):
+        """[(param name, HBuffer)] in argument order."""
+        out = []
+        for index, (name, _ctype) in enumerate(self.info.params):
+            value = self.args.get(index)
+            if isinstance(value, HBuffer):
+                out.append((name, value))
+        return out
+
+    def __repr__(self):
+        return "HKernel(%s, %d/%d args)" % (self.name, len(self.args), self.num_args)
+
+
+class HEvent:
+    """Completion record for one command."""
+
+    def __init__(self, command_type, device, duration_s):
+        self.command_type = command_type
+        self.device = device
+        self.duration_s = duration_s
+        self.status = enums.CL_COMPLETE
+
+    def __repr__(self):
+        return "HEvent(%s on %s: %.3es)" % (
+            self.command_type,
+            self.device.name if self.device else "host",
+            self.duration_s,
+        )
+
+
+class HaoCL:
+    """One HaoCL driver instance: host process + scheduler + ICD."""
+
+    def __init__(self, host_process, policy="user-directed", profiler=None,
+                 user=None):
+        self.host = host_process
+        self.icd = ICDDispatcher(host_process)
+        self.profiler = profiler or Profiler()
+        self.user = user
+        self.platform = HPlatform(self)
+        if isinstance(policy, SchedulingPolicy):
+            self.policy = policy
+        else:
+            self.policy = self._make_policy(policy)
+        #: host-side estimate of each device's queue-drain horizon
+        self._device_ready = {}
+        self.launches = 0
+
+    def _make_policy(self, name):
+        netmodel = getattr(self.host.fabric, "netmodel", None)
+        if name in ("hetero-aware", "power-aware"):
+            return create_policy(name, profiler=self.profiler, netmodel=netmodel)
+        return create_policy(name)
+
+    def set_policy(self, policy):
+        """Swap the scheduling policy (name or instance) at runtime."""
+        if isinstance(policy, SchedulingPolicy):
+            self.policy = policy
+        else:
+            self.policy = self._make_policy(policy)
+
+    # -- discovery --------------------------------------------------------------
+
+    def get_platforms(self):
+        return [self.platform]
+
+    def get_devices(self, device_type=enums.CL_DEVICE_TYPE_ALL):
+        devices = [
+            d for d in self.platform.devices if _matches(d, device_type)
+        ]
+        if not devices:
+            raise CLError(enums.CL_DEVICE_NOT_FOUND,
+                          enums.device_type_name(device_type))
+        return devices
+
+    # -- object creation -----------------------------------------------------------
+
+    def create_context(self, devices):
+        return HContext(self, devices)
+
+    def create_queue(self, context, device, properties=0):
+        return HQueue(context, device, properties)
+
+    def create_buffer(self, context, flags, size, host_data=None, synthetic=False):
+        return HBuffer(context, flags, size, host_data, synthetic)
+
+    def create_sub_buffer(self, buffer, origin, size):
+        """clCreateSubBuffer: a region view sharing the parent's host
+        bytes, letting several nodes write disjoint slices of one
+        logical output buffer."""
+        check(buffer.parent is None, enums.CL_INVALID_MEM_OBJECT,
+              "sub-buffer of a sub-buffer")
+        return HBuffer(buffer.context, buffer.flags, size,
+                       parent=buffer, origin=origin)
+
+    def create_program(self, context, source):
+        return HProgram(context, source)
+
+    def build_program(self, program, options=""):
+        return program.build(options)
+
+    def create_kernel(self, program, name):
+        return HKernel(program, name)
+
+    # -- transfers ---------------------------------------------------------------------
+
+    def enqueue_write_buffer(self, queue, buffer, data=None, offset=0, nbytes=None):
+        """Update the buffer; delivery to a node is *lazy*.
+
+        The bytes ship when a kernel launch binds the buffer, because
+        only then has the scheduler chosen the executing device --
+        shipping eagerly to the queue's node would double the traffic
+        whenever an automatic policy overrides the binding.
+
+        For synthetic buffers pass ``nbytes`` instead of ``data``.  A
+        partial synthetic write (``nbytes < buffer.size``) models a
+        region update -- a halo exchange -- and ships only that region
+        to the queue's node immediately (the region pattern implies the
+        buffer is already resident there).
+        """
+        if buffer.synthetic:
+            check(nbytes is not None or data is None, enums.CL_INVALID_VALUE,
+                  "synthetic write takes nbytes")
+            nbytes = buffer.size if nbytes is None else int(nbytes)
+            if nbytes < buffer.size:
+                self._partial_synthetic_write(queue, buffer, nbytes)
+                event = HEvent("write_buffer", queue.device, 0.0)
+                queue.events.append(event)
+                return event
+            buffer.fresh = {HOST}
+        else:
+            check(data is not None, enums.CL_INVALID_VALUE, "write needs data")
+            if data is not None and offset == 0 \
+                    and np.ascontiguousarray(data).nbytes >= buffer.size:
+                pass  # full overwrite: no need to gather remote state first
+            else:
+                self._sync_family(buffer)
+            buffer.update_shadow(data, offset)
+        event = HEvent("write_buffer", queue.device, 0.0)
+        queue.events.append(event)
+        return event
+
+    def _partial_synthetic_write(self, queue, buffer, nbytes, device=None):
+        device = device or queue.device
+        handle = self.icd.buffer_replica(buffer, device.node_id)
+        node_queue = self.icd.node_queue(buffer.context, device,
+                                         queue.properties)
+        self.host.call(
+            device.node_id, "write_synthetic",
+            queue=node_queue, buffer=handle,
+            nbytes=nbytes, virtual_nbytes=nbytes,
+        )
+        self.icd.bytes_to_nodes += nbytes
+        self.icd.transfer_count += 1
+        buffer.fresh.add(device.node_id)
+        buffer.fresh.add(HOST)
+
+    def enqueue_read_buffer(self, queue, buffer, nbytes=None, offset=0):
+        """Blocking read returning bytes (zeros for synthetic buffers).
+
+        Synthetic reads only charge wire/DMA time; a partial synthetic
+        read models fetching one region (gather of results or halos).
+        """
+        self.finish(queue)
+        if buffer.synthetic:
+            size = buffer.size - offset if nbytes is None else int(nbytes)
+            node_id = self._freshest_node(queue, buffer)
+            if node_id is not None:
+                handle = self.icd.buffer_replica(buffer, node_id)
+                node_queue = self.icd.node_queue(
+                    buffer.context, queue.device, queue.properties
+                ) if node_id == queue.device.node_id else self.icd.node_queue(
+                    buffer.context, self.icd._any_device_on(buffer.context, node_id),
+                    queue.properties,
+                )
+                self.host.call(
+                    node_id, "read_buffer",
+                    queue=node_queue, buffer=handle,
+                    nbytes=size, synthetic_ack=True,
+                )
+                self.icd.bytes_from_nodes += size
+                self.icd.transfer_count += 1
+            buffer.fresh.add(HOST)
+            event = HEvent("read_buffer", queue.device, 0.0)
+            queue.events.append(event)
+            return np.zeros(size, dtype=np.uint8)
+        self._sync_family(buffer)
+        data = self.icd.read_to_host(buffer)
+        nbytes = buffer.size - offset if nbytes is None else nbytes
+        event = HEvent("read_buffer", queue.device, 0.0)
+        queue.events.append(event)
+        return data[offset : offset + nbytes]
+
+    def _freshest_node(self, queue, buffer):
+        """Node to read a synthetic buffer from: prefer the queue's node."""
+        if queue.device.node_id in buffer.fresh:
+            return queue.device.node_id
+        for location in buffer.fresh:
+            if location != HOST:
+                return location
+        return None
+
+    def enqueue_copy_buffer(self, queue, src, dst):
+        check(src.size <= dst.size, enums.CL_INVALID_VALUE, "copy overflow")
+        if src.synthetic or dst.synthetic:
+            dst.fresh = {HOST}
+        else:
+            data = self.icd.read_to_host(src)
+            dst.update_shadow(data)
+        event = HEvent("copy_buffer", queue.device, 0.0)
+        queue.events.append(event)
+        return event
+
+    # -- the scheduled kernel launch ------------------------------------------------------
+
+    def enqueue_nd_range_kernel(self, queue, kernel, global_size,
+                                local_size=None, global_offset=None):
+        missing = [i for i in range(kernel.num_args) if i not in kernel.args]
+        check(not missing, enums.CL_INVALID_KERNEL_ARGS,
+              "unset args %r of %s" % (missing, kernel.name))
+        task = self._build_task(queue, kernel, global_size)
+        device = self.policy.select(task)
+        check(device in task.candidates, enums.CL_INVALID_DEVICE,
+              "policy chose a device outside the context")
+        duration = self._dispatch(queue, kernel, device,
+                                  global_size, local_size, global_offset)
+        self.policy.observe(task, device, duration)
+        self.launches += 1
+        queue.touched[device.global_id] = device
+        now = self.host.now_s()
+        ready = max(self._device_ready.get(device.global_id, 0.0), now)
+        self._device_ready[device.global_id] = ready + duration
+        event = HEvent("ndrange:%s" % kernel.name, device, duration)
+        queue.events.append(event)
+        return event
+
+    def _build_task(self, queue, kernel, global_size):
+        num_items = 1
+        for dim in np.atleast_1d(global_size):
+            num_items *= int(dim)
+        cost = kernel.program.kernel_cost(kernel.name).resolve(kernel.scalar_args())
+        buffers = kernel.buffer_args()
+        locations = {buf.uid: set(buf.fresh) for _name, buf in buffers}
+        sizes = {buf.uid: buf.size for _name, buf in buffers}
+        stale = {}
+        for device in queue.context.devices:
+            total = 0
+            for _name, buf in buffers:
+                if device.node_id not in buf.fresh:
+                    total += buf.size
+            stale[device.global_id] = total
+        return TaskContext(
+            kernel_name=kernel.name,
+            num_work_items=num_items,
+            cost=cost,
+            queue_device=queue.device,
+            candidates=list(queue.context.devices),
+            buffer_locations=locations,
+            buffer_sizes=sizes,
+            stale_bytes=stale,
+            device_ready_s=dict(self._device_ready),
+            user=self.user,
+        )
+
+    def _dispatch(self, queue, kernel, device, global_size, local_size,
+                  global_offset):
+        """Ship data + args + launch message to the chosen node.
+
+        Unchanged arguments are not re-sent: the node-side kernel object
+        keeps its bindings, exactly as cl_kernel state persists between
+        launches, so steady-state loops cost one message per launch.
+        """
+        node_id = device.node_id
+        node_kernel = self.icd.node_kernel(kernel, node_id)
+        node_queue = self.icd.node_queue(queue.context, device, queue.properties)
+        access = kernel.program.param_access(kernel.name)
+        sent = kernel.sent_args.setdefault(node_id, {})
+        for index in range(kernel.num_args):
+            value = kernel.args[index]
+            if isinstance(value, HBuffer):
+                self._sync_family(value)
+                name = kernel.info.params[index][0]
+                param = access.get(name)
+                if param is not None and param.write and not param.read:
+                    # write-only argument: prior contents are undefined in
+                    # OpenCL, so allocating a replica without shipping
+                    # bytes is legal and saves the transfer
+                    handle = self.icd.buffer_replica(value, node_id)
+                else:
+                    handle = self.icd.ensure_fresh(value, device)
+                token = ("buf", handle)
+                if sent.get(index) != token:
+                    self.host.call(node_id, "set_kernel_arg",
+                                   kernel=node_kernel, index=index,
+                                   buffer=handle)
+                    sent[index] = token
+            elif isinstance(value, LocalMem):
+                token = ("loc", value.size)
+                if sent.get(index) != token:
+                    self.host.call(node_id, "set_kernel_arg",
+                                   kernel=node_kernel, index=index,
+                                   local_size=value.size)
+                    sent[index] = token
+            else:
+                token = ("val", _wire_scalar(value))
+                if sent.get(index) != token:
+                    self.host.call(node_id, "set_kernel_arg",
+                                   kernel=node_kernel, index=index,
+                                   value=token[1])
+                    sent[index] = token
+        payload = self.host.call(
+            node_id, "enqueue_ndrange",
+            queue=node_queue, kernel=node_kernel,
+            global_size=[int(d) for d in np.atleast_1d(global_size)],
+            local_size=(
+                [int(d) for d in np.atleast_1d(local_size)]
+                if local_size is not None else None
+            ),
+            global_offset=(
+                [int(d) for d in np.atleast_1d(global_offset)]
+                if global_offset is not None else None
+            ),
+            user=self.user,
+        )
+        # consistency: written buffers now live on the executing node only
+        for name, buffer in kernel.buffer_args():
+            param = access.get(name)
+            if param is None or param.write:
+                buffer.fresh = {node_id}
+                buffer.dirty_children.clear()
+                if buffer.parent is not None:
+                    # the parent's replicas (and its host region) are
+                    # stale until this child is gathered back
+                    buffer.parent.dirty_children.add(buffer)
+                    buffer.parent.fresh &= {HOST}
+                for child in buffer.children:
+                    child.fresh = set()  # re-derive from the parent on use
+        return payload["duration_s"]
+
+    def _sync_family(self, buffer):
+        """Reconcile sub-buffer family state before a buffer is used.
+
+        Only acts when a parent/child relationship requires it; plain
+        buffers keep their lazy freshness and are shipped by
+        ``ensure_fresh`` exactly as before.
+        """
+        parent = buffer.parent
+        if parent is not None:
+            if not buffer.fresh:  # invalidated by a parent-wide write
+                if HOST not in parent.fresh:
+                    self.icd._fetch_to_host(parent)
+                buffer.fresh = {HOST}
+            return
+        if not buffer.dirty_children:
+            return
+        # gather: base parent state first, then overlay remote regions
+        if buffer.fresh and HOST not in buffer.fresh:
+            self.icd._fetch_to_host(buffer)
+        for child in list(buffer.dirty_children):
+            if HOST not in child.fresh:
+                self.icd._fetch_to_host(child)  # fills the shared view
+            child.fresh.add(HOST)
+            buffer.dirty_children.discard(child)
+        buffer.fresh = {HOST}
+
+    # -- synchronisation -------------------------------------------------------------------
+
+    def finish(self, queue):
+        """Drain every device this queue's commands landed on."""
+        latest = 0.0
+        for device in queue.touched.values():
+            node_queue = self.icd.node_queue(queue.context, device,
+                                             queue.properties)
+            payload = self.host.call(device.node_id, "finish", queue=node_queue)
+            latest = max(latest, payload["device_clock_s"])
+            self._device_ready[device.global_id] = self.host.now_s()
+        return latest
+
+    def flush(self, queue):
+        return None
+
+    # -- introspection ------------------------------------------------------------------------
+
+    def cluster_stats(self):
+        """Merged host + node statistics for reporting."""
+        stats = self.host.node_stats()
+        stats["_host"] = {
+            "launches": self.launches,
+            "transfers": self.icd.transfer_stats(),
+            "elapsed_s": self.host.now_s(),
+        }
+        return stats
+
+
+def _matches(device, type_mask):
+    if type_mask in (enums.CL_DEVICE_TYPE_ALL, enums.CL_DEVICE_TYPE_DEFAULT):
+        return True
+    return bool(device.device_type & type_mask)
+
+
+def _wire_scalar(value):
+    """Scalars cross the wire as plain int/float; the node converts per
+    the kernel signature."""
+    if isinstance(value, (bool, np.bool_)):
+        return int(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    raise CLError(enums.CL_INVALID_ARG_VALUE,
+                  "unsupported scalar %r" % type(value).__name__)

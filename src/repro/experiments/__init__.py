@@ -1,0 +1,16 @@
+"""Experiment harnesses: one module per paper artifact.
+
+- :mod:`repro.experiments.table1`   -- Table I (benchmark suite & sizes)
+- :mod:`repro.experiments.fig2`     -- Fig. 2 (end-to-end speedup)
+- :mod:`repro.experiments.hetero`   -- §IV-C heterogeneity evaluation
+- :mod:`repro.experiments.fig3`     -- Fig. 3 (MatrixMul breakdown)
+- :mod:`repro.experiments.overhead` -- "negligible overhead" claim
+- :mod:`repro.experiments.ablation_scheduler` -- policy/energy ablation
+
+Each module exposes ``run(...)`` returning structured rows and a
+``main()`` that prints the paper-style table; ``python -m
+repro.experiments.<name>`` regenerates the artifact.  Experiments run in
+simulated-time mode (synthetic buffers + DES-simulated GbE + modeled
+devices), so paper-scale inputs are feasible; pass reduced scales for
+quick looks.
+"""

@@ -1,0 +1,80 @@
+"""Network-fabric ablation (DESIGN.md follow-on to Fig. 2).
+
+Fig. 2's communication-bound applications (BFS, CFD) cannot beat a
+single local GPU on the paper's Gigabit Ethernet.  This ablation sweeps
+the fabric (1 GbE -> 10 GbE -> 40 GbE-class) at a fixed 8-node HaoCL-GPU
+cluster to show exactly where each application's scaling is network-
+versus compute-limited -- quantifying the paper's "depends on the
+computation pattern and communication characteristics" sentence.
+"""
+
+from repro.baselines import LocalSession
+from repro.core import HaoCLSession
+from repro.experiments.reporting import format_table
+from repro.transport.netmodel import (
+    GigabitEthernet,
+    NetworkModel,
+    TenGigabitEthernet,
+)
+from repro.workloads import get_workload
+
+
+def forty_gbe():
+    """RDMA-class fabric for the upper bound."""
+    return NetworkModel(latency_s=8e-6, bandwidth_bps=4.7e9,
+                        proc_overhead_s=8e-6, name="40GbE")
+
+
+FABRICS = (
+    ("1GbE (paper)", GigabitEthernet),
+    ("10GbE", TenGigabitEthernet),
+    ("40GbE", forty_gbe),
+)
+
+APPS_SCALES = {
+    "matrixmul": 4000,
+    "knn": 1_600_000,
+    "spmv": 2_000_000,
+    "bfs": 3_000_000,
+    "cfd": 3_000_000,
+}
+
+
+def run(nodes=8, apps_scales=None):
+    apps_scales = apps_scales or APPS_SCALES
+    rows = []
+    for app, scale in apps_scales.items():
+        workload = get_workload(app)
+        local = LocalSession(("gpu",), mode="modeled")
+        base = workload.run_synthetic(local, scale, local.devices)["total"]
+        row = {"app": app, "local_s": base, "speedups": {}}
+        for label, fabric_factory in FABRICS:
+            session = HaoCLSession(gpu_nodes=nodes, mode="modeled",
+                                   transport="sim",
+                                   netmodel=fabric_factory())
+            try:
+                elapsed = workload.run_synthetic(
+                    session, scale, session.devices
+                )["total"]
+            finally:
+                session.close()
+            row["speedups"][label] = base / elapsed
+        rows.append(row)
+    return rows
+
+
+def main(nodes=8):
+    rows = run(nodes=nodes)
+    labels = [label for label, _ in FABRICS]
+    print(format_table(
+        ["App"] + labels,
+        [[r["app"]] + ["%.2fx" % r["speedups"][label] for label in labels]
+         for r in rows],
+        title="Network ablation: HaoCL-GPU speedup on %d nodes vs fabric"
+              % nodes,
+    ))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Fig. 2: end-to-end speedup over a single GPU / FPGA node.
+
+Series (as in the paper's legend): Local-GPU (the 1.0 baseline),
+HaoCL-GPU, HaoCL-FPGA, HaoCL-Hetero, SnuCL(-D).  HaoCL-FPGA is
+normalised to a single native FPGA node, everything else to a single
+native GPU node, matching "performance ... normalized to a single node
+with FPGA or GPU".
+
+CFD shows N/A for SnuCL-D ("CFD cannot be implemented on SnuCL-D
+without significant change").
+"""
+
+from repro.experiments.harness import run_elapsed, workload_scale
+from repro.experiments.reporting import ascii_bars, format_table
+
+APPS = ("matrixmul", "cfd", "knn", "bfs", "spmv")
+NODE_COUNTS = (1, 2, 4, 8, 16)
+SERIES = ("haocl-gpu", "haocl-fpga", "haocl-hetero", "snucl")
+
+
+def run(apps=APPS, node_counts=NODE_COUNTS, series=SERIES,
+        paper_scale=True, scales=None):
+    """Returns {app: {series: {nodes: speedup-or-None}}} plus baselines."""
+    results = {}
+    for app in apps:
+        scale = workload_scale(app, paper_scale, scales)
+        base_gpu = run_elapsed(app, "local-gpu", scale=scale)
+        base_fpga = run_elapsed(app, "local-fpga", scale=scale)
+        app_result = {"local_gpu_s": base_gpu, "local_fpga_s": base_fpga}
+        for system in series:
+            baseline = base_fpga if system == "haocl-fpga" else base_gpu
+            curve = {}
+            for nodes in node_counts:
+                elapsed = run_elapsed(app, system, nodes=nodes, scale=scale)
+                curve[nodes] = None if elapsed is None else baseline / elapsed
+            app_result[system] = curve
+        results[app] = app_result
+    return results
+
+
+def main(paper_scale=True):
+    results = run(paper_scale=paper_scale)
+    for app, data in results.items():
+        headers = ["series"] + ["%d node%s" % (n, "s" if n > 1 else "")
+                                for n in NODE_COUNTS]
+        rows = []
+        for system in SERIES:
+            row = [system]
+            for nodes in NODE_COUNTS:
+                speedup = data[system][nodes]
+                row.append("N/A" if speedup is None else "%.2fx" % speedup)
+            rows.append(row)
+        print(format_table(
+            headers, rows,
+            title="\nFig. 2 -- %s (local GPU baseline %.2fs)"
+                  % (app, data["local_gpu_s"]),
+        ))
+        best = {
+            system: max(v for v in data[system].values() if v is not None)
+            if any(v is not None for v in data[system].values()) else None
+            for system in SERIES
+        }
+        print(ascii_bars(list(best), list(best.values()), unit="x"))
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Fig. 3: system breakdown analysis with Matrix Multiplication.
+
+DataCreate / ComputeTime / DataTransfer per (matrix size, GPU count),
+matrix sizes {1000, 2000, 4000, 5000, 6000, 8000, 10000} and 2/4/9 GPU
+nodes, exactly the paper's sweep.  (System initialisation is negligible
+and omitted, as in the paper.)
+"""
+
+from repro.experiments.harness import run_breakdown
+from repro.experiments.reporting import format_table
+
+MATRIX_SIZES = (1000, 2000, 4000, 5000, 6000, 8000, 10000)
+GPU_COUNTS = (2, 4, 9)
+
+
+def run(matrix_sizes=MATRIX_SIZES, gpu_counts=GPU_COUNTS):
+    """Rows: dicts with size, nodes and the three phase times."""
+    rows = []
+    for size in matrix_sizes:
+        for nodes in gpu_counts:
+            breakdown = run_breakdown("matrixmul", "haocl-gpu", nodes=nodes,
+                                      scale=size)
+            rows.append({
+                "size": size,
+                "nodes": nodes,
+                "create_s": breakdown["create"],
+                "compute_s": breakdown["compute"],
+                "transfer_s": breakdown["transfer"],
+                "total_s": breakdown["total"],
+            })
+    return rows
+
+
+def communication_ratio(row):
+    """Fraction of total spent creating + moving data (the paper's
+    observation: this ratio shrinks as the problem grows)."""
+    overhead = row["create_s"] + row["transfer_s"]
+    return overhead / row["total_s"] if row["total_s"] else 0.0
+
+
+def main():
+    rows = run()
+    table = [
+        ["%d" % r["size"], "%d" % r["nodes"],
+         "%.2f" % r["create_s"], "%.2f" % r["compute_s"],
+         "%.2f" % r["transfer_s"], "%.2f" % r["total_s"],
+         "%.0f%%" % (100 * communication_ratio(r))]
+        for r in rows
+    ]
+    print(format_table(
+        ["MatrixSize", "GPUs", "DataCreate", "ComputeTime", "DataTransfer",
+         "Total", "Create+Transfer"],
+        table,
+        title="Fig. 3 -- MatrixMul breakdown (seconds)",
+    ))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Shared experiment plumbing: system configurations and one-run drivers.
+
+A *system* is one of the paper's Fig. 2 series:
+
+- ``local-gpu`` / ``local-fpga`` -- native single-node OpenCL;
+- ``haocl-gpu`` / ``haocl-fpga`` -- HaoCL over N homogeneous nodes;
+- ``haocl-hetero``               -- HaoCL over a GPU+FPGA mix;
+- ``snucl``                      -- the SnuCL-D replication baseline.
+
+All distributed runs use the DES-simulated Gigabit Ethernet fabric and
+modeled devices with synthetic (size-only) buffers, so paper-scale
+datasets are representable.
+"""
+
+from repro.baselines import LocalSession, SnuCLDSession
+from repro.core import HaoCLSession
+from repro.workloads import UnsupportedBenchmarkError, get_workload
+
+SYSTEMS = ("local-gpu", "local-fpga", "haocl-gpu", "haocl-fpga",
+           "haocl-hetero", "snucl")
+
+#: reduced default scales so the full harness runs in seconds; pass
+#: ``paper_scale=True`` for the Table I sizes.
+DEFAULT_SCALES = {
+    "matrixmul": 2000,
+    "cfd": 400_000,
+    "knn": 400_000,
+    "bfs": 500_000,
+    "spmv": 400_000,
+}
+
+
+def hetero_split(nodes):
+    """GPU/FPGA node counts for an N-node hetero cluster (paper §IV-A
+    testbed ratio: 16 GPU to 4 FPGA = 4:1, min one FPGA from 2 nodes)."""
+    if nodes <= 1:
+        return 1, 0
+    fpga = max(1, nodes // 4)
+    return nodes - fpga, fpga
+
+
+def make_session(system, nodes=1):
+    """Instantiate the session for one system configuration."""
+    if system == "local-gpu":
+        return LocalSession(("gpu",), mode="modeled")
+    if system == "local-fpga":
+        return LocalSession(("fpga",), mode="modeled")
+    if system == "haocl-gpu":
+        return HaoCLSession(gpu_nodes=nodes, mode="modeled", transport="sim")
+    if system == "haocl-fpga":
+        return HaoCLSession(fpga_nodes=nodes, mode="modeled", transport="sim")
+    if system == "haocl-hetero":
+        gpu, fpga = hetero_split(nodes)
+        return HaoCLSession(gpu_nodes=gpu, fpga_nodes=fpga, mode="modeled",
+                            transport="sim")
+    if system == "snucl":
+        return SnuCLDSession(gpu_nodes=nodes, mode="modeled", transport="sim")
+    raise ValueError("unknown system %r" % system)
+
+
+def workload_scale(workload_name, paper_scale=False, scales=None):
+    if scales and workload_name in scales:
+        return scales[workload_name]
+    if paper_scale:
+        return get_workload(workload_name).paper_scale()
+    return DEFAULT_SCALES[workload_name]
+
+
+def run_breakdown(workload_name, system, nodes=1, scale=None,
+                  paper_scale=False):
+    """One synthetic run; returns the phase breakdown dict, or None when
+    the system cannot run the workload (CFD on SnuCL-D)."""
+    workload = get_workload(workload_name)
+    scale = scale or workload_scale(workload_name, paper_scale)
+    session = make_session(system, nodes)
+    try:
+        if system == "snucl":
+            try:
+                return session.run_workload_synthetic(
+                    workload, scale, session.devices
+                )
+            except UnsupportedBenchmarkError:
+                return None
+        return workload.run_synthetic(session, scale, session.devices)
+    finally:
+        session.close()
+
+
+def run_elapsed(workload_name, system, nodes=1, scale=None, paper_scale=False):
+    """End-to-end time of one run, or None when unsupported."""
+    breakdown = run_breakdown(workload_name, system, nodes, scale, paper_scale)
+    return None if breakdown is None else breakdown["total"]

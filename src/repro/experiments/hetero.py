@@ -1,0 +1,111 @@
+"""§IV-C heterogeneity evaluation: MM and SpMV on hybrid clusters.
+
+- MatrixMul: "kernels on the different devices are kept the same, just
+  processing different data portion" -- data-partitioned across a
+  GPU+FPGA mix, throughput-weighted so each device type gets a share
+  matching its speed.
+- SpMV: "the kernel for data partition is allocated on the GPUs and
+  computation on the FPGAs" -- stage-partitioned, reproduced by running
+  the row-length stage on GPU nodes and the CSR stage on FPGA nodes.
+
+Performance is normalised to a single GPU (MM) / single FPGA node (SpMV
+compute stage), and should scale with the combined device count.
+"""
+
+import numpy as np
+
+from repro.core import HaoCLSession
+from repro.experiments.harness import run_elapsed, workload_scale
+from repro.experiments.reporting import format_table
+from repro.workloads import get_workload
+from repro.workloads.base import partition_ranges
+
+#: (gpu nodes, fpga nodes) mixes, growing combined size
+MIXES = ((1, 1), (2, 1), (2, 2), (4, 2), (6, 2), (8, 4), (12, 4))
+
+
+def _matmul_hetero_elapsed(scale, gpu_nodes, fpga_nodes, iterations=8):
+    """MM with throughput-weighted row partitioning across the mix."""
+    workload = get_workload("matrixmul")
+    session = HaoCLSession(gpu_nodes=gpu_nodes, fpga_nodes=fpga_nodes,
+                           mode="modeled", transport="sim")
+    try:
+        breakdown = workload.run_synthetic(
+            session, scale, _weighted_devices(session), iterations=iterations
+        )
+        return breakdown["total"]
+    finally:
+        session.close()
+
+
+def _weighted_devices(session):
+    """Order devices so partition_ranges' remainder rows favour GPUs."""
+    return session.devices_of("GPU") + session.devices_of("FPGA")
+
+
+def _spmv_hetero_elapsed(scale, gpu_nodes, fpga_nodes, iterations=400):
+    """Stage-partitioned SpMV: lengths on GPUs, CSR compute on FPGAs."""
+    workload = get_workload("spmv")
+    session = HaoCLSession(gpu_nodes=gpu_nodes, fpga_nodes=fpga_nodes,
+                           mode="modeled", transport="sim")
+    try:
+        ctx = session.context()
+        prog = session.program(ctx, workload.source)
+        nrows = scale
+        gpus = session.devices_of("GPU")
+        fpgas = session.devices_of("FPGA")
+        t0 = session.now_s()
+        # stage 1 (GPUs): row lengths for load balancing
+        for (start, count), device in zip(
+            partition_ranges(nrows, len(gpus)), gpus
+        ):
+            queue = session.queue(ctx, device)
+            buf_ptr = session.synthetic_buffer(ctx, (count + 1) * 4)
+            buf_len = session.synthetic_buffer(ctx, max(4, count * 4))
+            session.write(queue, buf_ptr, nbytes=(count + 1) * 4)
+            kernel = session.kernel(prog, "spmv_row_lengths", buf_ptr,
+                                    buf_len, np.int32(count))
+            session.enqueue(queue, kernel, (count,))
+            session.finish(queue)
+            session.read_ack(queue, buf_len)
+        # stage 2 (FPGAs): iterative CSR compute with halo exchange
+        breakdown = workload.run_synthetic(session, scale, fpgas,
+                                           iterations=iterations)
+        return (session.now_s() - t0) + breakdown["create"]
+    finally:
+        session.close()
+
+
+def run(mixes=MIXES, paper_scale=True):
+    mm_scale = workload_scale("matrixmul", paper_scale)
+    spmv_scale = workload_scale("spmv", paper_scale)
+    base_mm = run_elapsed("matrixmul", "local-gpu", scale=mm_scale)
+    base_spmv = run_elapsed("spmv", "local-fpga", scale=spmv_scale)
+    rows = []
+    for gpu_nodes, fpga_nodes in mixes:
+        mm = _matmul_hetero_elapsed(mm_scale, gpu_nodes, fpga_nodes)
+        spmv = _spmv_hetero_elapsed(spmv_scale, gpu_nodes, fpga_nodes)
+        rows.append({
+            "gpus": gpu_nodes,
+            "fpgas": fpga_nodes,
+            "nodes": gpu_nodes + fpga_nodes,
+            "mm_speedup": base_mm / mm,
+            "spmv_speedup": base_spmv / spmv,
+        })
+    return rows
+
+
+def main(paper_scale=True):
+    rows = run(paper_scale=paper_scale)
+    print(format_table(
+        ["GPUs", "FPGAs", "Total", "MM speedup", "SpMV speedup"],
+        [["%d" % r["gpus"], "%d" % r["fpgas"], "%d" % r["nodes"],
+          "%.2fx" % r["mm_speedup"], "%.2fx" % r["spmv_speedup"]]
+         for r in rows],
+        title="Heterogeneity evaluation (MM vs 1 GPU; SpMV vs 1 FPGA)",
+    ))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

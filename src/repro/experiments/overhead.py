@@ -1,0 +1,44 @@
+"""Framework-overhead experiment (abstract claim: "HaoCL imposes a
+negligible overhead in a distributed environment").
+
+Runs every benchmark on a single node both natively (Local) and through
+the full HaoCL stack (wrapper + messages + simulated GbE + NMP), and
+reports the relative end-to-end overhead.  For compute-dominated apps
+the overhead should be a few percent; for communication-heavy apps it
+is the (unavoidable) network cost of distribution itself.
+"""
+
+from repro.experiments.harness import run_elapsed, workload_scale
+from repro.experiments.reporting import format_table
+
+APPS = ("matrixmul", "cfd", "knn", "bfs", "spmv")
+
+
+def run(apps=APPS, paper_scale=True, scales=None):
+    rows = []
+    for app in apps:
+        scale = workload_scale(app, paper_scale, scales)
+        local = run_elapsed(app, "local-gpu", scale=scale)
+        haocl = run_elapsed(app, "haocl-gpu", nodes=1, scale=scale)
+        rows.append({
+            "app": app,
+            "local_s": local,
+            "haocl_s": haocl,
+            "overhead": haocl / local - 1.0,
+        })
+    return rows
+
+
+def main(paper_scale=True):
+    rows = run(paper_scale=paper_scale)
+    print(format_table(
+        ["App", "Local-GPU", "HaoCL 1-node", "Overhead"],
+        [[r["app"], "%.2fs" % r["local_s"], "%.2fs" % r["haocl_s"],
+          "%+.1f%%" % (100 * r["overhead"])] for r in rows],
+        title="Framework overhead: HaoCL single node vs native local",
+    ))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Plain-text tables and bar charts for experiment output."""
+
+
+def format_table(headers, rows, title=None):
+    """Fixed-width text table; cells are str()-ed."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def fmt(row):
+        return "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(cells[0]))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(fmt(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def ascii_bars(labels, values, width=40, unit=""):
+    """Horizontal bar chart for quick visual comparison."""
+    peak = max((v for v in values if v is not None), default=1.0) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        if value is None:
+            lines.append("%s  %s" % (str(label).ljust(label_width), "N/A"))
+            continue
+        bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append(
+            "%s  %s %.2f%s" % (str(label).ljust(label_width), bar, value, unit)
+        )
+    return "\n".join(lines)
+
+
+def fmt_seconds(seconds):
+    if seconds is None:
+        return "N/A"
+    if seconds >= 1:
+        return "%.2fs" % seconds
+    if seconds >= 1e-3:
+        return "%.2fms" % (seconds * 1e3)
+    return "%.0fus" % (seconds * 1e6)
+
+
+def fmt_bytes(nbytes):
+    for unit in ("B", "KB", "MB", "GB"):
+        if nbytes < 1024 or unit == "GB":
+            return "%.1f%s" % (nbytes, unit) if unit == "B" else "%.1f%s" % (nbytes, unit)
+        nbytes /= 1024.0
+    return "%.1fGB" % nbytes

@@ -1,0 +1,50 @@
+"""Table I: benchmark applications and their input sizes.
+
+Regenerates the table from the actual workload generators: for each
+application, the description and the dataset footprint at the paper
+scale, confirming the generators hit Table I's sizes.
+"""
+
+from repro.experiments.reporting import format_table
+from repro.workloads import get_workload, workload_names
+
+_PAPER_ROWS = {
+    "matrixmul": ("MatrixMul", "760MB"),
+    "cfd": ("CFD", "800MB"),
+    "knn": ("kNN", "100MB"),
+    "bfs": ("BFS", "240MB"),
+    "spmv": ("SpMV", "1.1GB"),
+}
+
+
+def run():
+    """Rows: (app, description, paper size, our generator's size)."""
+    rows = []
+    for name in ("matrixmul", "cfd", "knn", "bfs", "spmv"):
+        workload = get_workload(name)
+        label, paper_size = _PAPER_ROWS[name]
+        nbytes = workload.input_bytes(workload.paper_scale())
+        rows.append({
+            "app": label,
+            "description": workload.description,
+            "paper_size": paper_size,
+            "measured_bytes": nbytes,
+            "measured_size": "%.0fMB" % (nbytes / 1e6),
+        })
+    return rows
+
+
+def main():
+    rows = run()
+    print(format_table(
+        ["App.", "Description", "In. size (paper)", "In. size (ours)"],
+        [[r["app"], r["description"], r["paper_size"], r["measured_size"]]
+         for r in rows],
+        title="Table I -- benchmark applications",
+    ))
+    assert set(workload_names()) == set(_PAPER_ROWS)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""OpenCL 1.2-subset runtime: the "vendor driver" substrate.
+
+Implements the OpenCL entity model (platforms, devices, contexts, command
+queues, buffers, programs, kernels, events) over the :mod:`repro.clc`
+compiler/interpreter, plus analytic device models for the paper's
+hardware (Xeon E5-2686 CPUs, Tesla P4 GPUs, VU9P FPGAs).
+
+Two timing policies:
+
+- ``real``    -- kernels actually execute; durations are wall-clock.
+- ``modeled`` -- durations come from the device roofline model and the
+  static kernel cost analysis; buffers may be *synthetic* (size-only) so
+  paper-scale inputs fit in simulation.
+"""
+
+from repro.ocl import enums
+from repro.ocl.device import (
+    DeviceModel,
+    cpu_xeon_e5_2686,
+    fpga_vu9p,
+    gpu_tesla_p4,
+    model_by_name,
+)
+from repro.ocl.errors import CLError
+from repro.ocl.runtime import CLRuntime, Platform, Device, Context, CommandQueue
+from repro.ocl.fastpath import FastPathRegistry, global_fastpaths
+
+__all__ = [
+    "enums",
+    "CLError",
+    "CLRuntime",
+    "Platform",
+    "Device",
+    "Context",
+    "CommandQueue",
+    "DeviceModel",
+    "cpu_xeon_e5_2686",
+    "gpu_tesla_p4",
+    "fpga_vu9p",
+    "model_by_name",
+    "FastPathRegistry",
+    "global_fastpaths",
+]

@@ -1,0 +1,123 @@
+"""OpenCL constants (the subset the framework uses).
+
+Numeric values match the Khronos headers so that message payloads look
+like real OpenCL traffic on the wire.
+"""
+
+# error codes -----------------------------------------------------------------
+CL_SUCCESS = 0
+CL_DEVICE_NOT_FOUND = -1
+CL_DEVICE_NOT_AVAILABLE = -2
+CL_COMPILER_NOT_AVAILABLE = -3
+CL_MEM_OBJECT_ALLOCATION_FAILURE = -4
+CL_OUT_OF_RESOURCES = -5
+CL_OUT_OF_HOST_MEMORY = -6
+CL_PROFILING_INFO_NOT_AVAILABLE = -7
+CL_MEM_COPY_OVERLAP = -8
+CL_BUILD_PROGRAM_FAILURE = -11
+CL_INVALID_VALUE = -30
+CL_INVALID_DEVICE_TYPE = -31
+CL_INVALID_PLATFORM = -32
+CL_INVALID_DEVICE = -33
+CL_INVALID_CONTEXT = -34
+CL_INVALID_QUEUE_PROPERTIES = -35
+CL_INVALID_COMMAND_QUEUE = -36
+CL_INVALID_MEM_OBJECT = -38
+CL_INVALID_BINARY = -42
+CL_INVALID_BUILD_OPTIONS = -43
+CL_INVALID_PROGRAM = -44
+CL_INVALID_PROGRAM_EXECUTABLE = -45
+CL_INVALID_KERNEL_NAME = -46
+CL_INVALID_KERNEL = -48
+CL_INVALID_ARG_INDEX = -49
+CL_INVALID_ARG_VALUE = -50
+CL_INVALID_ARG_SIZE = -51
+CL_INVALID_KERNEL_ARGS = -52
+CL_INVALID_WORK_DIMENSION = -53
+CL_INVALID_WORK_GROUP_SIZE = -54
+CL_INVALID_WORK_ITEM_SIZE = -55
+CL_INVALID_GLOBAL_OFFSET = -56
+CL_INVALID_EVENT = -58
+CL_INVALID_OPERATION = -59
+CL_INVALID_BUFFER_SIZE = -61
+CL_INVALID_GLOBAL_WORK_SIZE = -63
+
+ERROR_NAMES = {
+    value: name
+    for name, value in list(globals().items())
+    if name.startswith("CL_") and isinstance(value, int) and value <= 0
+}
+
+# device types ----------------------------------------------------------------
+CL_DEVICE_TYPE_DEFAULT = 1 << 0
+CL_DEVICE_TYPE_CPU = 1 << 1
+CL_DEVICE_TYPE_GPU = 1 << 2
+CL_DEVICE_TYPE_ACCELERATOR = 1 << 3  # FPGAs enumerate as accelerators
+CL_DEVICE_TYPE_ALL = 0xFFFFFFFF
+
+DEVICE_TYPE_NAMES = {
+    CL_DEVICE_TYPE_CPU: "CPU",
+    CL_DEVICE_TYPE_GPU: "GPU",
+    CL_DEVICE_TYPE_ACCELERATOR: "FPGA",
+}
+
+# memory flags ------------------------------------------------------------------
+CL_MEM_READ_WRITE = 1 << 0
+CL_MEM_WRITE_ONLY = 1 << 1
+CL_MEM_READ_ONLY = 1 << 2
+CL_MEM_USE_HOST_PTR = 1 << 3
+CL_MEM_ALLOC_HOST_PTR = 1 << 4
+CL_MEM_COPY_HOST_PTR = 1 << 5
+
+# command queue properties --------------------------------------------------------
+CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE = 1 << 0
+CL_QUEUE_PROFILING_ENABLE = 1 << 1
+
+# platform / device info queries ----------------------------------------------------
+CL_PLATFORM_PROFILE = 0x0900
+CL_PLATFORM_VERSION = 0x0901
+CL_PLATFORM_NAME = 0x0902
+CL_PLATFORM_VENDOR = 0x0903
+
+CL_DEVICE_TYPE = 0x1000
+CL_DEVICE_VENDOR_ID = 0x1001
+CL_DEVICE_MAX_COMPUTE_UNITS = 0x1002
+CL_DEVICE_MAX_WORK_ITEM_DIMENSIONS = 0x1003
+CL_DEVICE_MAX_WORK_GROUP_SIZE = 0x1004
+CL_DEVICE_MAX_WORK_ITEM_SIZES = 0x1005
+CL_DEVICE_MAX_CLOCK_FREQUENCY = 0x100C
+CL_DEVICE_GLOBAL_MEM_SIZE = 0x101F
+CL_DEVICE_MAX_MEM_ALLOC_SIZE = 0x1010
+CL_DEVICE_LOCAL_MEM_SIZE = 0x1023
+CL_DEVICE_AVAILABLE = 0x1027
+CL_DEVICE_NAME = 0x102B
+CL_DEVICE_VENDOR = 0x102C
+CL_DEVICE_VERSION = 0x102F
+
+# event / profiling --------------------------------------------------------------
+CL_PROFILING_COMMAND_QUEUED = 0x1280
+CL_PROFILING_COMMAND_SUBMIT = 0x1281
+CL_PROFILING_COMMAND_START = 0x1282
+CL_PROFILING_COMMAND_END = 0x1283
+
+CL_COMPLETE = 0x0
+CL_RUNNING = 0x1
+CL_SUBMITTED = 0x2
+CL_QUEUED = 0x3
+
+# program build ----------------------------------------------------------------
+CL_PROGRAM_BUILD_STATUS = 0x1181
+CL_PROGRAM_BUILD_OPTIONS = 0x1182
+CL_PROGRAM_BUILD_LOG = 0x1183
+CL_BUILD_SUCCESS = 0
+CL_BUILD_ERROR = -2
+
+
+def error_name(code):
+    """Human-readable name for an OpenCL status code."""
+    return ERROR_NAMES.get(code, "UNKNOWN_ERROR(%d)" % code)
+
+
+def device_type_name(device_type):
+    """Short label (CPU/GPU/FPGA) for a device-type bitmask."""
+    return DEVICE_TYPE_NAMES.get(device_type, "DEV(0x%x)" % device_type)

@@ -1,0 +1,21 @@
+"""OpenCL error type."""
+
+from repro.ocl import enums
+
+
+class CLError(Exception):
+    """An OpenCL error with its status code, like a failed clXxx call."""
+
+    def __init__(self, code, message=""):
+        self.code = code
+        self.message = message
+        text = enums.error_name(code)
+        if message:
+            text = "%s: %s" % (text, message)
+        super().__init__(text)
+
+
+def check(condition, code, message=""):
+    """Raise CLError(code) unless ``condition`` holds."""
+    if not condition:
+        raise CLError(code, message)

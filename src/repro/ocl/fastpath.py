@@ -1,0 +1,48 @@
+"""NumPy fast-path registry for kernel execution.
+
+The tree-walking interpreter is the source of truth for kernel
+semantics, but it is far too slow for paper-scale inputs.  A workload
+may register a *fast path*: a NumPy implementation with the same
+observable effect as its OpenCL kernel.  The test suite validates every
+registered fast path against the interpreter on small inputs
+(tests/workloads), which is what justifies using it for the large runs.
+
+A fast path receives the kernel arguments in signature order -- global
+buffers as typed NumPy views, scalars as Python/NumPy numbers, __local
+placeholders as ``None`` -- plus the NDRange, and mutates the views in
+place.
+"""
+
+
+class FastPathRegistry:
+    """Maps kernel names to NumPy implementations."""
+
+    def __init__(self):
+        self._paths = {}
+
+    def register(self, kernel_name, fn=None):
+        """Register ``fn`` for ``kernel_name``; usable as a decorator."""
+        if fn is None:
+            def decorator(inner):
+                self._paths[kernel_name] = inner
+                return inner
+
+            return decorator
+        self._paths[kernel_name] = fn
+        return fn
+
+    def lookup(self, kernel_name):
+        return self._paths.get(kernel_name)
+
+    def unregister(self, kernel_name):
+        self._paths.pop(kernel_name, None)
+
+    def __contains__(self, kernel_name):
+        return kernel_name in self._paths
+
+    def names(self):
+        return sorted(self._paths)
+
+
+#: process-wide registry used by default; workloads register here on import.
+global_fastpaths = FastPathRegistry()

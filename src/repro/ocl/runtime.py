@@ -1,0 +1,530 @@
+"""The OpenCL entity model and runtime operations.
+
+One :class:`CLRuntime` is what a Node Management Process drives on each
+device node: it owns a platform with one or more devices and implements
+the standard operation set (create context/queue/buffer/program/kernel,
+enqueue write/read/copy/ndrange, finish) with OpenCL semantics --
+reference counts, in-order queues, profiling events, build logs and the
+standard error codes.
+
+Timing policy per device:
+
+- ``real``    -- operations execute and report wall-clock durations;
+- ``modeled`` -- durations come from the :class:`DeviceModel` roofline
+  and the static kernel cost analysis.  Kernels still execute when every
+  buffer involved holds real data (so correctness tests can run under
+  the model); *synthetic* buffers skip execution entirely.
+"""
+
+import itertools
+import time
+
+import numpy as np
+
+from repro.clc import compile_program
+from repro.clc.analysis import analyze_kernel
+from repro.clc.errors import CLCError
+from repro.clc.interp import Interpreter, LocalMem
+from repro.clc.values import Memory
+from repro.ocl import enums
+from repro.ocl.errors import CLError, check
+from repro.ocl.fastpath import global_fastpaths
+
+_NS = 1e9
+
+
+class _RefCounted:
+    """OpenCL-style reference counting with release semantics."""
+
+    def __init__(self):
+        self.refcount = 1
+
+    def retain(self):
+        check(self.refcount > 0, enums.CL_INVALID_VALUE, "object already released")
+        self.refcount += 1
+
+    def release(self):
+        check(self.refcount > 0, enums.CL_INVALID_VALUE, "object already released")
+        self.refcount -= 1
+        if self.refcount == 0:
+            self._destroy()
+        return self.refcount
+
+    def _destroy(self):
+        pass
+
+    @property
+    def alive(self):
+        return self.refcount > 0
+
+
+class Platform:
+    """One OpenCL platform (a node's driver stack)."""
+
+    def __init__(self, name, devices, vendor="HaoCL repro", version="OpenCL 1.2"):
+        self.name = name
+        self.vendor = vendor
+        self.version = version
+        self.devices = list(devices)
+
+    def info(self, param):
+        mapping = {
+            enums.CL_PLATFORM_NAME: self.name,
+            enums.CL_PLATFORM_VENDOR: self.vendor,
+            enums.CL_PLATFORM_VERSION: self.version,
+            enums.CL_PLATFORM_PROFILE: "FULL_PROFILE",
+        }
+        check(param in mapping, enums.CL_INVALID_VALUE, "bad platform info %r" % param)
+        return mapping[param]
+
+    def __repr__(self):
+        return "Platform(%s, %d devices)" % (self.name, len(self.devices))
+
+
+class Device:
+    """A device instance: a model plus execution state and accounting."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, model, mode="real"):
+        check(mode in ("real", "modeled"), enums.CL_INVALID_VALUE, mode)
+        self.id = next(self._ids)
+        self.model = model
+        self.mode = mode
+        #: logical device clock (seconds); monotonically advances as
+        #: commands complete.  Real mode also uses it, fed by wall deltas.
+        self.clock_s = 0.0
+        self.busy_s = 0.0
+        self.available = True
+
+    @property
+    def device_type(self):
+        return self.model.device_type
+
+    @property
+    def type_name(self):
+        return self.model.type_name
+
+    def matches(self, type_mask):
+        if type_mask == enums.CL_DEVICE_TYPE_ALL:
+            return True
+        if type_mask & enums.CL_DEVICE_TYPE_DEFAULT:
+            return True
+        return bool(self.device_type & type_mask)
+
+    def advance(self, duration_s):
+        """Charge ``duration_s`` of busy time; returns (start, end)."""
+        start = self.clock_s
+        self.clock_s += duration_s
+        self.busy_s += duration_s
+        return start, self.clock_s
+
+    def energy_j(self, elapsed_s=None):
+        return self.model.energy(self.busy_s, elapsed_s)
+
+    def info(self, param):
+        d = self.model
+        mapping = {
+            enums.CL_DEVICE_TYPE: d.device_type,
+            enums.CL_DEVICE_NAME: d.name,
+            enums.CL_DEVICE_VENDOR: d.vendor,
+            enums.CL_DEVICE_VERSION: "OpenCL 1.2",
+            enums.CL_DEVICE_MAX_COMPUTE_UNITS: d.compute_units,
+            enums.CL_DEVICE_MAX_WORK_GROUP_SIZE: d.max_work_group_size,
+            enums.CL_DEVICE_MAX_WORK_ITEM_DIMENSIONS: 3,
+            enums.CL_DEVICE_MAX_WORK_ITEM_SIZES: (
+                d.max_work_group_size, d.max_work_group_size, d.max_work_group_size
+            ),
+            enums.CL_DEVICE_GLOBAL_MEM_SIZE: d.global_mem_bytes,
+            enums.CL_DEVICE_MAX_MEM_ALLOC_SIZE: d.global_mem_bytes // 4,
+            enums.CL_DEVICE_LOCAL_MEM_SIZE: 64 * 1024,
+            enums.CL_DEVICE_AVAILABLE: self.available,
+            enums.CL_DEVICE_MAX_CLOCK_FREQUENCY: 1500,
+            enums.CL_DEVICE_VENDOR_ID: self.id,
+        }
+        check(param in mapping, enums.CL_INVALID_VALUE, "bad device info %r" % param)
+        return mapping[param]
+
+    def __repr__(self):
+        return "Device(#%d %s, %s)" % (self.id, self.model.name, self.mode)
+
+
+class Context(_RefCounted):
+    def __init__(self, devices):
+        super().__init__()
+        check(bool(devices), enums.CL_INVALID_VALUE, "context needs devices")
+        self.devices = list(devices)
+
+    def __repr__(self):
+        return "Context(%d devices)" % len(self.devices)
+
+
+class CommandQueue(_RefCounted):
+    """In-order command queue bound to one device."""
+
+    def __init__(self, context, device, properties=0):
+        super().__init__()
+        check(device in context.devices, enums.CL_INVALID_DEVICE,
+              "device not in context")
+        self.context = context
+        self.device = device
+        self.properties = properties
+        self.events = []
+
+    @property
+    def profiling_enabled(self):
+        return bool(self.properties & enums.CL_QUEUE_PROFILING_ENABLE)
+
+    def record(self, command_type, duration_s):
+        start, end = self.device.advance(duration_s)
+        event = Event(command_type, start, end)
+        self.events.append(event)
+        return event
+
+    def finish(self):
+        """All commands execute synchronously here, so finish is a fence
+        that simply reports the device clock."""
+        return self.device.clock_s
+
+    def __repr__(self):
+        return "CommandQueue(device=%s)" % self.device.model.name
+
+
+class Buffer(_RefCounted):
+    """A cl_mem buffer: real (byte-backed) or synthetic (size-only)."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, context, flags, size, host_data=None, synthetic=False):
+        super().__init__()
+        check(size > 0, enums.CL_INVALID_BUFFER_SIZE, "zero-size buffer")
+        self.id = next(self._ids)
+        self.context = context
+        self.flags = flags
+        self.size = int(size)
+        self.synthetic = synthetic
+        if synthetic:
+            self.memory = None
+        else:
+            self.memory = Memory(size, name="buf%d" % self.id)
+            if host_data is not None:
+                raw = np.ascontiguousarray(host_data).view(np.uint8).reshape(-1)
+                check(raw.nbytes <= size, enums.CL_INVALID_BUFFER_SIZE,
+                      "host data larger than buffer")
+                self.memory.data[: raw.nbytes] = raw
+
+    def write(self, data, offset=0):
+        if self.synthetic:
+            return
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        check(offset + raw.nbytes <= self.size, enums.CL_INVALID_VALUE,
+              "write past end of buffer")
+        self.memory.data[offset : offset + raw.nbytes] = raw
+
+    def read(self, nbytes=None, offset=0):
+        nbytes = self.size - offset if nbytes is None else int(nbytes)
+        check(offset + nbytes <= self.size, enums.CL_INVALID_VALUE,
+              "read past end of buffer")
+        if self.synthetic:
+            return np.zeros(nbytes, dtype=np.uint8)
+        return self.memory.data[offset : offset + nbytes].copy()
+
+    def _destroy(self):
+        self.memory = None
+
+    def __repr__(self):
+        kind = "synthetic" if self.synthetic else "real"
+        return "Buffer(#%d, %d bytes, %s)" % (self.id, self.size, kind)
+
+
+class Program(_RefCounted):
+    def __init__(self, context, source):
+        super().__init__()
+        self.context = context
+        self.source = source
+        self.compiled = None
+        self.build_status = None
+        self.build_log = ""
+        self.build_options = ""
+        self._cost_cache = {}
+
+    def build(self, options=""):
+        self.build_options = options or ""
+        try:
+            self.compiled = compile_program(self.source, self.build_options)
+        except CLCError as exc:
+            self.build_status = enums.CL_BUILD_ERROR
+            self.build_log = str(exc)
+            raise CLError(enums.CL_BUILD_PROGRAM_FAILURE, str(exc)) from exc
+        self.build_status = enums.CL_BUILD_SUCCESS
+        self.build_log = "build ok: kernels [%s]" % ", ".join(
+            self.compiled.kernel_names()
+        )
+        return self
+
+    def kernel_cost(self, name):
+        """Cached static cost analysis for one kernel."""
+        if name not in self._cost_cache:
+            self._cost_cache[name] = analyze_kernel(self.compiled, name)
+        return self._cost_cache[name]
+
+    def __repr__(self):
+        state = "built" if self.compiled else "source-only"
+        return "Program(%s)" % state
+
+
+class Kernel(_RefCounted):
+    def __init__(self, program, name):
+        super().__init__()
+        check(program.compiled is not None, enums.CL_INVALID_PROGRAM_EXECUTABLE,
+              "program not built")
+        try:
+            self.info = program.compiled.kernel(name)
+        except KeyError:
+            raise CLError(enums.CL_INVALID_KERNEL_NAME, name) from None
+        self.program = program
+        self.name = name
+        self.args = {}
+
+    @property
+    def num_args(self):
+        return len(self.info.params)
+
+    def set_arg(self, index, value):
+        check(0 <= index < self.num_args, enums.CL_INVALID_ARG_INDEX,
+              "arg %d of %d" % (index, self.num_args))
+        _, ctype = self.info.params[index]
+        if isinstance(value, Buffer):
+            check(ctype.is_pointer(), enums.CL_INVALID_ARG_VALUE,
+                  "buffer for non-pointer arg %d" % index)
+        elif isinstance(value, LocalMem):
+            check(ctype.is_pointer(), enums.CL_INVALID_ARG_VALUE,
+                  "local mem for non-pointer arg %d" % index)
+        else:
+            check(not ctype.is_pointer(), enums.CL_INVALID_ARG_VALUE,
+                  "scalar for pointer arg %d" % index)
+        self.args[index] = value
+
+    def scalar_args(self):
+        """{param name: value} for scalar args (feeds cost resolution)."""
+        out = {}
+        for index, (name, ctype) in enumerate(self.info.params):
+            value = self.args.get(index)
+            if value is not None and not isinstance(value, (Buffer, LocalMem)):
+                out[name] = float(value)
+        return out
+
+    def __repr__(self):
+        return "Kernel(%s, %d/%d args set)" % (self.name, len(self.args), self.num_args)
+
+
+class Event:
+    """Profiling event; times in device-logical seconds."""
+
+    def __init__(self, command_type, start_s, end_s):
+        self.command_type = command_type
+        self.status = enums.CL_COMPLETE
+        self.queued_s = start_s
+        self.submit_s = start_s
+        self.start_s = start_s
+        self.end_s = end_s
+
+    @property
+    def duration_s(self):
+        return self.end_s - self.start_s
+
+    def profiling(self, param):
+        mapping = {
+            enums.CL_PROFILING_COMMAND_QUEUED: int(self.queued_s * _NS),
+            enums.CL_PROFILING_COMMAND_SUBMIT: int(self.submit_s * _NS),
+            enums.CL_PROFILING_COMMAND_START: int(self.start_s * _NS),
+            enums.CL_PROFILING_COMMAND_END: int(self.end_s * _NS),
+        }
+        check(param in mapping, enums.CL_INVALID_VALUE, "bad profiling param")
+        return mapping[param]
+
+    def __repr__(self):
+        return "Event(%s, %.6fs)" % (self.command_type, self.duration_s)
+
+
+class CLRuntime:
+    """Driver entry points for one node's devices."""
+
+    def __init__(self, devices=None, platform_name="HaoCL repro platform",
+                 fastpaths=None):
+        devices = devices or []
+        self.platform = Platform(platform_name, devices)
+        self.fastpaths = fastpaths if fastpaths is not None else global_fastpaths
+
+    # -- discovery --------------------------------------------------------------
+
+    def get_platforms(self):
+        return [self.platform]
+
+    def get_devices(self, platform=None, device_type=enums.CL_DEVICE_TYPE_ALL):
+        platform = platform or self.platform
+        found = [d for d in platform.devices if d.matches(device_type)]
+        if not found:
+            raise CLError(enums.CL_DEVICE_NOT_FOUND,
+                          enums.device_type_name(device_type))
+        return found
+
+    # -- object creation -----------------------------------------------------------
+
+    def create_context(self, devices):
+        return Context(devices)
+
+    def create_command_queue(self, context, device, properties=0):
+        return CommandQueue(context, device, properties)
+
+    def create_buffer(self, context, flags, size, host_data=None, synthetic=False):
+        check(context.alive, enums.CL_INVALID_CONTEXT, "released context")
+        if host_data is not None and not (flags & enums.CL_MEM_COPY_HOST_PTR):
+            flags |= enums.CL_MEM_COPY_HOST_PTR
+        return Buffer(context, flags, size, host_data, synthetic)
+
+    def create_program_with_source(self, context, source):
+        check(context.alive, enums.CL_INVALID_CONTEXT, "released context")
+        check(bool(source.strip()), enums.CL_INVALID_VALUE, "empty source")
+        return Program(context, source)
+
+    def build_program(self, program, options=""):
+        return program.build(options)
+
+    def create_kernel(self, program, name):
+        return Kernel(program, name)
+
+    # -- transfers --------------------------------------------------------------------
+
+    def enqueue_write_buffer(self, queue, buffer, data, offset=0):
+        nbytes = np.ascontiguousarray(data).nbytes
+        duration = self._transfer_duration(queue.device, nbytes,
+                                           lambda: buffer.write(data, offset))
+        return queue.record("write_buffer", duration)
+
+    def enqueue_read_buffer(self, queue, buffer, nbytes=None, offset=0):
+        result = {}
+        size = buffer.size - offset if nbytes is None else nbytes
+        duration = self._transfer_duration(
+            queue.device, size,
+            lambda: result.setdefault("data", buffer.read(nbytes, offset)),
+        )
+        event = queue.record("read_buffer", duration)
+        return result.get("data", np.zeros(size, dtype=np.uint8)), event
+
+    def enqueue_copy_buffer(self, queue, src, dst, nbytes=None,
+                            src_offset=0, dst_offset=0):
+        nbytes = src.size if nbytes is None else nbytes
+
+        def do_copy():
+            if src.synthetic or dst.synthetic:
+                return
+            dst.write(src.read(nbytes, src_offset), dst_offset)
+
+        duration = self._transfer_duration(queue.device, nbytes, do_copy)
+        return queue.record("copy_buffer", duration)
+
+    def _transfer_duration(self, device, nbytes, action):
+        if device.mode == "modeled":
+            action()
+            return device.model.transfer_time(nbytes)
+        t0 = time.perf_counter()
+        action()
+        return time.perf_counter() - t0
+
+    # -- kernel launch ------------------------------------------------------------------
+
+    def enqueue_nd_range_kernel(self, queue, kernel, global_size,
+                                local_size=None, global_offset=None):
+        self._validate_launch(queue, kernel, global_size, local_size)
+        device = queue.device
+        num_items = int(np.prod(np.asarray(global_size, dtype=np.int64)))
+        if device.mode == "modeled":
+            executed = self._maybe_execute(kernel, global_size, local_size,
+                                           global_offset)
+            cost = kernel.program.kernel_cost(kernel.name).resolve(
+                kernel.scalar_args()
+            )
+            duration = device.model.kernel_time(cost, num_items)
+        else:
+            t0 = time.perf_counter()
+            self._execute(kernel, global_size, local_size, global_offset)
+            duration = time.perf_counter() - t0
+        return queue.record("ndrange:%s" % kernel.name, duration)
+
+    def enqueue_task(self, queue, kernel):
+        """clEnqueueTask == 1x1x1 NDRange (the FPGA streaming launch)."""
+        return self.enqueue_nd_range_kernel(queue, kernel, (1,), (1,))
+
+    def _validate_launch(self, queue, kernel, global_size, local_size):
+        check(queue.alive, enums.CL_INVALID_COMMAND_QUEUE, "released queue")
+        check(kernel.alive, enums.CL_INVALID_KERNEL, "released kernel")
+        dims = np.atleast_1d(np.asarray(global_size))
+        check(1 <= dims.size <= 3, enums.CL_INVALID_WORK_DIMENSION,
+              str(global_size))
+        check(bool(np.all(dims > 0)), enums.CL_INVALID_GLOBAL_WORK_SIZE,
+              str(global_size))
+        if local_size is not None:
+            ldims = np.atleast_1d(np.asarray(local_size))
+            check(ldims.size == dims.size, enums.CL_INVALID_WORK_GROUP_SIZE,
+                  "work dim mismatch")
+            check(bool(np.all(ldims > 0)), enums.CL_INVALID_WORK_ITEM_SIZE,
+                  str(local_size))
+            check(bool(np.all(dims % ldims == 0)),
+                  enums.CL_INVALID_WORK_GROUP_SIZE,
+                  "global %r %% local %r != 0" % (global_size, local_size))
+            group = int(np.prod(ldims))
+            check(group <= queue.device.model.max_work_group_size,
+                  enums.CL_INVALID_WORK_GROUP_SIZE,
+                  "group size %d > device max" % group)
+        missing = [i for i in range(kernel.num_args) if i not in kernel.args]
+        check(not missing, enums.CL_INVALID_KERNEL_ARGS,
+              "unset args %r of kernel %s" % (missing, kernel.name))
+
+    def _maybe_execute(self, kernel, global_size, local_size, global_offset):
+        """Under the modeled policy, execute only when data is real."""
+        for value in kernel.args.values():
+            if isinstance(value, Buffer) and value.synthetic:
+                return False
+        self._execute(kernel, global_size, local_size, global_offset)
+        return True
+
+    def _execute(self, kernel, global_size, local_size, global_offset):
+        args = []
+        for index in range(kernel.num_args):
+            value = kernel.args[index]
+            if isinstance(value, Buffer):
+                check(not value.synthetic, enums.CL_INVALID_MEM_OBJECT,
+                      "cannot execute on synthetic buffer")
+                args.append(value.memory)
+            else:
+                args.append(value)
+        offset_used = global_offset is not None and any(
+            int(d) for d in np.atleast_1d(global_offset)
+        )
+        fast = self.fastpaths.lookup(kernel.name)
+        if fast is not None and not offset_used:
+            # fast paths assume a zero global offset; offset launches fall
+            # back to the interpreter so semantics stay exact
+            fast_args = self._fastpath_args(kernel, args)
+            fast(fast_args, tuple(np.atleast_1d(global_size)),
+                 None if local_size is None else tuple(np.atleast_1d(local_size)))
+            return
+        Interpreter(kernel.program.compiled).run_kernel(
+            kernel.name, args, global_size, local_size, global_offset
+        )
+
+    def _fastpath_args(self, kernel, args):
+        """Buffers become typed NumPy views per the kernel signature."""
+        out = []
+        for (name, ctype), value in zip(kernel.info.params, args):
+            if isinstance(value, Memory):
+                elem = ctype.pointee
+                while elem.is_array():
+                    elem = elem.element
+                out.append(value.typed_view(elem))
+            elif isinstance(value, LocalMem):
+                out.append(None)
+            else:
+                out.append(value)
+        return out

@@ -1,0 +1,18 @@
+"""Minimal discrete-event simulation engine.
+
+Powers the simulated-time execution mode: the 1 GbE network model and
+the device timelines are simulated processes over one shared clock, so
+scaling curves include honest queueing and link contention.
+
+The API is a deliberately small simpy-like core:
+
+- :class:`Simulator` -- event loop with a virtual clock;
+- processes are generators spawned with :meth:`Simulator.spawn` that
+  ``yield`` events (timeouts, resource grants, store gets);
+- :class:`Resource` -- FIFO mutex/semaphore (a network link, a device);
+- :class:`Store` -- unbounded message queue between processes.
+"""
+
+from repro.sim.engine import AllOf, Resource, SimError, Simulator, Store
+
+__all__ = ["Simulator", "Resource", "Store", "AllOf", "SimError"]

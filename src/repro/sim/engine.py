@@ -1,0 +1,260 @@
+"""Discrete-event simulation core.
+
+Processes are plain generators.  Each ``yield`` hands the simulator an
+:class:`SimEvent` to wait on; the process resumes when the event fires,
+receiving the event's value as the result of the ``yield`` expression.
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (a monotonically increasing sequence number breaks ties), so runs
+are exactly reproducible.
+"""
+
+import heapq
+import itertools
+
+
+class SimError(Exception):
+    """Raised for simulation-protocol violations."""
+
+
+class SimEvent:
+    """A one-shot event processes can wait on."""
+
+    __slots__ = ("sim", "triggered", "value", "_waiters")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.triggered = False
+        self.value = None
+        self._waiters = []
+
+    def trigger(self, value=None):
+        """Fire the event, waking every waiter at the current sim time."""
+        if self.triggered:
+            raise SimError("event already triggered")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if isinstance(waiter, _Callback):
+                waiter.fn(value)
+            else:
+                self.sim._ready(waiter, value)
+        return self
+
+    def add_waiter(self, task):
+        if self.triggered:
+            self.sim._ready(task, self.value)
+        else:
+            self._waiters.append(task)
+
+
+class AllOf(SimEvent):
+    """Composite event that fires when all child events have fired."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, sim, events):
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        if self._pending == 0:
+            self.trigger([])
+            return
+        self.value = [None] * len(events)
+        for index, event in enumerate(events):
+            self._watch(index, event)
+
+    def _watch(self, index, event):
+        def on_fire(value):
+            results = self.value
+            results[index] = value
+            self._pending -= 1
+            if self._pending == 0:
+                self.value = None  # let trigger() install the final value
+                self.triggered = False
+                self.trigger(results)
+
+        if event.triggered:
+            on_fire(event.value)
+        else:
+            event._waiters.append(_Callback(on_fire))
+
+
+class _Callback:
+    """Adapter letting plain functions sit in an event's waiter list."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+
+class _Task:
+    """One running process (generator) plus its completion event."""
+
+    __slots__ = ("gen", "done", "name")
+
+    def __init__(self, gen, done, name):
+        self.gen = gen
+        self.done = done
+        self.name = name
+
+
+class Simulator:
+    """The event loop and virtual clock."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap = []
+        self._seq = itertools.count()
+        self._active = 0
+
+    # -- process management ------------------------------------------------------
+
+    def spawn(self, gen, name=None):
+        """Start a generator process; returns its completion SimEvent."""
+        done = SimEvent(self)
+        task = _Task(gen, done, name or getattr(gen, "__name__", "proc"))
+        self._active += 1
+        self._ready(task, None)
+        return done
+
+    def timeout(self, delay, value=None):
+        """Event that fires ``delay`` sim-seconds from now."""
+        if delay < 0:
+            raise SimError("negative delay %r" % delay)
+        event = SimEvent(self)
+        self._at(self.now + delay, event, value)
+        return event
+
+    def event(self):
+        """A bare event the caller triggers manually."""
+        return SimEvent(self)
+
+    # -- scheduling internals ------------------------------------------------------
+
+    def _at(self, when, event, value=None):
+        heapq.heappush(self._heap, (when, next(self._seq), event, value))
+
+    def _ready(self, task, value):
+        event = SimEvent(self)
+        event.trigger(value)
+        heapq.heappush(
+            self._heap, (self.now, next(self._seq), _Step(task), value)
+        )
+
+    def _step(self, task, value):
+        try:
+            target = task.gen.send(value)
+        except StopIteration as stop:
+            self._active -= 1
+            task.done.trigger(getattr(stop, "value", None))
+            return
+        if not isinstance(target, SimEvent):
+            raise SimError(
+                "process %s yielded %r (expected a SimEvent)" % (task.name, target)
+            )
+        target.add_waiter(task)
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self, until=None):
+        """Run until the heap drains or the clock passes ``until``."""
+        while self._heap:
+            when, _, payload, value = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = when
+            if isinstance(payload, _Step):
+                self._step(payload.task, value)
+            elif not payload.triggered:  # a timer-backed SimEvent
+                payload.trigger(value)
+        return self.now
+
+    @property
+    def idle(self):
+        return not self._heap
+
+
+class _Step:
+    """Heap payload resuming one task."""
+
+    __slots__ = ("task",)
+
+    def __init__(self, task):
+        self.task = task
+
+
+class Resource:
+    """FIFO resource with integer capacity (1 == mutex).
+
+    ``acquire`` returns an event that fires when a slot is granted;
+    ``release`` hands the slot to the next waiter.
+    """
+
+    def __init__(self, sim, capacity=1):
+        if capacity < 1:
+            raise SimError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._queue = []
+
+    def acquire(self):
+        event = SimEvent(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.trigger(self)
+        else:
+            self._queue.append(event)
+        return event
+
+    def release(self):
+        if self.in_use == 0:
+            raise SimError("release without acquire")
+        if self._queue:
+            self._queue.pop(0).trigger(self)
+        else:
+            self.in_use -= 1
+
+    def request(self):
+        """Context-manager style helper for use inside processes::
+
+            grant = yield link.acquire()
+            ...
+            link.release()
+        """
+        return self.acquire()
+
+    @property
+    def queued(self):
+        return len(self._queue)
+
+
+class Store:
+    """Unbounded FIFO message store between processes."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._items = []
+        self._getters = []
+
+    def put(self, item):
+        if self._getters:
+            self._getters.pop(0).trigger(item)
+        else:
+            self._items.append(item)
+
+    def get(self):
+        event = SimEvent(self.sim)
+        if self._items:
+            event.trigger(self._items.pop(0))
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self):
+        return len(self._items)

@@ -1,0 +1,38 @@
+"""Communication backbone (paper §III-C).
+
+The paper builds its backbone on Boost.Asio: each Node Management
+Process creates an acceptor, listens asynchronously, and spawns a
+handler per incoming message; the host sends a message and waits
+synchronously for the response before its next action.
+
+This package reproduces that architecture with three interchangeable
+fabrics behind one :class:`repro.transport.base.Fabric` interface:
+
+- :mod:`repro.transport.inproc` -- same-process loopback (full
+  serialise/deserialise round trip, zero scheduling) for tests;
+- :mod:`repro.transport.tcp`    -- real TCP sockets on localhost with an
+  acceptor thread and a handler thread per message (the engineering
+  artifact proving the distributed protocol works);
+- :mod:`repro.transport.sim`    -- discrete-event-simulated Gigabit
+  Ethernet with per-NIC contention (the measurement substrate for the
+  paper-scale experiments).
+"""
+
+from repro.transport.base import Channel, Fabric, NodeHandler, TransportError
+from repro.transport.message import Message, MessageKind
+from repro.transport.netmodel import GigabitEthernet, NetworkModel
+from repro.transport.serialization import SerializationError, decode, encode
+
+__all__ = [
+    "Channel",
+    "Fabric",
+    "NodeHandler",
+    "TransportError",
+    "Message",
+    "MessageKind",
+    "NetworkModel",
+    "GigabitEthernet",
+    "encode",
+    "decode",
+    "SerializationError",
+]

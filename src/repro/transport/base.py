@@ -1,0 +1,54 @@
+"""Transport interfaces shared by all fabrics."""
+
+
+class TransportError(Exception):
+    """Connection/framing failure in the communication backbone."""
+
+
+class NodeHandler:
+    """Interface a Node Management Process implements.
+
+    ``handle(message, now_s)`` processes one request arriving at time
+    ``now_s`` (seconds on the fabric's clock: wall time for real fabrics,
+    sim time for the simulated fabric) and returns ``(response,
+    ready_s)`` where ``ready_s >= now_s`` is the earliest time the
+    response may be sent -- later than ``now_s`` when the command must
+    wait for the node's device to drain (clFinish, blocking reads).
+    Real fabrics block for that duration implicitly; the simulated fabric
+    schedules it.
+    """
+
+    def handle(self, message, now_s):
+        raise NotImplementedError
+
+
+class Channel:
+    """Host-side synchronous request/response channel to one node."""
+
+    def request(self, message):
+        """Send ``message``; block until the response arrives (paper
+        §III-C: the host listener is synchronous)."""
+        raise NotImplementedError
+
+    def close(self):
+        pass
+
+
+class Fabric:
+    """A cluster interconnect: one Channel per device node."""
+
+    def connect(self, node_id):
+        """Open (or reuse) the channel to ``node_id``."""
+        raise NotImplementedError
+
+    def node_ids(self):
+        raise NotImplementedError
+
+    def close(self):
+        pass
+
+    #: seconds elapsed on this fabric's clock (sim fabrics override)
+    def now_s(self):
+        import time
+
+        return time.perf_counter()

@@ -1,0 +1,107 @@
+"""Framed messages between host and device nodes.
+
+A message mirrors the paper's description of the wrapper lib: "creates a
+message package that contains the information of the function's name and
+arguments", optionally accompanied by bulk data (buffer contents).
+
+Wire layout::
+
+    MAGIC(2) | kind(1) | msg_id(4) | method_len(2) | method | payload_len(4) | payload
+
+The payload is the tagged binary encoding from
+:mod:`repro.transport.serialization`; bulk NumPy data rides inside it.
+"""
+
+import itertools
+import struct
+
+from repro.transport.serialization import SerializationError, decode, encode
+
+MAGIC = b"HC"  # "HaoCL" frame marker
+_HEADER = struct.Struct(">2sBIH")
+_LEN = struct.Struct(">I")
+
+_next_id = itertools.count(1)
+
+
+class MessageKind:
+    REQUEST = 0
+    RESPONSE = 1
+    ERROR = 2
+    NOTIFY = 3
+
+    NAMES = {0: "request", 1: "response", 2: "error", 3: "notify"}
+
+
+class Message:
+    """One framed message with method name and payload dict."""
+
+    __slots__ = ("kind", "method", "msg_id", "payload")
+
+    def __init__(self, kind, method, payload=None, msg_id=None):
+        self.kind = kind
+        self.method = method
+        self.payload = payload if payload is not None else {}
+        self.msg_id = next(_next_id) if msg_id is None else msg_id
+
+    @classmethod
+    def request(cls, method, **payload):
+        return cls(MessageKind.REQUEST, method, payload)
+
+    def reply(self, **payload):
+        """Successful response echoing this request's id."""
+        return Message(MessageKind.RESPONSE, self.method, payload, self.msg_id)
+
+    def fail(self, code, message):
+        """Error response carrying an OpenCL status code."""
+        return Message(
+            MessageKind.ERROR,
+            self.method,
+            {"code": code, "message": message},
+            self.msg_id,
+        )
+
+    @property
+    def is_error(self):
+        return self.kind == MessageKind.ERROR
+
+    def to_bytes(self):
+        method_raw = self.method.encode("utf-8")
+        payload_raw = encode(self.payload)
+        return (
+            _HEADER.pack(MAGIC, self.kind, self.msg_id, len(method_raw))
+            + method_raw
+            + _LEN.pack(len(payload_raw))
+            + payload_raw
+        )
+
+    @classmethod
+    def from_bytes(cls, raw):
+        if len(raw) < _HEADER.size:
+            raise SerializationError("short message frame")
+        magic, kind, msg_id, method_len = _HEADER.unpack_from(raw, 0)
+        if magic != MAGIC:
+            raise SerializationError("bad magic %r" % magic)
+        offset = _HEADER.size
+        method = raw[offset : offset + method_len].decode("utf-8")
+        offset += method_len
+        (payload_len,) = _LEN.unpack_from(raw, offset)
+        offset += _LEN.size
+        if offset + payload_len != len(raw):
+            raise SerializationError("payload length mismatch")
+        payload = decode(raw[offset : offset + payload_len])
+        return cls(kind, method, payload, msg_id)
+
+    @property
+    def nbytes(self):
+        """Approximate wire size without a full encode (used by the
+        simulated network to charge transfer time)."""
+        return len(self.to_bytes())
+
+    def __repr__(self):
+        return "Message(%s %s #%d, %d keys)" % (
+            MessageKind.NAMES.get(self.kind, self.kind),
+            self.method,
+            self.msg_id,
+            len(self.payload),
+        )

@@ -1,0 +1,51 @@
+"""Network models for the simulated fabric.
+
+First-order Ethernet model: per-message one-way latency plus size over
+effective bandwidth.  Effective GbE bandwidth accounts for TCP/IP and
+framing overhead (~94% of line rate).
+"""
+
+
+class NetworkModel:
+    """Latency/bandwidth parameters of one interconnect."""
+
+    def __init__(self, latency_s, bandwidth_bps, proc_overhead_s=25e-6, name="net"):
+        #: one-way wire latency per message (propagation + switching)
+        self.latency_s = float(latency_s)
+        #: payload bandwidth in bytes per second
+        self.bandwidth_bps = float(bandwidth_bps)
+        #: per-message software processing cost at the receiver
+        #: (unpack + dispatch thread, §III-C)
+        self.proc_overhead_s = float(proc_overhead_s)
+        self.name = name
+
+    def transfer_time(self, nbytes):
+        """One-way time to move ``nbytes`` as a single message."""
+        return self.latency_s + nbytes / self.bandwidth_bps
+
+    def __repr__(self):
+        return "NetworkModel(%s, %.0fus, %.1f MB/s)" % (
+            self.name,
+            self.latency_s * 1e6,
+            self.bandwidth_bps / 1e6,
+        )
+
+
+def GigabitEthernet():
+    """The paper's interconnect: GbE through a ToR switch (§IV-A)."""
+    return NetworkModel(
+        latency_s=60e-6,
+        bandwidth_bps=117.5e6,  # 1 Gbit/s minus TCP/IP + Ethernet framing
+        proc_overhead_s=25e-6,
+        name="1GbE",
+    )
+
+
+def TenGigabitEthernet():
+    """Optional faster fabric for ablations."""
+    return NetworkModel(
+        latency_s=25e-6,
+        bandwidth_bps=1175e6,
+        proc_overhead_s=20e-6,
+        name="10GbE",
+    )

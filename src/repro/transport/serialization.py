@@ -1,0 +1,193 @@
+"""Compact self-describing binary wire format.
+
+Message payloads travel between host and device nodes as a tagged binary
+encoding of Python primitives plus NumPy arrays.  The format is
+deliberately simple (one tag byte, big-endian lengths) so the node side
+can be reimplemented in any language -- the same property Boost
+serialisation gave the paper.
+
+Supported values: None, bool, int (64-bit signed; bigger ints fall back
+to a length-prefixed text encoding), float, str, bytes, list, tuple,
+dict (str keys not required), and C-contiguous NumPy arrays of any
+shape/dtype.  Tuples decode as lists, as in most wire formats.
+"""
+
+import struct
+
+import numpy as np
+
+TAG_NONE = 0x00
+TAG_FALSE = 0x01
+TAG_TRUE = 0x02
+TAG_INT = 0x03
+TAG_BIGINT = 0x04
+TAG_FLOAT = 0x05
+TAG_STR = 0x06
+TAG_BYTES = 0x07
+TAG_LIST = 0x08
+TAG_DICT = 0x09
+TAG_NDARRAY = 0x0A
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+class SerializationError(Exception):
+    """Value cannot be encoded, or the wire bytes are malformed."""
+
+
+def encode(value):
+    """Encode ``value`` to bytes."""
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def _encode_into(value, out):
+    if value is None:
+        out.append(TAG_NONE)
+    elif value is True:
+        out.append(TAG_TRUE)
+    elif value is False:
+        out.append(TAG_FALSE)
+    elif isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+        value = int(value)
+        if _INT64_MIN <= value <= _INT64_MAX:
+            out.append(TAG_INT)
+            out += struct.pack(">q", value)
+        else:
+            text = str(value).encode("ascii")
+            out.append(TAG_BIGINT)
+            out += struct.pack(">I", len(text))
+            out += text
+    elif isinstance(value, (float, np.floating)):
+        out.append(TAG_FLOAT)
+        out += struct.pack(">d", float(value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(TAG_STR)
+        out += struct.pack(">I", len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        out.append(TAG_BYTES)
+        out += struct.pack(">I", len(raw))
+        out += raw
+    elif isinstance(value, (list, tuple)):
+        out.append(TAG_LIST)
+        out += struct.pack(">I", len(value))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, dict):
+        out.append(TAG_DICT)
+        out += struct.pack(">I", len(value))
+        for key, item in value.items():
+            _encode_into(key, out)
+            _encode_into(item, out)
+    elif isinstance(value, np.ndarray):
+        array = np.ascontiguousarray(value)
+        dtype = array.dtype.str.encode("ascii")  # e.g. b"<f4"
+        out.append(TAG_NDARRAY)
+        out += struct.pack(">B", len(dtype))
+        out += dtype
+        out += struct.pack(">B", array.ndim)
+        for dim in array.shape:
+            out += struct.pack(">Q", dim)
+        raw = array.tobytes()
+        out += struct.pack(">Q", len(raw))
+        out += raw
+    elif isinstance(value, np.generic):  # NumPy scalar (bool_ handled here too)
+        _encode_into(value.item(), out)
+    else:
+        raise SerializationError("cannot encode %r" % type(value).__name__)
+
+
+def decode(data):
+    """Decode one value from ``data``; trailing bytes are an error."""
+    value, offset = _decode_from(data, 0)
+    if offset != len(data):
+        raise SerializationError(
+            "%d trailing bytes after value" % (len(data) - offset)
+        )
+    return value
+
+
+def _decode_from(data, offset):
+    try:
+        tag = data[offset]
+    except IndexError:
+        raise SerializationError("truncated input") from None
+    offset += 1
+    if tag == TAG_NONE:
+        return None, offset
+    if tag == TAG_TRUE:
+        return True, offset
+    if tag == TAG_FALSE:
+        return False, offset
+    if tag == TAG_INT:
+        _need(data, offset, 8)
+        return struct.unpack_from(">q", data, offset)[0], offset + 8
+    if tag == TAG_BIGINT:
+        length, offset = _read_len32(data, offset)
+        _need(data, offset, length)
+        return int(data[offset : offset + length].decode("ascii")), offset + length
+    if tag == TAG_FLOAT:
+        _need(data, offset, 8)
+        return struct.unpack_from(">d", data, offset)[0], offset + 8
+    if tag == TAG_STR:
+        length, offset = _read_len32(data, offset)
+        _need(data, offset, length)
+        return data[offset : offset + length].decode("utf-8"), offset + length
+    if tag == TAG_BYTES:
+        length, offset = _read_len32(data, offset)
+        _need(data, offset, length)
+        return bytes(data[offset : offset + length]), offset + length
+    if tag == TAG_LIST:
+        count, offset = _read_len32(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = _decode_from(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == TAG_DICT:
+        count, offset = _read_len32(data, offset)
+        out = {}
+        for _ in range(count):
+            key, offset = _decode_from(data, offset)
+            value, offset = _decode_from(data, offset)
+            out[key] = value
+        return out, offset
+    if tag == TAG_NDARRAY:
+        _need(data, offset, 1)
+        dtype_len = data[offset]
+        offset += 1
+        _need(data, offset, dtype_len)
+        dtype = np.dtype(data[offset : offset + dtype_len].decode("ascii"))
+        offset += dtype_len
+        _need(data, offset, 1)
+        ndim = data[offset]
+        offset += 1
+        shape = []
+        for _ in range(ndim):
+            _need(data, offset, 8)
+            shape.append(struct.unpack_from(">Q", data, offset)[0])
+            offset += 8
+        _need(data, offset, 8)
+        nbytes = struct.unpack_from(">Q", data, offset)[0]
+        offset += 8
+        _need(data, offset, nbytes)
+        flat = np.frombuffer(data, dtype=dtype, count=nbytes // dtype.itemsize,
+                             offset=offset)
+        array = flat.reshape(shape).copy()  # own the memory
+        return array, offset + nbytes
+    raise SerializationError("unknown tag 0x%02x at offset %d" % (tag, offset - 1))
+
+
+def _read_len32(data, offset):
+    _need(data, offset, 4)
+    return struct.unpack_from(">I", data, offset)[0], offset + 4
+
+
+def _need(data, offset, count):
+    if offset + count > len(data):
+        raise SerializationError("truncated input")

@@ -1,0 +1,124 @@
+"""Discrete-event-simulated Gigabit Ethernet fabric.
+
+Network topology: a star through one switch.  Every node (and the host)
+owns a full-duplex NIC modelled as two FIFO resources (tx/rx); a
+message's transfer occupies the sender's tx port and the receiver's rx
+port for its serialisation time, so a host scattering data to N nodes
+serialises on the host NIC -- the first-order behaviour that shapes the
+paper's Fig. 2/Fig. 3 communication components.
+
+The host program runs as ordinary Python; each synchronous request
+drives the simulator forward until its response arrives (the paper's
+host-side listener is synchronous, §III-C).  Parallelism across nodes
+still emerges because device execution advances on per-node *device
+timelines* maintained by the NMPs, not on the host's request path.
+"""
+
+from repro.sim import Resource, Simulator
+from repro.transport.base import Channel, Fabric, TransportError
+from repro.transport.message import Message
+from repro.transport.netmodel import GigabitEthernet
+
+
+class _Nic:
+    """Full-duplex network port: independent tx and rx queues."""
+
+    def __init__(self, sim):
+        self.tx = Resource(sim, capacity=1)
+        self.rx = Resource(sim, capacity=1)
+
+
+class SimChannel(Channel):
+    def __init__(self, fabric, node_id):
+        self._fabric = fabric
+        self._node_id = node_id
+
+    def request(self, message):
+        return self._fabric._round_trip(self._node_id, message)
+
+
+class SimFabric(Fabric):
+    """Fabric whose time source is a discrete-event simulator."""
+
+    def __init__(self, handlers, netmodel=None, sim=None):
+        self.sim = sim or Simulator()
+        self.netmodel = netmodel or GigabitEthernet()
+        self._handlers = dict(handlers)
+        self._host_nic = _Nic(self.sim)
+        self._node_nics = {node_id: _Nic(self.sim) for node_id in self._handlers}
+        self._channels = {}
+        #: bytes moved per direction, for traffic accounting
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        self.messages = 0
+
+    def add_node(self, node_id, handler):
+        self._handlers[node_id] = handler
+        self._node_nics[node_id] = _Nic(self.sim)
+
+    def connect(self, node_id):
+        if node_id not in self._handlers:
+            raise TransportError("unknown node %r" % node_id)
+        if node_id not in self._channels:
+            self._channels[node_id] = SimChannel(self, node_id)
+        return self._channels[node_id]
+
+    def node_ids(self):
+        return sorted(self._handlers)
+
+    def now_s(self):
+        return self.sim.now
+
+    # -- the round trip ---------------------------------------------------------
+
+    def _round_trip(self, node_id, message):
+        """Run one synchronous request/response through the simulator."""
+        raw = message.to_bytes()
+        result = {}
+        done = self.sim.spawn(self._round_trip_proc(node_id, message, raw, result))
+        self.sim.run()
+        if not done.triggered:
+            raise TransportError("simulated request to %r never completed" % node_id)
+        if "error" in result:
+            raise result["error"]
+        return result["response"]
+
+    def _round_trip_proc(self, node_id, message, raw, result):
+        sim = self.sim
+        net = self.netmodel
+        node_nic = self._node_nics[node_id]
+        # -- request leg: host tx port + node rx port for the wire time.
+        # "virtual_nbytes" lets synthetic (size-only) transfers charge the
+        # wire for the bytes a real run would ship without materialising
+        # paper-scale data in memory.
+        virtual = int(message.payload.get("virtual_nbytes", 0))
+        send_s = net.transfer_time(len(raw) + virtual)
+        yield self._host_nic.tx.acquire()
+        yield node_nic.rx.acquire()
+        yield sim.timeout(send_s)
+        self._host_nic.tx.release()
+        node_nic.rx.release()
+        self.tx_bytes += len(raw)
+        self.messages += 1
+        # -- node-side unpack + dispatch (a handler thread, §III-C)
+        yield sim.timeout(net.proc_overhead_s)
+        parsed = Message.from_bytes(raw)
+        try:
+            response, ready_s = self._handlers[node_id].handle(parsed, sim.now)
+        except Exception as exc:  # surface node faults to the host caller
+            result["error"] = exc
+            return
+        if ready_s > sim.now:
+            # the command must wait for the node's device timeline
+            yield sim.timeout(ready_s - sim.now)
+        # -- response leg: node tx + host rx
+        response_raw = response.to_bytes()
+        response_virtual = int(response.payload.get("virtual_nbytes", 0))
+        recv_s = net.transfer_time(len(response_raw) + response_virtual)
+        yield node_nic.tx.acquire()
+        yield self._host_nic.rx.acquire()
+        yield sim.timeout(recv_s)
+        node_nic.tx.release()
+        self._host_nic.rx.release()
+        self.rx_bytes += len(response_raw)
+        result["response"] = Message.from_bytes(response_raw)

@@ -1,0 +1,165 @@
+"""Real TCP fabric on localhost.
+
+Mirrors the paper's Boost.Asio design: each Node Management Process gets
+an acceptor socket listening on its own port; every accepted connection
+is served by a thread that reads a frame, dispatches it, and writes the
+response ("when messages/data comes, it creates a thread to read and
+unpack the incoming message, then starts listening to the port again",
+§III-C).  The host opens one connection per node and waits synchronously
+for each response.
+"""
+
+import socket
+import struct
+import threading
+import time
+
+from repro.transport.base import Channel, Fabric, TransportError
+from repro.transport.message import Message
+
+_FRAME_LEN = struct.Struct(">I")
+
+
+def _send_frame(sock, raw):
+    sock.sendall(_FRAME_LEN.pack(len(raw)) + raw)
+
+
+def _recv_exact(sock, count):
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise TransportError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock):
+    (length,) = _FRAME_LEN.unpack(_recv_exact(sock, _FRAME_LEN.size))
+    return _recv_exact(sock, length)
+
+
+class NodeServer:
+    """Acceptor + handler threads for one device node."""
+
+    def __init__(self, handler, host="127.0.0.1", port=0, clock=None):
+        self._handler = handler
+        self._clock = clock or time.perf_counter
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self.address = self._listener.getsockname()
+        self._stop = threading.Event()
+        self._threads = []
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="nmp-acceptor-%d" % self.address[1],
+            daemon=True,
+        )
+        self._acceptor.start()
+
+    def _accept_loop(self):
+        while not self._stop.is_set():
+            try:
+                conn, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._serve, args=(conn,), daemon=True,
+                name="nmp-conn-%d" % self.address[1],
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve(self, conn):
+        with conn:
+            while not self._stop.is_set():
+                try:
+                    raw = _recv_frame(conn)
+                except (TransportError, OSError):
+                    return
+                message = Message.from_bytes(raw)
+                try:
+                    response, _ready = self._handler.handle(message, self._clock())
+                except Exception as exc:  # node-side fault -> error frame
+                    response = message.fail(-9999, "%s: %s" % (type(exc).__name__, exc))
+                try:
+                    _send_frame(conn, response.to_bytes())
+                except OSError:
+                    return
+
+    def close(self):
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+class TcpChannel(Channel):
+    def __init__(self, address):
+        self._address = address
+        self._sock = socket.create_connection(address, timeout=30.0)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._lock = threading.Lock()
+
+    def request(self, message):
+        with self._lock:
+            _send_frame(self._sock, message.to_bytes())
+            return Message.from_bytes(_recv_frame(self._sock))
+
+    def close(self):
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class TcpFabric(Fabric):
+    """Starts a NodeServer per handler and connects channels on demand.
+
+    Node addresses are also accepted directly (``add_remote``) so host
+    and nodes can live in different OS processes, as in a real cluster
+    deployment driven by the system configuration file.
+    """
+
+    def __init__(self, handlers=None, host="127.0.0.1"):
+        self._host = host
+        self._servers = {}
+        self._addresses = {}
+        self._channels = {}
+        self._t0 = time.perf_counter()
+        for node_id, handler in (handlers or {}).items():
+            self.add_node(node_id, handler)
+
+    def add_node(self, node_id, handler):
+        server = NodeServer(handler, host=self._host, clock=self.now_s)
+        self._servers[node_id] = server
+        self._addresses[node_id] = server.address
+
+    def add_remote(self, node_id, address):
+        """Register an externally-running node (separate process)."""
+        self._addresses[node_id] = tuple(address)
+
+    def connect(self, node_id):
+        if node_id not in self._addresses:
+            raise TransportError("unknown node %r" % node_id)
+        if node_id not in self._channels:
+            self._channels[node_id] = TcpChannel(self._addresses[node_id])
+        return self._channels[node_id]
+
+    def node_ids(self):
+        return sorted(self._addresses)
+
+    def now_s(self):
+        return time.perf_counter() - self._t0
+
+    def close(self):
+        for channel in self._channels.values():
+            channel.close()
+        for server in self._servers.values():
+            server.close()
+        self._channels.clear()
+        self._servers.clear()

@@ -1,0 +1,29 @@
+"""Benchmark applications (paper Table I).
+
+Five workloads from Rodinia/SHOC, each with:
+
+- a real OpenCL C kernel executed by :mod:`repro.clc`,
+- a workload generator sized to Table I (760 MB .. 1.1 GB),
+- a registered NumPy fast path (validated against the interpreter in
+  tests/workloads) so paper-scale real runs are feasible,
+- a distributed host program written against the session API, which runs
+  unmodified on HaoCL, on the Local baseline and on SnuCL-D -- the
+  paper's headline usability claim.
+"""
+
+from repro.workloads.base import (
+    UnsupportedBenchmarkError,
+    Workload,
+    get_workload,
+    partition_ranges,
+    workload_names,
+)
+from repro.workloads import matrixmul, cfd, knn, bfs, spmv  # noqa: F401 (register)
+
+__all__ = [
+    "Workload",
+    "UnsupportedBenchmarkError",
+    "get_workload",
+    "workload_names",
+    "partition_ranges",
+]

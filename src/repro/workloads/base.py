@@ -1,0 +1,112 @@
+"""Workload interface and registry."""
+
+import os
+
+_REGISTRY = {}
+
+_KERNEL_DIR = os.path.join(os.path.dirname(__file__), "kernels")
+
+
+class UnsupportedBenchmarkError(Exception):
+    """A framework cannot run this benchmark (e.g. CFD on SnuCL-D)."""
+
+
+def load_kernel_source(filename):
+    """Read one .cl file from the kernels directory."""
+    path = os.path.join(_KERNEL_DIR, filename)
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+def register_workload(cls):
+    """Class decorator adding a workload to the registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_workload(name, **kwargs):
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            "unknown workload %r (have: %s)" % (name, ", ".join(workload_names()))
+        ) from None
+    return cls(**kwargs)
+
+
+def workload_names():
+    return sorted(_REGISTRY)
+
+
+def partition_ranges(total, parts):
+    """Split ``total`` items into ``parts`` contiguous (start, count) ranges."""
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    base = total // parts
+    extra = total % parts
+    ranges = []
+    start = 0
+    for index in range(parts):
+        count = base + (1 if index < extra else 0)
+        ranges.append((start, count))
+        start += count
+    return ranges
+
+
+class Workload:
+    """One benchmark application.
+
+    Subclasses define:
+
+    - ``name`` / ``description`` -- Table I metadata;
+    - ``kernel_file`` -- the OpenCL C source file;
+    - ``generate(scale, seed)`` -- inputs dict (NumPy arrays + params);
+    - ``reference(inputs)`` -- NumPy-computed expected output;
+    - ``validate(outputs, expected)`` -- correctness predicate;
+    - ``run(session, inputs, devices)`` -- the distributed host program
+      (framework-independent: runs on HaoCL, Local and SnuCL-D);
+    - ``run_synthetic(session, scale, devices)`` -- same control flow on
+      size-only buffers for paper-scale modeled runs;
+    - ``paper_scale()`` -- the parameters matching Table I's input size;
+    - ``input_bytes(scale)`` -- the dataset's footprint at a scale.
+    """
+
+    name = None
+    description = None
+    kernel_file = None
+    table1_size = None  # human-readable, e.g. "760MB"
+
+    def __init__(self):
+        self._source = None
+
+    @property
+    def source(self):
+        if self._source is None:
+            self._source = load_kernel_source(self.kernel_file)
+        return self._source
+
+    # -- to be provided by subclasses ----------------------------------------
+
+    def generate(self, scale, seed=0):
+        raise NotImplementedError
+
+    def reference(self, inputs):
+        raise NotImplementedError
+
+    def validate(self, outputs, expected):
+        raise NotImplementedError
+
+    def run(self, session, inputs, devices):
+        raise NotImplementedError
+
+    def run_synthetic(self, session, scale, devices):
+        raise NotImplementedError
+
+    def paper_scale(self):
+        raise NotImplementedError
+
+    def input_bytes(self, scale):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "%s(%s)" % (type(self).__name__, self.name)

@@ -1,0 +1,231 @@
+"""BFS: level-synchronous graph traversal (Table I, 240 MB).
+
+Distribution: vertices are range-partitioned; each device owns its CSR
+slice and expands its share of the frontier; the host merges discovered
+levels and the next frontier after every level (BSP supersteps through
+the host, matching HaoCL's host-centric backbone).
+"""
+
+import numpy as np
+
+from repro.ocl.fastpath import global_fastpaths
+from repro.workloads.base import Workload, partition_ranges, register_workload
+from repro.workloads import datagen
+
+
+@global_fastpaths.register("bfs_expand")
+def _fast_bfs_expand(args, gsize, lsize):
+    row_offsets, columns, frontier, next_frontier, levels, level, nverts, voffset = args
+    nverts, voffset, level = int(nverts), int(voffset), int(level)
+    local_front = frontier[voffset : voffset + nverts].astype(bool)
+    active = np.nonzero(local_front)[0]
+    if active.size == 0:
+        return
+    starts = row_offsets[active]
+    ends = row_offsets[active + 1]
+    # expand all active adjacency lists in one flat gather
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return
+    flat = np.repeat(starts, counts) + _ragged_arange(counts)
+    targets = columns[flat]
+    undiscovered = levels[targets] == -1
+    hits = targets[undiscovered]
+    levels[hits] = level + 1
+    next_frontier[hits] = 1
+
+
+def _ragged_arange(counts):
+    """[0..c0), [0..c1), ... concatenated."""
+    total = int(counts.sum())
+    out = np.arange(total, dtype=np.int64)
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    return out - offsets
+
+
+@register_workload
+class BFS(Workload):
+    name = "bfs"
+    description = "Traverses all the connected components in a graph"
+    kernel_file = "bfs.cl"
+    table1_size = "240MB"
+
+    def __init__(self, degree=5, source_vertex=0, graph_kind="rmat"):
+        super().__init__()
+        self.degree = degree
+        self.source_vertex = source_vertex
+        self.graph_kind = graph_kind
+
+    def generate(self, scale, seed=0):
+        """``scale`` is the vertex count; edges = degree * scale."""
+        if self.graph_kind == "rmat":
+            row_offsets, columns = datagen.rmat_graph(
+                scale, scale * self.degree, seed=seed
+            )
+        else:
+            row_offsets, columns = datagen.uniform_graph(
+                scale, self.degree, seed=seed
+            )
+        return {
+            "row_offsets": row_offsets,
+            "columns": columns,
+            "nverts": scale,
+            "source": self.source_vertex % scale,
+        }
+
+    def reference(self, inputs):
+        """Level array via a NumPy frontier sweep."""
+        nverts = inputs["nverts"]
+        row_offsets = inputs["row_offsets"].astype(np.int64)
+        columns = inputs["columns"]
+        levels = np.full(nverts, -1, dtype=np.int32)
+        levels[inputs["source"]] = 0
+        frontier = np.zeros(nverts, dtype=bool)
+        frontier[inputs["source"]] = True
+        level = 0
+        while frontier.any():
+            active = np.nonzero(frontier)[0]
+            counts = row_offsets[active + 1] - row_offsets[active]
+            if counts.sum() == 0:
+                break
+            flat = np.repeat(row_offsets[active], counts) + _ragged_arange(counts)
+            targets = columns[flat]
+            fresh = np.unique(targets[levels[targets] == -1])
+            if fresh.size == 0:
+                break
+            levels[fresh] = level + 1
+            frontier = np.zeros(nverts, dtype=bool)
+            frontier[fresh] = True
+            level += 1
+        return levels
+
+    def validate(self, outputs, expected):
+        return bool(np.array_equal(outputs, expected))
+
+    def paper_scale(self):
+        return 6_000_000  # ~240 MB with degree 5 plus level/frontier arrays
+
+    def input_bytes(self, scale):
+        edges = scale * self.degree
+        return (scale + 1) * 4 + edges * 4 + 3 * scale * 4
+
+    def run(self, session, inputs, devices):
+        nverts = inputs["nverts"]
+        row_offsets = inputs["row_offsets"]
+        columns = inputs["columns"]
+        ctx = session.context(devices)
+        prog = session.program(ctx, self.source)
+        parts = []
+        for (start, count), device in zip(
+            partition_ranges(nverts, len(devices)), devices
+        ):
+            if count == 0:
+                continue
+            queue = session.queue(ctx, device)
+            # CSR slice rebased to the partition
+            local_offsets = (
+                row_offsets[start : start + count + 1]
+                - row_offsets[start]
+            ).astype(np.int32)
+            lo, hi = row_offsets[start], row_offsets[start + count]
+            buf_offsets = session.buffer_from(ctx, local_offsets)
+            buf_columns = session.buffer_from(ctx, columns[lo:hi])
+            parts.append((queue, device, start, count, buf_offsets, buf_columns))
+
+        levels = np.full(nverts, -1, dtype=np.int32)
+        levels[inputs["source"]] = 0
+        frontier = np.zeros(nverts, dtype=np.int32)
+        frontier[inputs["source"]] = 1
+        level = 0
+        while frontier.any():
+            merged_levels = levels.copy()
+            merged_next = np.zeros(nverts, dtype=np.int32)
+            for queue, device, start, count, buf_offsets, buf_columns in parts:
+                buf_frontier = session.buffer_from(ctx, frontier)
+                buf_next = session.buffer_from(ctx,
+                                               np.zeros(nverts, dtype=np.int32))
+                buf_levels = session.buffer_from(ctx, levels)
+                kernel = session.kernel(
+                    prog, "bfs_expand", buf_offsets, buf_columns,
+                    buf_frontier, buf_next, buf_levels,
+                    np.int32(level), np.int32(count), np.int32(start),
+                )
+                session.enqueue(queue, kernel, (count,))
+                part_levels = session.read_array(queue, buf_levels, np.int32)
+                part_next = session.read_array(queue, buf_next, np.int32)
+                discovered = (merged_levels == -1) & (part_levels != -1)
+                merged_levels[discovered] = part_levels[discovered]
+                merged_next |= part_next
+            # vertices already levelled keep their first (smallest) level
+            merged_next[merged_levels != -1] &= (
+                merged_levels[merged_levels != -1] == level + 1
+            ).astype(np.int32)
+            levels = merged_levels
+            frontier = merged_next
+            level += 1
+            if level > nverts:
+                raise RuntimeError("BFS failed to converge")
+        return levels
+
+    def run_synthetic(self, session, scale, devices, sources=4, levels=6,
+                      frontier_fraction=0.02):
+        """Steady-state multi-source traversal: the CSR graph is
+        scattered once and stays resident; each level exchanges compact
+        frontier/level deltas (a ``frontier_fraction`` of the vertex
+        array) through the host, the BSP superstep pattern."""
+        nverts = scale
+        edges = nverts * self.degree
+        t0 = session.now_s()
+        ctx = session.context(devices)
+        prog = session.program(ctx, self.source)
+        nparts = len(devices)
+        transfer_s = 0.0
+        compute_s = 0.0
+        exchange_bytes = max(4, int(nverts * 4 * frontier_fraction))
+        mark = session.now_s()
+        parts = []
+        for (start, count), device in zip(
+            partition_ranges(nverts, nparts), devices
+        ):
+            queue = session.queue(ctx, device)
+            part_edges = max(1, edges // nparts)
+            buf_offsets = session.synthetic_buffer(ctx, (count + 1) * 4)
+            buf_columns = session.synthetic_buffer(ctx, part_edges * 4)
+            session.write(queue, buf_offsets, nbytes=(count + 1) * 4)
+            session.write(queue, buf_columns, nbytes=part_edges * 4)
+            buf_frontier = session.synthetic_buffer(ctx, nverts * 4)
+            buf_next = session.synthetic_buffer(ctx, nverts * 4)
+            buf_levels = session.synthetic_buffer(ctx, nverts * 4)
+            parts.append((queue, start, count, buf_offsets, buf_columns,
+                          buf_frontier, buf_next, buf_levels))
+        transfer_s += session.now_s() - mark
+        for _source in range(sources):
+            for level in range(levels):
+                mark = session.now_s()
+                for (queue, start, count, buf_offsets, buf_columns,
+                     buf_frontier, buf_next, buf_levels) in parts:
+                    session.write(queue, buf_frontier, nbytes=exchange_bytes)
+                    kernel = session.kernel(
+                        prog, "bfs_expand", buf_offsets, buf_columns,
+                        buf_frontier, buf_next, buf_levels,
+                        np.int32(level), np.int32(count), np.int32(start),
+                    )
+                    session.enqueue(queue, kernel, (count,))
+                t_sent = session.now_s()
+                for queue, *_rest in parts:
+                    session.finish(queue)
+                t_computed = session.now_s()
+                for (queue, _start, _count, _bo, _bc, _bf, buf_next,
+                     _bl) in parts:
+                    session.read_ack(queue, buf_next, nbytes=exchange_bytes)
+                t_done = session.now_s()
+                transfer_s += (t_sent - mark) + (t_done - t_computed)
+                compute_s += t_computed - t_sent
+        create_s = self.input_bytes(scale) / 2.5e9
+        return {
+            "create": create_s,
+            "transfer": transfer_s,
+            "compute": compute_s,
+            "total": (session.now_s() - t0) + create_s,
+        }

@@ -1,0 +1,264 @@
+"""CFD: unstructured-grid finite-volume Euler solver (Table I, 800 MB).
+
+Rodinia euler3d structure: three kernels per time step (step factor,
+flux, time step) over 5 conserved variables per cell with indirect
+neighbour gathers.  Distribution partitions cells; because fluxes read
+*neighbour* cells, the full variable array is re-exchanged through the
+host every iteration -- the communication-heavy pattern that makes CFD
+scale worst in the paper's Fig. 2 (and impossible on SnuCL-D without
+significant change).
+"""
+
+import numpy as np
+
+from repro.ocl.fastpath import global_fastpaths
+from repro.workloads.base import Workload, partition_ranges, register_workload
+from repro.workloads import datagen
+
+GAMMA = np.float32(1.4)
+NNB = 4
+
+
+def _pressure(variables):
+    v = variables.reshape(-1, 5)
+    kinetic = np.float32(0.5) * (v[:, 1:4] ** 2).sum(axis=1, dtype=np.float32) / v[:, 0]
+    return (GAMMA - 1) * (v[:, 4] - kinetic)
+
+
+@global_fastpaths.register("cfd_step_factor")
+def _fast_step_factor(args, gsize, lsize):
+    variables, areas, step_factors, ncells = args
+    ncells = int(ncells)
+    v = variables[: ncells * 5].reshape(ncells, 5)
+    speed = np.sqrt((v[:, 1:4] ** 2).sum(axis=1, dtype=np.float32)) / v[:, 0]
+    pressure = _pressure(v.reshape(-1))
+    sound = np.sqrt(GAMMA * pressure / v[:, 0])
+    step_factors[:ncells] = np.float32(0.5) / (
+        np.sqrt(areas[:ncells]) * (speed + sound)
+    )
+
+
+@global_fastpaths.register("cfd_compute_flux")
+def _fast_compute_flux(args, gsize, lsize):
+    neighbors, normals, variables, fluxes, ncells, coffset = args
+    ncells, coffset = int(ncells), int(coffset)
+    nbrs = neighbors[: ncells * NNB].reshape(ncells, NNB)
+    norms = normals[: ncells * NNB * 3].reshape(ncells, NNB, 3)
+    all_vars = variables.reshape(-1, 5)
+    pressure = _pressure(variables)
+    own = np.arange(coffset, coffset + ncells)
+    out = np.zeros((ncells, 5), dtype=np.float32)
+    for nb in range(NNB):
+        j = nbrs[:, nb]
+        valid = j >= 0
+        jv = np.where(valid, j, 0)
+        area = np.sqrt((norms[:, nb, :] ** 2).sum(axis=1, dtype=np.float32))
+        diff = all_vars[jv] - all_vars[own]
+        pavg = np.float32(0.5) * (pressure[own] + pressure[jv])
+        contrib = np.empty((ncells, 5), dtype=np.float32)
+        contrib[:, 0] = area * np.float32(0.5) * diff[:, 0]
+        contrib[:, 1] = area * np.float32(0.5) * diff[:, 1] + pavg * norms[:, nb, 0]
+        contrib[:, 2] = area * np.float32(0.5) * diff[:, 2] + pavg * norms[:, nb, 1]
+        contrib[:, 3] = area * np.float32(0.5) * diff[:, 3] + pavg * norms[:, nb, 2]
+        contrib[:, 4] = area * np.float32(0.5) * diff[:, 4]
+        contrib[~valid] = 0
+        out += contrib
+    fluxes[: ncells * 5] = out.reshape(-1)
+
+
+@global_fastpaths.register("cfd_time_step")
+def _fast_time_step(args, gsize, lsize):
+    old_variables, fluxes, step_factors, variables, ncells, coffset = args
+    ncells, coffset = int(ncells), int(coffset)
+    own = slice(coffset * 5, (coffset + ncells) * 5)
+    factors = np.repeat(step_factors[coffset : coffset + ncells], 5)
+    variables[own] = old_variables[own] + factors * fluxes[: ncells * 5]
+
+
+@register_workload
+class CFD(Workload):
+    name = "cfd"
+    description = "Unstructured grid finite volume solver"
+    kernel_file = "cfd.cl"
+    table1_size = "800MB"
+    #: SnuCL-D cannot run this (paper: "CFD cannot be implemented on
+    #: SnuCL-D without significant change") -- checked by the baseline.
+    requires_iterative_exchange = True
+
+    def __init__(self, iterations=3):
+        super().__init__()
+        self.iterations = iterations
+
+    def generate(self, scale, seed=0):
+        """``scale`` is the cell count."""
+        neighbors, normals, areas = datagen.unstructured_mesh(
+            scale, NNB, seed=seed
+        )
+        variables = datagen.initial_cfd_variables(scale, seed=seed + 1)
+        return {
+            "neighbors": neighbors,
+            "normals": normals,
+            "areas": areas,
+            "variables": variables,
+            "ncells": scale,
+        }
+
+    def reference(self, inputs):
+        ncells = inputs["ncells"]
+        variables = inputs["variables"].copy()
+        step_factors = np.zeros(ncells, dtype=np.float32)
+        fluxes = np.zeros(ncells * 5, dtype=np.float32)
+        for _ in range(self.iterations):
+            _fast_step_factor(
+                [variables, inputs["areas"], step_factors, ncells], None, None
+            )
+            _fast_compute_flux(
+                [inputs["neighbors"].reshape(-1), inputs["normals"].reshape(-1),
+                 variables, fluxes, ncells, 0], None, None,
+            )
+            new_variables = variables.copy()
+            _fast_time_step(
+                [variables, fluxes, step_factors, new_variables, ncells, 0],
+                None, None,
+            )
+            variables = new_variables
+        return variables
+
+    def validate(self, outputs, expected):
+        return bool(np.allclose(outputs, expected, atol=1e-3, rtol=1e-3))
+
+    def paper_scale(self):
+        return 6_000_000  # ~132 B/cell -> ~800 MB
+
+    def input_bytes(self, scale):
+        per_cell = 5 * 4 * 3 + 4 + 4 + NNB * 4 + NNB * 3 * 4
+        return scale * per_cell
+
+    def run(self, session, inputs, devices):
+        ncells = inputs["ncells"]
+        ctx = session.context(devices)
+        prog = session.program(ctx, self.source)
+        parts = []
+        for (start, count), device in zip(
+            partition_ranges(ncells, len(devices)), devices
+        ):
+            if count == 0:
+                continue
+            queue = session.queue(ctx, device)
+            buf_neighbors = session.buffer_from(
+                ctx, inputs["neighbors"][start : start + count]
+            )
+            buf_normals = session.buffer_from(
+                ctx, inputs["normals"][start : start + count]
+            )
+            parts.append((queue, device, start, count, buf_neighbors,
+                          buf_normals))
+        buf_areas_full = session.buffer_from(ctx, inputs["areas"])
+        variables = inputs["variables"].copy()
+        for _ in range(self.iterations):
+            # step factors are cheap and cell-local: compute on the first
+            # device over the full array (euler3d does this fused too)
+            queue0 = parts[0][0]
+            buf_vars_full = session.buffer_from(ctx, variables)
+            buf_steps = session.empty_buffer(ctx, ncells * 4)
+            kernel_sf = session.kernel(
+                prog, "cfd_step_factor", buf_vars_full, buf_areas_full,
+                buf_steps, np.int32(ncells),
+            )
+            session.enqueue(queue0, kernel_sf, (ncells,))
+            step_factors = session.read_array(queue0, buf_steps, np.float32)
+            # flux + time step per partition, with the *full* variable
+            # array re-distributed (neighbour reads cross partitions)
+            new_variables = variables.copy()
+            for queue, device, start, count, buf_neighbors, buf_normals in parts:
+                buf_vars = session.buffer_from(ctx, variables)
+                buf_flux = session.empty_buffer(ctx, count * 5 * 4)
+                kernel_flux = session.kernel(
+                    prog, "cfd_compute_flux", buf_neighbors, buf_normals,
+                    buf_vars, buf_flux, np.int32(count), np.int32(start),
+                )
+                session.enqueue(queue, kernel_flux, (count,))
+                buf_sf = session.buffer_from(ctx, step_factors)
+                buf_new = session.buffer_from(ctx, variables)
+                kernel_ts = session.kernel(
+                    prog, "cfd_time_step", buf_vars, buf_flux, buf_sf,
+                    buf_new, np.int32(count), np.int32(start),
+                )
+                session.enqueue(queue, kernel_ts, (count,))
+                updated = session.read_array(queue, buf_new, np.float32)
+                lo, hi = start * 5, (start + count) * 5
+                new_variables[lo:hi] = updated[lo:hi]
+            variables = new_variables
+        return variables
+
+    def run_synthetic(self, session, scale, devices, iterations=100,
+                      halo_fraction=0.08):
+        """Steady-state time stepping: mesh slices are scattered once;
+        each step exchanges only halo-cell variables across partition
+        boundaries (a ``halo_fraction`` of each partition), runs the
+        three kernels, and keeps the state resident."""
+        ncells = scale
+        t0 = session.now_s()
+        ctx = session.context(devices)
+        prog = session.program(ctx, self.source)
+        nparts = len(devices)
+        transfer_s = 0.0
+        compute_s = 0.0
+        mark = session.now_s()
+        parts = []
+        for (start, count), device in zip(
+            partition_ranges(ncells, nparts), devices
+        ):
+            queue = session.queue(ctx, device)
+            buf_neighbors = session.synthetic_buffer(ctx, max(4, count * NNB * 4))
+            buf_normals = session.synthetic_buffer(ctx, max(4, count * NNB * 12))
+            buf_areas = session.synthetic_buffer(ctx, max(4, count * 4))
+            buf_vars = session.synthetic_buffer(ctx, max(4, ncells * 5 * 4))
+            buf_flux = session.synthetic_buffer(ctx, max(4, count * 5 * 4))
+            buf_sf = session.synthetic_buffer(ctx, max(4, count * 4))
+            buf_new = session.synthetic_buffer(ctx, max(4, ncells * 5 * 4))
+            session.write(queue, buf_neighbors, nbytes=max(4, count * NNB * 4))
+            session.write(queue, buf_normals, nbytes=max(4, count * NNB * 12))
+            session.write(queue, buf_areas, nbytes=max(4, count * 4))
+            session.write(queue, buf_vars, nbytes=max(4, count * 5 * 4))
+            kernel_sf = session.kernel(
+                prog, "cfd_step_factor", buf_vars, buf_areas, buf_sf,
+                np.int32(count),
+            )
+            kernel_flux = session.kernel(
+                prog, "cfd_compute_flux", buf_neighbors, buf_normals,
+                buf_vars, buf_flux, np.int32(count), np.int32(start),
+            )
+            kernel_ts = session.kernel(
+                prog, "cfd_time_step", buf_vars, buf_flux, buf_sf,
+                buf_new, np.int32(count), np.int32(start),
+            )
+            parts.append((queue, count, buf_vars, buf_new,
+                          kernel_sf, kernel_flux, kernel_ts))
+        transfer_s += session.now_s() - mark
+        for _ in range(iterations):
+            mark = session.now_s()
+            for (queue, count, buf_vars, _new, kernel_sf, kernel_flux,
+                 kernel_ts) in parts:
+                halo = max(4, int(count * 5 * 4 * halo_fraction))
+                session.write(queue, buf_vars, nbytes=halo)
+                session.enqueue(queue, kernel_sf, (count,))
+                session.enqueue(queue, kernel_flux, (count,))
+                session.enqueue(queue, kernel_ts, (count,))
+            t_sent = session.now_s()
+            for queue, *_rest in parts:
+                session.finish(queue)
+            t_computed = session.now_s()
+            for (queue, count, _vars, buf_new, *_kernels) in parts:
+                halo = max(4, int(count * 5 * 4 * halo_fraction))
+                session.read_ack(queue, buf_new, nbytes=halo)
+            t_done = session.now_s()
+            transfer_s += (t_sent - mark) + (t_done - t_computed)
+            compute_s += t_computed - t_sent
+        create_s = self.input_bytes(scale) / 2.5e9
+        return {
+            "create": create_s,
+            "transfer": transfer_s,
+            "compute": compute_s,
+            "total": (session.now_s() - t0) + create_s,
+        }

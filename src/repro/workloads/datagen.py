@@ -1,0 +1,105 @@
+"""Workload generators (synthetic stand-ins for the Rodinia/SHOC inputs).
+
+Everything is seeded and vectorised; the generators scale to the paper's
+Table I sizes (up to 1.1 GB) in seconds.
+"""
+
+import numpy as np
+
+
+def random_matrix(n, seed=0, dtype=np.float32):
+    """Dense n x n matrix with entries in [-1, 1)."""
+    rng = np.random.default_rng(seed)
+    return (rng.random((n, n), dtype=np.float32) * 2 - 1).astype(dtype)
+
+
+def random_points(npoints, dim, seed=0):
+    """Point cloud for kNN: npoints x dim float32 in the unit cube."""
+    rng = np.random.default_rng(seed)
+    return rng.random((npoints, dim), dtype=np.float32)
+
+
+def rmat_graph(nverts, nedges, seed=0, a=0.57, b=0.19, c=0.19):
+    """R-MAT-style power-law digraph in CSR form.
+
+    Returns (row_offsets int32[nverts+1], columns int32[nedges]).
+    Quadrant probabilities default to the Graph500 values; duplicate
+    edges are kept (as Graph500 generators do before dedup), which only
+    fattens hub rows.
+    """
+    rng = np.random.default_rng(seed)
+    scale = max(1, int(np.ceil(np.log2(max(nverts, 2)))))
+    src = np.zeros(nedges, dtype=np.int64)
+    dst = np.zeros(nedges, dtype=np.int64)
+    p_right = b + c  # probability the destination bit is 1
+    p_down = c + (1 - a - b - c)  # probability the source bit is 1
+    for _bit in range(scale):
+        src = (src << 1) | (rng.random(nedges) < p_down)
+        dst = (dst << 1) | (rng.random(nedges) < p_right)
+    src %= nverts
+    dst %= nverts
+    order = np.argsort(src, kind="stable")
+    src = src[order]
+    dst = dst[order]
+    row_offsets = np.zeros(nverts + 1, dtype=np.int32)
+    counts = np.bincount(src, minlength=nverts)
+    row_offsets[1:] = np.cumsum(counts, dtype=np.int64).astype(np.int32)
+    return row_offsets, dst.astype(np.int32)
+
+
+def uniform_graph(nverts, degree, seed=0):
+    """Uniform random digraph with a fixed out-degree, CSR form."""
+    rng = np.random.default_rng(seed)
+    columns = rng.integers(0, nverts, size=nverts * degree, dtype=np.int32)
+    row_offsets = (np.arange(nverts + 1, dtype=np.int32) * degree).astype(np.int32)
+    return row_offsets, columns
+
+
+def banded_csr(nrows, nnz_per_row, seed=0, bandwidth=None):
+    """CSR sparse matrix with ``nnz_per_row`` entries per row inside a
+    band (SHOC spmv-style regular sparsity).
+
+    Returns (row_ptr int32[nrows+1], cols int32[nnz], vals float32[nnz]).
+    """
+    rng = np.random.default_rng(seed)
+    bandwidth = bandwidth or max(nnz_per_row * 8, 64)
+    row_ptr = (np.arange(nrows + 1, dtype=np.int64) * nnz_per_row).astype(np.int32)
+    rows = np.repeat(np.arange(nrows, dtype=np.int64), nnz_per_row)
+    offsets = rng.integers(-bandwidth, bandwidth + 1, size=rows.size)
+    cols = np.clip(rows + offsets, 0, nrows - 1).astype(np.int32)
+    # keep column indices sorted within each row, as CSR convention expects
+    cols = cols.reshape(nrows, nnz_per_row)
+    cols.sort(axis=1)
+    vals = (rng.random(rows.size, dtype=np.float32) * 2 - 1).astype(np.float32)
+    return row_ptr, cols.reshape(-1), vals
+
+
+def unstructured_mesh(ncells, nnb=4, seed=0, boundary_fraction=0.05):
+    """Synthetic unstructured mesh for the CFD solver.
+
+    Returns (neighbors int32[ncells, nnb], normals float32[ncells, nnb, 3],
+    areas float32[ncells]).  A ``boundary_fraction`` of faces carry the
+    boundary marker -1, like euler3d's domain boundary.
+    """
+    rng = np.random.default_rng(seed)
+    neighbors = rng.integers(0, ncells, size=(ncells, nnb), dtype=np.int32)
+    # no self-loops: bump collisions to the next cell
+    self_loop = neighbors == np.arange(ncells, dtype=np.int32)[:, None]
+    neighbors[self_loop] = (neighbors[self_loop] + 1) % ncells
+    boundary = rng.random((ncells, nnb)) < boundary_fraction
+    neighbors[boundary] = -1
+    normals = rng.standard_normal((ncells, nnb, 3)).astype(np.float32) * 0.05
+    areas = (rng.random(ncells, dtype=np.float32) * 0.9 + 0.1).astype(np.float32)
+    return neighbors, normals, areas
+
+
+def initial_cfd_variables(ncells, seed=0):
+    """Physically sane initial state: positive density/pressure."""
+    rng = np.random.default_rng(seed)
+    variables = np.empty((ncells, 5), dtype=np.float32)
+    variables[:, 0] = rng.random(ncells, dtype=np.float32) * 0.5 + 1.0  # rho
+    variables[:, 1:4] = (rng.random((ncells, 3), dtype=np.float32) - 0.5) * 0.2
+    kinetic = 0.5 * (variables[:, 1:4] ** 2).sum(axis=1) / variables[:, 0]
+    pressure = rng.random(ncells, dtype=np.float32) * 0.5 + 1.0
+    variables[:, 4] = pressure / 0.4 + kinetic  # energy: p/(gamma-1) + ke
+    return variables.reshape(-1)

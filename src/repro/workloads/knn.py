@@ -1,0 +1,204 @@
+"""kNN: k-nearest neighbours in an unstructured point set (Table I, 100 MB).
+
+Distribution: the point database is scattered across devices, queries
+are replicated; each device computes its partition's distances and the
+host merges per-partition top-k candidates -- the classic distributed
+nn pattern.
+"""
+
+import numpy as np
+
+from repro.ocl.fastpath import global_fastpaths
+from repro.workloads.base import Workload, partition_ranges, register_workload
+
+
+@global_fastpaths.register("knn_dist")
+def _fast_knn_dist(args, gsize, lsize):
+    points, query, dist, npoints, dim = args
+    npoints, dim = int(npoints), int(dim)
+    diff = points[: npoints * dim].reshape(npoints, dim) - query[:dim]
+    dist[:npoints] = np.sqrt((diff * diff).sum(axis=1, dtype=np.float32))
+
+
+@global_fastpaths.register("knn_dist_batch")
+def _fast_knn_dist_batch(args, gsize, lsize):
+    points, queries, dist, npoints, dim, nqueries = args
+    npoints, dim, nqueries = int(npoints), int(dim), int(nqueries)
+    pts = points[: npoints * dim].reshape(npoints, dim)
+    qs = queries[: nqueries * dim].reshape(nqueries, dim)
+    for q in range(nqueries):
+        diff = pts - qs[q]
+        dist[q * npoints : (q + 1) * npoints] = np.sqrt(
+            (diff * diff).sum(axis=1, dtype=np.float32)
+        )
+
+
+@global_fastpaths.register("knn_select")
+def _fast_knn_select(args, gsize, lsize):
+    dist, best_dist, best_idx, npoints, k = args
+    npoints, k = int(npoints), int(k)
+    nqueries = int(gsize[0])
+    for q in range(nqueries):
+        row = dist[q * npoints : (q + 1) * npoints]
+        top = np.argsort(row, kind="stable")[:k]
+        best_idx[q * k : q * k + len(top)] = top.astype(np.int32)
+        best_dist[q * k : q * k + len(top)] = row[top]
+
+
+@register_workload
+class KNN(Workload):
+    name = "knn"
+    description = "Finds k-nearest neighbors in unstructured data set"
+    kernel_file = "knn.cl"
+    table1_size = "100MB"
+
+    def __init__(self, k=8, dim=8, queries=4):
+        super().__init__()
+        self.k = k
+        self.dim = dim
+        self.queries = queries
+
+    def generate(self, scale, seed=0):
+        """``scale`` is the number of database points."""
+        rng = np.random.default_rng(seed)
+        points = rng.random((scale, self.dim), dtype=np.float32)
+        queries = rng.random((self.queries, self.dim), dtype=np.float32)
+        return {"points": points, "queries": queries, "npoints": scale}
+
+    def reference(self, inputs):
+        """Indices of the k nearest points per query, sorted by distance."""
+        out = []
+        for query in inputs["queries"]:
+            dist = np.sqrt(((inputs["points"] - query) ** 2).sum(axis=1))
+            idx = np.argsort(dist, kind="stable")[: self.k]
+            out.append(idx)
+        return np.array(out)
+
+    def validate(self, outputs, expected):
+        # distances can tie; compare the *distance sets*, not raw indices
+        return outputs["match"]
+
+    def paper_scale(self):
+        return 3_200_000  # 3.2M x 8 dims x 4B = 102 MB
+
+    def input_bytes(self, scale):
+        return scale * self.dim * 4
+
+    def run(self, session, inputs, devices):
+        points, queries, npoints = (
+            inputs["points"], inputs["queries"], inputs["npoints"],
+        )
+        ctx = session.context(devices)
+        prog = session.program(ctx, self.source)
+        parts = partition_ranges(npoints, len(devices))
+        part_bufs = []
+        for (start, count), device in zip(parts, devices):
+            if count == 0:
+                continue
+            queue = session.queue(ctx, device)
+            buf_pts = session.buffer_from(ctx, points[start : start + count])
+            buf_dist = session.empty_buffer(ctx, count * 4)
+            part_bufs.append((queue, device, start, count, buf_pts, buf_dist))
+        results = []
+        for query in queries:
+            candidates_idx = []
+            candidates_dist = []
+            buf_q = session.buffer_from(ctx, query)
+            for queue, device, start, count, buf_pts, buf_dist in part_bufs:
+                kernel = session.kernel(
+                    prog, "knn_dist", buf_pts, buf_q, buf_dist,
+                    np.int32(count), np.int32(self.dim),
+                )
+                session.enqueue(queue, kernel, (count,))
+            for queue, device, start, count, buf_pts, buf_dist in part_bufs:
+                dist = session.read_array(queue, buf_dist, np.float32,
+                                          count=count)
+                take = min(self.k, count)
+                local_top = np.argpartition(dist, take - 1)[:take]
+                candidates_idx.append(local_top + start)
+                candidates_dist.append(dist[local_top])
+            idx = np.concatenate(candidates_idx)
+            dist = np.concatenate(candidates_dist)
+            order = np.argsort(dist, kind="stable")[: self.k]
+            results.append(idx[order])
+        found = np.array(results)
+        expected = self.reference(inputs)
+        # tie-tolerant check: the k-th distances must agree per query
+        match = True
+        for row_found, row_expected, query in zip(found, expected,
+                                                  inputs["queries"]):
+            d_found = np.sqrt(
+                ((inputs["points"][row_found] - query) ** 2).sum(axis=1)
+            )
+            d_expected = np.sqrt(
+                ((inputs["points"][row_expected] - query) ** 2).sum(axis=1)
+            )
+            if not np.allclose(np.sort(d_found), np.sort(d_expected),
+                               atol=1e-4):
+                match = False
+        return {"indices": found, "match": match}
+
+    def run_synthetic(self, session, scale, devices, batches=4,
+                      batch_queries=1024):
+        """Steady-state query serving: the point database is scattered
+        once and stays resident; query batches stream through the
+        batched distance + on-device top-k kernels, and only k results
+        per query cross the network back."""
+        npoints = scale
+        t0 = session.now_s()
+        ctx = session.context(devices)
+        prog = session.program(ctx, self.source)
+        transfer_s = 0.0
+        compute_s = 0.0
+        mark = session.now_s()
+        parts = []
+        for (start, count), device in zip(
+            partition_ranges(npoints, len(devices)), devices
+        ):
+            if count == 0:
+                continue
+            queue = session.queue(ctx, device)
+            buf_pts = session.synthetic_buffer(ctx, count * self.dim * 4)
+            session.write(queue, buf_pts, nbytes=count * self.dim * 4)
+            buf_q = session.synthetic_buffer(ctx, batch_queries * self.dim * 4)
+            buf_dist = session.synthetic_buffer(
+                ctx, max(4, count * batch_queries * 4)
+            )
+            buf_bd = session.synthetic_buffer(ctx, batch_queries * self.k * 4)
+            buf_bi = session.synthetic_buffer(ctx, batch_queries * self.k * 4)
+            dist_kernel = session.kernel(
+                prog, "knn_dist_batch", buf_pts, buf_q, buf_dist,
+                np.int32(count), np.int32(self.dim), np.int32(batch_queries),
+            )
+            select_kernel = session.kernel(
+                prog, "knn_select", buf_dist, buf_bd, buf_bi,
+                np.int32(count), np.int32(self.k),
+            )
+            parts.append((queue, count, buf_q, buf_bd, buf_bi,
+                          dist_kernel, select_kernel))
+        transfer_s += session.now_s() - mark
+        for _ in range(batches):
+            mark = session.now_s()
+            for (queue, count, buf_q, _bd, _bi, dist_kernel,
+                 select_kernel) in parts:
+                session.write(queue, buf_q,
+                              nbytes=batch_queries * self.dim * 4)
+                session.enqueue(queue, dist_kernel, (count, batch_queries))
+                session.enqueue(queue, select_kernel, (batch_queries,))
+            t_sent = session.now_s()
+            for queue, *_rest in parts:
+                session.finish(queue)
+            t_computed = session.now_s()
+            for queue, _count, _q, buf_bd, buf_bi, *_k in parts:
+                session.read_ack(queue, buf_bd)
+                session.read_ack(queue, buf_bi)
+            t_done = session.now_s()
+            transfer_s += (t_sent - mark) + (t_done - t_computed)
+            compute_s += t_computed - t_sent
+        create_s = self.input_bytes(scale) / 2.5e9
+        return {
+            "create": create_s,
+            "transfer": transfer_s,
+            "compute": compute_s,
+            "total": (session.now_s() - t0) + create_s,
+        }

@@ -1,0 +1,253 @@
+"""SpMV: CSR sparse matrix-vector multiplication (Table I, 1.1 GB).
+
+Two distribution modes:
+
+- homogeneous (``run``): rows are range-partitioned, x replicated, each
+  device computes its y block;
+- heterogeneous stage split (``run_hetero``, §IV-C): "the kernel for
+  data partition is allocated on the GPUs and computation on the FPGAs"
+  -- spmv_row_lengths runs on GPU devices, spmv_csr on FPGA devices.
+"""
+
+import numpy as np
+
+from repro.ocl.fastpath import global_fastpaths
+from repro.workloads.base import Workload, partition_ranges, register_workload
+from repro.workloads import datagen
+
+
+@global_fastpaths.register("spmv_row_lengths")
+def _fast_row_lengths(args, gsize, lsize):
+    row_ptr, lengths, nrows = args
+    nrows = int(nrows)
+    lengths[:nrows] = row_ptr[1 : nrows + 1] - row_ptr[:nrows]
+
+
+@global_fastpaths.register("spmv_csr")
+def _fast_spmv_csr(args, gsize, lsize):
+    row_ptr, cols, vals, x, y, nrows = args
+    nrows = int(nrows)
+    offsets = row_ptr[: nrows + 1].astype(np.int64)
+    gathered = vals[: offsets[-1]] * x[cols[: offsets[-1]]]
+    y[:nrows] = np.add.reduceat(
+        np.concatenate([gathered, np.zeros(1, dtype=np.float32)]),
+        np.minimum(offsets[:-1], gathered.size),
+        dtype=np.float64,
+    ).astype(np.float32)
+    # reduceat yields garbage for empty rows (it sums the next segment);
+    # patch them to zero explicitly
+    empty = offsets[:-1] == offsets[1:]
+    if empty.any():
+        y[:nrows][empty] = 0.0
+
+
+@register_workload
+class SpMV(Workload):
+    name = "spmv"
+    description = "Sparse matrix-vector multiplication in CSR format"
+    kernel_file = "spmv.cl"
+    table1_size = "1.1GB"
+
+    def __init__(self, nnz_per_row=32):
+        super().__init__()
+        self.nnz_per_row = nnz_per_row
+
+    def generate(self, scale, seed=0):
+        """``scale`` is the row count."""
+        row_ptr, cols, vals = datagen.banded_csr(
+            scale, self.nnz_per_row, seed=seed
+        )
+        rng = np.random.default_rng(seed + 1)
+        x = (rng.random(scale, dtype=np.float32) * 2 - 1)
+        return {"row_ptr": row_ptr, "cols": cols, "vals": vals, "x": x,
+                "nrows": scale}
+
+    def reference(self, inputs):
+        y = np.zeros(inputs["nrows"], dtype=np.float64)
+        row_ptr = inputs["row_ptr"].astype(np.int64)
+        for i in range(inputs["nrows"]):
+            lo, hi = row_ptr[i], row_ptr[i + 1]
+            y[i] = np.dot(
+                inputs["vals"][lo:hi].astype(np.float64),
+                inputs["x"][inputs["cols"][lo:hi]].astype(np.float64),
+            )
+        return y.astype(np.float32)
+
+    def validate(self, outputs, expected):
+        return bool(np.allclose(outputs, expected, atol=1e-3, rtol=1e-3))
+
+    def paper_scale(self):
+        return 4_000_000  # 4M rows x 32 nnz: ~1.07 GB with x and y
+
+    def input_bytes(self, scale):
+        nnz = scale * self.nnz_per_row
+        return (scale + 1) * 4 + nnz * 8 + 2 * scale * 4
+
+    def _upload_partition(self, session, ctx, inputs, start, count):
+        row_ptr = inputs["row_ptr"].astype(np.int64)
+        lo, hi = row_ptr[start], row_ptr[start + count]
+        local_ptr = (row_ptr[start : start + count + 1] - lo).astype(np.int32)
+        buf_ptr = session.buffer_from(ctx, local_ptr)
+        buf_cols = session.buffer_from(ctx, inputs["cols"][lo:hi])
+        buf_vals = session.buffer_from(ctx, inputs["vals"][lo:hi])
+        return buf_ptr, buf_cols, buf_vals
+
+    def run(self, session, inputs, devices):
+        nrows = inputs["nrows"]
+        ctx = session.context(devices)
+        prog = session.program(ctx, self.source)
+        pieces = []
+        for (start, count), device in zip(
+            partition_ranges(nrows, len(devices)), devices
+        ):
+            if count == 0:
+                continue
+            queue = session.queue(ctx, device)
+            buf_ptr, buf_cols, buf_vals = self._upload_partition(
+                session, ctx, inputs, start, count
+            )
+            buf_x = session.buffer_from(ctx, inputs["x"])
+            buf_y = session.empty_buffer(ctx, count * 4)
+            kernel = session.kernel(
+                prog, "spmv_csr", buf_ptr, buf_cols, buf_vals,
+                buf_x, buf_y, np.int32(count),
+            )
+            session.enqueue(queue, kernel, (count,))
+            pieces.append((queue, buf_y, count))
+        parts = [
+            session.read_array(queue, buf, np.float32, count=count)
+            for queue, buf, count in pieces
+        ]
+        return np.concatenate(parts)
+
+    def run_hetero(self, session, inputs, gpu_devices, fpga_devices):
+        """Stage-partitioned SpMV (§IV-C): row-length analysis on GPUs,
+        computation on FPGAs, load-balanced by the measured lengths."""
+        nrows = inputs["nrows"]
+        devices = list(gpu_devices) + list(fpga_devices)
+        ctx = session.context(devices)
+        prog = session.program(ctx, self.source)
+        # stage 1 on GPUs: row lengths for load balancing
+        lengths = np.zeros(nrows, dtype=np.int32)
+        for (start, count), device in zip(
+            partition_ranges(nrows, len(gpu_devices)), gpu_devices
+        ):
+            if count == 0:
+                continue
+            queue = session.queue(ctx, device)
+            local_ptr = (
+                inputs["row_ptr"][start : start + count + 1].astype(np.int64)
+                - int(inputs["row_ptr"][start])
+            ).astype(np.int32)
+            buf_ptr = session.buffer_from(ctx, local_ptr)
+            buf_len = session.empty_buffer(ctx, count * 4)
+            kernel = session.kernel(prog, "spmv_row_lengths",
+                                    buf_ptr, buf_len, np.int32(count))
+            session.enqueue(queue, kernel, (count,))
+            lengths[start : start + count] = session.read_array(
+                queue, buf_len, np.int32, count=count
+            )
+        # stage 2 on FPGAs: nnz-balanced row ranges
+        boundaries = _balance_by_weight(lengths, len(fpga_devices))
+        pieces = []
+        for (start, count), device in zip(boundaries, fpga_devices):
+            if count == 0:
+                continue
+            queue = session.queue(ctx, device)
+            buf_ptr, buf_cols, buf_vals = self._upload_partition(
+                session, ctx, inputs, start, count
+            )
+            buf_x = session.buffer_from(ctx, inputs["x"])
+            buf_y = session.empty_buffer(ctx, count * 4)
+            kernel = session.kernel(
+                prog, "spmv_csr", buf_ptr, buf_cols, buf_vals,
+                buf_x, buf_y, np.int32(count),
+            )
+            session.enqueue(queue, kernel, (count,))
+            pieces.append((queue, buf_y, start, count))
+        y = np.zeros(nrows, dtype=np.float32)
+        for queue, buf, start, count in pieces:
+            y[start : start + count] = session.read_array(
+                queue, buf, np.float32, count=count
+            )
+        return y
+
+    def run_synthetic(self, session, scale, devices, iterations=400,
+                      halo_bytes=8192):
+        """Steady-state iterative SpMV (power-method / solver pattern):
+        the banded matrix is scattered once; each iteration exchanges
+        only the halo of x across partition boundaries, multiplies, and
+        keeps y resident as the next x."""
+        nrows = scale
+        nnz = nrows * self.nnz_per_row
+        t0 = session.now_s()
+        ctx = session.context(devices)
+        prog = session.program(ctx, self.source)
+        nparts = len(devices)
+        transfer_s = 0.0
+        compute_s = 0.0
+        mark = session.now_s()
+        pieces = []
+        for (start, count), device in zip(
+            partition_ranges(nrows, nparts), devices
+        ):
+            queue = session.queue(ctx, device)
+            part_nnz = nnz // nparts
+            buf_ptr = session.synthetic_buffer(ctx, (count + 1) * 4)
+            buf_cols = session.synthetic_buffer(ctx, max(4, part_nnz * 4))
+            buf_vals = session.synthetic_buffer(ctx, max(4, part_nnz * 4))
+            # banded matrix: a node only needs its x slice plus halos
+            buf_x = session.synthetic_buffer(ctx, max(4, count * 4 + 2 * halo_bytes))
+            buf_y = session.synthetic_buffer(ctx, max(4, count * 4))
+            for buf, size in ((buf_ptr, (count + 1) * 4),
+                              (buf_cols, part_nnz * 4),
+                              (buf_vals, part_nnz * 4),
+                              (buf_x, count * 4)):
+                session.write(queue, buf, nbytes=max(4, size))
+            kernel = session.kernel(
+                prog, "spmv_csr", buf_ptr, buf_cols, buf_vals,
+                buf_x, buf_y, np.int32(count),
+            )
+            pieces.append((queue, buf_x, buf_y, kernel, count))
+        transfer_s += session.now_s() - mark
+        for _ in range(iterations):
+            mark = session.now_s()
+            for queue, buf_x, _y, kernel, count in pieces:
+                session.write(queue, buf_x, nbytes=2 * halo_bytes)
+                session.enqueue(queue, kernel, (count,))
+            t_sent = session.now_s()
+            for queue, *_rest in pieces:
+                session.finish(queue)
+            t_computed = session.now_s()
+            transfer_s += t_sent - mark
+            compute_s += t_computed - t_sent
+        mark = session.now_s()
+        for queue, _x, buf_y, _kernel, _count in pieces:
+            session.read_ack(queue, buf_y)
+        transfer_s += session.now_s() - mark
+        create_s = self.input_bytes(scale) / 2.5e9
+        return {
+            "create": create_s,
+            "transfer": transfer_s,
+            "compute": compute_s,
+            "total": (session.now_s() - t0) + create_s,
+        }
+
+
+def _balance_by_weight(weights, parts):
+    """Contiguous ranges with roughly equal total weight (nnz balance)."""
+    total = int(weights.sum())
+    target = max(1, total // max(parts, 1))
+    boundaries = []
+    start = 0
+    acc = 0
+    for index, weight in enumerate(weights):
+        acc += int(weight)
+        if acc >= target and len(boundaries) < parts - 1:
+            boundaries.append((start, index + 1 - start))
+            start = index + 1
+            acc = 0
+    boundaries.append((start, len(weights) - start))
+    while len(boundaries) < parts:
+        boundaries.append((len(weights), 0))
+    return boundaries

@@ -1,0 +1,108 @@
+"""Tests for the Local and SnuCL-D comparator frameworks."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LocalSession, SnuCLDSession
+from repro.ocl.errors import CLError
+from repro.workloads import get_workload
+from repro.workloads.base import UnsupportedBenchmarkError
+
+
+class TestLocalSession:
+    def test_runs_workload_host_programs_unmodified(self):
+        workload = get_workload("matrixmul")
+        inputs = workload.generate(20, seed=1)
+        session = LocalSession(("gpu",), mode="real")
+        outputs = workload.run(session, inputs, session.devices)
+        assert workload.validate(outputs, workload.reference(inputs))
+
+    def test_clock_accounts_for_async_kernels(self):
+        session = LocalSession(("gpu",), mode="modeled")
+        ctx = session.context()
+        queue = session.queue(ctx, session.devices[0])
+        prog = session.program(
+            ctx,
+            "__kernel void k(__global float* a, int n) {"
+            " int i = get_global_id(0); if (i<n) a[i] = a[i]+1.0f; }",
+        )
+        buf = session.synthetic_buffer(ctx, 40 << 20)
+        kernel = session.kernel(prog, "k", buf, np.int32(10_000_000))
+        before = session.now_s()
+        session.enqueue(queue, kernel, (10_000_000,))
+        # enqueue is asynchronous: host clock does not advance yet
+        assert session.now_s() == before
+        session.finish(queue)
+        assert session.now_s() > before
+
+    def test_blocking_write_advances_clock(self):
+        session = LocalSession(("gpu",), mode="modeled")
+        ctx = session.context()
+        queue = session.queue(ctx, session.devices[0])
+        buf = session.synthetic_buffer(ctx, 100 << 20)
+        before = session.now_s()
+        session.write(queue, buf, nbytes=100 << 20)
+        assert session.now_s() > before
+
+    def test_device_type_filtering(self):
+        session = LocalSession(("gpu", "fpga"), mode="modeled")
+        assert len(session.devices_of("GPU")) == 1
+        assert len(session.devices_of("FPGA")) == 1
+
+    def test_stats_energy(self):
+        session = LocalSession(("fpga",), mode="modeled")
+        ctx = session.context()
+        queue = session.queue(ctx, session.devices[0])
+        buf = session.synthetic_buffer(ctx, 1 << 20)
+        session.write(queue, buf)
+        stats = session.stats()["local"]["devices"]
+        assert all(entry["energy_j"] >= 0 for entry in stats.values())
+
+
+class TestSnuCLD:
+    def test_runs_supported_workloads_correctly(self):
+        workload = get_workload("spmv")
+        inputs = workload.generate(80, seed=3)
+        with SnuCLDSession(gpu_nodes=2, mode="real",
+                           transport="inproc") as session:
+            outputs = session.run_workload(workload, inputs, session.devices)
+        assert workload.validate(outputs, workload.reference(inputs))
+
+    def test_refuses_cfd(self):
+        workload = get_workload("cfd")
+        with SnuCLDSession(gpu_nodes=2, mode="real",
+                           transport="inproc") as session:
+            with pytest.raises(UnsupportedBenchmarkError):
+                session.run_workload(workload, workload.generate(30),
+                                     session.devices)
+
+    def test_writes_replicate_to_every_node(self):
+        with SnuCLDSession(gpu_nodes=3, mode="real",
+                           transport="inproc") as session:
+            ctx = session.context()
+            queue = session.queue(ctx, session.devices[0])
+            data = np.ones(1000, dtype=np.float32)
+            buf = session.cl.create_buffer(ctx, 0, data.nbytes)
+            session.cl.enqueue_write_buffer(queue, buf, data)
+            # replication: every node holds a fresh copy immediately
+            assert {"gpu0", "gpu1", "gpu2"} <= buf.fresh
+            stats = session.stats()["_host"]["transfers"]
+            assert stats["bytes_to_nodes"] == 3 * data.nbytes
+
+    def test_replication_slower_than_haocl_at_scale(self):
+        from repro.experiments.harness import run_elapsed
+
+        haocl = run_elapsed("matrixmul", "haocl-gpu", nodes=4, scale=1500)
+        snucl = run_elapsed("matrixmul", "snucl", nodes=4, scale=1500)
+        assert snucl > haocl
+
+    def test_no_pluggable_scheduler(self):
+        with SnuCLDSession(gpu_nodes=1, mode="real",
+                           transport="inproc") as session:
+            with pytest.raises(CLError):
+                session.cl.set_policy("hetero-aware")
+
+    def test_policy_pinned_to_user_directed(self):
+        with SnuCLDSession(gpu_nodes=1, mode="real",
+                           transport="inproc") as session:
+            assert session.cl.policy.name == "user-directed"

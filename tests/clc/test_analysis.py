@@ -1,0 +1,196 @@
+"""Tests for the static kernel cost analyser."""
+
+import pytest
+
+from repro.clc import compile_program
+from repro.clc.analysis import DEFAULT_TRIP_COUNT, CostExpr, analyze_kernel
+
+
+def cost_of(src, kernel="k", args=None, options=""):
+    prog = compile_program(src, options)
+    return analyze_kernel(prog, kernel).resolve(args or {})
+
+
+class TestCostExpr:
+    def test_constant(self):
+        assert CostExpr(5).resolve({}) == 5
+
+    def test_addition(self):
+        assert (CostExpr(2) + CostExpr(3)).resolve({}) == 5
+        assert (CostExpr(2) + 4).resolve({}) == 6
+
+    def test_scale_by_constant(self):
+        assert CostExpr(3).scale(4).resolve({}) == 12
+
+    def test_scale_by_symbol(self):
+        expr = CostExpr(2).scale("n")
+        assert expr.resolve({"n": 10}) == 20
+
+    def test_scale_by_affine(self):
+        expr = CostExpr(2).scale(("affine", 0.25, "n"))
+        assert expr.resolve({"n": 16}) == 8
+
+    def test_nested_symbols_multiply(self):
+        expr = CostExpr(1).scale("n").scale("m")
+        assert expr.resolve({"n": 3, "m": 4}) == 12
+
+    def test_unresolved_symbol_uses_default(self):
+        expr = CostExpr(1).scale("n")
+        assert expr.resolve({}) == DEFAULT_TRIP_COUNT
+        assert expr.resolve({}, default=5) == 5
+
+
+class TestStraightLine:
+    def test_float_ops_counted(self):
+        c = cost_of("__kernel void k(__global float* a) { a[0] = a[1] * a[2] + a[3]; }")
+        assert c.flops == 2
+
+    def test_int_ops_not_flops(self):
+        c = cost_of("__kernel void k(__global int* a) { a[0] = a[1] * a[2] + a[3]; }")
+        assert c.flops == 0
+        assert c.int_ops >= 2
+
+    def test_global_read_write_bytes(self):
+        c = cost_of("__kernel void k(__global float* a) { a[0] = a[1] + a[2]; }")
+        assert c.global_read_bytes == 8
+        assert c.global_write_bytes == 4
+
+    def test_math_builtin_weights(self):
+        c = cost_of("__kernel void k(__global float* a) { a[0] = sqrt(a[1]); }")
+        assert c.flops >= 4
+
+    def test_barrier_counted(self):
+        c = cost_of("__kernel void k(__global float* a) { barrier(1); barrier(1); }")
+        assert c.barriers == 2
+
+
+class TestLoops:
+    def test_constant_trip_count(self):
+        c = cost_of(
+            "__kernel void k(__global float* a) {"
+            " float s = 0.0f;"
+            " for (int i = 0; i < 10; i++) s += a[i];"
+            " a[0] = s; }"
+        )
+        assert c.flops == pytest.approx(10)
+        assert c.global_read_bytes == pytest.approx(40)
+
+    def test_param_bound_trip_count(self):
+        src = (
+            "__kernel void k(__global float* a, int n) {"
+            " float s = 0.0f;"
+            " for (int i = 0; i < n; i++) s += a[i];"
+            " a[0] = s; }"
+        )
+        assert cost_of(src, args={"n": 100}).flops == pytest.approx(100)
+        assert cost_of(src, args={"n": 7}).flops == pytest.approx(7)
+
+    def test_param_bound_divided_by_constant(self):
+        src = (
+            "__kernel void k(__global float* a, int n) {"
+            " float s = 0.0f;"
+            " for (int i = 0; i < n / 4; i++) s += a[i];"
+            " a[0] = s; }"
+        )
+        assert cost_of(src, args={"n": 32}).flops == pytest.approx(8)
+
+    def test_nested_loops_multiply(self):
+        src = (
+            "__kernel void k(__global float* a, int n) {"
+            " float s = 0.0f;"
+            " for (int i = 0; i < n; i++)"
+            "   for (int j = 0; j < 8; j++) s += 1.0f;"
+            " a[0] = s; }"
+        )
+        assert cost_of(src, args={"n": 4}).flops == pytest.approx(32)
+
+    def test_stride_two_loop(self):
+        src = (
+            "__kernel void k(__global float* a, int n) {"
+            " float s = 0.0f;"
+            " for (int i = 0; i < n; i += 2) s += 1.0f;"
+            " a[0] = s; }"
+        )
+        assert cost_of(src, args={"n": 16}).flops == pytest.approx(8)
+
+    def test_unknown_bound_uses_default(self):
+        src = (
+            "__kernel void k(__global float* a, __global int* bounds) {"
+            " float s = 0.0f;"
+            " for (int i = 0; i < bounds[0]; i++) s += 1.0f;"
+            " a[0] = s; }"
+        )
+        assert cost_of(src).flops == pytest.approx(DEFAULT_TRIP_COUNT)
+
+    def test_alias_of_param_resolved(self):
+        src = (
+            "__kernel void k(__global float* a, int n) {"
+            " int count = n;"
+            " float s = 0.0f;"
+            " for (int i = 0; i < count; i++) s += 1.0f;"
+            " a[0] = s; }"
+        )
+        assert cost_of(src, args={"n": 12}).flops == pytest.approx(12)
+
+
+class TestBranches:
+    def test_if_halves_cost(self):
+        src = (
+            "__kernel void k(__global float* a, int c) {"
+            " if (c) a[0] = a[1] + a[2];"
+            " }"
+        )
+        c = cost_of(src)
+        assert c.flops == pytest.approx(0.5)
+
+    def test_if_else_averages(self):
+        src = (
+            "__kernel void k(__global float* a, int c) {"
+            " if (c) a[0] = a[1] + a[2]; else a[0] = a[1] * a[2] * a[3]; }"
+        )
+        c = cost_of(src)
+        assert c.flops == pytest.approx(0.5 * 1 + 0.5 * 2)
+
+
+class TestComposite:
+    MATMUL = """
+    #define BS 4
+    __kernel void mm(__global const float* A, __global const float* B,
+                     __global float* C, int n) {
+        __local float As[BS][BS];
+        __local float Bs[BS][BS];
+        int row = get_global_id(1); int col = get_global_id(0);
+        int lr = get_local_id(1); int lc = get_local_id(0);
+        float acc = 0.0f;
+        for (int t = 0; t < n / BS; t++) {
+            As[lr][lc] = A[row * n + t * BS + lc];
+            Bs[lr][lc] = B[(t * BS + lr) * n + col];
+            barrier(1);
+            for (int k = 0; k < BS; k++) acc += As[lr][k] * Bs[k][lc];
+            barrier(1);
+        }
+        C[row * n + col] = acc;
+    }
+    """
+
+    def test_matmul_flops_scale_linearly_in_n(self):
+        prog = compile_program(self.MATMUL)
+        cost = analyze_kernel(prog, "mm")
+        c16 = cost.resolve({"n": 16})
+        c64 = cost.resolve({"n": 64})
+        assert c64.flops == pytest.approx(4 * c16.flops)
+        # per work-item: 2 flops * BS * (n/BS) = 2n
+        assert c16.flops == pytest.approx(2 * 16)
+
+    def test_matmul_arithmetic_intensity(self):
+        prog = compile_program(self.MATMUL)
+        c = analyze_kernel(prog, "mm").resolve({"n": 64})
+        assert c.arithmetic_intensity() > 0.4
+
+    def test_helper_function_cost_inlined(self):
+        src = """
+        float square(float x) { return x * x; }
+        __kernel void k(__global float* a) { a[0] = square(a[1]); }
+        """
+        c = cost_of(src)
+        assert c.flops == pytest.approx(1)

@@ -1,0 +1,224 @@
+"""Conformance tests: realistic kernel patterns from Rodinia/SHOC-style
+code, executed end to end through the compiler + interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.clc import compile_program
+from repro.clc import types as T
+from repro.clc.interp import Interpreter, LocalMem
+from repro.clc.values import Memory
+
+
+def run(src, kernel, args, gsize, lsize=None, options=""):
+    prog = compile_program(src, options)
+    Interpreter(prog).run_kernel(kernel, args, gsize, lsize)
+
+
+class TestReductionPatterns:
+    def test_tree_reduction_with_local_memory(self):
+        src = """
+        __kernel void reduce(__global const float* in, __global float* out,
+                             __local float* scratch, int n) {
+            int gid = get_global_id(0);
+            int lid = get_local_id(0);
+            scratch[lid] = gid < n ? in[gid] : 0.0f;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            for (int stride = get_local_size(0) / 2; stride > 0; stride >>= 1) {
+                if (lid < stride) scratch[lid] += scratch[lid + stride];
+                barrier(CLK_LOCAL_MEM_FENCE);
+            }
+            if (lid == 0) out[get_group_id(0)] = scratch[0];
+        }
+        """
+        n = 32
+        data = np.arange(n, dtype=np.float32)
+        mem_in = Memory(data=data)
+        mem_out = Memory(4 * 4)
+        run(src, "reduce", [mem_in, mem_out, LocalMem(8 * 4), n], (n,), (8,))
+        groups = mem_out.typed_view(T.FLOAT)
+        assert np.allclose(groups, data.reshape(4, 8).sum(axis=1))
+
+    def test_atomic_histogram(self):
+        src = """
+        __kernel void hist(__global const int* data, __global int* bins,
+                           int n, int nbins) {
+            int i = get_global_id(0);
+            if (i >= n) return;
+            atomic_add(&bins[data[i] % nbins], 1);
+        }
+        """
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 16, size=100).astype(np.int32)
+        mem_data = Memory(data=data)
+        mem_bins = Memory(16 * 4)
+        run(src, "hist", [mem_data, mem_bins, 100, 16], (128,))
+        expected = np.bincount(data % 16, minlength=16)
+        assert np.array_equal(mem_bins.typed_view(T.INT), expected)
+
+
+class TestStencilPatterns:
+    def test_1d_three_point_stencil(self):
+        src = """
+        __kernel void stencil(__global const float* in, __global float* out,
+                              int n) {
+            int i = get_global_id(0);
+            if (i <= 0 || i >= n - 1) return;
+            out[i] = 0.25f * in[i - 1] + 0.5f * in[i] + 0.25f * in[i + 1];
+        }
+        """
+        n = 20
+        data = np.random.default_rng(0).random(n).astype(np.float32)
+        mem_in, mem_out = Memory(data=data), Memory(n * 4)
+        run(src, "stencil", [mem_in, mem_out, n], (n,))
+        out = mem_out.typed_view(T.FLOAT)
+        expected = 0.25 * data[:-2] + 0.5 * data[1:-1] + 0.25 * data[2:]
+        assert np.allclose(out[1:-1], expected, atol=1e-6)
+
+    def test_2d_transpose(self):
+        src = """
+        __kernel void transpose(__global const float* in, __global float* out,
+                                int rows, int cols) {
+            int c = get_global_id(0);
+            int r = get_global_id(1);
+            if (r < rows && c < cols) out[c * rows + r] = in[r * cols + c];
+        }
+        """
+        a = np.arange(12, dtype=np.float32).reshape(3, 4)
+        mem_in, mem_out = Memory(data=a), Memory(a.nbytes)
+        run(src, "transpose", [mem_in, mem_out, 3, 4], (4, 3))
+        out = mem_out.typed_view(T.FLOAT).reshape(4, 3)
+        assert np.array_equal(out, a.T)
+
+
+class TestMacroHeavyKernels:
+    def test_block_size_macro_from_build_options(self):
+        src = """
+        __kernel void strided(__global int* a, int n) {
+            int i = get_global_id(0);
+            if (i * BLOCK < n) a[i * BLOCK] = i;
+        }
+        """
+        mem = Memory(16 * 4)
+        run(src, "strided", [mem, 16], (4,), options="-DBLOCK=4")
+        out = mem.typed_view(T.INT)
+        assert out[0] == 0 and out[4] == 1 and out[8] == 2 and out[12] == 3
+
+    def test_function_macro_expansion_in_kernel(self):
+        src = """
+        #define SQ(x) ((x) * (x))
+        #define CLAMP01(v) ((v) < 0.0f ? 0.0f : ((v) > 1.0f ? 1.0f : (v)))
+        __kernel void k(__global float* a, int n) {
+            int i = get_global_id(0);
+            if (i < n) a[i] = CLAMP01(SQ(a[i]));
+        }
+        """
+        data = np.array([-2.0, 0.5, 1.5, 0.9], dtype=np.float32)
+        mem = Memory(data=data)
+        run(src, "k", [mem, 4], (4,))
+        out = mem.typed_view(T.FLOAT)
+        assert np.allclose(out, [1.0, 0.25, 1.0, 0.81], atol=1e-6)
+
+    def test_conditional_compilation_paths(self):
+        src = """
+        __kernel void k(__global int* a) {
+        #ifdef FAST_PATH
+            a[get_global_id(0)] = 1;
+        #else
+            a[get_global_id(0)] = 2;
+        #endif
+        }
+        """
+        mem = Memory(4)
+        run(src, "k", [mem], (1,), options="-DFAST_PATH")
+        assert mem.typed_view(T.INT)[0] == 1
+        mem2 = Memory(4)
+        run(src, "k", [mem2], (1,))
+        assert mem2.typed_view(T.INT)[0] == 2
+
+
+class TestHelperFunctionChains:
+    def test_pointer_threading_through_helpers(self):
+        src = """
+        float load2(__global const float* p, int i) { return p[i] * 2.0f; }
+        float combine(__global const float* p, int i, int j) {
+            return load2(p, i) + load2(p, j);
+        }
+        __kernel void k(__global const float* in, __global float* out, int n) {
+            int i = get_global_id(0);
+            if (i < n - 1) out[i] = combine(in, i, i + 1);
+        }
+        """
+        data = np.array([1, 2, 3, 4], dtype=np.float32)
+        mem_in, mem_out = Memory(data=data), Memory(16)
+        run(src, "k", [mem_in, mem_out, 4], (4,))
+        out = mem_out.typed_view(T.FLOAT)
+        assert np.allclose(out[:3], [6, 10, 14])
+
+    def test_vector_helper_roundtrip(self):
+        src = """
+        float4 axpy4(float a, float4 x, float4 y) { return a * x + y; }
+        __kernel void k(__global float* out) {
+            float4 x = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+            float4 y = (float4)(10.0f);
+            float4 r = axpy4(3.0f, x, y);
+            vstore4(r, 0, out);
+        }
+        """
+        mem = Memory(16)
+        run(src, "k", [mem], (1,))
+        assert np.allclose(mem.typed_view(T.FLOAT), [13, 16, 19, 22])
+
+
+class TestControlFlowTorture:
+    def test_deeply_nested_branches_and_loops(self):
+        src = """
+        __kernel void k(__global int* out, int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i++) {
+                if (i % 2 == 0) {
+                    for (int j = 0; j < i; j++) {
+                        if (j == 3) continue;
+                        acc += j;
+                        if (acc > 50) break;
+                    }
+                } else {
+                    do { acc++; } while (0);
+                }
+            }
+            out[get_global_id(0)] = acc;
+        }
+        """
+        mem = Memory(4)
+        run(src, "k", [mem, 10], (1,))
+
+        def reference(n):
+            acc = 0
+            for i in range(n):
+                if i % 2 == 0:
+                    for j in range(i):
+                        if j == 3:
+                            continue
+                        acc += j
+                        if acc > 50:
+                            break
+                else:
+                    acc += 1
+            return acc
+
+        assert mem.typed_view(T.INT)[0] == reference(10)
+
+    def test_early_return_per_workitem(self):
+        src = """
+        __kernel void k(__global int* out, int n) {
+            int i = get_global_id(0);
+            if (i >= n) return;
+            if (i % 3 == 0) { out[i] = -1; return; }
+            out[i] = i;
+        }
+        """
+        mem = Memory(8 * 4)
+        run(src, "k", [mem, 6], (8,))
+        out = mem.typed_view(T.INT)
+        assert out[:6].tolist() == [-1, 1, 2, -1, 4, 5]
+        assert out[6] == 0 and out[7] == 0  # untouched past n

@@ -1,0 +1,544 @@
+"""Interpreter tests: control flow, C semantics, vectors, memory, barriers."""
+
+import numpy as np
+import pytest
+
+from repro.clc import compile_program
+from repro.clc import types as T
+from repro.clc.errors import BarrierDivergenceError, InterpError
+from repro.clc.interp import Interpreter, LocalMem
+from repro.clc.values import Memory
+
+
+def run1(src, kernel, args, global_size, local_size=None, options=""):
+    prog = compile_program(src, options)
+    Interpreter(prog).run_kernel(kernel, args, global_size, local_size)
+
+
+def call(src, fn, *args, options=""):
+    prog = compile_program(src, options)
+    return Interpreter(prog).call_function(fn, args)
+
+
+class TestScalarFunctions:
+    def test_arith(self):
+        src = "int f(int a, int b) { return a * b + 7; }"
+        assert call(src, "f", 6, 7) == 49
+
+    def test_recursion(self):
+        src = "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }"
+        assert call(src, "fact", 6) == 720
+
+    def test_mutual_calls(self):
+        src = """
+        int g(int x);
+        int f(int x) { if (x <= 0) return 0; return g(x - 1) + 1; }
+        int g(int x) { if (x <= 0) return 0; return f(x - 1) + 1; }
+        """
+        assert call(src, "f", 5) == 5
+
+    def test_while_loop(self):
+        src = "int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }"
+        assert call(src, "f", 10) == 55
+
+    def test_do_while_runs_once(self):
+        src = "int f() { int c = 0; do { c++; } while (0); return c; }"
+        assert call(src, "f") == 1
+
+    def test_break_continue(self):
+        src = """
+        int f() {
+            int s = 0;
+            for (int i = 0; i < 10; i++) {
+                if (i == 3) continue;
+                if (i == 6) break;
+                s += i;
+            }
+            return s;
+        }
+        """
+        assert call(src, "f") == 0 + 1 + 2 + 4 + 5
+
+    def test_ternary(self):
+        src = "int f(int a, int b) { return a > b ? a : b; }"
+        assert call(src, "f", 3, 9) == 9
+
+    def test_nested_loops(self):
+        src = """
+        int f(int n) {
+            int c = 0;
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j <= i; j++)
+                    c++;
+            return c;
+        }
+        """
+        assert call(src, "f", 5) == 15
+
+    def test_comma_in_for_step(self):
+        src = """
+        int f(int n) {
+            int a = 0, b = 0;
+            for (int i = 0; i < n; i++, a += 2) b = a;
+            return b;
+        }
+        """
+        assert call(src, "f", 3) == 4
+
+
+class TestCSemantics:
+    def test_int_division_truncates_toward_zero(self):
+        src = "int f(int a, int b) { return a / b; }"
+        assert call(src, "f", 7, 2) == 3
+        assert call(src, "f", -7, 2) == -3
+        assert call(src, "f", 7, -2) == -3
+
+    def test_int_modulo_sign_of_dividend(self):
+        src = "int f(int a, int b) { return a % b; }"
+        assert call(src, "f", 7, 3) == 1
+        assert call(src, "f", -7, 3) == -1
+
+    def test_division_by_zero_raises(self):
+        src = "int f(int a) { return a / 0; }"
+        with pytest.raises(InterpError):
+            call(src, "f", 1)
+
+    def test_int32_wraparound(self):
+        src = "int f(int a) { return a + 1; }"
+        assert call(src, "f", 2**31 - 1) == -(2**31)
+
+    def test_uint_wraparound(self):
+        src = "uint f(uint a) { return a - 1u; }"
+        assert int(call(src, "f", 0)) == 2**32 - 1
+
+    def test_unsigned_compare(self):
+        src = "int f(uint a, uint b) { return a < b; }"
+        assert call(src, "f", 2**31, 1) == 0
+
+    def test_shift_ops(self):
+        src = "int f(int a) { return (a << 4) >> 2; }"
+        assert call(src, "f", 3) == 12
+
+    def test_bitwise_ops(self):
+        src = "int f(int a, int b) { return (a & b) | (a ^ b); }"
+        assert call(src, "f", 12, 10) == 12 | 10
+
+    def test_float_truncation_on_int_cast(self):
+        src = "int f(float x) { return (int)x; }"
+        assert call(src, "f", 2.9) == 2
+        assert call(src, "f", -2.9) == -2
+
+    def test_char_cast_wraps(self):
+        src = "char f(int x) { return (char)x; }"
+        assert int(call(src, "f", 300)) == 300 - 256
+
+    def test_short_circuit_and(self):
+        src = "int f(int a) { int d = 0; return (a != 0) && (1 / a > 0); }"
+        assert call(src, "f", 0) == 0  # must not divide by zero
+
+    def test_short_circuit_or(self):
+        src = "int f(int a) { return (a == 0) || (1 / a > 0); }"
+        assert call(src, "f", 0) == 1
+
+    def test_float32_precision(self):
+        src = "float f() { return 0.1f + 0.2f; }"
+        result = call(src, "f")
+        assert result.dtype == np.float32
+        assert result == np.float32(0.1) + np.float32(0.2)
+
+    def test_increment_semantics(self):
+        src = "int f() { int i = 5; int a = i++; int b = ++i; return a * 100 + b; }"
+        assert call(src, "f") == 5 * 100 + 7
+
+    def test_compound_assignment_converts(self):
+        src = "int f() { int x = 7; x /= 2; return x; }"
+        assert call(src, "f") == 3
+
+
+class TestVectors:
+    def test_constructor_and_components(self):
+        src = """
+        float f() {
+            float4 v = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+            return v.x + v.y * v.z - v.w;
+        }
+        """
+        assert call(src, "f") == pytest.approx(1 + 6 - 4)
+
+    def test_splat(self):
+        src = "float f() { float4 v = (float4)(2.5f); return v.x + v.w; }"
+        assert call(src, "f") == pytest.approx(5.0)
+
+    def test_swizzle_read(self):
+        src = """
+        float f() {
+            float4 v = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+            float2 hi = v.hi;
+            return hi.x * 10.0f + hi.y;
+        }
+        """
+        assert call(src, "f") == pytest.approx(34.0)
+
+    def test_swizzle_write(self):
+        src = """
+        float f() {
+            float4 v = (float4)(0.0f);
+            v.xz = (float2)(5.0f, 7.0f);
+            return v.x + v.y + v.z + v.w;
+        }
+        """
+        assert call(src, "f") == pytest.approx(12.0)
+
+    def test_vector_arithmetic(self):
+        src = """
+        float f() {
+            float4 a = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+            float4 b = a * a + a;
+            return b.w;
+        }
+        """
+        assert call(src, "f") == pytest.approx(20.0)
+
+    def test_vector_scalar_broadcast(self):
+        src = """
+        float f() {
+            float4 a = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+            float4 b = a * 2.0f;
+            return b.x + b.w;
+        }
+        """
+        assert call(src, "f") == pytest.approx(10.0)
+
+    def test_dot_and_length(self):
+        src = """
+        float f() {
+            float4 a = (float4)(3.0f, 4.0f, 0.0f, 0.0f);
+            return dot(a, a) + length(a);
+        }
+        """
+        assert call(src, "f") == pytest.approx(25 + 5)
+
+    def test_vector_from_two_vec2(self):
+        src = """
+        float f() {
+            float2 a = (float2)(1.0f, 2.0f);
+            float4 v = (float4)(a, a);
+            return v.z;
+        }
+        """
+        assert call(src, "f") == pytest.approx(1.0)
+
+    def test_vector_index(self):
+        src = """
+        float f() {
+            float4 v = (float4)(9.0f, 8.0f, 7.0f, 6.0f);
+            return v[2];
+        }
+        """
+        assert call(src, "f") == pytest.approx(7.0)
+
+
+class TestMemoryAndPointers:
+    def test_global_read_write(self):
+        src = """
+        __kernel void k(__global int* buf) {
+            int i = get_global_id(0);
+            buf[i] = buf[i] * 2;
+        }
+        """
+        mem = Memory(data=np.arange(8, dtype=np.int32))
+        run1(src, "k", [mem], (8,))
+        assert list(mem.typed_view(T.INT)) == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_pointer_arithmetic(self):
+        src = """
+        __kernel void k(__global int* buf, int n) {
+            __global int* p = buf + 1;
+            for (int i = 0; i < n - 1; i++) { *p = i; p++; }
+        }
+        """
+        mem = Memory(data=np.full(5, -1, dtype=np.int32))
+        run1(src, "k", [mem, 5], (1,))
+        assert list(mem.typed_view(T.INT)) == [-1, 0, 1, 2, 3]
+
+    def test_private_array(self):
+        src = """
+        __kernel void k(__global int* out) {
+            int t[4];
+            for (int i = 0; i < 4; i++) t[i] = i * i;
+            int s = 0;
+            for (int i = 0; i < 4; i++) s += t[i];
+            out[0] = s;
+        }
+        """
+        mem = Memory(4)
+        run1(src, "k", [mem], (1,))
+        assert mem.typed_view(T.INT)[0] == 0 + 1 + 4 + 9
+
+    def test_2d_private_array(self):
+        src = """
+        __kernel void k(__global int* out) {
+            int t[2][3];
+            for (int i = 0; i < 2; i++)
+                for (int j = 0; j < 3; j++)
+                    t[i][j] = i * 10 + j;
+            out[0] = t[1][2];
+        }
+        """
+        mem = Memory(4)
+        run1(src, "k", [mem], (1,))
+        assert mem.typed_view(T.INT)[0] == 12
+
+    def test_array_initializer(self):
+        src = """
+        __kernel void k(__global int* out) {
+            int t[3] = {4, 5, 6};
+            out[0] = t[0] * 100 + t[1] * 10 + t[2];
+        }
+        """
+        mem = Memory(4)
+        run1(src, "k", [mem], (1,))
+        assert mem.typed_view(T.INT)[0] == 456
+
+    def test_address_of_local_variable(self):
+        src = """
+        void bump(__private int* p) { *p = *p + 1; }
+        int f(int x) { bump(&x); bump(&x); return x; }
+        """
+        assert call(src, "f", 5) == 7
+
+    def test_out_of_bounds_read_raises(self):
+        src = "__kernel void k(__global int* buf) { int x = buf[100]; }"
+        with pytest.raises(InterpError):
+            run1(src, "k", [Memory(8)], (1,))
+
+    def test_out_of_bounds_write_raises(self):
+        src = "__kernel void k(__global int* buf) { buf[100] = 1; }"
+        with pytest.raises(InterpError):
+            run1(src, "k", [Memory(8)], (1,))
+
+    def test_null_pointer_dereference_raises(self):
+        src = "__kernel void k() { __global int* p = 0; *p = 1; }"
+        with pytest.raises(InterpError):
+            run1(src, "k", [], (1,))
+
+    def test_vload_vstore(self):
+        src = """
+        __kernel void k(__global float* buf) {
+            float4 v = vload4(0, buf);
+            vstore4(v * 2.0f, 1, buf);
+        }
+        """
+        mem = Memory(data=np.arange(8, dtype=np.float32))
+        run1(src, "k", [mem], (1,))
+        assert list(mem.typed_view(T.FLOAT)[4:]) == [0, 2, 4, 6]
+
+
+class TestWorkItems:
+    def test_global_ids_cover_range_2d(self):
+        src = """
+        __kernel void k(__global int* out, int w) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            out[y * w + x] = y * w + x;
+        }
+        """
+        mem = Memory(4 * 12)
+        run1(src, "k", [mem, 4], (4, 3))
+        assert list(mem.typed_view(T.INT)) == list(range(12))
+
+    def test_local_and_group_ids(self):
+        src = """
+        __kernel void k(__global int* out) {
+            int g = get_global_id(0);
+            out[g] = get_group_id(0) * 100 + get_local_id(0);
+        }
+        """
+        mem = Memory(4 * 6)
+        run1(src, "k", [mem], (6,), (3,))
+        assert list(mem.typed_view(T.INT)) == [0, 1, 2, 100, 101, 102]
+
+    def test_sizes_queries(self):
+        src = """
+        __kernel void k(__global int* out) {
+            out[0] = get_global_size(0);
+            out[1] = get_local_size(0);
+            out[2] = get_num_groups(0);
+            out[3] = get_work_dim();
+        }
+        """
+        mem = Memory(16)
+        run1(src, "k", [mem], (8,), (4,))
+        assert list(mem.typed_view(T.INT)) == [8, 4, 2, 1]
+
+    def test_global_offset(self):
+        src = """
+        __kernel void k(__global int* out) {
+            int i = get_global_id(0) - get_global_offset(0);
+            out[i] = get_global_id(0);
+        }
+        """
+        prog = compile_program(src)
+        mem = Memory(4 * 4)
+        Interpreter(prog).run_kernel("k", [mem], (4,), None, (10,))
+        assert list(mem.typed_view(T.INT)) == [10, 11, 12, 13]
+
+    def test_indivisible_local_size_rejected(self):
+        src = "__kernel void k() {}"
+        with pytest.raises(InterpError):
+            run1(src, "k", [], (10,), (3,))
+
+    def test_wrong_arg_count(self):
+        src = "__kernel void k(__global int* a) {}"
+        with pytest.raises(InterpError):
+            run1(src, "k", [], (1,))
+
+
+class TestBarriers:
+    REVERSE = """
+    __kernel void rev(__global int* data) {
+        __local int tile[8];
+        int lid = get_local_id(0);
+        int gid = get_global_id(0);
+        tile[lid] = data[gid];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        int n = get_local_size(0);
+        data[gid] = tile[n - 1 - lid];
+    }
+    """
+
+    def test_local_memory_exchange(self):
+        mem = Memory(data=np.arange(8, dtype=np.int32))
+        run1(self.REVERSE, "rev", [mem], (8,), (8,), options="-DCLK_LOCAL_MEM_FENCE=1")
+        assert list(mem.typed_view(T.INT)) == [7, 6, 5, 4, 3, 2, 1, 0]
+
+    def test_groups_are_independent(self):
+        mem = Memory(data=np.arange(8, dtype=np.int32))
+        run1(self.REVERSE, "rev", [mem], (8,), (4,), options="-DCLK_LOCAL_MEM_FENCE=1")
+        assert list(mem.typed_view(T.INT)) == [3, 2, 1, 0, 7, 6, 5, 4]
+
+    def test_barrier_divergence_detected(self):
+        src = """
+        __kernel void k(__global int* data) {
+            if (get_local_id(0) == 0) barrier(1);
+        }
+        """
+        with pytest.raises(BarrierDivergenceError):
+            run1(src, "k", [Memory(8)], (2,), (2,))
+
+    def test_local_scalar_shared(self):
+        src = """
+        __kernel void k(__global int* out) {
+            __local int total;
+            if (get_local_id(0) == 0) total = 0;
+            barrier(1);
+            atomic_add(&total, 1);
+            barrier(1);
+            if (get_local_id(0) == 0) out[get_group_id(0)] = total;
+        }
+        """
+        mem = Memory(8)
+        run1(src, "k", [mem], (8,), (4,))
+        assert list(mem.typed_view(T.INT)) == [4, 4]
+
+    def test_local_kernel_argument(self):
+        src = """
+        __kernel void k(__global int* out, __local int* tile) {
+            int lid = get_local_id(0);
+            tile[lid] = lid * 2;
+            barrier(1);
+            out[get_global_id(0)] = tile[get_local_size(0) - 1 - lid];
+        }
+        """
+        mem = Memory(16)
+        run1(src, "k", [mem, LocalMem(16)], (4,), (4,))
+        assert list(mem.typed_view(T.INT)) == [6, 4, 2, 0]
+
+
+class TestAtomics:
+    def test_atomic_add_counts_all_items(self):
+        src = """
+        __kernel void k(__global int* counter) {
+            atomic_add(counter, 1);
+        }
+        """
+        mem = Memory(4)
+        run1(src, "k", [mem], (64,))
+        assert mem.typed_view(T.INT)[0] == 64
+
+    def test_atomic_returns_old_value(self):
+        src = """
+        __kernel void k(__global int* c, __global int* olds) {
+            int old = atomic_add(c, 1);
+            olds[get_global_id(0)] = old;
+        }
+        """
+        c, olds = Memory(4), Memory(4 * 8)
+        run1(src, "k", [c, olds], (8,))
+        assert sorted(olds.typed_view(T.INT)) == list(range(8))
+
+    def test_atomic_min_max(self):
+        src = """
+        __kernel void k(__global int* lo, __global int* hi, __global int* vals) {
+            int v = vals[get_global_id(0)];
+            atomic_min(lo, v);
+            atomic_max(hi, v);
+        }
+        """
+        vals = np.array([5, -3, 9, 2], dtype=np.int32)
+        lo = Memory(data=np.array([100], dtype=np.int32))
+        hi = Memory(data=np.array([-100], dtype=np.int32))
+        run1(src, "k", [lo, hi, Memory(data=vals)], (4,))
+        assert lo.typed_view(T.INT)[0] == -3
+        assert hi.typed_view(T.INT)[0] == 9
+
+    def test_atomic_cmpxchg(self):
+        src = """
+        __kernel void k(__global int* p) {
+            atomic_cmpxchg(p, 0, get_global_id(0) + 1);
+        }
+        """
+        mem = Memory(4)
+        run1(src, "k", [mem], (4,))
+        assert mem.typed_view(T.INT)[0] == 1  # only the first swap wins
+
+
+class TestBuiltins:
+    def test_sqrt_float32(self):
+        src = "float f(float x) { return sqrt(x); }"
+        assert call(src, "f", 2.0) == pytest.approx(np.sqrt(np.float32(2)))
+
+    def test_min_max_clamp(self):
+        src = "int f(int a) { return clamp(a, 0, 10) + min(a, 2) + max(a, 8); }"
+        assert call(src, "f", 5) == 5 + 2 + 8
+
+    def test_fma_mad(self):
+        src = "float f(float a) { return mad(a, 2.0f, 1.0f) + fma(a, 3.0f, 0.5f); }"
+        assert call(src, "f", 2.0) == pytest.approx(5.0 + 6.5)
+
+    def test_convert_functions(self):
+        src = "int f(float x) { return convert_int(x) + (int)convert_uchar(260.0f); }"
+        assert call(src, "f", 3.7) == 3 + 4  # uchar wraps 260 -> 4
+
+    def test_as_int_bit_reinterpret(self):
+        src = "int f(float x) { return as_int(x); }"
+        assert int(call(src, "f", 1.0)) == np.float32(1.0).view(np.int32)
+
+    def test_native_aliases(self):
+        src = "float f(float x) { return native_sqrt(x) + half_exp(0.0f); }"
+        assert call(src, "f", 4.0) == pytest.approx(3.0)
+
+    def test_sizeof(self):
+        src = "int f() { return sizeof(float4) + sizeof(int); }"
+        assert call(src, "f") == 16 + 4
+
+    def test_isnan_isinf(self):
+        src = "int f(float x) { return isnan(x) * 10 + isinf(x); }"
+        assert call(src, "f", float("nan")) == 10
+        assert call(src, "f", float("inf")) == 1
+        assert call(src, "f", 1.0) == 0
+
+    def test_select_scalar(self):
+        src = "int f(int c) { return select(10, 20, c); }"
+        assert call(src, "f", 1) == 20
+        assert call(src, "f", 0) == 10

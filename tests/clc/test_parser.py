@@ -1,0 +1,265 @@
+"""Unit tests for the OpenCL C parser."""
+
+import pytest
+
+from repro.clc import ast_nodes as A
+from repro.clc import types as T
+from repro.clc.errors import ParseError
+from repro.clc.parser import parse
+
+
+def first_func(text):
+    unit = parse(text)
+    for decl in unit.decls:
+        if isinstance(decl, A.FunctionDef):
+            return decl
+    raise AssertionError("no function parsed")
+
+
+def body_stmts(text):
+    return first_func(text).body.stmts
+
+
+class TestFunctions:
+    def test_kernel_flag(self):
+        fn = first_func("__kernel void k(__global float* a) {}")
+        assert fn.is_kernel
+        assert fn.name == "k"
+
+    def test_plain_function_not_kernel(self):
+        fn = first_func("int add(int a, int b) { return a + b; }")
+        assert not fn.is_kernel
+        assert fn.return_type == T.INT
+
+    def test_param_types(self):
+        fn = first_func("__kernel void k(__global float* a, int n) {}")
+        ptr, scalar = fn.params
+        assert ptr.ctype.is_pointer()
+        assert ptr.ctype.address_space == T.AS_GLOBAL
+        assert ptr.ctype.pointee == T.FLOAT
+        assert scalar.ctype == T.INT
+
+    def test_const_qualifier_ignored(self):
+        fn = first_func("__kernel void k(__global const float* restrict a) {}")
+        assert fn.params[0].ctype.pointee == T.FLOAT
+
+    def test_void_param_list(self):
+        fn = first_func("int f(void) { return 1; }")
+        assert fn.params[0].ctype.is_void()
+
+    def test_prototype_then_definition(self):
+        unit = parse("int f(int a);\nint f(int a) { return a; }")
+        defs = [d for d in unit.decls if isinstance(d, A.FunctionDef)]
+        assert len(defs) == 2
+        assert defs[0].body is None
+        assert defs[1].body is not None
+
+    def test_reqd_work_group_size_attribute(self):
+        fn = first_func(
+            "__kernel __attribute__((reqd_work_group_size(8, 8, 1)))"
+            " void k(__global float* a) {}"
+        )
+        assert fn.attributes["reqd_work_group_size"] == (8, 8, 1)
+
+    def test_unsigned_int_param(self):
+        fn = first_func("void f(unsigned int x) {}")
+        assert fn.params[0].ctype == T.UINT
+
+    def test_vector_param(self):
+        fn = first_func("void f(float4 v) {}")
+        assert fn.params[0].ctype == T.vector_type(T.FLOAT, 4)
+
+
+class TestDeclarations:
+    def test_simple_decl(self):
+        (stmt,) = body_stmts("void f() { int x = 3; }")
+        assert isinstance(stmt, A.DeclStmt)
+        var = stmt.decls[0]
+        assert var.name == "x"
+        assert var.ctype == T.INT
+        assert isinstance(var.init, A.IntLit)
+
+    def test_multi_declarator(self):
+        (stmt,) = body_stmts("void f() { int a = 1, b = 2, c; }")
+        assert [v.name for v in stmt.decls] == ["a", "b", "c"]
+
+    def test_array_decl(self):
+        (stmt,) = body_stmts("void f() { float buf[8]; }")
+        ctype = stmt.decls[0].ctype
+        assert ctype.is_array()
+        assert ctype.length == 8
+
+    def test_2d_array_decl(self):
+        (stmt,) = body_stmts("void f() { float t[4][8]; }")
+        ctype = stmt.decls[0].ctype
+        assert ctype.length == 4
+        assert ctype.element.length == 8
+        assert ctype.element.element == T.FLOAT
+
+    def test_array_dim_constant_expression(self):
+        (stmt,) = body_stmts("void f() { float t[4 * 2]; }")
+        assert stmt.decls[0].ctype.length == 8
+
+    def test_local_address_space(self):
+        (stmt,) = body_stmts("__kernel void f() { __local float t[4]; }")
+        assert stmt.decls[0].address_space == T.AS_LOCAL
+
+    def test_pointer_decl(self):
+        (stmt,) = body_stmts("void f(__global float* a) { __global float* p = a; }")
+        assert stmt.decls[0].ctype.is_pointer()
+
+    def test_initializer_list(self):
+        (stmt,) = body_stmts("void f() { int t[3] = {1, 2, 3}; }")
+        assert isinstance(stmt.decls[0].init, A.VectorLit)
+        assert len(stmt.decls[0].init.elements) == 3
+
+    def test_non_constant_array_dim_rejected(self):
+        with pytest.raises(ParseError):
+            parse("void f(int n) { float t[n]; }")
+
+
+class TestStatements:
+    def test_if_else(self):
+        (stmt,) = body_stmts("void f(int x) { if (x) x = 1; else x = 2; }")
+        assert isinstance(stmt, A.If)
+        assert stmt.orelse is not None
+
+    def test_dangling_else_binds_inner(self):
+        (stmt,) = body_stmts(
+            "void f(int x) { if (x) if (x > 1) x = 1; else x = 2; }"
+        )
+        assert stmt.orelse is None
+        assert isinstance(stmt.then, A.If)
+        assert stmt.then.orelse is not None
+
+    def test_for_loop_with_decl(self):
+        (stmt,) = body_stmts("void f() { for (int i = 0; i < 4; i++) ; }")
+        assert isinstance(stmt, A.For)
+        assert isinstance(stmt.init, A.DeclStmt)
+
+    def test_for_with_comma_step(self):
+        (stmt,) = body_stmts("void f(int a, int b) { for (;; a++, b--) break; }")
+        assert isinstance(stmt.step, A.Call)
+        assert stmt.step.name == "__comma__"
+
+    def test_while(self):
+        (stmt,) = body_stmts("void f(int x) { while (x) x--; }")
+        assert isinstance(stmt, A.While)
+
+    def test_do_while(self):
+        (stmt,) = body_stmts("void f(int x) { do { x--; } while (x); }")
+        assert isinstance(stmt, A.DoWhile)
+
+    def test_break_continue(self):
+        stmts = body_stmts("void f() { for (;;) { break; } for (;;) { continue; } }")
+        assert isinstance(stmts[0].body.stmts[0], A.Break)
+        assert isinstance(stmts[1].body.stmts[0], A.Continue)
+
+    def test_empty_statement(self):
+        (stmt,) = body_stmts("void f() { ; }")
+        assert isinstance(stmt, A.Compound)
+
+    def test_return_value(self):
+        (stmt,) = body_stmts("int f() { return 3; }")
+        assert isinstance(stmt, A.Return)
+        assert stmt.value.value == 3
+
+    def test_switch_rejected_cleanly(self):
+        with pytest.raises(ParseError):
+            parse("void f(int x) { switch (x) {} }")
+
+    def test_struct_rejected_cleanly(self):
+        with pytest.raises(ParseError):
+            parse("struct S { int a; };")
+
+
+class TestExpressions:
+    def expr(self, text):
+        (stmt,) = body_stmts("void f(int a, int b, int c, float x) { %s; }" % text)
+        return stmt.expr
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("a + b * c")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_parenthesized(self):
+        e = self.expr("(a + b) * c")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_assignment_right_associative(self):
+        e = self.expr("a = b = c")
+        assert isinstance(e, A.Assign)
+        assert isinstance(e.value, A.Assign)
+
+    def test_compound_assignment(self):
+        e = self.expr("a += b")
+        assert e.op == "+="
+
+    def test_ternary(self):
+        e = self.expr("a ? b : c")
+        assert isinstance(e, A.Ternary)
+
+    def test_logical_ops_precedence(self):
+        e = self.expr("a && b || c")
+        assert e.op == "||"
+
+    def test_unary_minus(self):
+        e = self.expr("-a * b")
+        assert e.op == "*"
+        assert isinstance(e.left, A.UnaryOp)
+
+    def test_prefix_and_postfix_increment(self):
+        assert isinstance(self.expr("++a"), A.UnaryOp)
+        assert isinstance(self.expr("a++"), A.PostfixOp)
+
+    def test_call_with_args(self):
+        e = self.expr("max(a, b)")
+        assert isinstance(e, A.Call)
+        assert len(e.args) == 2
+
+    def test_index_chain(self):
+        e = self.expr("a[b][c]")
+        assert isinstance(e, A.Index)
+        assert isinstance(e.base, A.Index)
+
+    def test_scalar_cast(self):
+        e = self.expr("(float)a")
+        assert isinstance(e, A.Cast)
+        assert e.ctype == T.FLOAT
+
+    def test_vector_constructor(self):
+        (stmt,) = body_stmts("void f(float x) { float4 v = (float4)(x, x, x, x); }")
+        init = stmt.decls[0].init
+        assert isinstance(init, A.VectorLit)
+        assert init.ctype == T.vector_type(T.FLOAT, 4)
+        assert len(init.elements) == 4
+
+    def test_vector_splat_constructor(self):
+        (stmt,) = body_stmts("void f(float x) { float4 v = (float4)(0.0f); }")
+        assert len(stmt.decls[0].init.elements) == 1
+
+    def test_member_access(self):
+        e = self.expr("x = a")  # warm-up; real check below
+        (stmt,) = body_stmts("void f(float4 v) { float y = v.x; }")
+        assert isinstance(stmt.decls[0].init, A.Member)
+
+    def test_swizzle(self):
+        (stmt,) = body_stmts("void f(float4 v) { float2 y = v.xy; }")
+        assert stmt.decls[0].init.name == "xy"
+
+    def test_sizeof_type(self):
+        e = self.expr("a = sizeof(float)")
+        assert isinstance(e.value, A.SizeOf)
+        assert e.value.target_type == T.FLOAT
+
+    def test_address_of_and_deref(self):
+        e = self.expr("a = *(&b)")
+        assert isinstance(e.value, A.UnaryOp)
+        assert e.value.op == "*"
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as err:
+            parse("void f() { int x = ; }")
+        assert err.value.line == 1

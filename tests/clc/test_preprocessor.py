@@ -1,0 +1,146 @@
+"""Unit tests for the kernel preprocessor."""
+
+import pytest
+
+from repro.clc.errors import PreprocessorError
+from repro.clc.preprocessor import parse_build_options, preprocess
+
+
+class TestObjectMacros:
+    def test_simple_define(self):
+        out = preprocess("#define N 16\nint x = N;")
+        assert "int x = 16;" in out
+
+    def test_define_used_twice(self):
+        out = preprocess("#define N 4\nN + N")
+        assert "4 + 4" in out
+
+    def test_undef(self):
+        out = preprocess("#define N 4\n#undef N\nN")
+        assert "N" in out.split("\n")[-1]
+
+    def test_no_partial_word_replacement(self):
+        out = preprocess("#define N 4\nint NN = N;")
+        assert "int NN = 4;" in out
+
+    def test_recursive_macro_does_not_loop(self):
+        out = preprocess("#define A A\nA")
+        assert "A" in out
+
+    def test_chained_macros(self):
+        out = preprocess("#define A B\n#define B 3\nA")
+        assert "3" in out.split("\n")[-1]
+
+
+class TestFunctionMacros:
+    def test_basic_expansion(self):
+        out = preprocess("#define SQ(x) ((x)*(x))\nSQ(3)")
+        assert "((3)*(3))" in out
+
+    def test_two_params(self):
+        out = preprocess("#define ADD(a, b) (a + b)\nADD(1, 2)")
+        assert "(1 + 2)" in out
+
+    def test_nested_call_argument(self):
+        out = preprocess("#define SQ(x) ((x)*(x))\nSQ(f(1, 2))")
+        assert "((f(1, 2))*(f(1, 2)))" in out
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#define ADD(a, b) (a+b)\nADD(1)")
+
+    def test_name_without_call_left_alone(self):
+        out = preprocess("#define F(x) x\nint F;")
+        assert "int F;" in out
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        out = preprocess("#define X 1\n#ifdef X\nyes\n#endif")
+        assert "yes" in out
+
+    def test_ifdef_skipped(self):
+        out = preprocess("#ifdef X\nno\n#endif\nrest")
+        assert "no" not in out
+        assert "rest" in out
+
+    def test_ifndef(self):
+        out = preprocess("#ifndef X\nyes\n#endif")
+        assert "yes" in out
+
+    def test_else_branch(self):
+        out = preprocess("#ifdef X\nno\n#else\nyes\n#endif")
+        assert "yes" in out
+        assert "no" not in out
+
+    def test_if_zero(self):
+        out = preprocess("#if 0\nno\n#endif")
+        assert "no" not in out
+
+    def test_if_defined_expression(self):
+        out = preprocess("#define X 1\n#if defined(X)\nyes\n#endif")
+        assert "yes" in out
+
+    def test_nested_conditionals(self):
+        src = "#define A 1\n#ifdef A\n#ifdef B\nno\n#else\nyes\n#endif\n#endif"
+        out = preprocess(src)
+        assert "yes" in out
+        assert "no" not in out
+
+    def test_unterminated_if_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#ifdef X\nbody")
+
+    def test_stray_endif_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#endif")
+
+    def test_defines_inside_inactive_branch_ignored(self):
+        out = preprocess("#ifdef X\n#define N 4\n#endif\nN")
+        assert "N" in out.split("\n")[-1]
+
+
+class TestMiscDirectives:
+    def test_pragma_ignored(self):
+        out = preprocess("#pragma OPENCL EXTENSION cl_khr_fp64 : enable\nint x;")
+        assert "int x;" in out
+
+    def test_error_directive_raises_when_active(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#error bad config")
+
+    def test_error_directive_skipped_when_inactive(self):
+        out = preprocess("#ifdef X\n#error unreachable\n#endif\nok")
+        assert "ok" in out
+
+    def test_line_continuation(self):
+        out = preprocess("#define LONG 1 + \\\n 2\nLONG")
+        assert "1 + 2" in " ".join(out.split())
+
+    def test_line_numbering_preserved(self):
+        out = preprocess("#define N 1\nsecond\nthird")
+        lines = out.split("\n")
+        assert lines[1] == "second"
+        assert lines[2] == "third"
+
+
+class TestBuildOptions:
+    def test_dash_d_with_value(self):
+        assert parse_build_options("-DBLOCK=16") == {"BLOCK": "16"}
+
+    def test_dash_d_without_value_defaults_to_one(self):
+        assert parse_build_options("-DUSE_FAST") == {"USE_FAST": "1"}
+
+    def test_separated_dash_d(self):
+        assert parse_build_options("-D N=8") == {"N": "8"}
+
+    def test_unknown_flags_ignored(self):
+        assert parse_build_options("-cl-fast-relaxed-math -DN=2") == {"N": "2"}
+
+    def test_empty_options(self):
+        assert parse_build_options("") == {}
+        assert parse_build_options(None) == {}
+
+    def test_options_feed_preprocessor(self):
+        out = preprocess("int x = N;", {"N": "7"})
+        assert "int x = 7;" in out

@@ -1,0 +1,186 @@
+"""Property-based tests: the interpreter against NumPy-computed ground
+truth on randomly generated programs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clc import compile_program
+from repro.clc import types as T
+from repro.clc.interp import Interpreter
+from repro.clc.values import Memory
+
+_ERRSTATE = {"over": "ignore", "under": "ignore",
+             "invalid": "ignore", "divide": "ignore"}
+
+
+def call(src, fn, *args, options=""):
+    return Interpreter(compile_program(src, options)).call_function(fn, args)
+
+
+# -- random integer expression trees -------------------------------------------
+
+_INT_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+}
+
+
+@st.composite
+def int_exprs(draw, depth=3):
+    """(source text, reference fn over np.int32 a,b,c)."""
+    if depth == 0 or draw(st.booleans()):
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            value = draw(st.integers(-1000, 1000))
+            return str(value) if value >= 0 else "(%d)" % value, \
+                (lambda a, b, c, v=value: np.int32(v))
+        name = "abc"[choice - 1]
+        index = choice - 1
+        return name, (lambda a, b, c, i=index: (a, b, c)[i])
+    op = draw(st.sampled_from(sorted(_INT_OPS)))
+    left_src, left_fn = draw(int_exprs(depth=depth - 1))
+    right_src, right_fn = draw(int_exprs(depth=depth - 1))
+    fn = _INT_OPS[op]
+    return (
+        "(%s %s %s)" % (left_src, op, right_src),
+        lambda a, b, c, f=fn, lf=left_fn, rf=right_fn: f(lf(a, b, c),
+                                                        rf(a, b, c)),
+    )
+
+
+class TestIntegerExpressionEquivalence:
+    @given(
+        int_exprs(),
+        st.integers(-(2**31), 2**31 - 1),
+        st.integers(-(2**31), 2**31 - 1),
+        st.integers(-(2**31), 2**31 - 1),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_random_expression_matches_numpy_int32(self, expr, a, b, c):
+        src_text, reference = expr
+        src = "int f(int a, int b, int c) { return %s; }" % src_text
+        with np.errstate(**_ERRSTATE):
+            expected = reference(np.int32(a), np.int32(b), np.int32(c))
+        result = call(src, "f", a, b, c)
+        assert np.int32(result) == np.int32(expected), src_text
+
+
+class TestArithmeticIdentities:
+    @given(st.integers(-(2**31), 2**31 - 1), st.integers(-(2**31), 2**31 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_addition_commutes(self, a, b):
+        src = "int f(int a, int b) { return a + b; }"
+        assert call(src, "f", a, b) == call(src, "f", b, a)
+
+    @given(st.integers(-(2**31), 2**31 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_double_negation(self, a):
+        src = "int f(int a) { return -(-a); }"
+        with np.errstate(**_ERRSTATE):
+            assert call(src, "f", a) == np.int32(a) * np.int32(1)
+
+    @given(st.integers(-(2**30), 2**30), st.integers(1, 1000))
+    @settings(max_examples=100, deadline=None)
+    def test_division_remainder_identity(self, a, b):
+        """C guarantees (a/b)*b + a%b == a."""
+        src = "int f(int a, int b) { return (a / b) * b + (a % b); }"
+        assert call(src, "f", a, b) == np.int32(a)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                     width=32))
+    @settings(max_examples=100, deadline=None)
+    def test_float_roundtrip_through_kernel(self, x):
+        src = "float f(float x) { return x; }"
+        assert call(src, "f", x) == np.float32(x)
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                     width=32))
+    @settings(max_examples=100, deadline=None)
+    def test_sqrt_squared(self, x):
+        src = "float f(float x) { return sqrt(x) * sqrt(x); }"
+        result = float(call(src, "f", x))
+        assert result == pytest.approx(float(np.float32(x)), rel=1e-3, abs=1e-5)
+
+
+class TestLoopProperties:
+    @given(st.integers(0, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_sum_formula(self, n):
+        src = """
+        int f(int n) {
+            int s = 0;
+            for (int i = 1; i <= n; i++) s += i;
+            return s;
+        }
+        """
+        assert call(src, "f", n) == n * (n + 1) // 2
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_power_of_two_by_shifting(self, n):
+        src = "int f(int n) { int v = 1; while (n-- > 0) v <<= 1; return v; }"
+        assert call(src, "f", n) == np.int32(1 << n)
+
+
+class TestKernelBufferProperties:
+    ELEMENTWISE = """
+    __kernel void combine(__global const float* a, __global const float* b,
+                          __global float* c, int n) {
+        int i = get_global_id(0);
+        if (i < n) c[i] = a[i] * 2.0f - b[i];
+    }
+    """
+
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100, width=32),
+                 min_size=1, max_size=32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_elementwise_kernel_matches_numpy(self, values):
+        n = len(values)
+        a = np.array(values, dtype=np.float32)
+        b = a[::-1].copy()
+        prog = compile_program(self.ELEMENTWISE)
+        ma, mb, mc = Memory(data=a), Memory(data=b), Memory(n * 4)
+        Interpreter(prog).run_kernel("combine", [ma, mb, mc, n], (n,))
+        out = mc.typed_view(T.FLOAT)[:n]
+        assert np.allclose(out, a * 2 - b, rtol=1e-5, atol=1e-5)
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_group_reverse_is_involution(self, groups, group_size):
+        """Applying the local-memory reverse kernel twice restores input."""
+        src = """
+        __kernel void rev(__global int* d, __local int* tile) {
+            int lid = get_local_id(0);
+            int n = get_local_size(0);
+            tile[lid] = d[get_global_id(0)];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            d[get_global_id(0)] = tile[n - 1 - lid];
+        }
+        """
+        from repro.clc.interp import LocalMem
+
+        n = groups * group_size
+        data = np.arange(n, dtype=np.int32)
+        mem = Memory(data=data.copy())
+        prog = compile_program(src)
+        interp = Interpreter(prog)
+        for _ in range(2):
+            interp.run_kernel("rev", [mem, LocalMem(group_size * 4)],
+                              (n,), (group_size,))
+        assert np.array_equal(mem.typed_view(T.INT)[:n], data)
+
+    @given(st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_atomic_counter_exact(self, items):
+        src = "__kernel void count(__global int* c) { atomic_add(c, 1); }"
+        mem = Memory(4)
+        Interpreter(compile_program(src)).run_kernel("count", [mem], (items,))
+        assert mem.typed_view(T.INT)[0] == items

@@ -1,0 +1,151 @@
+"""Unit tests for semantic analysis."""
+
+import pytest
+
+from repro.clc import compile_program
+from repro.clc.errors import SemanticError
+
+
+def compile_ok(src, options=""):
+    return compile_program(src, options)
+
+
+class TestScoping:
+    def test_undefined_identifier(self):
+        with pytest.raises(SemanticError):
+            compile_ok("void f() { x = 1; }")
+
+    def test_redeclaration_same_scope(self):
+        with pytest.raises(SemanticError):
+            compile_ok("void f() { int x; float x; }")
+
+    def test_shadowing_in_inner_block_allowed(self):
+        compile_ok("void f() { int x = 1; { float x = 2.0f; } }")
+
+    def test_for_loop_variable_scoped_to_loop(self):
+        with pytest.raises(SemanticError):
+            compile_ok("void f() { for (int i = 0; i < 3; i++) ; i = 1; }")
+
+    def test_param_visible_in_body(self):
+        compile_ok("int f(int a) { return a; }")
+
+    def test_duplicate_function_definition(self):
+        with pytest.raises(SemanticError):
+            compile_ok("void f() {} void f() {}")
+
+    def test_prototype_plus_definition_ok(self):
+        prog = compile_ok("int f(int a); int f(int a) { return a; }")
+        assert "f" in prog.functions
+
+
+class TestTypeChecking:
+    def test_call_arity_checked(self):
+        with pytest.raises(SemanticError):
+            compile_ok("int f(int a) { return a; } void g() { f(1, 2); }")
+
+    def test_unknown_function(self):
+        with pytest.raises(SemanticError):
+            compile_ok("void f() { frobnicate(1); }")
+
+    def test_void_function_returning_value(self):
+        with pytest.raises(SemanticError):
+            compile_ok("void f() { return 3; }")
+
+    def test_nonvoid_function_empty_return(self):
+        with pytest.raises(SemanticError):
+            compile_ok("int f() { return; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError):
+            compile_ok("void f() { break; }")
+
+    def test_assign_to_rvalue(self):
+        with pytest.raises(SemanticError):
+            compile_ok("void f(int a, int b) { (a + b) = 3; }")
+
+    def test_modulo_on_float_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_ok("void f(float x) { float y = x % 2.0f; }")
+
+    def test_bitand_on_float_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_ok("void f(float x) { float y = x & 1; }")
+
+    def test_dereference_non_pointer(self):
+        with pytest.raises(SemanticError):
+            compile_ok("void f(int a) { int b = *a; }")
+
+    def test_index_non_indexable(self):
+        with pytest.raises(SemanticError):
+            compile_ok("void f(int a) { int b = a[0]; }")
+
+    def test_builtin_overload_mismatch(self):
+        with pytest.raises(SemanticError):
+            compile_ok("void f(float x) { float y = dot(x); }")
+
+
+class TestVectorSemantics:
+    def test_swizzle_type(self):
+        compile_ok("void f(float4 v) { float2 lo = v.xy; float s = v.w; }")
+
+    def test_swizzle_out_of_range(self):
+        with pytest.raises(SemanticError):
+            compile_ok("void f(float2 v) { float z = v.z; }")
+
+    def test_bad_component_name(self):
+        with pytest.raises(SemanticError):
+            compile_ok("void f(float4 v) { float q = v.q; }")
+
+    def test_member_on_scalar_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_ok("void f(float x) { float y = x.x; }")
+
+    def test_hi_lo_halves(self):
+        compile_ok("void f(float4 v) { float2 a = v.lo; float2 b = v.hi; }")
+
+    def test_numeric_swizzle(self):
+        compile_ok("void f(float4 v) { float2 a = v.s01; }")
+
+    def test_vector_literal_wrong_lane_count(self):
+        with pytest.raises(SemanticError):
+            compile_ok("void f(float x) { float4 v = (float4)(x, x); }")
+
+    def test_vector_literal_from_smaller_vectors(self):
+        compile_ok("void f(float2 a) { float4 v = (float4)(a, a); }")
+
+
+class TestKernelMetadata:
+    def test_kernel_params_recorded(self):
+        prog = compile_ok("__kernel void k(__global float* a, int n) {}")
+        info = prog.kernel("k")
+        assert [name for name, _ in info.params] == ["a", "n"]
+
+    def test_uses_barrier_flag(self):
+        prog = compile_ok(
+            "__kernel void k(__global float* a) { barrier(1); }"
+        )
+        assert prog.kernel("k").uses_barrier
+
+    def test_no_barrier_flag(self):
+        prog = compile_ok("__kernel void k(__global float* a) { a[0] = 1.0f; }")
+        assert not prog.kernel("k").uses_barrier
+
+    def test_local_mem_bytes_counted(self):
+        prog = compile_ok(
+            "__kernel void k() { __local float t[16]; __local int c; }"
+        )
+        assert prog.kernel("k").local_mem_bytes == 16 * 4 + 4
+
+    def test_kernel_listing(self):
+        prog = compile_ok(
+            "__kernel void a() {} __kernel void b() {} void helper() {}"
+        )
+        assert prog.kernel_names() == ["a", "b"]
+        with pytest.raises(KeyError):
+            prog.kernel("helper")
+
+    def test_calls_recorded(self):
+        prog = compile_ok(
+            "int h(int a) { return a; } __kernel void k() { int x = h(3); }"
+        )
+        assert "h" in prog.kernel("k").calls

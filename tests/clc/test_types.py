@@ -1,0 +1,137 @@
+"""Unit tests for the clc type system."""
+
+import numpy as np
+import pytest
+
+from repro.clc import types as T
+from repro.clc.errors import SemanticError
+
+
+class TestScalars:
+    def test_sizes(self):
+        assert T.CHAR.size == 1
+        assert T.SHORT.size == 2
+        assert T.INT.size == 4
+        assert T.LONG.size == 8
+        assert T.FLOAT.size == 4
+        assert T.DOUBLE.size == 8
+
+    def test_size_t_is_ulong(self):
+        assert T.scalar_type("size_t") is T.ULONG
+
+    def test_numpy_dtypes(self):
+        assert T.INT.np_dtype is np.int32
+        assert T.FLOAT.np_dtype is np.float32
+        assert T.UCHAR.np_dtype is np.uint8
+
+    def test_kind_predicates(self):
+        assert T.INT.is_integer()
+        assert T.FLOAT.is_float()
+        assert not T.FLOAT.is_integer()
+        assert T.VOID.is_void()
+        assert not T.VOID.is_scalar()
+
+    def test_unknown_scalar_raises(self):
+        with pytest.raises(SemanticError):
+            T.scalar_type("quaternion")
+
+    def test_equality_by_name(self):
+        assert T.INT == T.scalar_type("int")
+        assert T.INT != T.UINT
+
+
+class TestVectors:
+    def test_float4_properties(self):
+        v = T.vector_type(T.FLOAT, 4)
+        assert v.size == 16
+        assert v.lanes == 4
+        assert v.name == "float4"
+
+    def test_vec3_occupies_vec4_storage(self):
+        v = T.vector_type(T.FLOAT, 3)
+        assert v.size == 16
+        assert v.storage_lanes == 4
+
+    def test_lookup_by_name(self):
+        assert T.type_by_name("int8") == T.vector_type(T.INT, 8)
+        assert T.type_by_name("uchar16").lanes == 16
+
+    def test_invalid_width(self):
+        with pytest.raises(SemanticError):
+            T.VectorType(T.FLOAT, 5)
+
+    def test_bool_vector_invalid(self):
+        with pytest.raises(SemanticError):
+            T.VectorType(T.BOOL, 4)
+
+
+class TestPointersAndArrays:
+    def test_pointer_size(self):
+        assert T.PointerType(T.FLOAT).size == 8
+
+    def test_pointer_address_space(self):
+        p = T.PointerType(T.FLOAT, T.AS_GLOBAL)
+        assert p.address_space == T.AS_GLOBAL
+
+    def test_bad_address_space(self):
+        with pytest.raises(SemanticError):
+            T.PointerType(T.FLOAT, "texture")
+
+    def test_array_size(self):
+        a = T.ArrayType(T.FLOAT, 10)
+        assert a.size == 40
+
+    def test_nested_array_size(self):
+        a = T.ArrayType(T.ArrayType(T.FLOAT, 4), 4)
+        assert a.size == 64
+
+    def test_pointer_equality(self):
+        assert T.PointerType(T.FLOAT, T.AS_GLOBAL) == T.PointerType(T.FLOAT, T.AS_GLOBAL)
+        assert T.PointerType(T.FLOAT, T.AS_GLOBAL) != T.PointerType(T.FLOAT, T.AS_LOCAL)
+
+
+class TestConversions:
+    def test_integer_promotion(self):
+        assert T.promote(T.CHAR) == T.INT
+        assert T.promote(T.USHORT) == T.INT
+        assert T.promote(T.UINT) == T.UINT
+
+    def test_common_type_int_float(self):
+        assert T.common_type(T.INT, T.FLOAT) == T.FLOAT
+
+    def test_common_type_float_double(self):
+        assert T.common_type(T.FLOAT, T.DOUBLE) == T.DOUBLE
+
+    def test_common_type_signed_unsigned_same_rank(self):
+        assert T.common_type(T.INT, T.UINT) == T.UINT
+
+    def test_common_type_wider_signed_wins(self):
+        assert T.common_type(T.LONG, T.UINT) == T.LONG
+
+    def test_common_type_small_ints_promote(self):
+        assert T.common_type(T.CHAR, T.CHAR) == T.INT
+
+    def test_vector_scalar_widens(self):
+        v4 = T.vector_type(T.FLOAT, 4)
+        assert T.common_type(v4, T.INT) == v4
+
+    def test_vector_width_mismatch_raises(self):
+        with pytest.raises(SemanticError):
+            T.common_type(T.vector_type(T.FLOAT, 4), T.vector_type(T.FLOAT, 2))
+
+    def test_can_convert_scalar_to_vector(self):
+        assert T.can_convert(T.FLOAT, T.vector_type(T.FLOAT, 4))
+
+    def test_cannot_convert_vector_widths(self):
+        assert not T.can_convert(
+            T.vector_type(T.FLOAT, 2), T.vector_type(T.FLOAT, 4)
+        )
+
+    def test_pointer_conversion_same_space_only(self):
+        g = T.PointerType(T.FLOAT, T.AS_GLOBAL)
+        l = T.PointerType(T.FLOAT, T.AS_LOCAL)
+        assert T.can_convert(g, T.PointerType(T.INT, T.AS_GLOBAL))
+        assert not T.can_convert(g, l)
+
+    def test_int_to_pointer_for_null(self):
+        assert T.can_convert(T.INT, T.PointerType(T.FLOAT))

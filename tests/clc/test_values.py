@@ -1,0 +1,197 @@
+"""Unit and property tests for the runtime value model (Memory/Pointer)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clc import types as T
+from repro.clc.errors import InterpError
+from repro.clc.values import (
+    Memory,
+    Pointer,
+    convert_value,
+    ctype_of_value,
+    default_value,
+    is_truthy,
+)
+
+
+class TestMemory:
+    def test_zero_initialised(self):
+        mem = Memory(16)
+        assert mem.nbytes == 16
+        assert not mem.data.any()
+
+    def test_from_existing_array(self):
+        arr = np.array([1.5, 2.5], dtype=np.float32)
+        mem = Memory(data=arr)
+        assert mem.nbytes == 8
+        assert mem.load(4, T.FLOAT) == 2.5
+
+    def test_scalar_roundtrip(self):
+        mem = Memory(64)
+        mem.store(8, T.INT, np.int32(-42))
+        assert mem.load(8, T.INT) == -42
+
+    def test_vector_roundtrip(self):
+        mem = Memory(64)
+        v4 = T.vector_type(T.FLOAT, 4)
+        mem.store(16, v4, np.array([1, 2, 3, 4], dtype=np.float32))
+        out = mem.load(16, v4)
+        assert list(out) == [1, 2, 3, 4]
+
+    def test_unaligned_access_works(self):
+        mem = Memory(64)
+        mem.store(3, T.INT, np.int32(7))
+        assert mem.load(3, T.INT) == 7
+
+    def test_aliasing_through_types(self):
+        mem = Memory(8)
+        mem.store(0, T.FLOAT, np.float32(1.0))
+        raw = mem.load(0, T.UINT)
+        assert raw == np.float32(1.0).view(np.uint32)
+
+    def test_out_of_bounds_load(self):
+        with pytest.raises(InterpError):
+            Memory(4).load(4, T.INT)
+
+    def test_out_of_bounds_store(self):
+        with pytest.raises(InterpError):
+            Memory(4).store(2, T.INT, np.int32(1))
+
+    def test_typed_view_is_shared(self):
+        mem = Memory(16)
+        view = mem.typed_view(T.INT)
+        view[0] = 9
+        assert mem.load(0, T.INT) == 9
+
+    def test_typed_view_offset_count(self):
+        mem = Memory(data=np.arange(8, dtype=np.int32))
+        view = mem.typed_view(T.INT, offset=8, count=3)
+        assert list(view) == [2, 3, 4]
+
+
+class TestPointer:
+    def test_indexing(self):
+        mem = Memory(data=np.arange(8, dtype=np.int32))
+        p = Pointer(mem, 0, T.INT)
+        assert p.load(3) == 3
+
+    def test_add_advances_by_element_size(self):
+        mem = Memory(data=np.arange(8, dtype=np.int32))
+        p = Pointer(mem, 0, T.INT).add(2)
+        assert p.offset == 8
+        assert p.load() == 2
+
+    def test_store(self):
+        mem = Memory(16)
+        Pointer(mem, 0, T.FLOAT).store(2, np.float32(9.5))
+        assert mem.load(8, T.FLOAT) == 9.5
+
+    def test_reinterpret(self):
+        mem = Memory(data=np.array([1.0], dtype=np.float32))
+        p = Pointer(mem, 0, T.FLOAT).reinterpret(T.UINT)
+        assert p.load() == np.float32(1.0).view(np.uint32)
+
+
+class TestConvertValue:
+    def test_float_to_int_truncates(self):
+        assert convert_value(2.9, T.INT) == 2
+        assert convert_value(-2.9, T.INT) == -2
+
+    def test_int_wrap_to_char(self):
+        assert convert_value(300, T.CHAR) == 300 - 256
+        assert convert_value(300, T.UCHAR) == 44
+
+    def test_scalar_to_vector_splat(self):
+        v = convert_value(3, T.vector_type(T.FLOAT, 4))
+        assert list(v) == [3, 3, 3, 3]
+
+    def test_vector_width_mismatch_raises(self):
+        with pytest.raises(InterpError):
+            convert_value(np.zeros(2, np.float32), T.vector_type(T.FLOAT, 4))
+
+    def test_zero_to_null_pointer(self):
+        assert convert_value(0, T.PointerType(T.FLOAT)) is None
+
+    def test_nonzero_int_to_pointer_rejected(self):
+        with pytest.raises(InterpError):
+            convert_value(7, T.PointerType(T.FLOAT))
+
+    def test_bool_conversion(self):
+        assert convert_value(3, T.BOOL) == True  # noqa: E712
+        assert convert_value(0.0, T.BOOL) == False  # noqa: E712
+
+
+class TestInference:
+    def test_ctype_of_scalars(self):
+        assert ctype_of_value(np.int32(1)) == T.INT
+        assert ctype_of_value(np.float32(1)) == T.FLOAT
+        assert ctype_of_value(np.uint8(1)) == T.UCHAR
+        assert ctype_of_value(True) == T.BOOL
+        assert ctype_of_value(5) == T.INT
+
+    def test_ctype_of_vector(self):
+        assert ctype_of_value(np.zeros(4, np.float32)) == T.vector_type(T.FLOAT, 4)
+
+    def test_ctype_of_pointer(self):
+        p = Pointer(Memory(4), 0, T.INT, T.AS_GLOBAL)
+        ct = ctype_of_value(p)
+        assert ct.is_pointer()
+        assert ct.address_space == T.AS_GLOBAL
+
+    def test_default_values(self):
+        assert default_value(T.INT) == 0
+        assert default_value(T.PointerType(T.INT)) is None
+        assert list(default_value(T.vector_type(T.INT, 2))) == [0, 0]
+
+    def test_truthiness(self):
+        assert not is_truthy(None)
+        assert not is_truthy(np.int32(0))
+        assert is_truthy(np.float32(0.5))
+        assert is_truthy(Pointer(Memory(4), 0, T.INT))
+
+
+_INT_TYPES = [T.CHAR, T.UCHAR, T.SHORT, T.USHORT, T.INT, T.UINT, T.LONG, T.ULONG]
+
+
+class TestConversionProperties:
+    @given(st.integers(min_value=-(2**70), max_value=2**70), st.sampled_from(_INT_TYPES))
+    @settings(max_examples=200)
+    def test_integer_conversion_matches_c_wraparound(self, value, ctype):
+        result = int(convert_value(value, ctype))
+        bits = ctype.size * 8
+        expected = value & ((1 << bits) - 1)
+        if ctype.signed and expected >= 1 << (bits - 1):
+            expected -= 1 << bits
+        assert result == expected
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_conversion_roundtrip_within_range(self, value):
+        assert int(convert_value(value, T.LONG)) == value
+
+    @given(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.sampled_from([T.FLOAT, T.DOUBLE]),
+    )
+    def test_float_identity(self, value, ctype):
+        out = convert_value(value, ctype)
+        assert out == ctype.np_dtype(value)
+
+    @given(st.binary(min_size=8, max_size=64))
+    def test_memory_byte_roundtrip(self, blob):
+        mem = Memory(len(blob))
+        for i, byte in enumerate(blob):
+            mem.store(i, T.UCHAR, np.uint8(byte))
+        assert bytes(mem.data) == blob
+
+    @given(
+        st.lists(st.integers(-(2**31), 2**31 - 1), min_size=1, max_size=16),
+        st.integers(0, 15),
+    )
+    def test_pointer_indexing_matches_numpy(self, values, index):
+        index = index % len(values)
+        arr = np.array(values, dtype=np.int32)
+        p = Pointer(Memory(data=arr), 0, T.INT)
+        assert p.load(index) == arr[index]

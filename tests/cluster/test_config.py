@@ -1,0 +1,74 @@
+"""Tests for the cluster configuration file."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, NodeConfig
+
+
+class TestNodeConfig:
+    def test_basic_fields(self):
+        node = NodeConfig("gpu0", ["gpu"], port=7100, mode="real")
+        assert node.node_id == "gpu0"
+        assert node.devices == ["gpu"]
+        assert node.port == 7100
+
+    def test_unknown_device_kind(self):
+        with pytest.raises(ValueError):
+            NodeConfig("x", ["tpu"])
+
+    def test_empty_devices(self):
+        with pytest.raises(ValueError):
+            NodeConfig("x", [])
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            NodeConfig("x", ["gpu"], mode="fantasy")
+
+    def test_multi_device_node(self):
+        node = NodeConfig("fat0", ["cpu", "gpu", "fpga"])
+        assert len(node.devices) == 3
+
+    def test_dict_roundtrip(self):
+        node = NodeConfig("gpu0", ["gpu"], host="10.0.0.5", port=9000)
+        clone = NodeConfig.from_dict(node.to_dict())
+        assert clone.host == "10.0.0.5"
+        assert clone.port == 9000
+
+
+class TestClusterConfig:
+    def test_build_paper_testbed(self):
+        config = ClusterConfig.build(gpu_nodes=16, fpga_nodes=4)
+        assert len(config) == 20
+        assert config.device_counts() == {"gpu": 16, "fpga": 4}
+
+    def test_build_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig.build()
+
+    def test_duplicate_node_ids_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig([NodeConfig("a", ["gpu"]), NodeConfig("a", ["cpu"])])
+
+    def test_node_lookup(self):
+        config = ClusterConfig.build(gpu_nodes=2)
+        assert config.node("gpu1").devices == ["gpu"]
+        with pytest.raises(KeyError):
+            config.node("gpu9")
+
+    def test_json_roundtrip(self):
+        config = ClusterConfig.build(gpu_nodes=3, fpga_nodes=1, mode="real")
+        clone = ClusterConfig.from_json(config.to_json())
+        assert len(clone) == 4
+        assert clone.node("fpga0").mode == "real"
+
+    def test_file_roundtrip(self, tmp_path):
+        config = ClusterConfig.build(gpu_nodes=1, cpu_nodes=2)
+        path = tmp_path / "cluster.json"
+        config.save(path)
+        clone = ClusterConfig.load(path)
+        assert clone.device_counts() == {"gpu": 1, "cpu": 2}
+
+    def test_iteration_order_stable(self):
+        config = ClusterConfig.build(gpu_nodes=2, fpga_nodes=1)
+        ids = [node.node_id for node in config]
+        assert ids == ["gpu0", "gpu1", "fpga0"]

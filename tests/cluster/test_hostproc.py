@@ -1,0 +1,77 @@
+"""Tests for the host process and device registry."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, DeviceRegistry, HostProcess
+from repro.ocl.errors import CLError
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        reg = DeviceRegistry()
+        dev = reg.register("n0", 1, 4, "GPU", {"name": "P4"})
+        assert dev.global_id == 1
+        assert reg.get(1).node_id == "n0"
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            DeviceRegistry().get(5)
+
+    def test_type_and_node_filters(self):
+        reg = DeviceRegistry()
+        reg.register("n0", 1, 4, "GPU", {})
+        reg.register("n1", 1, 8, "FPGA", {})
+        reg.register("n1", 2, 4, "GPU", {})
+        assert len(reg.by_type("GPU")) == 2
+        assert len(reg.by_node("n1")) == 2
+        assert reg.node_ids() == ["n0", "n1"]
+
+    def test_global_ids_unique_and_ordered(self):
+        reg = DeviceRegistry()
+        for index in range(5):
+            reg.register("n%d" % index, 1, 4, "GPU", {})
+        assert [d.global_id for d in reg.all()] == [1, 2, 3, 4, 5]
+
+
+class TestHostProcess:
+    @pytest.fixture
+    def host(self):
+        config = ClusterConfig.build(gpu_nodes=2, fpga_nodes=1)
+        with HostProcess.launch(config, transport="inproc") as host:
+            yield host
+
+    def test_discovery_builds_registry(self, host):
+        assert len(host.registry) == 3
+        assert len(host.registry.by_type("GPU")) == 2
+        assert len(host.registry.by_type("FPGA")) == 1
+
+    def test_registry_maps_to_nodes(self, host):
+        for device in host.registry:
+            assert device.node_id in ("gpu0", "gpu1", "fpga0")
+            assert device.local_handle >= 1
+
+    def test_call_success(self, host):
+        payload = host.call("gpu0", "ping")
+        assert payload["node_id"] == "gpu0"
+
+    def test_call_error_becomes_clerror(self, host):
+        with pytest.raises(CLError) as err:
+            host.call("gpu0", "create_queue", context=42, device=1)
+        assert "gpu0" in str(err.value)
+
+    def test_node_stats_covers_all_nodes(self, host):
+        stats = host.node_stats()
+        assert sorted(stats) == ["fpga0", "gpu0", "gpu1"]
+
+    def test_tcp_transport_end_to_end(self):
+        config = ClusterConfig.build(gpu_nodes=1)
+        with HostProcess.launch(config, transport="tcp") as host:
+            assert len(host.registry) == 1
+            assert host.call("gpu0", "ping")["node_id"] == "gpu0"
+
+    def test_sim_transport_advances_clock(self):
+        config = ClusterConfig.build(gpu_nodes=1)
+        host = HostProcess.launch(config, transport="sim")
+        before = host.now_s()
+        host.call("gpu0", "ping")
+        assert host.now_s() > before

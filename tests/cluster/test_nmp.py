@@ -1,0 +1,216 @@
+"""Tests for the Node Management Process over a direct handler interface."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, NodeConfig, NodeManagementProcess
+from repro.ocl import enums
+from repro.transport.message import Message
+
+SRC = """
+__kernel void add1(__global int* a, int n) {
+    int i = get_global_id(0);
+    if (i < n) a[i] = a[i] + 1;
+}
+"""
+
+
+@pytest.fixture
+def nmp():
+    return NodeManagementProcess(NodeConfig("n0", ["gpu"], mode="modeled"))
+
+
+def call(nmp, method, now_s=0.0, **payload):
+    response, ready = nmp.handle(Message.request(method, **payload), now_s)
+    assert not response.is_error, response.payload
+    return response.payload, ready
+
+
+def call_err(nmp, method, **payload):
+    response, _ready = nmp.handle(Message.request(method, **payload), 0.0)
+    assert response.is_error
+    return response.payload
+
+
+def build_kernel(nmp):
+    devices, _ = call(nmp, "get_device_ids")
+    handle = devices["devices"][0]["handle"]
+    ctx, _ = call(nmp, "create_context", devices=[handle])
+    queue, _ = call(nmp, "create_queue", context=ctx["context"], device=handle)
+    prog, _ = call(nmp, "build_program", context=ctx["context"], source=SRC)
+    kern, _ = call(nmp, "create_kernel", program=prog["program"], name="add1")
+    return ctx["context"], queue["queue"], kern["kernel"]
+
+
+class TestDiscovery:
+    def test_ping(self, nmp):
+        payload, _ = call(nmp, "ping")
+        assert payload["node_id"] == "n0"
+        assert payload["mode"] == "modeled"
+
+    def test_get_device_ids(self, nmp):
+        payload, _ = call(nmp, "get_device_ids")
+        (device,) = payload["devices"]
+        assert device["type_name"] == "GPU"
+        assert device["info"]["name"] == "NVIDIA Tesla P4"
+
+    def test_device_type_filter(self, nmp):
+        payload, _ = call(nmp, "get_device_ids",
+                          device_type=enums.CL_DEVICE_TYPE_CPU)
+        assert payload["devices"] == []
+
+    def test_unknown_method(self, nmp):
+        error = call_err(nmp, "frobnicate")
+        assert error["code"] == enums.CL_INVALID_OPERATION
+
+    def test_multi_device_node(self):
+        nmp = NodeManagementProcess(NodeConfig("fat", ["cpu", "gpu", "fpga"]))
+        payload, _ = call(nmp, "get_device_ids")
+        names = sorted(d["type_name"] for d in payload["devices"])
+        assert names == ["CPU", "FPGA", "GPU"]
+
+
+class TestLifecycle:
+    def test_full_kernel_roundtrip(self, nmp):
+        ctx, queue, kern = build_kernel(nmp)
+        buf, _ = call(nmp, "create_buffer", context=ctx, size=16)
+        call(nmp, "write_buffer", queue=queue, buffer=buf["buffer"],
+             data=np.arange(4, dtype=np.int32))
+        call(nmp, "set_kernel_arg", kernel=kern, index=0, buffer=buf["buffer"])
+        call(nmp, "set_kernel_arg", kernel=kern, index=1, value=4)
+        call(nmp, "enqueue_ndrange", queue=queue, kernel=kern, global_size=[4])
+        payload, _ = call(nmp, "read_buffer", queue=queue, buffer=buf["buffer"])
+        out = np.frombuffer(bytes(payload["data"]), dtype=np.int32)
+        assert list(out) == [1, 2, 3, 4]
+
+    def test_bad_handle_is_cl_error(self, nmp):
+        error = call_err(nmp, "create_queue", context=999, device=1)
+        assert error["code"] == enums.CL_INVALID_VALUE
+
+    def test_build_error_reported(self, nmp):
+        ctx, _ = call(nmp, "create_context", devices=[
+            call(nmp, "get_device_ids")[0]["devices"][0]["handle"]
+        ])
+        error = call_err(nmp, "build_program", context=ctx["context"],
+                         source="__kernel void broken( {")
+        assert error["code"] == enums.CL_BUILD_PROGRAM_FAILURE
+
+    def test_release_frees_handle(self, nmp):
+        ctx, queue, kern = build_kernel(nmp)
+        buf, _ = call(nmp, "create_buffer", context=ctx, size=16)
+        call(nmp, "release", kind="buffer", handle=buf["buffer"])
+        error = call_err(nmp, "read_buffer", queue=queue, buffer=buf["buffer"])
+        assert error["code"] == enums.CL_INVALID_VALUE
+
+    def test_kernel_fault_becomes_error_response(self, nmp):
+        ctx, queue, _ = build_kernel(nmp)
+        prog, _ = call(nmp, "build_program", context=ctx,
+                       source="__kernel void oob(__global int* a) { a[9999] = 1; }")
+        kern, _ = call(nmp, "create_kernel", program=prog["program"], name="oob")
+        handle = kern["kernel"]
+        buf, _ = call(nmp, "create_buffer", context=ctx, size=4)
+        call(nmp, "set_kernel_arg", kernel=handle, index=0, buffer=buf["buffer"])
+        error = call_err(nmp, "enqueue_ndrange", queue=queue, kernel=handle,
+                         global_size=[1])
+        assert "out-of-bounds" in error["message"]
+
+
+class TestDeviceTimeline:
+    def test_enqueue_acks_immediately_but_extends_ready(self, nmp):
+        ctx, queue, kern = build_kernel(nmp)
+        buf, _ = call(nmp, "create_buffer", context=ctx, size=1 << 20,
+                      synthetic=True)
+        call(nmp, "set_kernel_arg", kernel=kern, index=0, buffer=buf["buffer"])
+        call(nmp, "set_kernel_arg", kernel=kern, index=1, value=200_000)
+        payload, ready = call(nmp, "enqueue_ndrange", queue=queue, kernel=kern,
+                              global_size=[200_000], now_s=1.0)
+        assert ready == 1.0  # ack immediate
+        assert payload["duration_s"] > 0
+        _fin, fin_ready = call(nmp, "finish", queue=queue, now_s=1.0)
+        assert fin_ready == pytest.approx(1.0 + payload["duration_s"])
+
+    def test_back_to_back_kernels_queue_up(self, nmp):
+        ctx, queue, kern = build_kernel(nmp)
+        buf, _ = call(nmp, "create_buffer", context=ctx, size=1 << 20,
+                      synthetic=True)
+        call(nmp, "set_kernel_arg", kernel=kern, index=0, buffer=buf["buffer"])
+        call(nmp, "set_kernel_arg", kernel=kern, index=1, value=200_000)
+        p1, _ = call(nmp, "enqueue_ndrange", queue=queue, kernel=kern,
+                     global_size=[200_000], now_s=0.0)
+        p2, _ = call(nmp, "enqueue_ndrange", queue=queue, kernel=kern,
+                     global_size=[200_000], now_s=0.0)
+        _fin, ready = call(nmp, "finish", queue=queue, now_s=0.0)
+        assert ready == pytest.approx(p1["duration_s"] + p2["duration_s"])
+
+    def test_read_waits_for_drain(self, nmp):
+        ctx, queue, kern = build_kernel(nmp)
+        buf, _ = call(nmp, "create_buffer", context=ctx, size=1 << 20,
+                      synthetic=True)
+        call(nmp, "set_kernel_arg", kernel=kern, index=0, buffer=buf["buffer"])
+        call(nmp, "set_kernel_arg", kernel=kern, index=1, value=500_000)
+        p, _ = call(nmp, "enqueue_ndrange", queue=queue, kernel=kern,
+                    global_size=[500_000])
+        _payload, ready = call(nmp, "read_buffer", queue=queue,
+                               buffer=buf["buffer"], synthetic_ack=True)
+        assert ready >= p["duration_s"]
+
+    def test_write_synthetic_charges_dma(self, nmp):
+        ctx, queue, _ = build_kernel(nmp)
+        buf, _ = call(nmp, "create_buffer", context=ctx, size=100 << 20,
+                      synthetic=True)
+        payload, _ = call(nmp, "write_synthetic", queue=queue,
+                          buffer=buf["buffer"], nbytes=100 << 20)
+        assert payload["duration_s"] > 0.005  # 100MB over ~12GB/s PCIe
+
+
+class TestMultiUser:
+    def test_exclusive_claim_blocks_other_user(self, nmp):
+        devices, _ = call(nmp, "get_device_ids")
+        handle = devices["devices"][0]["handle"]
+        call(nmp, "acquire_device", device=handle, user="alice", shared=False)
+        error = call_err(nmp, "acquire_device", device=handle, user="bob",
+                         shared=False)
+        assert error["code"] == enums.CL_DEVICE_NOT_AVAILABLE
+
+    def test_shared_claims_coexist(self, nmp):
+        devices, _ = call(nmp, "get_device_ids")
+        handle = devices["devices"][0]["handle"]
+        call(nmp, "acquire_device", device=handle, user="alice", shared=True)
+        payload, _ = call(nmp, "acquire_device", device=handle, user="bob",
+                          shared=True)
+        assert payload["granted"]
+
+    def test_release_unblocks(self, nmp):
+        devices, _ = call(nmp, "get_device_ids")
+        handle = devices["devices"][0]["handle"]
+        call(nmp, "acquire_device", device=handle, user="alice", shared=False)
+        call(nmp, "release_device", device=handle, user="alice")
+        payload, _ = call(nmp, "acquire_device", device=handle, user="bob",
+                          shared=False)
+        assert payload["granted"]
+
+    def test_enqueue_respects_exclusive_claim(self, nmp):
+        ctx, queue, kern = build_kernel(nmp)
+        devices, _ = call(nmp, "get_device_ids")
+        handle = devices["devices"][0]["handle"]
+        call(nmp, "acquire_device", device=handle, user="alice", shared=False)
+        buf, _ = call(nmp, "create_buffer", context=ctx, size=16)
+        call(nmp, "set_kernel_arg", kernel=kern, index=0, buffer=buf["buffer"])
+        call(nmp, "set_kernel_arg", kernel=kern, index=1, value=4)
+        error = call_err(nmp, "enqueue_ndrange", queue=queue, kernel=kern,
+                         global_size=[4], user="bob")
+        assert error["code"] == enums.CL_DEVICE_NOT_AVAILABLE
+
+
+class TestStats:
+    def test_node_stats_structure(self, nmp):
+        ctx, queue, kern = build_kernel(nmp)
+        buf, _ = call(nmp, "create_buffer", context=ctx, size=16)
+        call(nmp, "set_kernel_arg", kernel=kern, index=0, buffer=buf["buffer"])
+        call(nmp, "set_kernel_arg", kernel=kern, index=1, value=4)
+        call(nmp, "enqueue_ndrange", queue=queue, kernel=kern, global_size=[4])
+        payload, _ = call(nmp, "node_stats")
+        assert payload["node_id"] == "n0"
+        assert payload["kernels"]["add1"]["count"] == 1
+        assert payload["kernels"]["add1"]["items"] == 4
+        assert payload["messages"] > 0

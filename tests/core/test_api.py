@@ -1,0 +1,175 @@
+"""Tests for the flat clXxx compatibility API."""
+
+import numpy as np
+import pytest
+
+from repro.core import HaoCLSession
+from repro.core import api as cl
+from repro.ocl.errors import CLError
+
+SRC = """
+#define BS 2
+__kernel void saxpy(__global const float* x, __global float* y,
+                    float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) y[i] = a * x[i] + y[i];
+}
+__kernel void reverse4(__global int* d) {
+    __local int tile[4];
+    int lid = get_local_id(0);
+    tile[lid] = d[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    d[get_global_id(0)] = tile[3 - lid];
+}
+"""
+
+
+@pytest.fixture
+def driver():
+    with HaoCLSession(gpu_nodes=1, cpu_nodes=1, mode="real",
+                      transport="inproc") as sess:
+        cl.set_current(sess.cl)
+        yield sess.cl
+
+
+class TestPlatformAPI:
+    def test_get_platform_ids(self, driver):
+        platforms = cl.clGetPlatformIDs()
+        assert len(platforms) == 1
+        name = cl.clGetPlatformInfo(platforms[0], cl.CL_PLATFORM_NAME)
+        assert name == "HaoCL"
+
+    def test_get_device_ids_all(self, driver):
+        devices = cl.clGetDeviceIDs(cl.clGetPlatformIDs()[0])
+        assert len(devices) == 2
+
+    def test_get_device_ids_filtered(self, driver):
+        platform = cl.clGetPlatformIDs()[0]
+        gpus = cl.clGetDeviceIDs(platform, cl.CL_DEVICE_TYPE_GPU)
+        assert len(gpus) == 1
+        assert cl.clGetDeviceInfo(gpus[0], cl.CL_DEVICE_NAME) == "NVIDIA Tesla P4"
+
+    def test_no_current_driver_is_error(self):
+        cl.set_current(None)
+        with pytest.raises(CLError):
+            cl.clGetPlatformIDs()
+
+
+class TestFullProgramFlow:
+    def test_saxpy_like_a_real_opencl_host(self, driver):
+        """The canonical OpenCL host program, line for line."""
+        platform = cl.clGetPlatformIDs()[0]
+        devices = cl.clGetDeviceIDs(platform, cl.CL_DEVICE_TYPE_GPU)
+        context = cl.clCreateContext(devices)
+        queue = cl.clCreateCommandQueue(context, devices[0])
+
+        n = 32
+        x = np.arange(n, dtype=np.float32)
+        y = np.ones(n, dtype=np.float32)
+        buf_x = cl.clCreateBuffer(context, cl.CL_MEM_READ_ONLY, n * 4, x)
+        buf_y = cl.clCreateBuffer(context, cl.CL_MEM_READ_WRITE, n * 4, y)
+
+        program = cl.clCreateProgramWithSource(context, SRC)
+        assert cl.clBuildProgram(program, "-DCLK_LOCAL_MEM_FENCE=1") == cl.CL_SUCCESS
+        kernel = cl.clCreateKernel(program, "saxpy")
+        cl.clSetKernelArg(kernel, 0, buf_x)
+        cl.clSetKernelArg(kernel, 1, buf_y)
+        cl.clSetKernelArg(kernel, 2, np.float32(2.0))
+        cl.clSetKernelArg(kernel, 3, np.int32(n))
+        event = cl.clEnqueueNDRangeKernel(queue, kernel, 1, None, (n,))
+        assert cl.clFinish(queue) == cl.CL_SUCCESS
+        out = cl.clEnqueueReadBuffer(queue, buf_y, True, 0)
+        result = np.frombuffer(bytes(out), dtype=np.float32)
+        assert np.allclose(result, 2.0 * x + 1.0)
+        end = cl.clGetEventProfilingInfo(event, cl.CL_PROFILING_COMMAND_END)
+        assert end >= 0
+        assert cl.clWaitForEvents([event]) == cl.CL_SUCCESS
+        cl.clReleaseKernel(kernel)
+        cl.clReleaseProgram(program)
+        cl.clReleaseMemObject(buf_x)
+        cl.clReleaseCommandQueue(queue)
+        cl.clReleaseContext(context)
+
+    def test_barrier_kernel_with_explicit_local_size(self, driver):
+        platform = cl.clGetPlatformIDs()[0]
+        devices = cl.clGetDeviceIDs(platform)
+        context = cl.clCreateContext(devices)
+        queue = cl.clCreateCommandQueue(context, devices[0])
+        data = np.arange(8, dtype=np.int32)
+        buf = cl.clCreateBuffer(context, cl.CL_MEM_READ_WRITE, 32, data)
+        program = cl.clCreateProgramWithSource(context, SRC)
+        cl.clBuildProgram(program, "-DCLK_LOCAL_MEM_FENCE=1")
+        kernel = cl.clCreateKernel(program, "reverse4")
+        cl.clSetKernelArg(kernel, 0, buf)
+        cl.clEnqueueNDRangeKernel(queue, kernel, 1, None, (8,), (4,))
+        out = np.frombuffer(bytes(cl.clEnqueueReadBuffer(queue, buf, True, 0)),
+                            dtype=np.int32)
+        assert list(out) == [3, 2, 1, 0, 7, 6, 5, 4]
+
+    def test_work_dim_mismatch_rejected(self, driver):
+        platform = cl.clGetPlatformIDs()[0]
+        devices = cl.clGetDeviceIDs(platform)
+        context = cl.clCreateContext(devices)
+        queue = cl.clCreateCommandQueue(context, devices[0])
+        program = cl.clCreateProgramWithSource(context, SRC)
+        cl.clBuildProgram(program, "-DCLK_LOCAL_MEM_FENCE=1")
+        kernel = cl.clCreateKernel(program, "saxpy")
+        with pytest.raises(CLError):
+            cl.clEnqueueNDRangeKernel(queue, kernel, 2, None, (8,))
+
+    def test_build_info_after_failure(self, driver):
+        platform = cl.clGetPlatformIDs()[0]
+        devices = cl.clGetDeviceIDs(platform)
+        context = cl.clCreateContext(devices)
+        program = cl.clCreateProgramWithSource(context, "__kernel broken")
+        with pytest.raises(CLError):
+            cl.clBuildProgram(program)
+        log = cl.clGetProgramBuildInfo(program, devices[0],
+                                       cl.CL_PROGRAM_BUILD_LOG)
+        assert log
+
+    def test_synthetic_flag_extension(self, driver):
+        platform = cl.clGetPlatformIDs()[0]
+        devices = cl.clGetDeviceIDs(platform)
+        context = cl.clCreateContext(devices)
+        buf = cl.clCreateBuffer(context,
+                                cl.CL_MEM_READ_WRITE | cl.CL_MEM_SYNTHETIC_HAOCL,
+                                1 << 30)
+        assert buf.synthetic
+
+    def test_copy_buffer(self, driver):
+        platform = cl.clGetPlatformIDs()[0]
+        devices = cl.clGetDeviceIDs(platform)
+        context = cl.clCreateContext(devices)
+        queue = cl.clCreateCommandQueue(context, devices[0])
+        src = cl.clCreateBuffer(context, cl.CL_MEM_READ_WRITE, 16,
+                                np.arange(4, dtype=np.int32))
+        dst = cl.clCreateBuffer(context, cl.CL_MEM_READ_WRITE, 16)
+        cl.clEnqueueCopyBuffer(queue, src, dst)
+        out = np.frombuffer(bytes(cl.clEnqueueReadBuffer(queue, dst, True, 0)),
+                            dtype=np.int32)
+        assert list(out) == [0, 1, 2, 3]
+
+
+class TestTenancyAPI:
+    def test_device_lease_lifecycle(self, driver):
+        from repro.core.tenancy import DeviceLease, try_acquire
+
+        devices = driver.get_devices()
+        with DeviceLease(driver, "alice", devices, shared=False):
+            assert try_acquire(driver, "bob", devices, shared=False) is None
+        lease = try_acquire(driver, "bob", devices, shared=False)
+        assert lease is not None
+        lease.release()
+
+    def test_failed_acquire_rolls_back(self, driver):
+        from repro.core.tenancy import DeviceLease, try_acquire
+
+        devices = driver.get_devices()
+        # alice takes only the second device
+        with DeviceLease(driver, "alice", devices[1:], shared=False):
+            # bob tries to take both: must fail AND not hold the first
+            assert try_acquire(driver, "bob", devices, shared=False) is None
+            carol = try_acquire(driver, "carol", devices[:1], shared=False)
+            assert carol is not None
+            carol.release()

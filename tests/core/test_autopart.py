@@ -1,0 +1,142 @@
+"""Tests for the throughput-weighted automatic partitioner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clc.analysis import ResolvedCost
+from repro.cluster.registry import DeviceRegistry
+from repro.core.autopart import (
+    device_weights,
+    partition_by_throughput,
+    weighted_ranges,
+)
+from repro.core.scheduler import Profiler
+
+
+def make_mixed_devices():
+    registry = DeviceRegistry()
+    gpu = registry.register("gpu0", 1, 4, "GPU", {})
+    fpga = registry.register("fpga0", 1, 8, "FPGA", {})
+    cpu = registry.register("cpu0", 1, 2, "CPU", {})
+    return gpu, fpga, cpu
+
+
+def dense_cost():
+    return ResolvedCost(flops=500.0, int_ops=10.0, global_read_bytes=8.0,
+                        global_write_bytes=4.0, local_bytes=0.0, barriers=0.0)
+
+
+class TestWeightedRanges:
+    def test_equal_weights_split_evenly(self):
+        assert weighted_ranges(10, [1, 1]) == [(0, 5), (5, 5)]
+
+    def test_proportional_split(self):
+        ranges = weighted_ranges(100, [3, 1])
+        assert ranges == [(0, 75), (75, 25)]
+
+    def test_counts_sum_exactly(self):
+        ranges = weighted_ranges(10, [1, 1, 1])
+        assert sum(count for _s, count in ranges) == 10
+
+    def test_zero_weight_device_gets_nothing(self):
+        ranges = weighted_ranges(10, [1, 0])
+        assert ranges[1][1] == 0
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            weighted_ranges(10, [])
+        with pytest.raises(ValueError):
+            weighted_ranges(10, [-1, 2])
+        with pytest.raises(ValueError):
+            weighted_ranges(10, [0, 0])
+
+    @given(st.integers(0, 10_000),
+           st.lists(st.floats(min_value=0.01, max_value=100), min_size=1,
+                    max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_ranges_are_exact_partition(self, total, weights):
+        ranges = weighted_ranges(total, weights)
+        assert sum(count for _s, count in ranges) == total
+        position = 0
+        for start, count in ranges:
+            assert start == position
+            assert count >= 0
+            position += count
+
+    @given(st.integers(100, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_dominant_weight_dominates(self, total):
+        ranges = weighted_ranges(total, [9, 1])
+        assert ranges[0][1] > 7 * ranges[1][1] * 0.9
+
+
+class TestDeviceWeights:
+    def test_gpu_outweighs_cpu_on_dense_compute(self):
+        gpu, fpga, cpu = make_mixed_devices()
+        weights = device_weights([gpu, cpu], cost=dense_cost())
+        assert weights[0] > weights[1]
+
+    def test_weights_normalised(self):
+        devices = make_mixed_devices()
+        weights = device_weights(list(devices), cost=dense_cost())
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_profiler_overrides_static_model(self):
+        gpu, fpga, _cpu = make_mixed_devices()
+        profiler = Profiler(min_samples=1)
+        # teach: FPGA is 10x faster than GPU for this kernel
+        profiler.record("k", "GPU", 10.0, 1_000_000)
+        profiler.record("k", "FPGA", 1.0, 1_000_000)
+        weights = device_weights([gpu, fpga], cost=dense_cost(),
+                                 profiler=profiler, kernel_name="k")
+        assert weights[1] > weights[0]
+
+    def test_partition_by_throughput_end_to_end(self):
+        gpu, fpga, cpu = make_mixed_devices()
+        ranges = partition_by_throughput(1000, [gpu, fpga, cpu],
+                                         cost=dense_cost())
+        assert sum(count for _s, count in ranges) == 1000
+        # GPU (5.5 TFLOPS) must get the largest share of dense work
+        assert ranges[0][1] == max(count for _s, count in ranges)
+
+
+class TestWeightedDistributedRun:
+    def test_weighted_matmul_correct_on_hybrid_cluster(self):
+        """A weighted split must still produce the right product."""
+        from repro.core import HaoCLSession
+        from repro.workloads import get_workload
+
+        workload = get_workload("matrixmul")
+        n = 24
+        inputs = workload.generate(n, seed=17)
+        with HaoCLSession(gpu_nodes=1, fpga_nodes=1, cpu_nodes=1,
+                          mode="real", transport="inproc") as session:
+            devices = session.devices
+            cost = ResolvedCost(flops=2.0 * n, int_ops=6.0 * n,
+                                global_read_bytes=8.0 * n,
+                                global_write_bytes=4.0,
+                                local_bytes=0.0, barriers=0.0)
+            ranges = partition_by_throughput(n, devices, cost=cost)
+            ctx = session.context(devices)
+            prog = session.program(ctx, workload.source)
+            pieces = []
+            for (start, count), device in zip(ranges, devices):
+                if count == 0:
+                    continue
+                queue = session.queue(ctx, device)
+                buf_a = session.buffer_from(ctx,
+                                            inputs["A"][start:start + count])
+                buf_b = session.buffer_from(ctx, inputs["B"])
+                buf_c = session.empty_buffer(ctx, count * n * 4)
+                kernel = session.kernel(prog, "matmul", buf_a, buf_b, buf_c,
+                                        np.int32(n), np.int32(count))
+                session.enqueue(queue, kernel, (n, count))
+                pieces.append((queue, buf_c, start, count))
+            result = np.zeros((n, n), dtype=np.float32)
+            for queue, buf, start, count in pieces:
+                result[start:start + count] = session.read_array(
+                    queue, buf, np.float32, (count, n)
+                )
+        assert workload.validate(result, workload.reference(inputs))

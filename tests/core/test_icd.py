@@ -1,0 +1,103 @@
+"""Direct tests for the ICD dispatcher: handle caching, lazy
+materialisation, and the host-relayed consistency protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import HaoCLSession
+from repro.core.icd import HOST
+from repro.ocl.errors import CLError
+
+SRC = """
+__kernel void inc(__global int* a, int n) {
+    int i = get_global_id(0);
+    if (i < n) a[i] = a[i] + 1;
+}
+"""
+
+
+@pytest.fixture
+def sess():
+    with HaoCLSession(gpu_nodes=2, mode="real", transport="inproc") as s:
+        yield s
+
+
+class TestHandleCaching:
+    def test_node_objects_created_lazily_per_node(self, sess):
+        ctx = sess.context()
+        prog = sess.program(ctx, SRC)
+        icd = sess.cl.icd
+        assert not any(k[0] == "program" for k in icd._handles)
+        # touching one node materialises only that node's objects
+        dev0 = sess.devices[0]
+        icd.node_program(prog, dev0.node_id)
+        nodes_with_program = {k[2] for k in icd._handles if k[0] == "program"}
+        assert nodes_with_program == {dev0.node_id}
+
+    def test_handles_are_cached_not_recreated(self, sess):
+        ctx = sess.context()
+        prog = sess.program(ctx, SRC)
+        icd = sess.cl.icd
+        first = icd.node_program(prog, "gpu0")
+        second = icd.node_program(prog, "gpu0")
+        assert first == second
+
+    def test_forget_drops_all_node_handles(self, sess):
+        ctx = sess.context()
+        prog = sess.program(ctx, SRC)
+        icd = sess.cl.icd
+        icd.node_program(prog, "gpu0")
+        icd.node_program(prog, "gpu1")
+        icd.forget("program", prog.uid)
+        assert not any(
+            k[0] == "program" and k[1] == prog.uid for k in icd._handles
+        )
+
+    def test_context_without_devices_on_node_rejected(self, sess):
+        gpu0_only = [d for d in sess.devices if d.node_id == "gpu0"]
+        ctx = sess.context(gpu0_only)
+        with pytest.raises(CLError):
+            sess.cl.icd.node_context(ctx, "gpu1")
+
+    def test_one_queue_per_cluster_device(self, sess):
+        ctx = sess.context()
+        icd = sess.cl.icd
+        q1 = icd.node_queue(ctx, sess.devices[0])
+        q2 = icd.node_queue(ctx, sess.devices[0])
+        assert q1 == q2
+
+
+class TestConsistencyProtocol:
+    def test_ensure_fresh_is_idempotent(self, sess):
+        ctx = sess.context()
+        buf = sess.buffer_from(ctx, np.arange(4, dtype=np.int32))
+        icd = sess.cl.icd
+        device = sess.devices[0]
+        icd.ensure_fresh(buf, device)
+        sent_once = icd.bytes_to_nodes
+        icd.ensure_fresh(buf, device)
+        assert icd.bytes_to_nodes == sent_once  # no re-send while fresh
+
+    def test_host_relay_between_nodes(self, sess):
+        """Data written on node A reaches node B via the host (2 hops)."""
+        ctx = sess.context()
+        prog = sess.program(ctx, SRC)
+        buf = sess.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+        dev0, dev1 = sess.devices
+        q0 = sess.queue(ctx, dev0)
+        kern = sess.kernel(prog, "inc", buf, np.int32(4))
+        sess.cl.enqueue_nd_range_kernel(q0, kern, (4,))
+        assert buf.fresh == {dev0.node_id}
+        icd = sess.cl.icd
+        before_from = icd.bytes_from_nodes
+        before_to = icd.bytes_to_nodes
+        icd.ensure_fresh(buf, dev1)
+        assert icd.bytes_from_nodes == before_from + buf.size  # fetch leg
+        assert icd.bytes_to_nodes == before_to + buf.size  # push leg
+        assert HOST in buf.fresh
+        assert dev1.node_id in buf.fresh
+
+    def test_transfer_stats_shape(self, sess):
+        stats = sess.cl.icd.transfer_stats()
+        assert set(stats) == {"bytes_to_nodes", "bytes_from_nodes",
+                              "transfers"}

@@ -1,0 +1,219 @@
+"""Tests for the scheduling policies, plugin registry and profiler."""
+
+import pytest
+
+from repro.clc.analysis import ResolvedCost
+from repro.cluster.registry import DeviceRegistry
+from repro.core.scheduler import (
+    Profiler,
+    SchedulingPolicy,
+    TaskContext,
+    create_policy,
+    policy_names,
+    register_policy,
+)
+from repro.transport.netmodel import GigabitEthernet
+
+
+def make_devices():
+    reg = DeviceRegistry()
+    gpu0 = reg.register("gpu0", 1, 4, "GPU", {"name": "P4"})
+    gpu1 = reg.register("gpu1", 1, 4, "GPU", {"name": "P4"})
+    fpga0 = reg.register("fpga0", 1, 8, "FPGA", {"name": "VU9P"})
+    cpu0 = reg.register("cpu0", 1, 2, "CPU", {"name": "Xeon"})
+    return gpu0, gpu1, fpga0, cpu0
+
+
+def make_task(devices, queue_device=None, cost=None, items=1_000_000,
+              stale=None, ready=None):
+    return TaskContext(
+        kernel_name="k",
+        num_work_items=items,
+        cost=cost,
+        queue_device=queue_device or devices[0],
+        candidates=list(devices),
+        stale_bytes=stale or {},
+        device_ready_s=ready or {},
+    )
+
+
+def dense_cost():
+    return ResolvedCost(flops=2000.0, int_ops=10.0, global_read_bytes=8.0,
+                        global_write_bytes=4.0, local_bytes=0.0, barriers=0.0)
+
+
+def irregular_cost():
+    return ResolvedCost(flops=0.0, int_ops=60.0, global_read_bytes=16.0,
+                        global_write_bytes=4.0, local_bytes=0.0, barriers=0.0)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = policy_names()
+        for expected in ("user-directed", "round-robin", "load-aware",
+                         "locality-aware", "hetero-aware", "power-aware"):
+            assert expected in names
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            create_policy("quantum")
+
+    def test_custom_policy_plugin(self):
+        @register_policy("always-last-test")
+        class AlwaysLast(SchedulingPolicy):
+            def select(self, task):
+                return task.candidates[-1]
+
+        devices = make_devices()
+        policy = create_policy("always-last-test")
+        assert policy.select(make_task(devices)) is devices[-1]
+
+    def test_non_policy_class_rejected(self):
+        with pytest.raises(TypeError):
+            register_policy("bad")(object)
+
+
+class TestUserDirected:
+    def test_honours_queue_device(self):
+        devices = make_devices()
+        policy = create_policy("user-directed")
+        task = make_task(devices, queue_device=devices[2])
+        assert policy.select(task) is devices[2]
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        devices = make_devices()
+        policy = create_policy("round-robin")
+        picks = [policy.select(make_task(devices)) for _ in range(8)]
+        assert picks[:4] == list(devices)
+        assert picks[4:] == list(devices)
+
+
+class TestLoadAware:
+    def test_prefers_idle_device(self):
+        devices = make_devices()
+        policy = create_policy("load-aware")
+        ready = {devices[0].global_id: 5.0, devices[1].global_id: 0.1,
+                 devices[2].global_id: 9.0, devices[3].global_id: 2.0}
+        assert policy.select(make_task(devices, ready=ready)) is devices[1]
+
+    def test_ties_break_deterministically(self):
+        devices = make_devices()
+        policy = create_policy("load-aware")
+        assert policy.select(make_task(devices)) is devices[0]
+
+
+class TestLocalityAware:
+    def test_prefers_node_with_data(self):
+        devices = make_devices()
+        policy = create_policy("locality-aware")
+        stale = {devices[0].global_id: 1 << 30, devices[1].global_id: 0,
+                 devices[2].global_id: 1 << 30, devices[3].global_id: 1 << 30}
+        assert policy.select(make_task(devices, stale=stale)) is devices[1]
+
+
+class TestHeteroAware:
+    def test_dense_compute_goes_to_gpu(self):
+        devices = make_devices()
+        policy = create_policy("hetero-aware")
+        task = make_task(devices, cost=dense_cost())
+        assert policy.select(task).type_name == "GPU"
+
+    def test_irregular_avoids_fpga(self):
+        devices = make_devices()
+        policy = create_policy("hetero-aware")
+        task = make_task(devices, cost=irregular_cost())
+        assert policy.select(task).type_name != "FPGA"
+
+    def test_transfer_cost_can_flip_decision(self):
+        devices = make_devices()
+        gpu0, gpu1 = devices[0], devices[1]
+        policy = create_policy("hetero-aware",
+                               netmodel=GigabitEthernet())
+        # gpu0 needs a 1GB transfer; gpu1 has the data
+        stale = {gpu0.global_id: 1 << 30, gpu1.global_id: 0,
+                 devices[2].global_id: 1 << 30, devices[3].global_id: 1 << 30}
+        task = make_task(devices, cost=dense_cost(), stale=stale)
+        assert policy.select(task) is gpu1
+
+    def test_load_spreads_queued_work(self):
+        devices = make_devices()
+        policy = create_policy("hetero-aware")
+        ready = {devices[0].global_id: 100.0}
+        task = make_task(devices, cost=dense_cost(), ready=ready)
+        assert policy.select(task) is not devices[0]
+
+    def test_profiler_feedback_overrides_static_model(self):
+        devices = make_devices()
+        profiler = Profiler(min_samples=1)
+        policy = create_policy("hetero-aware", profiler=profiler)
+        # teach it that GPU is pathologically slow for this kernel
+        profiler.record("k", "GPU", duration_s=100.0, items=1_000_000)
+        profiler.record("k", "CPU", duration_s=0.001, items=1_000_000)
+        profiler.record("k", "FPGA", duration_s=50.0, items=1_000_000)
+        task = make_task(devices, cost=dense_cost())
+        assert policy.select(task).type_name == "CPU"
+
+    def test_observe_feeds_profiler(self):
+        devices = make_devices()
+        profiler = Profiler()
+        policy = create_policy("hetero-aware", profiler=profiler)
+        task = make_task(devices, cost=dense_cost())
+        device = policy.select(task)
+        policy.observe(task, device, 0.25)
+        assert profiler.estimate("k", device.type_name, task.num_work_items) \
+            == pytest.approx(0.25)
+
+
+class TestPowerAware:
+    def test_prefers_fpga_when_within_slack(self):
+        devices = make_devices()
+        policy = create_policy("power-aware", slack=1000.0)
+        task = make_task(devices, cost=dense_cost())
+        # with huge slack, lowest-energy candidate wins: FPGA is low power
+        assert policy.select(task).type_name == "FPGA"
+
+    def test_tight_slack_behaves_like_hetero(self):
+        devices = make_devices()
+        power = create_policy("power-aware", slack=1.0)
+        hetero = create_policy("hetero-aware")
+        task = make_task(devices, cost=dense_cost())
+        assert power.select(task) is hetero.select(task)
+
+    def test_bad_slack_rejected(self):
+        with pytest.raises(ValueError):
+            create_policy("power-aware", slack=0.5)
+
+
+class TestProfiler:
+    def test_estimate_requires_samples(self):
+        profiler = Profiler(min_samples=2)
+        profiler.record("k", "GPU", 1.0, 100)
+        assert profiler.estimate("k", "GPU", 100) is None
+        profiler.record("k", "GPU", 1.0, 100)
+        assert profiler.estimate("k", "GPU", 100) == pytest.approx(1.0)
+
+    def test_estimate_scales_with_items(self):
+        profiler = Profiler()
+        profiler.record("k", "GPU", 1.0, 1000)
+        assert profiler.estimate("k", "GPU", 2000) == pytest.approx(2.0)
+
+    def test_ewma_tracks_drift(self):
+        profiler = Profiler(alpha=0.5)
+        profiler.record("k", "GPU", 1.0, 1000)
+        profiler.record("k", "GPU", 3.0, 1000)
+        assert profiler.estimate("k", "GPU", 1000) == pytest.approx(2.0)
+
+    def test_zero_items_ignored(self):
+        profiler = Profiler()
+        profiler.record("k", "GPU", 1.0, 0)
+        assert profiler.estimate("k", "GPU", 10) is None
+
+    def test_snapshot(self):
+        profiler = Profiler()
+        profiler.record("a", "GPU", 1.0, 10)
+        profiler.record("b", "FPGA", 2.0, 10)
+        snap = profiler.snapshot()
+        assert ("a", "GPU") in snap
+        assert profiler.known_kernels() == ["a", "b"]

@@ -1,0 +1,122 @@
+"""Tests for clCreateSubBuffer: partitioned writes into one output."""
+
+import numpy as np
+import pytest
+
+from repro.core import HaoCLSession
+from repro.ocl import enums
+from repro.ocl.errors import CLError
+
+FILL = """
+__kernel void fill(__global int* out, int value, int n) {
+    int i = get_global_id(0);
+    if (i < n) out[i] = value;
+}
+__kernel void inc(__global int* a, int n) {
+    int i = get_global_id(0);
+    if (i < n) a[i] = a[i] + 1;
+}
+"""
+
+
+@pytest.fixture
+def sess():
+    with HaoCLSession(gpu_nodes=2, fpga_nodes=1, mode="real",
+                      transport="inproc") as session:
+        yield session
+
+
+class TestSubBufferBasics:
+    def test_shares_host_bytes_with_parent(self, sess):
+        ctx = sess.context()
+        parent = sess.buffer_from(ctx, np.arange(8, dtype=np.int32))
+        child = sess.cl.create_sub_buffer(parent, origin=8, size=8)
+        assert child.size == 8
+        assert np.frombuffer(bytes(child.shadow), dtype=np.int32).tolist() \
+            == [2, 3]
+
+    def test_out_of_range_rejected(self, sess):
+        ctx = sess.context()
+        parent = sess.empty_buffer(ctx, 16)
+        with pytest.raises(CLError):
+            sess.cl.create_sub_buffer(parent, origin=8, size=16)
+
+    def test_nested_sub_buffer_rejected(self, sess):
+        ctx = sess.context()
+        parent = sess.empty_buffer(ctx, 16)
+        child = sess.cl.create_sub_buffer(parent, origin=0, size=8)
+        with pytest.raises(CLError):
+            sess.cl.create_sub_buffer(child, origin=0, size=4)
+
+    def test_host_write_to_child_visible_in_parent(self, sess):
+        ctx = sess.context()
+        parent = sess.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+        child = sess.cl.create_sub_buffer(parent, origin=4, size=4)
+        queue = sess.queue(ctx, sess.devices[0])
+        sess.cl.enqueue_write_buffer(queue, child,
+                                     np.array([7], dtype=np.int32))
+        out = sess.read_array(queue, parent, np.int32)
+        assert out.tolist() == [0, 7, 0, 0]
+
+
+class TestPartitionedOutput:
+    def test_disjoint_slices_written_on_different_nodes(self, sess):
+        """The pattern sub-buffers exist for: one logical output, each
+        node writing its own region, gathered by a single parent read."""
+        ctx = sess.context()
+        prog = sess.program(ctx, FILL)
+        n_total = 12
+        parent = sess.empty_buffer(ctx, n_total * 4)
+        per = n_total // 3
+        for index, device in enumerate(sess.devices):
+            child = sess.cl.create_sub_buffer(parent, origin=index * per * 4,
+                                              size=per * 4)
+            queue = sess.queue(ctx, device)
+            kernel = sess.kernel(prog, "fill", child,
+                                 np.int32(index + 1), np.int32(per))
+            sess.cl.enqueue_nd_range_kernel(queue, kernel, (per,))
+        queue = sess.queue(ctx, sess.devices[0])
+        out = sess.read_array(queue, parent, np.int32)
+        assert out.tolist() == [1] * per + [2] * per + [3] * per
+
+    def test_child_then_parent_kernel(self, sess):
+        """Write a region remotely, then run a kernel over the whole
+        parent: the region must be gathered before the parent ships."""
+        ctx = sess.context()
+        prog = sess.program(ctx, FILL)
+        parent = sess.buffer_from(ctx, np.zeros(8, dtype=np.int32))
+        child = sess.cl.create_sub_buffer(parent, origin=16, size=16)
+        q0 = sess.queue(ctx, sess.devices[0])
+        q1 = sess.queue(ctx, sess.devices[1])
+        fill = sess.kernel(prog, "fill", child, np.int32(5), np.int32(4))
+        sess.cl.enqueue_nd_range_kernel(q1, fill, (4,))
+        inc = sess.kernel(prog, "inc", parent, np.int32(8))
+        sess.cl.enqueue_nd_range_kernel(q0, inc, (8,))
+        out = sess.read_array(q0, parent, np.int32)
+        assert out.tolist() == [1, 1, 1, 1, 6, 6, 6, 6]
+
+    def test_parent_write_invalidates_children(self, sess):
+        ctx = sess.context()
+        prog = sess.program(ctx, FILL)
+        parent = sess.buffer_from(ctx, np.zeros(8, dtype=np.int32))
+        child = sess.cl.create_sub_buffer(parent, origin=0, size=16)
+        q0 = sess.queue(ctx, sess.devices[0])
+        q1 = sess.queue(ctx, sess.devices[1])
+        # parent-wide fill on node 0
+        fill = sess.kernel(prog, "fill", parent, np.int32(9), np.int32(8))
+        sess.cl.enqueue_nd_range_kernel(q0, fill, (8,))
+        # child kernel on node 1 must observe the parent's new contents
+        inc = sess.kernel(prog, "inc", child, np.int32(4))
+        sess.cl.enqueue_nd_range_kernel(q1, inc, (4,))
+        out = sess.read_array(q1, parent, np.int32)
+        assert out.tolist() == [10, 10, 10, 10, 9, 9, 9, 9]
+
+    def test_flat_api_entry_point(self, sess):
+        from repro.core import api as cl
+
+        cl.set_current(sess.cl)
+        ctx = sess.context()
+        parent = sess.empty_buffer(ctx, 32)
+        child = cl.clCreateSubBuffer(parent, enums.CL_MEM_READ_WRITE, 8, 16)
+        assert child.origin == 8
+        assert child.size == 16

@@ -1,0 +1,257 @@
+"""Tests for the wrapper lib: cluster objects, consistency, scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.core import HaoCLSession
+from repro.core.icd import HOST
+from repro.ocl import enums
+from repro.ocl.errors import CLError
+
+VADD = """
+__kernel void vadd(__global const float* a, __global const float* b,
+                   __global float* c, int n) {
+    int i = get_global_id(0);
+    if (i < n) c[i] = a[i] + b[i];
+}
+"""
+
+INPLACE = """
+__kernel void inc(__global int* a, int n) {
+    int i = get_global_id(0);
+    if (i < n) a[i] = a[i] + 1;
+}
+"""
+
+
+@pytest.fixture
+def sess():
+    with HaoCLSession(gpu_nodes=2, fpga_nodes=1, mode="real",
+                      transport="inproc") as session:
+        yield session
+
+
+class TestDiscovery:
+    def test_single_platform(self, sess):
+        (platform,) = sess.cl.get_platforms()
+        assert platform.name == "HaoCL"
+        assert len(platform.devices) == 3
+
+    def test_device_type_filter(self, sess):
+        gpus = sess.cl.get_devices(enums.CL_DEVICE_TYPE_GPU)
+        assert len(gpus) == 2
+        fpgas = sess.cl.get_devices(enums.CL_DEVICE_TYPE_ACCELERATOR)
+        assert len(fpgas) == 1
+
+    def test_devices_carry_node_mapping(self, sess):
+        nodes = {d.node_id for d in sess.devices}
+        assert nodes == {"gpu0", "gpu1", "fpga0"}
+
+
+class TestExecution:
+    def test_vadd_on_each_device(self, sess):
+        ctx = sess.context()
+        prog = sess.program(ctx, VADD)
+        a = np.arange(16, dtype=np.float32)
+        b = np.full(16, 10, dtype=np.float32)
+        for device in sess.devices:
+            q = sess.queue(ctx, device)
+            buf_a = sess.buffer_from(ctx, a)
+            buf_b = sess.buffer_from(ctx, b)
+            buf_c = sess.empty_buffer(ctx, 64)
+            kern = sess.kernel(prog, "vadd", buf_a, buf_b, buf_c, np.int32(16))
+            sess.cl.enqueue_nd_range_kernel(q, kern, (16,))
+            out = sess.read_array(q, buf_c, np.float32)
+            assert np.allclose(out, a + b), device
+
+    def test_unset_arg_rejected(self, sess):
+        ctx = sess.context()
+        prog = sess.program(ctx, VADD)
+        kern = sess.cl.create_kernel(prog, "vadd")
+        q = sess.queue(ctx, sess.devices[0])
+        with pytest.raises(CLError) as err:
+            sess.cl.enqueue_nd_range_kernel(q, kern, (4,))
+        assert err.value.code == enums.CL_INVALID_KERNEL_ARGS
+
+    def test_build_failure_raises(self, sess):
+        ctx = sess.context()
+        with pytest.raises(CLError) as err:
+            sess.program(ctx, "__kernel void broken( {")
+        assert err.value.code == enums.CL_BUILD_PROGRAM_FAILURE
+
+    def test_global_offset_partitioning(self, sess):
+        ctx = sess.context()
+        prog = sess.program(ctx, INPLACE)
+        device = sess.devices[0]
+        q = sess.queue(ctx, device)
+        buf = sess.buffer_from(ctx, np.zeros(8, dtype=np.int32))
+        kern = sess.kernel(prog, "inc", buf, np.int32(8))
+        sess.cl.enqueue_nd_range_kernel(q, kern, (4,), None, (4,))
+        out = sess.read_array(q, buf, np.int32)
+        assert list(out) == [0, 0, 0, 0, 1, 1, 1, 1]
+
+
+class TestConsistency:
+    def test_written_buffer_migrates_ownership(self, sess):
+        ctx = sess.context()
+        prog = sess.program(ctx, INPLACE)
+        buf = sess.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+        dev0 = sess.devices[0]
+        q = sess.queue(ctx, dev0)
+        kern = sess.kernel(prog, "inc", buf, np.int32(4))
+        sess.cl.enqueue_nd_range_kernel(q, kern, (4,))
+        assert buf.fresh == {dev0.node_id}
+
+    def test_read_only_buffers_replicate(self, sess):
+        ctx = sess.context()
+        prog = sess.program(ctx, VADD)
+        a = sess.buffer_from(ctx, np.ones(4, dtype=np.float32))
+        b = sess.buffer_from(ctx, np.ones(4, dtype=np.float32))
+        for device in sess.devices[:2]:
+            q = sess.queue(ctx, device)
+            c = sess.empty_buffer(ctx, 16)
+            kern = sess.kernel(prog, "vadd", a, b, c, np.int32(4))
+            sess.cl.enqueue_nd_range_kernel(q, kern, (4,))
+        # read-only inputs stay fresh everywhere they have been
+        assert HOST in a.fresh
+        assert len(a.fresh) == 3  # host + both gpu nodes
+
+    def test_chained_kernels_across_nodes(self, sess):
+        """inc on node0, then inc on node1: data must migrate."""
+        ctx = sess.context()
+        prog = sess.program(ctx, INPLACE)
+        buf = sess.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+        dev0, dev1 = sess.devices[0], sess.devices[1]
+        q0, q1 = sess.queue(ctx, dev0), sess.queue(ctx, dev1)
+        k0 = sess.kernel(prog, "inc", buf, np.int32(4))
+        sess.cl.enqueue_nd_range_kernel(q0, k0, (4,))
+        k1 = sess.kernel(prog, "inc", buf, np.int32(4))
+        sess.cl.enqueue_nd_range_kernel(q1, k1, (4,))
+        out = sess.read_array(q1, buf, np.int32)
+        assert list(out) == [2, 2, 2, 2]
+
+    def test_host_write_invalidates_replicas(self, sess):
+        ctx = sess.context()
+        prog = sess.program(ctx, INPLACE)
+        buf = sess.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+        dev0 = sess.devices[0]
+        q = sess.queue(ctx, dev0)
+        kern = sess.kernel(prog, "inc", buf, np.int32(4))
+        sess.cl.enqueue_nd_range_kernel(q, kern, (4,))
+        sess.cl.enqueue_write_buffer(q, buf, np.full(4, 7, dtype=np.int32))
+        sess.cl.enqueue_nd_range_kernel(q, kern, (4,))
+        out = sess.read_array(q, buf, np.int32)
+        assert list(out) == [8, 8, 8, 8]
+
+    def test_write_only_output_not_uploaded(self, sess):
+        ctx = sess.context()
+        prog = sess.program(ctx, VADD)
+        device = sess.devices[0]
+        q = sess.queue(ctx, device)
+        a = sess.buffer_from(ctx, np.ones(4, dtype=np.float32))
+        b = sess.buffer_from(ctx, np.ones(4, dtype=np.float32))
+        c = sess.empty_buffer(ctx, 16)
+        before = sess.cl.icd.bytes_to_nodes
+        kern = sess.kernel(prog, "vadd", a, b, c, np.int32(4))
+        sess.cl.enqueue_nd_range_kernel(q, kern, (4,))
+        uploaded = sess.cl.icd.bytes_to_nodes - before
+        assert uploaded == a.size + b.size  # c not shipped
+
+
+class TestScheduling:
+    def test_user_directed_stays_on_queue_device(self, sess):
+        ctx = sess.context()
+        prog = sess.program(ctx, VADD)
+        target = sess.devices[1]
+        q = sess.queue(ctx, target)
+        a = sess.buffer_from(ctx, np.ones(4, dtype=np.float32))
+        b = sess.buffer_from(ctx, np.ones(4, dtype=np.float32))
+        c = sess.empty_buffer(ctx, 16)
+        kern = sess.kernel(prog, "vadd", a, b, c, np.int32(4))
+        event = sess.cl.enqueue_nd_range_kernel(q, kern, (4,))
+        assert event.device is target
+
+    def test_round_robin_spreads_across_devices(self, sess):
+        sess.cl.set_policy("round-robin")
+        ctx = sess.context()
+        prog = sess.program(ctx, VADD)
+        q = sess.queue(ctx, sess.devices[0])
+        used = set()
+        for _ in range(3):
+            a = sess.buffer_from(ctx, np.ones(4, dtype=np.float32))
+            b = sess.buffer_from(ctx, np.ones(4, dtype=np.float32))
+            c = sess.empty_buffer(ctx, 16)
+            kern = sess.kernel(prog, "vadd", a, b, c, np.int32(4))
+            event = sess.cl.enqueue_nd_range_kernel(q, kern, (4,))
+            used.add(event.device.global_id)
+        assert len(used) == 3
+
+    def test_policy_swap_at_runtime(self, sess):
+        sess.cl.set_policy("load-aware")
+        assert sess.cl.policy.name == "load-aware"
+        sess.cl.set_policy("user-directed")
+        assert sess.cl.policy.name == "user-directed"
+
+    def test_finish_drains_touched_devices(self, sess):
+        sess.cl.set_policy("round-robin")
+        ctx = sess.context()
+        prog = sess.program(ctx, VADD)
+        q = sess.queue(ctx, sess.devices[0])
+        for _ in range(3):
+            a = sess.buffer_from(ctx, np.ones(4, dtype=np.float32))
+            b = sess.buffer_from(ctx, np.ones(4, dtype=np.float32))
+            c = sess.empty_buffer(ctx, 16)
+            kern = sess.kernel(prog, "vadd", a, b, c, np.int32(4))
+            sess.cl.enqueue_nd_range_kernel(q, kern, (4,))
+        assert len(q.touched) == 3
+        sess.cl.finish(q)  # must not raise
+
+    def test_stats_structure(self, sess):
+        stats = sess.stats()
+        assert "_host" in stats
+        assert "gpu0" in stats
+        assert "transfers" in stats["_host"]
+
+
+class TestSimulatedSession:
+    def test_synthetic_pipeline_end_to_end(self):
+        with HaoCLSession(gpu_nodes=2, mode="modeled",
+                          transport="sim") as sess:
+            ctx = sess.context()
+            prog = sess.program(ctx, VADD)
+            device = sess.devices[0]
+            q = sess.queue(ctx, device)
+            n = 50_000_000  # 200MB per buffer: impossible to hold for real
+            a = sess.synthetic_buffer(ctx, n * 4)
+            b = sess.synthetic_buffer(ctx, n * 4)
+            c = sess.synthetic_buffer(ctx, n * 4)
+            sess.cl.enqueue_write_buffer(q, a, nbytes=n * 4)
+            sess.cl.enqueue_write_buffer(q, b, nbytes=n * 4)
+            kern = sess.kernel(prog, "vadd", a, b, c, np.int32(n))
+            sess.cl.enqueue_nd_range_kernel(q, kern, (n,))
+            sess.cl.finish(q)
+            elapsed = sess.now_s()
+            # 400MB over GbE is ~3.4s; the simulated clock must show it
+            assert elapsed > 3.0
+
+    def test_modeled_faster_with_two_nodes(self):
+        def run(nodes):
+            with HaoCLSession(gpu_nodes=nodes, mode="modeled",
+                              transport="sim") as sess:
+                ctx = sess.context()
+                prog = sess.program(ctx, INPLACE)
+                n = 40_000_000
+                per = n // nodes
+                queues = []
+                for device in sess.devices:
+                    q = sess.queue(ctx, device)
+                    buf = sess.synthetic_buffer(ctx, per * 4)
+                    kern = sess.kernel(prog, "inc", buf, np.int32(per))
+                    sess.cl.enqueue_nd_range_kernel(q, kern, (per,))
+                    queues.append(q)
+                for q in queues:
+                    sess.cl.finish(q)
+                return sess.now_s()
+
+        t1, t2 = run(1), run(2)
+        assert t2 < t1

@@ -1,0 +1,106 @@
+"""Tests for the experiment harnesses (reduced scales)."""
+
+import pytest
+
+from repro.experiments import fig2, fig3, overhead, table1
+from repro.experiments.harness import (
+    hetero_split,
+    make_session,
+    run_breakdown,
+    run_elapsed,
+)
+from repro.experiments.reporting import ascii_bars, fmt_seconds, format_table
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.split("\n")
+        assert len({len(line) for line in lines}) == 1  # equal widths
+
+    def test_ascii_bars_handles_none(self):
+        out = ascii_bars(["x", "y"], [1.0, None])
+        assert "N/A" in out
+
+    def test_fmt_seconds_units(self):
+        assert fmt_seconds(2.5) == "2.50s"
+        assert fmt_seconds(0.0025) == "2.50ms"
+        assert fmt_seconds(2.5e-6) == "2us"
+        assert fmt_seconds(None) == "N/A"
+
+
+class TestHarness:
+    def test_hetero_split_ratio(self):
+        assert hetero_split(1) == (1, 0)
+        assert hetero_split(2) == (1, 1)
+        assert hetero_split(8) == (6, 2)
+        assert hetero_split(16) == (12, 4)
+
+    def test_make_session_each_system(self):
+        for system in ("local-gpu", "local-fpga", "haocl-gpu",
+                       "haocl-fpga", "haocl-hetero", "snucl"):
+            session = make_session(system, nodes=2)
+            assert session.devices
+            session.close()
+
+    def test_unknown_system(self):
+        with pytest.raises(ValueError):
+            make_session("tpu-pod")
+
+    def test_run_breakdown_keys(self):
+        breakdown = run_breakdown("knn", "haocl-gpu", nodes=2, scale=50_000)
+        assert set(breakdown) == {"create", "transfer", "compute", "total"}
+
+    def test_run_elapsed_unsupported_returns_none(self):
+        assert run_elapsed("cfd", "snucl", nodes=2, scale=20_000) is None
+
+
+class TestTable1:
+    def test_rows_cover_all_apps(self):
+        rows = table1.run()
+        assert [r["app"] for r in rows] == \
+            ["MatrixMul", "CFD", "kNN", "BFS", "SpMV"]
+
+    def test_sizes_match_paper(self):
+        for row in table1.run():
+            paper_mb = float(row["paper_size"].replace("MB", "").replace(
+                "GB", "")) * (1000 if "GB" in row["paper_size"] else 1)
+            ours_mb = row["measured_bytes"] / 1e6
+            assert abs(ours_mb - paper_mb) / paper_mb < 0.15
+
+
+class TestFig2Reduced:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig2.run(
+            apps=("knn",), node_counts=(1, 2, 4),
+            series=("haocl-gpu", "snucl"),
+            paper_scale=False, scales={"knn": 200_000},
+        )
+
+    def test_speedup_structure(self, results):
+        assert set(results["knn"]["haocl-gpu"]) == {1, 2, 4}
+
+    def test_scaling_direction(self, results):
+        curve = results["knn"]["haocl-gpu"]
+        assert curve[4] > curve[1]
+
+    def test_snucl_never_better(self, results):
+        for nodes, snucl_speedup in results["knn"]["snucl"].items():
+            assert snucl_speedup <= results["knn"]["haocl-gpu"][nodes] * 1.001
+
+
+class TestFig3Reduced:
+    def test_breakdown_rows(self):
+        rows = fig3.run(matrix_sizes=(500, 1500), gpu_counts=(2,))
+        assert len(rows) == 2
+        small, large = rows
+        assert fig3.communication_ratio(large) < \
+            fig3.communication_ratio(small)
+
+
+class TestOverheadReduced:
+    def test_overhead_positive_and_bounded(self):
+        rows = overhead.run(apps=("knn",), paper_scale=False,
+                            scales={"knn": 200_000})
+        assert 0 <= rows[0]["overhead"] < 0.5

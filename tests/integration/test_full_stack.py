@@ -1,0 +1,157 @@
+"""Cross-layer integration tests: TCP cluster, scheduling with real data,
+failure injection, and multi-user runs."""
+
+import numpy as np
+import pytest
+
+from repro.core import HaoCLSession
+from repro.core.tenancy import DeviceLease, try_acquire
+from repro.ocl.errors import CLError
+from repro.workloads import get_workload
+
+VADD = """
+__kernel void vadd(__global const float* a, __global const float* b,
+                   __global float* c, int n) {
+    int i = get_global_id(0);
+    if (i < n) c[i] = a[i] + b[i];
+}
+"""
+
+
+class TestTcpCluster:
+    """The whole stack over real sockets: the engineering proof that the
+    distributed protocol works, not just the in-process shortcut."""
+
+    def test_workload_over_tcp(self):
+        workload = get_workload("matrixmul")
+        inputs = workload.generate(16, seed=8)
+        with HaoCLSession(gpu_nodes=2, mode="real",
+                          transport="tcp") as session:
+            outputs = workload.run(session, inputs, session.devices)
+        assert workload.validate(outputs, workload.reference(inputs))
+
+    def test_error_propagates_over_tcp(self):
+        with HaoCLSession(gpu_nodes=1, mode="real",
+                          transport="tcp") as session:
+            ctx = session.context()
+            with pytest.raises(CLError):
+                session.program(ctx, "__kernel void broken( {")
+
+    def test_many_small_requests(self):
+        with HaoCLSession(gpu_nodes=1, mode="real",
+                          transport="tcp") as session:
+            for _ in range(30):
+                assert session.host.call("gpu0", "ping")["node_id"] == "gpu0"
+
+
+class TestSchedulingWithRealData:
+    def test_hetero_policy_produces_correct_results(self):
+        """Scheduling must never affect correctness, only placement."""
+        workload = get_workload("spmv")
+        inputs = workload.generate(100, seed=6)
+        expected = workload.reference(inputs)
+        for policy in ("user-directed", "round-robin", "hetero-aware",
+                       "locality-aware"):
+            with HaoCLSession(gpu_nodes=2, fpga_nodes=1, mode="real",
+                              transport="inproc", policy=policy) as session:
+                outputs = workload.run(session, inputs, session.devices)
+            assert workload.validate(outputs, expected), policy
+
+    def test_profiler_learns_from_real_launches(self):
+        with HaoCLSession(gpu_nodes=1, cpu_nodes=1, mode="real",
+                          transport="inproc",
+                          policy="hetero-aware") as session:
+            ctx = session.context()
+            prog = session.program(ctx, VADD)
+            queue = session.queue(ctx, session.devices[0])
+            for _ in range(3):
+                a = session.buffer_from(ctx, np.ones(64, dtype=np.float32))
+                b = session.buffer_from(ctx, np.ones(64, dtype=np.float32))
+                c = session.empty_buffer(ctx, 256)
+                kernel = session.kernel(prog, "vadd", a, b, c, np.int32(64))
+                session.cl.enqueue_nd_range_kernel(queue, kernel, (64,))
+            assert "vadd" in session.cl.profiler.known_kernels()
+
+
+class TestFailureInjection:
+    def test_remote_kernel_fault_is_catchable_and_recoverable(self):
+        with HaoCLSession(gpu_nodes=1, mode="real",
+                          transport="inproc") as session:
+            ctx = session.context()
+            prog = session.program(
+                ctx, "__kernel void oob(__global int* a) { a[99999] = 1; }"
+            )
+            queue = session.queue(ctx, session.devices[0])
+            buf = session.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+            kernel = session.kernel(prog, "oob", buf)
+            with pytest.raises(CLError):
+                session.cl.enqueue_nd_range_kernel(queue, kernel, (1,))
+            # the session must still be usable afterwards
+            prog2 = session.program(ctx, VADD)
+            a = session.buffer_from(ctx, np.ones(8, dtype=np.float32))
+            b = session.buffer_from(ctx, np.ones(8, dtype=np.float32))
+            c = session.empty_buffer(ctx, 32)
+            k2 = session.kernel(prog2, "vadd", a, b, c, np.int32(8))
+            session.cl.enqueue_nd_range_kernel(queue, k2, (8,))
+            out = session.read_array(queue, c, np.float32)
+            assert np.allclose(out, 2.0)
+
+    def test_divergent_barrier_reported_through_stack(self):
+        with HaoCLSession(gpu_nodes=1, mode="real",
+                          transport="inproc") as session:
+            ctx = session.context()
+            prog = session.program(
+                ctx,
+                "__kernel void bad(__global int* a) {"
+                " if (get_local_id(0) == 0) barrier(1); }",
+            )
+            queue = session.queue(ctx, session.devices[0])
+            buf = session.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+            kernel = session.kernel(prog, "bad", buf)
+            with pytest.raises(CLError):
+                session.cl.enqueue_nd_range_kernel(queue, kernel, (4,), (4,))
+
+
+class TestMultiUser:
+    def test_two_users_share_cluster(self):
+        with HaoCLSession(gpu_nodes=2, mode="real",
+                          transport="inproc") as session:
+            gpus = session.devices
+            with DeviceLease(session.cl, "alice", gpus[:1], shared=False):
+                # bob cannot take alice's GPU, but can take the other one
+                assert try_acquire(session.cl, "bob", gpus[:1],
+                                   shared=False) is None
+                bob = try_acquire(session.cl, "bob", gpus[1:], shared=False)
+                assert bob is not None
+                bob.release()
+
+    def test_enqueue_under_wrong_user_refused(self):
+        with HaoCLSession(gpu_nodes=1, mode="real", transport="inproc",
+                          user="bob") as session:
+            device = session.devices[0]
+            with DeviceLease(session.cl, "alice", [device], shared=False):
+                ctx = session.context()
+                prog = session.program(ctx, VADD)
+                queue = session.queue(ctx, device)
+                a = session.buffer_from(ctx, np.ones(4, dtype=np.float32))
+                b = session.buffer_from(ctx, np.ones(4, dtype=np.float32))
+                c = session.empty_buffer(ctx, 16)
+                kernel = session.kernel(prog, "vadd", a, b, c, np.int32(4))
+                with pytest.raises(CLError):
+                    session.cl.enqueue_nd_range_kernel(queue, kernel, (4,))
+
+
+class TestSimulatedScaling:
+    def test_knn_speedup_grows_with_nodes(self):
+        from repro.experiments.harness import run_elapsed
+
+        t1 = run_elapsed("knn", "haocl-gpu", nodes=1, scale=300_000)
+        t4 = run_elapsed("knn", "haocl-gpu", nodes=4, scale=300_000)
+        assert t4 < t1 / 2
+
+    def test_deterministic_simulation(self):
+        from repro.experiments.harness import run_elapsed
+
+        a = run_elapsed("matrixmul", "haocl-gpu", nodes=3, scale=1000)
+        b = run_elapsed("matrixmul", "haocl-gpu", nodes=3, scale=1000)
+        assert a == b

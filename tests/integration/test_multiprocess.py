@@ -1,0 +1,75 @@
+"""True multi-process deployment: NMP daemons as separate OS processes,
+the host connecting through the system configuration file."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, HostProcess, NodeConfig
+from repro.core.wrapper import HaoCL
+from repro.workloads import get_workload
+
+
+def _spawn_daemon(node_id, devices):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cluster.daemon",
+         "--node-id", node_id, "--devices", devices, "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    port = None
+    for _ in range(50):
+        line = proc.stdout.readline()
+        if line.startswith("LISTENING"):
+            port = int(line.split()[2])
+            break
+    if port is None:
+        proc.kill()
+        raise RuntimeError("daemon did not announce a port")
+    return proc, port
+
+
+@pytest.fixture(scope="module")
+def remote_cluster():
+    daemons = []
+    nodes = []
+    try:
+        for node_id in ("gpu0", "gpu1"):
+            proc, port = _spawn_daemon(node_id, "gpu")
+            daemons.append(proc)
+            nodes.append(NodeConfig(node_id, ["gpu"], port=port, mode="real"))
+        config = ClusterConfig(nodes)
+        host = HostProcess.connect_remote(config)
+        yield host
+        host.close()
+    finally:
+        for proc in daemons:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+class TestMultiProcessCluster:
+    def test_discovery_across_processes(self, remote_cluster):
+        assert len(remote_cluster.registry) == 2
+        assert remote_cluster.registry.node_ids() == ["gpu0", "gpu1"]
+
+    def test_ping_every_daemon(self, remote_cluster):
+        for node_id in ("gpu0", "gpu1"):
+            assert remote_cluster.call(node_id, "ping")["node_id"] == node_id
+
+    def test_distributed_workload_across_processes(self, remote_cluster):
+        workload = get_workload("matrixmul")
+        inputs = workload.generate(16, seed=21)
+        driver = HaoCL(remote_cluster)
+        from repro.core.session import HaoCLSession
+
+        session = HaoCLSession(host=remote_cluster)
+        outputs = workload.run(session, inputs, session.devices)
+        assert workload.validate(outputs, workload.reference(inputs))
+        del driver
+
+    def test_config_requires_ports(self):
+        config = ClusterConfig([NodeConfig("gpu0", ["gpu"])])  # port 0
+        with pytest.raises(ValueError):
+            HostProcess.connect_remote(config)

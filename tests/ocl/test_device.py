@@ -1,0 +1,112 @@
+"""Tests for the analytic device models."""
+
+import pytest
+
+from repro.clc.analysis import ResolvedCost
+from repro.ocl import cpu_xeon_e5_2686, enums, fpga_vu9p, gpu_tesla_p4, model_by_name
+
+
+def cost(flops=0.0, int_ops=0.0, rd=0.0, wr=0.0):
+    return ResolvedCost(flops, int_ops, rd, wr, 0.0, 0.0)
+
+
+class TestCatalog:
+    def test_lookup_by_alias(self):
+        assert model_by_name("gpu").name == gpu_tesla_p4().name
+        assert model_by_name("fpga").name == fpga_vu9p().name
+        assert model_by_name("cpu").name == cpu_xeon_e5_2686().name
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            model_by_name("tpu")
+
+    def test_device_types(self):
+        assert gpu_tesla_p4().device_type == enums.CL_DEVICE_TYPE_GPU
+        assert cpu_xeon_e5_2686().device_type == enums.CL_DEVICE_TYPE_CPU
+        assert fpga_vu9p().device_type == enums.CL_DEVICE_TYPE_ACCELERATOR
+
+    def test_type_names(self):
+        assert gpu_tesla_p4().type_name == "GPU"
+        assert fpga_vu9p().type_name == "FPGA"
+
+    def test_describe_keys(self):
+        info = gpu_tesla_p4().describe()
+        for key in ("name", "vendor", "compute_units", "global_mem_size"):
+            assert key in info
+
+
+class TestRoofline:
+    def test_compute_bound_scales_with_flops(self):
+        gpu = gpu_tesla_p4()
+        heavy = cost(flops=10000.0, rd=4.0)
+        t1 = gpu.kernel_time(heavy, 1_000_000)
+        t2 = gpu.kernel_time(heavy, 2_000_000)
+        assert t2 > t1
+        assert t2 / t1 == pytest.approx(2.0, rel=0.05)
+
+    def test_memory_bound_kernel_limited_by_bandwidth(self):
+        gpu = gpu_tesla_p4()
+        streaming = cost(flops=1.0, rd=64.0, wr=64.0)
+        items = 10_000_000
+        t = gpu.kernel_time(streaming, items)
+        achieved = gpu.mem_bandwidth_gbs * gpu.mem_efficiency * 1e9
+        bandwidth_bound = items * 128 / achieved
+        assert t == pytest.approx(bandwidth_bound + gpu.launch_overhead_s, rel=0.01)
+
+    def test_gather_kernels_slower_than_streaming(self):
+        gpu = gpu_tesla_p4()
+        streaming = cost(flops=1.0, rd=64.0, wr=64.0)
+        from repro.clc.analysis import ResolvedCost
+
+        gather = ResolvedCost(1.0, 0.0, 64.0, 64.0, 0.0, 0.0,
+                              indirect_access=True)
+        items = 1_000_000
+        assert gpu.kernel_time(gather, items) > 2 * gpu.kernel_time(streaming, items)
+
+    def test_launch_overhead_floor(self):
+        gpu = gpu_tesla_p4()
+        assert gpu.kernel_time(cost(flops=1.0), 1) >= gpu.launch_overhead_s
+
+    def test_none_cost_gives_overhead_only(self):
+        gpu = gpu_tesla_p4()
+        assert gpu.kernel_time(None, 10**9) == gpu.launch_overhead_s
+
+    def test_gpu_beats_cpu_on_dense_compute(self):
+        dense = cost(flops=2000.0, rd=8.0)
+        items = 1_000_000
+        assert gpu_tesla_p4().kernel_time(dense, items) < \
+            cpu_xeon_e5_2686().kernel_time(dense, items)
+
+    def test_irregular_kernels_penalised_most_on_fpga(self):
+        irregular = cost(flops=0.0, int_ops=100.0, rd=16.0)
+        fpga = fpga_vu9p()
+        regular = cost(flops=100.0, rd=16.0)
+        assert fpga.effective_gflops(irregular) < fpga.effective_gflops(regular)
+
+    def test_fpga_streaming_bonus_applies_to_regular(self):
+        fpga = fpga_vu9p()
+        regular = cost(flops=100.0, rd=4.0)
+        assert fpga.effective_gflops(regular) > \
+            fpga.peak_gflops * fpga.compute_efficiency
+
+
+class TestTransfersAndEnergy:
+    def test_transfer_time_linear_in_bytes(self):
+        gpu = gpu_tesla_p4()
+        t1 = gpu.transfer_time(1 << 20)
+        t2 = gpu.transfer_time(2 << 20)
+        assert (t2 - gpu.launch_overhead_s) == pytest.approx(
+            2 * (t1 - gpu.launch_overhead_s)
+        )
+
+    def test_energy_busy_plus_idle(self):
+        gpu = gpu_tesla_p4()
+        joules = gpu.energy(busy_s=1.0, total_s=2.0)
+        assert joules == pytest.approx(gpu.peak_power_w + gpu.idle_power_w)
+
+    def test_energy_default_no_idle(self):
+        gpu = gpu_tesla_p4()
+        assert gpu.energy(1.0) == pytest.approx(gpu.peak_power_w)
+
+    def test_fpga_lower_power_than_cpu(self):
+        assert fpga_vu9p().peak_power_w < cpu_xeon_e5_2686().peak_power_w

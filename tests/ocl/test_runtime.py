@@ -1,0 +1,311 @@
+"""Tests for the OpenCL runtime entity model and operations."""
+
+import numpy as np
+import pytest
+
+from repro.ocl import CLRuntime, enums, gpu_tesla_p4, fpga_vu9p
+from repro.ocl.errors import CLError
+from repro.ocl.fastpath import FastPathRegistry
+from repro.ocl.runtime import Device
+
+SRC = """
+__kernel void dbl(__global float* a, int n) {
+    int i = get_global_id(0);
+    if (i < n) a[i] = a[i] * 2.0f;
+}
+__kernel void fill(__global int* a, int v) {
+    a[get_global_id(0)] = v;
+}
+"""
+
+
+@pytest.fixture
+def rt():
+    return CLRuntime([Device(gpu_tesla_p4(), mode="real")],
+                     fastpaths=FastPathRegistry())
+
+
+@pytest.fixture
+def modeled_rt():
+    return CLRuntime([Device(gpu_tesla_p4(), mode="modeled")],
+                     fastpaths=FastPathRegistry())
+
+
+def setup_kernel(rt, name="dbl"):
+    dev = rt.get_devices()[0]
+    ctx = rt.create_context([dev])
+    q = rt.create_command_queue(ctx, dev, enums.CL_QUEUE_PROFILING_ENABLE)
+    prog = rt.build_program(rt.create_program_with_source(ctx, SRC))
+    return ctx, q, rt.create_kernel(prog, name)
+
+
+class TestDiscovery:
+    def test_platform_listing(self, rt):
+        (platform,) = rt.get_platforms()
+        assert platform.devices
+
+    def test_device_type_filter(self, rt):
+        devices = rt.get_devices(device_type=enums.CL_DEVICE_TYPE_GPU)
+        assert len(devices) == 1
+        with pytest.raises(CLError) as err:
+            rt.get_devices(device_type=enums.CL_DEVICE_TYPE_CPU)
+        assert err.value.code == enums.CL_DEVICE_NOT_FOUND
+
+    def test_device_info(self, rt):
+        dev = rt.get_devices()[0]
+        assert dev.info(enums.CL_DEVICE_NAME) == "NVIDIA Tesla P4"
+        assert dev.info(enums.CL_DEVICE_MAX_COMPUTE_UNITS) == 20
+
+    def test_bad_info_param(self, rt):
+        with pytest.raises(CLError):
+            rt.get_devices()[0].info(0xDEAD)
+
+
+class TestRefCounting:
+    def test_release_destroys_at_zero(self, rt):
+        ctx = rt.create_context(rt.get_devices())
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 16)
+        buf.retain()
+        assert buf.release() == 1
+        assert buf.alive
+        assert buf.release() == 0
+        assert not buf.alive
+
+    def test_release_after_zero_raises(self, rt):
+        ctx = rt.create_context(rt.get_devices())
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 16)
+        buf.release()
+        with pytest.raises(CLError):
+            buf.release()
+
+
+class TestBuffers:
+    def test_host_data_initialisation(self, rt):
+        ctx = rt.create_context(rt.get_devices())
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 16,
+                               host_data=np.arange(4, dtype=np.int32))
+        assert list(buf.read().view(np.int32)) == [0, 1, 2, 3]
+
+    def test_zero_size_rejected(self, rt):
+        ctx = rt.create_context(rt.get_devices())
+        with pytest.raises(CLError) as err:
+            rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 0)
+        assert err.value.code == enums.CL_INVALID_BUFFER_SIZE
+
+    def test_oversized_host_data_rejected(self, rt):
+        ctx = rt.create_context(rt.get_devices())
+        with pytest.raises(CLError):
+            rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 4,
+                             host_data=np.arange(4, dtype=np.int32))
+
+    def test_write_read_offsets(self, rt):
+        ctx = rt.create_context(rt.get_devices())
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 16)
+        buf.write(np.array([7], dtype=np.int32), offset=8)
+        assert buf.read(4, offset=8).view(np.int32)[0] == 7
+
+    def test_synthetic_buffer_reads_zeros(self, rt):
+        ctx = rt.create_context(rt.get_devices())
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 1 << 30,
+                               synthetic=True)
+        assert buf.memory is None
+        assert not buf.read(16).any()
+
+    def test_copy_buffer(self, rt):
+        ctx = rt.create_context(rt.get_devices())
+        q = rt.create_command_queue(ctx, rt.get_devices()[0])
+        src = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 16,
+                               host_data=np.arange(4, dtype=np.int32))
+        dst = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 16)
+        rt.enqueue_copy_buffer(q, src, dst)
+        assert list(dst.read().view(np.int32)) == [0, 1, 2, 3]
+
+
+class TestPrograms:
+    def test_build_failure_sets_log(self, rt):
+        ctx = rt.create_context(rt.get_devices())
+        prog = rt.create_program_with_source(ctx, "__kernel void broken( {")
+        with pytest.raises(CLError) as err:
+            rt.build_program(prog)
+        assert err.value.code == enums.CL_BUILD_PROGRAM_FAILURE
+        assert prog.build_status == enums.CL_BUILD_ERROR
+        assert prog.build_log
+
+    def test_kernel_from_unbuilt_program(self, rt):
+        ctx = rt.create_context(rt.get_devices())
+        prog = rt.create_program_with_source(ctx, SRC)
+        with pytest.raises(CLError) as err:
+            rt.create_kernel(prog, "dbl")
+        assert err.value.code == enums.CL_INVALID_PROGRAM_EXECUTABLE
+
+    def test_unknown_kernel_name(self, rt):
+        ctx = rt.create_context(rt.get_devices())
+        prog = rt.build_program(rt.create_program_with_source(ctx, SRC))
+        with pytest.raises(CLError) as err:
+            rt.create_kernel(prog, "nope")
+        assert err.value.code == enums.CL_INVALID_KERNEL_NAME
+
+    def test_build_options_macros(self, rt):
+        ctx = rt.create_context(rt.get_devices())
+        prog = rt.create_program_with_source(
+            ctx, "__kernel void k(__global int* a) { a[0] = VALUE; }"
+        )
+        rt.build_program(prog, "-DVALUE=42")
+        q = rt.create_command_queue(ctx, rt.get_devices()[0])
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 4)
+        kern = rt.create_kernel(prog, "k")
+        kern.set_arg(0, buf)
+        rt.enqueue_nd_range_kernel(q, kern, (1,))
+        assert buf.read().view(np.int32)[0] == 42
+
+
+class TestKernelLaunch:
+    def test_execution_and_profiling(self, rt):
+        ctx, q, kern = setup_kernel(rt)
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 32,
+                               host_data=np.arange(8, dtype=np.float32))
+        kern.set_arg(0, buf)
+        kern.set_arg(1, 8)
+        event = rt.enqueue_nd_range_kernel(q, kern, (8,))
+        assert list(buf.read().view(np.float32)) == [0, 2, 4, 6, 8, 10, 12, 14]
+        start = event.profiling(enums.CL_PROFILING_COMMAND_START)
+        end = event.profiling(enums.CL_PROFILING_COMMAND_END)
+        assert end >= start
+
+    def test_unset_args_rejected(self, rt):
+        ctx, q, kern = setup_kernel(rt)
+        kern.set_arg(1, 8)
+        with pytest.raises(CLError) as err:
+            rt.enqueue_nd_range_kernel(q, kern, (8,))
+        assert err.value.code == enums.CL_INVALID_KERNEL_ARGS
+
+    def test_arg_index_out_of_range(self, rt):
+        _ctx, _q, kern = setup_kernel(rt)
+        with pytest.raises(CLError) as err:
+            kern.set_arg(5, 1)
+        assert err.value.code == enums.CL_INVALID_ARG_INDEX
+
+    def test_scalar_for_pointer_rejected(self, rt):
+        _ctx, _q, kern = setup_kernel(rt)
+        with pytest.raises(CLError) as err:
+            kern.set_arg(0, 3)
+        assert err.value.code == enums.CL_INVALID_ARG_VALUE
+
+    def test_indivisible_local_size_rejected(self, rt):
+        ctx, q, kern = setup_kernel(rt)
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 32)
+        kern.set_arg(0, buf)
+        kern.set_arg(1, 8)
+        with pytest.raises(CLError) as err:
+            rt.enqueue_nd_range_kernel(q, kern, (8,), (3,))
+        assert err.value.code == enums.CL_INVALID_WORK_GROUP_SIZE
+
+    def test_oversized_work_group_rejected(self, rt):
+        ctx, q, kern = setup_kernel(rt)
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 32)
+        kern.set_arg(0, buf)
+        kern.set_arg(1, 8)
+        with pytest.raises(CLError):
+            rt.enqueue_nd_range_kernel(q, kern, (4096,), (2048,))
+
+    def test_enqueue_task_is_single_item(self, rt):
+        ctx = rt.create_context(rt.get_devices())
+        q = rt.create_command_queue(ctx, rt.get_devices()[0])
+        prog = rt.build_program(rt.create_program_with_source(ctx, SRC))
+        kern = rt.create_kernel(prog, "fill")
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 4)
+        kern.set_arg(0, buf)
+        kern.set_arg(1, 9)
+        rt.enqueue_task(q, kern)
+        assert buf.read().view(np.int32)[0] == 9
+
+
+class TestModeledMode:
+    def test_modeled_executes_real_buffers(self, modeled_rt):
+        rt = modeled_rt
+        ctx, q, kern = setup_kernel(rt)
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 32,
+                               host_data=np.arange(8, dtype=np.float32))
+        kern.set_arg(0, buf)
+        kern.set_arg(1, 8)
+        rt.enqueue_nd_range_kernel(q, kern, (8,))
+        assert list(buf.read().view(np.float32)) == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_modeled_skips_synthetic_buffers(self, modeled_rt):
+        rt = modeled_rt
+        ctx, q, kern = setup_kernel(rt)
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 400 << 20,
+                               synthetic=True)
+        kern.set_arg(0, buf)
+        kern.set_arg(1, 100_000_000)
+        event = rt.enqueue_nd_range_kernel(q, kern, (100_000_000,))
+        assert event.duration_s > 1e-4  # modeled, not executed
+
+    def test_modeled_duration_scales_with_items(self, modeled_rt):
+        rt = modeled_rt
+        ctx, q, kern = setup_kernel(rt)
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 1 << 30,
+                               synthetic=True)
+        kern.set_arg(0, buf)
+        kern.set_arg(1, 1_000_000)
+        e1 = rt.enqueue_nd_range_kernel(q, kern, (1_000_000,))
+        e2 = rt.enqueue_nd_range_kernel(q, kern, (10_000_000,))
+        assert e2.duration_s > 5 * e1.duration_s
+
+    def test_device_clock_accumulates(self, modeled_rt):
+        rt = modeled_rt
+        dev = rt.get_devices()[0]
+        ctx, q, kern = setup_kernel(rt)
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 1 << 20,
+                               synthetic=True)
+        kern.set_arg(0, buf)
+        kern.set_arg(1, 1000)
+        before = dev.clock_s
+        rt.enqueue_nd_range_kernel(q, kern, (1000,))
+        assert dev.clock_s > before
+        assert dev.busy_s > 0
+
+    def test_modeled_transfer_time(self, modeled_rt):
+        rt = modeled_rt
+        ctx = rt.create_context(rt.get_devices())
+        q = rt.create_command_queue(ctx, rt.get_devices()[0])
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 1 << 20)
+        event = rt.enqueue_write_buffer(q, buf, np.zeros(1 << 20, np.uint8))
+        model = rt.get_devices()[0].model
+        assert event.duration_s == pytest.approx(
+            model.transfer_time(1 << 20), rel=0.01
+        )
+
+
+class TestFastPath:
+    def test_fastpath_used_instead_of_interpreter(self):
+        reg = FastPathRegistry()
+        calls = []
+
+        @reg.register("dbl")
+        def fast_dbl(args, gsize, lsize):
+            a, n = args
+            a[: int(n)] *= 2
+            calls.append(gsize)
+
+        rt = CLRuntime([Device(gpu_tesla_p4(), mode="real")], fastpaths=reg)
+        ctx, q, kern = setup_kernel(rt)
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 32,
+                               host_data=np.arange(8, dtype=np.float32))
+        kern.set_arg(0, buf)
+        kern.set_arg(1, 8)
+        rt.enqueue_nd_range_kernel(q, kern, (8,))
+        assert calls == [(8,)]
+        assert list(buf.read().view(np.float32)) == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_registry_decorator_and_lookup(self):
+        reg = FastPathRegistry()
+
+        @reg.register("k")
+        def impl(args, gsize, lsize):
+            pass
+
+        assert "k" in reg
+        assert reg.lookup("k") is impl
+        reg.unregister("k")
+        assert reg.lookup("k") is None

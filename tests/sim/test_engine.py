@@ -1,0 +1,308 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AllOf, Resource, SimError, Simulator, Store
+
+
+class TestClockAndTimeouts:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_single_timeout(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield sim.timeout(2.5)
+            fired.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert fired == [2.5]
+
+    def test_timeouts_fire_in_order(self):
+        sim = Simulator()
+        order = []
+
+        def proc(delay, tag):
+            yield sim.timeout(delay)
+            order.append(tag)
+
+        sim.spawn(proc(3, "c"))
+        sim.spawn(proc(1, "a"))
+        sim.spawn(proc(2, "b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        order = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abc":
+            sim.spawn(proc(tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimError):
+            sim.timeout(-1)
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(10)
+
+        sim.spawn(proc())
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_sequential_timeouts_accumulate(self):
+        sim = Simulator()
+        marks = []
+
+        def proc():
+            for _ in range(3):
+                yield sim.timeout(1.5)
+                marks.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert marks == [1.5, 3.0, 4.5]
+
+    def test_yield_non_event_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.spawn(bad())
+        with pytest.raises(SimError):
+            sim.run()
+
+    def test_process_return_value_on_done_event(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1)
+            return "result"
+
+        done = sim.spawn(proc())
+        sim.run()
+        assert done.triggered
+        assert done.value == "result"
+
+
+class TestResource:
+    def test_mutex_serialises(self):
+        sim = Simulator()
+        spans = []
+        res = Resource(sim, capacity=1)
+
+        def user(tag, hold):
+            yield res.acquire()
+            start = sim.now
+            yield sim.timeout(hold)
+            res.release()
+            spans.append((tag, start, sim.now))
+
+        sim.spawn(user("a", 2.0))
+        sim.spawn(user("b", 1.0))
+        sim.run()
+        assert spans == [("a", 0.0, 2.0), ("b", 2.0, 3.0)]
+
+    def test_capacity_two_overlaps(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        starts = []
+
+        def user():
+            yield res.acquire()
+            starts.append(sim.now)
+            yield sim.timeout(1.0)
+            res.release()
+
+        for _ in range(3):
+            sim.spawn(user())
+        sim.run()
+        assert starts == [0.0, 0.0, 1.0]
+
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        res = Resource(sim)
+        order = []
+
+        def user(tag):
+            yield res.acquire()
+            order.append(tag)
+            yield sim.timeout(0.1)
+            res.release()
+
+        for tag in "abcd":
+            sim.spawn(user(tag))
+        sim.run()
+        assert order == list("abcd")
+
+    def test_release_without_acquire_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimError):
+            Resource(sim).release()
+
+    def test_queued_count(self):
+        sim = Simulator()
+        res = Resource(sim)
+
+        def holder():
+            yield res.acquire()
+            yield sim.timeout(5)
+            res.release()
+
+        def waiter():
+            yield res.acquire()
+            res.release()
+
+        sim.spawn(holder())
+        sim.spawn(waiter())
+        sim.run(until=1.0)
+        assert res.queued == 1
+
+    def test_bad_capacity(self):
+        with pytest.raises(SimError):
+            Resource(Simulator(), capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        store.put("x")
+        sim.spawn(consumer())
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((item, sim.now))
+
+        def producer():
+            yield sim.timeout(3)
+            store.put("late")
+
+        sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert got == [("late", 3.0)]
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        for item in (1, 2, 3):
+            store.put(item)
+        sim.spawn(consumer())
+        sim.run()
+        assert got == [1, 2, 3]
+
+    def test_len_counts_buffered(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestAllOf:
+    def test_waits_for_slowest(self):
+        sim = Simulator()
+        done_at = []
+
+        def proc():
+            yield AllOf(sim, [sim.timeout(1), sim.timeout(4), sim.timeout(2)])
+            done_at.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert done_at == [4.0]
+
+    def test_collects_values(self):
+        sim = Simulator()
+        results = []
+
+        def proc():
+            values = yield AllOf(sim, [sim.timeout(1, "a"), sim.timeout(2, "b")])
+            results.append(values)
+
+        sim.spawn(proc())
+        sim.run()
+        assert results == [["a", "b"]]
+
+    def test_empty_list_fires_immediately(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield AllOf(sim, [])
+            fired.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert fired == [0.0]
+
+
+class TestDeterminism:
+    @given(st.lists(st.floats(min_value=0.001, max_value=100.0), min_size=1,
+                    max_size=20))
+    @settings(max_examples=50)
+    def test_clock_equals_max_delay(self, delays):
+        sim = Simulator()
+
+        def proc(delay):
+            yield sim.timeout(delay)
+
+        for delay in delays:
+            sim.spawn(proc(delay))
+        sim.run()
+        assert sim.now == pytest.approx(max(delays))
+
+    @given(st.integers(min_value=1, max_value=30),
+           st.floats(min_value=0.01, max_value=2.0))
+    @settings(max_examples=50)
+    def test_mutex_total_time_is_sum(self, users, hold):
+        sim = Simulator()
+        res = Resource(sim)
+
+        def user():
+            yield res.acquire()
+            yield sim.timeout(hold)
+            res.release()
+
+        for _ in range(users):
+            sim.spawn(user())
+        sim.run()
+        assert sim.now == pytest.approx(users * hold)

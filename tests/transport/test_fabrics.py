@@ -1,0 +1,202 @@
+"""Tests for message framing and the three fabrics."""
+
+import numpy as np
+import pytest
+
+from repro.transport import Message, MessageKind, NetworkModel, TransportError
+from repro.transport.inproc import InProcFabric
+from repro.transport.netmodel import GigabitEthernet
+from repro.transport.sim import SimFabric
+from repro.transport.tcp import TcpFabric
+
+
+class EchoHandler:
+    def handle(self, message, now_s):
+        return message.reply(echo=message.payload, at=now_s), now_s
+
+
+class AckHandler:
+    def handle(self, message, now_s):
+        return message.reply(ok=True), now_s
+
+
+class DelayHandler:
+    """Pretends its device drains ``delay`` seconds after arrival."""
+
+    def __init__(self, delay):
+        self.delay = delay
+
+    def handle(self, message, now_s):
+        return message.reply(ok=True), now_s + self.delay
+
+
+class FaultyHandler:
+    def handle(self, message, now_s):
+        raise RuntimeError("node exploded")
+
+
+class TestMessageFraming:
+    def test_roundtrip(self):
+        msg = Message.request("do_thing", a=1, data=np.arange(4))
+        out = Message.from_bytes(msg.to_bytes())
+        assert out.method == "do_thing"
+        assert out.kind == MessageKind.REQUEST
+        assert out.msg_id == msg.msg_id
+        assert list(out.payload["data"]) == [0, 1, 2, 3]
+
+    def test_reply_echoes_id(self):
+        msg = Message.request("x")
+        reply = msg.reply(val=3)
+        assert reply.msg_id == msg.msg_id
+        assert reply.kind == MessageKind.RESPONSE
+
+    def test_fail_carries_code(self):
+        err = Message.request("x").fail(-5, "boom")
+        assert err.is_error
+        assert err.payload["code"] == -5
+
+    def test_bad_magic_rejected(self):
+        raw = bytearray(Message.request("x").to_bytes())
+        raw[0] = 0
+        with pytest.raises(Exception):
+            Message.from_bytes(bytes(raw))
+
+    def test_ids_increment(self):
+        a = Message.request("x")
+        b = Message.request("x")
+        assert b.msg_id > a.msg_id
+
+
+class TestNetworkModel:
+    def test_transfer_time_components(self):
+        net = NetworkModel(latency_s=1e-4, bandwidth_bps=1e8)
+        assert net.transfer_time(0) == pytest.approx(1e-4)
+        assert net.transfer_time(10**8) == pytest.approx(1.0001)
+
+    def test_gbe_profile(self):
+        net = GigabitEthernet()
+        # 117.5 MB/s effective: 1 MB ~ 8.6ms
+        assert 0.008 < net.transfer_time(1 << 20) < 0.01
+
+
+class TestInProcFabric:
+    def test_request_response(self):
+        fabric = InProcFabric({"n0": EchoHandler()})
+        resp = fabric.connect("n0").request(Message.request("ping", x=5))
+        assert resp.payload["echo"]["x"] == 5
+
+    def test_unknown_node(self):
+        fabric = InProcFabric({})
+        with pytest.raises(TransportError):
+            fabric.connect("ghost")
+
+    def test_channel_reuse(self):
+        fabric = InProcFabric({"n0": EchoHandler()})
+        assert fabric.connect("n0") is fabric.connect("n0")
+
+    def test_full_serialisation_applied(self):
+        # tuples become lists through the wire: proof bytes moved
+        fabric = InProcFabric({"n0": EchoHandler()})
+        resp = fabric.connect("n0").request(Message.request("p", t=(1, 2)))
+        assert resp.payload["echo"]["t"] == [1, 2]
+
+    def test_node_ids_sorted(self):
+        fabric = InProcFabric({"b": EchoHandler(), "a": EchoHandler()})
+        assert fabric.node_ids() == ["a", "b"]
+
+
+class TestSimFabric:
+    def test_latency_charged_per_round_trip(self):
+        fabric = SimFabric({"n0": AckHandler()})
+        fabric.connect("n0").request(Message.request("ping"))
+        # 2 legs of latency + proc overhead at minimum
+        net = fabric.netmodel
+        assert fabric.now_s() >= 2 * net.latency_s + net.proc_overhead_s
+
+    def test_large_payload_charged_by_bandwidth(self):
+        fabric = SimFabric({"n0": AckHandler()})
+        nbytes = 11_750_000  # 0.1s at GbE effective rate
+        t0 = fabric.now_s()
+        fabric.connect("n0").request(
+            Message.request("write", data=np.zeros(nbytes, dtype=np.uint8))
+        )
+        assert 0.09 < fabric.now_s() - t0 < 0.13
+
+    def test_device_drain_delays_response(self):
+        fabric = SimFabric({"n0": DelayHandler(2.0)})
+        fabric.connect("n0").request(Message.request("finish"))
+        assert fabric.now_s() > 2.0
+
+    def test_node_fault_propagates(self):
+        fabric = SimFabric({"n0": FaultyHandler()})
+        with pytest.raises(RuntimeError):
+            fabric.connect("n0").request(Message.request("x"))
+
+    def test_traffic_accounting(self):
+        fabric = SimFabric({"n0": AckHandler()})
+        fabric.connect("n0").request(Message.request("a"))
+        fabric.connect("n0").request(Message.request("b"))
+        assert fabric.messages == 2
+        assert fabric.tx_bytes > 0
+        assert fabric.rx_bytes > 0
+
+    def test_clock_monotonic_across_nodes(self):
+        fabric = SimFabric({"a": AckHandler(), "b": AckHandler()})
+        fabric.connect("a").request(Message.request("x"))
+        t1 = fabric.now_s()
+        fabric.connect("b").request(Message.request("y"))
+        assert fabric.now_s() > t1
+
+
+class TestTcpFabric:
+    def test_request_response_over_socket(self):
+        fabric = TcpFabric({"n0": EchoHandler()})
+        try:
+            resp = fabric.connect("n0").request(
+                Message.request("ping", arr=np.arange(100, dtype=np.int64))
+            )
+            assert resp.payload["echo"]["arr"].sum() == 4950
+        finally:
+            fabric.close()
+
+    def test_multiple_nodes_distinct_ports(self):
+        fabric = TcpFabric({"a": EchoHandler(), "b": EchoHandler()})
+        try:
+            ports = {srv.address[1] for srv in fabric._servers.values()}
+            assert len(ports) == 2
+            ra = fabric.connect("a").request(Message.request("p", v=1))
+            rb = fabric.connect("b").request(Message.request("p", v=2))
+            assert ra.payload["echo"]["v"] == 1
+            assert rb.payload["echo"]["v"] == 2
+        finally:
+            fabric.close()
+
+    def test_node_fault_becomes_error_frame(self):
+        fabric = TcpFabric({"n0": FaultyHandler()})
+        try:
+            resp = fabric.connect("n0").request(Message.request("x"))
+            assert resp.is_error
+            assert "exploded" in resp.payload["message"]
+        finally:
+            fabric.close()
+
+    def test_large_transfer(self):
+        fabric = TcpFabric({"n0": AckHandler()})
+        try:
+            data = np.random.default_rng(0).integers(
+                0, 255, size=4 << 20, dtype=np.uint8
+            )
+            resp = fabric.connect("n0").request(Message.request("w", data=data))
+            assert resp.payload["ok"] is True
+        finally:
+            fabric.close()
+
+    def test_sequential_requests_same_channel(self):
+        fabric = TcpFabric({"n0": EchoHandler()})
+        try:
+            channel = fabric.connect("n0")
+            for index in range(20):
+                resp = channel.request(Message.request("p", i=index))
+                assert resp.payload["echo"]["i"] == index
+        finally:
+            fabric.close()

@@ -1,0 +1,162 @@
+"""Unit and property tests for the wire format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays as np_arrays
+
+from repro.transport.serialization import SerializationError, decode, encode
+
+
+def roundtrip(value):
+    return decode(encode(value))
+
+
+class TestScalars:
+    def test_none(self):
+        assert roundtrip(None) is None
+
+    def test_bools(self):
+        assert roundtrip(True) is True
+        assert roundtrip(False) is False
+
+    def test_small_ints(self):
+        for value in (0, 1, -1, 2**62, -(2**62)):
+            assert roundtrip(value) == value
+
+    def test_big_ints(self):
+        for value in (2**64, -(2**100), 10**30):
+            assert roundtrip(value) == value
+
+    def test_floats(self):
+        assert roundtrip(3.25) == 3.25
+        assert roundtrip(float("inf")) == float("inf")
+
+    def test_nan_roundtrips(self):
+        out = roundtrip(float("nan"))
+        assert out != out
+
+    def test_numpy_scalars_become_python(self):
+        assert roundtrip(np.int32(7)) == 7
+        assert roundtrip(np.float32(0.5)) == 0.5
+        assert roundtrip(np.bool_(True)) is True
+
+    def test_strings(self):
+        assert roundtrip("héllo wörld ☃") == "héllo wörld ☃"
+        assert roundtrip("") == ""
+
+    def test_bytes(self):
+        assert roundtrip(b"\x00\xff\x7f") == b"\x00\xff\x7f"
+        assert roundtrip(bytearray(b"xy")) == b"xy"
+
+
+class TestContainers:
+    def test_nested_lists(self):
+        value = [1, [2, [3, "x"]], None]
+        assert roundtrip(value) == value
+
+    def test_tuple_decodes_as_list(self):
+        assert roundtrip((1, 2)) == [1, 2]
+
+    def test_dict_mixed_keys(self):
+        value = {"a": 1, 2: "b", "nested": {"x": [True]}}
+        assert roundtrip(value) == value
+
+    def test_empty_containers(self):
+        assert roundtrip([]) == []
+        assert roundtrip({}) == {}
+
+
+class TestArrays:
+    def test_float32_matrix(self):
+        arr = np.arange(12, dtype=np.float32).reshape(3, 4)
+        out = roundtrip(arr)
+        assert out.dtype == np.float32
+        assert out.shape == (3, 4)
+        assert np.array_equal(out, arr)
+
+    def test_int64_vector(self):
+        arr = np.array([-1, 0, 2**40], dtype=np.int64)
+        assert np.array_equal(roundtrip(arr), arr)
+
+    def test_empty_array(self):
+        arr = np.zeros((0,), dtype=np.float64)
+        out = roundtrip(arr)
+        assert out.shape == (0,)
+
+    def test_non_contiguous_input(self):
+        arr = np.arange(16, dtype=np.int32).reshape(4, 4)[:, ::2]
+        out = roundtrip(arr)
+        assert np.array_equal(out, arr)
+
+    def test_decoded_array_is_writable(self):
+        out = roundtrip(np.zeros(4, dtype=np.int32))
+        out[0] = 1  # must own its memory
+        assert out[0] == 1
+
+    def test_array_inside_dict(self):
+        payload = {"data": np.ones(8, dtype=np.uint8), "n": 8}
+        out = roundtrip(payload)
+        assert out["data"].sum() == 8
+
+
+class TestErrors:
+    def test_unencodable_type(self):
+        with pytest.raises(SerializationError):
+            encode(object())
+
+    def test_truncated_input(self):
+        raw = encode([1, 2, 3])
+        with pytest.raises(SerializationError):
+            decode(raw[:-2])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SerializationError):
+            decode(encode(1) + b"\x00")
+
+    def test_unknown_tag(self):
+        with pytest.raises(SerializationError):
+            decode(b"\xfe")
+
+    def test_empty_input(self):
+        with pytest.raises(SerializationError):
+            decode(b"")
+
+
+_json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**70), max_value=2**70)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=30)
+    | st.binary(max_size=30),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20,
+)
+
+
+class TestProperties:
+    @given(_json_like)
+    @settings(max_examples=150)
+    def test_roundtrip_identity(self, value):
+        assert roundtrip(value) == value
+
+    @given(
+        np_arrays(
+            dtype=st.sampled_from([np.int32, np.float32, np.float64, np.uint8]),
+            shape=st.tuples(st.integers(0, 8), st.integers(0, 8)),
+        )
+    )
+    @settings(max_examples=80)
+    def test_array_roundtrip(self, arr):
+        out = roundtrip(arr)
+        assert out.dtype == arr.dtype
+        assert out.shape == arr.shape
+        assert np.array_equal(out, arr, equal_nan=True)
+
+    @given(_json_like)
+    @settings(max_examples=60)
+    def test_encoding_deterministic(self, value):
+        assert encode(value) == encode(value)

@@ -1,0 +1,153 @@
+"""End-to-end workload correctness on the distributed stack.
+
+Every Table I application runs distributed across multiple nodes with
+real data and is validated against its NumPy reference; fast paths are
+validated against the interpreter (the justification for using them at
+scale).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HaoCLSession
+from repro.ocl.fastpath import FastPathRegistry
+from repro.workloads import get_workload, partition_ranges, workload_names
+
+SMALL_SCALES = {
+    "matrixmul": 24, "knn": 200, "bfs": 150, "spmv": 120, "cfd": 60,
+}
+TINY_SCALES = {
+    "matrixmul": 8, "knn": 40, "bfs": 40, "spmv": 24, "cfd": 10,
+}
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with HaoCLSession(gpu_nodes=2, fpga_nodes=1, mode="real",
+                      transport="inproc") as session:
+        yield session
+
+
+class TestRegistry:
+    def test_all_five_registered(self):
+        assert workload_names() == ["bfs", "cfd", "knn", "matrixmul", "spmv"]
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("raytracer")
+
+    def test_kernel_sources_load(self):
+        for name in workload_names():
+            assert "__kernel" in get_workload(name).source
+
+    def test_table1_metadata(self):
+        for name in workload_names():
+            workload = get_workload(name)
+            assert workload.description
+            assert workload.table1_size
+
+
+class TestPartitioning:
+    def test_ranges_cover_exactly(self):
+        ranges = partition_ranges(10, 3)
+        assert ranges == [(0, 4), (4, 3), (7, 3)]
+
+    def test_more_parts_than_items(self):
+        ranges = partition_ranges(2, 4)
+        assert sum(count for _start, count in ranges) == 2
+        assert len(ranges) == 4
+
+    def test_single_part(self):
+        assert partition_ranges(7, 1) == [(0, 7)]
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            partition_ranges(5, 0)
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_SCALES))
+class TestDistributedCorrectness:
+    def test_distributed_run_matches_reference(self, cluster, name):
+        workload = get_workload(name)
+        inputs = workload.generate(SMALL_SCALES[name], seed=9)
+        outputs = workload.run(cluster, inputs, cluster.devices)
+        expected = workload.reference(inputs)
+        assert workload.validate(outputs, expected), name
+
+    def test_single_device_run(self, cluster, name):
+        workload = get_workload(name)
+        inputs = workload.generate(SMALL_SCALES[name], seed=4)
+        outputs = workload.run(cluster, inputs, cluster.devices[:1])
+        assert workload.validate(outputs, workload.reference(inputs)), name
+
+
+@pytest.mark.parametrize("name", sorted(TINY_SCALES))
+def test_fastpath_matches_interpreter(name):
+    """Runs each app twice: through the registered NumPy fast paths and
+    through the pure interpreter (empty registry); both must validate."""
+    workload = get_workload(name)
+    inputs = workload.generate(TINY_SCALES[name], seed=13)
+    expected = workload.reference(inputs)
+    with HaoCLSession(gpu_nodes=2, mode="real", transport="inproc",
+                      fastpaths=FastPathRegistry()) as interp_session:
+        out_interp = workload.run(interp_session, inputs,
+                                  interp_session.devices)
+    with HaoCLSession(gpu_nodes=2, mode="real",
+                      transport="inproc") as fast_session:
+        out_fast = workload.run(fast_session, inputs, fast_session.devices)
+    assert workload.validate(out_interp, expected), "%s interpreter" % name
+    assert workload.validate(out_fast, expected), "%s fastpath" % name
+
+
+class TestSpMVHetero:
+    def test_stage_partitioned_hetero_run(self, cluster):
+        workload = get_workload("spmv")
+        inputs = workload.generate(150, seed=2)
+        y = workload.run_hetero(
+            cluster, inputs,
+            cluster.devices_of("GPU"), cluster.devices_of("FPGA"),
+        )
+        assert workload.validate(y, workload.reference(inputs))
+
+
+class TestSyntheticRuns:
+    @pytest.mark.parametrize("name", sorted(SMALL_SCALES))
+    def test_synthetic_breakdown_structure(self, name):
+        workload = get_workload(name)
+        with HaoCLSession(gpu_nodes=2, mode="modeled",
+                          transport="sim") as session:
+            breakdown = workload.run_synthetic(session, 50_000,
+                                               session.devices)
+        for key in ("create", "transfer", "compute", "total"):
+            assert key in breakdown
+            assert breakdown[key] >= 0
+        assert breakdown["total"] >= breakdown["compute"]
+
+    def test_matrixmul_scaling_shape(self):
+        workload = get_workload("matrixmul")
+
+        def total(nodes):
+            with HaoCLSession(gpu_nodes=nodes, mode="modeled",
+                              transport="sim") as session:
+                return workload.run_synthetic(session, 2500,
+                                              session.devices)["total"]
+
+        assert total(4) < total(1)
+
+    def test_tiled_matmul_kernel_with_barriers(self, cluster):
+        """The __local tiled variant must agree with the naive kernel."""
+        workload = get_workload("matrixmul")
+        n = 16
+        inputs = workload.generate(n, seed=5)
+        ctx = cluster.context(cluster.devices[:1])
+        prog = cluster.program(ctx, workload.source, "-DBS=4")
+        device = cluster.devices[0]
+        queue = cluster.queue(ctx, device)
+        buf_a = cluster.buffer_from(ctx, inputs["A"])
+        buf_b = cluster.buffer_from(ctx, inputs["B"])
+        buf_c = cluster.empty_buffer(ctx, n * n * 4)
+        kernel = cluster.kernel(prog, "matmul_tiled", buf_a, buf_b, buf_c,
+                                np.int32(n))
+        cluster.enqueue(queue, kernel, (n, n), (4, 4))
+        out = cluster.read_array(queue, buf_c, np.float32, (n, n))
+        assert np.allclose(out, inputs["A"] @ inputs["B"], atol=1e-3)

@@ -1,0 +1,109 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import datagen
+
+
+class TestMatrices:
+    def test_shape_and_dtype(self):
+        m = datagen.random_matrix(10, seed=1)
+        assert m.shape == (10, 10)
+        assert m.dtype == np.float32
+
+    def test_seeded_determinism(self):
+        assert np.array_equal(datagen.random_matrix(8, 3),
+                              datagen.random_matrix(8, 3))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(datagen.random_matrix(8, 1),
+                                  datagen.random_matrix(8, 2))
+
+    def test_value_range(self):
+        m = datagen.random_matrix(50)
+        assert m.min() >= -1.0
+        assert m.max() < 1.0
+
+
+class TestGraphs:
+    def test_rmat_csr_invariants(self):
+        row_offsets, columns = datagen.rmat_graph(100, 500, seed=0)
+        assert row_offsets[0] == 0
+        assert row_offsets[-1] == 500
+        assert (np.diff(row_offsets) >= 0).all()
+        assert columns.min() >= 0
+        assert columns.max() < 100
+
+    def test_rmat_is_skewed(self):
+        row_offsets, _ = datagen.rmat_graph(1000, 20_000, seed=1)
+        degrees = np.diff(row_offsets)
+        # power-law-ish: the busiest vertex far exceeds the mean
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_uniform_graph_fixed_degree(self):
+        row_offsets, columns = datagen.uniform_graph(50, 4, seed=0)
+        assert (np.diff(row_offsets) == 4).all()
+        assert len(columns) == 200
+
+    @given(st.integers(2, 200), st.integers(1, 400))
+    @settings(max_examples=30, deadline=None)
+    def test_rmat_offsets_always_consistent(self, nverts, nedges):
+        row_offsets, columns = datagen.rmat_graph(nverts, nedges, seed=5)
+        assert len(row_offsets) == nverts + 1
+        assert len(columns) == nedges
+        assert row_offsets[-1] == nedges
+
+
+class TestSparseMatrices:
+    def test_banded_csr_invariants(self):
+        row_ptr, cols, vals = datagen.banded_csr(100, 8, seed=0)
+        assert row_ptr[-1] == 800
+        assert len(cols) == len(vals) == 800
+        assert cols.min() >= 0
+        assert cols.max() < 100
+
+    def test_columns_sorted_within_rows(self):
+        row_ptr, cols, _ = datagen.banded_csr(50, 6, seed=2)
+        for i in range(50):
+            row = cols[row_ptr[i] : row_ptr[i + 1]]
+            assert (np.diff(row) >= 0).all()
+
+    def test_band_limit(self):
+        row_ptr, cols, _ = datagen.banded_csr(1000, 4, seed=0, bandwidth=10)
+        rows = np.repeat(np.arange(1000), 4)
+        assert (np.abs(cols - rows) <= 10).all()
+
+
+class TestMesh:
+    def test_mesh_shapes(self):
+        neighbors, normals, areas = datagen.unstructured_mesh(64, 4, seed=0)
+        assert neighbors.shape == (64, 4)
+        assert normals.shape == (64, 4, 3)
+        assert areas.shape == (64,)
+
+    def test_no_self_loops(self):
+        neighbors, _, _ = datagen.unstructured_mesh(128, 4, seed=1)
+        own = np.arange(128)[:, None]
+        valid = neighbors >= 0
+        assert not (neighbors[valid] == np.broadcast_to(own, neighbors.shape)[valid]).any()
+
+    def test_boundaries_marked(self):
+        neighbors, _, _ = datagen.unstructured_mesh(
+            500, 4, seed=2, boundary_fraction=0.3
+        )
+        fraction = (neighbors == -1).mean()
+        assert 0.2 < fraction < 0.4
+
+    def test_areas_positive(self):
+        _, _, areas = datagen.unstructured_mesh(100, 4, seed=0)
+        assert (areas > 0).all()
+
+    def test_initial_variables_physical(self):
+        variables = datagen.initial_cfd_variables(100, seed=0).reshape(100, 5)
+        assert (variables[:, 0] > 0).all()  # density
+        kinetic = 0.5 * (variables[:, 1:4] ** 2).sum(axis=1) / variables[:, 0]
+        pressure = 0.4 * (variables[:, 4] - kinetic)
+        assert (pressure > 0).all()
