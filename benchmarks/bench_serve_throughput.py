@@ -1,0 +1,80 @@
+"""Serving-path baseline: jobs/sec and queue-wait percentiles.
+
+Measures the HaoCLService dispatch loop end to end on the in-proc
+cluster for 1 vs 8 concurrent tenants, batched vs per-job -- the
+numbers later scaling PRs (sharding, async transport, result caching)
+must not regress.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_serve_throughput.py -q
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HaoCLSession
+from repro.serve import HaoCLService, Job
+
+SAXPY = """
+__kernel void saxpy(__global float* y, __global const float* x,
+                    float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) y[i] = y[i] + a * x[i];
+}
+"""
+
+N = 128
+JOBS = 48
+
+
+def saxpy_job(tenant):
+    y = np.ones(N, dtype=np.float32)
+    x = np.ones(N, dtype=np.float32)
+    return Job(tenant, SAXPY, "saxpy", [y, x, 2.0, np.int32(N)], (N,))
+
+
+def serve_round(session, tenants, batching=True):
+    """Submit JOBS jobs spread over ``tenants`` lanes and drain them."""
+    with HaoCLService(session, batching=batching, max_batch=16) as service:
+        for name in tenants:
+            service.register_tenant(name)
+        for index in range(JOBS):
+            service.submit(saxpy_job(tenants[index % len(tenants)]))
+        service.run()
+        assert service.jobs_dispatched == JOBS
+        return service.stats()
+
+
+@pytest.fixture(scope="module")
+def session():
+    with HaoCLSession(gpu_nodes=2, fpga_nodes=1, mode="real",
+                      transport="inproc") as session:
+        yield session
+
+
+class TestServeThroughput:
+    def test_single_tenant_jobs_per_sec(self, benchmark, session):
+        stats = benchmark(serve_round, session, ["solo"])
+        assert stats["solo"]["completed"] == JOBS
+
+    def test_eight_tenants_jobs_per_sec(self, benchmark, session):
+        tenants = ["t%d" % i for i in range(8)]
+        stats = benchmark(serve_round, session, tenants)
+        assert sum(s["completed"] for s in stats.values()) == JOBS
+
+    def test_per_job_dispatch_baseline(self, benchmark, session):
+        """The unbatched path: what batching is amortising away."""
+        stats = benchmark(serve_round, session, ["solo"], batching=False)
+        assert stats["solo"]["completed"] == JOBS
+
+
+class TestQueueWaitPercentiles:
+    @pytest.mark.parametrize("ntenants", [1, 8])
+    def test_report_queue_wait(self, session, ntenants, capsys):
+        tenants = ["t%d" % i for i in range(ntenants)]
+        stats = serve_round(session, tenants)
+        p50 = max(s["queue_wait_p50_s"] for s in stats.values())
+        p99 = max(s["queue_wait_p99_s"] for s in stats.values())
+        assert 0 <= p50 <= p99
+        with capsys.disabled():
+            print("\n[serve] %d tenant(s): queue wait p50=%.2fms p99=%.2fms"
+                  % (ntenants, p50 * 1e3, p99 * 1e3))

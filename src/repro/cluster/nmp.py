@@ -84,6 +84,9 @@ class NodeManagementProcess(NodeHandler):
         self._claims = {}
         #: per-kernel profile: name -> [count, total_s, total_items]
         self.kernel_profile = {}
+        #: per-tenant accounting from job-tagged commands (§III-D user
+        #: fields extended for the serving layer): tenant -> record
+        self.tenant_profile = {}
         self.messages_handled = 0
 
     # -- dispatch ----------------------------------------------------------------
@@ -310,12 +313,29 @@ class NodeManagementProcess(NodeHandler):
         profile[0] += 1
         profile[1] += event.duration_s
         profile[2] += items
+        tenant = payload.get("tenant") or payload.get("user")
+        if tenant is not None:
+            record = self.tenant_profile.setdefault(
+                tenant,
+                {"launches": 0, "busy_s": 0.0, "jobs": 0, "last_job": None},
+            )
+            record["launches"] += 1
+            record["busy_s"] += event.duration_s
+            job = payload.get("job")
+            if job is not None and job != record["last_job"]:
+                # a job's launches arrive consecutively per tenant, so
+                # an edge-triggered counter stays bounded (no id set)
+                record["jobs"] += 1
+                record["last_job"] = job
         return {"duration_s": event.duration_s}, now_s
 
     def _op_finish(self, payload, now_s):
         queue = self._tables["queue"].get(payload["queue"])
         device = queue.device
         ready = max(self._ready_at[device.id], now_s)
+        # finish is the sync point: the per-command completion records
+        # are consumed here so long-lived queues stay bounded
+        del queue.events[:]
         return {
             "device_clock_s": device.clock_s,
             "busy_s": device.busy_s,
@@ -365,9 +385,18 @@ class NodeManagementProcess(NodeHandler):
             name: {"count": c, "total_s": t, "items": i}
             for name, (c, t, i) in self.kernel_profile.items()
         }
+        tenants = {
+            name: {
+                "launches": record["launches"],
+                "busy_s": record["busy_s"],
+                "jobs": record["jobs"],
+            }
+            for name, record in self.tenant_profile.items()
+        }
         return {
             "node_id": self.node_id,
             "devices": devices,
             "kernels": kernels,
+            "tenants": tenants,
             "messages": self.messages_handled,
         }, now_s

@@ -132,6 +132,28 @@ class ICDDispatcher:
 
         return self._cached("buffer", buffer.uid, node_id, create)
 
+    def release_remote(self, kind, uid):
+        """Free every node-side handle of one wrapper object (the
+        clRelease* message) and forget the cache entries."""
+        keys = [k for k in self._handles if k[0] == kind and k[1] == uid]
+        for key in keys:
+            node_id = key[2]
+            self.host.call(node_id, "release", kind=kind,
+                           handle=self._handles[key])
+            del self._handles[key]
+
+    def release_buffer(self, buffer):
+        """clReleaseMemObject across the cluster: free every node
+        replica and forget its handles.  The host shadow lives as long
+        as the wrapper object; long-running layers (repro.serve) call
+        this per job so node memory stays bounded.  A replica holding
+        the only fresh copy is gathered back first, so releasing never
+        silently promotes a stale host shadow."""
+        if buffer.fresh and HOST not in buffer.fresh:
+            self._fetch_to_host(buffer)
+        self.release_remote("buffer", buffer.uid)
+        buffer.fresh = {HOST}
+
     def ensure_fresh(self, buffer, device):
         """Make ``device``'s node hold current data for ``buffer``.
 

@@ -65,6 +65,17 @@ class SchedulingPolicy:
     def select(self, task):
         raise NotImplementedError
 
+    def select_batch(self, task, njobs=1):
+        """Placement hook for batched dispatch (:mod:`repro.serve`).
+
+        ``task`` describes one representative launch of the batch with
+        ``num_work_items`` already scaled to the whole batch; ``njobs``
+        is the batch size.  Policies that want batch-specific behaviour
+        (e.g. splitting a batch) can override this; the default treats
+        the batch as one large launch and delegates to :meth:`select`.
+        """
+        return self.select(task)
+
     def observe(self, task, device, duration_s):
         """Post-execution feedback hook (duration on the chosen device)."""
 

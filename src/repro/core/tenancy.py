@@ -5,6 +5,12 @@ host-side lease protocol: a user acquires devices (shared or exclusive)
 before launching work, and conflicting exclusive claims are refused with
 CL_DEVICE_NOT_AVAILABLE -- the multi-user capability the paper claims
 over SnuCL.
+
+Long-running services (:mod:`repro.serve`) hold leases across many
+dispatches; for them a lease can carry a TTL and be renewed between
+batches, and :func:`try_acquire` offers a non-raising acquire path so an
+unavailable device is an ordinary scheduling outcome rather than an
+exception.
 """
 
 from repro.ocl import enums
@@ -18,14 +24,23 @@ class DeviceLease:
 
         with DeviceLease(session.cl, "alice", devices, shared=False):
             ...launch kernels...
+
+    With ``ttl_s`` set, the lease carries a host-side expiry that a
+    long-running holder refreshes with :meth:`renew`; the claim on the
+    nodes themselves does not expire (release is explicit), the TTL is
+    the holder's own liveness contract.
     """
 
-    def __init__(self, driver, user, devices, shared=True):
+    def __init__(self, driver, user, devices, shared=True, ttl_s=None):
         self.driver = driver
         self.user = user
         self.devices = list(devices)
         self.shared = shared
+        self.ttl_s = None if ttl_s is None else float(ttl_s)
         self.active = False
+        self.acquired_s = None
+        self.expires_s = None
+        self.renewals = 0
 
     def acquire(self):
         granted = []
@@ -42,7 +57,36 @@ class DeviceLease:
                 self._release_one(device)
             raise
         self.active = True
+        self._stamp()
         return self
+
+    def renew(self):
+        """Re-assert the claim on every node and extend the expiry.
+
+        Re-sending acquire_device is idempotent for the claim's owner;
+        it also re-establishes the claim after a node restart, which is
+        what makes renewal meaningful for a long-running service.
+        """
+        if not self.active:
+            raise CLError(enums.CL_INVALID_OPERATION,
+                          "cannot renew an inactive lease")
+        for device in self.devices:
+            self.driver.host.call(
+                device.node_id, "acquire_device",
+                device=device.local_handle, user=self.user,
+                shared=self.shared,
+            )
+        self.renewals += 1
+        self._stamp()
+        return self
+
+    def expired(self, now_s=None):
+        """Whether the holder's TTL lapsed (never, without a TTL)."""
+        if self.expires_s is None:
+            return False
+        if now_s is None:
+            now_s = self.driver.host.now_s()
+        return now_s >= self.expires_s
 
     def release(self):
         if not self.active:
@@ -50,6 +94,13 @@ class DeviceLease:
         for device in self.devices:
             self._release_one(device)
         self.active = False
+        self.expires_s = None
+
+    def _stamp(self):
+        self.acquired_s = self.driver.host.now_s()
+        self.expires_s = (
+            None if self.ttl_s is None else self.acquired_s + self.ttl_s
+        )
 
     def _release_one(self, device):
         self.driver.host.call(
@@ -65,9 +116,14 @@ class DeviceLease:
         return False
 
 
-def try_acquire(driver, user, devices, shared=True):
-    """Acquire a lease or return None if any device is unavailable."""
-    lease = DeviceLease(driver, user, devices, shared)
+def try_acquire(driver, user, devices, shared=True, ttl_s=None):
+    """Acquire a lease or return None if any device is unavailable.
+
+    The non-raising acquire path: contention (CL_DEVICE_NOT_AVAILABLE)
+    becomes ``None``; any other failure still raises, because it signals
+    a real error rather than an admission decision.
+    """
+    lease = DeviceLease(driver, user, devices, shared, ttl_s=ttl_s)
     try:
         return lease.acquire()
     except CLError as exc:

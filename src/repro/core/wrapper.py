@@ -275,6 +275,11 @@ class HaoCL:
         self.icd = ICDDispatcher(host_process)
         self.profiler = profiler or Profiler()
         self.user = user
+        #: billing identity carried by NMP commands when it differs from
+        #: ``user`` (the serving layer runs jobs on behalf of tenants)
+        self.tenant = None
+        #: job id carried by NMP commands for per-job accounting
+        self.job_tag = None
         self.platform = HPlatform(self)
         if isinstance(policy, SchedulingPolicy):
             self.policy = policy
@@ -473,6 +478,10 @@ class HaoCL:
         return event
 
     def _build_task(self, queue, kernel, global_size):
+        return self._task_context(kernel, global_size,
+                                  list(queue.context.devices), queue.device)
+
+    def _task_context(self, kernel, global_size, candidates, queue_device):
         num_items = 1
         for dim in np.atleast_1d(global_size):
             num_items *= int(dim)
@@ -481,7 +490,7 @@ class HaoCL:
         locations = {buf.uid: set(buf.fresh) for _name, buf in buffers}
         sizes = {buf.uid: buf.size for _name, buf in buffers}
         stale = {}
-        for device in queue.context.devices:
+        for device in candidates:
             total = 0
             for _name, buf in buffers:
                 if device.node_id not in buf.fresh:
@@ -491,14 +500,35 @@ class HaoCL:
             kernel_name=kernel.name,
             num_work_items=num_items,
             cost=cost,
-            queue_device=queue.device,
-            candidates=list(queue.context.devices),
+            queue_device=queue_device,
+            candidates=list(candidates),
             buffer_locations=locations,
             buffer_sizes=sizes,
             stale_bytes=stale,
             device_ready_s=dict(self._device_ready),
             user=self.user,
         )
+
+    def plan_placement(self, kernel, global_size, candidates, njobs=1,
+                       policy=None):
+        """Placement hook for layers above the wrapper (:mod:`repro.serve`).
+
+        Builds the TaskContext a launch of ``kernel`` would see --
+        scaled to a batch of ``njobs`` identical launches -- restricted
+        to ``candidates``, and asks ``policy`` (default: this driver's
+        policy) to pick a device *without dispatching anything*.  The
+        caller then binds a queue to the returned device and dispatches
+        under user-directed semantics.
+        """
+        check(bool(candidates), enums.CL_INVALID_DEVICE,
+              "placement needs at least one candidate device")
+        task = self._task_context(kernel, global_size, candidates, None)
+        task.num_work_items *= max(1, int(njobs))
+        policy = policy or self.policy
+        device = policy.select_batch(task, njobs)
+        check(device in task.candidates, enums.CL_INVALID_DEVICE,
+              "policy chose a device outside the candidate set")
+        return device
 
     def _dispatch(self, queue, kernel, device, global_size, local_size,
                   global_offset):
@@ -559,6 +589,8 @@ class HaoCL:
                 if global_offset is not None else None
             ),
             user=self.user,
+            tenant=self.tenant,
+            job=self.job_tag,
         )
         # consistency: written buffers now live on the executing node only
         for name, buffer in kernel.buffer_args():

@@ -1,0 +1,41 @@
+"""The serving layer: a multi-tenant job service above the cluster.
+
+The paper's multi-user support (§III-D) stops at per-device leases that
+*refuse* conflicting work; this package *queues, admits and dispatches*
+it instead, which is what a production deployment serving many users
+needs:
+
+- :mod:`repro.serve.job`       -- the Job abstraction (tenant, priority,
+  deadline, resource estimate);
+- :mod:`repro.serve.queue`     -- per-tenant lanes + weighted deficit
+  round-robin fair share;
+- :mod:`repro.serve.admission` -- memory-capacity and queue-depth
+  admission with typed rejections;
+- :mod:`repro.serve.batcher`   -- coalesces compatible jobs to amortise
+  NMP round-trips;
+- :mod:`repro.serve.service`   -- the HaoCLService event loop gluing
+  leases, placement and dispatch together.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionError,
+    JobTooLarge,
+    QueueFull,
+)
+from repro.serve.batcher import Batch, Batcher
+from repro.serve.job import Job
+from repro.serve.queue import FairShareQueue
+from repro.serve.service import HaoCLService
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "Batch",
+    "Batcher",
+    "FairShareQueue",
+    "HaoCLService",
+    "Job",
+    "JobTooLarge",
+    "QueueFull",
+]

@@ -1,0 +1,123 @@
+"""Admission control: refuse work the cluster cannot hold.
+
+The controller answers two questions the service asks before and after
+queueing:
+
+- *admit*: may this job enter the system at all?  A job whose estimated
+  buffer footprint exceeds every device's memory capacity (queried from
+  :mod:`repro.core.scheduler.device_model`) can never run and is
+  rejected with a typed error; a full queue pushes back instead of
+  growing without bound.
+- *fits_now*: can this job's buffers be placed on a given device right
+  now, given the bytes already reserved there?  Jobs that are too big
+  *now* but not forever are deferred, not rejected.
+"""
+
+from repro.core.scheduler.device_model import model_for
+
+
+class AdmissionError(Exception):
+    """Base class for typed admission decisions."""
+
+    reason = "admission"
+
+    def __init__(self, message, job=None):
+        super().__init__(message)
+        self.job = job
+
+
+class JobTooLarge(AdmissionError):
+    """The job's footprint exceeds every device's memory capacity."""
+
+    reason = "over-capacity"
+
+
+class QueueFull(AdmissionError):
+    """Backpressure: the queue (global or per-tenant) is at its bound."""
+
+    reason = "queue-full"
+
+
+class AdmissionController:
+    """Memory-capacity and queue-depth admission for a device set."""
+
+    def __init__(self, devices, max_queue_depth=256, max_tenant_depth=None,
+                 headroom=0.9):
+        if not devices:
+            raise ValueError("admission needs at least one device")
+        if not 0 < headroom <= 1.0:
+            raise ValueError("headroom must be in (0, 1]")
+        self.devices = list(devices)
+        self.max_queue_depth = int(max_queue_depth)
+        self.max_tenant_depth = (
+            None if max_tenant_depth is None else int(max_tenant_depth)
+        )
+        self.headroom = float(headroom)
+        #: device global_id -> capacity the controller will fill
+        self._capacity = {
+            device.global_id: int(model_for(device).global_mem_bytes * headroom)
+            for device in devices
+        }
+        #: device global_id -> bytes reserved by in-flight jobs
+        self._reserved = {device.global_id: 0 for device in devices}
+
+    # -- submission-time admission --------------------------------------------
+
+    def admit(self, job, queue_depth, tenant_depth=0):
+        """Raise a typed :class:`AdmissionError` if the job may not enter."""
+        limit = max(self._capacity.values())
+        if job.footprint_bytes > limit:
+            raise JobTooLarge(
+                "job #%d needs %d B but the largest device holds %d B"
+                % (job.job_id, job.footprint_bytes, limit),
+                job=job,
+            )
+        if queue_depth >= self.max_queue_depth:
+            raise QueueFull(
+                "queue depth %d at its bound %d; retry later"
+                % (queue_depth, self.max_queue_depth),
+                job=job,
+            )
+        if (self.max_tenant_depth is not None
+                and tenant_depth >= self.max_tenant_depth):
+            raise QueueFull(
+                "tenant %r depth %d at its bound %d; retry later"
+                % (job.tenant, tenant_depth, self.max_tenant_depth),
+                job=job,
+            )
+        return job
+
+    # -- placement-time capacity ----------------------------------------------
+
+    def capacity_bytes(self, device):
+        return self._capacity[device.global_id]
+
+    def free_bytes(self, device):
+        return self._capacity[device.global_id] - self._reserved[device.global_id]
+
+    def fits_now(self, nbytes, device):
+        return nbytes <= self.free_bytes(device)
+
+    def candidates(self, nbytes, devices=None):
+        """Devices with enough free memory for ``nbytes`` right now."""
+        pool = self.devices if devices is None else devices
+        return [d for d in pool if self.fits_now(nbytes, d)]
+
+    def reserve(self, nbytes, device):
+        if not self.fits_now(nbytes, device):
+            raise JobTooLarge(
+                "%d B do not fit on %s (%d B free)"
+                % (nbytes, device.name, self.free_bytes(device))
+            )
+        self._reserved[device.global_id] += int(nbytes)
+
+    def release(self, nbytes, device):
+        gid = device.global_id
+        self._reserved[gid] = max(0, self._reserved[gid] - int(nbytes))
+
+    def __repr__(self):
+        used = {
+            gid: "%d/%d" % (self._reserved[gid], self._capacity[gid])
+            for gid in sorted(self._capacity)
+        }
+        return "AdmissionController(%s)" % used

@@ -1,0 +1,88 @@
+"""Batch formation: coalesce compatible jobs into one dispatch.
+
+Every job dispatched alone pays the full NMP setup tax: a program
+build, a kernel create and a queue drain, each a fabric round-trip.
+Jobs that share a program and kernel (the common serving case: many
+tenants hitting the same model/kernel) can share those messages -- the
+batcher pulls the fair-share queue's next job plus up to
+``max_batch - 1`` signature-compatible jobs from any lane, and the
+service dispatches them through one program/kernel with a single drain,
+amortising the round-trips the NMP would otherwise repeat per job.
+"""
+
+
+class Batch:
+    """An ordered group of signature-compatible jobs."""
+
+    def __init__(self, jobs):
+        if not jobs:
+            raise ValueError("a batch needs at least one job")
+        self.jobs = list(jobs)
+        self.signature = jobs[0].signature()
+        for job in jobs[1:]:
+            if job.signature() != self.signature:
+                raise ValueError("incompatible job in batch: %r" % job)
+
+    @property
+    def source(self):
+        return self.jobs[0].source
+
+    @property
+    def options(self):
+        return self.jobs[0].options
+
+    @property
+    def kernel_name(self):
+        return self.jobs[0].kernel_name
+
+    @property
+    def footprint_bytes(self):
+        """Peak reservation when the whole batch is resident at once."""
+        return sum(job.footprint_bytes for job in self.jobs)
+
+    @property
+    def work_items(self):
+        total = 0
+        for job in self.jobs:
+            items = 1
+            for dim in job.global_size:
+                items *= int(dim)
+            total += items
+        return total
+
+    def tenants(self):
+        return sorted({job.tenant for job in self.jobs})
+
+    def __len__(self):
+        return len(self.jobs)
+
+    def __iter__(self):
+        return iter(self.jobs)
+
+    def __repr__(self):
+        return "Batch(%s x%d, tenants=%s)" % (
+            self.kernel_name, len(self.jobs), ",".join(self.tenants())
+        )
+
+
+class Batcher:
+    """Forms batches from a :class:`~repro.serve.queue.FairShareQueue`."""
+
+    def __init__(self, queue, max_batch=16, enabled=True):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.queue = queue
+        self.max_batch = int(max_batch)
+        self.enabled = bool(enabled)
+
+    def next_batch(self):
+        """The next batch in fair-share order, or None when idle."""
+        lead = self.queue.next_job()
+        if lead is None:
+            return None
+        if not self.enabled or self.max_batch == 1:
+            return Batch([lead])
+        extra = self.queue.take_compatible(
+            lead.signature(), self.max_batch - 1
+        )
+        return Batch([lead] + extra)

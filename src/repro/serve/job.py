@@ -1,0 +1,118 @@
+"""The unit of work the serving layer schedules.
+
+A :class:`Job` wraps one kernel invocation the way a tenant submits it:
+program source, kernel name, arguments (NumPy arrays for ``__global``
+pointer parameters, plain numbers for scalars), an NDRange, plus the
+serving metadata the queue and admission layers act on -- tenant id,
+priority, deadline and a resource estimate.  The service materialises
+buffers, dispatches the launch, and fills :attr:`result` with the
+written arrays.
+"""
+
+import hashlib
+import itertools
+
+import numpy as np
+
+_ids = itertools.count(1)
+
+#: job lifecycle states
+PENDING = "pending"
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+REJECTED = "rejected"
+EXPIRED = "expired"
+FAILED = "failed"
+
+
+class Job:
+    """One tenant-submitted kernel invocation."""
+
+    def __init__(self, tenant, source, kernel_name, args, global_size,
+                 local_size=None, priority=0, deadline_s=None,
+                 footprint_bytes=None, options="", tag=None):
+        self.job_id = next(_ids)
+        self.tenant = tenant
+        self.source = source
+        self.kernel_name = kernel_name
+        self.args = list(args)
+        self.global_size = tuple(np.atleast_1d(global_size))
+        self.local_size = (
+            None if local_size is None else tuple(np.atleast_1d(local_size))
+        )
+        self.priority = int(priority)
+        #: seconds after submission by which the job must *start*;
+        #: past it, the service drops the job as expired
+        self.deadline_s = None if deadline_s is None else float(deadline_s)
+        self._footprint_bytes = footprint_bytes
+        self._signature = None
+        self.options = options or ""
+        self.tag = tag
+        self.state = PENDING
+        self.submitted_s = None
+        self.started_s = None
+        self.finished_s = None
+        #: param name -> NumPy array for every written pointer argument
+        self.result = None
+        self.error = None
+        self.device = None
+
+    # -- resource estimate -----------------------------------------------------
+
+    @property
+    def footprint_bytes(self):
+        """Estimated device-memory footprint: every buffer argument
+        resident at once (the admission controller's currency)."""
+        if self._footprint_bytes is not None:
+            return int(self._footprint_bytes)
+        total = 0
+        for value in self.args:
+            if isinstance(value, np.ndarray):
+                total += value.nbytes
+        return total
+
+    @property
+    def cost(self):
+        """Fair-share cost: bytes the job occupies (min 1 so zero-buffer
+        jobs still consume deficit)."""
+        return max(1, self.footprint_bytes)
+
+    # -- batching compatibility ------------------------------------------------
+
+    def signature(self):
+        """Jobs with equal signatures may share a batched dispatch:
+        same program source, build options and kernel."""
+        if self._signature is None:
+            digest = hashlib.sha1(
+                ("%s\x00%s" % (self.options, self.source)).encode("utf-8")
+            ).hexdigest()
+            self._signature = (digest, self.kernel_name)
+        return self._signature
+
+    # -- timings ---------------------------------------------------------------
+
+    @property
+    def queue_wait_s(self):
+        if self.submitted_s is None or self.started_s is None:
+            return None
+        return self.started_s - self.submitted_s
+
+    @property
+    def service_time_s(self):
+        if self.started_s is None or self.finished_s is None:
+            return None
+        return self.finished_s - self.started_s
+
+    def past_deadline(self, now_s):
+        return (
+            self.deadline_s is not None
+            and self.submitted_s is not None
+            and now_s - self.submitted_s > self.deadline_s
+        )
+
+    def __repr__(self):
+        return "Job(#%d %s/%s, %s, %d B)" % (
+            self.job_id, self.tenant, self.kernel_name, self.state,
+            self.footprint_bytes,
+        )

@@ -1,0 +1,482 @@
+"""The multi-tenant job service.
+
+:class:`HaoCLService` turns a running :class:`~repro.core.HaoCLSession`
+into a long-running serving loop:
+
+1. tenants :meth:`submit` jobs; admission control rejects impossible
+   work and pushes back on unbounded queues;
+2. the fair-share queue + batcher pick the next batch of compatible
+   jobs in weighted deficit-round-robin order;
+3. the service acquires (and renews) shared :class:`DeviceLease`\\ s,
+   places the batch through the scheduler's placement hook, and
+   dispatches it with one shared program/kernel and a single drain;
+4. per-tenant statistics (counts, queue wait, service time) accumulate
+   host-side, while the NMPs account launches per tenant from the
+   job-tagged commands.
+"""
+
+import collections
+
+import numpy as np
+
+from repro.core.scheduler import TaskContext, create_policy
+from repro.core.scheduler.base import SchedulingPolicy
+from repro.core.tenancy import try_acquire
+from repro.ocl import enums
+from repro.ocl.errors import CLError
+from repro.serve.admission import AdmissionController, AdmissionError
+from repro.serve.batcher import Batcher
+from repro.serve.job import DONE, EXPIRED, FAILED, REJECTED, RUNNING
+from repro.serve.queue import FairShareQueue
+
+
+class TenantStats:
+    """Host-side serving statistics for one tenant."""
+
+    #: completed-job wait samples kept for percentiles; bounded so a
+    #: long-running service does not grow with every job served
+    WAIT_WINDOW = 4096
+
+    def __init__(self, weight=1.0):
+        self.weight = weight
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.expired = 0
+        self.failed = 0
+        self.queue_waits = collections.deque(maxlen=self.WAIT_WINDOW)
+        self.service_s = 0.0
+
+    def as_dict(self):
+        waits = np.asarray(self.queue_waits, dtype=np.float64)
+        return {
+            "weight": self.weight,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "failed": self.failed,
+            "queue_wait_p50_s": float(np.percentile(waits, 50)) if waits.size else 0.0,
+            "queue_wait_p99_s": float(np.percentile(waits, 99)) if waits.size else 0.0,
+            "service_time_s": self.service_s,
+        }
+
+
+class HaoCLService:
+    """Admission + fair share + batched dispatch over one cluster."""
+
+    def __init__(self, session, policy="load-aware", quantum=1,
+                 fairness="jobs", max_batch=16, batching=True,
+                 admission=None, lease_shared=True, lease_ttl_s=30.0,
+                 user="serve", max_cached_programs=32):
+        self.session = session
+        self.driver = session.cl
+        self.user = user
+        self.lease_shared = bool(lease_shared)
+        self.lease_ttl_s = lease_ttl_s
+        self.queue = FairShareQueue(quantum=quantum, cost=fairness)
+        self.admission = admission or AdmissionController(session.devices)
+        if isinstance(policy, SchedulingPolicy):
+            self.placement = policy
+        else:
+            self.placement = create_policy(policy)
+        self.batching = bool(batching)
+        self.batcher = Batcher(self.queue, max_batch=max_batch,
+                               enabled=self.batching)
+        self._stats = {}
+        self._context = None
+        self.max_cached_programs = int(max_cached_programs)
+        self._programs = {}   # source digest -> HProgram (bounded)
+        self._kernels = {}    # (digest, kernel name) -> HKernel
+        self._queues = {}     # device global_id -> HQueue
+        self._leases = {}     # device global_id -> DeviceLease
+        self.batches_dispatched = 0
+        self.jobs_dispatched = 0
+        self.deferrals = 0
+
+    # -- tenants ---------------------------------------------------------------
+
+    def register_tenant(self, name, weight=1.0):
+        self.queue.register(name, weight)
+        stats = self._stats.get(name)
+        if stats is None:
+            self._stats[name] = TenantStats(weight)
+        else:
+            stats.weight = weight
+        return self
+
+    def _tenant_stats(self, name):
+        if name not in self._stats:
+            self.register_tenant(name)
+        return self._stats[name]
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, job):
+        """Admit and queue one job; raises a typed AdmissionError (and
+        counts the rejection) when the job may not enter."""
+        stats = self._tenant_stats(job.tenant)
+        stats.submitted += 1
+        try:
+            self.admission.admit(job, len(self.queue),
+                                 self.queue.depth(job.tenant))
+        except AdmissionError as exc:
+            stats.rejected += 1
+            job.state = REJECTED
+            job.error = exc
+            raise
+        job.submitted_s = self.session.now_s()
+        self.queue.push(job)
+        return job
+
+    # -- the serving loop ------------------------------------------------------
+
+    def run(self, max_batches=None):
+        """Drain the queue (or dispatch up to ``max_batches`` batches).
+
+        Returns the number of batches actually dispatched (batches
+        fully consumed by expiry or build failure are processed but not
+        counted).  Deferred batches (no device has capacity or a lease
+        right now) go back to the queue; the loop stops once every
+        queued batch defers in a row, so external exclusive leases
+        stall the service rather than spinning it.
+        """
+        dispatched = 0
+        stall = 0
+        while max_batches is None or dispatched < max_batches:
+            batch = self.batcher.next_batch()
+            if batch is None:
+                break
+            mark = self.batches_dispatched
+            if self._dispatch_batch(batch):
+                stall = 0
+                if self.batches_dispatched > mark:
+                    dispatched += 1
+            else:
+                self.deferrals += 1
+                stall += 1
+                if stall > max(1, len(self.queue)):
+                    break
+        return dispatched
+
+    def drain(self):
+        return self.run()
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _dispatch_batch(self, batch):
+        now = self.session.now_s()
+        live = []
+        for job in batch:
+            if job.past_deadline(now):
+                job.state = EXPIRED
+                self._tenant_stats(job.tenant).expired += 1
+            else:
+                live.append(job)
+        if not live:
+            return True  # the batch was consumed, just not dispatched
+        try:
+            program, kernel = self._materialise(batch)
+        except CLError as exc:
+            # a build/create failure poisons the whole batch (every job
+            # shares the program), not the service loop
+            for job in live:
+                self._fail(job, exc)
+            return True
+        context = self._cluster_context()
+        lead_bindings = None
+        while live:
+            try:
+                lead_bindings = self._bind_args(kernel, live[0], context)
+                break
+            except CLError as exc:
+                self._fail(live.pop(0), exc)
+        if not live:
+            return True
+
+        # capacity: the dispatch prefix that fits on some device at once
+        fit, spill = self._capacity_prefix(live)
+        if not fit:
+            for job in live:
+                self.queue.requeue(job)
+            return False
+        for job in spill:
+            self.queue.requeue(job)
+        total_bytes = sum(job.footprint_bytes for job in fit)
+
+        device = self._place(kernel, fit, total_bytes)
+        if device is None:
+            for job in fit:
+                self.queue.requeue(job)
+            return False
+
+        self.admission.reserve(total_bytes, device)
+        queue = self._queue_for(context, device)
+        previous_policy = self.driver.policy
+        previous_user = self.driver.user
+        # launches must carry the lease owner's identity or an exclusive
+        # service lease would refuse the service's own dispatches; the
+        # tenant rides along in the dedicated accounting field
+        self.driver.user = self.user
+        self.driver.set_policy("user-directed")
+        try:
+            in_flight = []
+            for job in fit:
+                try:
+                    bindings = (
+                        lead_bindings if job is live[0]
+                        else self._bind_args(kernel, job, context)
+                    )
+                except CLError as exc:
+                    self._fail(job, exc)
+                    continue
+                job.started_s = self.session.now_s()
+                job.state = RUNNING
+                job.device = device
+                self.driver.tenant = job.tenant
+                self.driver.job_tag = job.job_id
+                try:
+                    event = self.session.enqueue(queue, kernel,
+                                                 job.global_size,
+                                                 job.local_size)
+                except CLError as exc:
+                    self._fail(job, exc)
+                    self._release_buffers(bindings)
+                    continue
+                self._observe_placement(kernel, job, device, event)
+                in_flight.append((job, bindings))
+            self.session.finish(queue)
+            for job, bindings in in_flight:
+                try:
+                    self._collect(job, queue, kernel, bindings)
+                except CLError as exc:
+                    self._fail(job, exc)
+                    continue
+                finally:
+                    self._release_buffers(bindings)
+                job.finished_s = self.session.now_s()
+                job.state = DONE
+                stats = self._tenant_stats(job.tenant)
+                stats.completed += 1
+                stats.queue_waits.append(job.queue_wait_s)
+                stats.service_s += job.service_time_s
+                self.jobs_dispatched += 1
+        finally:
+            self.driver.tenant = None
+            self.driver.job_tag = None
+            self.driver.user = previous_user
+            self.driver.set_policy(previous_policy)
+            self.admission.release(total_bytes, device)
+            del queue.events[:]  # completion records, drained per batch
+            if not self.batching:
+                # per-job dispatch keeps nothing: free the node-side
+                # kernel and program built for this batch
+                self.driver.icd.release_remote("kernel", kernel.uid)
+                self.driver.icd.release_remote("program", program.uid)
+        self.batches_dispatched += 1
+        return True
+
+    def _observe_placement(self, kernel, job, device, event):
+        """Feed the launch back to the placement policy so adaptive
+        policies (hetero-aware, power-aware) learn from serve traffic."""
+        items = 1
+        for dim in job.global_size:
+            items *= int(dim)
+        task = TaskContext(
+            kernel_name=kernel.name, num_work_items=items, cost=None,
+            queue_device=device, candidates=[device],
+        )
+        self.placement.observe(task, device, event.duration_s)
+
+    def _capacity_prefix(self, jobs):
+        """Longest job prefix whose combined footprint fits somewhere."""
+        fit = []
+        total = 0
+        for index, job in enumerate(jobs):
+            if self.admission.candidates(total + job.footprint_bytes):
+                fit.append(job)
+                total += job.footprint_bytes
+            else:
+                return fit, jobs[index:]
+        return fit, []
+
+    def _place(self, kernel, jobs, total_bytes):
+        """Pick a leasable device with capacity via the scheduler hook."""
+        candidates = self.admission.candidates(total_bytes)
+        while candidates:
+            device = self.driver.plan_placement(
+                kernel, jobs[0].global_size, candidates,
+                njobs=len(jobs), policy=self.placement,
+            )
+            if self._ensure_lease(device) is not None:
+                return device
+            candidates = [d for d in candidates if d is not device]
+        return None
+
+    def _ensure_lease(self, device):
+        """Cached shared lease on ``device``, renewed past its TTL;
+        None when the device is exclusively held by someone else."""
+        lease = self._leases.get(device.global_id)
+        if lease is not None and lease.active:
+            if not lease.expired():
+                return lease
+            try:
+                lease.renew()
+                return lease
+            except CLError as exc:
+                # the claim was lost (node restart + exclusive holder):
+                # contention is a scheduling outcome, not a crash
+                if exc.code != enums.CL_DEVICE_NOT_AVAILABLE:
+                    raise
+                lease.active = False
+                del self._leases[device.global_id]
+        lease = try_acquire(self.driver, self.user, [device],
+                            shared=self.lease_shared, ttl_s=self.lease_ttl_s)
+        if lease is not None:
+            self._leases[device.global_id] = lease
+        return lease
+
+    # -- materialisation -------------------------------------------------------
+
+    def _cluster_context(self):
+        if self._context is None:
+            self._context = self.driver.create_context(self.session.devices)
+        return self._context
+
+    def _materialise(self, batch):
+        """Program + kernel for a batch: shared and cached while batching
+        is on; rebuilt per dispatch when off (the per-job baseline)."""
+        digest, kernel_name = batch.signature
+        context = self._cluster_context()
+        if not self.batching:
+            program = self.driver.build_program(
+                self.driver.create_program(context, batch.source), batch.options
+            )
+            return program, self.driver.create_kernel(program, kernel_name)
+        program = self._programs.get(digest)
+        if program is None:
+            program = self.driver.build_program(
+                self.driver.create_program(context, batch.source), batch.options
+            )
+            self._programs[digest] = program
+            self._evict_programs()
+        kernel = self._kernels.get((digest, kernel_name))
+        if kernel is None:
+            kernel = self.driver.create_kernel(program, kernel_name)
+            self._kernels[(digest, kernel_name)] = kernel
+        return program, kernel
+
+    def _evict_programs(self):
+        """Bound the program cache: tenants control job sources, so the
+        key space is unbounded; evict oldest entries and free their
+        node-side kernels and programs."""
+        while len(self._programs) > self.max_cached_programs:
+            digest, program = next(iter(self._programs.items()))
+            del self._programs[digest]
+            for key in [k for k in self._kernels if k[0] == digest]:
+                self.driver.icd.release_remote("kernel",
+                                               self._kernels[key].uid)
+                del self._kernels[key]
+            self.driver.icd.release_remote("program", program.uid)
+
+    def _bind_args(self, kernel, job, context):
+        """Create buffers for array arguments and bind everything.
+
+        Returns [(param name, HBuffer, source array)] for pointer
+        params, in signature order, for the read-back pass.
+        """
+        if len(job.args) != kernel.num_args:
+            raise CLError(
+                enums.CL_INVALID_KERNEL_ARGS,
+                "job #%d passes %d args, kernel %s takes %d"
+                % (job.job_id, len(job.args), kernel.name, kernel.num_args),
+            )
+        bindings = []
+        for index, value in enumerate(job.args):
+            if isinstance(value, np.ndarray):
+                buf = self.session.buffer_from(context, value)
+                kernel.set_arg(index, buf)
+                bindings.append((kernel.info.params[index][0], buf, value))
+            else:
+                # validate here so a tenant's garbage scalar fails its
+                # own job instead of blowing up later inside placement
+                if not isinstance(value, (bool, int, float, np.bool_,
+                                          np.integer, np.floating)):
+                    raise CLError(
+                        enums.CL_INVALID_ARG_VALUE,
+                        "job #%d arg %d: unsupported scalar %r"
+                        % (job.job_id, index, type(value).__name__),
+                    )
+                kernel.set_arg(index, value)
+        return bindings
+
+    def _collect(self, job, queue, kernel, bindings):
+        """Read written buffers back into ``job.result`` typed arrays."""
+        access = kernel.program.param_access(kernel.name)
+        job.result = {}
+        for name, buf, source in bindings:
+            param = access.get(name)
+            if param is not None and not param.write:
+                continue
+            job.result[name] = self.session.read_array(
+                queue, buf, source.dtype, shape=source.shape
+            )
+
+    def _release_buffers(self, bindings):
+        """Free a dispatched job's node-side buffer replicas so a
+        long-running service does not accumulate device memory."""
+        for _name, buf, _source in bindings:
+            self.driver.icd.release_buffer(buf)
+
+    def _queue_for(self, context, device):
+        queue = self._queues.get(device.global_id)
+        if queue is None or queue.context is not context:
+            queue = self.driver.create_queue(context, device)
+            self._queues[device.global_id] = queue
+        return queue
+
+    def _fail(self, job, exc):
+        job.state = FAILED
+        job.error = exc
+        self._tenant_stats(job.tenant).failed += 1
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self):
+        """Per-tenant serving statistics (host-side view)."""
+        return {name: stats.as_dict() for name, stats in self._stats.items()}
+
+    def cluster_accounting(self):
+        """Per-tenant launch accounting aggregated from the NMPs (the
+        job-tagged command fields), merged across nodes."""
+        merged = {}
+        for payload in self.session.host.node_stats().values():
+            for tenant, record in payload.get("tenants", {}).items():
+                into = merged.setdefault(
+                    tenant, {"launches": 0, "busy_s": 0.0, "jobs": 0}
+                )
+                into["launches"] += record["launches"]
+                into["busy_s"] += record["busy_s"]
+                into["jobs"] += record["jobs"]
+        return merged
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self):
+        """Release every device lease the service holds."""
+        for lease in self._leases.values():
+            if lease.active:
+                lease.release()
+        self._leases.clear()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return "HaoCLService(%d tenants, %d queued, %d dispatched)" % (
+            len(self._stats), len(self.queue), self.jobs_dispatched
+        )

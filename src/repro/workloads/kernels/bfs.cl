@@ -1,0 +1,26 @@
+/* BFS frontier expansion (Table I).
+ *
+ * Vertices are range-partitioned: a device owns ``nverts`` vertices
+ * starting at global vertex ``voffset`` and holds their CSR slice with
+ * *rebased* row offsets but *global* column ids.  frontier, next and
+ * levels span the whole graph; the host merges them between levels
+ * (BSP supersteps through the host-centric backbone).
+ */
+
+__kernel void bfs_expand(__global const int* row_offsets,
+                         __global const int* columns,
+                         __global const int* frontier,
+                         __global int* next_frontier,
+                         __global int* levels,
+                         int level, int nverts, int voffset) {
+    int i = get_global_id(0);
+    if (i >= nverts) return;
+    if (frontier[voffset + i] == 0) return;
+    for (int e = row_offsets[i]; e < row_offsets[i + 1]; e++) {
+        int v = columns[e];
+        if (levels[v] == -1) {
+            levels[v] = level + 1;
+            next_frontier[v] = 1;
+        }
+    }
+}

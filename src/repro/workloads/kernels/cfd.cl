@@ -1,0 +1,94 @@
+/* CFD kernels (Rodinia euler3d structure, Table I).
+ *
+ * Cells carry 5 conserved variables (density, 3 momenta, energy).
+ * Cells are range-partitioned; ``coffset`` is the partition's first
+ * global cell, ``ncells`` its size.  variables / step_factors span the
+ * whole mesh (neighbour reads cross partitions -- the host re-exchanges
+ * them every iteration); neighbors / normals / fluxes are per-partition
+ * with *global* neighbour cell ids (-1 marks a boundary face).
+ */
+
+#define GAMMA 1.4f
+#define NNB 4
+
+float cfd_pressure(float density, float mx, float my, float mz,
+                   float energy) {
+    float kinetic = 0.5f * (mx * mx + my * my + mz * mz) / density;
+    return (GAMMA - 1.0f) * (energy - kinetic);
+}
+
+__kernel void cfd_step_factor(__global const float* variables,
+                              __global const float* areas,
+                              __global float* step_factors, int ncells) {
+    int i = get_global_id(0);
+    if (i >= ncells) return;
+    float density = variables[i * 5 + 0];
+    float mx = variables[i * 5 + 1];
+    float my = variables[i * 5 + 2];
+    float mz = variables[i * 5 + 3];
+    float energy = variables[i * 5 + 4];
+    float speed = sqrt(mx * mx + my * my + mz * mz) / density;
+    float pressure = cfd_pressure(density, mx, my, mz, energy);
+    float sound = sqrt(GAMMA * pressure / density);
+    step_factors[i] = 0.5f / (sqrt(areas[i]) * (speed + sound));
+}
+
+__kernel void cfd_compute_flux(__global const int* neighbors,
+                               __global const float* normals,
+                               __global const float* variables,
+                               __global float* fluxes,
+                               int ncells, int coffset) {
+    int i = get_global_id(0);
+    if (i >= ncells) return;
+    int own = coffset + i;
+    float od = variables[own * 5 + 0];
+    float omx = variables[own * 5 + 1];
+    float omy = variables[own * 5 + 2];
+    float omz = variables[own * 5 + 3];
+    float oe = variables[own * 5 + 4];
+    float opress = cfd_pressure(od, omx, omy, omz, oe);
+    float f0 = 0.0f;
+    float f1 = 0.0f;
+    float f2 = 0.0f;
+    float f3 = 0.0f;
+    float f4 = 0.0f;
+    for (int nb = 0; nb < NNB; nb++) {
+        int j = neighbors[i * NNB + nb];
+        if (j < 0) continue;
+        float nx = normals[(i * NNB + nb) * 3 + 0];
+        float ny = normals[(i * NNB + nb) * 3 + 1];
+        float nz = normals[(i * NNB + nb) * 3 + 2];
+        float area = sqrt(nx * nx + ny * ny + nz * nz);
+        float jd = variables[j * 5 + 0];
+        float jmx = variables[j * 5 + 1];
+        float jmy = variables[j * 5 + 2];
+        float jmz = variables[j * 5 + 3];
+        float je = variables[j * 5 + 4];
+        float jpress = cfd_pressure(jd, jmx, jmy, jmz, je);
+        float pavg = 0.5f * (opress + jpress);
+        f0 += area * 0.5f * (jd - od);
+        f1 += area * 0.5f * (jmx - omx) + pavg * nx;
+        f2 += area * 0.5f * (jmy - omy) + pavg * ny;
+        f3 += area * 0.5f * (jmz - omz) + pavg * nz;
+        f4 += area * 0.5f * (je - oe);
+    }
+    fluxes[i * 5 + 0] = f0;
+    fluxes[i * 5 + 1] = f1;
+    fluxes[i * 5 + 2] = f2;
+    fluxes[i * 5 + 3] = f3;
+    fluxes[i * 5 + 4] = f4;
+}
+
+__kernel void cfd_time_step(__global const float* old_variables,
+                            __global const float* fluxes,
+                            __global const float* step_factors,
+                            __global float* variables,
+                            int ncells, int coffset) {
+    int i = get_global_id(0);
+    if (i >= ncells) return;
+    float factor = step_factors[coffset + i];
+    for (int c = 0; c < 5; c++) {
+        variables[(coffset + i) * 5 + c] =
+            old_variables[(coffset + i) * 5 + c] + factor * fluxes[i * 5 + c];
+    }
+}

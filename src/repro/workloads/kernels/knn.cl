@@ -1,0 +1,61 @@
+/* kNN kernels (Table I).
+ *
+ * knn_dist: one query against a scattered point partition.
+ * knn_dist_batch: a query batch against the partition (serving path).
+ * knn_select: on-device top-k selection per query so only k results
+ * cross the network back (stable order: by distance, then index).
+ */
+
+__kernel void knn_dist(__global const float* points,
+                       __global const float* query,
+                       __global float* dist, int npoints, int dim) {
+    int i = get_global_id(0);
+    if (i >= npoints) return;
+    float acc = 0.0f;
+    for (int d = 0; d < dim; d++) {
+        float diff = points[i * dim + d] - query[d];
+        acc += diff * diff;
+    }
+    dist[i] = sqrt(acc);
+}
+
+__kernel void knn_dist_batch(__global const float* points,
+                             __global const float* queries,
+                             __global float* dist,
+                             int npoints, int dim, int nqueries) {
+    int i = get_global_id(0);
+    int q = get_global_id(1);
+    if (i >= npoints || q >= nqueries) return;
+    float acc = 0.0f;
+    for (int d = 0; d < dim; d++) {
+        float diff = points[i * dim + d] - queries[q * dim + d];
+        acc += diff * diff;
+    }
+    dist[q * npoints + i] = sqrt(acc);
+}
+
+__kernel void knn_select(__global const float* dist,
+                         __global float* best_dist,
+                         __global int* best_idx, int npoints, int k) {
+    int q = get_global_id(0);
+    float last_d = -1.0f;
+    int last_i = -1;
+    for (int j = 0; j < k; j++) {
+        float bd = 1e30f;
+        int bi = -1;
+        for (int p = 0; p < npoints; p++) {
+            float d = dist[q * npoints + p];
+            if (d < last_d) continue;
+            if (d == last_d && p <= last_i) continue;
+            if (d < bd) {
+                bd = d;
+                bi = p;
+            }
+        }
+        if (bi < 0) break;
+        best_dist[q * k + j] = bd;
+        best_idx[q * k + j] = bi;
+        last_d = bd;
+        last_i = bi;
+    }
+}

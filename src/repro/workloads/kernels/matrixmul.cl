@@ -1,0 +1,45 @@
+/* MatrixMul kernels (Table I row 1).
+ *
+ * matmul: naive row-partitioned product.  The host scatters row blocks
+ * of A, replicates B and launches an (n, rows) NDRange per device.
+ *
+ * matmul_tiled: __local-tiled variant with barriers; the tile edge BS
+ * comes from the build options (-DBS=16) and must divide n.
+ */
+
+#ifndef BS
+#define BS 8
+#endif
+
+__kernel void matmul(__global const float* A, __global const float* B,
+                     __global float* C, int n, int rows) {
+    int col = get_global_id(0);
+    int row = get_global_id(1);
+    if (row >= rows || col >= n) return;
+    float acc = 0.0f;
+    for (int k = 0; k < n; k++) {
+        acc += A[row * n + k] * B[k * n + col];
+    }
+    C[row * n + col] = acc;
+}
+
+__kernel void matmul_tiled(__global const float* A, __global const float* B,
+                           __global float* C, int n) {
+    __local float As[BS][BS];
+    __local float Bs[BS][BS];
+    int col = get_global_id(0);
+    int row = get_global_id(1);
+    int lc = get_local_id(0);
+    int lr = get_local_id(1);
+    float acc = 0.0f;
+    for (int t = 0; t < n / BS; t++) {
+        As[lr][lc] = A[row * n + t * BS + lc];
+        Bs[lr][lc] = B[(t * BS + lr) * n + col];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int k = 0; k < BS; k++) {
+            acc += As[lr][k] * Bs[k][lc];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    C[row * n + col] = acc;
+}

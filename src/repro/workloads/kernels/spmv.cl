@@ -1,0 +1,28 @@
+/* SpMV kernels (Table I).
+ *
+ * spmv_row_lengths: the data-partition stage (runs on GPUs in the
+ * heterogeneous split); row lengths drive nnz-balanced partitioning.
+ * spmv_csr: the computation stage over a row partition with rebased
+ * row_ptr, global column ids and the replicated x vector.
+ */
+
+__kernel void spmv_row_lengths(__global const int* row_ptr,
+                               __global int* lengths, int nrows) {
+    int i = get_global_id(0);
+    if (i >= nrows) return;
+    lengths[i] = row_ptr[i + 1] - row_ptr[i];
+}
+
+__kernel void spmv_csr(__global const int* row_ptr,
+                       __global const int* cols,
+                       __global const float* vals,
+                       __global const float* x,
+                       __global float* y, int nrows) {
+    int i = get_global_id(0);
+    if (i >= nrows) return;
+    float acc = 0.0f;
+    for (int j = row_ptr[i]; j < row_ptr[i + 1]; j++) {
+        acc += vals[j] * x[cols[j]];
+    }
+    y[i] = acc;
+}

@@ -1,0 +1,111 @@
+"""Lease protocol tests (paper §III-D host-side multi-user support)."""
+
+import types
+
+import pytest
+
+from repro.core import HaoCLSession
+from repro.core.tenancy import DeviceLease, try_acquire
+from repro.ocl import enums
+from repro.ocl.errors import CLError
+
+
+@pytest.fixture
+def session():
+    with HaoCLSession(gpu_nodes=2, fpga_nodes=1, mode="real",
+                      transport="inproc") as session:
+        yield session
+
+
+class TestExclusiveVsShared:
+    def test_exclusive_blocks_other_users(self, session):
+        gpus = session.devices_of("GPU")
+        with DeviceLease(session.cl, "alice", gpus, shared=False):
+            with pytest.raises(CLError) as info:
+                DeviceLease(session.cl, "bob", gpus, shared=False).acquire()
+            assert info.value.code == enums.CL_DEVICE_NOT_AVAILABLE
+
+    def test_shared_leases_coexist(self, session):
+        gpus = session.devices_of("GPU")
+        with DeviceLease(session.cl, "alice", gpus, shared=True):
+            with DeviceLease(session.cl, "bob", gpus, shared=True):
+                pass
+
+    def test_shared_then_exclusive_refused(self, session):
+        gpus = session.devices_of("GPU")
+        with DeviceLease(session.cl, "alice", gpus, shared=True):
+            with pytest.raises(CLError):
+                DeviceLease(session.cl, "bob", gpus, shared=False).acquire()
+
+    def test_owner_may_upgrade_its_own_claim(self, session):
+        device = session.devices[:1]
+        with DeviceLease(session.cl, "alice", device, shared=True):
+            DeviceLease(session.cl, "alice", device, shared=False).acquire()
+
+
+class TestPartialGrantRollback:
+    def test_failed_acquire_releases_earlier_grants(self, session):
+        devices = session.devices
+        blocker = DeviceLease(session.cl, "bob", [devices[-1]], shared=False)
+        blocker.acquire()
+        lease = DeviceLease(session.cl, "alice", devices, shared=False)
+        with pytest.raises(CLError):
+            lease.acquire()  # last device is held; earlier grants roll back
+        assert not lease.active
+        blocker.release()
+        # the rolled-back devices are free again for an exclusive claim
+        with DeviceLease(session.cl, "carol", devices, shared=False):
+            pass
+
+
+class TestTryAcquire:
+    def test_returns_none_on_unavailable(self, session):
+        gpus = session.devices_of("GPU")
+        with DeviceLease(session.cl, "alice", gpus, shared=False):
+            assert try_acquire(session.cl, "bob", gpus, shared=False) is None
+
+    def test_success_returns_active_lease(self, session):
+        lease = try_acquire(session.cl, "bob", session.devices_of("GPU"))
+        assert lease is not None and lease.active
+        lease.release()
+
+    def test_other_errors_still_raise(self, session):
+        bogus = types.SimpleNamespace(
+            node_id=session.devices[0].node_id, local_handle=999999
+        )
+        with pytest.raises(CLError) as info:
+            try_acquire(session.cl, "bob", [bogus])
+        assert info.value.code != enums.CL_DEVICE_NOT_AVAILABLE
+
+
+class TestRenewal:
+    def test_lease_without_ttl_never_expires(self, session):
+        with DeviceLease(session.cl, "alice", session.devices[:1]) as lease:
+            assert not lease.expired()
+            assert lease.expires_s is None
+
+    def test_ttl_expiry_and_renew(self, session):
+        lease = DeviceLease(session.cl, "alice", session.devices[:1],
+                            ttl_s=0.0)
+        lease.acquire()
+        assert lease.expired(lease.acquired_s + 1.0)
+        lease.ttl_s = 60.0
+        lease.renew()
+        assert lease.renewals == 1
+        assert not lease.expired(lease.acquired_s + 1.0)
+        lease.release()
+        assert lease.expires_s is None
+
+    def test_renew_keeps_exclusivity(self, session):
+        gpus = session.devices_of("GPU")
+        lease = DeviceLease(session.cl, "alice", gpus, shared=False,
+                            ttl_s=30.0)
+        lease.acquire()
+        lease.renew()
+        assert try_acquire(session.cl, "bob", gpus, shared=False) is None
+        lease.release()
+
+    def test_renew_inactive_lease_raises(self, session):
+        lease = DeviceLease(session.cl, "alice", session.devices[:1])
+        with pytest.raises(CLError):
+            lease.renew()

@@ -1,0 +1,109 @@
+"""Admission controller unit tests (capacity + backpressure)."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, HostProcess
+from repro.core.scheduler.device_model import model_for
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionError,
+    JobTooLarge,
+    QueueFull,
+)
+from repro.serve.job import Job
+
+SRC = "__kernel void k(__global int* a) { a[get_global_id(0)] = 1; }"
+
+
+@pytest.fixture(scope="module")
+def devices():
+    config = ClusterConfig.build(gpu_nodes=2, mode="modeled")
+    with HostProcess.launch(config, transport="inproc") as host:
+        yield host.registry.all()
+
+
+def make_job(nbytes, tenant="t"):
+    return Job(tenant, SRC, "k", [], (1,), footprint_bytes=nbytes)
+
+
+class TestCapacityAdmission:
+    def test_capacity_comes_from_device_model(self, devices):
+        ctrl = AdmissionController(devices, headroom=1.0)
+        for device in devices:
+            assert ctrl.capacity_bytes(device) == \
+                model_for(device).global_mem_bytes
+
+    def test_over_capacity_raises_typed_error(self, devices):
+        ctrl = AdmissionController(devices)
+        limit = max(ctrl.capacity_bytes(d) for d in devices)
+        with pytest.raises(JobTooLarge) as info:
+            ctrl.admit(make_job(limit + 1), queue_depth=0)
+        assert isinstance(info.value, AdmissionError)
+        assert info.value.reason == "over-capacity"
+        assert info.value.job is not None
+
+    def test_job_at_capacity_admitted(self, devices):
+        ctrl = AdmissionController(devices)
+        limit = max(ctrl.capacity_bytes(d) for d in devices)
+        assert ctrl.admit(make_job(limit), queue_depth=0)
+
+    def test_headroom_shrinks_capacity(self, devices):
+        full = AdmissionController(devices, headroom=1.0)
+        half = AdmissionController(devices, headroom=0.5)
+        for device in devices:
+            assert half.capacity_bytes(device) == \
+                full.capacity_bytes(device) // 2
+
+
+class TestBackpressure:
+    def test_queue_full_raises(self, devices):
+        ctrl = AdmissionController(devices, max_queue_depth=4)
+        with pytest.raises(QueueFull) as info:
+            ctrl.admit(make_job(16), queue_depth=4)
+        assert info.value.reason == "queue-full"
+
+    def test_tenant_depth_bound(self, devices):
+        ctrl = AdmissionController(devices, max_tenant_depth=2)
+        ctrl.admit(make_job(16), queue_depth=10, tenant_depth=1)
+        with pytest.raises(QueueFull):
+            ctrl.admit(make_job(16), queue_depth=10, tenant_depth=2)
+
+
+class TestReservations:
+    def test_reserve_release_round_trip(self, devices):
+        ctrl = AdmissionController(devices)
+        device = devices[0]
+        free = ctrl.free_bytes(device)
+        ctrl.reserve(1000, device)
+        assert ctrl.free_bytes(device) == free - 1000
+        ctrl.release(1000, device)
+        assert ctrl.free_bytes(device) == free
+
+    def test_fits_now_respects_reservations(self, devices):
+        ctrl = AdmissionController(devices)
+        device = devices[0]
+        ctrl.reserve(ctrl.free_bytes(device), device)
+        assert not ctrl.fits_now(1, device)
+        assert device not in ctrl.candidates(1)
+
+    def test_overfull_reserve_raises(self, devices):
+        ctrl = AdmissionController(devices)
+        device = devices[0]
+        with pytest.raises(JobTooLarge):
+            ctrl.reserve(ctrl.free_bytes(device) + 1, device)
+
+    def test_candidates_filter(self, devices):
+        ctrl = AdmissionController(devices)
+        assert ctrl.candidates(1) == devices
+        ctrl.reserve(ctrl.free_bytes(devices[0]), devices[0])
+        assert ctrl.candidates(1) == devices[1:]
+
+
+class TestValidation:
+    def test_empty_device_set_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController([])
+
+    def test_bad_headroom_rejected(self, devices):
+        with pytest.raises(ValueError):
+            AdmissionController(devices, headroom=0.0)

@@ -1,0 +1,78 @@
+"""Batch formation unit tests."""
+
+import pytest
+
+from repro.serve.batcher import Batch, Batcher
+from repro.serve.job import Job
+from repro.serve.queue import FairShareQueue
+
+SRC_A = "__kernel void k(__global int* a) { a[get_global_id(0)] = 1; }"
+SRC_B = "__kernel void k(__global int* a) { a[get_global_id(0)] = 2; }"
+
+
+def make_job(tenant="t", source=SRC_A, kernel="k", options=""):
+    return Job(tenant, source, kernel, [], (8,), footprint_bytes=64,
+               options=options)
+
+
+class TestBatch:
+    def test_compatible_jobs_group(self):
+        jobs = [make_job("a"), make_job("b")]
+        batch = Batch(jobs)
+        assert len(batch) == 2
+        assert batch.tenants() == ["a", "b"]
+        assert batch.footprint_bytes == 128
+        assert batch.work_items == 16
+
+    def test_incompatible_source_rejected(self):
+        with pytest.raises(ValueError):
+            Batch([make_job(), make_job(source=SRC_B)])
+
+    def test_build_options_are_part_of_the_signature(self):
+        with pytest.raises(ValueError):
+            Batch([make_job(), make_job(options="-DBS=4")])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            Batch([])
+
+
+class TestBatcher:
+    def test_coalesces_across_tenants(self):
+        queue = FairShareQueue()
+        for index in range(6):
+            queue.push(make_job("a" if index % 2 else "b"))
+        batch = Batcher(queue, max_batch=16).next_batch()
+        assert len(batch) == 6
+        assert len(queue) == 0
+
+    def test_max_batch_respected(self):
+        queue = FairShareQueue()
+        for _ in range(10):
+            queue.push(make_job())
+        batch = Batcher(queue, max_batch=4).next_batch()
+        assert len(batch) == 4
+        assert len(queue) == 6
+
+    def test_mixed_kernels_split_into_batches(self):
+        queue = FairShareQueue()
+        queue.push(make_job(source=SRC_A))
+        queue.push(make_job(source=SRC_B))
+        queue.push(make_job(source=SRC_A))
+        batcher = Batcher(queue, max_batch=16)
+        first = batcher.next_batch()
+        assert len(first) == 2  # both SRC_A jobs
+        second = batcher.next_batch()
+        assert len(second) == 1
+        assert second.source == SRC_B
+
+    def test_disabled_batching_is_per_job(self):
+        queue = FairShareQueue()
+        for _ in range(4):
+            queue.push(make_job())
+        batcher = Batcher(queue, enabled=False)
+        assert len(batcher.next_batch()) == 1
+        assert len(queue) == 3
+
+    def test_idle_queue_yields_none(self):
+        assert Batcher(FairShareQueue()).next_batch() is None

@@ -1,0 +1,144 @@
+"""Fair-share queue unit tests (deficit round-robin semantics)."""
+
+import pytest
+
+from repro.serve.job import Job
+from repro.serve.queue import FairShareQueue
+
+SRC = "__kernel void k(__global int* a) { a[get_global_id(0)] = 1; }"
+OTHER = "__kernel void k2(__global int* a) { a[get_global_id(0)] = 2; }"
+
+
+def make_job(tenant, cost=100, priority=0, source=SRC, kernel="k"):
+    return Job(tenant, source, kernel, [], (1,), priority=priority,
+               footprint_bytes=cost)
+
+
+def drain(queue, count):
+    out = []
+    for _ in range(count):
+        job = queue.next_job()
+        if job is None:
+            break
+        out.append(job)
+    return out
+
+
+class TestLaneOrder:
+    def test_fifo_within_tenant(self):
+        queue = FairShareQueue(quantum=1000)
+        jobs = [make_job("a") for _ in range(5)]
+        for job in jobs:
+            queue.push(job)
+        assert drain(queue, 5) == jobs
+
+    def test_priority_over_fifo(self):
+        queue = FairShareQueue(quantum=1000)
+        low = make_job("a", priority=0)
+        high = make_job("a", priority=5)
+        queue.push(low)
+        queue.push(high)
+        assert drain(queue, 2) == [high, low]
+
+    def test_requeue_restores_front_position(self):
+        queue = FairShareQueue(quantum=1000)
+        first = make_job("a")
+        second = make_job("a")
+        queue.push(first)
+        queue.push(second)
+        taken = queue.next_job()
+        assert taken is first
+        queue.requeue(taken)  # deferred dispatch goes back to the front
+        assert drain(queue, 2) == [first, second]
+
+
+class TestDeficitRoundRobin:
+    def test_equal_weights_alternate(self):
+        queue = FairShareQueue(quantum=100, cost="bytes")
+        for _ in range(10):
+            queue.push(make_job("a", cost=100))
+            queue.push(make_job("b", cost=100))
+        served = [job.tenant for job in drain(queue, 10)]
+        assert served.count("a") == 5
+        assert served.count("b") == 5
+
+    def test_weighted_shares(self):
+        queue = FairShareQueue(quantum=100, cost="bytes")
+        queue.register("a", weight=2.0)
+        queue.register("b", weight=1.0)
+        for _ in range(30):
+            queue.push(make_job("a", cost=100))
+            queue.push(make_job("b", cost=100))
+        served = [job.tenant for job in drain(queue, 15)]
+        assert served.count("a") == 10
+        assert served.count("b") == 5
+
+    def test_heavy_tenant_cannot_starve_light(self):
+        queue = FairShareQueue(quantum=100, cost="bytes")
+        for _ in range(50):
+            queue.push(make_job("heavy", cost=100))
+        queue.push(make_job("light", cost=100))
+        served = drain(queue, 3)
+        assert "light" in [job.tenant for job in served]
+
+    def test_large_job_accumulates_deficit_across_turns(self):
+        queue = FairShareQueue(quantum=100, cost="bytes")
+        big = make_job("a", cost=250)
+        queue.push(big)
+        queue.push(make_job("b", cost=100))
+        served = drain(queue, 2)
+        assert big in served  # several turns bank enough deficit
+
+    def test_idle_lane_banks_no_deficit(self):
+        queue = FairShareQueue(quantum=100, cost="bytes")
+        queue.register("idle")
+        for _ in range(20):
+            queue.push(make_job("busy", cost=100))
+        drain(queue, 10)
+        queue.push(make_job("idle", cost=100))
+        queue.push(make_job("idle", cost=100))
+        # the idle lane gets its fair turn but no banked burst beyond it
+        served = [job.tenant for job in drain(queue, 4)]
+        assert served.count("idle") <= 2
+
+
+class TestTakeCompatible:
+    def test_takes_only_matching_signature(self):
+        queue = FairShareQueue(quantum=1000)
+        same = [make_job("a"), make_job("b")]
+        different = make_job("a", source=OTHER, kernel="k2")
+        for job in same + [different]:
+            queue.push(job)
+        lead = queue.next_job()
+        extra = queue.take_compatible(lead.signature(), 10)
+        assert set(extra) == set(same) - {lead}
+        assert len(queue) == 1  # the incompatible job stays queued
+
+    def test_respects_limit(self):
+        queue = FairShareQueue(quantum=1000)
+        for _ in range(10):
+            queue.push(make_job("a"))
+        lead = queue.next_job()
+        assert len(queue.take_compatible(lead.signature(), 3)) == 3
+
+    def test_charges_the_owning_lane(self):
+        queue = FairShareQueue(quantum=100, cost="bytes")
+        for _ in range(4):
+            queue.push(make_job("a", cost=100))
+            queue.push(make_job("b", cost=100))
+        lead = queue.next_job()
+        queue.take_compatible(lead.signature(), 7)
+        lane_a, lane_b = queue.lane("a"), queue.lane("b")
+        assert lane_a.served_cost == 400
+        assert lane_b.served_cost == 400
+        assert lane_b.deficit < 0  # batching borrowed future turns
+
+
+class TestValidation:
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            FairShareQueue().register("a", weight=0)
+
+    def test_bad_quantum_rejected(self):
+        with pytest.raises(ValueError):
+            FairShareQueue(quantum=0)

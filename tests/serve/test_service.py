@@ -1,0 +1,283 @@
+"""End-to-end serving tests on the in-proc cluster.
+
+Covers the acceptance behaviours of the serving layer: weighted fair
+completion under saturation, typed admission rejection with the rest of
+the traffic unaffected, and batched dispatch issuing fewer NMP messages
+than per-job dispatch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HaoCLSession
+from repro.core.tenancy import DeviceLease
+from repro.serve import HaoCLService, Job, JobTooLarge, QueueFull
+from repro.serve.admission import AdmissionController
+from repro.serve.job import DONE, EXPIRED, FAILED, REJECTED
+
+SAXPY = """
+__kernel void saxpy(__global float* y, __global const float* x,
+                    float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) y[i] = y[i] + a * x[i];
+}
+"""
+
+SCALE = """
+__kernel void scale2(__global float* a, int n) {
+    int i = get_global_id(0);
+    if (i < n) a[i] = a[i] * 2.0f;
+}
+"""
+
+N = 32
+
+
+def saxpy_job(tenant, a=2.0, priority=0, deadline_s=None):
+    y = np.ones(N, dtype=np.float32)
+    x = np.ones(N, dtype=np.float32)
+    return Job(tenant, SAXPY, "saxpy", [y, x, a, np.int32(N)], (N,),
+               priority=priority, deadline_s=deadline_s)
+
+
+@pytest.fixture
+def session():
+    with HaoCLSession(gpu_nodes=2, fpga_nodes=1, mode="real",
+                      transport="inproc") as session:
+        yield session
+
+
+def message_total(session):
+    return sum(
+        payload["messages"]
+        for payload in session.host.node_stats().values()
+    )
+
+
+class TestDispatch:
+    def test_jobs_complete_with_results(self, session):
+        with HaoCLService(session) as service:
+            jobs = [service.submit(saxpy_job("alice", a=3.0))
+                    for _ in range(4)]
+            service.run()
+        for job in jobs:
+            assert job.state == DONE
+            assert np.allclose(job.result["y"], 4.0)  # 1 + 3*1
+            assert job.queue_wait_s >= 0
+            assert job.service_time_s >= 0
+            assert job.device is not None
+
+    def test_mixed_kernels_in_one_queue(self, session):
+        with HaoCLService(session) as service:
+            jsaxpy = service.submit(saxpy_job("alice"))
+            data = np.full(N, 5.0, dtype=np.float32)
+            jscale = service.submit(
+                Job("bob", SCALE, "scale2", [data, np.int32(N)], (N,))
+            )
+            service.run()
+        assert np.allclose(jsaxpy.result["y"], 3.0)
+        assert np.allclose(jscale.result["a"], 10.0)
+
+    def test_read_only_args_not_in_result(self, session):
+        with HaoCLService(session) as service:
+            job = service.submit(saxpy_job("alice"))
+            service.run()
+        assert set(job.result) == {"y"}  # x is read-only
+
+    def test_broken_source_fails_job_not_service(self, session):
+        """A job whose program cannot build poisons only its batch."""
+        broken = "__kernel void boom(__global float* a) { a[0] = b[0]; }"
+        with HaoCLService(session) as service:
+            bad = service.submit(
+                Job("alice", broken, "boom",
+                    [np.ones(N, dtype=np.float32)], (N,))
+            )
+            wrong_args = service.submit(
+                Job("alice", SAXPY, "saxpy",
+                    [np.ones(N, dtype=np.float32)], (N,))
+            )
+            ok = service.submit(saxpy_job("alice"))
+            service.run()
+            stats = service.stats()["alice"]
+        assert bad.state == FAILED and bad.error is not None
+        assert wrong_args.state == FAILED
+        assert ok.state == DONE
+        assert stats["failed"] == 2
+        assert stats["completed"] == 1
+
+
+class TestFairness:
+    def test_equal_tenants_split_a_saturated_run(self, session):
+        """Acceptance (a): two equal-weight tenants each complete >= 40%
+        of their jobs when only half the queue is served."""
+        with HaoCLService(session, batching=False) as service:
+            service.register_tenant("alice", weight=1.0)
+            service.register_tenant("bob", weight=1.0)
+            for _ in range(20):
+                service.submit(saxpy_job("alice"))
+            for _ in range(20):
+                service.submit(saxpy_job("bob"))
+            service.run(max_batches=20)  # saturated: 20 of 40 jobs served
+            stats = service.stats()
+        for tenant in ("alice", "bob"):
+            completed = stats[tenant]["completed"]
+            assert completed >= 0.4 * stats[tenant]["submitted"], stats
+
+    def test_weighted_tenant_gets_larger_share(self, session):
+        with HaoCLService(session, batching=False) as service:
+            service.register_tenant("gold", weight=3.0)
+            service.register_tenant("free", weight=1.0)
+            for _ in range(24):
+                service.submit(saxpy_job("gold"))
+                service.submit(saxpy_job("free"))
+            service.run(max_batches=16)
+            stats = service.stats()
+        assert stats["gold"]["completed"] > stats["free"]["completed"]
+
+
+class TestAdmission:
+    def test_over_capacity_rejected_others_continue(self, session):
+        """Acceptance (b): an impossible job is refused with a typed
+        error while smaller jobs keep flowing."""
+        with HaoCLService(session) as service:
+            ok_before = service.submit(saxpy_job("alice"))
+            huge = Job("alice", SAXPY, "saxpy", [], (1,),
+                       footprint_bytes=1 << 50)
+            with pytest.raises(JobTooLarge):
+                service.submit(huge)
+            ok_after = service.submit(saxpy_job("alice"))
+            service.run()
+            stats = service.stats()["alice"]
+        assert huge.state == REJECTED
+        assert ok_before.state == DONE
+        assert ok_after.state == DONE
+        assert stats["rejected"] == 1
+        assert stats["completed"] == 2
+
+    def test_queue_depth_backpressure(self, session):
+        admission = AdmissionController(session.devices, max_queue_depth=2)
+        with HaoCLService(session, admission=admission) as service:
+            service.submit(saxpy_job("alice"))
+            service.submit(saxpy_job("alice"))
+            with pytest.raises(QueueFull):
+                service.submit(saxpy_job("alice"))
+            service.run()
+            assert service.stats()["alice"]["completed"] == 2
+
+    def test_expired_deadline_dropped(self, session):
+        with HaoCLService(session) as service:
+            job = service.submit(saxpy_job("alice", deadline_s=-1.0))
+            live = service.submit(saxpy_job("alice"))
+            service.run()
+        assert job.state == EXPIRED
+        assert live.state == DONE
+        assert service.stats()["alice"]["expired"] == 1
+
+
+class TestBatching:
+    def test_batched_dispatch_sends_fewer_nmp_messages(self):
+        """Acceptance (c): 16 same-kernel jobs cost fewer NMP messages
+        batched than dispatched one by one."""
+
+        def run_jobs(batching):
+            with HaoCLSession(gpu_nodes=2, fpga_nodes=1, mode="real",
+                              transport="inproc") as session:
+                with HaoCLService(session, batching=batching,
+                                  max_batch=16) as service:
+                    for index in range(16):
+                        service.submit(saxpy_job("t%d" % (index % 4)))
+                    service.run()
+                    assert service.jobs_dispatched == 16
+                return message_total(session)
+
+        assert run_jobs(batching=True) < run_jobs(batching=False)
+
+    def test_batch_results_match_per_job_results(self, session):
+        with HaoCLService(session, batching=True, max_batch=8) as service:
+            jobs = [service.submit(saxpy_job("alice", a=float(i)))
+                    for i in range(8)]
+            service.run()
+        for i, job in enumerate(jobs):
+            assert np.allclose(job.result["y"], 1.0 + i), i
+
+
+class TestRobustness:
+    def test_malformed_scalar_fails_only_its_job(self, session):
+        with HaoCLService(session) as service:
+            bad = service.submit(
+                Job("mallory", SAXPY, "saxpy",
+                    [np.ones(N, dtype=np.float32),
+                     np.ones(N, dtype=np.float32), "oops", np.int32(N)],
+                    (N,))
+            )
+            ok = service.submit(saxpy_job("alice"))
+            service.run()
+        assert bad.state == FAILED
+        assert ok.state == DONE
+        assert len(service.queue) == 0  # nothing silently lost
+
+    def test_exclusive_service_lease_dispatches(self, session):
+        with HaoCLService(session, lease_shared=False) as service:
+            job = service.submit(saxpy_job("alice"))
+            service.run()
+        assert job.state == DONE
+
+    def test_byte_fairness_with_huge_cost_terminates_fast(self, session):
+        with HaoCLService(session, fairness="bytes") as service:
+            job = Job("alice", SAXPY, "saxpy",
+                      [np.ones(N, dtype=np.float32),
+                       np.ones(N, dtype=np.float32), 2.0, np.int32(N)],
+                      (N,), footprint_bytes=1 << 30)
+            service.submit(job)
+            service.run()  # must not spin O(footprint) in the DRR loop
+        assert job.state == DONE
+
+    def test_event_lists_drained_between_batches(self, session):
+        with HaoCLService(session) as service:
+            for _ in range(2):
+                for _ in range(4):
+                    service.submit(saxpy_job("alice"))
+                service.run()
+            assert all(len(q.events) == 0 for q in service._queues.values())
+
+
+class TestLeases:
+    def test_service_holds_and_releases_leases(self, session):
+        service = HaoCLService(session)
+        service.submit(saxpy_job("alice"))
+        service.run()
+        held = [lease for lease in service._leases.values() if lease.active]
+        assert held
+        service.close()
+        assert not any(lease.active for lease in service._leases.values())
+
+    def test_exclusive_external_lease_stalls_service(self, session):
+        """With every device exclusively held elsewhere, the service
+        defers instead of crashing, and recovers on release."""
+        with DeviceLease(session.cl, "outsider", session.devices,
+                         shared=False):
+            with HaoCLService(session, lease_shared=True) as service:
+                job = service.submit(saxpy_job("alice"))
+                assert service.run() == 0
+                assert service.deferrals > 0
+                assert job.state != DONE
+        # outsider released: the same queue drains now
+        with HaoCLService(session) as service2:
+            service2.queue.push(job)
+            assert service2.run() == 1
+            assert job.state == DONE
+
+
+class TestAccounting:
+    def test_nmp_accounts_per_tenant(self, session):
+        with HaoCLService(session) as service:
+            for _ in range(3):
+                service.submit(saxpy_job("alice"))
+            for _ in range(2):
+                service.submit(saxpy_job("bob"))
+            service.run()
+            accounting = service.cluster_accounting()
+        assert accounting["alice"]["launches"] == 3
+        assert accounting["alice"]["jobs"] == 3
+        assert accounting["bob"]["launches"] == 2
+        assert accounting["alice"]["busy_s"] >= 0
