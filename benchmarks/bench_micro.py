@@ -1,9 +1,16 @@
 """Micro-benchmarks of the substrate layers.
 
 Not a paper artifact, but the numbers that explain the macro results:
-wire-format throughput, fabric round-trip latency, interpreter speed,
-scheduler decision latency.
+wire-format throughput, fabric round-trip latency, interpreter vs
+vectorized kernel execution, scheduler decision latency.
+
+Quick mode (the CI perf-smoke job): ``BENCH_QUICK=1`` shrinks the
+tier-comparison sizes so the job finishes in seconds while still
+printing the interpreter-vs-vectorized ratios.
 """
+
+import os
+import time
 
 import numpy as np
 import pytest
@@ -12,11 +19,15 @@ from repro.clc import compile_program
 from repro.clc.analysis import analyze_kernel
 from repro.clc.interp import Interpreter
 from repro.clc.values import Memory
+from repro.clc.vectorize import VectorizeCache, vectorize_kernel
 from repro.cluster.registry import DeviceRegistry
 from repro.core.scheduler import TaskContext, create_policy
 from repro.transport.inproc import InProcFabric
 from repro.transport.message import Message
 from repro.transport.serialization import decode, encode
+from repro.workloads import get_workload
+
+QUICK = bool(int(os.environ.get("BENCH_QUICK", "0")))
 
 
 class TestSerialization:
@@ -33,6 +44,24 @@ class TestSerialization:
     def test_encode_nested_payload(self, benchmark):
         payload = {"args": [1, 2.0, "x"] * 50, "meta": {"k": list(range(100))}}
         benchmark(encode, payload)
+
+    def test_encode_8mb_buffer_write_path(self, benchmark):
+        """The buffer write path: one large array, appended to the wire
+        frame through the buffer protocol (no tobytes() intermediate)."""
+        payload = {"queue": 1, "buffer": 2,
+                   "data": np.zeros(8 << 20, dtype=np.uint8)}
+        raw = benchmark(encode, payload)
+        assert len(raw) > 8 << 20
+
+    def test_decode_8mb_zero_copy_read_path(self, benchmark):
+        """The buffer read path: decoding a large array is a view over
+        the frame, so it must cost microseconds, not a memcpy."""
+        raw = encode({"data": np.zeros(8 << 20, dtype=np.uint8)})
+        out = benchmark(decode, raw)
+        array = out["data"]
+        assert array.nbytes == 8 << 20
+        assert array.base is not None  # a view, not an owned copy
+        assert not array.flags.writeable
 
 
 class TestFabricRoundTrip:
@@ -80,6 +109,111 @@ class TestInterpreter:
         program = compile_program(self.SRC)
         cost = benchmark(lambda: analyze_kernel(program, "saxpy").resolve({"n": 1024}))
         assert cost.flops > 0
+
+
+class TestExecutionTiers:
+    """Interpreter vs vectorized-compiler ratios on shipped kernels.
+
+    The ratios print to the terminal (the CI perf-smoke job greps for
+    them); each must clear the 20x bar that justifies the tier."""
+
+    #: (workload, kernel, interp size) -- sizes keep the interpreter run
+    #: in hundreds of milliseconds; quick mode shrinks further
+    CASES = [
+        ("matrixmul", "matmul", 20 if QUICK else 48),
+        ("knn", "knn_dist", 256 if QUICK else 2048),
+        ("spmv", "spmv_csr", 256 if QUICK else 2048),
+    ]
+
+    MIN_RATIO = 20.0
+
+    @staticmethod
+    def _launch_spec(wname, kernel, scale):
+        rng = np.random.default_rng(0)
+        source = get_workload(wname).source
+        if kernel == "matmul":
+            n = scale
+            a = rng.random((n, n), dtype=np.float32)
+            b = rng.random((n, n), dtype=np.float32)
+
+            def make():
+                return [Memory(data=a.copy()), Memory(data=b.copy()),
+                        Memory(n * n * 4), np.int32(n), np.int32(n)]
+
+            return source, make, (n, n)
+        if kernel == "knn_dist":
+            dim = 8
+            pts = rng.random((scale, dim), dtype=np.float32)
+            query = rng.random(dim, dtype=np.float32)
+
+            def make():
+                return [Memory(data=pts.copy()), Memory(data=query.copy()),
+                        Memory(scale * 4), np.int32(scale), np.int32(dim)]
+
+            return source, make, (scale,)
+        if kernel == "spmv_csr":
+            nnz = scale * 8
+            row_ptr = np.linspace(0, nnz, scale + 1).astype(np.int32)
+            cols = rng.integers(0, scale, nnz).astype(np.int32)
+            vals = rng.random(nnz, dtype=np.float32)
+            x = rng.random(scale, dtype=np.float32)
+
+            def make():
+                return [Memory(data=row_ptr.copy()), Memory(data=cols.copy()),
+                        Memory(data=vals.copy()), Memory(data=x.copy()),
+                        Memory(scale * 4), np.int32(scale)]
+
+            return source, make, (scale,)
+        raise AssertionError(kernel)
+
+    @pytest.mark.parametrize("wname,kernel,scale",
+                             CASES, ids=[c[1] for c in CASES])
+    def test_interpreter_vs_vectorized_ratio(self, wname, kernel, scale,
+                                             capsys):
+        source, make, gsize = self._launch_spec(wname, kernel, scale)
+        program = compile_program(source)
+        plan = vectorize_kernel(program, kernel)
+
+        args = make()
+        t0 = time.perf_counter()
+        Interpreter(program).run_kernel(kernel, args, gsize)
+        interp_s = time.perf_counter() - t0
+
+        plan.launch(make(), gsize)  # warm the geometry memo
+        reps = 5
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            plan.launch(make(), gsize)
+        vec_s = (time.perf_counter() - t0) / reps
+
+        ratio = interp_s / vec_s
+        with capsys.disabled():
+            print("\n[tiers] %s@%d: interpreter %.3fs, vectorized %.5fs "
+                  "-> %.0fx" % (kernel, scale, interp_s, vec_s, ratio))
+        assert ratio >= self.MIN_RATIO, (
+            "%s vectorized only %.1fx over interpreter" % (kernel, ratio))
+
+    def test_vectorized_matmul_launch(self, benchmark):
+        """Steady-state vectorized launch cost at a paper-ish scale the
+        interpreter could never reach in a benchmark run."""
+        n = 64 if QUICK else 256
+        source, make, gsize = self._launch_spec("matrixmul", "matmul", n)
+        plan = vectorize_kernel(compile_program(source), "matmul")
+        args = make()
+        benchmark(plan.launch, args, gsize)
+
+    def test_compile_cache_hit_cost(self, benchmark):
+        """A cache hit must be orders of magnitude under a compile."""
+        cache = VectorizeCache()
+        program = compile_program(get_workload("matrixmul").source)
+        cache.get(program, "matmul")  # populate
+
+        def hit():
+            return cache.get(program, "matmul")
+
+        plan = benchmark(hit)
+        assert plan is not None
+        assert cache.stats()["compiles"] == 1
 
 
 class TestScheduler:

@@ -5,13 +5,21 @@ cluster for 1 vs 8 concurrent tenants, batched vs per-job -- the
 numbers later scaling PRs (sharding, async transport, result caching)
 must not regress.
 
+Also measures the execution-tier story for *tenant-submitted* kernels:
+a kernel with no registered fast path served through the vectorized
+compiler vs interpreter-only serving (``vectorize=False``), which is
+the cliff HaoCL's "as fast as the hardware allows" pitch has to clear.
+
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_serve_throughput.py -q
 """
+
+import time
 
 import numpy as np
 import pytest
 
 from repro.core import HaoCLSession
+from repro.ocl.fastpath import FastPathRegistry
 from repro.serve import HaoCLService, Job
 
 SAXPY = """
@@ -65,6 +73,88 @@ class TestServeThroughput:
         """The unbatched path: what batching is amortising away."""
         stats = benchmark(serve_round, session, ["solo"], batching=False)
         assert stats["solo"]["completed"] == JOBS
+
+
+#: a tenant-submitted kernel nobody wrote a NumPy fast path for -- it
+#: must ride the vectorized tier or fall off the interpreter cliff
+SOFTPLUS = """
+__kernel void softplus(__global float* y, __global const float* x, int n) {
+    int i = get_global_id(0);
+    if (i < n) y[i] = log(1.0f + exp(x[i])) * 0.5f + y[i];
+}
+"""
+
+SOFTPLUS_N = 2048
+SOFTPLUS_JOBS = 12
+
+
+def softplus_job(tenant):
+    y = np.zeros(SOFTPLUS_N, dtype=np.float32)
+    x = np.linspace(-4, 4, SOFTPLUS_N, dtype=np.float32)
+    return Job(tenant, SOFTPLUS, "softplus", [y, x, np.int32(SOFTPLUS_N)],
+               (SOFTPLUS_N,))
+
+
+def serve_softplus(session):
+    with HaoCLService(session, max_batch=16) as service:
+        service.register_tenant("tenant0")
+        for _ in range(SOFTPLUS_JOBS):
+            service.submit(softplus_job("tenant0"))
+        service.run()
+        assert service.jobs_dispatched == SOFTPLUS_JOBS
+        return service
+
+
+class TestNoFastPathServing:
+    """End-to-end serving of a kernel with no registered fast path."""
+
+    def test_vectorized_tier_jobs_per_sec(self, benchmark):
+        with HaoCLSession(gpu_nodes=2, mode="real", transport="inproc",
+                          fastpaths=FastPathRegistry()) as session:
+            service = benchmark(serve_softplus, session)
+            accounting = service.cluster_accounting()
+        tiers = accounting["tenant0"]["tiers"]
+        assert tiers.get("vectorized", 0) > 0
+        assert tiers.get("interpreter", 0) == 0
+
+    def test_vectorized_beats_interpreter_serving(self, capsys):
+        """The tier's end-to-end win, measured through the whole service
+        loop (admission, batching, placement, dispatch, read-back)."""
+        def timed_round(vectorize):
+            with HaoCLSession(gpu_nodes=2, mode="real", transport="inproc",
+                              fastpaths=FastPathRegistry(),
+                              vectorize=vectorize) as session:
+                t0 = time.perf_counter()
+                service = serve_softplus(session)
+                elapsed = time.perf_counter() - t0
+                tiers = service.cluster_accounting()["tenant0"]["tiers"]
+                return elapsed, tiers
+
+        vec_s, vec_tiers = timed_round(vectorize=True)
+        interp_s, interp_tiers = timed_round(vectorize=False)
+        assert vec_tiers.get("vectorized") == SOFTPLUS_JOBS
+        assert interp_tiers.get("interpreter") == SOFTPLUS_JOBS
+        ratio = interp_s / vec_s
+        with capsys.disabled():
+            print("\n[serve] no-fastpath kernel, %d jobs @ %d items: "
+                  "interpreter-only %.2fs, vectorized %.3fs -> %.0fx"
+                  % (SOFTPLUS_JOBS, SOFTPLUS_N, interp_s, vec_s, ratio))
+        assert ratio > 5.0, "vectorized serving should win big (%.1fx)" % ratio
+
+    def test_results_identical_across_tiers(self):
+        def round_results(vectorize):
+            with HaoCLSession(gpu_nodes=1, mode="real", transport="inproc",
+                              fastpaths=FastPathRegistry(),
+                              vectorize=vectorize) as session:
+                with HaoCLService(session) as service:
+                    service.register_tenant("tenant0")
+                    job = service.submit(softplus_job("tenant0"))
+                    service.run()
+                    return job.result["y"]
+
+        fast = round_results(vectorize=True)
+        slow = round_results(vectorize=False)
+        assert np.array_equal(fast, slow)  # bit-identical across tiers
 
 
 class TestQueueWaitPercentiles:

@@ -22,12 +22,13 @@ from repro.ocl.runtime import Device
 class LocalSession:
     """Session-compatible facade over one node's local runtime."""
 
-    def __init__(self, device_kinds=("gpu",), mode="modeled", fastpaths=None):
+    def __init__(self, device_kinds=("gpu",), mode="modeled", fastpaths=None,
+                 vectorize=True):
         self._devices = [
             Device(model_by_name(kind), mode=mode) for kind in device_kinds
         ]
         self.runtime = CLRuntime(self._devices, platform_name="local",
-                                 fastpaths=fastpaths)
+                                 fastpaths=fastpaths, vectorize=vectorize)
         self.mode = mode
         self._clock = 0.0  # host timeline (seconds)
         self._ready = {device.id: 0.0 for device in self._devices}

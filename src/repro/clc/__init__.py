@@ -22,6 +22,13 @@ from repro.clc.errors import (
     InterpError,
 )
 from repro.clc.frontend import compile_program, Program
+from repro.clc.vectorize import (
+    VectorizeError,
+    VectorizedKernel,
+    VectorizeCache,
+    vectorize_kernel,
+    global_vectorize_cache,
+)
 
 __all__ = [
     "CLCError",
@@ -31,4 +38,9 @@ __all__ = [
     "InterpError",
     "compile_program",
     "Program",
+    "VectorizeError",
+    "VectorizedKernel",
+    "VectorizeCache",
+    "vectorize_kernel",
+    "global_vectorize_cache",
 ]

@@ -1,0 +1,1363 @@
+"""Vectorizing CLC -> NumPy kernel compiler (execution tier 2).
+
+The tree-walking interpreter executes one work-item at a time, which is
+exact but far too slow for paper-scale NDRanges.  This module compiles a
+*typed* kernel AST (produced by :mod:`repro.clc.semantics`) into a tree
+of closures that executes **all work-items of an NDRange at once**:
+
+- every scalar value is either *uniform* (one NumPy scalar shared by all
+  lanes) or *varying* (a 1-D NumPy array with one element per work-item);
+- ``get_global_id`` reads become ``arange``-derived index arrays;
+- buffer loads/stores become fancy indexing over typed views of the
+  backing :class:`~repro.clc.values.Memory`;
+- ``if``/``&&``/``||``/``?:`` lower to masked evaluation: each branch
+  runs under the boolean lane-mask of the work-items that took it;
+- loops run in lock-step over the active lanes; uniform trip counts stay
+  hoisted Python loops, lane-varying bounds shrink the loop mask until
+  every lane has exited (``break``/``continue``/``return`` peel lanes
+  off through mask accumulators, exactly like a SIMT machine).
+
+Equivalence contract: for *data-race-free* kernels (no two work-items
+touch the same buffer element unless both only read it) vectorized
+execution is bit-identical to the interpreter.  Kernels in which
+different work-items write the same element without synchronisation
+have **undefined ordering under the OpenCL 1.2 memory model**; both
+tiers then produce a conforming serialisation, but not necessarily the
+same one (the interpreter is work-item-major, the vectorizer is
+statement/iteration-major -- within any single statement execution,
+lane order still equals work-item order).  That is the same caveat as
+moving a racy kernel between real OpenCL devices.
+
+Safety: constructs whose lock-step execution could diverge from the
+sequential interpreter *observably even for race-free kernels* are
+rejected at compile time with :class:`VectorizeError` and the caller
+falls back to another tier:
+
+- barriers, ``__local`` memory and atomics (cross-lane communication);
+- vector types, pointer-valued locals, address-of, helper functions
+  taking pointers (aliasing we cannot track);
+- buffers both read and written by the kernel, unless every access
+  provably touches each lane's private element (a ``get_global_id``
+  -derived injective index such as ``y[i]`` in saxpy).
+
+A buffer bound to two kernel arguments at once is only detectable at
+launch time; that raises :class:`VectorizeFallback` *before any store*
+so the caller can re-run the launch on the interpreter.
+"""
+
+import hashlib
+
+import numpy as np
+
+from repro.clc import ast_nodes as A
+from repro.clc import types as T
+from repro.clc.builtins import BUILTIN_IMPLS, BUILTIN_NAMES, _strip_native
+from repro.clc.errors import CLCError, InterpError
+from repro.clc.interp import (
+    _COMPARE,
+    _COMPUTE,
+    _ERRSTATE,
+    LocalMem,
+    apply_binop,
+)
+from repro.clc.values import Memory, Pointer, convert_value, default_value
+
+
+class VectorizeError(CLCError):
+    """Kernel uses a construct the vectorizer cannot prove safe."""
+
+
+class VectorizeFallback(Exception):
+    """Launch-time condition (buffer aliasing) requires another tier;
+    raised before any observable side effect."""
+
+
+_WORKITEM_FUNCS = frozenset([
+    "get_work_dim", "get_global_size", "get_global_id", "get_local_size",
+    "get_local_id", "get_num_groups", "get_group_id", "get_global_offset",
+])
+
+#: builtins whose interpreter implementation is already elementwise over
+#: NumPy arrays with per-lane *scalar* semantics
+_ELEMENTWISE = frozenset(
+    """
+    sqrt rsqrt cbrt exp exp2 exp10 log log2 log10 sin cos tan asin acos atan
+    sinh cosh tanh fabs floor ceil round trunc rint erf erfc tgamma lgamma
+    pow atan2 fmod fmin fmax copysign hypot fdim
+    fma mad mix smoothstep sign degrees radians abs abs_diff
+    min max clamp
+    """.split()
+)
+
+
+# -- runtime structures --------------------------------------------------------
+
+
+class _Frame:
+    """Return-routing state for one (possibly inlined) function body."""
+
+    __slots__ = ("ret_mask", "ret_val", "version")
+
+    def __init__(self):
+        self.ret_mask = None
+        self.ret_val = None
+        self.version = 0
+
+
+class _Ctx:
+    """Per-launch execution state shared by the compiled closures."""
+
+    __slots__ = ("n", "slots", "slot_masks", "full", "zeros", "frames",
+                 "break_stack", "dim", "global_id", "local_id", "group_id",
+                 "global_size", "local_size", "num_groups", "offset")
+
+    def __init__(self, n, nslots):
+        self.n = n
+        self.slots = [None] * nslots
+        self.slot_masks = [None] * nslots
+        self.full = np.ones(n, dtype=bool)
+        self.zeros = np.zeros(n, dtype=bool)
+        self.frames = [_Frame()]
+        self.break_stack = []
+        self.dim = 1
+        self.global_id = ()
+        self.local_id = ()
+        self.group_id = ()
+        self.global_size = ()
+        self.local_size = ()
+        self.num_groups = ()
+        self.offset = ()
+
+
+def _truth(value):
+    """Lane truthiness: bool for uniforms, bool array for varying."""
+    if isinstance(value, np.ndarray):
+        return value != 0
+    return bool(value)
+
+
+def _is_full(ctx, mask):
+    return mask is ctx.full or bool(mask.all())
+
+
+def _convert_lanes(value, ctype):
+    """Convert a uniform or varying value to ``ctype`` with C semantics."""
+    if isinstance(value, np.ndarray):
+        if ctype.name == "bool":
+            return value != 0
+        dtype = np.dtype(ctype.np_dtype)
+        if value.dtype == dtype:
+            return value
+        return value.astype(dtype)
+    return convert_value(value, ctype)
+
+
+def _merge(mask, new, old):
+    """Masked assignment: lanes in ``mask`` take ``new``, others ``old``."""
+    return np.where(mask, new, old)
+
+
+def _lane_binop(op, left, right, mask, loc=(None, None)):
+    """Apply a C binary operator over lanes (scalar semantics per lane)."""
+    lvec = isinstance(left, np.ndarray)
+    rvec = isinstance(right, np.ndarray)
+    if not lvec and not rvec:
+        return apply_binop(op, left, right, loc)
+    with np.errstate(**_ERRSTATE):
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return _COMPARE[op](left, right).astype(np.int32)
+        if op == "/":
+            return _lane_divide(left, right, mask, loc)
+        if op == "%":
+            return _lane_modulo(left, right, mask, loc)
+        if op in ("<<", ">>"):
+            if rvec:
+                shift = (right.astype(np.int64) & 63).astype(
+                    left.dtype if lvec else np.int64
+                )
+            else:
+                shift = int(right) & 63
+            return left << shift if op == "<<" else left >> shift
+        fn = _COMPUTE.get(op)
+        if fn is None:
+            raise InterpError("unsupported operator %r" % op, *loc)
+        return fn(left, right)
+
+
+def _is_int_lanes(value):
+    if isinstance(value, np.ndarray):
+        return value.dtype.kind in "iub"
+    return isinstance(value, (int, np.integer, bool, np.bool_))
+
+
+def _lane_divide(left, right, mask, loc):
+    if _is_int_lanes(left) and _is_int_lanes(right):
+        divisor = np.asarray(right)
+        zero = divisor == 0
+        if zero.ndim and bool(np.any(zero & mask)) or (not zero.ndim and bool(zero)):
+            raise InterpError("integer division by zero", *loc)
+        if zero.ndim and bool(np.any(zero)):
+            divisor = np.where(zero, 1, divisor)  # inactive lanes only
+        dividend = np.asarray(left)
+        if dividend.dtype.kind == "b":
+            dividend = dividend.astype(np.int32)  # C integer promotion
+        if divisor.dtype.kind == "b":
+            divisor = divisor.astype(np.int32)
+        with np.errstate(**_ERRSTATE):
+            # exact C truncating division (no float64 detour, which
+            # loses precision past 2^53): floor-divide, then bump the
+            # quotient where floor and truncation disagree
+            quotient = np.floor_divide(dividend, divisor)
+            remainder = dividend - quotient * divisor
+            fix = (remainder != 0) & ((dividend < 0) != (divisor < 0))
+            quotient = quotient + fix
+        return quotient
+    return left / right
+
+
+def _lane_modulo(left, right, mask, loc):
+    if _is_int_lanes(left) and _is_int_lanes(right):
+        quotient = _lane_divide(left, right, mask, loc)
+        return left - quotient * right
+    return np.fmod(left, right)
+
+
+def _step_lanes(value, delta):
+    if isinstance(value, np.ndarray):
+        with np.errstate(**_ERRSTATE):
+            return value + value.dtype.type(delta)
+    with np.errstate(**_ERRSTATE):
+        return value + type(value)(delta)
+
+
+def _check_bounds(idx, size):
+    """Explicit bounds check: NumPy would wrap negative indices where
+    the interpreter (and real hardware watchdogs) fault."""
+    if isinstance(idx, np.ndarray):
+        if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= size):
+            raise InterpError(
+                "out-of-bounds access (lane index range [%d, %d] of %d "
+                "elements)" % (int(idx.min()), int(idx.max()), size)
+            )
+        return idx
+    index = int(idx)
+    if not 0 <= index < size:
+        raise InterpError(
+            "out-of-bounds access (index %d of %d elements)" % (index, size)
+        )
+    return index
+
+
+def _lane_index(idx):
+    """Index lanes for fancy indexing.  C pointer arithmetic stays
+    integral, but NumPy promotes uint64 gid lanes mixed with signed
+    ints to float64; truncate back exactly like the interpreter's
+    per-element ``int(index)`` coercion."""
+    if isinstance(idx, np.ndarray) and idx.dtype.kind == "f":
+        return idx.astype(np.int64)
+    return idx
+
+
+def _gather(ctx, mask, view, idx):
+    """Masked buffer load; inactive lanes read nothing and yield 0."""
+    idx = _lane_index(idx)
+    if not isinstance(idx, np.ndarray):
+        return view[_check_bounds(idx, len(view))]
+    if _is_full(ctx, mask):
+        return view[_check_bounds(idx, len(view))]
+    out = np.zeros(ctx.n, dtype=view.dtype)
+    out[mask] = view[_check_bounds(idx[mask], len(view))]
+    return out
+
+
+def _scatter(ctx, mask, view, idx, value):
+    """Masked buffer store; within one statement execution, lane order
+    matches interpreter work-item order, so duplicate indices resolve
+    last-writer-wins identically."""
+    idx = _lane_index(idx)
+    varying = isinstance(value, np.ndarray)
+    if not isinstance(idx, np.ndarray):
+        active = np.flatnonzero(mask)
+        if not active.size:
+            return
+        view[_check_bounds(idx, len(view))] = (
+            value[active[-1]] if varying else value
+        )
+        return
+    if _is_full(ctx, mask):
+        view[_check_bounds(idx, len(view))] = value
+        return
+    sel = _check_bounds(idx[mask], len(view))
+    view[sel] = value[mask] if varying else value
+
+
+# -- the compiler --------------------------------------------------------------
+
+
+class _Scope:
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.names = {}
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class _Compiler:
+    """Lowers one kernel's AST into a tree of lane closures."""
+
+    def __init__(self, program, info):
+        self.program = program
+        self.info = info
+        self.slot_types = []        # slot -> declared CType (None for pointers)
+        self.pointer_slots = {}     # slot -> pointee element CType
+        self.scope = _Scope()
+        self.inline_stack = [info.name]
+        self.uses_structure = False  # local/group/num_groups ids
+        #: param name -> {"reads": [index ASTs], "writes": [index ASTs]}
+        self.accesses = {}
+        self.param_slots = {}       # param name -> slot (kernel frame only)
+        self._gid_vars = None
+
+    # -- entry ---------------------------------------------------------------
+
+    def compile(self):
+        info = self.info
+        if info.uses_barrier:
+            raise VectorizeError("kernel %s uses barriers" % info.name)
+        if getattr(info, "local_mem_bytes", 0):
+            raise VectorizeError("kernel %s declares __local memory" % info.name)
+        for decl in self.program.unit.decls:
+            if not isinstance(decl, A.FunctionDef):
+                raise VectorizeError(
+                    "program declares globals; scoping is not tracked")
+        for name, ctype in info.params:
+            slot = self._new_slot(name, None if ctype.is_pointer() else ctype)
+            if ctype.is_pointer():
+                if ctype.address_space == T.AS_LOCAL:
+                    raise VectorizeError(
+                        "kernel %s takes a __local pointer" % info.name)
+                elem = ctype.pointee
+                while elem.is_array():
+                    elem = elem.element
+                if elem.is_vector():
+                    raise VectorizeError("vector-element buffer param %r" % name)
+                self.pointer_slots[slot] = elem
+                self.param_slots[name] = slot
+                self.accesses[name] = {"reads": [], "writes": []}
+            elif ctype.is_vector():
+                raise VectorizeError("vector-typed param %r" % name)
+        body = self._stmt(info.node.body)
+        self._check_read_write_safety()
+        written = {name for name, acc in self.accesses.items() if acc["writes"]}
+        return VectorizedKernel(
+            info, body, len(self.slot_types), self.slot_types,
+            dict(self.pointer_slots), self.uses_structure, written,
+        )
+
+    # -- slots / scoping -----------------------------------------------------
+
+    def _new_slot(self, name, ctype):
+        slot = len(self.slot_types)
+        self.slot_types.append(ctype)
+        self.scope.names[name] = slot
+        return slot
+
+    def _push_scope(self):
+        self.scope = _Scope(self.scope)
+
+    def _pop_scope(self):
+        self.scope = self.scope.parent
+
+    def _slot_of(self, name, node):
+        slot = self.scope.lookup(name)
+        if slot is None:
+            raise VectorizeError("unsupported identifier %r" % name, *node.loc)
+        return slot
+
+    def _reject(self, message, node=None):
+        loc = node.loc if node is not None else (None, None)
+        raise VectorizeError(message, *loc)
+
+    # -- read/write safety ----------------------------------------------------
+
+    def _check_read_write_safety(self):
+        """Buffers both read and written must be accessed through one
+        injective (gid-derived) index so each lane owns its element."""
+        gid_vars = self._gid_variables()
+        uniform_ok = self._uniform_names()
+        for name, acc in self.accesses.items():
+            if not acc["writes"] or not acc["reads"]:
+                continue
+            indexes = acc["reads"] + acc["writes"]
+            first = indexes[0]
+            for other in indexes[1:]:
+                if not _ast_equal(first, other):
+                    self._reject(
+                        "buffer %r is read and written through different "
+                        "indices; lock-step order is not provably safe" % name,
+                        other,
+                    )
+            if not self._injective(first, gid_vars, uniform_ok):
+                self._reject(
+                    "buffer %r is read and written through a non-injective "
+                    "index" % name, first,
+                )
+
+    def _gid_variables(self):
+        """Names bound once to ``get_global_id(axis)`` and never reassigned."""
+        if self._gid_vars is not None:
+            return self._gid_vars
+        declared = {}
+        reassigned = set()
+        for node in A.walk(self.info.node.body):
+            if isinstance(node, A.VarDecl):
+                if node.name in declared:
+                    reassigned.add(node.name)  # shadowing: disqualify
+                init = node.init
+                if (isinstance(init, A.Call) and init.name == "get_global_id"
+                        and len(init.args) == 1
+                        and isinstance(init.args[0], A.IntLit)):
+                    declared[node.name] = int(init.args[0].value)
+                else:
+                    declared[node.name] = None
+            elif isinstance(node, A.Assign) and isinstance(node.target, A.Ident):
+                reassigned.add(node.target.name)
+            elif isinstance(node, (A.PostfixOp, A.UnaryOp)) \
+                    and getattr(node, "op", None) in ("++", "--") \
+                    and isinstance(node.operand, A.Ident):
+                reassigned.add(node.operand.name)
+        self._gid_vars = {
+            name: axis for name, axis in declared.items()
+            if axis is not None and name not in reassigned
+        }
+        return self._gid_vars
+
+    def _uniform_names(self):
+        """Scalar kernel params that are never reassigned (launch uniforms)."""
+        reassigned = set()
+        for node in A.walk(self.info.node.body):
+            if isinstance(node, A.Assign) and isinstance(node.target, A.Ident):
+                reassigned.add(node.target.name)
+            elif isinstance(node, (A.PostfixOp, A.UnaryOp)) \
+                    and getattr(node, "op", None) in ("++", "--") \
+                    and isinstance(node.operand, A.Ident):
+                reassigned.add(node.operand.name)
+        return {
+            name for name, ctype in self.info.params
+            if not ctype.is_pointer() and name not in reassigned
+        }
+
+    def _injective(self, node, gid_vars, uniform_ok):
+        """index = gid_var (+/-) uniform terms -> injective per lane."""
+        if isinstance(node, A.Ident):
+            return node.name in gid_vars
+        if isinstance(node, A.Cast):
+            return self._injective(node.expr, gid_vars, uniform_ok)
+        if isinstance(node, A.BinOp) and node.op in ("+", "-"):
+            if self._injective(node.left, gid_vars, uniform_ok):
+                return self._is_uniform_expr(node.right, uniform_ok)
+            if node.op == "+" and self._injective(node.right, gid_vars, uniform_ok):
+                return self._is_uniform_expr(node.left, uniform_ok)
+        return False
+
+    def _is_uniform_expr(self, node, uniform_ok):
+        if isinstance(node, (A.IntLit, A.FloatLit, A.SizeOf)):
+            return True
+        if isinstance(node, A.Ident):
+            return node.name in uniform_ok
+        if isinstance(node, A.Cast):
+            return self._is_uniform_expr(node.expr, uniform_ok)
+        if isinstance(node, A.BinOp):
+            return (self._is_uniform_expr(node.left, uniform_ok)
+                    and self._is_uniform_expr(node.right, uniform_ok))
+        if isinstance(node, A.UnaryOp) and node.op in ("-", "+", "~", "!"):
+            return self._is_uniform_expr(node.operand, uniform_ok)
+        return False
+
+    # -- statements -----------------------------------------------------------
+
+    def _stmt(self, node):
+        cls = type(node)
+        if cls is A.Compound:
+            self._push_scope()
+            try:
+                stmts = [self._stmt(s) for s in node.stmts]
+            finally:
+                self._pop_scope()
+
+            def run_compound(ctx, mask, _stmts=stmts):
+                for stmt in _stmts:
+                    if not mask.any():
+                        return mask
+                    mask = stmt(ctx, mask)
+                return mask
+
+            return run_compound
+        if cls is A.ExprStmt:
+            expr = node.expr
+            if isinstance(expr, A.Call) and expr.name == "barrier":
+                self._reject("barrier()", node)
+            if isinstance(expr, A.Call) and expr.name in (
+                "mem_fence", "read_mem_fence", "write_mem_fence"
+            ):
+                return lambda ctx, mask: mask
+            value = self._expr(expr)
+
+            def run_expr(ctx, mask, _value=value):
+                _value(ctx, mask)
+                return mask
+
+            return run_expr
+        if cls is A.DeclStmt:
+            decls = [self._decl(var) for var in node.decls]
+
+            def run_decl(ctx, mask, _decls=decls):
+                for decl in _decls:
+                    decl(ctx, mask)
+                return mask
+
+            return run_decl
+        if cls is A.If:
+            return self._lower_if(node)
+        if cls is A.For:
+            return self._lower_for(node)
+        if cls is A.While:
+            return self._lower_loop(None, node.cond, None, node.body, False)
+        if cls is A.DoWhile:
+            return self._lower_loop(None, node.cond, None, node.body, True)
+        if cls is A.Return:
+            value = None if node.value is None else self._expr(node.value)
+            rtype = self.program.functions[self.inline_stack[-1]].return_type
+
+            def run_return(ctx, mask, _value=value, _rtype=rtype):
+                frame = ctx.frames[-1]
+                frame.version += 1
+                if _value is not None:
+                    val = _convert_lanes(_value(ctx, mask), _rtype)
+                    if frame.ret_val is None:
+                        frame.ret_val = val
+                    else:
+                        frame.ret_val = _merge(mask, val, frame.ret_val)
+                if frame.ret_mask is None:
+                    frame.ret_mask = mask.copy()
+                else:
+                    frame.ret_mask = frame.ret_mask | mask
+                return ctx.zeros
+
+            return run_return
+        if cls is A.Break:
+
+            def run_break(ctx, mask):
+                acc = ctx.break_stack[-1]
+                acc |= mask
+                return ctx.zeros
+
+            return run_break
+        if cls is A.Continue:
+            return lambda ctx, mask: ctx.zeros
+        self._reject("cannot vectorize %s" % cls.__name__, node)
+
+    def _decl(self, var):
+        ctype = var.ctype
+        if ctype.is_pointer() or ctype.is_array():
+            self._reject("pointer/array local %r" % var.name, var)
+        if ctype.is_vector():
+            self._reject("vector local %r" % var.name, var)
+        if var.address_space == T.AS_LOCAL:
+            self._reject("__local variable %r" % var.name, var)
+        init = None if var.init is None else self._expr(var.init)
+        slot = self._new_slot(var.name, ctype)
+
+        def run(ctx, mask, _init=init, _slot=slot, _ctype=ctype):
+            if _init is None:
+                value = default_value(_ctype)
+            else:
+                value = _convert_lanes(_init(ctx, mask), _ctype)
+            ctx.slots[_slot] = value
+            ctx.slot_masks[_slot] = mask
+
+        return run
+
+    def _lower_if(self, node):
+        cond = self._expr(node.cond)
+        self._push_scope()
+        then = self._stmt(node.then)
+        self._pop_scope()
+        orelse = None
+        if node.orelse is not None:
+            self._push_scope()
+            orelse = self._stmt(node.orelse)
+            self._pop_scope()
+
+        def run(ctx, mask, _cond=cond, _then=then, _orelse=orelse):
+            t = _truth(_cond(ctx, mask))
+            if not isinstance(t, np.ndarray):
+                if t:
+                    return _then(ctx, mask)
+                if _orelse is not None:
+                    return _orelse(ctx, mask)
+                return mask
+            mt = mask & t
+            mf = mask & ~t
+            st = _then(ctx, mt) if mt.any() else mt
+            sf = mf
+            if _orelse is not None and mf.any():
+                sf = _orelse(ctx, mf)
+            return st | sf
+
+        return run
+
+    def _lower_for(self, node):
+        self._push_scope()
+        try:
+            init = None if node.init is None else self._stmt(node.init)
+            cond = None if node.cond is None else self._expr(node.cond)
+            step = None if node.step is None else self._expr(node.step)
+            return self._lower_loop(init, cond, step, node.body, False)
+        finally:
+            self._pop_scope()
+
+    def _lower_loop(self, init, cond, step, body_node, test_after):
+        cond_cl = cond if callable(cond) or cond is None else None
+        if cond_cl is None and cond is not None:
+            cond_cl = self._expr(cond)
+        self._push_scope()
+        body = self._stmt(body_node)
+        self._pop_scope()
+
+        def run(ctx, mask, _init=init, _cond=cond_cl, _step=step, _body=body,
+                _after=test_after):
+            if not mask.any():
+                return mask
+            if _init is not None:
+                _init(ctx, mask)
+            frame = ctx.frames[-1]
+            entry_version = frame.version
+            loop_mask = mask
+            brk = np.zeros(ctx.n, dtype=bool)
+            ctx.break_stack.append(brk)
+            try:
+                first = True
+                while True:
+                    if _cond is not None and not (_after and first):
+                        t = _truth(_cond(ctx, loop_mask))
+                        if isinstance(t, np.ndarray):
+                            loop_mask = loop_mask & t
+                        elif not t:
+                            break
+                        if not loop_mask.any():
+                            break
+                    first = False
+                    version = frame.version
+                    _body(ctx, loop_mask)
+                    if brk.any():
+                        loop_mask = loop_mask & ~brk
+                    if frame.version != version:
+                        loop_mask = loop_mask & ~frame.ret_mask
+                    if not loop_mask.any():
+                        break
+                    if _step is not None:
+                        _step(ctx, loop_mask)
+            finally:
+                ctx.break_stack.pop()
+            if frame.version != entry_version and frame.ret_mask is not None:
+                return mask & ~frame.ret_mask
+            return mask
+
+        return run
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expr(self, node):
+        cls = type(node)
+        if cls is A.IntLit or cls is A.FloatLit:
+            value = convert_value(node.value, node.ctype)
+            return lambda ctx, mask, _v=value: _v
+        if cls is A.BoolLit:
+            value = np.bool_(node.value)
+            return lambda ctx, mask, _v=value: _v
+        if cls is A.Ident:
+            slot = self._slot_of(node.name, node)
+            if slot in self.pointer_slots:
+                self._reject(
+                    "pointer %r used outside of indexing" % node.name, node)
+            return lambda ctx, mask, _s=slot: ctx.slots[_s]
+        if cls is A.BinOp:
+            return self._lower_binop(node)
+        if cls is A.UnaryOp:
+            return self._lower_unary(node)
+        if cls is A.PostfixOp:
+            return self._lower_incdec(node, postfix=True)
+        if cls is A.Assign:
+            return self._lower_assign(node)
+        if cls is A.Ternary:
+            return self._lower_ternary(node)
+        if cls is A.Call:
+            return self._lower_call(node)
+        if cls is A.Index:
+            return self._lower_load(node)
+        if cls is A.Cast:
+            if node.ctype.is_pointer() or node.ctype.is_vector():
+                self._reject("pointer/vector cast", node)
+            inner = self._expr(node.expr)
+            ctype = node.ctype
+            return lambda ctx, mask, _i=inner, _t=ctype: _convert_lanes(
+                _i(ctx, mask), _t)
+        if cls is A.SizeOf:
+            value = np.uint64(node.target_type.size or 0)
+            return lambda ctx, mask, _v=value: _v
+        if cls is A.Member:
+            self._reject("vector member access", node)
+        if cls is A.VectorLit:
+            self._reject("vector literal", node)
+        self._reject("cannot vectorize %s" % cls.__name__, node)
+
+    def _lower_binop(self, node):
+        op = node.op
+        if op in ("&&", "||"):
+            left = self._expr(node.left)
+            right = self._expr(node.right)
+
+            def run_logic(ctx, mask, _l=left, _r=right, _and=(op == "&&")):
+                lt = _truth(_l(ctx, mask))
+                if not isinstance(lt, np.ndarray):
+                    # uniform left: short-circuit exactly like the interpreter
+                    if _and and not lt:
+                        return np.int32(0)
+                    if not _and and lt:
+                        return np.int32(1)
+                    rt = _truth(_r(ctx, mask))
+                    if not isinstance(rt, np.ndarray):
+                        return np.int32(1 if rt else 0)
+                    return rt.astype(np.int32)
+                # varying left: evaluate the right side only in the lanes
+                # the short-circuit would reach (their loads stay in bounds)
+                sub = mask & lt if _and else mask & ~lt
+                if sub.any():
+                    rt = _truth(_r(ctx, sub))
+                else:
+                    rt = False
+                if not isinstance(rt, np.ndarray):
+                    rt_arr = sub if rt else np.zeros(ctx.n, dtype=bool)
+                else:
+                    rt_arr = sub & rt
+                out = (lt & rt_arr) if _and else (lt | rt_arr)
+                return out.astype(np.int32)
+
+            return run_logic
+        left = self._expr(node.left)
+        right = self._expr(node.right)
+        loc = node.loc
+
+        def run(ctx, mask, _l=left, _r=right, _op=op, _loc=loc):
+            return _lane_binop(_op, _l(ctx, mask), _r(ctx, mask), mask, _loc)
+
+        return run
+
+    def _lower_unary(self, node):
+        op = node.op
+        if op in ("++", "--"):
+            return self._lower_incdec(node, postfix=False)
+        if op in ("&", "*"):
+            self._reject("address-of / dereference", node)
+        operand = self._expr(node.operand)
+        if op == "-":
+            def run_neg(ctx, mask, _o=operand):
+                with np.errstate(**_ERRSTATE):
+                    return -_o(ctx, mask)
+            return run_neg
+        if op == "+":
+            return operand
+        if op == "!":
+            def run_not(ctx, mask, _o=operand):
+                t = _truth(_o(ctx, mask))
+                if isinstance(t, np.ndarray):
+                    return (~t).astype(np.int32)
+                return np.int32(0 if t else 1)
+            return run_not
+        if op == "~":
+            return lambda ctx, mask, _o=operand: ~_o(ctx, mask)
+        self._reject("unsupported unary %r" % op, node)
+
+    def _lower_incdec(self, node, postfix):
+        target = node.operand
+        delta = +1 if node.op == "++" else -1
+        if not isinstance(target, A.Ident):
+            self._reject("++/-- on non-variable", node)
+        name = target.name
+        slot = self._slot_of(name, node)
+        if slot in self.pointer_slots:
+            self._reject("pointer arithmetic via ++/--", node)
+        ctype = self.slot_types[slot]
+
+        def run(ctx, mask, _s=slot, _d=delta, _post=postfix, _t=ctype):
+            old = ctx.slots[_s]
+            new = _step_lanes(old, _d)
+            if _t is not None:
+                new = _convert_lanes(new, _t)
+            if mask is ctx.slot_masks[_s]:
+                ctx.slots[_s] = new
+            else:
+                ctx.slots[_s] = _merge(mask, new, old)
+            return old if _post else new
+
+        return run
+
+    def _lower_assign(self, node):
+        target = node.target
+        value = self._expr(node.value)
+        binop = None if node.op == "=" else node.op[:-1]
+        loc = node.loc
+        if isinstance(target, A.Ident):
+            slot = self._slot_of(target.name, node)
+            if slot in self.pointer_slots:
+                self._reject("assignment to pointer %r" % target.name, node)
+            ctype = self.slot_types[slot]
+
+            def run_var(ctx, mask, _s=slot, _v=value, _op=binop, _t=ctype,
+                        _loc=loc):
+                val = _v(ctx, mask)
+                old = ctx.slots[_s]
+                if _op is not None:
+                    val = _lane_binop(_op, old, val, mask, _loc)
+                if _t is not None:
+                    val = _convert_lanes(val, _t)
+                if mask is ctx.slot_masks[_s]:
+                    ctx.slots[_s] = val
+                else:
+                    ctx.slots[_s] = _merge(mask, val, old)
+                return val
+
+            return run_var
+        if isinstance(target, A.Index):
+            pslot, elem, idx = self._pointer_access(target, write=True,
+                                                    read=binop is not None)
+
+            def run_store(ctx, mask, _p=pslot, _e=elem, _i=idx, _v=value,
+                          _op=binop, _loc=loc):
+                view = ctx.slots[_p]
+                index = _i(ctx, mask)
+                val = _v(ctx, mask)
+                if _op is not None:
+                    old = _gather(ctx, mask, view, index)
+                    val = _lane_binop(_op, old, val, mask, _loc)
+                val = _convert_lanes(val, _e)
+                _scatter(ctx, mask, view, index, val)
+                return val
+
+            return run_store
+        self._reject("unsupported assignment target", node)
+
+    def _pointer_access(self, node, write, read):
+        """Validate ``ptr[idx]`` where ptr is a global buffer param."""
+        base = node.base
+        if not isinstance(base, A.Ident):
+            self._reject("indexed expression must be a buffer parameter", node)
+        slot = self.scope.lookup(base.name)
+        if slot is None or slot not in self.pointer_slots:
+            self._reject("indexing a non-buffer %r" % base.name, node)
+        acc = self.accesses.get(base.name)
+        if acc is not None:  # kernel params only; helpers have no pointers
+            if write:
+                acc["writes"].append(node.index)
+            if read or not write:
+                acc["reads"].append(node.index)
+        return slot, self.pointer_slots[slot], self._expr(node.index)
+
+    def _lower_load(self, node):
+        pslot, elem, idx = self._pointer_access(node, write=False, read=True)
+
+        def run(ctx, mask, _p=pslot, _i=idx):
+            return _gather(ctx, mask, ctx.slots[_p], _i(ctx, mask))
+
+        return run
+
+    def _lower_ternary(self, node):
+        cond = self._expr(node.cond)
+        then = self._expr(node.then)
+        orelse = self._expr(node.orelse)
+        ctype = getattr(node, "ctype", None)
+
+        def run(ctx, mask, _c=cond, _t=then, _o=orelse, _ct=ctype):
+            t = _truth(_c(ctx, mask))
+            if not isinstance(t, np.ndarray):
+                return _t(ctx, mask) if t else _o(ctx, mask)
+            mt = mask & t
+            mf = mask & ~t
+            tv = _t(ctx, mt) if mt.any() else None
+            ov = _o(ctx, mf) if mf.any() else None
+            if tv is None:
+                return ov
+            if ov is None:
+                return tv
+            if _ct is not None and not _ct.is_void():
+                tv = _convert_lanes(tv, _ct)
+                ov = _convert_lanes(ov, _ct)
+            return _merge(t, tv, ov)
+
+        return run
+
+    # -- calls -----------------------------------------------------------------
+
+    def _lower_call(self, node):
+        name = node.name
+        if name == "__comma__":
+            parts = [self._expr(arg) for arg in node.args]
+
+            def run_comma(ctx, mask, _parts=parts):
+                result = None
+                for part in _parts:
+                    result = part(ctx, mask)
+                return result
+
+            return run_comma
+        if name in _WORKITEM_FUNCS:
+            return self._lower_workitem(node)
+        if name == "barrier":
+            self._reject("barrier()", node)
+        info = self.program.functions.get(name)
+        if info is not None:
+            return self._lower_inline(node, info)
+        if name in BUILTIN_NAMES:
+            return self._lower_builtin(node)
+        self._reject("call to unknown function %r" % name, node)
+
+    def _lower_workitem(self, node):
+        name = node.name
+        if name == "get_work_dim":
+            return lambda ctx, mask: np.uint32(ctx.dim)
+        if len(node.args) != 1:
+            self._reject("%s takes one argument" % name, node)
+        dim = self._expr(node.args[0])
+        if name in ("get_local_id", "get_group_id", "get_local_size",
+                    "get_num_groups"):
+            self.uses_structure = True
+        per_lane = {"get_global_id": "global_id", "get_local_id": "local_id",
+                    "get_group_id": "group_id"}.get(name)
+        uniform = {"get_global_size": ("global_size", 1),
+                   "get_local_size": ("local_size", 1),
+                   "get_num_groups": ("num_groups", 1),
+                   "get_global_offset": ("offset", 0)}.get(name)
+
+        def run(ctx, mask, _d=dim, _lane=per_lane, _uni=uniform):
+            d = _d(ctx, mask)
+            if isinstance(d, np.ndarray):
+                raise InterpError("work-item dimension must be uniform")
+            d = int(d)
+            if _lane is not None:
+                arrays = getattr(ctx, _lane)
+                if 0 <= d < len(arrays):
+                    return arrays[d]
+                return np.uint64(0)
+            field, default = _uni
+            values = getattr(ctx, field)
+            if 0 <= d < len(values):
+                return np.uint64(values[d])
+            return np.uint64(default)
+
+        return run
+
+    def _lower_inline(self, node, info):
+        if info.name in self.inline_stack:
+            self._reject("recursive call to %r" % info.name, node)
+        if info.node.body is None:
+            self._reject("call to undefined function %r" % info.name, node)
+        for _pname, ptype in info.params:
+            if ptype.is_pointer() or ptype.is_vector():
+                self._reject(
+                    "helper %r takes pointer/vector parameters" % info.name,
+                    node,
+                )
+        if len(node.args) != len(info.params):
+            self._reject("%s() arity mismatch" % info.name, node)
+        args = [self._expr(arg) for arg in node.args]
+        # inline: fresh slots in an *isolated* scope (the callee must not
+        # resolve names against the caller's locals), compiled per call site
+        self.inline_stack.append(info.name)
+        caller_scope = self.scope
+        self.scope = _Scope()
+        try:
+            bindings = []
+            for (pname, ptype), _arg in zip(info.params, node.args):
+                bindings.append((self._new_slot(pname, ptype), ptype))
+            body = self._stmt(info.node.body)
+        finally:
+            self.scope = caller_scope
+            self.inline_stack.pop()
+        rtype = info.return_type
+        fname = info.name
+
+        def run(ctx, mask, _args=args, _bind=bindings, _body=body,
+                _rt=rtype, _fn=fname):
+            for (slot, ptype), arg in zip(_bind, _args):
+                ctx.slots[slot] = _convert_lanes(arg(ctx, mask), ptype)
+                ctx.slot_masks[slot] = mask
+            frame = _Frame()
+            ctx.frames.append(frame)
+            try:
+                _body(ctx, mask)
+            finally:
+                ctx.frames.pop()
+            if _rt.is_void():
+                return None
+            if frame.ret_mask is None or not bool(np.all(frame.ret_mask[mask])):
+                raise InterpError("non-void function %r fell off the end" % _fn)
+            return frame.ret_val
+
+        return run
+
+    def _lower_builtin(self, node):
+        name = node.name
+        base = _strip_native(name)
+        args = [self._expr(arg) for arg in node.args]
+        result_type = getattr(node, "ctype", None)
+        if base.startswith("convert_") or base.startswith("as_"):
+            return self._lower_conversion(node, base, args, result_type)
+        if base in _ELEMENTWISE:
+            impl = BUILTIN_IMPLS[base]
+
+            def run_elem(ctx, mask, _args=args, _impl=impl, _rt=result_type):
+                values = [a(ctx, mask) for a in _args]
+                result = _impl(values)
+                return _lane_result(result, _rt)
+
+            return run_elem
+        if base in ("isnan", "isinf", "isfinite", "isnormal"):
+            fn = {"isnan": np.isnan, "isinf": np.isinf,
+                  "isfinite": np.isfinite, "isnormal": np.isfinite}[base]
+
+            def run_class(ctx, mask, _args=args, _fn=fn):
+                (x,) = [a(ctx, mask) for a in _args]
+                result = _fn(_lane_float(x))
+                if isinstance(result, np.ndarray):
+                    return result.astype(np.int32)  # scalar semantics: 0/1
+                return np.int32(1 if result else 0)
+
+            return run_class
+        if base == "signbit":
+            def run_signbit(ctx, mask, _args=args):
+                (x,) = [a(ctx, mask) for a in _args]
+                result = np.signbit(_lane_float(x))
+                if isinstance(result, np.ndarray):
+                    return result.astype(np.int32)
+                return np.int32(1 if result else 0)
+
+            return run_signbit
+        if base == "select":
+            def run_select(ctx, mask, _args=args, _rt=result_type):
+                a, b, c = [arg(ctx, mask) for arg in _args]
+                t = _truth(c)
+                if not isinstance(t, np.ndarray) and not isinstance(
+                        a, np.ndarray) and not isinstance(b, np.ndarray):
+                    return b if t else a
+                return _lane_result(np.where(t, b, a), _rt)
+
+            return run_select
+        if base == "step":
+            def run_step(ctx, mask, _args=args, _rt=result_type):
+                edge, x = [arg(ctx, mask) for arg in _args]
+                result = np.where(_lane_float(x) < _lane_float(edge), 0.0, 1.0)
+                return _lane_result(result, _rt)
+
+            return run_step
+        self._reject("builtin %r is not vectorizable" % name, node)
+
+    def _lower_conversion(self, node, base, args, result_type):
+        if len(args) != 1:
+            self._reject("%s takes one argument" % base, node)
+        _, _, tname = base.partition("_")
+        for suffix in ("_rte", "_rtz", "_rtn", "_rtp", "_sat"):
+            if tname.endswith(suffix):
+                tname = tname[: -len(suffix)]
+        target = T.type_by_name(tname)
+        if target is None or not target.is_scalar():
+            self._reject("unsupported conversion %r" % base, node)
+        if base.startswith("convert_"):
+            return lambda ctx, mask, _a=args[0], _t=target: _convert_lanes(
+                _a(ctx, mask), _t)
+
+        def run_as(ctx, mask, _a=args[0], _t=target):
+            value = _a(ctx, mask)
+            dtype = np.dtype(_t.np_dtype)
+            if isinstance(value, np.ndarray):
+                if value.dtype.itemsize != dtype.itemsize:
+                    raise InterpError("as_%s size mismatch" % _t.name)
+                return value.view(dtype)
+            raw = np.atleast_1d(np.asarray(value)).tobytes()
+            return np.frombuffer(raw, dtype=dtype, count=1)[0]
+
+        return run_as
+
+
+def _lane_float(value):
+    """Math builtins operate in the value's float type (float32 stays)."""
+    if isinstance(value, np.ndarray):
+        if value.dtype.kind == "f":
+            return value
+        return value.astype(np.float32)
+    if isinstance(value, np.floating):
+        return value
+    return np.float32(value)
+
+
+def _lane_result(result, result_type):
+    if result_type is None or result_type.is_void():
+        return result
+    if isinstance(result, np.ndarray):
+        return _convert_lanes(result, result_type)
+    try:
+        return convert_value(result, result_type)
+    except InterpError:
+        return result
+
+
+def _ast_equal(a, b):
+    """Structural AST equality (for index-expression comparison)."""
+    if type(a) is not type(b):
+        return False
+    for attr in ("name", "op", "value"):
+        if getattr(a, attr, None) != getattr(b, attr, None):
+            return False
+    ca = list(a.children())
+    cb = list(b.children())
+    if len(ca) != len(cb):
+        return False
+    return all(_ast_equal(x, y) for x, y in zip(ca, cb))
+
+
+# -- the compiled artifact -----------------------------------------------------
+
+
+class VectorizedKernel:
+    """A kernel lowered to lane closures; launch-compatible with
+    :meth:`repro.clc.interp.Interpreter.run_kernel`."""
+
+    def __init__(self, info, body, nslots, slot_types, pointer_slots,
+                 uses_structure, written_params=frozenset()):
+        self.info = info
+        self.name = info.name
+        self._body = body
+        self._nslots = nslots
+        self._slot_types = slot_types
+        self._pointer_slots = pointer_slots
+        self._uses_structure = uses_structure
+        self.written_params = frozenset(written_params)
+        self._geometry = None  # memoized (gsize, lsize, offset) -> id arrays
+
+    # -- argument binding ------------------------------------------------------
+
+    def _bind(self, ctx, args):
+        info = self.info
+        if len(args) != len(info.params):
+            raise InterpError(
+                "kernel %s expects %d args, got %d"
+                % (info.name, len(info.params), len(args))
+            )
+        memories = []  # (slot, Memory, written?)
+        for slot, ((pname, ptype), value) in enumerate(zip(info.params, args)):
+            if isinstance(value, LocalMem):
+                raise VectorizeFallback("__local argument for %r" % pname)
+            if isinstance(value, Memory):
+                if not ptype.is_pointer():
+                    raise InterpError("buffer arg for non-pointer param %r" % pname)
+                elem = self._pointer_slots[slot]
+                ctx.slots[slot] = value.typed_view(elem)
+                memories.append((pname, value))
+            elif isinstance(value, Pointer):
+                elem = self._pointer_slots[slot]
+                count = (value.memory.nbytes - value.offset) // elem.size
+                ctx.slots[slot] = value.memory.typed_view(
+                    elem, offset=value.offset, count=count
+                )
+                memories.append((pname, value.memory))
+            else:
+                if ptype.is_pointer():
+                    raise InterpError("scalar arg for pointer param %r" % pname)
+                ctx.slots[slot] = convert_value(value, ptype)
+            ctx.slot_masks[slot] = ctx.full
+        self._check_aliasing(memories)
+
+    def _check_aliasing(self, memories):
+        """Two params over one Memory, at least one written, defeats the
+        compile-time access analysis; bail out (before any store) so the
+        interpreter runs.  Shared read-only inputs are harmless."""
+        seen = {}
+        for pname, memory in memories:
+            other = seen.get(id(memory))
+            if other is not None and (
+                pname in self.written_params or other in self.written_params
+            ):
+                raise VectorizeFallback(
+                    "params %r and %r alias one buffer" % (other, pname)
+                )
+            seen[id(memory)] = pname
+
+    # -- geometry --------------------------------------------------------------
+
+    def _pick_local_size(self, global_size):
+        if "reqd_work_group_size" in self.info.attributes:
+            return tuple(
+                self.info.attributes["reqd_work_group_size"][: len(global_size)]
+            )
+        return tuple(global_size)  # no barriers: one big group
+
+    def _ids(self, global_size, local_size, offset):
+        key = (global_size, local_size, offset)
+        if self._geometry is not None and self._geometry[0] == key:
+            return self._geometry[1]
+        n = 1
+        for g in global_size:
+            n *= g
+        num_groups = tuple(g // l for g, l in zip(global_size, local_size))
+        shape = num_groups + local_size
+        coords = np.unravel_index(np.arange(n, dtype=np.int64), shape)
+        dim = len(global_size)
+        group_id = tuple(coords[d].astype(np.uint64) for d in range(dim))
+        local_id = tuple(coords[dim + d].astype(np.uint64) for d in range(dim))
+        global_id = tuple(
+            group_id[d] * np.uint64(local_size[d]) + local_id[d]
+            + np.uint64(offset[d])
+            for d in range(dim)
+        )
+        if not self._uses_structure:
+            group_id = local_id = ()
+        ids = (n, global_id, local_id, group_id, num_groups)
+        self._geometry = (key, ids)
+        return ids
+
+    # -- launch ----------------------------------------------------------------
+
+    def launch(self, args, global_size, local_size=None, global_offset=None):
+        """Execute the NDRange; mutates buffer Memories in place."""
+        global_size = _as_dims(global_size)
+        dim = len(global_size)
+        if local_size is None:
+            local_size = self._pick_local_size(global_size)
+        local_size = _as_dims(local_size)
+        if len(local_size) != dim:
+            raise InterpError("work_dim mismatch between global and local size")
+        for g, l in zip(global_size, local_size):
+            if l <= 0 or g % l != 0:
+                raise InterpError(
+                    "global size %r not divisible by local size %r"
+                    % (global_size, local_size)
+                )
+        offset = _as_dims(global_offset) if global_offset else (0,) * dim
+        n, global_id, local_id, group_id, num_groups = self._ids(
+            global_size, local_size, offset
+        )
+        ctx = _Ctx(n, self._nslots)
+        ctx.dim = dim
+        ctx.global_id = global_id
+        ctx.local_id = local_id
+        ctx.group_id = group_id
+        ctx.global_size = global_size
+        ctx.local_size = local_size
+        ctx.num_groups = num_groups
+        ctx.offset = offset
+        self._bind(ctx, args)
+        self._body(ctx, ctx.full)
+
+    def __repr__(self):
+        return "VectorizedKernel(%s, %d slots)" % (self.name, self._nslots)
+
+
+def _as_dims(value):
+    if isinstance(value, (int, np.integer)):
+        return (int(value),)
+    dims = tuple(int(v) for v in value)
+    if not 1 <= len(dims) <= 3:
+        raise InterpError("work dimensions must be 1..3, got %d" % len(dims))
+    return dims
+
+
+def vectorize_kernel(program, kernel_name):
+    """Compile one kernel of a :class:`repro.clc.frontend.Program`.
+
+    Raises :class:`VectorizeError` when the kernel uses constructs whose
+    lock-step execution cannot be proven equivalent to the sequential
+    interpreter.
+    """
+    info = program.kernel(kernel_name)
+    return _Compiler(program, info).compile()
+
+
+# -- process-wide compile cache ------------------------------------------------
+
+
+class VectorizeCache:
+    """Memoizes vectorized compiles across programs and runtimes.
+
+    Keyed by (source digest, build options, kernel name) so that
+    identical tenant-submitted sources -- for example the same-kernel
+    batches the serve layer's Batcher coalesces -- compile exactly once
+    per process, no matter how many nodes or Program objects build them.
+    Rejections are cached too: a non-vectorizable kernel is analyzed
+    once and falls through to the interpreter for free afterwards.
+    """
+
+    def __init__(self, max_entries=256):
+        self.max_entries = int(max_entries)
+        self._entries = {}  # key -> VectorizedKernel | VectorizeError
+        self.compiles = 0
+        self.hits = 0
+        self.rejects = 0
+
+    @staticmethod
+    def key_for(program, kernel_name):
+        digest = hashlib.sha256(program.source.encode("utf-8")).hexdigest()
+        return (digest, program.options or "", kernel_name)
+
+    def get(self, program, kernel_name):
+        """VectorizedKernel for the kernel, or None when rejected."""
+        key = self.key_for(program, kernel_name)
+        entry = self._entries.get(key)
+        if entry is None:
+            try:
+                entry = vectorize_kernel(program, kernel_name)
+                self.compiles += 1
+            except VectorizeError as exc:
+                entry = exc
+                self.rejects += 1
+            self._entries[key] = entry
+            self._evict()
+        else:
+            self.hits += 1
+        return entry if isinstance(entry, VectorizedKernel) else None
+
+    def rejection(self, program, kernel_name):
+        """The cached VectorizeError for a rejected kernel, if any."""
+        entry = self._entries.get(self.key_for(program, kernel_name))
+        return entry if isinstance(entry, VectorizeError) else None
+
+    def _evict(self):
+        while len(self._entries) > self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+
+    def clear(self):
+        self._entries.clear()
+        self.compiles = self.hits = self.rejects = 0
+
+    def stats(self):
+        return {
+            "entries": len(self._entries),
+            "compiles": self.compiles,
+            "hits": self.hits,
+            "rejects": self.rejects,
+        }
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def __len__(self):
+        return len(self._entries)
+
+
+#: process-wide cache used by every CLRuntime unless one is injected.
+global_vectorize_cache = VectorizeCache()

@@ -29,15 +29,19 @@ class HostProcess:
     # -- construction helpers ---------------------------------------------------
 
     @classmethod
-    def launch(cls, config, transport="inproc", netmodel=None, fastpaths=None):
+    def launch(cls, config, transport="inproc", netmodel=None, fastpaths=None,
+               vectorize=True):
         """Spin up NMPs for every configured node on the chosen transport.
 
         ``transport`` is one of ``inproc``, ``sim``, ``tcp``.  For ``sim``
         the returned host's fabric exposes the simulator clock
         (``fabric.now_s()``), which is what the experiments measure.
+        ``vectorize=False`` disables the vectorized execution tier on
+        every node (fast paths and the interpreter remain).
         """
         handlers = {
-            node.node_id: NodeManagementProcess(node, fastpaths=fastpaths)
+            node.node_id: NodeManagementProcess(node, fastpaths=fastpaths,
+                                                vectorize=vectorize)
             for node in config
         }
         if transport == "inproc":

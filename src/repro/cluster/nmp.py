@@ -59,7 +59,7 @@ class _HandleTable:
 class NodeManagementProcess(NodeHandler):
     """One device node's daemon."""
 
-    def __init__(self, node_config, fastpaths=None):
+    def __init__(self, node_config, fastpaths=None, vectorize=True):
         self.node_id = node_config.node_id
         self.mode = node_config.mode
         devices = [
@@ -70,6 +70,7 @@ class NodeManagementProcess(NodeHandler):
             devices,
             platform_name="node:%s" % self.node_id,
             fastpaths=fastpaths,
+            vectorize=vectorize,
         )
         self._tables = {
             kind: _HandleTable(kind)
@@ -313,21 +314,25 @@ class NodeManagementProcess(NodeHandler):
         profile[0] += 1
         profile[1] += event.duration_s
         profile[2] += items
+        tier = event.tier or "unknown"
         tenant = payload.get("tenant") or payload.get("user")
         if tenant is not None:
             record = self.tenant_profile.setdefault(
                 tenant,
-                {"launches": 0, "busy_s": 0.0, "jobs": 0, "last_job": None},
+                {"launches": 0, "busy_s": 0.0, "jobs": 0, "last_job": None,
+                 "tiers": {}},
             )
             record["launches"] += 1
             record["busy_s"] += event.duration_s
+            tiers = record.setdefault("tiers", {})
+            tiers[tier] = tiers.get(tier, 0) + 1
             job = payload.get("job")
             if job is not None and job != record["last_job"]:
                 # a job's launches arrive consecutively per tenant, so
                 # an edge-triggered counter stays bounded (no id set)
                 record["jobs"] += 1
                 record["last_job"] = job
-        return {"duration_s": event.duration_s}, now_s
+        return {"duration_s": event.duration_s, "tier": event.tier}, now_s
 
     def _op_finish(self, payload, now_s):
         queue = self._tables["queue"].get(payload["queue"])
@@ -390,6 +395,7 @@ class NodeManagementProcess(NodeHandler):
                 "launches": record["launches"],
                 "busy_s": record["busy_s"],
                 "jobs": record["jobs"],
+                "tiers": dict(record.get("tiers", {})),
             }
             for name, record in self.tenant_profile.items()
         }
@@ -398,5 +404,7 @@ class NodeManagementProcess(NodeHandler):
             "devices": devices,
             "kernels": kernels,
             "tenants": tenants,
+            "tiers": dict(self.runtime.tier_counts),
+            "compile_cache": self.runtime.vectorize_stats(),
             "messages": self.messages_handled,
         }, now_s

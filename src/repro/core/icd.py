@@ -198,7 +198,9 @@ class ICDDispatcher:
             payload = self.host.call(
                 owner, "read_buffer", queue=queue, buffer=handle,
             )
-            raw = np.frombuffer(bytes(payload["data"]), dtype=np.uint8)
+            # the decoded payload is already a zero-copy view over the
+            # response frame; store straight into the shadow
+            raw = np.asarray(payload["data"]).view(np.uint8).reshape(-1)
             # in place: sub-buffer shadows are views into their parent
             buffer.shadow[: len(raw)] = raw
         self.bytes_from_nodes += buffer.size

@@ -20,14 +20,16 @@ class HaoCLSession:
 
     def __init__(self, config=None, transport="inproc", policy="user-directed",
                  netmodel=None, user=None, fastpaths=None, host=None,
-                 gpu_nodes=0, fpga_nodes=0, cpu_nodes=0, mode="modeled"):
+                 gpu_nodes=0, fpga_nodes=0, cpu_nodes=0, mode="modeled",
+                 vectorize=True):
         if config is None and host is None:
             config = ClusterConfig.build(
                 gpu_nodes=gpu_nodes, fpga_nodes=fpga_nodes,
                 cpu_nodes=cpu_nodes, mode=mode,
             )
         self.host = host or HostProcess.launch(
-            config, transport=transport, netmodel=netmodel, fastpaths=fastpaths
+            config, transport=transport, netmodel=netmodel,
+            fastpaths=fastpaths, vectorize=vectorize,
         )
         self.cl = HaoCL(self.host, policy=policy, user=user)
 
@@ -74,11 +76,22 @@ class HaoCLSession:
         return self.cl.create_buffer(context, flags, nbytes, synthetic=True)
 
     def read_array(self, queue, buffer, dtype, shape=None, count=None):
-        """Read a buffer back as a typed NumPy array."""
+        """Read a buffer back as a typed NumPy array.
+
+        View-based: wire frames decode as read-only views and are
+        re-typed in place.  Only a *writable* source (the live host
+        shadow of a real buffer) is snapshotted, so the caller's array
+        never aliases state a later enqueue could mutate."""
         raw = self.cl.enqueue_read_buffer(queue, buffer)
+        if isinstance(raw, (bytes, bytearray, memoryview)):
+            raw = np.frombuffer(raw, dtype=np.uint8)
+        else:
+            raw = np.asarray(raw)
+        if raw.flags.writeable:
+            raw = raw.copy()
         dtype = np.dtype(dtype)
         count = raw.nbytes // dtype.itemsize if count is None else count
-        array = np.frombuffer(bytes(raw), dtype=dtype, count=count)
+        array = np.frombuffer(raw, dtype=dtype, count=count)
         if shape is not None:
             array = array.reshape(shape)
         return array

@@ -252,11 +252,14 @@ class HKernel:
 class HEvent:
     """Completion record for one command."""
 
-    def __init__(self, command_type, device, duration_s):
+    def __init__(self, command_type, device, duration_s, tier=None):
         self.command_type = command_type
         self.device = device
         self.duration_s = duration_s
         self.status = enums.CL_COMPLETE
+        #: execution tier the node reported for a kernel launch
+        #: (fastpath / vectorized / interpreter / modeled)
+        self.tier = tier
 
     def __repr__(self):
         return "HEvent(%s on %s: %.3es)" % (
@@ -465,15 +468,15 @@ class HaoCL:
         device = self.policy.select(task)
         check(device in task.candidates, enums.CL_INVALID_DEVICE,
               "policy chose a device outside the context")
-        duration = self._dispatch(queue, kernel, device,
-                                  global_size, local_size, global_offset)
+        duration, tier = self._dispatch(queue, kernel, device,
+                                        global_size, local_size, global_offset)
         self.policy.observe(task, device, duration)
         self.launches += 1
         queue.touched[device.global_id] = device
         now = self.host.now_s()
         ready = max(self._device_ready.get(device.global_id, 0.0), now)
         self._device_ready[device.global_id] = ready + duration
-        event = HEvent("ndrange:%s" % kernel.name, device, duration)
+        event = HEvent("ndrange:%s" % kernel.name, device, duration, tier=tier)
         queue.events.append(event)
         return event
 
@@ -605,7 +608,7 @@ class HaoCL:
                     buffer.parent.fresh &= {HOST}
                 for child in buffer.children:
                     child.fresh = set()  # re-derive from the parent on use
-        return payload["duration_s"]
+        return payload["duration_s"], payload.get("tier")
 
     def _sync_family(self, buffer):
         """Reconcile sub-buffer family state before a buffer is used.

@@ -26,11 +26,16 @@ from repro.clc.analysis import analyze_kernel
 from repro.clc.errors import CLCError
 from repro.clc.interp import Interpreter, LocalMem
 from repro.clc.values import Memory
+from repro.clc.vectorize import VectorizeFallback, global_vectorize_cache
 from repro.ocl import enums
 from repro.ocl.errors import CLError, check
 from repro.ocl.fastpath import global_fastpaths
 
 _NS = 1e9
+
+#: clBuildProgram flag that opts a program out of the vectorized tier
+#: (its kernels then run on a registered fast path or the interpreter)
+NO_VECTORIZE_FLAG = "-haocl-no-vectorize"
 
 
 class _RefCounted:
@@ -246,10 +251,12 @@ class Program(_RefCounted):
         self.build_status = None
         self.build_log = ""
         self.build_options = ""
+        self.vectorize_ok = True
         self._cost_cache = {}
 
     def build(self, options=""):
         self.build_options = options or ""
+        self.vectorize_ok = NO_VECTORIZE_FLAG not in self.build_options
         try:
             self.compiled = compile_program(self.source, self.build_options)
         except CLCError as exc:
@@ -328,6 +335,8 @@ class Event:
         self.submit_s = start_s
         self.start_s = start_s
         self.end_s = end_s
+        #: which execution tier ran the command (kernel launches only)
+        self.tier = None
 
     @property
     def duration_s(self):
@@ -348,13 +357,41 @@ class Event:
 
 
 class CLRuntime:
-    """Driver entry points for one node's devices."""
+    """Driver entry points for one node's devices.
+
+    Kernel launches execute through a three-tier dispatch:
+
+    1. **fastpath** -- a NumPy implementation registered for the kernel
+       name (hand-written, validated against the interpreter);
+    2. **vectorized** -- the :mod:`repro.clc.vectorize` compiler's
+       all-lanes-at-once NumPy lowering, memoized in a process-wide
+       compile cache keyed by source hash + build options + kernel name;
+    3. **interpreter** -- the exact tree-walking reference.
+
+    Tier 2 can be disabled per-runtime (``vectorize=False``) or
+    per-program (the ``-haocl-no-vectorize`` build flag); kernels the
+    vectorizer rejects fall through to tier 3 automatically, as do
+    launches whose buffers alias in ways the compile-time analysis
+    cannot see.  ``tier_counts`` records where every launch ran.
+    """
 
     def __init__(self, devices=None, platform_name="HaoCL repro platform",
-                 fastpaths=None):
+                 fastpaths=None, vectorize=True, vectorize_cache=None):
         devices = devices or []
         self.platform = Platform(platform_name, devices)
         self.fastpaths = fastpaths if fastpaths is not None else global_fastpaths
+        self.vectorize = bool(vectorize)
+        self.vectorize_cache = (
+            vectorize_cache if vectorize_cache is not None
+            else global_vectorize_cache
+        )
+        self.tier_counts = {
+            "fastpath": 0, "vectorized": 0, "interpreter": 0, "modeled": 0,
+        }
+
+    def vectorize_stats(self):
+        """Compile-cache counters (shared process-wide by default)."""
+        return self.vectorize_cache.stats()
 
     # -- discovery --------------------------------------------------------------
 
@@ -440,17 +477,20 @@ class CLRuntime:
         device = queue.device
         num_items = int(np.prod(np.asarray(global_size, dtype=np.int64)))
         if device.mode == "modeled":
-            executed = self._maybe_execute(kernel, global_size, local_size,
-                                           global_offset)
+            tier = self._maybe_execute(kernel, global_size, local_size,
+                                       global_offset)
             cost = kernel.program.kernel_cost(kernel.name).resolve(
                 kernel.scalar_args()
             )
             duration = device.model.kernel_time(cost, num_items)
         else:
             t0 = time.perf_counter()
-            self._execute(kernel, global_size, local_size, global_offset)
+            tier = self._execute(kernel, global_size, local_size, global_offset)
             duration = time.perf_counter() - t0
-        return queue.record("ndrange:%s" % kernel.name, duration)
+        self.tier_counts[tier] += 1
+        event = queue.record("ndrange:%s" % kernel.name, duration)
+        event.tier = tier
+        return event
 
     def enqueue_task(self, queue, kernel):
         """clEnqueueTask == 1x1x1 NDRange (the FPGA streaming launch)."""
@@ -485,11 +525,11 @@ class CLRuntime:
         """Under the modeled policy, execute only when data is real."""
         for value in kernel.args.values():
             if isinstance(value, Buffer) and value.synthetic:
-                return False
-        self._execute(kernel, global_size, local_size, global_offset)
-        return True
+                return "modeled"
+        return self._execute(kernel, global_size, local_size, global_offset)
 
     def _execute(self, kernel, global_size, local_size, global_offset):
+        """Run the launch through the tier chain; returns the tier name."""
         args = []
         for index in range(kernel.num_args):
             value = kernel.args[index]
@@ -505,14 +545,23 @@ class CLRuntime:
         fast = self.fastpaths.lookup(kernel.name)
         if fast is not None and not offset_used:
             # fast paths assume a zero global offset; offset launches fall
-            # back to the interpreter so semantics stay exact
+            # back to the other tiers so semantics stay exact
             fast_args = self._fastpath_args(kernel, args)
             fast(fast_args, tuple(np.atleast_1d(global_size)),
                  None if local_size is None else tuple(np.atleast_1d(local_size)))
-            return
+            return "fastpath"
+        if self.vectorize and kernel.program.vectorize_ok:
+            plan = self.vectorize_cache.get(kernel.program.compiled, kernel.name)
+            if plan is not None:
+                try:
+                    plan.launch(args, global_size, local_size, global_offset)
+                    return "vectorized"
+                except VectorizeFallback:
+                    pass  # e.g. aliased buffers: detected before any store
         Interpreter(kernel.program.compiled).run_kernel(
             kernel.name, args, global_size, local_size, global_offset
         )
+        return "interpreter"
 
     def _fastpath_args(self, kernel, args):
         """Buffers become typed NumPy views per the kernel signature."""

@@ -448,17 +448,37 @@ class HaoCLService:
 
     def cluster_accounting(self):
         """Per-tenant launch accounting aggregated from the NMPs (the
-        job-tagged command fields), merged across nodes."""
+        job-tagged command fields), merged across nodes.  ``tiers``
+        counts where each tenant's launches actually executed
+        (fastpath / vectorized / interpreter / modeled), which is what
+        lets benchmarks attribute serving speedups to a tier."""
         merged = {}
         for payload in self.session.host.node_stats().values():
             for tenant, record in payload.get("tenants", {}).items():
                 into = merged.setdefault(
-                    tenant, {"launches": 0, "busy_s": 0.0, "jobs": 0}
+                    tenant, {"launches": 0, "busy_s": 0.0, "jobs": 0,
+                             "tiers": {}},
                 )
                 into["launches"] += record["launches"]
                 into["busy_s"] += record["busy_s"]
                 into["jobs"] += record["jobs"]
+                for tier, count in record.get("tiers", {}).items():
+                    into["tiers"][tier] = into["tiers"].get(tier, 0) + count
         return merged
+
+    def execution_stats(self):
+        """Cluster-wide execution-tier and compile-cache counters.
+
+        The compile cache is process-wide, so its counters are the same
+        on every in-process node; they are reported once, with per-node
+        tier counts summed."""
+        tiers = {}
+        compile_cache = {}
+        for payload in self.session.host.node_stats().values():
+            for tier, count in payload.get("tiers", {}).items():
+                tiers[tier] = tiers.get(tier, 0) + count
+            compile_cache = payload.get("compile_cache", compile_cache)
+        return {"tiers": tiers, "compile_cache": compile_cache}
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -15,7 +15,12 @@ The payload is the tagged binary encoding from
 import itertools
 import struct
 
-from repro.transport.serialization import SerializationError, decode, encode
+from repro.transport.serialization import (
+    SerializationError,
+    decode,
+    encode,
+    encode_into,
+)
 
 MAGIC = b"HC"  # "HaoCL" frame marker
 _HEADER = struct.Struct(">2sBIH")
@@ -66,14 +71,18 @@ class Message:
         return self.kind == MessageKind.ERROR
 
     def to_bytes(self):
+        # the payload is encoded straight into the frame buffer: one
+        # contiguous build, no separate payload bytes to concatenate
         method_raw = self.method.encode("utf-8")
-        payload_raw = encode(self.payload)
-        return (
+        out = bytearray(
             _HEADER.pack(MAGIC, self.kind, self.msg_id, len(method_raw))
-            + method_raw
-            + _LEN.pack(len(payload_raw))
-            + payload_raw
         )
+        out += method_raw
+        length_at = len(out)
+        out += _LEN.pack(0)  # patched once the payload length is known
+        encode_into(self.payload, out)
+        _LEN.pack_into(out, length_at, len(out) - length_at - _LEN.size)
+        return bytes(out)
 
     @classmethod
     def from_bytes(cls, raw):
@@ -83,13 +92,15 @@ class Message:
         if magic != MAGIC:
             raise SerializationError("bad magic %r" % magic)
         offset = _HEADER.size
-        method = raw[offset : offset + method_len].decode("utf-8")
+        method = bytes(raw[offset : offset + method_len]).decode("utf-8")
         offset += method_len
         (payload_len,) = _LEN.unpack_from(raw, offset)
         offset += _LEN.size
         if offset + payload_len != len(raw):
             raise SerializationError("payload length mismatch")
-        payload = decode(raw[offset : offset + payload_len])
+        # a memoryview slice: bulk arrays in the payload decode as views
+        # over the frame itself, not a second copy of it
+        payload = decode(memoryview(raw)[offset : offset + payload_len])
         return cls(kind, method, payload, msg_id)
 
     @property

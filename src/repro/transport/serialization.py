@@ -43,6 +43,14 @@ def encode(value):
     return bytes(out)
 
 
+def encode_into(value, out):
+    """Encode ``value`` by appending to the bytearray ``out`` -- lets a
+    framing layer build one contiguous buffer with no intermediate
+    payload copy."""
+    _encode_into(value, out)
+    return out
+
+
 def _encode_into(value, out):
     if value is None:
         out.append(TAG_NONE)
@@ -69,7 +77,12 @@ def _encode_into(value, out):
         out += struct.pack(">I", len(raw))
         out += raw
     elif isinstance(value, (bytes, bytearray, memoryview)):
-        raw = bytes(value)
+        # append through the buffer protocol: no intermediate bytes copy
+        # (strided memoryviews cannot be cast and still need one)
+        if isinstance(value, memoryview):
+            raw = value.cast("B") if value.c_contiguous else bytes(value)
+        else:
+            raw = value
         out.append(TAG_BYTES)
         out += struct.pack(">I", len(raw))
         out += raw
@@ -93,18 +106,27 @@ def _encode_into(value, out):
         out += struct.pack(">B", array.ndim)
         for dim in array.shape:
             out += struct.pack(">Q", dim)
-        raw = array.tobytes()
-        out += struct.pack(">Q", len(raw))
-        out += raw
+        out += struct.pack(">Q", array.nbytes)
+        # bytearray += memoryview appends straight from the array's
+        # backing store -- no tobytes() intermediate copy
+        flat = array if array.ndim == 1 else array.reshape(-1)
+        out += memoryview(flat).cast("B")
     elif isinstance(value, np.generic):  # NumPy scalar (bool_ handled here too)
         _encode_into(value.item(), out)
     else:
         raise SerializationError("cannot encode %r" % type(value).__name__)
 
 
-def decode(data):
-    """Decode one value from ``data``; trailing bytes are an error."""
-    value, offset = _decode_from(data, 0)
+def decode(data, copy_arrays=False):
+    """Decode one value from ``data`` (bytes-like, including
+    ``memoryview``); trailing bytes are an error.
+
+    NumPy arrays decode as *read-only views* over ``data`` (zero-copy;
+    the views keep ``data`` -- and through a memoryview, its backing
+    frame -- alive).  Pass ``copy_arrays=True`` to materialise owned,
+    writable arrays instead -- needed only when the caller wants to
+    mutate results in place."""
+    value, offset = _decode_from(data, 0, copy_arrays)
     if offset != len(data):
         raise SerializationError(
             "%d trailing bytes after value" % (len(data) - offset)
@@ -112,7 +134,7 @@ def decode(data):
     return value
 
 
-def _decode_from(data, offset):
+def _decode_from(data, offset, copy_arrays=False):
     try:
         tag = data[offset]
     except IndexError:
@@ -130,14 +152,16 @@ def _decode_from(data, offset):
     if tag == TAG_BIGINT:
         length, offset = _read_len32(data, offset)
         _need(data, offset, length)
-        return int(data[offset : offset + length].decode("ascii")), offset + length
+        raw = bytes(data[offset : offset + length])  # memoryview-safe
+        return int(raw.decode("ascii")), offset + length
     if tag == TAG_FLOAT:
         _need(data, offset, 8)
         return struct.unpack_from(">d", data, offset)[0], offset + 8
     if tag == TAG_STR:
         length, offset = _read_len32(data, offset)
         _need(data, offset, length)
-        return data[offset : offset + length].decode("utf-8"), offset + length
+        raw = bytes(data[offset : offset + length])  # memoryview-safe
+        return raw.decode("utf-8"), offset + length
     if tag == TAG_BYTES:
         length, offset = _read_len32(data, offset)
         _need(data, offset, length)
@@ -146,15 +170,15 @@ def _decode_from(data, offset):
         count, offset = _read_len32(data, offset)
         items = []
         for _ in range(count):
-            item, offset = _decode_from(data, offset)
+            item, offset = _decode_from(data, offset, copy_arrays)
             items.append(item)
         return items, offset
     if tag == TAG_DICT:
         count, offset = _read_len32(data, offset)
         out = {}
         for _ in range(count):
-            key, offset = _decode_from(data, offset)
-            value, offset = _decode_from(data, offset)
+            key, offset = _decode_from(data, offset, copy_arrays)
+            value, offset = _decode_from(data, offset, copy_arrays)
             out[key] = value
         return out, offset
     if tag == TAG_NDARRAY:
@@ -162,7 +186,7 @@ def _decode_from(data, offset):
         dtype_len = data[offset]
         offset += 1
         _need(data, offset, dtype_len)
-        dtype = np.dtype(data[offset : offset + dtype_len].decode("ascii"))
+        dtype = np.dtype(bytes(data[offset : offset + dtype_len]).decode("ascii"))
         offset += dtype_len
         _need(data, offset, 1)
         ndim = data[offset]
@@ -178,7 +202,14 @@ def _decode_from(data, offset):
         _need(data, offset, nbytes)
         flat = np.frombuffer(data, dtype=dtype, count=nbytes // dtype.itemsize,
                              offset=offset)
-        array = flat.reshape(shape).copy()  # own the memory
+        array = flat.reshape(shape)
+        if copy_arrays:
+            array = array.copy()  # owned, writable
+        else:
+            # a view over the wire buffer; read-only so aliasing bugs
+            # fail loudly instead of corrupting frames
+            array = array.view()
+            array.flags.writeable = False
         return array, offset + nbytes
     raise SerializationError("unknown tag 0x%02x at offset %d" % (tag, offset - 1))
 

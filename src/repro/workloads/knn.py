@@ -138,12 +138,21 @@ class KNN(Workload):
                 match = False
         return {"indices": found, "match": match}
 
-    def run_synthetic(self, session, scale, devices, batches=4,
+    def run_synthetic(self, session, scale, devices, batches=10,
                       batch_queries=1024):
         """Steady-state query serving: the point database is scattered
         once and stays resident; query batches stream through the
         batched distance + on-device top-k kernels, and only k results
-        per query cross the network back."""
+        per query cross the network back.
+
+        ``batches`` sets the length of the steady-state window.  Fig. 2
+        measures resident-database serving throughput, so the window
+        must be long enough to amortise the one-time scatter of the
+        database; at the reduced bench scales a 4-batch window left the
+        scatter at ~30% of the distributed runtime (it is negligible at
+        paper scale), understating the speedup every system family
+        shows.  Ten batches keeps the harness fast while matching the
+        regime the paper plots."""
         npoints = scale
         t0 = session.now_s()
         ctx = session.context(devices)

@@ -1,0 +1,545 @@
+"""Unit tests for the vectorizing CLC -> NumPy compiler.
+
+Every behavioural test executes the same kernel through the interpreter
+and through :func:`vectorize_kernel` and compares the output buffers
+bit-for-bit (lane order equals work-item order, so even races resolve
+identically)."""
+
+import numpy as np
+import pytest
+
+from repro.clc import compile_program
+from repro.clc import types as T
+from repro.clc.errors import InterpError
+from repro.clc.interp import Interpreter
+from repro.clc.values import Memory
+from repro.clc.vectorize import (
+    VectorizeCache,
+    VectorizeError,
+    VectorizeFallback,
+    vectorize_kernel,
+)
+
+
+def run_both(source, kernel, make_args, global_size, local_size=None,
+             global_offset=None, options=""):
+    """Execute via interpreter and vectorizer on twin buffer sets;
+    returns the two argument lists for the caller to compare."""
+    program = compile_program(source, options)
+    plan = vectorize_kernel(program, kernel)
+    args_i = make_args()
+    args_v = make_args()
+    Interpreter(program).run_kernel(kernel, args_i, global_size, local_size,
+                                    global_offset)
+    plan.launch(args_v, global_size, local_size, global_offset)
+    return args_i, args_v
+
+
+def buf_equal(mem_a, mem_b):
+    """Bitwise comparison (NaNs compare equal bit-for-bit)."""
+    return np.array_equal(mem_a.data, mem_b.data)
+
+
+class TestElementwise:
+    SAXPY = """
+    __kernel void saxpy(__global float* y, __global const float* x,
+                        float a, int n) {
+        int i = get_global_id(0);
+        if (i < n) y[i] = y[i] + a * x[i];
+    }
+    """
+
+    def test_saxpy_matches(self):
+        n = 100
+        rng = np.random.default_rng(1)
+        y0 = rng.random(n, dtype=np.float32)
+        x0 = rng.random(n, dtype=np.float32)
+
+        def make():
+            return [Memory(data=y0.copy()), Memory(data=x0.copy()),
+                    np.float32(1.5), np.int32(n)]
+
+        a, b = run_both(self.SAXPY, "saxpy", make, (n,))
+        assert buf_equal(a[0], b[0])
+
+    def test_guard_masks_out_of_range_lanes(self):
+        # launch 64 lanes over a 40-element buffer: the guard must keep
+        # the masked lanes from ever touching memory
+        n = 40
+
+        def make():
+            return [Memory(n * 4), Memory(data=np.ones(n, dtype=np.float32)),
+                    np.float32(2.0), np.int32(n)]
+
+        a, b = run_both(self.SAXPY, "saxpy", make, (64,))
+        assert buf_equal(a[0], b[0])
+
+    def test_global_offset(self):
+        src = """
+        __kernel void fill(__global int* out) {
+            out[get_global_id(0)] = (int)get_global_id(0);
+        }
+        """
+
+        def make():
+            return [Memory(16 * 4)]
+
+        a, b = run_both(src, "fill", make, (8,), global_offset=(4,))
+        assert buf_equal(a[0], b[0])
+        assert np.asarray(b[0].typed_view(T.INT))[4:12].tolist() == list(range(4, 12))
+
+
+class TestControlFlow:
+    def test_varying_loop_bounds(self):
+        src = """
+        __kernel void tri(__global const int* bound, __global int* out, int n) {
+            int i = get_global_id(0);
+            if (i >= n) return;
+            int acc = 0;
+            for (int j = 0; j < bound[i]; j++) acc += j;
+            out[i] = acc;
+        }
+        """
+        n = 33
+        bounds = np.arange(n, dtype=np.int32)
+
+        def make():
+            return [Memory(data=bounds.copy()), Memory(n * 4), np.int32(n)]
+
+        a, b = run_both(src, "tri", make, (n,))
+        assert buf_equal(a[1], b[1])
+
+    def test_break_and_continue(self):
+        src = """
+        __kernel void bc(__global const int* x, __global int* out, int n) {
+            int i = get_global_id(0);
+            if (i >= n) return;
+            int acc = 0;
+            for (int j = 0; j < 20; j++) {
+                if (x[(i + j) % n] == 0) continue;
+                if (acc > 40) break;
+                acc += x[(i + j) % n];
+            }
+            out[i] = acc;
+        }
+        """
+        n = 17
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 8, n).astype(np.int32)
+
+        def make():
+            return [Memory(data=x.copy()), Memory(n * 4), np.int32(n)]
+
+        a, b = run_both(src, "bc", make, (n,))
+        assert buf_equal(a[1], b[1])
+
+    def test_while_and_do_while(self):
+        src = """
+        __kernel void wl(__global int* out, int n) {
+            int i = get_global_id(0);
+            if (i >= n) return;
+            int v = i;
+            while (v > 3) v = v / 2;
+            int c = 0;
+            do { c++; } while (c < i);
+            out[i] = v * 100 + c;
+        }
+        """
+        n = 25
+
+        def make():
+            return [Memory(n * 4), np.int32(n)]
+
+        a, b = run_both(src, "wl", make, (n,))
+        assert buf_equal(a[0], b[0])
+
+    def test_mid_kernel_return_divergence(self):
+        src = """
+        __kernel void ret(__global int* out, int n) {
+            int i = get_global_id(0);
+            if (i >= n) return;
+            out[i] = 1;
+            if (i % 3 == 0) return;
+            out[i] = 2;
+            if (i % 3 == 1) return;
+            out[i] = 3;
+        }
+        """
+        n = 20
+
+        def make():
+            return [Memory(n * 4), np.int32(n)]
+
+        a, b = run_both(src, "ret", make, (n,))
+        assert buf_equal(a[0], b[0])
+
+    def test_ternary_and_logical_short_circuit(self):
+        # the && guard protects the x[i] load for out-of-range lanes;
+        # the vectorizer must evaluate it only in surviving lanes
+        src = """
+        __kernel void tl(__global const float* x, __global float* out, int n) {
+            int i = get_global_id(0);
+            if (i < n && x[i] > 0.5f) out[i] = x[i] > 0.75f ? 2.0f : 1.0f;
+            else if (i < n) out[i] = 0.0f;
+        }
+        """
+        n = 50
+        rng = np.random.default_rng(5)
+        x = rng.random(n, dtype=np.float32)
+
+        def make():
+            return [Memory(data=x.copy()), Memory(n * 4), np.int32(n)]
+
+        a, b = run_both(src, "tl", make, (64,))
+        assert buf_equal(a[1], b[1])
+
+    def test_raw_global_id_index_arithmetic(self):
+        # get_global_id() is uint64; adding a signed literal promotes to
+        # float64 under NumPy 2 -- indexing must truncate back to int
+        # exactly like the interpreter's per-element int() coercion
+        src = """
+        __kernel void shiftread(__global const float* x, __global float* out,
+                                int n) {
+            int i = get_global_id(0);
+            if (i >= n - 1) return;
+            out[i] = x[get_global_id(0) + 1];
+        }
+        """
+        n = 20
+        x = np.arange(n, dtype=np.float32)
+
+        def make():
+            return [Memory(data=x.copy()), Memory(n * 4), np.int32(n)]
+
+        a, b = run_both(src, "shiftread", make, (n,))
+        assert buf_equal(a[1], b[1])
+
+    def test_long_division_exact_past_float53(self):
+        # 64-bit division must not detour through float64: operands past
+        # 2^53 would silently round
+        src = """
+        __kernel void div64(__global const long* a, __global const long* b,
+                            __global long* q, __global long* r, int n) {
+            int i = get_global_id(0);
+            if (i >= n) return;
+            q[i] = a[i] / b[i];
+            r[i] = a[i] % b[i];
+        }
+        """
+        a = np.array([(1 << 62) + 12345, -((1 << 62) + 12345), 7, -7,
+                      (1 << 60) + 1, -1], dtype=np.int64)
+        b = np.array([3, 3, -3, -3, (1 << 31) + 7, 2], dtype=np.int64)
+        n = len(a)
+
+        def make():
+            return [Memory(data=a.copy()), Memory(data=b.copy()),
+                    Memory(n * 8), Memory(n * 8), np.int32(n)]
+
+        ai, av = run_both(src, "div64", make, (n,))
+        assert buf_equal(ai[2], av[2])
+        assert buf_equal(ai[3], av[3])
+        # exact values, not just parity
+        q = np.asarray(av[2].typed_view(T.LONG))
+        assert q[0] == ((1 << 62) + 12345) // 3
+
+    def test_division_semantics(self):
+        src = """
+        __kernel void dv(__global const int* x, __global int* q,
+                         __global float* f, int n) {
+            int i = get_global_id(0);
+            if (i >= n) return;
+            q[i] = (x[i] - 7) / 3 % 5;
+            f[i] = (float)x[i] / 7.0f;
+        }
+        """
+        n = 30
+        x = np.arange(-10, -10 + n, dtype=np.int32)
+
+        def make():
+            return [Memory(data=x.copy()), Memory(n * 4), Memory(n * 4),
+                    np.int32(n)]
+
+        a, b = run_both(src, "dv", make, (n,))
+        assert buf_equal(a[1], b[1])
+        assert buf_equal(a[2], b[2])
+
+
+class TestHelpers:
+    def test_inlined_helper_function(self):
+        src = """
+        float weight(float a, float b) {
+            if (a > b) return a - b;
+            return b - a;
+        }
+        __kernel void hw(__global const float* x, __global float* out, int n) {
+            int i = get_global_id(0);
+            if (i >= n) return;
+            out[i] = weight(x[i], 0.5f) * 2.0f;
+        }
+        """
+        n = 40
+        rng = np.random.default_rng(7)
+        x = rng.random(n, dtype=np.float32)
+
+        def make():
+            return [Memory(data=x.copy()), Memory(n * 4), np.int32(n)]
+
+        a, b = run_both(src, "hw", make, (n,))
+        assert buf_equal(a[1], b[1])
+
+    def test_builtins(self):
+        src = """
+        __kernel void bi(__global const float* x, __global float* out, int n) {
+            int i = get_global_id(0);
+            if (i >= n) return;
+            float v = x[i];
+            out[i] = sqrt(fabs(v)) + fmin(v, 0.25f) + pow(v, 2.0f)
+                     + clamp(v, 0.1f, 0.9f) + (float)isnan(v);
+        }
+        """
+        n = 32
+        rng = np.random.default_rng(9)
+        x = (rng.random(n, dtype=np.float32) - np.float32(0.5)) * np.float32(3)
+
+        def make():
+            return [Memory(data=x.copy()), Memory(n * 4), np.int32(n)]
+
+        a, b = run_both(src, "bi", make, (n,))
+        assert buf_equal(a[1], b[1])
+
+
+class TestWorkItemStructure:
+    def test_local_and_group_ids(self):
+        src = """
+        __kernel void ids(__global int* out) {
+            int g = (int)get_global_id(0);
+            out[g] = (int)(get_group_id(0) * 1000 + get_local_id(0) * 10
+                           + get_local_size(0));
+        }
+        """
+
+        def make():
+            return [Memory(24 * 4)]
+
+        a, b = run_both(src, "ids", make, (24,), local_size=(8,))
+        assert buf_equal(a[0], b[0])
+
+    def test_2d_range(self):
+        src = """
+        __kernel void m2(__global int* out, int w) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            out[y * w + x] = y * 100 + x;
+        }
+        """
+        w, h = 6, 4
+
+        def make():
+            return [Memory(w * h * 4), np.int32(w)]
+
+        a, b = run_both(src, "m2", make, (w, h))
+        assert buf_equal(a[0], b[0])
+
+
+class TestRaceParity:
+    def test_duplicate_store_index_last_writer_wins(self):
+        # every lane writes out[0]; the interpreter's last work-item wins
+        # and the vectorized scatter must agree
+        src = """
+        __kernel void dup(__global int* out, int n) {
+            int i = get_global_id(0);
+            if (i >= n) return;
+            out[0] = i * 7;
+        }
+        """
+
+        def make():
+            return [Memory(4), np.int32(13)]
+
+        a, b = run_both(src, "dup", make, (16,))
+        assert buf_equal(a[0], b[0])
+
+
+class TestRejections:
+    def _reject(self, source, kernel):
+        program = compile_program(source)
+        with pytest.raises(VectorizeError):
+            vectorize_kernel(program, kernel)
+
+    def test_barrier_rejected(self):
+        self._reject(
+            """
+            __kernel void b(__global int* out) {
+                out[get_global_id(0)] = 1;
+                barrier(1);
+            }
+            """, "b")
+
+    def test_local_memory_rejected(self):
+        self._reject(
+            """
+            __kernel void l(__global int* out) {
+                __local int tile[16];
+                tile[get_local_id(0)] = 1;
+                out[get_global_id(0)] = tile[0];
+            }
+            """, "l")
+
+    def test_atomics_rejected(self):
+        self._reject(
+            """
+            __kernel void a(__global int* counter) {
+                atomic_add(counter, 1);
+            }
+            """, "a")
+
+    def test_vector_types_rejected(self):
+        self._reject(
+            """
+            __kernel void v(__global float4* out) {
+                out[get_global_id(0)] = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+            }
+            """, "v")
+
+    def test_pointer_local_rejected(self):
+        self._reject(
+            """
+            __kernel void p(__global int* out) {
+                __global int* q = out;
+                q[get_global_id(0)] = 1;
+            }
+            """, "p")
+
+    def test_read_write_through_shifted_index_rejected(self):
+        # lane i reads element i+1 while lane i+1 writes it: lock-step
+        # execution would see stale values, so the compiler must refuse
+        self._reject(
+            """
+            __kernel void shift(__global int* x, int n) {
+                int i = get_global_id(0);
+                if (i < n - 1) x[i] = x[i + 1];
+            }
+            """, "shift")
+
+    def test_read_write_data_dependent_index_rejected(self):
+        self._reject(
+            """
+            __kernel void ind(__global int* x, __global const int* map, int n) {
+                int i = get_global_id(0);
+                if (i < n) x[map[i]] = x[map[i]] + 1;
+            }
+            """, "ind")
+
+    def test_read_write_own_slot_allowed(self):
+        program = compile_program(
+            """
+            __kernel void ok(__global int* x, int n) {
+                int i = get_global_id(0);
+                if (i < n) x[i] = x[i] + 1;
+            }
+            """)
+        plan = vectorize_kernel(program, "ok")
+        assert "x" in plan.written_params
+
+
+class TestLaunchFallback:
+    def test_aliased_buffers_fall_back_before_any_store(self):
+        src = """
+        __kernel void copy(__global int* dst, __global const int* srcbuf,
+                           int n) {
+            int i = get_global_id(0);
+            if (i < n) dst[i] = srcbuf[i];
+        }
+        """
+        program = compile_program(src)
+        plan = vectorize_kernel(program, "copy")
+        mem = Memory(data=np.arange(8, dtype=np.int32))
+        snapshot = mem.data.copy()
+        with pytest.raises(VectorizeFallback):
+            plan.launch([mem, mem, np.int32(8)], (8,))
+        assert np.array_equal(mem.data, snapshot)  # nothing was written
+
+    def test_shared_read_only_input_is_fine(self):
+        src = """
+        __kernel void addz(__global int* dst, __global const int* a,
+                           __global const int* b, int n) {
+            int i = get_global_id(0);
+            if (i < n) dst[i] = a[i] + b[i];
+        }
+        """
+        program = compile_program(src)
+        plan = vectorize_kernel(program, "addz")
+        shared = Memory(data=np.arange(8, dtype=np.int32))
+        dst = Memory(8 * 4)
+        plan.launch([dst, shared, shared, np.int32(8)], (8,))
+        assert np.asarray(dst.typed_view(T.INT)).tolist() == [
+            0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_out_of_bounds_store_raises(self):
+        src = """
+        __kernel void oob(__global int* a) { a[9999] = 1; }
+        """
+        program = compile_program(src)
+        plan = vectorize_kernel(program, "oob")
+        with pytest.raises(InterpError, match="out-of-bounds"):
+            plan.launch([Memory(4)], (1,))
+
+
+class TestCache:
+    SRC = """
+    __kernel void k1(__global int* out, int n) {
+        int i = get_global_id(0);
+        if (i < n) out[i] = i;
+    }
+    __kernel void k2(__global int* out) {
+        out[get_global_id(0)] = 1;
+        barrier(1);
+    }
+    """
+
+    def test_second_lookup_hits_without_recompiling(self):
+        cache = VectorizeCache()
+        program = compile_program(self.SRC)
+        first = cache.get(program, "k1")
+        assert first is not None
+        assert cache.stats() == {
+            "entries": 1, "compiles": 1, "hits": 0, "rejects": 0}
+        second = cache.get(program, "k1")
+        assert second is first  # memoized artifact, zero recompiles
+        assert cache.stats()["compiles"] == 1
+        assert cache.stats()["hits"] == 1
+
+    def test_identical_source_shares_entry_across_programs(self):
+        cache = VectorizeCache()
+        cache.get(compile_program(self.SRC), "k1")
+        cache.get(compile_program(self.SRC), "k1")  # a second tenant/node
+        stats = cache.stats()
+        assert stats["compiles"] == 1 and stats["hits"] == 1
+
+    def test_rejections_are_cached(self):
+        cache = VectorizeCache()
+        program = compile_program(self.SRC)
+        assert cache.get(program, "k2") is None
+        assert cache.get(program, "k2") is None
+        stats = cache.stats()
+        assert stats["rejects"] == 1 and stats["hits"] == 1
+        assert cache.rejection(program, "k2") is not None
+
+    def test_build_options_key_separation(self):
+        cache = VectorizeCache()
+        src = """
+        #ifndef W
+        #define W 1
+        #endif
+        __kernel void s(__global int* out) { out[get_global_id(0)] = W; }
+        """
+        cache.get(compile_program(src), "s")
+        cache.get(compile_program(src, "-DW=2"), "s")
+        assert cache.stats()["compiles"] == 2
+
+    def test_eviction_bounds_entries(self):
+        cache = VectorizeCache(max_entries=2)
+        for tag in range(4):
+            src = "__kernel void t(__global int* o) { o[get_global_id(0)] = %d; }" % tag
+            cache.get(compile_program(src), "t")
+        assert len(cache) == 2

@@ -1,0 +1,192 @@
+"""Three-tier kernel dispatch in CLRuntime.
+
+Covers the tier order (fastpath > vectorized > interpreter), the
+process-wide compile cache (a second launch of the same kernel must not
+recompile), per-tier launch counters, and the opt-outs
+(``vectorize=False`` runtimes, the ``-haocl-no-vectorize`` build flag).
+"""
+
+import numpy as np
+import pytest
+
+from repro.clc.vectorize import VectorizeCache
+from repro.ocl import enums
+from repro.ocl.device import model_by_name
+from repro.ocl.fastpath import FastPathRegistry
+from repro.ocl.runtime import CLRuntime, Device
+
+SAXPY = """
+__kernel void saxpy(__global float* y, __global const float* x,
+                    float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) y[i] = y[i] + a * x[i];
+}
+"""
+
+TILED = """
+__kernel void redux(__global int* out) {
+    __local int tile[4];
+    tile[get_local_id(0)] = (int)get_global_id(0);
+    barrier(1);
+    out[get_global_id(0)] = tile[0];
+}
+"""
+
+N = 64
+
+
+def make_runtime(fastpaths=None, vectorize=True, cache=None):
+    device = Device(model_by_name("gpu"), mode="real")
+    runtime = CLRuntime(
+        [device],
+        fastpaths=fastpaths if fastpaths is not None else FastPathRegistry(),
+        vectorize=vectorize,
+        vectorize_cache=cache if cache is not None else VectorizeCache(),
+    )
+    context = runtime.create_context([device])
+    queue = runtime.create_command_queue(context, device)
+    return runtime, context, queue
+
+
+def launch_saxpy(runtime, context, queue, options=""):
+    program = runtime.build_program(
+        runtime.create_program_with_source(context, SAXPY), options)
+    kernel = runtime.create_kernel(program, "saxpy")
+    y = runtime.create_buffer(context, enums.CL_MEM_READ_WRITE, N * 4,
+                              host_data=np.ones(N, dtype=np.float32))
+    x = runtime.create_buffer(context, enums.CL_MEM_READ_ONLY, N * 4,
+                              host_data=np.ones(N, dtype=np.float32))
+    kernel.set_arg(0, y)
+    kernel.set_arg(1, x)
+    kernel.set_arg(2, np.float32(2.0))
+    kernel.set_arg(3, np.int32(N))
+    event = runtime.enqueue_nd_range_kernel(queue, kernel, (N,))
+    return event, y
+
+
+class TestTierOrder:
+    def test_vectorized_when_no_fastpath(self):
+        runtime, context, queue = make_runtime()
+        event, y = launch_saxpy(runtime, context, queue)
+        assert event.tier == "vectorized"
+        assert runtime.tier_counts["vectorized"] == 1
+        assert np.allclose(y.read().view(np.float32), 3.0)
+
+    def test_fastpath_wins_over_vectorized(self):
+        registry = FastPathRegistry()
+
+        @registry.register("saxpy")
+        def _fast(args, gsize, lsize):
+            y, x, a, n = args
+            n = int(n)
+            y[:n] += np.float32(a) * x[:n]
+
+        runtime, context, queue = make_runtime(fastpaths=registry)
+        event, y = launch_saxpy(runtime, context, queue)
+        assert event.tier == "fastpath"
+        assert runtime.tier_counts == {
+            "fastpath": 1, "vectorized": 0, "interpreter": 0, "modeled": 0}
+
+    def test_interpreter_for_rejected_kernel(self):
+        runtime, context, queue = make_runtime()
+        program = runtime.build_program(
+            runtime.create_program_with_source(context, TILED))
+        kernel = runtime.create_kernel(program, "redux")
+        out = runtime.create_buffer(context, enums.CL_MEM_READ_WRITE, 8 * 4)
+        kernel.set_arg(0, out)
+        event = runtime.enqueue_nd_range_kernel(queue, kernel, (8,), (4,))
+        assert event.tier == "interpreter"
+        assert runtime.vectorize_cache.stats()["rejects"] == 1
+
+    def test_modeled_synthetic_launch_counts_as_modeled(self):
+        device = Device(model_by_name("gpu"), mode="modeled")
+        runtime = CLRuntime([device], fastpaths=FastPathRegistry(),
+                            vectorize_cache=VectorizeCache())
+        context = runtime.create_context([device])
+        queue = runtime.create_command_queue(context, device)
+        program = runtime.build_program(
+            runtime.create_program_with_source(context, SAXPY))
+        kernel = runtime.create_kernel(program, "saxpy")
+        y = runtime.create_buffer(context, enums.CL_MEM_READ_WRITE, N * 4,
+                                  synthetic=True)
+        x = runtime.create_buffer(context, enums.CL_MEM_READ_ONLY, N * 4,
+                                  synthetic=True)
+        kernel.set_arg(0, y)
+        kernel.set_arg(1, x)
+        kernel.set_arg(2, 2.0)
+        kernel.set_arg(3, N)
+        event = runtime.enqueue_nd_range_kernel(queue, kernel, (N,))
+        assert event.tier == "modeled"
+        assert runtime.tier_counts["modeled"] == 1
+
+
+class TestCompileCache:
+    def test_second_launch_zero_recompiles(self):
+        cache = VectorizeCache()
+        runtime, context, queue = make_runtime(cache=cache)
+        launch_saxpy(runtime, context, queue)
+        assert cache.stats()["compiles"] == 1
+        launch_saxpy(runtime, context, queue)  # same source, new program
+        stats = cache.stats()
+        assert stats["compiles"] == 1  # zero recompiles
+        assert stats["hits"] >= 1
+        assert runtime.tier_counts["vectorized"] == 2
+
+    def test_cache_shared_across_runtimes(self):
+        """Two nodes (two CLRuntimes) building the same tenant source
+        share one compiled artifact -- the serve/Batcher scenario."""
+        cache = VectorizeCache()
+        rt_a, ctx_a, q_a = make_runtime(cache=cache)
+        rt_b, ctx_b, q_b = make_runtime(cache=cache)
+        launch_saxpy(rt_a, ctx_a, q_a)
+        launch_saxpy(rt_b, ctx_b, q_b)
+        stats = cache.stats()
+        assert stats["compiles"] == 1 and stats["hits"] == 1
+
+    def test_vectorize_stats_surface(self):
+        runtime, context, queue = make_runtime()
+        launch_saxpy(runtime, context, queue)
+        stats = runtime.vectorize_stats()
+        assert stats["compiles"] == 1 and stats["entries"] == 1
+
+
+class TestOptOut:
+    def test_runtime_level_disable(self):
+        cache = VectorizeCache()
+        runtime, context, queue = make_runtime(vectorize=False, cache=cache)
+        event, y = launch_saxpy(runtime, context, queue)
+        assert event.tier == "interpreter"
+        assert cache.stats()["compiles"] == 0  # never consulted
+        assert np.allclose(y.read().view(np.float32), 3.0)
+
+    def test_build_flag_disable(self):
+        runtime, context, queue = make_runtime()
+        event, y = launch_saxpy(runtime, context, queue,
+                                options="-haocl-no-vectorize")
+        assert event.tier == "interpreter"
+        assert np.allclose(y.read().view(np.float32), 3.0)
+
+    def test_build_flag_is_per_program(self):
+        runtime, context, queue = make_runtime()
+        event_slow, _ = launch_saxpy(runtime, context, queue,
+                                     options="-haocl-no-vectorize")
+        event_fast, _ = launch_saxpy(runtime, context, queue)
+        assert event_slow.tier == "interpreter"
+        assert event_fast.tier == "vectorized"
+
+
+class TestAliasFallback:
+    def test_aliased_launch_falls_back_to_interpreter(self):
+        runtime, context, queue = make_runtime()
+        program = runtime.build_program(
+            runtime.create_program_with_source(context, SAXPY))
+        kernel = runtime.create_kernel(program, "saxpy")
+        y = runtime.create_buffer(context, enums.CL_MEM_READ_WRITE, N * 4,
+                                  host_data=np.ones(N, dtype=np.float32))
+        kernel.set_arg(0, y)
+        kernel.set_arg(1, y)  # same buffer read and written
+        kernel.set_arg(2, np.float32(2.0))
+        kernel.set_arg(3, np.int32(N))
+        event = runtime.enqueue_nd_range_kernel(queue, kernel, (N,))
+        assert event.tier == "interpreter"
+        assert np.allclose(y.read().view(np.float32), 3.0)

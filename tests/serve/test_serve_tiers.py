@@ -1,0 +1,114 @@
+"""Execution-tier attribution through the serving stack.
+
+A tenant-submitted kernel with no registered fast path must run on the
+vectorized tier, compile exactly once process-wide no matter how many
+nodes and batches dispatch it, and show up per-tenant in the NMP
+accounting the service aggregates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clc.vectorize import global_vectorize_cache
+from repro.core import HaoCLSession
+from repro.ocl.fastpath import FastPathRegistry
+from repro.serve import HaoCLService, Job
+
+SCALE2 = """
+__kernel void scale2(__global float* y, int n) {
+    int i = get_global_id(0);
+    if (i < n) y[i] = y[i] * 2.0f;
+}
+"""
+
+TILED = """
+#define BS 4
+__kernel void tiled_copy(__global const float* a, __global float* b, int n) {
+    __local float tile[BS];
+    int i = get_global_id(0);
+    tile[get_local_id(0)] = a[i];
+    barrier(1);
+    b[i] = tile[get_local_id(0)];
+}
+"""
+
+N = 32
+
+
+def _job(tenant, source, kernel, args, gsize, lsize=None):
+    return Job(tenant, source, kernel, args, gsize, local_size=lsize)
+
+
+@pytest.fixture
+def session():
+    with HaoCLSession(gpu_nodes=2, mode="real", transport="inproc",
+                      fastpaths=FastPathRegistry()) as sess:
+        yield sess
+
+
+class TestHostEventTier:
+    def test_session_event_carries_tier(self, session):
+        ctx = session.context()
+        program = session.program(ctx, SCALE2)
+        queue = session.queue(ctx, session.devices[0])
+        buf = session.buffer_from(ctx, np.ones(N, dtype=np.float32))
+        kernel = session.kernel(program, "scale2", buf, np.int32(N))
+        event = session.enqueue(queue, kernel, (N,))
+        assert event.tier == "vectorized"
+
+
+class TestServeTierAccounting:
+    def test_vectorized_tier_attributed_per_tenant(self, session):
+        baseline = global_vectorize_cache.stats()["compiles"]
+        with HaoCLService(session) as service:
+            service.register_tenant("acme")
+            for _ in range(6):
+                job = _job("acme", SCALE2, "scale2",
+                           [np.ones(N, dtype=np.float32), np.int32(N)], (N,))
+                service.submit(job)
+            service.run()
+            accounting = service.cluster_accounting()
+        record = accounting["acme"]
+        assert record["launches"] == 6
+        assert record["tiers"].get("vectorized") == 6
+        # at most one compile for the whole batch stream (zero when an
+        # earlier test already warmed the process-wide cache): repeats
+        # never recompile
+        assert global_vectorize_cache.stats()["compiles"] <= baseline + 1
+
+    def test_interpreter_tier_for_local_mem_kernel(self, session):
+        with HaoCLService(session) as service:
+            service.register_tenant("tileco")
+            job = _job("tileco", TILED, "tiled_copy",
+                       [np.arange(N, dtype=np.float32),
+                        np.zeros(N, dtype=np.float32), np.int32(N)],
+                       (N,), lsize=(4,))
+            service.submit(job)
+            service.run()
+            accounting = service.cluster_accounting()
+            assert accounting["tileco"]["tiers"].get("interpreter") == 1
+            assert np.allclose(job.result["b"], np.arange(N))
+
+    def test_execution_stats_aggregate(self, session):
+        with HaoCLService(session) as service:
+            service.register_tenant("acme")
+            job = _job("acme", SCALE2, "scale2",
+                       [np.ones(N, dtype=np.float32), np.int32(N)], (N,))
+            service.submit(job)
+            service.run()
+            stats = service.execution_stats()
+        assert stats["tiers"].get("vectorized", 0) >= 1
+        assert "compiles" in stats["compile_cache"]
+
+    def test_results_correct_through_vectorized_tier(self, session):
+        with HaoCLService(session) as service:
+            service.register_tenant("acme")
+            jobs = []
+            for k in range(4):
+                job = _job("acme", SCALE2, "scale2",
+                           [np.full(N, float(k + 1), dtype=np.float32),
+                            np.int32(N)], (N,))
+                jobs.append(service.submit(job))
+            service.run()
+        for k, job in enumerate(jobs):
+            assert np.allclose(job.result["y"], 2.0 * (k + 1))

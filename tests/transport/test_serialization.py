@@ -90,10 +90,24 @@ class TestArrays:
         out = roundtrip(arr)
         assert np.array_equal(out, arr)
 
-    def test_decoded_array_is_writable(self):
+    def test_decoded_array_is_readonly_view(self):
+        # zero-copy contract: arrays decode as read-only views over the
+        # wire buffer, so accidental aliasing fails loudly
         out = roundtrip(np.zeros(4, dtype=np.int32))
+        assert not out.flags.writeable
+        with pytest.raises(ValueError):
+            out[0] = 1
+
+    def test_decode_copy_arrays_gives_owned_writable(self):
+        raw = encode(np.zeros(4, dtype=np.int32))
+        out = decode(raw, copy_arrays=True)
         out[0] = 1  # must own its memory
         assert out[0] == 1
+        assert out.base is None
+
+    def test_strided_memoryview_encodes(self):
+        view = memoryview(bytearray(range(16)))[::2]
+        assert roundtrip(view) == bytes(range(0, 16, 2))
 
     def test_array_inside_dict(self):
         payload = {"data": np.ones(8, dtype=np.uint8), "n": 8}

@@ -82,20 +82,27 @@ class TestDistributedCorrectness:
 
 
 @pytest.mark.parametrize("name", sorted(TINY_SCALES))
-def test_fastpath_matches_interpreter(name):
-    """Runs each app twice: through the registered NumPy fast paths and
-    through the pure interpreter (empty registry); both must validate."""
+def test_execution_tiers_match(name):
+    """Runs each app through all three execution tiers -- registered
+    NumPy fast paths, the vectorized compiler (empty fast-path registry)
+    and the pure interpreter (vectorization disabled too) -- and every
+    tier must validate against the reference."""
     workload = get_workload(name)
     inputs = workload.generate(TINY_SCALES[name], seed=13)
     expected = workload.reference(inputs)
     with HaoCLSession(gpu_nodes=2, mode="real", transport="inproc",
-                      fastpaths=FastPathRegistry()) as interp_session:
+                      fastpaths=FastPathRegistry(),
+                      vectorize=False) as interp_session:
         out_interp = workload.run(interp_session, inputs,
                                   interp_session.devices)
+    with HaoCLSession(gpu_nodes=2, mode="real", transport="inproc",
+                      fastpaths=FastPathRegistry()) as vec_session:
+        out_vec = workload.run(vec_session, inputs, vec_session.devices)
     with HaoCLSession(gpu_nodes=2, mode="real",
                       transport="inproc") as fast_session:
         out_fast = workload.run(fast_session, inputs, fast_session.devices)
     assert workload.validate(out_interp, expected), "%s interpreter" % name
+    assert workload.validate(out_vec, expected), "%s vectorized" % name
     assert workload.validate(out_fast, expected), "%s fastpath" % name
 
 

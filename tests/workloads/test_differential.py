@@ -1,0 +1,288 @@
+"""Differential suite over the execution tiers.
+
+Every shipped kernel (workloads/kernels/*.cl) runs on small inputs
+through the interpreter, the vectorized compiler and -- where one is
+registered -- the NumPy fast path, and the output buffers must agree:
+bit-identical between interpreter and vectorizer (same lane semantics),
+tolerance-bounded against fast paths (different float summation order).
+
+Also asserts the tier *dispatch* behaves: non-vectorizable kernels
+(barriers/__local, cross-lane read-write) reject at compile time and the
+runtime falls back to the interpreter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clc import compile_program
+from repro.clc.interp import Interpreter, LocalMem
+from repro.clc.values import Memory
+from repro.clc.vectorize import VectorizeError, vectorize_kernel
+from repro.ocl import enums
+from repro.ocl.fastpath import global_fastpaths
+from repro.ocl.runtime import CLRuntime, Device
+from repro.ocl.device import model_by_name
+from repro.workloads import get_workload
+
+RNG_SEED = 1234
+
+#: expected vectorizability of every kernel shipped under
+#: workloads/kernels/ -- the fallback cases are as load-bearing as the
+#: vectorized ones
+VECTORIZABLE = {
+    "matrixmul": {"matmul": True, "matmul_tiled": False},
+    "knn": {"knn_dist": True, "knn_dist_batch": True, "knn_select": True},
+    "spmv": {"spmv_row_lengths": True, "spmv_csr": True},
+    "cfd": {"cfd_step_factor": True, "cfd_compute_flux": True,
+            "cfd_time_step": True},
+    "bfs": {"bfs_expand": False},
+}
+
+
+def _setup(workload_name):
+    return compile_program(get_workload(workload_name).source)
+
+
+def _launches(workload_name):
+    """(kernel, args factory, global size, output slots) per kernel.
+
+    The factory returns fresh twin-able argument lists; ``outputs`` are
+    the indices of buffers the kernel writes."""
+    rng = np.random.default_rng(RNG_SEED)
+    if workload_name == "matrixmul":
+        n = 16
+        a = rng.random((n, n), dtype=np.float32)
+        b = rng.random((n, n), dtype=np.float32)
+
+        def matmul_args():
+            return [Memory(data=a.copy()), Memory(data=b.copy()),
+                    Memory(n * n * 4), np.int32(n), np.int32(n)]
+
+        def tiled_args():
+            return [Memory(data=a.copy()), Memory(data=b.copy()),
+                    Memory(n * n * 4), np.int32(n)]
+
+        return [
+            ("matmul", matmul_args, (n, n), None, [2]),
+            ("matmul_tiled", tiled_args, (n, n), (8, 8), [2]),
+        ]
+    if workload_name == "knn":
+        npoints, dim, k, nq = 40, 6, 5, 3
+        pts = rng.random((npoints, dim), dtype=np.float32)
+        qs = rng.random((nq, dim), dtype=np.float32)
+        dmat = rng.random((nq, npoints), dtype=np.float32)
+
+        def dist_args():
+            return [Memory(data=pts.copy()), Memory(data=qs[0].copy()),
+                    Memory(npoints * 4), np.int32(npoints), np.int32(dim)]
+
+        def batch_args():
+            return [Memory(data=pts.copy()), Memory(data=qs.copy()),
+                    Memory(nq * npoints * 4), np.int32(npoints),
+                    np.int32(dim), np.int32(nq)]
+
+        def select_args():
+            return [Memory(data=dmat.copy()), Memory(nq * k * 4),
+                    Memory(nq * k * 4), np.int32(npoints), np.int32(k)]
+
+        return [
+            ("knn_dist", dist_args, (npoints,), None, [2]),
+            ("knn_dist_batch", batch_args, (npoints, nq), None, [2]),
+            ("knn_select", select_args, (nq,), None, [1, 2]),
+        ]
+    if workload_name == "spmv":
+        nrows, nnz = 24, 96
+        row_ptr = np.linspace(0, nnz, nrows + 1).astype(np.int32)
+        cols = rng.integers(0, nrows, nnz).astype(np.int32)
+        vals = rng.random(nnz, dtype=np.float32)
+        x = rng.random(nrows, dtype=np.float32)
+
+        def lengths_args():
+            return [Memory(data=row_ptr.copy()), Memory(nrows * 4),
+                    np.int32(nrows)]
+
+        def csr_args():
+            return [Memory(data=row_ptr.copy()), Memory(data=cols.copy()),
+                    Memory(data=vals.copy()), Memory(data=x.copy()),
+                    Memory(nrows * 4), np.int32(nrows)]
+
+        return [
+            ("spmv_row_lengths", lengths_args, (nrows,), None, [1]),
+            ("spmv_csr", csr_args, (nrows,), None, [4]),
+        ]
+    if workload_name == "cfd":
+        ncells = 20
+        # physical state: positive density/energy so pressure stays real
+        variables = np.empty(ncells * 5, dtype=np.float32)
+        variables[0::5] = rng.random(ncells) + 1.0
+        variables[1::5] = rng.random(ncells) * 0.2
+        variables[2::5] = rng.random(ncells) * 0.2
+        variables[3::5] = rng.random(ncells) * 0.2
+        variables[4::5] = rng.random(ncells) + 2.0
+        areas = (rng.random(ncells) + 0.1).astype(np.float32)
+        neighbors = rng.integers(-1, ncells, ncells * 4).astype(np.int32)
+        normals = rng.random(ncells * 4 * 3, dtype=np.float32)
+        fluxes = rng.random(ncells * 5, dtype=np.float32)
+        factors = rng.random(ncells, dtype=np.float32)
+
+        def sf_args():
+            return [Memory(data=variables.copy()), Memory(data=areas.copy()),
+                    Memory(ncells * 4), np.int32(ncells)]
+
+        def flux_args():
+            return [Memory(data=neighbors.copy()), Memory(data=normals.copy()),
+                    Memory(data=variables.copy()), Memory(ncells * 5 * 4),
+                    np.int32(ncells), np.int32(0)]
+
+        def ts_args():
+            return [Memory(data=variables.copy()), Memory(data=fluxes.copy()),
+                    Memory(data=factors.copy()), Memory(ncells * 5 * 4),
+                    np.int32(ncells), np.int32(0)]
+
+        return [
+            ("cfd_step_factor", sf_args, (ncells,), None, [2]),
+            ("cfd_compute_flux", flux_args, (ncells,), None, [3]),
+            ("cfd_time_step", ts_args, (ncells,), None, [3]),
+        ]
+    if workload_name == "bfs":
+        nverts = 18
+        row_offsets = np.linspace(0, 40, nverts + 1).astype(np.int32)
+        columns = rng.integers(0, nverts, 40).astype(np.int32)
+        frontier = (rng.random(nverts) < 0.4).astype(np.int32)
+        levels = np.where(rng.random(nverts) < 0.5, -1, 0).astype(np.int32)
+
+        def bfs_args():
+            return [Memory(data=row_offsets.copy()), Memory(data=columns.copy()),
+                    Memory(data=frontier.copy()), Memory(nverts * 4),
+                    Memory(data=levels.copy()), np.int32(0), np.int32(nverts),
+                    np.int32(0)]
+
+        return [("bfs_expand", bfs_args, (nverts,), None, [3, 4])]
+    raise AssertionError(workload_name)
+
+
+ALL_CASES = [
+    (wname, kernel)
+    for wname in sorted(VECTORIZABLE)
+    for kernel in sorted(VECTORIZABLE[wname])
+]
+
+
+@pytest.mark.parametrize("wname,kernel", ALL_CASES)
+def test_interpreter_vs_vectorized(wname, kernel):
+    """Vectorizable kernels produce bit-identical buffers; the rest
+    reject at compile time (the documented fallback contract)."""
+    program = _setup(wname)
+    spec = [c for c in _launches(wname) if c[0] == kernel]
+    assert spec, "no launch spec for %s" % kernel
+    _, make_args, gsize, lsize, outputs = spec[0]
+    if not VECTORIZABLE[wname][kernel]:
+        with pytest.raises(VectorizeError):
+            vectorize_kernel(program, kernel)
+        return
+    plan = vectorize_kernel(program, kernel)
+    args_i = make_args()
+    args_v = make_args()
+    Interpreter(program).run_kernel(kernel, args_i, gsize, lsize)
+    plan.launch(args_v, gsize, lsize)
+    for index in outputs:
+        assert np.array_equal(args_i[index].data, args_v[index].data), (
+            "%s.%s buffer %d diverged" % (wname, kernel, index))
+
+
+def _tier_runtime(fastpaths=None):
+    from repro.ocl.fastpath import FastPathRegistry
+    from repro.clc.vectorize import VectorizeCache
+
+    device = Device(model_by_name("gpu"), mode="real")
+    runtime = CLRuntime([device], fastpaths=fastpaths or FastPathRegistry(),
+                        vectorize_cache=VectorizeCache())
+    context = runtime.create_context([device])
+    queue = runtime.create_command_queue(context, device)
+    return runtime, context, queue
+
+
+def _launch_via_runtime(runtime, context, queue, wname, kernel_name,
+                        make_args, gsize, lsize):
+    program = runtime.build_program(
+        runtime.create_program_with_source(
+            context, get_workload(wname).source),
+        "-DBS=8" if wname == "matrixmul" else "",
+    )
+    kernel = runtime.create_kernel(program, kernel_name)
+    args = make_args()
+    handles = []
+    for index, value in enumerate(args):
+        if isinstance(value, Memory):
+            buf = runtime.create_buffer(
+                context, enums.CL_MEM_READ_WRITE, value.nbytes,
+                host_data=value.data,
+            )
+            handles.append((index, buf))
+            kernel.set_arg(index, buf)
+        else:
+            kernel.set_arg(index, value)
+    event = runtime.enqueue_nd_range_kernel(queue, kernel, gsize, lsize)
+    return event, args, handles
+
+
+@pytest.mark.parametrize("wname,kernel", ALL_CASES)
+def test_tier_vs_fastpath(wname, kernel):
+    """Three-way: the tier the runtime picks (vectorized for these, or
+    interpreter fallback) agrees with the registered fast path within
+    float tolerance, and the dispatch lands on the expected tier."""
+    spec = [c for c in _launches(wname) if c[0] == kernel]
+    _, make_args, gsize, lsize, outputs = spec[0]
+    if kernel == "matmul_tiled":
+        lsize = (8, 8)
+
+    runtime, context, queue = _tier_runtime()
+    event, _args, handles = _launch_via_runtime(
+        runtime, context, queue, wname, kernel, make_args, gsize, lsize)
+    expected_tier = (
+        "vectorized" if VECTORIZABLE[wname][kernel] else "interpreter")
+    assert event.tier == expected_tier
+    assert runtime.tier_counts[expected_tier] == 1
+
+    fast = global_fastpaths.lookup(kernel)
+    if fast is None:
+        return  # matmul_tiled and friends: no registered fast path
+    rt_fast, ctx_fast, q_fast = _tier_runtime(fastpaths=global_fastpaths)
+    event_f, _args_f, handles_f = _launch_via_runtime(
+        rt_fast, ctx_fast, q_fast, wname, kernel, make_args, gsize, lsize)
+    assert event_f.tier == "fastpath"
+    for (index, buf), (_i2, buf_f) in zip(handles, handles_f):
+        if index not in outputs:
+            continue
+        got = buf.read()
+        ref = buf_f.read()
+        if np.array_equal(got, ref):
+            continue  # bit-identical (covers the integer buffers)
+        assert np.allclose(got.view(np.float32), ref.view(np.float32),
+                           rtol=1e-5, atol=1e-5, equal_nan=True), (
+            "%s.%s tier output differs from fast path" % (wname, kernel))
+
+
+def test_local_mem_argument_falls_back_at_launch():
+    """A kernel that *compiles* but is handed a __local argument must
+    fall back to the interpreter at launch (no partial stores)."""
+    src = """
+    __kernel void needs_scratch(__global int* out, __local int* scratch) {
+        out[get_global_id(0)] = 1;
+    }
+    """
+    program = compile_program(src)
+    with pytest.raises(VectorizeError):
+        # __local pointer params are rejected at compile time
+        vectorize_kernel(program, "needs_scratch")
+
+    runtime, context, queue = _tier_runtime()
+    built = runtime.build_program(
+        runtime.create_program_with_source(context, src))
+    kernel = runtime.create_kernel(built, "needs_scratch")
+    out = runtime.create_buffer(context, enums.CL_MEM_READ_WRITE, 4 * 4)
+    kernel.set_arg(0, out)
+    kernel.set_arg(1, LocalMem(16))
+    event = runtime.enqueue_nd_range_kernel(queue, kernel, (4,), (4,))
+    assert event.tier == "interpreter"
+    assert out.read().view(np.int32).tolist() == [1, 1, 1, 1]
