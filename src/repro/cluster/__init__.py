@@ -13,6 +13,7 @@ Maps the paper's deployment model (§III):
 """
 
 from repro.cluster.config import ClusterConfig, NodeConfig
+from repro.cluster.dmp import DataManagementProcess, ResidencyTable
 from repro.cluster.hostproc import HostProcess
 from repro.cluster.nmp import NodeManagementProcess
 from repro.cluster.registry import ClusterDevice, DeviceRegistry
@@ -20,6 +21,8 @@ from repro.cluster.registry import ClusterDevice, DeviceRegistry
 __all__ = [
     "ClusterConfig",
     "NodeConfig",
+    "DataManagementProcess",
+    "ResidencyTable",
     "HostProcess",
     "NodeManagementProcess",
     "ClusterDevice",

@@ -16,7 +16,8 @@ VALID_MODES = ("real", "modeled")
 class NodeConfig:
     """One device node entry."""
 
-    def __init__(self, node_id, devices, host="127.0.0.1", port=0, mode="modeled"):
+    def __init__(self, node_id, devices, host="127.0.0.1", port=0, mode="modeled",
+                 dmp_capacity_bytes=None):
         if not devices:
             raise ValueError("node %r declares no devices" % node_id)
         for kind in devices:
@@ -27,20 +28,32 @@ class NodeConfig:
                 )
         if mode not in VALID_MODES:
             raise ValueError("node %r: bad mode %r" % (node_id, mode))
+        if dmp_capacity_bytes is not None and int(dmp_capacity_bytes) <= 0:
+            raise ValueError(
+                "node %r: dmp_capacity_bytes must be positive or None" % node_id
+            )
         self.node_id = str(node_id)
         self.devices = list(devices)
         self.host = host
         self.port = int(port)
         self.mode = mode
+        #: byte cap on the node's buffer residency (the DMP's LRU table);
+        #: None means every replica fits
+        self.dmp_capacity_bytes = (
+            None if dmp_capacity_bytes is None else int(dmp_capacity_bytes)
+        )
 
     def to_dict(self):
-        return {
+        out = {
             "node_id": self.node_id,
             "devices": self.devices,
             "host": self.host,
             "port": self.port,
             "mode": self.mode,
         }
+        if self.dmp_capacity_bytes is not None:
+            out["dmp_capacity_bytes"] = self.dmp_capacity_bytes
+        return out
 
     @classmethod
     def from_dict(cls, data):
@@ -50,6 +63,7 @@ class NodeConfig:
             data.get("host", "127.0.0.1"),
             data.get("port", 0),
             data.get("mode", "modeled"),
+            data.get("dmp_capacity_bytes"),
         )
 
     def __repr__(self):

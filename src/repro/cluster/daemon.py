@@ -45,10 +45,13 @@ def main(argv=None):
     parser.add_argument("--port", type=int, default=0)
     parser.add_argument("--mode", default="real",
                         choices=("real", "modeled"))
+    parser.add_argument("--dmp-capacity-bytes", type=int, default=None,
+                        help="cap on resident buffer bytes (LRU eviction)")
     args = parser.parse_args(argv)
     node_config = NodeConfig(
         args.node_id, args.devices.split(","),
         host=args.host, port=args.port, mode=args.mode,
+        dmp_capacity_bytes=args.dmp_capacity_bytes,
     )
     server, _nmp = serve(node_config, host=args.host, port=args.port)
     # line-oriented announce so a parent process can scrape the port

@@ -1,0 +1,190 @@
+"""Data Management Process: the per-node data plane (paper §III).
+
+HaoCL pairs every Node Management Process with a Data Management
+Process that moves buffer contents over its own channel, so bulk data
+flows node-to-node instead of bouncing through the host.  This module
+is that component for the reproduction:
+
+- :class:`ResidencyTable` -- what the node holds: every buffer replica
+  resident in device memory, with LRU order, an optional byte-capacity
+  limit, and a dirty flag per replica (set when a kernel writes it, so
+  an eviction knows the replica must be written back before dropping);
+- :class:`DataManagementProcess` -- executes the transfers the *host
+  plans*: the ICD decides which replica moves where (it owns the
+  cluster-wide freshness map), but the bytes travel over peer fabric
+  links (``Fabric.peer_request``) or, for daemon deployments, a direct
+  node-to-node TCP connection -- never through the host NIC.
+
+The NMP exposes the plane as four ops: ``dmp_push``/``dmp_pull`` are
+host-facing (the plan), ``dmp_store``/``dmp_fetch`` are their
+peer-facing halves (the execution).
+"""
+
+import collections
+
+
+class _Resident:
+    """One replica's residency record."""
+
+    __slots__ = ("nbytes", "dirty")
+
+    def __init__(self, nbytes, dirty=False):
+        self.nbytes = int(nbytes)
+        self.dirty = bool(dirty)
+
+
+class ResidencyTable:
+    """LRU-ordered {buffer handle -> residency record} for one node.
+
+    ``capacity_bytes=None`` disables the limit (every replica fits);
+    with a limit, :meth:`admit` returns the least-recently-used victims
+    that must leave to make room.  Victims are only *selected* here --
+    the NMP reads back dirty victims and frees the runtime objects,
+    because the table deliberately knows nothing about buffers.
+    """
+
+    def __init__(self, capacity_bytes=None):
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive or None")
+        self.capacity_bytes = capacity_bytes
+        self._entries = collections.OrderedDict()
+        self.resident_bytes = 0
+        self.evictions = 0
+        #: admissions that could not free enough protected memory; the
+        #: node over-commits rather than failing a launch mid-flight
+        self.overcommits = 0
+
+    def __contains__(self, handle):
+        return handle in self._entries
+
+    def __len__(self):
+        return len(self._entries)
+
+    def touch(self, handle):
+        """Mark ``handle`` most-recently-used (no-op when untracked)."""
+        if handle in self._entries:
+            self._entries.move_to_end(handle)
+
+    def mark_dirty(self, handle):
+        entry = self._entries.get(handle)
+        if entry is not None:
+            entry.dirty = True
+
+    def mark_clean(self, handle):
+        entry = self._entries.get(handle)
+        if entry is not None:
+            entry.dirty = False
+
+    def is_dirty(self, handle):
+        entry = self._entries.get(handle)
+        return entry is not None and entry.dirty
+
+    def drop(self, handle):
+        """Forget a replica (clReleaseMemObject on the node)."""
+        entry = self._entries.pop(handle, None)
+        if entry is not None:
+            self.resident_bytes -= entry.nbytes
+
+    def admit(self, handle, nbytes, protected=frozenset()):
+        """Track a new replica; returns ``[(victim handle, record)]``
+        evicted (LRU first) to stay under capacity.
+
+        ``protected`` handles (replicas bound to live kernel arguments,
+        plus the one being admitted) are never chosen, so an admission
+        can never evict the working set of the launch it serves.
+        """
+        self.drop(handle)  # re-admission replaces the old record
+        self._entries[handle] = _Resident(nbytes)
+        self.resident_bytes += nbytes
+        victims = []
+        if self.capacity_bytes is None:
+            return victims
+        for candidate in list(self._entries):
+            if self.resident_bytes <= self.capacity_bytes:
+                break
+            if candidate == handle or candidate in protected:
+                continue
+            record = self._entries.pop(candidate)
+            self.resident_bytes -= record.nbytes
+            self.evictions += 1
+            victims.append((candidate, record))
+        if self.resident_bytes > self.capacity_bytes:
+            self.overcommits += 1
+        return victims
+
+    def stats(self):
+        return {
+            "capacity_bytes": self.capacity_bytes,
+            "resident_bytes": self.resident_bytes,
+            "buffers": len(self._entries),
+            "evictions": self.evictions,
+            "overcommits": self.overcommits,
+        }
+
+
+class DataManagementProcess:
+    """One node's data-plane executor: residency + peer transfers."""
+
+    def __init__(self, node_id, capacity_bytes=None):
+        self.node_id = node_id
+        self.table = ResidencyTable(capacity_bytes)
+        self._fabric = None
+        #: daemon deployments: (host, port) channels opened on demand
+        self._peer_channels = {}
+        self.bytes_pushed = 0
+        self.bytes_pulled = 0
+        self.p2p_transfers = 0
+        self.writebacks = 0
+
+    def attach(self, fabric):
+        """Give the DMP its node-to-node links (in-process fabrics)."""
+        self._fabric = fabric
+
+    @property
+    def has_peer_links(self):
+        return self._fabric is not None and self._fabric.supports_peer()
+
+    def peer_call(self, dst_node, message, now_s=0.0, addr=None):
+        """Execute one peer request; returns ``(response, elapsed_s)``.
+
+        Prefers the attached fabric's peer links; a daemon NMP with no
+        fabric object opens a direct TCP connection to ``addr`` (the
+        peer's listening address from the system configuration file).
+        """
+        if self.has_peer_links:
+            return self._fabric.peer_request(
+                self.node_id, dst_node, message, now_s
+            )
+        if addr is not None:
+            channel = self._peer_channels.get(dst_node)
+            if channel is None:
+                from repro.transport.tcp import TcpChannel
+
+                channel = TcpChannel(tuple(addr))
+                self._peer_channels[dst_node] = channel
+            return channel.request(message), 0.0
+        from repro.transport.base import TransportError
+
+        raise TransportError(
+            "node %s has no peer link to %s" % (self.node_id, dst_node)
+        )
+
+    def close(self):
+        for channel in self._peer_channels.values():
+            channel.close()
+        self._peer_channels.clear()
+
+    def stats(self):
+        merged = self.table.stats()
+        merged.update({
+            "bytes_pushed": self.bytes_pushed,
+            "bytes_pulled": self.bytes_pulled,
+            "p2p_transfers": self.p2p_transfers,
+            "writebacks": self.writebacks,
+        })
+        return merged
+
+    def __repr__(self):
+        return "DataManagementProcess(%s, %d resident)" % (
+            self.node_id, len(self.table)
+        )

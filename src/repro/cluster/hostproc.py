@@ -30,7 +30,7 @@ class HostProcess:
 
     @classmethod
     def launch(cls, config, transport="inproc", netmodel=None, fastpaths=None,
-               vectorize=True):
+               vectorize=True, dmp_capacity_bytes=None):
         """Spin up NMPs for every configured node on the chosen transport.
 
         ``transport`` is one of ``inproc``, ``sim``, ``tcp``.  For ``sim``
@@ -38,10 +38,14 @@ class HostProcess:
         (``fabric.now_s()``), which is what the experiments measure.
         ``vectorize=False`` disables the vectorized execution tier on
         every node (fast paths and the interpreter remain).
+        ``dmp_capacity_bytes`` caps every node's buffer residency (LRU
+        eviction with dirty writeback); None means unlimited.
         """
         handlers = {
-            node.node_id: NodeManagementProcess(node, fastpaths=fastpaths,
-                                                vectorize=vectorize)
+            node.node_id: NodeManagementProcess(
+                node, fastpaths=fastpaths, vectorize=vectorize,
+                dmp_capacity_bytes=dmp_capacity_bytes,
+            )
             for node in config
         }
         if transport == "inproc":
@@ -52,6 +56,10 @@ class HostProcess:
             fabric = TcpFabric(handlers)
         else:
             raise ValueError("unknown transport %r" % transport)
+        # wire every node's Data Management Process to the peer links so
+        # host-planned transfers execute node-to-node
+        for handler in handlers.values():
+            handler.attach_fabric(fabric)
         return cls(config, fabric)
 
     @classmethod
@@ -116,6 +124,19 @@ class HostProcess:
             node.node_id: self.call(node.node_id, "node_stats")
             for node in self.config
         }
+
+    def peer_addr(self, node_id):
+        """(host, port) a peer node listens on, or None.  Included in
+        DMP transfer plans so daemon NMPs (no shared fabric object) can
+        open their own node-to-node connections."""
+        addr = getattr(self.fabric, "peer_address", lambda _n: None)(node_id)
+        if addr:
+            return list(addr)
+        try:
+            node = self.config.node(node_id)
+        except KeyError:
+            return None
+        return [node.host, node.port] if node.port else None
 
     def now_s(self):
         """Elapsed seconds on the fabric clock (wall or simulated)."""

@@ -19,12 +19,15 @@ though every message exchange is synchronous.
 
 import itertools
 
+from repro.clc.analysis import classify_param_access
 from repro.clc.interp import LocalMem
+from repro.cluster.dmp import DataManagementProcess
 from repro.ocl import CLRuntime, enums
 from repro.ocl.errors import CLError
 from repro.ocl.device import model_by_name
 from repro.ocl.runtime import Device
 from repro.transport.base import NodeHandler
+from repro.transport.message import Message
 
 
 class _HandleTable:
@@ -49,6 +52,10 @@ class _HandleTable:
                 "no %s with handle %r on this node" % (self.kind, handle),
             ) from None
 
+    def find(self, handle):
+        """Non-raising lookup: the object, or None when unknown."""
+        return self._objects.get(handle)
+
     def remove(self, handle):
         self._objects.pop(handle, None)
 
@@ -59,9 +66,16 @@ class _HandleTable:
 class NodeManagementProcess(NodeHandler):
     """One device node's daemon."""
 
-    def __init__(self, node_config, fastpaths=None, vectorize=True):
+    def __init__(self, node_config, fastpaths=None, vectorize=True,
+                 dmp_capacity_bytes=None):
         self.node_id = node_config.node_id
         self.mode = node_config.mode
+        if dmp_capacity_bytes is None:
+            dmp_capacity_bytes = getattr(node_config, "dmp_capacity_bytes",
+                                         None)
+        #: the node's Data Management Process: buffer residency (LRU,
+        #: optional byte capacity) + peer-to-peer transfer execution
+        self.dmp = DataManagementProcess(self.node_id, dmp_capacity_bytes)
         devices = [
             Device(model_by_name(kind), mode=node_config.mode)
             for kind in node_config.devices
@@ -88,7 +102,17 @@ class NodeManagementProcess(NodeHandler):
         #: per-tenant accounting from job-tagged commands (§III-D user
         #: fields extended for the serving layer): tenant -> record
         self.tenant_profile = {}
+        #: kernel handle -> {arg index} of written pointer params, from
+        #: the static access analysis (drives dirty-replica tracking)
+        self._written_args = {}
+        #: kernel handle -> {arg index -> buffer handle} of the bound
+        #: buffer args, so a launch updates residency in O(args)
+        self._arg_handles = {}
         self.messages_handled = 0
+
+    def attach_fabric(self, fabric):
+        """Wire the node's DMP to the cluster's peer links."""
+        self.dmp.attach(fabric)
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -122,6 +146,31 @@ class NodeManagementProcess(NodeHandler):
         self._ready_at[device.id] = start + event.duration_s
         return self._ready_at[device.id]
 
+    def _modeled_transfer_event(self, queue, nbytes, label):
+        """Size-only transfer: charge the device DMA time the bytes
+        would take under the model, without materialising them."""
+        duration = (
+            queue.device.model.transfer_time(nbytes)
+            if queue.device.mode == "modeled" else 0.0
+        )
+        return queue.record(label, duration)
+
+    @staticmethod
+    def _payload_nbytes(payload, buffer):
+        """The request's byte count, defaulting to the whole buffer.
+        An explicit 0 means zero bytes -- never the falsy-default."""
+        nbytes = payload.get("nbytes")
+        return buffer.size if nbytes is None else int(nbytes)
+
+    @staticmethod
+    def _raise_peer_error(response, peer_node):
+        if response.is_error:
+            raise CLError(
+                response.payload.get("code", enums.CL_OUT_OF_RESOURCES),
+                "[peer %s] %s" % (peer_node,
+                                  response.payload.get("message", "")),
+            )
+
     def _check_claim(self, device, user):
         claim = self._claims.get(device.id)
         if claim is None:
@@ -132,6 +181,43 @@ class NodeManagementProcess(NodeHandler):
                 enums.CL_DEVICE_NOT_AVAILABLE,
                 "device %d exclusively claimed by %r" % (device.id, owner),
             )
+
+    # -- residency (the DMP's table) ---------------------------------------------
+
+    def _admit_replica(self, handle, buffer, protected=frozenset()):
+        """Admit a new replica into the residency table; evicts LRU
+        victims and returns their eviction records for the host.
+
+        ``protected`` handles come from the host's plan -- the other
+        buffers of the dispatch in flight -- so an admission can never
+        evict the working set of the launch it serves.  A dirty victim
+        (a kernel wrote it and the host never read it back) is written
+        back by value: its bytes ride the response, so the host can
+        restore its shadow before the replica is freed.
+        """
+        capacity = self.dmp.table.capacity_bytes
+        if capacity is not None and buffer.size > capacity:
+            raise CLError(
+                enums.CL_MEM_OBJECT_ALLOCATION_FAILURE,
+                "buffer of %d bytes exceeds node %s residency capacity %d"
+                % (buffer.size, self.node_id, capacity),
+            )
+        victims = self.dmp.table.admit(handle, buffer.size, protected)
+        evicted = []
+        for victim_handle, record in victims:
+            victim = self._tables["buffer"].find(victim_handle)
+            if victim is None:
+                continue
+            entry = {"buffer": victim_handle, "dirty": record.dirty,
+                     "synthetic": victim.synthetic}
+            if record.dirty and not victim.synthetic:
+                entry["data"] = victim.read()
+                self.dmp.writebacks += 1
+            self._tables["buffer"].remove(victim_handle)
+            if victim.alive:
+                victim.release()
+            evicted.append(entry)
+        return evicted
 
     # -- discovery ------------------------------------------------------------------
 
@@ -179,7 +265,18 @@ class NodeManagementProcess(NodeHandler):
             host_data=payload.get("data"),
             synthetic=payload.get("synthetic", False),
         )
-        return {"buffer": self._tables["buffer"].add(buffer)}, now_s
+        handle = self._tables["buffer"].add(buffer)
+        try:
+            evicted = self._admit_replica(
+                handle, buffer, frozenset(payload.get("protect") or ())
+            )
+        except CLError:
+            # admission refused (over capacity): free the allocation, or
+            # every rejected create would leak node memory
+            self._tables["buffer"].remove(handle)
+            buffer.release()
+            raise
+        return {"buffer": handle, "evicted": evicted}, now_s
 
     def _op_build_program(self, payload, now_s):
         context = self._tables["context"].get(payload["context"])
@@ -208,6 +305,11 @@ class NodeManagementProcess(NodeHandler):
         obj = table.get(payload["handle"])
         if obj.release() == 0:
             table.remove(payload["handle"])
+            if kind == "buffer":
+                self.dmp.table.drop(payload["handle"])
+            elif kind == "kernel":
+                self._written_args.pop(payload["handle"], None)
+                self._arg_handles.pop(payload["handle"], None)
         return {}, now_s
 
     def _op_retain(self, payload, now_s):
@@ -226,6 +328,9 @@ class NodeManagementProcess(NodeHandler):
             queue, buffer, payload["data"], payload.get("offset", 0)
         )
         self._charge(queue.device, event, now_s)
+        # a host write means host and replica agree: clean, recently used
+        self.dmp.table.touch(payload["buffer"])
+        self.dmp.table.mark_clean(payload["buffer"])
         return {"duration_s": event.duration_s}, now_s
 
     def _op_write_synthetic(self, payload, now_s):
@@ -234,27 +339,24 @@ class NodeManagementProcess(NodeHandler):
         queue = self._tables["queue"].get(payload["queue"])
         buffer = self._tables["buffer"].get(payload["buffer"])
         nbytes = int(payload["nbytes"])
-        if queue.device.mode == "modeled":
-            duration = queue.device.model.transfer_time(nbytes)
-        else:
-            duration = 0.0
-        event = queue.record("write_synthetic", duration)
+        event = self._modeled_transfer_event(queue, nbytes, "write_synthetic")
         self._charge(queue.device, event, now_s)
+        self.dmp.table.touch(payload["buffer"])
+        self.dmp.table.mark_clean(payload["buffer"])
         del buffer  # size is all that matters; contents undefined
         return {"duration_s": event.duration_s}, now_s
 
     def _op_read_buffer(self, payload, now_s):
         queue = self._tables["queue"].get(payload["queue"])
         buffer = self._tables["buffer"].get(payload["buffer"])
+        self.dmp.table.touch(payload["buffer"])
         if payload.get("synthetic_ack") and buffer.synthetic:
             # modeled run: charge device DMA + wire time for the bytes a
-            # real read would move, without materialising them
-            nbytes = payload.get("nbytes") or buffer.size
-            duration = (
-                queue.device.model.transfer_time(nbytes)
-                if queue.device.mode == "modeled" else 0.0
-            )
-            event = queue.record("read_buffer", duration)
+            # real read would move, without materialising them.  An
+            # explicit nbytes=0 means exactly that -- zero bytes -- and
+            # must not silently charge a full-buffer transfer.
+            nbytes = self._payload_nbytes(payload, buffer)
+            event = self._modeled_transfer_event(queue, nbytes, "read_buffer")
             ready = self._charge(queue.device, event, now_s)
             return {
                 "duration_s": event.duration_s,
@@ -265,6 +367,10 @@ class NodeManagementProcess(NodeHandler):
             queue, buffer, payload.get("nbytes"), payload.get("offset", 0)
         )
         ready = self._charge(queue.device, event, now_s)
+        if payload.get("offset", 0) == 0 and len(data) >= buffer.size:
+            # the host now holds the whole replica: it is no longer the
+            # sole copy, so eviction needs no writeback
+            self.dmp.table.mark_clean(payload["buffer"])
         if payload.get("synthetic_ack"):
             return {"duration_s": event.duration_s, "nbytes": len(data)}, ready
         return {"data": data, "duration_s": event.duration_s}, ready
@@ -280,33 +386,179 @@ class NodeManagementProcess(NodeHandler):
             payload.get("dst_offset", 0),
         )
         self._charge(queue.device, event, now_s)
+        self.dmp.table.touch(payload["src"])
+        self.dmp.table.touch(payload["dst"])
+        if payload.get("clean"):
+            # host-planned dedup fill: the destination matches the host
+            # shadow by construction
+            self.dmp.table.mark_clean(payload["dst"])
+        else:
+            self.dmp.table.mark_dirty(payload["dst"])
         return {"duration_s": event.duration_s}, now_s
+
+    # -- the DMP data plane (host-planned, node-executed) -------------------------
+
+    def _op_dmp_pull(self, payload, now_s):
+        """Destination half of a migration plan: fetch ``src_buffer``
+        from ``src_node`` over the peer link into a local replica.
+
+        Replaces the fetch-to-host-then-reship relay: the bytes cross
+        the wire once, peer to peer, and only a small control message
+        touches the host.
+        """
+        queue = self._tables["queue"].get(payload["queue"])
+        buffer = self._tables["buffer"].get(payload["buffer"])
+        nbytes = self._payload_nbytes(payload, buffer)
+        synthetic = bool(payload.get("synthetic")) or buffer.synthetic
+        request = Message.request(
+            "dmp_fetch",
+            queue=payload["src_queue"], buffer=payload["src_buffer"],
+            nbytes=nbytes, synthetic=synthetic,
+        )
+        response, wire_s = self.dmp.peer_call(
+            payload["src_node"], request, now_s, addr=payload.get("src_addr")
+        )
+        self._raise_peer_error(response, payload["src_node"])
+        if synthetic:
+            event = self._modeled_transfer_event(queue, nbytes, "dmp_pull")
+        else:
+            event = self.runtime.enqueue_write_buffer(
+                queue, buffer, response.payload["data"]
+            )
+        ready = self._charge(queue.device, event, now_s)
+        ready = max(ready, now_s + wire_s)
+        self.dmp.table.touch(payload["buffer"])
+        if payload.get("clean"):
+            self.dmp.table.mark_clean(payload["buffer"])
+        else:
+            self.dmp.table.mark_dirty(payload["buffer"])
+        self.dmp.bytes_pulled += nbytes
+        self.dmp.p2p_transfers += 1
+        return {"nbytes": nbytes, "duration_s": event.duration_s,
+                "wire_s": wire_s}, ready
+
+    def _op_dmp_push(self, payload, now_s):
+        """Source half of a migration plan: read the local replica and
+        store it into ``dst_buffer`` on ``dst_node`` over the peer link."""
+        queue = self._tables["queue"].get(payload["queue"])
+        buffer = self._tables["buffer"].get(payload["buffer"])
+        nbytes = self._payload_nbytes(payload, buffer)
+        synthetic = bool(payload.get("synthetic")) or buffer.synthetic
+        if synthetic:
+            event = self._modeled_transfer_event(queue, nbytes, "dmp_push")
+            data = None
+        else:
+            data, event = self.runtime.enqueue_read_buffer(
+                queue, buffer, nbytes, 0
+            )
+        request = Message.request(
+            "dmp_store",
+            queue=payload["dst_queue"], buffer=payload["dst_buffer"],
+            nbytes=nbytes, synthetic=synthetic, data=data,
+            clean=payload.get("clean", False),
+            virtual_nbytes=nbytes if synthetic else 0,
+        )
+        response, wire_s = self.dmp.peer_call(
+            payload["dst_node"], request, now_s, addr=payload.get("dst_addr")
+        )
+        self._raise_peer_error(response, payload["dst_node"])
+        ready = self._charge(queue.device, event, now_s)
+        ready = max(ready, now_s + wire_s)
+        self.dmp.table.touch(payload["buffer"])
+        self.dmp.bytes_pushed += nbytes
+        self.dmp.p2p_transfers += 1
+        return {"nbytes": nbytes, "duration_s": event.duration_s,
+                "wire_s": wire_s}, ready
+
+    def _op_dmp_fetch(self, payload, now_s):
+        """Peer-facing read: another node's DMP pulls our replica."""
+        queue = self._tables["queue"].get(payload["queue"])
+        buffer = self._tables["buffer"].get(payload["buffer"])
+        nbytes = self._payload_nbytes(payload, buffer)
+        self.dmp.table.touch(payload["buffer"])
+        if bool(payload.get("synthetic")) or buffer.synthetic:
+            event = self._modeled_transfer_event(queue, nbytes, "dmp_fetch")
+            ready = self._charge(queue.device, event, now_s)
+            return {"nbytes": nbytes, "virtual_nbytes": nbytes,
+                    "duration_s": event.duration_s}, ready
+        data, event = self.runtime.enqueue_read_buffer(queue, buffer, nbytes, 0)
+        ready = self._charge(queue.device, event, now_s)
+        return {"data": data, "nbytes": nbytes,
+                "duration_s": event.duration_s}, ready
+
+    def _op_dmp_store(self, payload, now_s):
+        """Peer-facing write: another node's DMP pushes into our replica."""
+        queue = self._tables["queue"].get(payload["queue"])
+        buffer = self._tables["buffer"].get(payload["buffer"])
+        nbytes = self._payload_nbytes(payload, buffer)
+        if bool(payload.get("synthetic")) or buffer.synthetic:
+            event = self._modeled_transfer_event(queue, nbytes, "dmp_store")
+        else:
+            event = self.runtime.enqueue_write_buffer(
+                queue, buffer, payload["data"]
+            )
+        ready = self._charge(queue.device, event, now_s)
+        self.dmp.table.touch(payload["buffer"])
+        if payload.get("clean"):
+            self.dmp.table.mark_clean(payload["buffer"])
+        else:
+            self.dmp.table.mark_dirty(payload["buffer"])
+        return {"nbytes": nbytes, "duration_s": event.duration_s}, ready
 
     # -- kernel launch ------------------------------------------------------------------------
 
     def _op_set_kernel_arg(self, payload, now_s):
         kernel = self._tables["kernel"].get(payload["kernel"])
         index = payload["index"]
+        bound = self._arg_handles.setdefault(payload["kernel"], {})
         if "buffer" in payload:
             kernel.set_arg(index, self._tables["buffer"].get(payload["buffer"]))
+            self.dmp.table.touch(payload["buffer"])
+            bound[index] = payload["buffer"]
         elif "local_size" in payload:
             kernel.set_arg(index, LocalMem(payload["local_size"]))
+            bound.pop(index, None)
         else:
             kernel.set_arg(index, payload["value"])
+            bound.pop(index, None)
         return {}, now_s
+
+    def _written_arg_indices(self, handle, kernel):
+        """Indices of pointer params the kernel may write (memoized per
+        kernel handle; conservative, from the static access analysis)."""
+        written = self._written_args.get(handle)
+        if written is None:
+            access = classify_param_access(kernel.program.compiled, kernel.name)
+            written = {
+                index
+                for index, (name, _ctype) in enumerate(kernel.info.params)
+                if access.get(name) is None or access[name].write
+            }
+            self._written_args[handle] = written
+        return written
 
     def _op_enqueue_ndrange(self, payload, now_s):
         queue = self._tables["queue"].get(payload["queue"])
         kernel = self._tables["kernel"].get(payload["kernel"])
         self._check_claim(queue.device, payload.get("user"))
+        local_size = payload.get("local_size")
+        global_offset = payload.get("global_offset")
         event = self.runtime.enqueue_nd_range_kernel(
             queue,
             kernel,
             tuple(payload["global_size"]),
-            tuple(payload["local_size"]) if payload.get("local_size") else None,
-            tuple(payload["global_offset"]) if payload.get("global_offset") else None,
+            tuple(local_size) if local_size is not None else None,
+            tuple(global_offset) if global_offset is not None else None,
         )
         self._charge(queue.device, event, now_s)
+        # residency: every buffer arg was just used; written ones hold
+        # the only current copy until the host reads them back
+        written = self._written_arg_indices(payload["kernel"], kernel)
+        for index, handle in self._arg_handles.get(payload["kernel"],
+                                                   {}).items():
+            self.dmp.table.touch(handle)
+            if index in written:
+                self.dmp.table.mark_dirty(handle)
         items = 1
         for dim in payload["global_size"]:
             items *= int(dim)
@@ -315,7 +567,9 @@ class NodeManagementProcess(NodeHandler):
         profile[1] += event.duration_s
         profile[2] += items
         tier = event.tier or "unknown"
-        tenant = payload.get("tenant") or payload.get("user")
+        tenant = payload.get("tenant")
+        if tenant is None:
+            tenant = payload.get("user")
         if tenant is not None:
             record = self.tenant_profile.setdefault(
                 tenant,
@@ -406,5 +660,6 @@ class NodeManagementProcess(NodeHandler):
             "tenants": tenants,
             "tiers": dict(self.runtime.tier_counts),
             "compile_cache": self.runtime.vectorize_stats(),
+            "dmp": self.dmp.stats(),
             "messages": self.messages_handled,
         }, now_s

@@ -152,8 +152,12 @@ def clEnqueueReadBuffer(queue, buffer, blocking, offset, nbytes=None):
     return current().enqueue_read_buffer(queue, buffer, nbytes, offset)
 
 
-def clEnqueueCopyBuffer(queue, src, dst):
-    return current().enqueue_copy_buffer(queue, src, dst)
+def clEnqueueCopyBuffer(queue, src, dst, src_offset=0, dst_offset=0,
+                        nbytes=None):
+    """Copy a region; same-node copies run device-side via the DMP
+    residency map instead of round-tripping through the host."""
+    return current().enqueue_copy_buffer(queue, src, dst, nbytes,
+                                         src_offset, dst_offset)
 
 
 # -- programs ---------------------------------------------------------------------------------

@@ -6,16 +6,31 @@ compatible with the front-end wrapper layer and the communication
 backbone for remote API call forwarding".  This class is that extension:
 it owns the mapping from cluster-side wrapper objects to per-node
 handles, materialising node-local contexts, queues, programs, kernels
-and buffer replicas on demand, and it implements the host-relayed buffer
-consistency protocol:
+and buffer replicas on demand, and it implements the buffer consistency
+protocol:
 
 - every buffer tracks the set of *fresh* locations ("host" or node ids);
 - before a kernel runs on a node, stale argument buffers are shipped
-  there (from the host shadow, or fetched from the owning node through
-  the host -- the backbone is host-centric, §III-C);
+  there -- from the host shadow, or *migrated node-to-node* by the Data
+  Management Processes: the ICD plans the transfer (it owns the
+  cluster-wide freshness map) and the owning node's DMP executes it over
+  peer fabric links, so the bytes never relay through the host;
 - read-only arguments (static classification) replicate freely, while
-  written arguments migrate ownership to the executing node.
+  written arguments migrate ownership to the executing node;
+- identical content ships to a node once: buffers tagged with a content
+  digest (the serving layer tags every job input) fill from a per-node
+  dedup cache of retained replicas, by a device-side copy on the same
+  node or a peer-to-peer pull from a node that already holds the bytes.
+
+Residency is bounded per node: the node-side DMP evicts LRU replicas
+past its byte capacity, writing dirty victims back by value in the
+response; :meth:`ICDDispatcher._apply_evictions` folds those writebacks
+into the host shadow so no data is ever silently dropped.
 """
+
+import collections
+import contextlib
+import weakref
 
 import numpy as np
 
@@ -24,20 +39,66 @@ from repro.ocl.errors import CLError
 
 HOST = "host"
 
+#: default budget for each node's content-dedup cache of retained replicas
+DEFAULT_DEDUP_CACHE_BYTES = 64 << 20
+
 
 class ICDDispatcher:
     """Per-driver-instance remote object manager."""
 
-    def __init__(self, host_process):
+    def __init__(self, host_process, dmp=True, dedup_cache_bytes=None):
         self.host = host_process
         #: (kind, wrapper uid, node_id) -> node-local handle
         self._handles = {}
         #: node_id -> {cluster device global_id -> node queue handle}
         self._node_queues = {}
+        #: wrapper uid -> HBuffer, so node-side eviction notices can be
+        #: folded back into host state (weak: the ICD must not keep
+        #: released buffers alive)
+        self._buffers = weakref.WeakValueDictionary()
+        #: (node_id, replica handle) -> wrapper uid: the reverse of the
+        #: handle cache, so eviction notices resolve in O(1)
+        self._replica_uids = {}
+        #: node_id -> OrderedDict{content digest -> (handle, nbytes)}:
+        #: replicas retained past release because another job is likely
+        #: to ship the same bytes (LRU within a byte budget)
+        self._content_cache = {}
+        #: node_id -> running byte total of that node's dedup cache
+        self._content_cache_bytes = {}
+        #: whether migrations may use the DMP peer-to-peer data plane
+        self.dmp_enabled = bool(dmp) and host_process.fabric.supports_peer()
+        self.dedup_cache_bytes = (
+            DEFAULT_DEDUP_CACHE_BYTES if dedup_cache_bytes is None
+            else int(dedup_cache_bytes)
+        )
         #: transfer accounting for breakdown analyses
         self.bytes_to_nodes = 0
         self.bytes_from_nodes = 0
         self.transfer_count = 0
+        #: payload bytes that migrated node->node without host relay
+        self.dmp_bytes_p2p = 0
+        self.dmp_transfers = 0
+        #: payload bytes that crossed the wire twice because a cross-node
+        #: migration had to bounce through the host (DMP off/unavailable)
+        self.bytes_host_relayed = 0
+        self.dmp_dedup_hits = 0
+        self.dmp_dedup_bytes_saved = 0
+        self.dmp_evictions = 0
+        self.dmp_writebacks = 0
+        #: buffer uids of the dispatch in flight: their replicas must
+        #: not be evicted by a sibling argument's admission
+        self._protect_uids = ()
+
+    @contextlib.contextmanager
+    def protecting(self, uids):
+        """Scope a dispatch's working set: replica admissions inside the
+        block tell the node residency table to spare these buffers."""
+        previous = self._protect_uids
+        self._protect_uids = tuple(uids)
+        try:
+            yield
+        finally:
+            self._protect_uids = previous
 
     # -- generic handle cache ------------------------------------------------
 
@@ -52,6 +113,8 @@ class ICDDispatcher:
     def forget(self, kind, uid):
         """Drop all node handles of one wrapper object (on release)."""
         for key in [k for k in self._handles if k[0] == kind and k[1] == uid]:
+            if kind == "buffer":
+                self._replica_uids.pop((key[2], self._handles[key]), None)
             del self._handles[key]
 
     # -- contexts / queues --------------------------------------------------------
@@ -118,19 +181,68 @@ class ICDDispatcher:
     # -- buffer replicas ----------------------------------------------------------------
 
     def buffer_replica(self, buffer, node_id):
-        """Node-local cl_mem handle for a buffer (allocated lazily)."""
+        """Node-local cl_mem handle for a buffer (allocated lazily).
+
+        Allocation admits the replica into the node's residency table,
+        which may evict LRU victims; their eviction notices (including
+        dirty writebacks by value) are applied before returning, so the
+        host freshness map never lags the node."""
+        self._buffers[buffer.uid] = buffer
 
         def create():
-            return self.host.call(
+            protect = [
+                self._handles[("buffer", uid, node_id)]
+                for uid in self._protect_uids
+                if ("buffer", uid, node_id) in self._handles
+            ]
+            payload = self.host.call(
                 node_id,
                 "create_buffer",
                 context=self.node_context(buffer.context, node_id),
                 flags=buffer.flags,
                 size=buffer.size,
                 synthetic=buffer.synthetic,
-            )["buffer"]
+                protect=protect,
+            )
+            self._apply_evictions(node_id, payload.get("evicted"))
+            return payload["buffer"]
 
-        return self._cached("buffer", buffer.uid, node_id, create)
+        handle = self._cached("buffer", buffer.uid, node_id, create)
+        self._replica_uids[(node_id, handle)] = buffer.uid
+        return handle
+
+    def _apply_evictions(self, node_id, evicted):
+        """Fold node-side residency evictions into host state: drop the
+        handle mapping, invalidate freshness, and absorb dirty
+        writebacks into the shadow."""
+        for entry in evicted or ():
+            handle = entry["buffer"]
+            self.dmp_evictions += 1
+            cache = self._content_cache.get(node_id)
+            if cache:
+                for digest in [d for d, (h, _n) in cache.items() if h == handle]:
+                    self._content_cache_bytes[node_id] -= cache[digest][1]
+                    del cache[digest]
+            uid = self._replica_uids.pop((node_id, handle), None)
+            if uid is None:
+                continue  # a donated cache replica, handled above
+            self._handles.pop(("buffer", uid, node_id), None)
+            buffer = self._buffers.get(uid)
+            if buffer is None or node_id not in buffer.fresh:
+                continue
+            buffer.fresh.discard(node_id)
+            data = entry.get("data")
+            if data is not None and not buffer.synthetic:
+                raw = np.asarray(data).view(np.uint8).reshape(-1)
+                buffer.shadow[: len(raw)] = raw
+                buffer.fresh.add(HOST)
+                self.dmp_writebacks += 1
+                self.bytes_from_nodes += buffer.size
+            elif not buffer.fresh:
+                # defensive: a clean-evicted sole copy can only mean the
+                # host wrote or read it since (the node tracks that); the
+                # shadow is the best remaining state
+                buffer.fresh.add(HOST)
 
     def release_remote(self, kind, uid):
         """Free every node-side handle of one wrapper object (the
@@ -138,6 +250,8 @@ class ICDDispatcher:
         keys = [k for k in self._handles if k[0] == kind and k[1] == uid]
         for key in keys:
             node_id = key[2]
+            if kind == "buffer":
+                self._replica_uids.pop((node_id, self._handles[key]), None)
             self.host.call(node_id, "release", kind=kind,
                            handle=self._handles[key])
             del self._handles[key]
@@ -148,25 +262,113 @@ class ICDDispatcher:
         as the wrapper object; long-running layers (repro.serve) call
         this per job so node memory stays bounded.  A replica holding
         the only fresh copy is gathered back first, so releasing never
-        silently promotes a stale host shadow."""
+        silently promotes a stale host shadow.  Digest-tagged replicas
+        are *donated* to the node's dedup cache instead of freed, so the
+        next job shipping identical bytes finds them already there."""
         if buffer.fresh and HOST not in buffer.fresh:
             self._fetch_to_host(buffer)
+        self._donate_replicas(buffer)
         self.release_remote("buffer", buffer.uid)
         buffer.fresh = {HOST}
+
+    # -- content dedup ------------------------------------------------------------------
+
+    def _donate_replicas(self, buffer):
+        """Move the buffer's fresh, digest-tagged replicas into their
+        node's dedup cache (detaching the handle so release skips it)."""
+        digest = getattr(buffer, "content_digest", None)
+        if digest is None or buffer.synthetic or self.dedup_cache_bytes <= 0:
+            return
+        for node_id in [n for n in buffer.fresh if n != HOST]:
+            key = ("buffer", buffer.uid, node_id)
+            handle = self._handles.get(key)
+            if handle is None:
+                continue
+            cache = self._content_cache.setdefault(
+                node_id, collections.OrderedDict()
+            )
+            if digest in cache:
+                continue  # keep one retained replica per content
+            cache[digest] = (handle, buffer.size)
+            cache.move_to_end(digest)
+            self._content_cache_bytes[node_id] = (
+                self._content_cache_bytes.get(node_id, 0) + buffer.size
+            )
+            del self._handles[key]
+            self._replica_uids.pop((node_id, handle), None)
+            self._trim_content_cache(node_id)
+
+    def _trim_content_cache(self, node_id):
+        cache = self._content_cache.get(node_id)
+        if not cache:
+            return
+        while self._content_cache_bytes.get(node_id, 0) > self.dedup_cache_bytes:
+            _digest, (handle, nbytes) = cache.popitem(last=False)
+            self._content_cache_bytes[node_id] -= nbytes
+            self.host.call(node_id, "release", kind="buffer", handle=handle)
+
+    def _dedup_fill(self, buffer, device, handle, queue):
+        """Fill a stale replica from retained identical content: a
+        device-side copy when the bytes are already on the node, else a
+        peer-to-peer pull from a node that holds them.  Returns True on
+        a hit (zero host-link payload bytes moved)."""
+        digest = getattr(buffer, "content_digest", None)
+        if digest is None or buffer.synthetic:
+            return False
+        node_id = device.node_id
+        cache = self._content_cache.get(node_id)
+        cached = cache.get(digest) if cache else None
+        if cached is not None and cached[1] == buffer.size:
+            self.host.call(
+                node_id, "copy_buffer",
+                queue=queue, src=cached[0], dst=handle,
+                nbytes=buffer.size, clean=True,
+            )
+            cache.move_to_end(digest)
+            self.dmp_dedup_hits += 1
+            self.dmp_dedup_bytes_saved += buffer.size
+            buffer.fresh.add(node_id)
+            return True
+        if not self.dmp_enabled:
+            return False
+        for other_node, other_cache in self._content_cache.items():
+            if other_node == node_id:
+                continue
+            cached = other_cache.get(digest)
+            if cached is None or cached[1] != buffer.size:
+                continue
+            if self._pull_p2p(buffer, device, handle, queue,
+                              other_node, cached[0], clean=True):
+                other_cache.move_to_end(digest)
+                self.dmp_dedup_hits += 1
+                self.dmp_dedup_bytes_saved += buffer.size
+                return True
+        return False
+
+    # -- consistency ---------------------------------------------------------------------
 
     def ensure_fresh(self, buffer, device):
         """Make ``device``'s node hold current data for ``buffer``.
 
-        Returns the node-local buffer handle.  May move bytes: host ->
-        node, or owner-node -> host -> node (two hops, host-relayed).
+        Returns the node-local buffer handle.  May move bytes, cheapest
+        route first: nothing (already fresh), a node-local dedup copy, a
+        peer-to-peer pull (same-content replica elsewhere, or migration
+        from the owning node's DMP), host -> node, or -- only when the
+        peer data plane is unavailable -- the legacy owner -> host ->
+        node relay (two hops through the host NIC).
         """
         node_id = device.node_id
         handle = self.buffer_replica(buffer, node_id)
         if node_id in buffer.fresh:
             return handle
-        if HOST not in buffer.fresh:
-            self._fetch_to_host(buffer)
         queue = self.node_queue(buffer.context, device)
+        if self._dedup_fill(buffer, device, handle, queue):
+            return handle
+        if HOST not in buffer.fresh:
+            if self._migrate_p2p(buffer, device, handle, queue):
+                return handle
+            self._fetch_to_host(buffer)
+            self.bytes_host_relayed += buffer.size
         if buffer.synthetic:
             self.host.call(
                 node_id, "write_synthetic",
@@ -182,6 +384,46 @@ class ICDDispatcher:
         self.transfer_count += 1
         buffer.fresh.add(node_id)
         return handle
+
+    def _migrate_p2p(self, buffer, device, handle, queue):
+        """Plan a node-to-node migration executed by the DMPs; True when
+        the destination now holds fresh data."""
+        if not self.dmp_enabled:
+            return False
+        for owner in sorted(n for n in buffer.fresh if n != HOST):
+            if self._device_on_or_none(buffer.context, owner) is None:
+                continue  # checked before materialising the src replica
+            src_handle = self.buffer_replica(buffer, owner)
+            if self._pull_p2p(buffer, device, handle, queue, owner,
+                              src_handle, clean=False):
+                return True
+        return False
+
+    def _pull_p2p(self, buffer, device, handle, queue, src_node, src_handle,
+                  clean):
+        """One host-planned ``dmp_pull``: the destination node fetches
+        the bytes straight from ``src_node`` over the peer link."""
+        src_device = self._device_on_or_none(buffer.context, src_node)
+        if src_device is None:
+            return False
+        src_queue = self.node_queue(buffer.context, src_device)
+        try:
+            self.host.call(
+                device.node_id, "dmp_pull",
+                queue=queue, buffer=handle,
+                src_node=src_node, src_queue=src_queue, src_buffer=src_handle,
+                nbytes=buffer.size, synthetic=buffer.synthetic, clean=clean,
+                src_addr=self.host.peer_addr(src_node),
+            )
+        except CLError:
+            # a broken peer link degrades to the host-relayed path; the
+            # data still arrives, just through the bottleneck
+            return False
+        self.dmp_bytes_p2p += buffer.size
+        self.dmp_transfers += 1
+        self.transfer_count += 1
+        buffer.fresh.add(device.node_id)
+        return True
 
     def _fetch_to_host(self, buffer):
         """Pull the newest replica back into the host shadow."""
@@ -215,19 +457,33 @@ class ICDDispatcher:
             return np.zeros(buffer.size, dtype=np.uint8)
         return buffer.shadow
 
+    @classmethod
+    def _any_device_on(cls, context, node_id):
+        device = cls._device_on_or_none(context, node_id)
+        if device is None:
+            raise CLError(
+                enums.CL_INVALID_MEM_OBJECT,
+                "buffer owner node %s left the context" % node_id,
+            )
+        return device
+
     @staticmethod
-    def _any_device_on(context, node_id):
+    def _device_on_or_none(context, node_id):
         for device in context.devices:
             if device.node_id == node_id:
                 return device
-        raise CLError(
-            enums.CL_INVALID_MEM_OBJECT,
-            "buffer owner node %s left the context" % node_id,
-        )
+        return None
 
     def transfer_stats(self):
         return {
             "bytes_to_nodes": self.bytes_to_nodes,
             "bytes_from_nodes": self.bytes_from_nodes,
             "transfers": self.transfer_count,
+            "bytes_host_relayed": self.bytes_host_relayed,
+            "dmp_bytes_p2p": self.dmp_bytes_p2p,
+            "dmp_transfers": self.dmp_transfers,
+            "dmp_dedup_hits": self.dmp_dedup_hits,
+            "dmp_dedup_bytes_saved": self.dmp_dedup_bytes_saved,
+            "dmp_evictions": self.dmp_evictions,
+            "dmp_writebacks": self.dmp_writebacks,
         }

@@ -21,7 +21,8 @@ class HaoCLSession:
     def __init__(self, config=None, transport="inproc", policy="user-directed",
                  netmodel=None, user=None, fastpaths=None, host=None,
                  gpu_nodes=0, fpga_nodes=0, cpu_nodes=0, mode="modeled",
-                 vectorize=True):
+                 vectorize=True, dmp=True, dmp_capacity_bytes=None,
+                 dedup_cache_bytes=None):
         if config is None and host is None:
             config = ClusterConfig.build(
                 gpu_nodes=gpu_nodes, fpga_nodes=fpga_nodes,
@@ -30,8 +31,10 @@ class HaoCLSession:
         self.host = host or HostProcess.launch(
             config, transport=transport, netmodel=netmodel,
             fastpaths=fastpaths, vectorize=vectorize,
+            dmp_capacity_bytes=dmp_capacity_bytes,
         )
-        self.cl = HaoCL(self.host, policy=policy, user=user)
+        self.cl = HaoCL(self.host, policy=policy, user=user, dmp=dmp,
+                        dedup_cache_bytes=dedup_cache_bytes)
 
     # -- device helpers -------------------------------------------------------
 

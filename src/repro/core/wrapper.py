@@ -109,6 +109,10 @@ class HBuffer:
         self.shadow = None
         #: locations holding current data ("host" or node ids)
         self.fresh = {HOST}
+        #: content hash for cross-job dedup (set by layers that know the
+        #: payload, e.g. repro.serve); cleared on any write so a stale
+        #: digest can never alias different bytes
+        self.content_digest = None
         if parent is not None:
             check(origin >= 0 and origin + size <= parent.size,
                   enums.CL_INVALID_BUFFER_SIZE, "sub-buffer out of range")
@@ -134,13 +138,16 @@ class HBuffer:
         if not self.synthetic:
             self.shadow[offset : offset + raw.nbytes] = raw
         self.fresh = {HOST}
+        self.content_digest = None
         # a host write refreshes the whole family's host view (shared
         # memory) and invalidates every remote replica in the region
         if self.parent is not None:
             self.parent.fresh &= {HOST}
+            self.parent.content_digest = None
             self.parent.dirty_children.discard(self)
         for child in self.children:
             child.fresh = {HOST}
+            child.content_digest = None
         self.dirty_children.clear()
 
     def __repr__(self):
@@ -273,9 +280,10 @@ class HaoCL:
     """One HaoCL driver instance: host process + scheduler + ICD."""
 
     def __init__(self, host_process, policy="user-directed", profiler=None,
-                 user=None):
+                 user=None, dmp=True, dedup_cache_bytes=None):
         self.host = host_process
-        self.icd = ICDDispatcher(host_process)
+        self.icd = ICDDispatcher(host_process, dmp=dmp,
+                                 dedup_cache_bytes=dedup_cache_bytes)
         self.profiler = profiler or Profiler()
         self.user = user
         #: billing identity carried by NMP commands when it differs from
@@ -446,16 +454,77 @@ class HaoCL:
                 return location
         return None
 
-    def enqueue_copy_buffer(self, queue, src, dst):
-        check(src.size <= dst.size, enums.CL_INVALID_VALUE, "copy overflow")
+    def enqueue_copy_buffer(self, queue, src, dst, nbytes=None,
+                            src_offset=0, dst_offset=0):
+        """clEnqueueCopyBuffer with region semantics.
+
+        Same-node copies run device-side (the node's ``copy_buffer`` op,
+        planned from the residency map) instead of round-tripping the
+        bytes through the host; only when no node holds both operands
+        does the copy fall back to the host shadow.
+        """
+        nbytes = src.size - src_offset if nbytes is None else int(nbytes)
+        check(nbytes >= 0 and src_offset >= 0 and dst_offset >= 0,
+              enums.CL_INVALID_VALUE, "negative copy region")
+        check(src_offset + nbytes <= src.size, enums.CL_INVALID_VALUE,
+              "copy reads past end of source")
+        check(dst_offset + nbytes <= dst.size, enums.CL_INVALID_VALUE,
+              "copy overflow")
         if src.synthetic or dst.synthetic:
             dst.fresh = {HOST}
+            dst.content_digest = None
+            event = HEvent("copy_buffer", queue.device, 0.0)
+            queue.events.append(event)
+            return event
+        self._sync_family(src)
+        self._sync_family(dst)
+        node_id = self._copy_node(src, dst, nbytes, dst_offset)
+        if node_id is not None:
+            device = self.icd._any_device_on(src.context, node_id)
+            node_queue = self.icd.node_queue(src.context, device,
+                                            queue.properties)
+            with self.icd.protecting((src.uid, dst.uid)):
+                self.host.call(
+                    node_id, "copy_buffer",
+                    queue=node_queue,
+                    src=self.icd.buffer_replica(src, node_id),
+                    dst=self.icd.buffer_replica(dst, node_id),
+                    nbytes=nbytes, src_offset=src_offset,
+                    dst_offset=dst_offset,
+                )
+            # the device-side result lives on that node only
+            dst.fresh = {node_id}
+            dst.content_digest = (
+                src.content_digest
+                if dst_offset == 0 and nbytes == dst.size == src.size
+                and src_offset == 0 else None
+            )
+            for child in dst.children:
+                child.fresh = set()
+            if dst.parent is not None:
+                dst.parent.dirty_children.add(dst)
+                dst.parent.fresh &= {HOST}
         else:
-            data = self.icd.read_to_host(src)
-            dst.update_shadow(data)
+            data = self.icd.read_to_host(src)[src_offset : src_offset + nbytes]
+            if dst_offset > 0 or nbytes < dst.size:
+                # partial overwrite: the untouched region must be
+                # current host-side before the shadow becomes canonical
+                self.icd.read_to_host(dst)
+            dst.update_shadow(data, dst_offset)
         event = HEvent("copy_buffer", queue.device, 0.0)
         queue.events.append(event)
         return event
+
+    def _copy_node(self, src, dst, nbytes, dst_offset):
+        """A node that can run the copy device-side: it must hold fresh
+        source bytes, and either fresh destination bytes or a full
+        destination overwrite (partial copies into a stale replica would
+        corrupt the untouched region)."""
+        full_overwrite = dst_offset == 0 and nbytes >= dst.size
+        for node_id in sorted(n for n in src.fresh if n != HOST):
+            if full_overwrite or node_id in dst.fresh:
+                return node_id
+        return None
 
     # -- the scheduled kernel launch ------------------------------------------------------
 
@@ -546,39 +615,44 @@ class HaoCL:
         node_queue = self.icd.node_queue(queue.context, device, queue.properties)
         access = kernel.program.param_access(kernel.name)
         sent = kernel.sent_args.setdefault(node_id, {})
-        for index in range(kernel.num_args):
-            value = kernel.args[index]
-            if isinstance(value, HBuffer):
-                self._sync_family(value)
-                name = kernel.info.params[index][0]
-                param = access.get(name)
-                if param is not None and param.write and not param.read:
-                    # write-only argument: prior contents are undefined in
-                    # OpenCL, so allocating a replica without shipping
-                    # bytes is legal and saves the transfer
-                    handle = self.icd.buffer_replica(value, node_id)
+        # the dispatch's working set is protected from residency
+        # eviction while its arguments materialise one by one
+        with self.icd.protecting(
+            buf.uid for _name, buf in kernel.buffer_args()
+        ):
+            for index in range(kernel.num_args):
+                value = kernel.args[index]
+                if isinstance(value, HBuffer):
+                    self._sync_family(value)
+                    name = kernel.info.params[index][0]
+                    param = access.get(name)
+                    if param is not None and param.write and not param.read:
+                        # write-only argument: prior contents are undefined
+                        # in OpenCL, so allocating a replica without
+                        # shipping bytes is legal and saves the transfer
+                        handle = self.icd.buffer_replica(value, node_id)
+                    else:
+                        handle = self.icd.ensure_fresh(value, device)
+                    token = ("buf", handle)
+                    if sent.get(index) != token:
+                        self.host.call(node_id, "set_kernel_arg",
+                                       kernel=node_kernel, index=index,
+                                       buffer=handle)
+                        sent[index] = token
+                elif isinstance(value, LocalMem):
+                    token = ("loc", value.size)
+                    if sent.get(index) != token:
+                        self.host.call(node_id, "set_kernel_arg",
+                                       kernel=node_kernel, index=index,
+                                       local_size=value.size)
+                        sent[index] = token
                 else:
-                    handle = self.icd.ensure_fresh(value, device)
-                token = ("buf", handle)
-                if sent.get(index) != token:
-                    self.host.call(node_id, "set_kernel_arg",
-                                   kernel=node_kernel, index=index,
-                                   buffer=handle)
-                    sent[index] = token
-            elif isinstance(value, LocalMem):
-                token = ("loc", value.size)
-                if sent.get(index) != token:
-                    self.host.call(node_id, "set_kernel_arg",
-                                   kernel=node_kernel, index=index,
-                                   local_size=value.size)
-                    sent[index] = token
-            else:
-                token = ("val", _wire_scalar(value))
-                if sent.get(index) != token:
-                    self.host.call(node_id, "set_kernel_arg",
-                                   kernel=node_kernel, index=index,
-                                   value=token[1])
-                    sent[index] = token
+                    token = ("val", _wire_scalar(value))
+                    if sent.get(index) != token:
+                        self.host.call(node_id, "set_kernel_arg",
+                                       kernel=node_kernel, index=index,
+                                       value=token[1])
+                        sent[index] = token
         payload = self.host.call(
             node_id, "enqueue_ndrange",
             queue=node_queue, kernel=node_kernel,
@@ -600,6 +674,11 @@ class HaoCL:
             param = access.get(name)
             if param is None or param.write:
                 buffer.fresh = {node_id}
+                buffer.content_digest = None
+                if buffer.parent is not None:
+                    buffer.parent.content_digest = None
+                for child in buffer.children:
+                    child.content_digest = None
                 buffer.dirty_children.clear()
                 if buffer.parent is not None:
                     # the parent's replicas (and its host region) are
@@ -662,6 +741,10 @@ class HaoCL:
             "transfers": self.icd.transfer_stats(),
             "elapsed_s": self.host.now_s(),
         }
+        fabric = self.host.fabric
+        if hasattr(fabric, "peer_bytes"):
+            stats["_host"]["fabric_peer_bytes"] = fabric.peer_bytes
+            stats["_host"]["fabric_peer_messages"] = fabric.peer_messages
         return stats
 
 

@@ -53,6 +53,17 @@ class Batch:
     def tenants(self):
         return sorted({job.tenant for job in self.jobs})
 
+    def input_digests(self):
+        """Distinct input-content digests across the batch -- the upper
+        bound on distinct payloads the data plane must ship; repeats
+        within it are dedup-cache hits."""
+        return sorted({
+            digest
+            for job in self.jobs
+            for digest in job.input_digests()
+            if digest is not None
+        })
+
     def __len__(self):
         return len(self.jobs)
 

@@ -90,6 +90,27 @@ class Job:
             self._signature = (digest, self.kernel_name)
         return self._signature
 
+    def input_digests(self):
+        """Per-argument content digests: a sha1 hex digest for each
+        NumPy array argument, None for scalars.
+
+        Tags the job's input buffers so the data plane ships identical
+        bytes to a node once, across jobs and tenants (the ICD's content
+        dedup cache).  Computed lazily and cached -- the arrays are
+        owned by the tenant and treated as immutable once submitted.
+        """
+        if getattr(self, "_input_digests", None) is None:
+            digests = []
+            for value in self.args:
+                if isinstance(value, np.ndarray):
+                    raw = np.ascontiguousarray(value).view(np.uint8).reshape(-1)
+                    # hash through the buffer protocol: no payload copy
+                    digests.append(hashlib.sha1(raw.data).hexdigest())
+                else:
+                    digests.append(None)
+            self._input_digests = digests
+        return self._input_digests
+
     # -- timings ---------------------------------------------------------------
 
     @property

@@ -145,8 +145,12 @@ class FairShareQueue:
                     lane.served_jobs += 1
                     lane.served_cost += self._cost(job)
                     if not lane.items:
-                        # an emptied lane must not bank deficit while idle
-                        lane.deficit = 0.0
+                        # an emptied lane must not bank *credit* while
+                        # idle -- but banked debt (negative deficit from
+                        # batched take_compatible pulls) is preserved, or
+                        # a tenant could batch heavily, drain its lane,
+                        # and escape fair share entirely
+                        lane.deficit = min(lane.deficit, 0.0)
                         self._advance()
                     return job
                 unproductive += 1
@@ -157,7 +161,8 @@ class FairShareQueue:
                     self._fast_forward()
                     unproductive = 0
             else:
-                lane.deficit = 0.0
+                # idle turn: forfeit saved-up credit, keep owed debt
+                lane.deficit = min(lane.deficit, 0.0)
             self._advance()
 
     def _fast_forward(self):

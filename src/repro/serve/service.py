@@ -392,9 +392,13 @@ class HaoCLService:
                 % (job.job_id, len(job.args), kernel.name, kernel.num_args),
             )
         bindings = []
+        digests = job.input_digests()
         for index, value in enumerate(job.args):
             if isinstance(value, np.ndarray):
                 buf = self.session.buffer_from(context, value)
+                # tag with the input's content hash: identical payloads
+                # across jobs/tenants ship to a node once (ICD dedup)
+                buf.content_digest = digests[index]
                 kernel.set_arg(index, buf)
                 bindings.append((kernel.info.params[index][0], buf, value))
             else:
@@ -465,6 +469,16 @@ class HaoCLService:
                 for tier, count in record.get("tiers", {}).items():
                     into["tiers"][tier] = into["tiers"].get(tier, 0) + count
         return merged
+
+    def data_plane(self):
+        """Data-plane counters: host-link vs peer-to-peer bytes, dedup
+        hits and per-node residency (the DMP sections of node stats)."""
+        stats = dict(self.driver.icd.transfer_stats())
+        stats["nodes"] = {
+            node_id: payload.get("dmp", {})
+            for node_id, payload in self.session.host.node_stats().items()
+        }
+        return stats
 
     def execution_stats(self):
         """Cluster-wide execution-tier and compile-cache counters.

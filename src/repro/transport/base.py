@@ -44,6 +44,25 @@ class Fabric:
     def node_ids(self):
         raise NotImplementedError
 
+    # -- node-to-node links (the DMP data plane) ---------------------------
+
+    def supports_peer(self):
+        """Whether nodes can exchange messages directly, without the
+        host relaying the bytes (the Data Management Process channel)."""
+        return False
+
+    def peer_request(self, src_id, dst_id, message, now_s=0.0):
+        """Send ``message`` from node ``src_id`` to node ``dst_id`` over
+        the peer link and return ``(response, elapsed_s)``.
+
+        ``elapsed_s`` is the modeled round-trip wire time for fabrics
+        with a simulated clock (the caller folds it into its own
+        ``ready_s``); real fabrics return 0.0 because wall time actually
+        passed.  Raises :class:`TransportError` when the fabric has no
+        peer links -- callers fall back to the host-relayed path.
+        """
+        raise TransportError("fabric has no node-to-node links")
+
     def close(self):
         pass
 

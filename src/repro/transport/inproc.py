@@ -41,6 +41,19 @@ class InProcFabric(Fabric):
     def add_node(self, node_id, handler):
         self._handlers[node_id] = handler
 
+    def supports_peer(self):
+        return True
+
+    def peer_request(self, src_id, dst_id, message, now_s=0.0):
+        """Direct node-to-node delivery: both legs serialise through the
+        wire format exactly like a host round trip, only loopback."""
+        if dst_id not in self._handlers:
+            raise TransportError("unknown peer node %r" % dst_id)
+        del src_id  # loopback: the sender's identity costs nothing
+        parsed = Message.from_bytes(message.to_bytes())
+        response, _ready = self._handlers[dst_id].handle(parsed, self.now_s())
+        return Message.from_bytes(response.to_bytes()), 0.0
+
     def connect(self, node_id):
         if node_id not in self._handlers:
             raise TransportError("unknown node %r" % node_id)

@@ -51,10 +51,45 @@ class SimFabric(Fabric):
         self.tx_bytes = 0
         self.rx_bytes = 0
         self.messages = 0
+        #: node-to-node traffic (the DMP data plane): these bytes never
+        #: touch the host NIC, which is the scaling win being modeled
+        self.peer_bytes = 0
+        self.peer_messages = 0
 
     def add_node(self, node_id, handler):
         self._handlers[node_id] = handler
         self._node_nics[node_id] = _Nic(self.sim)
+
+    def supports_peer(self):
+        return True
+
+    def peer_request(self, src_id, dst_id, message, now_s=0.0):
+        """Node-to-node request through the switch, bypassing the host.
+
+        Runs synchronously inside the calling node's handler (no nested
+        simulator run): the wire cost of both legs is *returned* and the
+        caller folds it into its own ``ready_s``, so the time still
+        shows up on the simulated clock.  Peer legs charge the network
+        model but not the host NIC ports -- exactly the contention the
+        peer-to-peer data plane removes.
+        """
+        if dst_id not in self._handlers:
+            raise TransportError("unknown peer node %r" % dst_id)
+        del src_id
+        net = self.netmodel
+        raw = message.to_bytes()
+        virtual = int(message.payload.get("virtual_nbytes", 0))
+        send_s = net.transfer_time(len(raw) + virtual) + net.proc_overhead_s
+        arrival_s = now_s + send_s
+        parsed = Message.from_bytes(raw)
+        response, ready_s = self._handlers[dst_id].handle(parsed, arrival_s)
+        response_raw = response.to_bytes()
+        response_virtual = int(response.payload.get("virtual_nbytes", 0))
+        recv_s = net.transfer_time(len(response_raw) + response_virtual)
+        self.peer_bytes += len(raw) + len(response_raw)
+        self.peer_messages += 1
+        elapsed_s = max(ready_s, arrival_s) + recv_s - now_s
+        return Message.from_bytes(response_raw), elapsed_s
 
     def connect(self, node_id):
         if node_id not in self._handlers:

@@ -130,6 +130,8 @@ class TcpFabric(Fabric):
         self._servers = {}
         self._addresses = {}
         self._channels = {}
+        self._peer_channels = {}
+        self._peer_lock = threading.Lock()
         self._t0 = time.perf_counter()
         for node_id, handler in (handlers or {}).items():
             self.add_node(node_id, handler)
@@ -153,13 +155,37 @@ class TcpFabric(Fabric):
     def node_ids(self):
         return sorted(self._addresses)
 
+    def peer_address(self, node_id):
+        """(host, port) a peer node listens on, for daemon deployments
+        where the remote NMP opens its own socket to the peer."""
+        return self._addresses.get(node_id)
+
+    def supports_peer(self):
+        return True
+
+    def peer_request(self, src_id, dst_id, message, now_s=0.0):
+        """Node-to-node request over a dedicated socket pair: the data
+        crosses the wire once, src -> dst, never through the host."""
+        if dst_id not in self._addresses:
+            raise TransportError("unknown peer node %r" % dst_id)
+        key = (src_id, dst_id)
+        with self._peer_lock:
+            channel = self._peer_channels.get(key)
+            if channel is None:
+                channel = TcpChannel(self._addresses[dst_id])
+                self._peer_channels[key] = channel
+        return channel.request(message), 0.0
+
     def now_s(self):
         return time.perf_counter() - self._t0
 
     def close(self):
         for channel in self._channels.values():
             channel.close()
+        for channel in self._peer_channels.values():
+            channel.close()
         for server in self._servers.values():
             server.close()
         self._channels.clear()
+        self._peer_channels.clear()
         self._servers.clear()

@@ -1,0 +1,579 @@
+"""Data Management Process tests: residency tables, peer-to-peer
+migration, eviction writeback, content dedup, and the differential
+guarantee that the data plane never changes results."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import NodeConfig, NodeManagementProcess
+from repro.cluster.dmp import ResidencyTable
+from repro.core import HaoCLSession
+from repro.core.icd import HOST
+from repro.ocl.errors import CLError
+from repro.serve import HaoCLService, Job
+from repro.transport.inproc import InProcFabric
+from repro.transport.message import Message
+
+INC = """
+__kernel void inc(__global int* a, int n) {
+    int i = get_global_id(0);
+    if (i < n) a[i] = a[i] + 1;
+}
+"""
+
+SAXPY = """
+__kernel void saxpy(__global float* y, __global const float* x,
+                    float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) y[i] = y[i] + a * x[i];
+}
+"""
+
+
+# -- residency table unit tests ------------------------------------------------
+
+
+class TestResidencyTable:
+    def test_unlimited_capacity_never_evicts(self):
+        table = ResidencyTable()
+        for handle in range(100):
+            assert table.admit(handle, 1 << 20) == []
+        assert table.resident_bytes == 100 << 20
+
+    def test_lru_eviction_order(self):
+        table = ResidencyTable(capacity_bytes=300)
+        table.admit(1, 100)
+        table.admit(2, 100)
+        table.admit(3, 100)
+        table.touch(1)  # 2 becomes the least recently used
+        victims = table.admit(4, 100)
+        assert [handle for handle, _record in victims] == [2]
+        assert 1 in table and 3 in table and 4 in table
+
+    def test_eviction_reports_dirty_flag(self):
+        table = ResidencyTable(capacity_bytes=200)
+        table.admit(1, 100)
+        table.mark_dirty(1)
+        table.admit(2, 100)
+        victims = table.admit(3, 100)
+        assert [(h, record.dirty) for h, record in victims] == [(1, True)]
+
+    def test_protected_handles_survive(self):
+        table = ResidencyTable(capacity_bytes=200)
+        table.admit(1, 100)
+        table.admit(2, 100)
+        victims = table.admit(3, 100, protected={1})
+        assert [h for h, _r in victims] == [2]
+        assert 1 in table
+
+    def test_overcommit_when_everything_protected(self):
+        table = ResidencyTable(capacity_bytes=200)
+        table.admit(1, 100)
+        table.admit(2, 100)
+        assert table.admit(3, 100, protected={1, 2}) == []
+        assert table.overcommits == 1
+
+    def test_drop_frees_bytes(self):
+        table = ResidencyTable(capacity_bytes=200)
+        table.admit(1, 150)
+        table.drop(1)
+        assert table.resident_bytes == 0
+        assert table.admit(2, 200) == []
+
+
+# -- peer-to-peer migration ----------------------------------------------------
+
+
+def _write_on_node(sess, ctx, buf, device, n=4):
+    prog = sess.program(ctx, INC)
+    queue = sess.queue(ctx, device)
+    kern = sess.kernel(prog, "inc", buf, np.int32(n))
+    sess.cl.enqueue_nd_range_kernel(queue, kern, (n,))
+    return queue
+
+
+class TestP2PMigration:
+    @pytest.fixture
+    def sess(self):
+        with HaoCLSession(gpu_nodes=2, mode="real", transport="inproc") as s:
+            yield s
+
+    def test_migration_bytes_are_p2p_not_host(self, sess):
+        ctx = sess.context()
+        buf = sess.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+        dev0, dev1 = sess.devices
+        _write_on_node(sess, ctx, buf, dev0)
+        icd = sess.cl.icd
+        host_to = icd.bytes_to_nodes
+        host_from = icd.bytes_from_nodes
+        icd.ensure_fresh(buf, dev1)
+        assert icd.dmp_bytes_p2p == buf.size
+        assert icd.bytes_host_relayed == 0
+        assert icd.bytes_to_nodes == host_to
+        assert icd.bytes_from_nodes == host_from
+        assert buf.fresh == {dev0.node_id, dev1.node_id}
+
+    def test_migrated_bytes_are_correct(self, sess):
+        """A kernel on node B sees exactly what node A wrote."""
+        ctx = sess.context()
+        buf = sess.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+        dev0, dev1 = sess.devices
+        _write_on_node(sess, ctx, buf, dev0)  # -> [1, 1, 1, 1]
+        q1 = _write_on_node(sess, ctx, buf, dev1)  # migrates, -> [2, 2, 2, 2]
+        out = sess.read_array(q1, buf, np.int32)
+        assert list(out) == [2, 2, 2, 2]
+        assert sess.cl.icd.bytes_host_relayed == 0
+
+    def test_node_stats_count_p2p_transfers(self, sess):
+        ctx = sess.context()
+        buf = sess.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+        dev0, dev1 = sess.devices
+        _write_on_node(sess, ctx, buf, dev0)
+        sess.cl.icd.ensure_fresh(buf, dev1)
+        stats = sess.stats()
+        assert stats[dev1.node_id]["dmp"]["bytes_pulled"] == buf.size
+        assert stats[dev1.node_id]["dmp"]["p2p_transfers"] == 1
+        assert stats["_host"]["transfers"]["dmp_bytes_p2p"] == buf.size
+
+    def test_sim_fabric_charges_peer_wire(self):
+        with HaoCLSession(gpu_nodes=2, mode="modeled", transport="sim") as sess:
+            ctx = sess.context()
+            buf = sess.synthetic_buffer(ctx, 1 << 20)
+            dev0, dev1 = sess.devices
+            queue = sess.queue(ctx, dev0)
+            sess.write(queue, buf, nbytes=buf.size)
+            prog = sess.program(ctx, INC)
+            kern = sess.kernel(prog, "inc", buf, np.int32(4))
+            sess.cl.enqueue_nd_range_kernel(queue, kern, (4,))
+            before = sess.host.fabric.peer_bytes
+            sess.cl.icd.ensure_fresh(buf, dev1)
+            assert sess.host.fabric.peer_messages == 1
+            assert sess.host.fabric.peer_bytes > before
+            assert sess.cl.icd.dmp_bytes_p2p == buf.size
+
+    def test_tcp_fabric_migrates_p2p(self):
+        with HaoCLSession(gpu_nodes=2, mode="real", transport="tcp") as sess:
+            ctx = sess.context()
+            buf = sess.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+            dev0, dev1 = sess.devices
+            _write_on_node(sess, ctx, buf, dev0)
+            q1 = _write_on_node(sess, ctx, buf, dev1)
+            out = sess.read_array(q1, buf, np.int32)
+            assert list(out) == [2, 2, 2, 2]
+            assert sess.cl.icd.dmp_bytes_p2p == buf.size
+            assert sess.cl.icd.bytes_host_relayed == 0
+
+
+class TestDmpPushOp:
+    """The source-driven half of the plan, exercised at the NMP level."""
+
+    def _cluster(self):
+        nmps = {
+            name: NodeManagementProcess(NodeConfig(name, ["gpu"], mode="real"))
+            for name in ("a", "b")
+        }
+        fabric = InProcFabric(nmps)
+        for nmp in nmps.values():
+            nmp.attach_fabric(fabric)
+        return nmps
+
+    def _setup_node(self, nmp, data=None):
+        devices, _ = nmp.handle(Message.request("get_device_ids"), 0.0)
+        handle = devices.payload["devices"][0]["handle"]
+        ctx = nmp.handle(Message.request("create_context", devices=[handle]),
+                         0.0)[0].payload["context"]
+        queue = nmp.handle(Message.request("create_queue", context=ctx,
+                                           device=handle), 0.0)[0].payload["queue"]
+        buf = nmp.handle(Message.request("create_buffer", context=ctx, size=16,
+                                         data=data), 0.0)[0].payload["buffer"]
+        return queue, buf
+
+    def test_push_moves_bytes_to_peer(self):
+        nmps = self._cluster()
+        payload = np.arange(4, dtype=np.int32)
+        src_queue, src_buf = self._setup_node(nmps["a"], data=payload)
+        dst_queue, dst_buf = self._setup_node(nmps["b"])
+        response, _ready = nmps["a"].handle(
+            Message.request(
+                "dmp_push", queue=src_queue, buffer=src_buf,
+                dst_node="b", dst_queue=dst_queue, dst_buffer=dst_buf,
+            ),
+            0.0,
+        )
+        assert not response.is_error, response.payload
+        assert response.payload["nbytes"] == 16
+        # the pushed replica is dirty on b until the host reads it back
+        assert nmps["b"].dmp.table.is_dirty(dst_buf)
+        read, _ready = nmps["b"].handle(
+            Message.request("read_buffer", queue=dst_queue, buffer=dst_buf),
+            0.0,
+        )
+        out = np.asarray(read.payload["data"]).view(np.int32)
+        assert list(out) == [0, 1, 2, 3]
+        assert nmps["a"].dmp.bytes_pushed == 16
+        # ...and a full host read back makes it clean again
+        assert not nmps["b"].dmp.table.is_dirty(dst_buf)
+
+
+# -- eviction + writeback ------------------------------------------------------
+
+
+class TestEvictionWriteback:
+    def test_dirty_eviction_writes_back_to_host(self):
+        """A kernel-written replica evicted under capacity pressure must
+        land in the host shadow, not vanish."""
+        with HaoCLSession(gpu_nodes=1, mode="real", transport="inproc",
+                          dmp_capacity_bytes=64) as sess:
+            ctx = sess.context()
+            dev = sess.devices[0]
+            buf = sess.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+            queue = _write_on_node(sess, ctx, buf, dev)  # dirty on the node
+            sess.finish(queue)
+            assert buf.fresh == {dev.node_id}
+            # fill the node past its 64-byte capacity: evicts buf (LRU)
+            filler = [sess.buffer_from(ctx, np.zeros(8, dtype=np.int32))
+                      for _ in range(8)]
+            for extra in filler:
+                sess.cl.icd.ensure_fresh(extra, dev)
+            icd = sess.cl.icd
+            assert icd.dmp_evictions > 0
+            assert icd.dmp_writebacks > 0
+            assert HOST in buf.fresh and dev.node_id not in buf.fresh
+            # the written values survived the eviction
+            assert list(buf.shadow.view(np.int32)) == [1, 1, 1, 1]
+
+    def test_clean_eviction_has_no_writeback(self):
+        with HaoCLSession(gpu_nodes=1, mode="real", transport="inproc",
+                          dmp_capacity_bytes=64) as sess:
+            ctx = sess.context()
+            dev = sess.devices[0]
+            buf = sess.buffer_from(ctx, np.arange(4, dtype=np.int32))
+            sess.cl.icd.ensure_fresh(buf, dev)  # replicated, host still fresh
+            for _ in range(8):
+                extra = sess.buffer_from(ctx, np.zeros(8, dtype=np.int32))
+                sess.cl.icd.ensure_fresh(extra, dev)
+            icd = sess.cl.icd
+            assert icd.dmp_evictions > 0
+            assert icd.dmp_writebacks == 0
+            assert buf.fresh == {HOST}
+
+    def test_evicted_replica_reships_on_next_use(self):
+        with HaoCLSession(gpu_nodes=1, mode="real", transport="inproc",
+                          dmp_capacity_bytes=64) as sess:
+            ctx = sess.context()
+            dev = sess.devices[0]
+            buf = sess.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+            queue = _write_on_node(sess, ctx, buf, dev)
+            for _ in range(8):
+                extra = sess.buffer_from(ctx, np.zeros(8, dtype=np.int32))
+                sess.cl.icd.ensure_fresh(extra, dev)
+            assert dev.node_id not in buf.fresh
+            # running the kernel again re-ships the written-back bytes
+            _write_on_node(sess, ctx, buf, dev)
+            out = sess.read_array(queue, buf, np.int32)
+            assert list(out) == [2, 2, 2, 2]
+
+    def test_single_buffer_over_capacity_rejected(self):
+        with HaoCLSession(gpu_nodes=1, mode="real", transport="inproc",
+                          dmp_capacity_bytes=16) as sess:
+            ctx = sess.context()
+            dev = sess.devices[0]
+            buf = sess.buffer_from(ctx, np.zeros(64, dtype=np.int32))
+            for _ in range(3):  # retries must not leak node memory
+                with pytest.raises(CLError):
+                    sess.cl.icd.ensure_fresh(buf, dev)
+            nmp = sess.host.fabric._handlers[dev.node_id]
+            assert len(nmp._tables["buffer"]) == 0
+            assert nmp.dmp.table.resident_bytes == 0
+
+    def test_node_stats_expose_residency(self):
+        with HaoCLSession(gpu_nodes=1, mode="real", transport="inproc",
+                          dmp_capacity_bytes=1024) as sess:
+            ctx = sess.context()
+            dev = sess.devices[0]
+            buf = sess.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+            sess.cl.icd.ensure_fresh(buf, dev)
+            dmp = sess.stats()[dev.node_id]["dmp"]
+            assert dmp["capacity_bytes"] == 1024
+            assert dmp["resident_bytes"] == buf.size
+            assert dmp["buffers"] == 1
+
+
+# -- content dedup -------------------------------------------------------------
+
+
+def _saxpy_job(tenant, x, n=64):
+    y = np.ones(n, dtype=np.float32)
+    return Job(tenant, SAXPY, "saxpy", [y, x, 2.0, np.int32(n)], (n,))
+
+
+class TestContentDedup:
+    def test_repeated_inputs_ship_once(self):
+        """Identical input arrays across jobs/tenants hit the per-node
+        dedup cache instead of re-crossing the host link."""
+        with HaoCLSession(gpu_nodes=1, mode="real", transport="inproc") as sess:
+            x = np.arange(64, dtype=np.float32)
+            with HaoCLService(sess, batching=False) as service:
+                for tenant in ("t0", "t1", "t2", "t3"):
+                    service.submit(_saxpy_job(tenant, x))
+                service.run()
+            icd = sess.cl.icd
+            assert icd.dmp_dedup_hits >= 3  # x shipped once, reused 3x
+            assert icd.dmp_dedup_bytes_saved >= 3 * x.nbytes
+
+    def test_dedup_results_still_correct(self):
+        with HaoCLSession(gpu_nodes=1, mode="real", transport="inproc") as sess:
+            x = np.arange(64, dtype=np.float32)
+            results = []
+            with HaoCLService(sess, batching=False) as service:
+                jobs = [service.submit(_saxpy_job("t%d" % i, x))
+                        for i in range(4)]
+                service.run()
+                results = [job.result["y"] for job in jobs]
+            assert sess.cl.icd.dmp_dedup_hits > 0
+            expected = 1.0 + 2.0 * x
+            for out in results:
+                np.testing.assert_array_equal(out, expected)
+
+    def test_distinct_inputs_do_not_dedup(self):
+        with HaoCLSession(gpu_nodes=1, mode="real", transport="inproc") as sess:
+            with HaoCLService(sess, batching=False) as service:
+                for i in range(3):
+                    # every array unique -- including y across jobs
+                    x = np.arange(64, dtype=np.float32) + 1000.0 * i
+                    y = np.arange(64, dtype=np.float32) - 7.0 * i
+                    job = Job("t%d" % i, SAXPY, "saxpy",
+                              [y, x, 2.0, np.int32(64)], (64,))
+                    service.submit(job)
+                service.run()
+            assert sess.cl.icd.dmp_dedup_hits == 0
+
+    def test_cross_node_dedup_pulls_peer_to_peer(self):
+        """Content already on node A reaches node B over the peer link,
+        sparing the host NIC entirely."""
+        with HaoCLSession(gpu_nodes=2, mode="real", transport="inproc") as sess:
+            ctx = sess.context()
+            dev0, dev1 = sess.devices
+            data = np.arange(16, dtype=np.int32)
+            first = sess.buffer_from(ctx, data)
+            first.content_digest = "digest-x"
+            sess.cl.icd.ensure_fresh(first, dev0)
+            sess.cl.icd.release_buffer(first)  # donated to node0's cache
+            second = sess.buffer_from(ctx, data)
+            second.content_digest = "digest-x"
+            host_to = sess.cl.icd.bytes_to_nodes
+            sess.cl.icd.ensure_fresh(second, dev1)
+            icd = sess.cl.icd
+            assert icd.dmp_dedup_hits == 1
+            assert icd.dmp_bytes_p2p == second.size
+            assert icd.bytes_to_nodes == host_to  # host link untouched
+            queue = sess.queue(ctx, dev1)
+            out = sess.read_array(queue, second, np.int32)
+            np.testing.assert_array_equal(out, data)
+
+    def test_batch_exposes_distinct_input_digests(self):
+        """The batcher's digest tagging: a batch reports the distinct
+        payloads the data plane must ship (repeats are dedup hits)."""
+        from repro.serve.batcher import Batch
+
+        x = np.arange(64, dtype=np.float32)
+        jobs = [_saxpy_job("t%d" % i, x) for i in range(3)]
+        batch = Batch(jobs)
+        digests = batch.input_digests()
+        # 3 jobs x (y, x) arrays, but only 2 distinct payloads: the
+        # shared x and the identical ones-vector y
+        assert len(digests) == 2
+        assert digests == sorted(set(
+            d for job in jobs for d in job.input_digests() if d
+        ))
+
+    def test_dedup_cache_respects_byte_budget(self):
+        with HaoCLSession(gpu_nodes=1, mode="real", transport="inproc",
+                          dedup_cache_bytes=128) as sess:
+            ctx = sess.context()
+            dev = sess.devices[0]
+            icd = sess.cl.icd
+            for i in range(4):
+                buf = sess.buffer_from(ctx, np.full(16, i, dtype=np.int32))
+                buf.content_digest = "digest-%d" % i
+                icd.ensure_fresh(buf, dev)
+                icd.release_buffer(buf)
+            cache = icd._content_cache[dev.node_id]
+            assert sum(n for _h, n in cache.values()) <= 128
+            assert len(cache) == 2  # 2 x 64 bytes fit, LRU dropped
+
+
+# -- device-side copies (satellite bugfix) -------------------------------------
+
+
+class TestDeviceSideCopy:
+    @pytest.fixture
+    def sess(self):
+        with HaoCLSession(gpu_nodes=1, mode="real", transport="inproc") as s:
+            yield s
+
+    def test_same_node_copy_never_round_trips_host(self, sess):
+        """src fresh on a node -> the copy runs on the node's device;
+        the old path fetched the bytes to the host and re-shipped."""
+        ctx = sess.context()
+        dev = sess.devices[0]
+        src = sess.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+        queue = _write_on_node(sess, ctx, src, dev)  # src fresh on node only
+        dst = sess.empty_buffer(ctx, src.size)
+        icd = sess.cl.icd
+        before_from = icd.bytes_from_nodes
+        before_to = icd.bytes_to_nodes
+        sess.cl.enqueue_copy_buffer(queue, src, dst)
+        assert icd.bytes_from_nodes == before_from  # no host fetch
+        assert dst.fresh == {dev.node_id}
+        out = sess.read_array(queue, dst, np.int32)
+        assert list(out) == [1, 1, 1, 1]
+        # exactly one read crossed the wire: the final result readback
+        assert icd.bytes_from_nodes == before_from + dst.size
+        assert icd.bytes_to_nodes == before_to
+
+    def test_copy_honors_offsets_and_nbytes(self, sess):
+        ctx = sess.context()
+        dev = sess.devices[0]
+        src = sess.buffer_from(ctx, np.arange(8, dtype=np.int32))
+        dst = sess.buffer_from(ctx, np.full(8, -1, dtype=np.int32))
+        queue = sess.queue(ctx, dev)
+        # copy src[2:5] over dst[1:4] (element offsets x4 bytes)
+        sess.cl.enqueue_copy_buffer(queue, src, dst, nbytes=12,
+                                    src_offset=8, dst_offset=4)
+        out = sess.read_array(queue, dst, np.int32)
+        assert list(out) == [-1, 2, 3, 4, -1, -1, -1, -1]
+
+    def test_device_side_partial_copy_with_both_resident(self, sess):
+        """A partial copy stays device-side when the node holds fresh
+        bytes of both operands."""
+        ctx = sess.context()
+        dev = sess.devices[0]
+        src = sess.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+        queue = _write_on_node(sess, ctx, src, dev)  # -> [1,1,1,1] on node
+        dst = sess.buffer_from(ctx, np.full(4, 9, dtype=np.int32))
+        sess.cl.icd.ensure_fresh(dst, dev)  # dst resident and fresh
+        icd = sess.cl.icd
+        before_from = icd.bytes_from_nodes
+        sess.cl.enqueue_copy_buffer(queue, src, dst, nbytes=8, dst_offset=8)
+        assert icd.bytes_from_nodes == before_from  # no host round trip
+        out = sess.read_array(queue, dst, np.int32)
+        assert list(out) == [9, 9, 1, 1]
+
+    def test_copy_region_validation(self, sess):
+        ctx = sess.context()
+        dev = sess.devices[0]
+        src = sess.buffer_from(ctx, np.arange(4, dtype=np.int32))
+        dst = sess.empty_buffer(ctx, 8)
+        queue = sess.queue(ctx, dev)
+        with pytest.raises(CLError):
+            sess.cl.enqueue_copy_buffer(queue, src, dst)  # 16 > 8
+        with pytest.raises(CLError):
+            sess.cl.enqueue_copy_buffer(queue, src, dst, nbytes=8,
+                                        src_offset=12)
+
+    def test_api_copy_with_offsets(self, sess):
+        from repro.core import api as cl
+
+        ctx = sess.context()
+        dev = sess.devices[0]
+        queue = sess.queue(ctx, dev)
+        cl.set_current(sess.cl)
+        try:
+            src = sess.buffer_from(ctx, np.arange(4, dtype=np.int32))
+            dst = sess.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+            cl.clEnqueueCopyBuffer(queue, src, dst, src_offset=4,
+                                   dst_offset=0, nbytes=4)
+            out = sess.read_array(queue, dst, np.int32)
+            assert list(out) == [1, 0, 0, 0]
+        finally:
+            cl.set_current(None)
+
+
+# -- the nbytes=0 regression (satellite bugfix) --------------------------------
+
+
+class TestZeroByteRead:
+    def test_synthetic_read_of_zero_bytes_charges_nothing(self):
+        nmp = NodeManagementProcess(NodeConfig("n0", ["gpu"], mode="modeled"))
+        devices, _ = nmp.handle(Message.request("get_device_ids"), 0.0)
+        handle = devices.payload["devices"][0]["handle"]
+        ctx = nmp.handle(Message.request("create_context", devices=[handle]),
+                         0.0)[0].payload["context"]
+        queue = nmp.handle(Message.request("create_queue", context=ctx,
+                                           device=handle), 0.0)[0].payload["queue"]
+        buf = nmp.handle(Message.request("create_buffer", context=ctx,
+                                         size=1 << 20, synthetic=True),
+                         0.0)[0].payload["buffer"]
+        response, _ready = nmp.handle(
+            Message.request("read_buffer", queue=queue, buffer=buf,
+                            synthetic_ack=True, nbytes=0),
+            0.0,
+        )
+        assert not response.is_error
+        # 0 must mean zero bytes, not "default to the whole buffer"
+        assert response.payload["nbytes"] == 0
+        assert response.payload["virtual_nbytes"] == 0
+
+    def test_omitted_nbytes_still_reads_whole_buffer(self):
+        nmp = NodeManagementProcess(NodeConfig("n0", ["gpu"], mode="modeled"))
+        devices, _ = nmp.handle(Message.request("get_device_ids"), 0.0)
+        handle = devices.payload["devices"][0]["handle"]
+        ctx = nmp.handle(Message.request("create_context", devices=[handle]),
+                         0.0)[0].payload["context"]
+        queue = nmp.handle(Message.request("create_queue", context=ctx,
+                                           device=handle), 0.0)[0].payload["queue"]
+        buf = nmp.handle(Message.request("create_buffer", context=ctx,
+                                         size=4096, synthetic=True),
+                         0.0)[0].payload["buffer"]
+        response, _ready = nmp.handle(
+            Message.request("read_buffer", queue=queue, buffer=buf,
+                            synthetic_ack=True),
+            0.0,
+        )
+        assert response.payload["nbytes"] == 4096
+
+
+# -- differential: the data plane never changes results ------------------------
+
+
+class TestDifferential:
+    def _run_pipeline(self, dmp):
+        """Two kernels forced onto different nodes, chained through one
+        buffer: the migration path (p2p or relay) feeds kernel 2."""
+        with HaoCLSession(gpu_nodes=2, mode="real", transport="inproc",
+                          dmp=dmp) as sess:
+            ctx = sess.context()
+            dev0, dev1 = sess.devices
+            buf = sess.buffer_from(ctx, np.arange(16, dtype=np.int32))
+            _write_on_node(sess, ctx, buf, dev0, n=16)
+            q1 = _write_on_node(sess, ctx, buf, dev1, n=16)
+            out = np.array(sess.read_array(q1, buf, np.int32))
+            stats = dict(sess.cl.icd.transfer_stats())
+            return out, stats
+
+    def test_results_bit_identical_dmp_on_vs_off(self):
+        with_dmp, stats_on = self._run_pipeline(dmp=True)
+        without_dmp, stats_off = self._run_pipeline(dmp=False)
+        assert with_dmp.tobytes() == without_dmp.tobytes()
+        assert stats_on["dmp_bytes_p2p"] > 0
+        assert stats_on["bytes_host_relayed"] == 0
+        assert stats_off["dmp_bytes_p2p"] == 0
+        assert stats_off["bytes_host_relayed"] > 0
+
+    def _serve_round(self, dmp):
+        with HaoCLSession(gpu_nodes=2, mode="real", transport="inproc",
+                          dmp=dmp) as sess:
+            x = np.arange(64, dtype=np.float32)
+            with HaoCLService(sess, max_batch=4) as service:
+                jobs = [service.submit(_saxpy_job("t%d" % (i % 3), x))
+                        for i in range(12)]
+                service.run()
+                return [np.array(job.result["y"]) for job in jobs]
+
+    def test_serve_results_bit_identical_dmp_on_vs_off(self):
+        with_dmp = self._serve_round(dmp=True)
+        without_dmp = self._serve_round(dmp=False)
+        assert len(with_dmp) == len(without_dmp) == 12
+        for a, b in zip(with_dmp, without_dmp):
+            assert a.tobytes() == b.tobytes()

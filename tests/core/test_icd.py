@@ -78,8 +78,9 @@ class TestConsistencyProtocol:
         icd.ensure_fresh(buf, device)
         assert icd.bytes_to_nodes == sent_once  # no re-send while fresh
 
-    def test_host_relay_between_nodes(self, sess):
-        """Data written on node A reaches node B via the host (2 hops)."""
+    def test_p2p_migration_between_nodes(self, sess):
+        """Data written on node A reaches node B over the peer link --
+        one hop, no host relay (the DMP data plane, the default)."""
         ctx = sess.context()
         prog = sess.program(ctx, SRC)
         buf = sess.buffer_from(ctx, np.zeros(4, dtype=np.int32))
@@ -92,12 +93,38 @@ class TestConsistencyProtocol:
         before_from = icd.bytes_from_nodes
         before_to = icd.bytes_to_nodes
         icd.ensure_fresh(buf, dev1)
-        assert icd.bytes_from_nodes == before_from + buf.size  # fetch leg
-        assert icd.bytes_to_nodes == before_to + buf.size  # push leg
-        assert HOST in buf.fresh
+        assert icd.bytes_from_nodes == before_from  # no fetch leg
+        assert icd.bytes_to_nodes == before_to  # no push leg
+        assert icd.dmp_bytes_p2p == buf.size
+        assert icd.bytes_host_relayed == 0
+        assert HOST not in buf.fresh  # the host never saw the bytes
         assert dev1.node_id in buf.fresh
+
+    def test_host_relay_between_nodes_with_dmp_off(self):
+        """With the DMP disabled, migration falls back to the legacy
+        owner -> host -> node relay (2 hops)."""
+        with HaoCLSession(gpu_nodes=2, mode="real", transport="inproc",
+                          dmp=False) as sess:
+            ctx = sess.context()
+            prog = sess.program(ctx, SRC)
+            buf = sess.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+            dev0, dev1 = sess.devices
+            q0 = sess.queue(ctx, dev0)
+            kern = sess.kernel(prog, "inc", buf, np.int32(4))
+            sess.cl.enqueue_nd_range_kernel(q0, kern, (4,))
+            icd = sess.cl.icd
+            before_from = icd.bytes_from_nodes
+            before_to = icd.bytes_to_nodes
+            icd.ensure_fresh(buf, dev1)
+            assert icd.bytes_from_nodes == before_from + buf.size  # fetch leg
+            assert icd.bytes_to_nodes == before_to + buf.size  # push leg
+            assert icd.bytes_host_relayed == buf.size
+            assert icd.dmp_bytes_p2p == 0
+            assert HOST in buf.fresh
+            assert dev1.node_id in buf.fresh
 
     def test_transfer_stats_shape(self, sess):
         stats = sess.cl.icd.transfer_stats()
-        assert set(stats) == {"bytes_to_nodes", "bytes_from_nodes",
-                              "transfers"}
+        assert {"bytes_to_nodes", "bytes_from_nodes", "transfers",
+                "bytes_host_relayed", "dmp_bytes_p2p", "dmp_dedup_hits",
+                "dmp_evictions", "dmp_writebacks"} <= set(stats)

@@ -1,0 +1,111 @@
+"""Regression tests for the batching-debt bug: a tenant whose lane was
+drained by ``take_compatible`` (deficit driven negative) must repay that
+debt on later turns -- emptying the lane must not reset it to zero."""
+
+from repro.serve.job import Job
+from repro.serve.queue import FairShareQueue
+
+SRC = "__kernel void k(__global int* a) { a[get_global_id(0)] = 1; }"
+OTHER = "__kernel void k2(__global int* a) { a[get_global_id(0)] = 2; }"
+
+
+def make_job(tenant, cost=100, priority=0, source=SRC, kernel="k"):
+    return Job(tenant, source, kernel, [], (1,), priority=priority,
+               footprint_bytes=cost)
+
+
+def drain(queue, count):
+    out = []
+    for _ in range(count):
+        job = queue.next_job()
+        if job is None:
+            break
+        out.append(job)
+    return out
+
+
+class TestDebtPreserved:
+    def test_emptied_lane_keeps_negative_deficit(self):
+        """The regression itself: next_job's rotation passing the
+        emptied, indebted lane must preserve the debt (it used to zero
+        it, forgiving the whole batch)."""
+        queue = FairShareQueue(quantum=100, cost="bytes")
+        for _ in range(8):
+            queue.push(make_job("a", cost=100))
+        for _ in range(4):
+            queue.push(make_job("b", cost=100, source=OTHER, kernel="k2"))
+        lead = queue.next_job()
+        assert lead.tenant == "a"
+        taken = queue.take_compatible(lead.signature(), 7)
+        assert len(taken) == 7  # lane a fully drained into debt
+        lane_a = queue.lane("a")
+        assert lane_a.deficit == -700.0
+        # serving b while a sits empty must not forgive a's debt
+        served = drain(queue, 2)
+        assert [job.tenant for job in served] == ["b", "b"]
+        assert lane_a.deficit == -700.0
+
+    def test_batch_then_drain_tenant_does_not_exceed_weight_share(self):
+        """The acceptance scenario: tenant a batches 8 jobs out in one
+        take_compatible, then competes with b for the next 8 slots.  With
+        debt preserved, a's total served share converges to its weight
+        share (1/2) instead of (8 + 4)/16."""
+        queue = FairShareQueue(quantum=100, cost="bytes")
+        queue.register("a", weight=1.0)
+        queue.register("b", weight=1.0)
+        for _ in range(8):
+            queue.push(make_job("a", cost=100))
+        lead = queue.next_job()
+        queue.take_compatible(lead.signature(), 7)  # a's lane drained
+        lane_a = queue.lane("a")
+        assert lane_a.deficit <= -600  # 8 jobs on ~1 quantum of credit
+        # now both tenants compete for 8 more dispatch slots
+        for _ in range(8):
+            queue.push(make_job("a", cost=100))
+            queue.push(make_job("b", cost=100))
+        served = [job.tenant for job in drain(queue, 8)]
+        # b must get (almost) all of them while a repays its debt:
+        # a served 8 early + late slots; fair share of 16 total is 8
+        total_a = 8 + served.count("a")
+        assert total_a <= 9  # at most one slot of slack, not 12
+        assert served.count("b") >= 7
+
+    def test_weighted_debt_repayment_rate(self):
+        """A heavier tenant repays the same byte debt in fewer turns."""
+        queue = FairShareQueue(quantum=100, cost="bytes")
+        queue.register("heavy", weight=4.0)
+        queue.register("light", weight=1.0)
+        for name in ("heavy", "light"):
+            queue.lane(name).deficit = -400.0  # same debt for both
+            for _ in range(10):
+                queue.push(make_job(name, cost=100))
+        served = [job.tenant for job in drain(queue, 10)]
+        assert served.count("heavy") > served.count("light")
+
+    def test_positive_credit_still_zeroed_on_idle(self):
+        """The other half of the rule is unchanged: an idle lane banks
+        no *credit* (it only keeps debt)."""
+        queue = FairShareQueue(quantum=100, cost="bytes")
+        queue.register("idle")
+        for _ in range(20):
+            queue.push(make_job("busy", cost=100))
+        drain(queue, 10)
+        assert queue.lane("idle").deficit == 0.0
+        queue.push(make_job("idle", cost=100))
+        queue.push(make_job("idle", cost=100))
+        served = [job.tenant for job in drain(queue, 4)]
+        assert served.count("idle") <= 2
+
+    def test_requeue_still_refunds_after_debt_fix(self):
+        """Deferral refunds must compose with preserved debt: a job
+        pulled into a batch and requeued leaves the lane's deficit as if
+        it had never been taken."""
+        queue = FairShareQueue(quantum=100, cost="bytes")
+        for _ in range(2):
+            queue.push(make_job("a", cost=100))
+        lead = queue.next_job()
+        before = queue.lane("a").deficit
+        taken = queue.take_compatible(lead.signature(), 1)
+        assert len(taken) == 1
+        queue.requeue(taken[0])
+        assert queue.lane("a").deficit == before
