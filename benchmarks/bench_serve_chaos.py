@@ -1,0 +1,108 @@
+"""Serving throughput under fault injection.
+
+Runs the same multi-tenant job mix twice -- fault-free, then with one
+node killed mid-pipeline -- and records both throughputs plus the
+recovery counters into ``BENCH_serve.json`` at the repo root (a
+trajectory file: each run appends a record, so the fault-tolerance
+overhead is tracked across PRs).
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_serve_chaos.py -q
+Quick mode (CI):  BENCH_QUICK=1 ... (fewer jobs, same shape)
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core import HaoCLSession
+from repro.serve import HaoCLService, Job
+from repro.serve.job import DONE
+from repro.testing import ChaosPlan
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+JOBS = 16 if QUICK else 48
+N = 128
+SEED = 1
+
+SAXPY = """
+__kernel void saxpy(__global float* y, __global const float* x,
+                    float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) y[i] = y[i] + a * x[i];
+}
+"""
+
+TRAJECTORY = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "BENCH_serve.json")
+
+
+def saxpy_job(tenant, seed):
+    rng = np.random.default_rng(seed)
+    y = rng.standard_normal(N).astype(np.float32)
+    x = rng.standard_normal(N).astype(np.float32)
+    return Job(tenant, SAXPY, "saxpy", [y, x, np.float32(2.0), np.int32(N)],
+               (N,))
+
+
+def serve_round(chaos=None):
+    """One full serve run; returns (jobs, wall seconds, fault counters)."""
+    with HaoCLSession(gpu_nodes=3, mode="real", transport="inproc",
+                      chaos=chaos) as session:
+        with HaoCLService(session, max_retries=3) as service:
+            for index in range(4):
+                service.register_tenant("t%d" % index)
+            jobs = [service.submit(saxpy_job("t%d" % (i % 4), seed=i))
+                    for i in range(JOBS)]
+            start = time.perf_counter()
+            service.run()
+            elapsed = time.perf_counter() - start
+            fault = service.fault_stats()
+    return jobs, elapsed, fault
+
+
+def append_record(record):
+    trajectory = []
+    if os.path.exists(TRAJECTORY):
+        with open(TRAJECTORY, "r", encoding="utf-8") as fh:
+            trajectory = json.load(fh)
+    trajectory.append(record)
+    with open(TRAJECTORY, "w", encoding="utf-8") as fh:
+        json.dump(trajectory, fh, indent=2)
+        fh.write("\n")
+
+
+class TestServeChaosThroughput:
+    def test_throughput_with_and_without_node_kill(self):
+        clean_jobs, clean_s, clean_fault = serve_round()
+        assert all(job.state == DONE for job in clean_jobs)
+        assert clean_fault["node_losses"] == 0
+        victim = clean_jobs[0].device.node_id
+
+        plan = ChaosPlan(seed=SEED)
+        plan.kill(victim, method="enqueue_ndrange", occurrence=3)
+        chaos_jobs, chaos_s, fault = serve_round(plan)
+        assert all(job.state == DONE for job in chaos_jobs)
+        assert fault["node_losses"] == 1
+        assert fault["jobs_retried"] >= 1
+
+        record = {
+            "bench": "serve_chaos",
+            "date": time.strftime("%Y-%m-%d"),
+            "quick": QUICK,
+            "jobs": JOBS,
+            "nodes": 3,
+            "chaos_seed": SEED,
+            "kill": {"node": victim, "method": "enqueue_ndrange",
+                     "occurrence": 3},
+            "fault_free_jobs_per_s": round(JOBS / clean_s, 1),
+            "one_kill_jobs_per_s": round(JOBS / chaos_s, 1),
+            "recovery": fault,
+        }
+        append_record(record)
+        print("\nfault-free: %5.1f jobs/s   one kill: %5.1f jobs/s   "
+              "(retried %d, losses %d)"
+              % (record["fault_free_jobs_per_s"],
+                 record["one_kill_jobs_per_s"],
+                 fault["jobs_retried"], fault["node_losses"]))

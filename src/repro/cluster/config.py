@@ -17,7 +17,7 @@ class NodeConfig:
     """One device node entry."""
 
     def __init__(self, node_id, devices, host="127.0.0.1", port=0, mode="modeled",
-                 dmp_capacity_bytes=None):
+                 dmp_capacity_bytes=None, heartbeat_timeout_s=None):
         if not devices:
             raise ValueError("node %r declares no devices" % node_id)
         for kind in devices:
@@ -32,6 +32,11 @@ class NodeConfig:
             raise ValueError(
                 "node %r: dmp_capacity_bytes must be positive or None" % node_id
             )
+        if heartbeat_timeout_s is not None and float(heartbeat_timeout_s) <= 0:
+            raise ValueError(
+                "node %r: heartbeat_timeout_s must be positive or None"
+                % node_id
+            )
         self.node_id = str(node_id)
         self.devices = list(devices)
         self.host = host
@@ -41,6 +46,12 @@ class NodeConfig:
         #: None means every replica fits
         self.dmp_capacity_bytes = (
             None if dmp_capacity_bytes is None else int(dmp_capacity_bytes)
+        )
+        #: per-node grace period before the host declares this node lost;
+        #: on TCP deployments it doubles as the request timeout toward
+        #: the node.  None falls back to the host's cluster-wide default.
+        self.heartbeat_timeout_s = (
+            None if heartbeat_timeout_s is None else float(heartbeat_timeout_s)
         )
 
     def to_dict(self):
@@ -53,6 +64,8 @@ class NodeConfig:
         }
         if self.dmp_capacity_bytes is not None:
             out["dmp_capacity_bytes"] = self.dmp_capacity_bytes
+        if self.heartbeat_timeout_s is not None:
+            out["heartbeat_timeout_s"] = self.heartbeat_timeout_s
         return out
 
     @classmethod
@@ -64,6 +77,7 @@ class NodeConfig:
             data.get("port", 0),
             data.get("mode", "modeled"),
             data.get("dmp_capacity_bytes"),
+            data.get("heartbeat_timeout_s"),
         )
 
     def __repr__(self):

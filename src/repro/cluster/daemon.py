@@ -47,11 +47,17 @@ def main(argv=None):
                         choices=("real", "modeled"))
     parser.add_argument("--dmp-capacity-bytes", type=int, default=None,
                         help="cap on resident buffer bytes (LRU eviction)")
+    parser.add_argument("--heartbeat-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="advertised grace period before the host "
+                             "declares this node lost (also the host's "
+                             "TCP request timeout toward it)")
     args = parser.parse_args(argv)
     node_config = NodeConfig(
         args.node_id, args.devices.split(","),
         host=args.host, port=args.port, mode=args.mode,
         dmp_capacity_bytes=args.dmp_capacity_bytes,
+        heartbeat_timeout_s=args.heartbeat_timeout,
     )
     server, _nmp = serve(node_config, host=args.host, port=args.port)
     # line-oriented announce so a parent process can scrape the port

@@ -160,7 +160,7 @@ class DataManagementProcess:
             if channel is None:
                 from repro.transport.tcp import TcpChannel
 
-                channel = TcpChannel(tuple(addr))
+                channel = TcpChannel(tuple(addr), node_id=dst_node)
                 self._peer_channels[dst_node] = channel
             return channel.request(message), 0.0
         from repro.transport.base import TransportError

@@ -5,32 +5,64 @@ device-ID request message to each, and records the global mapping in a
 :class:`repro.cluster.registry.DeviceRegistry`.  All higher layers (the
 ICD, the wrapper lib) talk to nodes exclusively through
 :meth:`HostProcess.call`.
+
+The host is also the failure detector: it heartbeats every node
+(:meth:`heartbeat`, optionally on a background thread for wall-clock
+fabrics) and, when a node stops answering, fires the ``node_lost``
+event -- registered callbacks (the ICD's freshness cleanup, the serving
+layer's retry machinery) run once per loss, with the departed node's
+devices already removed from the registry.  Nodes can also join or
+leave at runtime (:meth:`add_node` / :meth:`mark_lost`), which is what
+the elasticity tests drive.
 """
+
+import threading
 
 from repro.cluster.nmp import NodeManagementProcess
 from repro.cluster.registry import DeviceRegistry
 from repro.ocl.errors import CLError
+from repro.transport.base import NodeLostError, TransportError
 from repro.transport.inproc import InProcFabric
 from repro.transport.message import Message
 from repro.transport.sim import SimFabric
 from repro.transport.tcp import TcpFabric
 
+#: default grace period before an unresponsive node is declared lost
+DEFAULT_HEARTBEAT_TIMEOUT_S = 5.0
+
 
 class HostProcess:
     """The single host node of a HaoCL cluster."""
 
-    def __init__(self, config, fabric):
+    def __init__(self, config, fabric, heartbeat_interval_s=None,
+                 heartbeat_timeout_s=None):
         self.config = config
         self.fabric = fabric
         self.registry = DeviceRegistry()
         self._channels = {}
+        #: nodes declared dead; every call to them short-circuits with
+        #: NodeLostError instead of re-dialing a corpse
+        self.lost_nodes = set()
+        self._node_lost_callbacks = []
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_timeout_s = (
+            DEFAULT_HEARTBEAT_TIMEOUT_S if heartbeat_timeout_s is None
+            else float(heartbeat_timeout_s)
+        )
+        #: node_id -> fabric time of the last successful contact
+        self.last_seen = {}
+        self._hb_thread = None
+        self._hb_stop = threading.Event()
+        #: NMP construction kwargs, reused when a node joins at runtime
+        self._node_kwargs = {}
         self._discover()
 
     # -- construction helpers ---------------------------------------------------
 
     @classmethod
     def launch(cls, config, transport="inproc", netmodel=None, fastpaths=None,
-               vectorize=True, dmp_capacity_bytes=None):
+               vectorize=True, dmp_capacity_bytes=None, chaos=None,
+               heartbeat_interval_s=None, heartbeat_timeout_s=None):
         """Spin up NMPs for every configured node on the chosen transport.
 
         ``transport`` is one of ``inproc``, ``sim``, ``tcp``.  For ``sim``
@@ -40,6 +72,13 @@ class HostProcess:
         every node (fast paths and the interpreter remain).
         ``dmp_capacity_bytes`` caps every node's buffer residency (LRU
         eviction with dirty writeback); None means unlimited.
+
+        ``chaos`` is an optional :class:`repro.testing.chaos.ChaosPlan`;
+        the fabric is wrapped in its fault-injection layer *before* the
+        DMPs attach, so both the host control path and the peer data
+        plane cross it.  ``heartbeat_interval_s`` starts a background
+        heartbeat sweep on wall-clock fabrics (sim fabrics are driven
+        manually via :meth:`heartbeat` to stay deterministic).
         """
         handlers = {
             node.node_id: NodeManagementProcess(
@@ -56,20 +95,34 @@ class HostProcess:
             fabric = TcpFabric(handlers)
         else:
             raise ValueError("unknown transport %r" % transport)
+        if chaos is not None:
+            fabric = chaos.wrap(fabric)
         # wire every node's Data Management Process to the peer links so
         # host-planned transfers execute node-to-node
         for handler in handlers.values():
             handler.attach_fabric(fabric)
-        return cls(config, fabric)
+        host = cls(config, fabric,
+                   heartbeat_interval_s=heartbeat_interval_s,
+                   heartbeat_timeout_s=heartbeat_timeout_s)
+        host._node_kwargs = {
+            "fastpaths": fastpaths, "vectorize": vectorize,
+            "dmp_capacity_bytes": dmp_capacity_bytes,
+        }
+        if heartbeat_interval_s and getattr(fabric, "sim", None) is None:
+            host.start_heartbeat()
+        return host
 
     @classmethod
-    def connect_remote(cls, config):
+    def connect_remote(cls, config, heartbeat_interval_s=None,
+                       heartbeat_timeout_s=None):
         """Connect to NMP daemons already running in other processes.
 
         Every node in the configuration must carry its (host, port) --
         the deployment the system configuration file describes (§III-C):
         start each node with ``python -m repro.cluster.daemon``, fill the
-        ports into the config, then call this.
+        ports into the config, then call this.  Per-node
+        ``heartbeat_timeout_s`` (from the NodeConfig) doubles as the TCP
+        request timeout toward that node.
         """
         fabric = TcpFabric()
         for node in config:
@@ -77,8 +130,14 @@ class HostProcess:
                 raise ValueError(
                     "node %r has no port in the configuration" % node.node_id
                 )
-            fabric.add_remote(node.node_id, (node.host, node.port))
-        return cls(config, fabric)
+            fabric.add_remote(node.node_id, (node.host, node.port),
+                              timeout_s=node.heartbeat_timeout_s)
+        host = cls(config, fabric,
+                   heartbeat_interval_s=heartbeat_interval_s,
+                   heartbeat_timeout_s=heartbeat_timeout_s)
+        if heartbeat_interval_s:
+            host.start_heartbeat()
+        return host
 
     # -- messaging -----------------------------------------------------------------
 
@@ -91,8 +150,12 @@ class HostProcess:
         """Send one request and return its response payload.
 
         Error responses become :class:`CLError`, so remote faults look
-        exactly like local OpenCL failures to the wrapper lib.
+        exactly like local OpenCL failures to the wrapper lib; transport
+        failures surface as :class:`NodeLostError` for the recovery
+        layers.  Calls to nodes already marked lost short-circuit.
         """
+        if node_id in self.lost_nodes:
+            raise NodeLostError(node_id, "marked lost by the host")
         response = self.channel(node_id).request(Message.request(method, **payload))
         if response.is_error:
             raise CLError(
@@ -106,23 +169,143 @@ class HostProcess:
     def _discover(self):
         """The clGetDeviceIDs mapping pass: one request per node."""
         for node in self.config:
-            payload = self.call(node.node_id, "get_device_ids")
-            for entry in payload["devices"]:
-                self.registry.register(
-                    node.node_id,
-                    entry["handle"],
-                    entry["type"],
-                    entry["type_name"],
-                    entry["info"],
-                )
+            self._discover_node(node)
+
+    def _discover_node(self, node):
+        payload = self.call(node.node_id, "get_device_ids")
+        devices = []
+        for entry in payload["devices"]:
+            devices.append(self.registry.register(
+                node.node_id,
+                entry["handle"],
+                entry["type"],
+                entry["type_name"],
+                entry["info"],
+            ))
+        self.last_seen[node.node_id] = self.now_s()
+        return devices
+
+    # -- failure detection ------------------------------------------------------------
+
+    def is_lost(self, node_id):
+        return node_id in self.lost_nodes
+
+    def live_nodes(self):
+        return [n.node_id for n in self.config
+                if n.node_id not in self.lost_nodes]
+
+    def on_node_lost(self, callback):
+        """Register ``callback(node_id, removed_devices)`` to run once
+        whenever a node is declared lost (heartbeat or explicit)."""
+        self._node_lost_callbacks.append(callback)
+        return callback
+
+    def off_node_lost(self, callback):
+        try:
+            self._node_lost_callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def mark_lost(self, node_id, reason="unreachable"):
+        """Declare a node dead: sever its channel, drop its devices from
+        the registry, and fire the ``node_lost`` callbacks.  Idempotent;
+        returns the devices removed (empty on a repeat call)."""
+        if node_id in self.lost_nodes:
+            return []
+        devices = self.registry.by_node(node_id)
+        self.lost_nodes.add(node_id)
+        channel = self._channels.pop(node_id, None)
+        if channel is not None:
+            channel.close()
+        self.registry.remove_node(node_id)
+        for callback in list(self._node_lost_callbacks):
+            callback(node_id, devices)
+        return devices
+
+    def heartbeat(self):
+        """One heartbeat sweep over every live node; nodes that fail the
+        probe at the transport level are marked lost.  Returns the node
+        ids lost in this sweep.  On sim fabrics call this manually (the
+        probe advances the simulated clock like any other message)."""
+        lost = []
+        for node in list(self.config):
+            node_id = node.node_id
+            if node_id in self.lost_nodes:
+                continue
+            try:
+                self.call(node_id, "heartbeat")
+                self.last_seen[node_id] = self.now_s()
+            except NodeLostError:
+                self.mark_lost(node_id, reason="heartbeat failed")
+                lost.append(node_id)
+            except TransportError:
+                self.mark_lost(node_id, reason="heartbeat transport error")
+                lost.append(node_id)
+            except CLError:
+                # the node answered, just with an error frame: alive
+                self.last_seen[node_id] = self.now_s()
+        return lost
+
+    def start_heartbeat(self, interval_s=None):
+        """Run :meth:`heartbeat` on a daemon thread every ``interval_s``
+        (default: the constructor's ``heartbeat_interval_s``).  No-op on
+        sim fabrics (their clock must be driven from the test)."""
+        interval = interval_s or self.heartbeat_interval_s
+        if not interval or self._hb_thread is not None:
+            return
+        if getattr(self.fabric, "sim", None) is not None:
+            return
+        self.heartbeat_interval_s = interval
+        self._hb_stop = threading.Event()
+
+        def loop():
+            while not self._hb_stop.wait(interval):
+                try:
+                    self.heartbeat()
+                except Exception:
+                    pass  # the monitor must outlive any single probe
+
+        self._hb_thread = threading.Thread(
+            target=loop, name="haocl-heartbeat", daemon=True
+        )
+        self._hb_thread.start()
+
+    def stop_heartbeat(self):
+        if self._hb_thread is None:
+            return
+        self._hb_stop.set()
+        self._hb_thread.join(timeout=2.0)
+        self._hb_thread = None
+
+    # -- elasticity --------------------------------------------------------------------
+
+    def add_node(self, node_config, handler=None):
+        """Join a node at runtime: spin up its NMP (or adopt ``handler``),
+        attach the fabric's peer links, and discover its devices into the
+        registry.  A node id that was previously lost may rejoin; its
+        devices get fresh global ids.  Returns the new devices."""
+        if handler is None:
+            handler = NodeManagementProcess(node_config, **self._node_kwargs)
+        self.fabric.add_node(node_config.node_id, handler)
+        handler.attach_fabric(self.fabric)
+        self.lost_nodes.discard(node_config.node_id)
+        self._channels.pop(node_config.node_id, None)
+        self.config.nodes = [
+            n for n in self.config.nodes
+            if n.node_id != node_config.node_id
+        ]
+        self.config.nodes.append(node_config)
+        return self._discover_node(node_config)
 
     # -- cluster-wide queries -------------------------------------------------------------
 
     def node_stats(self):
-        """{node_id: stats payload} across the cluster."""
+        """{node_id: stats payload} across the live cluster (lost nodes
+        are skipped: their counters died with them)."""
         return {
             node.node_id: self.call(node.node_id, "node_stats")
             for node in self.config
+            if node.node_id not in self.lost_nodes
         }
 
     def peer_addr(self, node_id):
@@ -143,6 +326,7 @@ class HostProcess:
         return self.fabric.now_s()
 
     def close(self):
+        self.stop_heartbeat()
         self.fabric.close()
 
     def __enter__(self):

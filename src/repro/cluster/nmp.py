@@ -224,6 +224,18 @@ class NodeManagementProcess(NodeHandler):
     def _op_ping(self, payload, now_s):
         return {"node_id": self.node_id, "mode": self.mode}, now_s
 
+    def _op_heartbeat(self, payload, now_s):
+        """Liveness probe answered immediately (never queued behind the
+        device timeline) with a small load snapshot, so the host's
+        failure detector doubles as a cheap cluster monitor."""
+        return {
+            "node_id": self.node_id,
+            "messages": self.messages_handled,
+            "resident_bytes": self.dmp.table.resident_bytes,
+            "busy_until_s": max(self._ready_at.values()) if self._ready_at
+            else 0.0,
+        }, now_s
+
     def _op_get_device_ids(self, payload, now_s):
         type_mask = payload.get("device_type", enums.CL_DEVICE_TYPE_ALL)
         devices = []

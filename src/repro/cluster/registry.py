@@ -51,6 +51,15 @@ class DeviceRegistry:
         except KeyError:
             raise KeyError("unknown cluster device id %r" % global_id) from None
 
+    def remove_node(self, node_id):
+        """Drop every device of a departed node; returns the removed
+        :class:`ClusterDevice` list (for the node_lost cleanup paths).
+        Global ids are never reused: a rejoining node registers fresh."""
+        removed = [d for d in self.all() if d.node_id == node_id]
+        for device in removed:
+            del self._devices[device.global_id]
+        return removed
+
     def all(self):
         return [self._devices[key] for key in sorted(self._devices)]
 

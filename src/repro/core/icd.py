@@ -85,6 +85,15 @@ class ICDDispatcher:
         self.dmp_dedup_bytes_saved = 0
         self.dmp_evictions = 0
         self.dmp_writebacks = 0
+        #: fault-tolerance accounting: nodes declared lost, buffers whose
+        #: last fresh replica died with a node (those need recompute or
+        #: replay), replica pushes made for k>1 placement, and buffers
+        #: drained back to the host on a graceful node leave
+        self.nodes_lost = 0
+        self.replicas_lost = 0
+        self.dmp_replicas = 0
+        self.dmp_replica_bytes = 0
+        self.dmp_drains = 0
         #: buffer uids of the dispatch in flight: their replicas must
         #: not be evicted by a sibling argument's admission
         self._protect_uids = ()
@@ -427,7 +436,13 @@ class ICDDispatcher:
 
     def _fetch_to_host(self, buffer):
         """Pull the newest replica back into the host shadow."""
-        owner = next(iter(buffer.fresh))
+        if not buffer.fresh:
+            raise CLError(
+                enums.CL_INVALID_MEM_OBJECT,
+                "every fresh replica of the buffer was lost with its "
+                "node; the content must be replayed from host inputs",
+            )
+        owner = sorted(buffer.fresh)[0]
         owner_device = self._any_device_on(buffer.context, owner)
         queue = self.node_queue(buffer.context, owner_device)
         handle = self.buffer_replica(buffer, owner)
@@ -448,6 +463,88 @@ class ICDDispatcher:
         self.bytes_from_nodes += buffer.size
         self.transfer_count += 1
         buffer.fresh.add(HOST)
+
+    # -- fault tolerance ----------------------------------------------------------------
+
+    def node_lost(self, node_id):
+        """Forget everything about a dead node: its handles, queue
+        cache, dedup cache, and its entries in every buffer's freshness
+        set.  A buffer whose *only* fresh replica lived there is counted
+        in ``replicas_lost`` -- its bytes are gone and must be replayed
+        (recomputed from host inputs) or read from a surviving replica.
+        """
+        self.nodes_lost += 1
+        for key in [k for k in self._handles if k[2] == node_id]:
+            if key[0] == "buffer":
+                self._replica_uids.pop((node_id, self._handles[key]), None)
+            del self._handles[key]
+        self._node_queues.pop(node_id, None)
+        self._content_cache.pop(node_id, None)
+        self._content_cache_bytes.pop(node_id, None)
+        for buffer in list(self._buffers.values()):
+            if node_id in buffer.fresh:
+                buffer.fresh.discard(node_id)
+                if not buffer.fresh:
+                    self.replicas_lost += 1
+
+    def drain_node(self, node_id):
+        """Graceful leave: write every buffer whose sole fresh copy
+        lives on ``node_id`` back into the host shadow (the same
+        writeback path LRU eviction uses), so the node can depart
+        without data loss.  Returns the number of buffers drained."""
+        drained = 0
+        for buffer in list(self._buffers.values()):
+            if buffer.fresh == {node_id}:
+                self._fetch_to_host(buffer)
+                self.dmp_drains += 1
+                drained += 1
+        return drained
+
+    def replicate(self, buffer, k=2):
+        """Push ``buffer`` to extra nodes until ``k`` node replicas
+        exist, via ``dmp_push`` over the peer data plane.  Replicas are
+        admitted dirty (clean=False) so LRU eviction still writes them
+        back, and they join the freshness set -- if the primary node
+        dies, :meth:`_fetch_to_host` reads from a survivor instead of
+        forcing a replay.  Returns the number of replicas created."""
+        if not self.dmp_enabled or buffer.synthetic:
+            return 0
+        owners = [n for n in buffer.fresh if n != HOST]
+        if not owners:
+            return 0
+        owner = sorted(owners)[0]
+        src_device = self._device_on_or_none(buffer.context, owner)
+        if src_device is None:
+            return 0
+        src_queue = self.node_queue(buffer.context, src_device)
+        src_handle = self.buffer_replica(buffer, owner)
+        made = 0
+        seen = set(owners)
+        for device in buffer.context.devices:
+            if len(owners) + made >= k:
+                break
+            node_id = device.node_id
+            if node_id in seen or self.host.is_lost(node_id):
+                continue
+            seen.add(node_id)
+            dst_handle = self.buffer_replica(buffer, node_id)
+            dst_queue = self.node_queue(buffer.context, device)
+            try:
+                self.host.call(
+                    owner, "dmp_push",
+                    queue=src_queue, buffer=src_handle,
+                    dst_node=node_id, dst_queue=dst_queue,
+                    dst_buffer=dst_handle, nbytes=buffer.size,
+                    synthetic=buffer.synthetic, clean=False,
+                    dst_addr=self.host.peer_addr(node_id),
+                )
+            except CLError:
+                continue  # replication is best-effort resilience
+            buffer.fresh.add(node_id)
+            self.dmp_replicas += 1
+            self.dmp_replica_bytes += buffer.size
+            made += 1
+        return made
 
     def read_to_host(self, buffer):
         """Host-side clEnqueueReadBuffer: returns the shadow bytes."""
@@ -486,4 +583,9 @@ class ICDDispatcher:
             "dmp_dedup_bytes_saved": self.dmp_dedup_bytes_saved,
             "dmp_evictions": self.dmp_evictions,
             "dmp_writebacks": self.dmp_writebacks,
+            "nodes_lost": self.nodes_lost,
+            "replicas_lost": self.replicas_lost,
+            "dmp_replicas": self.dmp_replicas,
+            "dmp_replica_bytes": self.dmp_replica_bytes,
+            "dmp_drains": self.dmp_drains,
         }

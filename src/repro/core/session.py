@@ -22,7 +22,8 @@ class HaoCLSession:
                  netmodel=None, user=None, fastpaths=None, host=None,
                  gpu_nodes=0, fpga_nodes=0, cpu_nodes=0, mode="modeled",
                  vectorize=True, dmp=True, dmp_capacity_bytes=None,
-                 dedup_cache_bytes=None):
+                 dedup_cache_bytes=None, chaos=None,
+                 heartbeat_interval_s=None, heartbeat_timeout_s=None):
         if config is None and host is None:
             config = ClusterConfig.build(
                 gpu_nodes=gpu_nodes, fpga_nodes=fpga_nodes,
@@ -31,7 +32,9 @@ class HaoCLSession:
         self.host = host or HostProcess.launch(
             config, transport=transport, netmodel=netmodel,
             fastpaths=fastpaths, vectorize=vectorize,
-            dmp_capacity_bytes=dmp_capacity_bytes,
+            dmp_capacity_bytes=dmp_capacity_bytes, chaos=chaos,
+            heartbeat_interval_s=heartbeat_interval_s,
+            heartbeat_timeout_s=heartbeat_timeout_s,
         )
         self.cl = HaoCL(self.host, policy=policy, user=user, dmp=dmp,
                         dedup_cache_bytes=dedup_cache_bytes)
@@ -122,6 +125,29 @@ class HaoCLSession:
 
     def finish(self, queue):
         return self.cl.finish(queue)
+
+    # -- fault tolerance / elasticity -----------------------------------------
+
+    def heartbeat(self):
+        """One failure-detection sweep; returns nodes lost this sweep."""
+        return self.host.heartbeat()
+
+    def on_node_lost(self, callback):
+        """Register ``callback(node_id, removed_devices)`` on the host's
+        failure detector."""
+        return self.host.on_node_lost(callback)
+
+    def add_node(self, node_config):
+        """Elastic join: bring a new node into the running cluster and
+        return its freshly registered devices."""
+        return self.host.add_node(node_config)
+
+    def leave_node(self, node_id):
+        """Graceful leave: drain buffers whose only fresh copy lives on
+        the node back to the host (LRU-writeback machinery), then retire
+        the node.  Returns the devices removed."""
+        self.cl.icd.drain_node(node_id)
+        return self.host.mark_lost(node_id, reason="graceful leave")
 
     # -- lifecycle ----------------------------------------------------------------
 

@@ -299,6 +299,15 @@ class HaoCL:
         #: host-side estimate of each device's queue-drain horizon
         self._device_ready = {}
         self.launches = 0
+        # freshness and readiness state must never outlive a node: the
+        # host's failure detector tells us when one dies
+        if hasattr(host_process, "on_node_lost"):
+            host_process.on_node_lost(self._on_node_lost)
+
+    def _on_node_lost(self, node_id, devices):
+        self.icd.node_lost(node_id)
+        for device in devices:
+            self._device_ready.pop(device.global_id, None)
 
     def _make_policy(self, name):
         netmodel = getattr(self.host.fabric, "netmodel", None)
@@ -718,9 +727,16 @@ class HaoCL:
     # -- synchronisation -------------------------------------------------------------------
 
     def finish(self, queue):
-        """Drain every device this queue's commands landed on."""
+        """Drain every device this queue's commands landed on.  Devices
+        whose node has been declared lost are dropped from the queue's
+        touch set instead of drained -- their commands died with the
+        node, and the recovery layers replay the work elsewhere."""
         latest = 0.0
-        for device in queue.touched.values():
+        is_lost = getattr(self.host, "is_lost", lambda _n: False)
+        for device in list(queue.touched.values()):
+            if is_lost(device.node_id):
+                queue.touched.pop(device.global_id, None)
+                continue
             node_queue = self.icd.node_queue(queue.context, device,
                                              queue.properties)
             payload = self.host.call(device.node_id, "finish", queue=node_queue)

@@ -61,10 +61,35 @@ class AdmissionController:
         #: device global_id -> bytes reserved by in-flight jobs
         self._reserved = {device.global_id: 0 for device in devices}
 
+    # -- elasticity -----------------------------------------------------------
+
+    def add_device(self, device):
+        """Start admitting work for a device that joined the cluster."""
+        if device.global_id in self._capacity:
+            return
+        self.devices.append(device)
+        self._capacity[device.global_id] = int(
+            model_for(device).global_mem_bytes * self.headroom
+        )
+        self._reserved.setdefault(device.global_id, 0)
+
+    def remove_device(self, device):
+        """Forget a departed device (in-flight reservations die with its
+        node; releases for them become no-ops)."""
+        gid = device.global_id
+        self.devices = [d for d in self.devices if d.global_id != gid]
+        self._capacity.pop(gid, None)
+        self._reserved.pop(gid, None)
+
     # -- submission-time admission --------------------------------------------
 
     def admit(self, job, queue_depth, tenant_depth=0):
         """Raise a typed :class:`AdmissionError` if the job may not enter."""
+        if not self._capacity:
+            raise JobTooLarge(
+                "no devices left in the cluster to run job #%d" % job.job_id,
+                job=job,
+            )
         limit = max(self._capacity.values())
         if job.footprint_bytes > limit:
             raise JobTooLarge(
@@ -113,6 +138,8 @@ class AdmissionController:
 
     def release(self, nbytes, device):
         gid = device.global_id
+        if gid not in self._reserved:
+            return  # the device's node was lost while the batch ran
         self._reserved[gid] = max(0, self._reserved[gid] - int(nbytes))
 
     def __repr__(self):

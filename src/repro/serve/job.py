@@ -50,6 +50,8 @@ class Job:
         self.options = options or ""
         self.tag = tag
         self.state = PENDING
+        #: dispatch attempts that died with a lost node (retry ledger)
+        self.attempts = 0
         self.submitted_s = None
         self.started_s = None
         self.finished_s = None

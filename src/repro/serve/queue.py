@@ -216,6 +216,22 @@ class FairShareQueue:
                 break
         return taken
 
+    def accounting(self):
+        """Per-lane serving ledger: {tenant: {deficit, served_jobs,
+        served_cost, queued}}.  The conservation property the recovery
+        tests assert lives here: a retried job is pulled, refunded by
+        :meth:`requeue`, and pulled again, so its lane nets exactly one
+        charge -- no double-charge, no debt forgiveness."""
+        return {
+            lane.name: {
+                "deficit": lane.deficit,
+                "served_jobs": lane.served_jobs,
+                "served_cost": lane.served_cost,
+                "queued": len(lane),
+            }
+            for lane in self._order
+        }
+
     def __repr__(self):
         depths = ", ".join(
             "%s:%d" % (lane.name, len(lane)) for lane in self._order

@@ -26,8 +26,9 @@ from repro.ocl import enums
 from repro.ocl.errors import CLError
 from repro.serve.admission import AdmissionController, AdmissionError
 from repro.serve.batcher import Batcher
-from repro.serve.job import DONE, EXPIRED, FAILED, REJECTED, RUNNING
+from repro.serve.job import DONE, EXPIRED, FAILED, QUEUED, REJECTED, RUNNING
 from repro.serve.queue import FairShareQueue
+from repro.transport.base import NodeLostError, TransportError
 
 
 class TenantStats:
@@ -44,6 +45,7 @@ class TenantStats:
         self.rejected = 0
         self.expired = 0
         self.failed = 0
+        self.retried = 0
         self.queue_waits = collections.deque(maxlen=self.WAIT_WINDOW)
         self.service_s = 0.0
 
@@ -56,6 +58,7 @@ class TenantStats:
             "rejected": self.rejected,
             "expired": self.expired,
             "failed": self.failed,
+            "retried": self.retried,
             "queue_wait_p50_s": float(np.percentile(waits, 50)) if waits.size else 0.0,
             "queue_wait_p99_s": float(np.percentile(waits, 99)) if waits.size else 0.0,
             "service_time_s": self.service_s,
@@ -68,12 +71,18 @@ class HaoCLService:
     def __init__(self, session, policy="load-aware", quantum=1,
                  fairness="jobs", max_batch=16, batching=True,
                  admission=None, lease_shared=True, lease_ttl_s=30.0,
-                 user="serve", max_cached_programs=32):
+                 user="serve", max_cached_programs=32, max_retries=2,
+                 replicas=1):
         self.session = session
         self.driver = session.cl
         self.user = user
         self.lease_shared = bool(lease_shared)
         self.lease_ttl_s = lease_ttl_s
+        #: dispatch attempts a job may lose to dead nodes before it fails
+        self.max_retries = int(max_retries)
+        #: fresh copies kept per written buffer (k=2 survives one node
+        #: loss between finish and collect without a replay)
+        self.replicas = max(1, int(replicas))
         self.queue = FairShareQueue(quantum=quantum, cost=fairness)
         self.admission = admission or AdmissionController(session.devices)
         if isinstance(policy, SchedulingPolicy):
@@ -93,6 +102,13 @@ class HaoCLService:
         self.batches_dispatched = 0
         self.jobs_dispatched = 0
         self.deferrals = 0
+        #: fault-tolerance ledger
+        self.node_losses = 0
+        self.jobs_retried = 0
+        self.jobs_recovered = 0
+        # the host's failure detector drives this service's cleanup
+        # (leases, admission capacity, per-node kernel binding caches)
+        self.session.host.on_node_lost(self._on_node_lost)
 
     # -- tenants ---------------------------------------------------------------
 
@@ -219,8 +235,8 @@ class HaoCLService:
         # tenant rides along in the dedicated accounting field
         self.driver.user = self.user
         self.driver.set_policy("user-directed")
+        in_flight = []
         try:
-            in_flight = []
             for job in fit:
                 try:
                     bindings = (
@@ -246,6 +262,8 @@ class HaoCLService:
                 self._observe_placement(kernel, job, device, event)
                 in_flight.append((job, bindings))
             self.session.finish(queue)
+            if self.replicas > 1:
+                self._replicate_outputs(kernel, in_flight)
             for job, bindings in in_flight:
                 try:
                     self._collect(job, queue, kernel, bindings)
@@ -254,13 +272,15 @@ class HaoCLService:
                     continue
                 finally:
                     self._release_buffers(bindings)
-                job.finished_s = self.session.now_s()
-                job.state = DONE
-                stats = self._tenant_stats(job.tenant)
-                stats.completed += 1
-                stats.queue_waits.append(job.queue_wait_s)
-                stats.service_s += job.service_time_s
-                self.jobs_dispatched += 1
+                self._complete(job)
+        except NodeLostError as exc:
+            # the executing node died mid-batch: clean its state out of
+            # every layer, then recover each running job -- from a
+            # surviving replica when one holds its outputs, otherwise by
+            # replaying from host inputs via the retry queue
+            self.session.host.mark_lost(exc.node_id,
+                                        reason=exc.reason)
+            self._recover_batch(exc, fit, in_flight, kernel, context)
         finally:
             self.driver.tenant = None
             self.driver.job_tag = None
@@ -271,10 +291,147 @@ class HaoCLService:
             if not self.batching:
                 # per-job dispatch keeps nothing: free the node-side
                 # kernel and program built for this batch
-                self.driver.icd.release_remote("kernel", kernel.uid)
-                self.driver.icd.release_remote("program", program.uid)
+                self._release_remote_quiet("kernel", kernel.uid)
+                self._release_remote_quiet("program", program.uid)
         self.batches_dispatched += 1
         return True
+
+    def _complete(self, job):
+        job.finished_s = self.session.now_s()
+        job.state = DONE
+        stats = self._tenant_stats(job.tenant)
+        stats.completed += 1
+        stats.queue_waits.append(job.queue_wait_s)
+        stats.service_s += job.service_time_s
+        self.jobs_dispatched += 1
+
+    # -- fault recovery --------------------------------------------------------
+
+    def _on_node_lost(self, node_id, devices):
+        """The host's ``node_lost`` event: retire the dead node's
+        leases, queues and admission capacity, and forget per-node
+        kernel argument-binding state (the ICD already dropped the
+        node's handles via the driver's own callback)."""
+        self.node_losses += 1
+        for device in devices:
+            self.admission.remove_device(device)
+            lease = self._leases.pop(device.global_id, None)
+            if lease is not None:
+                lease.active = False
+            self._queues.pop(device.global_id, None)
+        for kernel in self._kernels.values():
+            kernel.sent_args.pop(node_id, None)
+
+    def _recover_batch(self, exc, fit, in_flight, kernel, context):
+        """Recover every job the node took down.  Jobs still RUNNING
+        either collect from a surviving output replica (k>1 placement)
+        or go back through the queue for a replay; the replay re-binds
+        buffers from the tenant's host arrays with the same content
+        digests, so surviving nodes fill them from the dedup cache."""
+        bindings_of = {job.job_id: b for job, b in in_flight}
+        for job in fit:
+            if job.state == QUEUED:
+                # pulled into the batch but never dispatched: back in
+                # line (requeue refunds the fair-share charge)
+                self.queue.requeue(job)
+                continue
+            if job.state != RUNNING:
+                continue
+            bindings = bindings_of.get(job.job_id)
+            if bindings is not None and self._collect_from_replica(
+                    job, kernel, context, bindings):
+                continue
+            if bindings is not None:
+                self._release_buffers(bindings)
+            self._retry(job, exc)
+
+    def _collect_from_replica(self, job, kernel, context, bindings):
+        """Read the job's outputs from a surviving replica node; True on
+        success (the job completes without a replay)."""
+        access = kernel.program.param_access(kernel.name)
+        outputs = [
+            (name, buf) for name, buf, _source in bindings
+            if access.get(name) is None or access[name].write
+        ]
+        if any(not buf.fresh for _name, buf in outputs):
+            return False  # some output died with the node: replay
+        pick = next(
+            (d for d in context.devices
+             if not self.session.host.is_lost(d.node_id)),
+            None,
+        )
+        if pick is None:
+            return False
+        try:
+            queue = self._queue_for(context, pick)
+            self._collect(job, queue, kernel, bindings)
+        except (CLError, NodeLostError):
+            return False
+        finally:
+            self._release_buffers(bindings)
+        self._complete(job)
+        self.jobs_recovered += 1
+        return True
+
+    def _retry(self, job, exc):
+        """Replay a lost in-flight job from its host-side inputs, or
+        fail it once its retry budget is spent.  ``requeue`` refunds the
+        fair-share cost charged when the job was pulled, so accounting
+        is conserved across the retry (no double-charge)."""
+        job.attempts += 1
+        stats = self._tenant_stats(job.tenant)
+        if job.attempts > self.max_retries:
+            self._fail(job, CLError(
+                enums.CL_DEVICE_NOT_AVAILABLE,
+                "job #%d lost with %s; retry budget (%d) exhausted"
+                % (job.job_id, exc.node_id, self.max_retries),
+            ))
+            return
+        job.device = None
+        job.error = None
+        job.started_s = None
+        self.queue.requeue(job)
+        self.jobs_retried += 1
+        stats.retried += 1
+
+    def _replicate_outputs(self, kernel, in_flight):
+        """k>1 placement: push every written buffer to extra nodes over
+        ``dmp_push`` (dirty, so eviction still writes back) before the
+        collect pass -- the window where a node loss would otherwise
+        force a replay."""
+        access = kernel.program.param_access(kernel.name)
+        for _job, bindings in in_flight:
+            for name, buf, _source in bindings:
+                param = access.get(name)
+                if param is None or param.write:
+                    self.driver.icd.replicate(buf, k=self.replicas)
+
+    def _release_remote_quiet(self, kind, uid):
+        try:
+            self.driver.icd.release_remote(kind, uid)
+        except (CLError, TransportError):
+            pass  # the handles died with their node
+
+    def sync_devices(self):
+        """Reconcile placement/admission with the session's current
+        device set after an elastic join (losses reconcile themselves
+        through the ``node_lost`` event).  Returns the devices added."""
+        current = {d.global_id: d for d in self.session.devices}
+        known = {d.global_id for d in self.admission.devices}
+        for device in list(self.admission.devices):
+            if device.global_id not in current:
+                self.admission.remove_device(device)
+        added = []
+        for gid, device in sorted(current.items()):
+            if gid not in known:
+                self.admission.add_device(device)
+                added.append(device)
+        if self._context is not None:
+            have = {d.global_id for d in self._context.devices}
+            for device in added:
+                if device.global_id not in have:
+                    self._context.devices.append(device)
+        return added
 
     def _observe_placement(self, kernel, job, device, event):
         """Feed the launch back to the placement policy so adaptive
@@ -330,8 +487,15 @@ class HaoCLService:
                     raise
                 lease.active = False
                 del self._leases[device.global_id]
-        lease = try_acquire(self.driver, self.user, [device],
-                            shared=self.lease_shared, ttl_s=self.lease_ttl_s)
+        try:
+            lease = try_acquire(self.driver, self.user, [device],
+                                shared=self.lease_shared,
+                                ttl_s=self.lease_ttl_s)
+        except NodeLostError as exc:
+            # the candidate died between placement and lease: retire it
+            # and let _place fall through to the next candidate
+            self.session.host.mark_lost(exc.node_id, reason=exc.reason)
+            return None
         if lease is not None:
             self._leases[device.global_id] = lease
         return lease
@@ -430,7 +594,10 @@ class HaoCLService:
         """Free a dispatched job's node-side buffer replicas so a
         long-running service does not accumulate device memory."""
         for _name, buf, _source in bindings:
-            self.driver.icd.release_buffer(buf)
+            try:
+                self.driver.icd.release_buffer(buf)
+            except (CLError, TransportError):
+                pass  # replicas on a lost node are already gone
 
     def _queue_for(self, context, device):
         queue = self._queues.get(device.global_id)
@@ -470,6 +637,21 @@ class HaoCLService:
                     into["tiers"][tier] = into["tiers"].get(tier, 0) + count
         return merged
 
+    def fault_stats(self):
+        """Fault-tolerance ledger: node losses the service reacted to,
+        jobs replayed, jobs rescued from a replica, plus the ICD-side
+        recovery counters (``nodes_lost``, ``dmp_replicas`` ...)."""
+        stats = {
+            "node_losses": self.node_losses,
+            "jobs_retried": self.jobs_retried,
+            "jobs_recovered": self.jobs_recovered,
+        }
+        icd = self.driver.icd.transfer_stats()
+        for key in ("nodes_lost", "replicas_lost", "dmp_replicas",
+                    "dmp_replica_bytes", "dmp_drains"):
+            stats[key] = icd.get(key, 0)
+        return stats
+
     def data_plane(self):
         """Data-plane counters: host-link vs peer-to-peer bytes, dedup
         hits and per-node residency (the DMP sections of node stats)."""
@@ -497,10 +679,17 @@ class HaoCLService:
     # -- lifecycle -------------------------------------------------------------
 
     def close(self):
-        """Release every device lease the service holds."""
+        """Release every device lease the service holds and detach from
+        the host's failure detector."""
+        host = self.session.host
+        if hasattr(host, "off_node_lost"):
+            host.off_node_lost(self._on_node_lost)
         for lease in self._leases.values():
             if lease.active:
-                lease.release()
+                try:
+                    lease.release()
+                except (CLError, TransportError):
+                    pass  # the lease's node is already gone
         self._leases.clear()
 
     def __enter__(self):

@@ -1,0 +1,12 @@
+"""Fault-injection harness for chaos-testing the cluster.
+
+The chaos layer wraps any fabric (inproc, sim, tcp) with scriptable
+faults -- node kill/hang at a chosen message index, dropped or delayed
+``peer_request``, lease-renewal blackouts -- so both pytest suites and
+benchmarks can prove the recovery paths (heartbeats, replay-from-digest
+retry, replica failover) under deterministic, replayable failures.
+"""
+
+from repro.testing.chaos import ChaosFabric, ChaosPlan
+
+__all__ = ["ChaosFabric", "ChaosPlan"]

@@ -1,0 +1,305 @@
+"""Scriptable fault injection over any fabric.
+
+A :class:`ChaosPlan` is a small script of faults -- "kill gpu1 on its
+3rd ``enqueue_ndrange``", "drop the next two peer pulls into gpu0",
+"black out ``acquire_device`` for four requests" -- and a
+:class:`ChaosFabric` wraps a real fabric and executes the plan as
+messages flow.  The wrapped fabric is what the host process talks
+through, so both the host control path *and* the DMP peer data plane
+cross the chaos layer.
+
+Faults are deterministic: rules fire on per-node message indices or
+per-method occurrence counts, and the only randomness is the plan's
+own seeded :class:`random.Random` (used by the ``*_random`` helpers).
+Every fired fault is appended to :attr:`ChaosPlan.events`, so a chaos
+run is replayable from its logged seed and two runs of the same plan
+can be asserted identical event-for-event.
+
+Wiring: pass ``chaos=plan`` to :class:`~repro.core.session.HaoCLSession`
+(or :meth:`HostProcess.launch`); the fabric is wrapped before the NMPs'
+Data Management Processes attach, so peer transfers are intercepted too.
+"""
+
+import random
+
+from repro.transport.base import Fabric, NodeLostError, TransportError
+
+#: fault kinds a rule may carry
+KILL = "kill"
+HANG = "hang"
+BLACKOUT = "blackout"
+DROP_PEER = "drop_peer"
+DELAY_PEER = "delay_peer"
+
+
+class ChaosPlan:
+    """An ordered set of fault rules plus the seeded RNG and event log."""
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.rules = []
+        #: nodes the plan has killed so far; every later message to (or
+        #: from) them fails with NodeLostError, like a dead daemon
+        self.dead = set()
+        #: fired faults, in firing order -- the replay log
+        self.events = []
+        #: per-(node, method) occurrence counters on the host path
+        self._method_seen = {}
+
+    # -- scripting ---------------------------------------------------------
+
+    def kill(self, node_id, index=None, method=None, occurrence=1):
+        """Kill ``node_id`` when its host-message ``index`` arrives, or
+        on the ``occurrence``-th message of ``method``.  With neither,
+        the node dies on its next message."""
+        self.rules.append({
+            "fault": KILL, "node": node_id, "index": index,
+            "method": method, "occurrence": int(occurrence), "remaining": 1,
+        })
+        return self
+
+    def hang(self, node_id, index=None, method=None, occurrence=1, count=1):
+        """Make ``count`` consecutive matching requests time out (the
+        node is alive but unresponsive; the caller sees NodeLostError
+        exactly as a fabric timeout would surface)."""
+        self.rules.append({
+            "fault": HANG, "node": node_id, "index": index,
+            "method": method, "occurrence": int(occurrence),
+            "remaining": int(count),
+        })
+        return self
+
+    def blackout(self, node_id, methods, count=1, code=None):
+        """Answer the next ``count`` requests of ``methods`` with a
+        CL_DEVICE_NOT_AVAILABLE error frame -- the lease-renewal
+        blackout: the node is up but refuses the claim."""
+        from repro.ocl import enums
+
+        self.rules.append({
+            "fault": BLACKOUT, "node": node_id, "methods": tuple(methods),
+            "remaining": int(count),
+            "code": enums.CL_DEVICE_NOT_AVAILABLE if code is None else code,
+        })
+        return self
+
+    def drop_peer(self, src=None, dst=None, count=1):
+        """Drop the next ``count`` peer requests matching (src, dst);
+        None matches any node.  The caller sees a TransportError, the
+        degraded-but-correct path (host relay)."""
+        self.rules.append({
+            "fault": DROP_PEER, "src": src, "dst": dst,
+            "remaining": int(count),
+        })
+        return self
+
+    def delay_peer(self, src=None, dst=None, delay_s=0.05, count=None):
+        """Add ``delay_s`` to matching peer round-trips (count=None:
+        every one).  On the sim fabric the delay lands on the simulated
+        clock; real fabrics fold it into the reported elapsed time."""
+        self.rules.append({
+            "fault": DELAY_PEER, "src": src, "dst": dst,
+            "delay_s": float(delay_s),
+            "remaining": None if count is None else int(count),
+        })
+        return self
+
+    def kill_random(self, node_ids, method="enqueue_ndrange",
+                    max_occurrence=3):
+        """Seeded random kill: pick a victim and a kill point from this
+        plan's RNG, log the choice, and schedule it.  Returns
+        ``(node_id, occurrence)`` so the test can log/replay it."""
+        node_id = self.rng.choice(sorted(node_ids))
+        occurrence = self.rng.randint(1, max_occurrence)
+        self.events.append({
+            "fault": "schedule", "kind": KILL, "node": node_id,
+            "method": method, "occurrence": occurrence, "seed": self.seed,
+        })
+        self.kill(node_id, method=method, occurrence=occurrence)
+        return node_id, occurrence
+
+    # -- execution (called by ChaosFabric) ---------------------------------
+
+    def wrap(self, fabric):
+        return ChaosFabric(fabric, self)
+
+    def _record(self, fault, **detail):
+        event = {"fault": fault}
+        event.update(detail)
+        self.events.append(event)
+
+    def on_host_message(self, node_id, index, method):
+        """Decide the fate of one host->node request.  Returns a tuple
+        whose head is 'deliver', 'dead', 'kill', 'hang' or 'error'."""
+        if node_id in self.dead:
+            return ("dead",)
+        key = (node_id, method)
+        occ = self._method_seen.get(key, 0) + 1
+        self._method_seen[key] = occ
+        for rule in self.rules:
+            fault = rule["fault"]
+            if fault in (DROP_PEER, DELAY_PEER):
+                continue
+            if rule["node"] != node_id:
+                continue
+            remaining = rule.get("remaining")
+            if remaining is not None and remaining <= 0:
+                continue
+            if fault == BLACKOUT:
+                if method not in rule["methods"]:
+                    continue
+            elif rule.get("method") is not None:
+                # fires from the scheduled occurrence onward; "remaining"
+                # bounds how many consecutive matches the rule consumes
+                if method != rule["method"] or occ < rule["occurrence"]:
+                    continue
+            elif rule.get("index") is not None:
+                if index != rule["index"]:
+                    continue
+            rule["remaining"] = (remaining or 1) - 1
+            if fault == KILL:
+                self.dead.add(node_id)
+                self._record(KILL, node=node_id, method=method, index=index,
+                             occurrence=occ)
+                return ("kill",)
+            if fault == HANG:
+                self._record(HANG, node=node_id, method=method, index=index)
+                return ("hang",)
+            if fault == BLACKOUT:
+                self._record(BLACKOUT, node=node_id, method=method,
+                             index=index)
+                return ("error", rule["code"],
+                        "chaos blackout of %r" % method)
+        return ("deliver",)
+
+    def on_peer_message(self, src_id, dst_id, method):
+        """Fate of one node->node request: 'deliver', 'dead', 'drop',
+        or ('delay', seconds)."""
+        if dst_id in self.dead or src_id in self.dead:
+            return ("dead", dst_id if dst_id in self.dead else src_id)
+        for rule in self.rules:
+            if rule["fault"] not in (DROP_PEER, DELAY_PEER):
+                continue
+            if rule["src"] is not None and rule["src"] != src_id:
+                continue
+            if rule["dst"] is not None and rule["dst"] != dst_id:
+                continue
+            remaining = rule.get("remaining")
+            if remaining is not None and remaining <= 0:
+                continue
+            if remaining is not None:
+                rule["remaining"] = remaining - 1
+            if rule["fault"] == DROP_PEER:
+                self._record(DROP_PEER, src=src_id, dst=dst_id, method=method)
+                return ("drop",)
+            self._record(DELAY_PEER, src=src_id, dst=dst_id, method=method,
+                         delay_s=rule["delay_s"])
+            return ("delay", rule["delay_s"])
+        return ("deliver",)
+
+    def __repr__(self):
+        return "ChaosPlan(seed=%r, %d rules, %d events, dead=%s)" % (
+            self.seed, len(self.rules), len(self.events), sorted(self.dead)
+        )
+
+
+class _ChaosChannel:
+    """Host-side channel that routes every request through the plan."""
+
+    def __init__(self, fabric, node_id, inner):
+        self._fabric = fabric
+        self._node_id = node_id
+        self._inner = inner
+
+    def request(self, message):
+        return self._fabric._host_request(self._node_id, self._inner, message)
+
+    def close(self):
+        self._inner.close()
+
+
+class ChaosFabric(Fabric):
+    """A fabric decorator executing a :class:`ChaosPlan`.
+
+    Attributes not overridden here (``sim``, ``netmodel``, traffic
+    counters, ...) resolve on the wrapped fabric, so instrumentation and
+    clock queries keep working through the chaos layer.
+    """
+
+    def __init__(self, inner, plan):
+        self.inner = inner
+        self.plan = plan
+        #: per-node count of host->node messages (the fault index space)
+        self.message_counts = {}
+        self._channels = {}
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def connect(self, node_id):
+        if node_id not in self._channels:
+            self._channels[node_id] = _ChaosChannel(
+                self, node_id, self.inner.connect(node_id)
+            )
+        return self._channels[node_id]
+
+    def add_node(self, node_id, handler):
+        self.inner.add_node(node_id, handler)
+        # a node that rejoins under the same id starts a fresh life
+        self.plan.dead.discard(node_id)
+
+    def node_ids(self):
+        return self.inner.node_ids()
+
+    def supports_peer(self):
+        return self.inner.supports_peer()
+
+    def now_s(self):
+        return self.inner.now_s()
+
+    def close(self):
+        self.inner.close()
+
+    # -- fault execution ---------------------------------------------------
+
+    def _host_request(self, node_id, channel, message):
+        index = self.message_counts.get(node_id, 0)
+        self.message_counts[node_id] = index + 1
+        action = self.plan.on_host_message(node_id, index, message.method)
+        kind = action[0]
+        if kind == "dead":
+            raise NodeLostError(node_id, "killed by chaos plan")
+        if kind == "kill":
+            raise NodeLostError(
+                node_id, "chaos kill at message %d (%s)" % (index,
+                                                            message.method)
+            )
+        if kind == "hang":
+            raise NodeLostError(
+                node_id, "chaos hang at message %d (request timed out)" % index
+            )
+        if kind == "error":
+            return message.fail(action[1], action[2])
+        return channel.request(message)
+
+    def peer_request(self, src_id, dst_id, message, now_s=0.0):
+        action = self.plan.on_peer_message(src_id, dst_id, message.method)
+        kind = action[0]
+        if kind == "dead":
+            raise NodeLostError(action[1], "peer killed by chaos plan")
+        if kind == "drop":
+            raise TransportError(
+                "chaos dropped peer_request %s->%s" % (src_id, dst_id)
+            )
+        response, elapsed_s = self.inner.peer_request(
+            src_id, dst_id, message, now_s
+        )
+        if kind == "delay":
+            elapsed_s += action[1]
+        return response, elapsed_s
+
+    def __repr__(self):
+        return "ChaosFabric(%r over %r)" % (self.plan, self.inner)
+
+
+__all__ = ["ChaosFabric", "ChaosPlan"]

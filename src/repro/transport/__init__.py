@@ -18,7 +18,13 @@ fabrics behind one :class:`repro.transport.base.Fabric` interface:
   paper-scale experiments).
 """
 
-from repro.transport.base import Channel, Fabric, NodeHandler, TransportError
+from repro.transport.base import (
+    Channel,
+    Fabric,
+    NodeHandler,
+    NodeLostError,
+    TransportError,
+)
 from repro.transport.message import Message, MessageKind
 from repro.transport.netmodel import GigabitEthernet, NetworkModel
 from repro.transport.serialization import SerializationError, decode, encode
@@ -27,6 +33,7 @@ __all__ = [
     "Channel",
     "Fabric",
     "NodeHandler",
+    "NodeLostError",
     "TransportError",
     "Message",
     "MessageKind",

@@ -5,6 +5,21 @@ class TransportError(Exception):
     """Connection/framing failure in the communication backbone."""
 
 
+class NodeLostError(TransportError):
+    """A node stopped answering: its connection dropped, half-closed
+    mid-frame, timed out, or the fault-injection layer killed it.
+
+    Carries the node id so recovery layers (heartbeat monitor, serve
+    retry) can mark the node lost and replay its in-flight work instead
+    of treating the failure as an ordinary transport fault.
+    """
+
+    def __init__(self, node_id, reason="stopped answering"):
+        super().__init__("node %r lost: %s" % (node_id, reason))
+        self.node_id = node_id
+        self.reason = reason
+
+
 class NodeHandler:
     """Interface a Node Management Process implements.
 

@@ -14,7 +14,7 @@ import struct
 import threading
 import time
 
-from repro.transport.base import Channel, Fabric, TransportError
+from repro.transport.base import Channel, Fabric, NodeLostError, TransportError
 from repro.transport.message import Message
 
 _FRAME_LEN = struct.Struct(">I")
@@ -52,6 +52,8 @@ class NodeServer:
         self.address = self._listener.getsockname()
         self._stop = threading.Event()
         self._threads = []
+        self._conns = []
+        self._conns_lock = threading.Lock()
         self._acceptor = threading.Thread(
             target=self._accept_loop, name="nmp-acceptor-%d" % self.address[1],
             daemon=True,
@@ -66,6 +68,8 @@ class NodeServer:
                 continue
             except OSError:
                 return
+            with self._conns_lock:
+                self._conns.append(conn)
             thread = threading.Thread(
                 target=self._serve, args=(conn,), daemon=True,
                 name="nmp-conn-%d" % self.address[1],
@@ -91,24 +95,59 @@ class NodeServer:
                     return
 
     def close(self):
+        """Stop accepting and sever every live connection, so clients
+        waiting on a response observe the loss instead of hanging (the
+        crash semantics a killed daemon would have)."""
         self._stop.set()
         try:
             self._listener.close()
         except OSError:
             pass
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
 
 
 class TcpChannel(Channel):
-    def __init__(self, address):
+    """One persistent connection to a node.
+
+    Transport failures surface as :class:`NodeLostError` carrying the
+    node id: a half-closed socket mid-frame, a reset, or no response
+    within ``timeout_s`` all mean the peer is gone (or unreachable),
+    never a falsy payload.
+    """
+
+    def __init__(self, address, node_id=None, timeout_s=30.0):
         self._address = address
-        self._sock = socket.create_connection(address, timeout=30.0)
+        self._node_id = node_id if node_id is not None else "%s:%s" % tuple(address)
+        self._timeout_s = float(timeout_s)
+        try:
+            self._sock = socket.create_connection(address, timeout=self._timeout_s)
+        except (socket.timeout, OSError) as exc:
+            raise NodeLostError(self._node_id, "connect failed: %s" % exc) from exc
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._lock = threading.Lock()
 
     def request(self, message):
         with self._lock:
-            _send_frame(self._sock, message.to_bytes())
-            return Message.from_bytes(_recv_frame(self._sock))
+            try:
+                _send_frame(self._sock, message.to_bytes())
+                return Message.from_bytes(_recv_frame(self._sock))
+            except socket.timeout:
+                raise NodeLostError(
+                    self._node_id,
+                    "no response within %.1fs" % self._timeout_s,
+                ) from None
+            except NodeLostError:
+                raise
+            except (TransportError, OSError) as exc:
+                raise NodeLostError(
+                    self._node_id, str(exc) or type(exc).__name__
+                ) from exc
 
     def close(self):
         try:
@@ -125,13 +164,15 @@ class TcpFabric(Fabric):
     deployment driven by the system configuration file.
     """
 
-    def __init__(self, handlers=None, host="127.0.0.1"):
+    def __init__(self, handlers=None, host="127.0.0.1", default_timeout_s=30.0):
         self._host = host
         self._servers = {}
         self._addresses = {}
+        self._timeouts = {}
         self._channels = {}
         self._peer_channels = {}
         self._peer_lock = threading.Lock()
+        self.default_timeout_s = float(default_timeout_s)
         self._t0 = time.perf_counter()
         for node_id, handler in (handlers or {}).items():
             self.add_node(node_id, handler)
@@ -141,15 +182,24 @@ class TcpFabric(Fabric):
         self._servers[node_id] = server
         self._addresses[node_id] = server.address
 
-    def add_remote(self, node_id, address):
-        """Register an externally-running node (separate process)."""
+    def add_remote(self, node_id, address, timeout_s=None):
+        """Register an externally-running node (separate process);
+        ``timeout_s`` overrides the fabric default for this node."""
         self._addresses[node_id] = tuple(address)
+        if timeout_s is not None:
+            self._timeouts[node_id] = float(timeout_s)
+
+    def _timeout_for(self, node_id):
+        return self._timeouts.get(node_id, self.default_timeout_s)
 
     def connect(self, node_id):
         if node_id not in self._addresses:
             raise TransportError("unknown node %r" % node_id)
         if node_id not in self._channels:
-            self._channels[node_id] = TcpChannel(self._addresses[node_id])
+            self._channels[node_id] = TcpChannel(
+                self._addresses[node_id], node_id=node_id,
+                timeout_s=self._timeout_for(node_id),
+            )
         return self._channels[node_id]
 
     def node_ids(self):
@@ -172,7 +222,10 @@ class TcpFabric(Fabric):
         with self._peer_lock:
             channel = self._peer_channels.get(key)
             if channel is None:
-                channel = TcpChannel(self._addresses[dst_id])
+                channel = TcpChannel(
+                    self._addresses[dst_id], node_id=dst_id,
+                    timeout_s=self._timeout_for(dst_id),
+                )
                 self._peer_channels[key] = channel
         return channel.request(message), 0.0
 

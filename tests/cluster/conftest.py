@@ -1,0 +1,22 @@
+"""Deterministic seeding for the cluster sim tests.
+
+Every test in this directory starts from a PRNG state derived from its
+own node id, so a test that consults ``random`` or ``np.random``
+(directly or through a chaos plan) produces the same run every time and
+in any execution order.  The fixture also exposes the seed so failures
+can be replayed: re-running the same test re-derives the same seed.
+"""
+
+import random
+import zlib
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_seed(request):
+    seed = zlib.crc32(request.node.nodeid.encode("utf-8"))
+    random.seed(seed)
+    np.random.seed(seed & 0xFFFFFFFF)
+    yield seed

@@ -1,0 +1,201 @@
+"""Unit tests for the fault-injection harness itself.
+
+The chaos layer is test infrastructure, so its own contract is tested
+tightly: rules fire exactly where scripted, dead nodes stay dead, the
+event log replays, and the only randomness comes from the plan's seed.
+"""
+
+import pytest
+
+from repro.cluster import ClusterConfig, HostProcess
+from repro.ocl import enums
+from repro.ocl.errors import CLError
+from repro.testing import ChaosFabric, ChaosPlan
+from repro.transport import Message, NodeLostError, TransportError
+from repro.transport.sim import SimFabric
+
+
+class AckHandler:
+    def handle(self, message, now_s):
+        return message.reply(ok=True), now_s
+
+
+def ack_fabric(plan, nodes=("n0", "n1")):
+    return plan.wrap(SimFabric({n: AckHandler() for n in nodes}))
+
+
+def ping(fabric, node_id):
+    return fabric.connect(node_id).request(Message.request("ping"))
+
+
+class TestChaosPlanRules:
+    def test_kill_at_message_index(self):
+        plan = ChaosPlan()
+        plan.kill("n0", index=2)
+        fabric = ack_fabric(plan)
+        ping(fabric, "n0")  # index 0
+        ping(fabric, "n0")  # index 1
+        with pytest.raises(NodeLostError) as err:
+            ping(fabric, "n0")  # index 2: the kill
+        assert err.value.node_id == "n0"
+        assert plan.dead == {"n0"}
+
+    def test_kill_on_method_occurrence(self):
+        plan = ChaosPlan()
+        plan.kill("n0", method="write", occurrence=2)
+        fabric = ack_fabric(plan)
+        fabric.connect("n0").request(Message.request("write"))  # occ 1
+        ping(fabric, "n0")  # different method: not counted
+        with pytest.raises(NodeLostError):
+            fabric.connect("n0").request(Message.request("write"))  # occ 2
+
+    def test_dead_node_stays_dead(self):
+        plan = ChaosPlan()
+        plan.kill("n0", index=0)
+        fabric = ack_fabric(plan)
+        for _ in range(3):
+            with pytest.raises(NodeLostError):
+                ping(fabric, "n0")
+
+    def test_other_nodes_unaffected(self):
+        plan = ChaosPlan()
+        plan.kill("n0", index=0)
+        fabric = ack_fabric(plan)
+        with pytest.raises(NodeLostError):
+            ping(fabric, "n0")
+        assert ping(fabric, "n1").payload["ok"] is True
+
+    def test_hang_count_then_recovers(self):
+        plan = ChaosPlan()
+        plan.hang("n0", method="ping", occurrence=1, count=2)
+        fabric = ack_fabric(plan)
+        with pytest.raises(NodeLostError):
+            ping(fabric, "n0")
+        # the hang consumed its first occurrence; the rule keeps firing
+        # until count is spent, then the node answers again
+        with pytest.raises(NodeLostError):
+            ping(fabric, "n0")
+        assert ping(fabric, "n0").payload["ok"] is True
+        assert "n0" not in plan.dead
+
+    def test_blackout_returns_error_frame(self):
+        plan = ChaosPlan()
+        plan.blackout("n0", methods=("acquire_device",), count=2)
+        fabric = ack_fabric(plan)
+        for _ in range(2):
+            resp = fabric.connect("n0").request(
+                Message.request("acquire_device")
+            )
+            assert resp.is_error
+            assert resp.payload["code"] == enums.CL_DEVICE_NOT_AVAILABLE
+        # blackout over: the claim goes through again
+        resp = fabric.connect("n0").request(Message.request("acquire_device"))
+        assert not resp.is_error
+
+    def test_drop_peer_raises_transport_error(self):
+        plan = ChaosPlan()
+        plan.drop_peer(src="n0", dst="n1", count=1)
+        fabric = ack_fabric(plan)
+        with pytest.raises(TransportError):
+            fabric.peer_request("n0", "n1", Message.request("peer_request"))
+        resp, _elapsed = fabric.peer_request(
+            "n0", "n1", Message.request("peer_request")
+        )
+        assert resp.payload["ok"] is True
+
+    def test_delay_peer_inflates_elapsed(self):
+        plan = ChaosPlan()
+        plan.delay_peer(delay_s=0.5)
+        fabric = ack_fabric(plan)
+        _resp, slow = fabric.peer_request(
+            "n0", "n1", Message.request("peer_request")
+        )
+        assert slow >= 0.5
+
+    def test_peer_to_dead_node_is_node_lost(self):
+        plan = ChaosPlan()
+        plan.kill("n1", index=0)
+        fabric = ack_fabric(plan)
+        with pytest.raises(NodeLostError):
+            ping(fabric, "n1")
+        with pytest.raises(NodeLostError) as err:
+            fabric.peer_request("n0", "n1", Message.request("peer_request"))
+        assert err.value.node_id == "n1"
+
+
+class TestChaosDeterminism:
+    def test_kill_random_replays_from_seed(self):
+        picks = [
+            ChaosPlan(seed=42).kill_random(["a", "b", "c"]) for _ in range(3)
+        ]
+        assert picks[0] == picks[1] == picks[2]
+        other = ChaosPlan(seed=43).kill_random(["a", "b", "c"] * 7)
+        assert isinstance(other, tuple)  # may or may not differ; typed
+
+    def test_event_log_records_fired_faults(self):
+        plan = ChaosPlan(seed=7)
+        plan.kill("n0", method="ping", occurrence=2)
+        plan.drop_peer(count=1)
+        fabric = ack_fabric(plan)
+        ping(fabric, "n0")
+        with pytest.raises(TransportError):
+            fabric.peer_request("n0", "n1", Message.request("pull"))
+        with pytest.raises(NodeLostError):
+            ping(fabric, "n0")
+        kinds = [event["fault"] for event in plan.events]
+        assert kinds == ["drop_peer", "kill"]
+
+    def test_identical_plans_produce_identical_event_logs(self):
+        def run(seed):
+            plan = ChaosPlan(seed=seed)
+            plan.kill_random(["n0", "n1"], method="ping", max_occurrence=2)
+            fabric = ack_fabric(plan)
+            for node in ("n0", "n1"):
+                for _ in range(3):
+                    try:
+                        ping(fabric, node)
+                    except NodeLostError:
+                        pass
+            return plan.events
+
+        assert run(5) == run(5)
+
+
+class TestChaosFabricWrapping:
+    def test_passthrough_attributes(self):
+        plan = ChaosPlan()
+        inner = SimFabric({"n0": AckHandler()})
+        fabric = plan.wrap(inner)
+        assert isinstance(fabric, ChaosFabric)
+        assert fabric.netmodel is inner.netmodel
+        ping(fabric, "n0")
+        assert fabric.now_s() == inner.now_s()
+        assert fabric.messages == inner.messages
+
+    def test_rejoin_clears_death(self):
+        plan = ChaosPlan()
+        plan.kill("n0", index=0)
+        fabric = ack_fabric(plan)
+        with pytest.raises(NodeLostError):
+            ping(fabric, "n0")
+        fabric.add_node("n0", AckHandler())
+        assert ping(fabric, "n0").payload["ok"] is True
+
+    def test_host_launch_accepts_plan(self):
+        plan = ChaosPlan()
+        plan.kill("gpu0", method="ping", occurrence=1)
+        config = ClusterConfig.build(gpu_nodes=2)
+        with HostProcess.launch(config, transport="sim", chaos=plan) as host:
+            assert host.call("gpu1", "ping")["node_id"] == "gpu1"
+            with pytest.raises(NodeLostError):
+                host.call("gpu0", "ping")
+
+    def test_blackout_surfaces_as_clerror_through_host(self):
+        plan = ChaosPlan()
+        plan.blackout("gpu0", methods=("ping",), count=1)
+        config = ClusterConfig.build(gpu_nodes=1)
+        with HostProcess.launch(config, transport="sim", chaos=plan) as host:
+            with pytest.raises(CLError) as err:
+                host.call("gpu0", "ping")
+            assert err.value.code == enums.CL_DEVICE_NOT_AVAILABLE
+            assert host.call("gpu0", "ping")["node_id"] == "gpu0"

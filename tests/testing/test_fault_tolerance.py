@@ -1,0 +1,375 @@
+"""Node fault tolerance, end to end.
+
+The acceptance scenario of this layer: kill one node mid-pipeline on
+the sim fabric and every job still completes, bit-identical to the
+fault-free run, with the recovery visible in the counters and the whole
+chaos schedule replayable from its logged seed.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, HostProcess, NodeConfig
+from repro.core import HaoCLSession
+from repro.serve import HaoCLService, Job
+from repro.serve.job import DONE
+from repro.testing import ChaosPlan
+from repro.transport import NodeLostError
+from repro.workloads.base import load_kernel_source
+
+MATMUL = load_kernel_source("matrixmul.cl")
+SPMV = load_kernel_source("spmv.cl")
+CFD = load_kernel_source("cfd.cl")
+
+SAXPY = """
+__kernel void saxpy(__global float* y, __global const float* x,
+                    float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) y[i] = y[i] + a * x[i];
+}
+"""
+
+
+def matmul_job(tenant, n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)).astype(np.float32)
+    b = rng.standard_normal((n, n)).astype(np.float32)
+    c = np.zeros((n, n), dtype=np.float32)
+    return Job(tenant, MATMUL, "matmul",
+               [a, b, c, np.int32(n), np.int32(n)], (n, n))
+
+
+def spmv_job(tenant, nrows=16, seed=0):
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(1, 5, size=nrows)
+    row_ptr = np.zeros(nrows + 1, dtype=np.int32)
+    np.cumsum(lengths, out=row_ptr[1:])
+    nnz = int(row_ptr[-1])
+    cols = rng.integers(0, nrows, size=nnz).astype(np.int32)
+    vals = rng.standard_normal(nnz).astype(np.float32)
+    x = rng.standard_normal(nrows).astype(np.float32)
+    y = np.zeros(nrows, dtype=np.float32)
+    return Job(tenant, SPMV, "spmv_csr",
+               [row_ptr, cols, vals, x, y, np.int32(nrows)], (nrows,))
+
+
+def cfd_job(tenant, ncells=16, seed=0):
+    rng = np.random.default_rng(seed)
+    # physical state: density ~1, small momenta, energy well above the
+    # kinetic term, so pressure (hence the sound speed sqrt) stays > 0
+    variables = np.empty((ncells, 5), dtype=np.float32)
+    variables[:, 0] = rng.random(ncells) + 1.0
+    variables[:, 1:4] = (rng.random((ncells, 3)) - 0.5) * 0.2
+    variables[:, 4] = rng.random(ncells) + 10.0
+    variables = variables.reshape(-1)
+    areas = (rng.random(ncells) + 0.5).astype(np.float32)
+    step_factors = np.zeros(ncells, dtype=np.float32)
+    return Job(tenant, CFD, "cfd_step_factor",
+               [variables, areas, step_factors, np.int32(ncells)], (ncells,))
+
+
+def run_service(job_factory, chaos=None, gpu_nodes=3, **service_kw):
+    """One full serve run on a fresh sim cluster; returns (jobs, fault
+    counters)."""
+    service_kw.setdefault("max_retries", 3)
+    with HaoCLSession(gpu_nodes=gpu_nodes, mode="real", transport="sim",
+                      chaos=chaos) as session:
+        with HaoCLService(session, **service_kw) as service:
+            jobs = [service.submit(job) for job in job_factory()]
+            service.run()
+            fault = service.fault_stats()
+    return jobs, fault
+
+
+def result_arrays(jobs):
+    return [
+        {name: array.copy() for name, array in job.result.items()}
+        if job.result else None
+        for job in jobs
+    ]
+
+
+def assert_bit_identical(expected, actual):
+    assert len(expected) == len(actual)
+    for want, got in zip(expected, actual):
+        assert want is not None and got is not None
+        assert sorted(want) == sorted(got)
+        for name in want:
+            assert np.array_equal(want[name], got[name]), name
+
+
+class TestHeartbeat:
+    def test_sweep_detects_killed_node(self):
+        plan = ChaosPlan()
+        config = ClusterConfig.build(gpu_nodes=3)
+        with HostProcess.launch(config, transport="sim", chaos=plan) as host:
+            seen = []
+            host.on_node_lost(lambda node, devices: seen.append((node,
+                                                                 devices)))
+            assert len(host.registry) == 3
+            plan.kill("gpu1")  # dies on its next message
+            lost = host.heartbeat()
+        assert lost == ["gpu1"]
+        assert host.is_lost("gpu1")
+        assert host.live_nodes() == ["gpu0", "gpu2"]
+        assert len(host.registry) == 2
+        # the callback saw the node id and its removed devices
+        assert [node for node, _d in seen] == ["gpu1"]
+        assert len(seen[0][1]) == 1
+
+    def test_heartbeat_updates_last_seen(self):
+        config = ClusterConfig.build(gpu_nodes=1)
+        with HostProcess.launch(config, transport="sim") as host:
+            before = host.last_seen["gpu0"]
+            host.heartbeat()
+            assert host.last_seen["gpu0"] > before
+
+    def test_heartbeat_payload_reports_load(self):
+        config = ClusterConfig.build(gpu_nodes=1)
+        with HostProcess.launch(config, transport="sim") as host:
+            payload = host.call("gpu0", "heartbeat")
+            assert payload["node_id"] == "gpu0"
+            assert payload["messages"] >= 1
+            assert "resident_bytes" in payload
+
+    def test_background_thread_on_wallclock_fabric(self):
+        plan = ChaosPlan()
+        config = ClusterConfig.build(gpu_nodes=2)
+        with HostProcess.launch(config, transport="inproc", chaos=plan,
+                                heartbeat_interval_s=0.05) as host:
+            assert host._hb_thread is not None
+            plan.dead.add("gpu1")  # the daemon stops answering
+            deadline = time.time() + 2.0
+            while not host.is_lost("gpu1") and time.time() < deadline:
+                time.sleep(0.02)
+            assert host.is_lost("gpu1")
+
+    def test_sim_fabric_never_starts_thread(self):
+        config = ClusterConfig.build(gpu_nodes=1)
+        with HostProcess.launch(config, transport="sim",
+                                heartbeat_interval_s=0.05) as host:
+            assert host._hb_thread is None  # sweeps stay test-driven
+
+    def test_calls_to_lost_node_short_circuit(self):
+        config = ClusterConfig.build(gpu_nodes=2)
+        with HostProcess.launch(config, transport="sim") as host:
+            host.mark_lost("gpu0")
+            with pytest.raises(NodeLostError):
+                host.call("gpu0", "ping")
+            assert host.mark_lost("gpu0") == []  # idempotent
+
+
+class TestAcceptanceChaosRun:
+    """Kill one node mid-pipeline; all jobs complete bit-identical."""
+
+    SEED = 11
+
+    @staticmethod
+    def factory():
+        return [matmul_job("t%d" % (i % 2), seed=i) for i in range(6)]
+
+    def _chaos_run(self):
+        baseline_jobs, baseline_fault = run_service(self.factory)
+        assert all(job.state == DONE for job in baseline_jobs)
+        assert baseline_fault["node_losses"] == 0
+        victim = baseline_jobs[0].device.node_id
+
+        plan = ChaosPlan(seed=self.SEED)
+        plan.kill_random([victim], method="enqueue_ndrange",
+                         max_occurrence=3)
+        jobs, fault = run_service(self.factory, chaos=plan)
+        return baseline_jobs, jobs, fault, plan
+
+    def test_all_jobs_complete_bit_identical(self):
+        baseline_jobs, jobs, fault, plan = self._chaos_run()
+        assert all(job.state == DONE for job in jobs)
+        assert_bit_identical(result_arrays(baseline_jobs),
+                             result_arrays(jobs))
+        # the recovery is visible in the counters, not just the results
+        assert fault["node_losses"] >= 1
+        assert fault["jobs_retried"] >= 1
+        assert fault["nodes_lost"] >= 1
+        assert any(event["fault"] == "kill" for event in plan.events)
+
+    def test_chaos_run_reproducible_from_logged_seed(self):
+        _baseline, jobs_a, fault_a, plan_a = self._chaos_run()
+        _baseline, jobs_b, fault_b, plan_b = self._chaos_run()
+        assert plan_a.seed == plan_b.seed == self.SEED
+        assert plan_a.events == plan_b.events
+        assert fault_a == fault_b
+        assert_bit_identical(result_arrays(jobs_a), result_arrays(jobs_b))
+
+    def test_retry_budget_exhaustion_fails_typed(self):
+        plan = ChaosPlan()
+        for node in ("gpu0", "gpu1"):
+            plan.kill(node, method="enqueue_ndrange", occurrence=1)
+        jobs, fault = run_service(
+            lambda: [matmul_job("solo", seed=9)],
+            chaos=plan, gpu_nodes=2, max_retries=1,
+        )
+        (job,) = jobs
+        assert job.state == "failed"
+        assert "retry budget" in str(job.error)
+        assert fault["node_losses"] == 2
+
+
+class TestReplicaPlacement:
+    def test_replica_survives_node_loss(self):
+        with HaoCLSession(gpu_nodes=2, mode="real",
+                          transport="inproc") as session:
+            context = session.context()
+            device = session.devices[0]
+            queue = session.queue(context, device)
+            y = np.ones(64, dtype=np.float32)
+            x = np.full(64, 2.0, dtype=np.float32)
+            ybuf = session.buffer_from(context, y)
+            xbuf = session.buffer_from(context, x)
+            kernel = session.kernel(
+                session.program(context, SAXPY), "saxpy",
+                ybuf, xbuf, np.float32(3.0), np.int32(64),
+            )
+            session.enqueue(queue, kernel, (64,))
+            session.finish(queue)
+            owner = device.node_id
+            assert ybuf.fresh == {owner}
+            session.cl.icd.replicate(ybuf, k=2)
+            assert len(ybuf.fresh) == 2
+            # the node holding the primary copy dies before the read
+            session.host.mark_lost(owner)
+            assert owner not in ybuf.fresh
+            other = session.devices_of("GPU")[0]
+            out = session.read_array(session.queue(context, other), ybuf,
+                                     np.float32)
+            assert np.allclose(out, 7.0)  # 1 + 3*2, read from the replica
+            stats = session.cl.icd.transfer_stats()
+            assert stats["dmp_replicas"] >= 1
+            assert stats["replicas_lost"] == 0
+
+    def test_service_pushes_replicas(self):
+        jobs, fault = run_service(
+            lambda: [matmul_job("dup", seed=3) for _ in range(2)],
+            replicas=2, gpu_nodes=2,
+        )
+        assert all(job.state == DONE for job in jobs)
+        assert fault["dmp_replicas"] >= 1
+        assert fault["dmp_replica_bytes"] > 0
+
+
+class TestElasticity:
+    def test_graceful_leave_drains_dirty_buffers(self):
+        with HaoCLSession(gpu_nodes=2, mode="real",
+                          transport="inproc") as session:
+            context = session.context()
+            device = session.devices[0]
+            queue = session.queue(context, device)
+            data = np.arange(32, dtype=np.float32)
+            buf = session.buffer_from(context, data)
+            kernel = session.kernel(
+                session.program(context, SAXPY), "saxpy",
+                buf, session.buffer_from(context, data), np.float32(1.0),
+                np.int32(32),
+            )
+            session.enqueue(queue, kernel, (32,))
+            session.finish(queue)
+            assert buf.fresh == {device.node_id}
+            session.leave_node(device.node_id)
+            stats = session.cl.icd.transfer_stats()
+            assert stats["dmp_drains"] >= 1
+            assert stats["replicas_lost"] == 0  # drained, not lost
+            other = session.devices[0]
+            out = session.read_array(session.queue(context, other), buf,
+                                     np.float32)
+            assert np.allclose(out, data * 2)
+
+    def test_node_join_adds_devices(self):
+        with HaoCLSession(gpu_nodes=1, mode="real",
+                          transport="inproc") as session:
+            assert len(session.devices) == 1
+            joined = session.add_node(NodeConfig("late0", ["gpu"],
+                                                 mode="real"))
+            assert len(joined) == 1
+            assert len(session.devices) == 2
+            # fresh global id, never reused
+            assert joined[0].global_id == 2
+            assert session.host.call("late0", "ping")["node_id"] == "late0"
+
+    def test_rejoin_after_loss_gets_fresh_ids(self):
+        with HaoCLSession(gpu_nodes=2, mode="real",
+                          transport="inproc") as session:
+            session.host.mark_lost("gpu1")
+            assert len(session.devices) == 1
+            rejoined = session.add_node(NodeConfig("gpu1", ["gpu"],
+                                                   mode="real"))
+            assert not session.host.is_lost("gpu1")
+            assert rejoined[0].global_id == 3
+            assert len(session.devices) == 2
+
+    def test_service_sync_devices_after_join(self):
+        with HaoCLSession(gpu_nodes=1, mode="real",
+                          transport="inproc") as session:
+            with HaoCLService(session) as service:
+                job_a = service.submit(matmul_job("grow", seed=1))
+                service.run()
+                assert job_a.state == DONE
+                session.add_node(NodeConfig("late0", ["gpu"], mode="real"))
+                added = service.sync_devices()
+                assert len(added) == 1
+                assert len(service.admission.devices) == 2
+                job_b = service.submit(matmul_job("grow", seed=2))
+                service.run()
+                assert job_b.state == DONE
+
+    def test_loss_shrinks_service_capacity(self):
+        with HaoCLSession(gpu_nodes=2, mode="real",
+                          transport="inproc") as session:
+            with HaoCLService(session) as service:
+                assert len(service.admission.devices) == 2
+                session.host.mark_lost("gpu1")
+                assert len(service.admission.devices) == 1
+                job = service.submit(matmul_job("shrink", seed=4))
+                service.run()
+                assert job.state == DONE
+
+
+class TestDifferentialChaos:
+    """Non-fatal chaos (dropped and delayed peer transfers, a lease
+    blackout) must never change results: the degraded paths are slower,
+    not different."""
+
+    CASES = [
+        ("matmul", lambda: [matmul_job("diff", seed=s) for s in range(3)]),
+        ("spmv", lambda: [spmv_job("diff", seed=s) for s in range(3)]),
+        ("cfd", lambda: [cfd_job("diff", seed=s) for s in range(3)]),
+    ]
+
+    @pytest.mark.parametrize("name,factory", CASES,
+                             ids=[c[0] for c in CASES])
+    def test_peer_faults_keep_results_bit_identical(self, name, factory):
+        clean_jobs, _fault = run_service(factory, gpu_nodes=2)
+        assert all(job.state == DONE for job in clean_jobs)
+
+        plan = ChaosPlan(seed=3)
+        plan.drop_peer(count=2)
+        plan.delay_peer(delay_s=0.01)
+        plan.blackout("gpu0", methods=("acquire_device",), count=1)
+        chaos_jobs, _fault = run_service(factory, chaos=plan, gpu_nodes=2)
+        assert all(job.state == DONE for job in chaos_jobs)
+        assert_bit_identical(result_arrays(clean_jobs),
+                             result_arrays(chaos_jobs))
+
+    @pytest.mark.parametrize("name,factory", CASES,
+                             ids=[c[0] for c in CASES])
+    def test_node_kill_keeps_results_bit_identical(self, name, factory):
+        clean_jobs, _fault = run_service(factory)
+        assert all(job.state == DONE for job in clean_jobs)
+        victim = clean_jobs[0].device.node_id
+
+        plan = ChaosPlan(seed=5)
+        plan.kill(victim, method="enqueue_ndrange", occurrence=1)
+        chaos_jobs, fault = run_service(factory, chaos=plan)
+        assert all(job.state == DONE for job in chaos_jobs)
+        assert fault["node_losses"] == 1
+        assert_bit_identical(result_arrays(clean_jobs),
+                             result_arrays(chaos_jobs))

@@ -1,0 +1,20 @@
+"""Deterministic seeding for the transport tests.
+
+Same contract as ``tests/cluster/conftest.py``: each test's ``random``
+and ``np.random`` state is derived from its node id, so sim-fabric
+runs (and any chaos schedules layered on them) replay identically.
+"""
+
+import random
+import zlib
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_seed(request):
+    seed = zlib.crc32(request.node.nodeid.encode("utf-8"))
+    random.seed(seed)
+    np.random.seed(seed & 0xFFFFFFFF)
+    yield seed

@@ -1,9 +1,14 @@
 """Tests for message framing and the three fabrics."""
 
+import socket
+import threading
+
 import numpy as np
 import pytest
 
-from repro.transport import Message, MessageKind, NetworkModel, TransportError
+from repro.transport import (
+    Message, MessageKind, NetworkModel, NodeLostError, TransportError,
+)
 from repro.transport.inproc import InProcFabric
 from repro.transport.netmodel import GigabitEthernet
 from repro.transport.sim import SimFabric
@@ -198,5 +203,102 @@ class TestTcpFabric:
             for index in range(20):
                 resp = channel.request(Message.request("p", i=index))
                 assert resp.payload["echo"]["i"] == index
+        finally:
+            fabric.close()
+
+
+def _half_close_server():
+    """A raw acceptor that closes every connection mid-request, the way
+    a crashing daemon half-closes its sockets.  Returns (address, stop)."""
+    listener = socket.create_server(("127.0.0.1", 0))
+    listener.settimeout(0.2)
+    stop = threading.Event()
+
+    def loop():
+        while not stop.is_set():
+            try:
+                conn, _peer = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            conn.recv(64)  # swallow part of the frame, then vanish
+            conn.close()
+        listener.close()
+
+    threading.Thread(target=loop, daemon=True).start()
+    return listener.getsockname(), stop
+
+
+class TestTcpNodeLoss:
+    """A dead or unresponsive peer must surface as a typed
+    NodeLostError carrying the node id -- never a hang, never a falsy
+    payload the caller could mistake for data."""
+
+    def test_half_close_raises_node_lost(self):
+        address, stop = _half_close_server()
+        fabric = TcpFabric()
+        fabric.add_remote("n0", address)
+        try:
+            with pytest.raises(NodeLostError) as err:
+                fabric.connect("n0").request(Message.request("ping"))
+            assert err.value.node_id == "n0"
+        finally:
+            stop.set()
+            fabric.close()
+
+    def test_half_close_during_peer_request(self):
+        address, stop = _half_close_server()
+        fabric = TcpFabric({"src": EchoHandler()})
+        fabric.add_remote("dst", address)
+        try:
+            with pytest.raises(NodeLostError) as err:
+                fabric.peer_request(
+                    "src", "dst",
+                    Message.request("peer_request",
+                                    data=np.zeros(1024, dtype=np.uint8)),
+                )
+            assert err.value.node_id == "dst"
+        finally:
+            stop.set()
+            fabric.close()
+
+    def test_silent_node_times_out_as_node_lost(self):
+        # accepts the connection, never answers: the bounded wait turns
+        # into a loss signal instead of blocking the host forever
+        listener = socket.create_server(("127.0.0.1", 0))
+        fabric = TcpFabric()
+        fabric.add_remote("mute", listener.getsockname(), timeout_s=0.2)
+        try:
+            with pytest.raises(NodeLostError) as err:
+                fabric.connect("mute").request(Message.request("ping"))
+            assert err.value.node_id == "mute"
+            assert "no response" in str(err.value)
+        finally:
+            fabric.close()
+            listener.close()
+
+    def test_killed_server_severs_live_channels(self):
+        fabric = TcpFabric({"n0": EchoHandler()})
+        try:
+            channel = fabric.connect("n0")
+            assert channel.request(Message.request("p", v=1)).payload
+            fabric._servers["n0"].close()  # the node daemon dies
+            with pytest.raises(NodeLostError) as err:
+                channel.request(Message.request("p", v=2))
+            assert err.value.node_id == "n0"
+        finally:
+            fabric.close()
+
+    def test_connect_to_dead_address_raises(self):
+        listener = socket.create_server(("127.0.0.1", 0))
+        address = listener.getsockname()
+        listener.close()  # port is now dead
+        fabric = TcpFabric()
+        fabric.add_remote("gone", address, timeout_s=0.5)
+        try:
+            with pytest.raises(NodeLostError) as err:
+                fabric.connect("gone")
+            assert err.value.node_id == "gone"
         finally:
             fabric.close()
