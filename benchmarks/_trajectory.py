@@ -1,0 +1,26 @@
+"""Shared helper for trajectory files.
+
+Serving benchmarks append one record per run to ``BENCH_serve.json`` at
+the repo root, so throughput and recovery overhead are tracked across
+PRs.  The file is a JSON list; every writer goes through
+:func:`append_record` so the format stays uniform.
+"""
+
+import json
+import os
+
+SERVE_TRAJECTORY = os.path.join(os.path.dirname(__file__), os.pardir,
+                                "BENCH_serve.json")
+
+
+def append_record(record, path=SERVE_TRAJECTORY):
+    """Append ``record`` to the JSON-list trajectory file at ``path``."""
+    trajectory = []
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as fh:
+            trajectory = json.load(fh)
+    trajectory.append(record)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trajectory, fh, indent=2)
+        fh.write("\n")
+    return path

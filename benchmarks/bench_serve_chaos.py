@@ -10,12 +10,12 @@ Run:  PYTHONPATH=src python -m pytest benchmarks/bench_serve_chaos.py -q
 Quick mode (CI):  BENCH_QUICK=1 ... (fewer jobs, same shape)
 """
 
-import json
 import os
 import time
 
 import numpy as np
 
+from _trajectory import append_record
 from repro.core import HaoCLSession
 from repro.serve import HaoCLService, Job
 from repro.serve.job import DONE
@@ -33,10 +33,6 @@ __kernel void saxpy(__global float* y, __global const float* x,
     if (i < n) y[i] = y[i] + a * x[i];
 }
 """
-
-TRAJECTORY = os.path.join(os.path.dirname(__file__), os.pardir,
-                          "BENCH_serve.json")
-
 
 def saxpy_job(tenant, seed):
     rng = np.random.default_rng(seed)
@@ -60,17 +56,6 @@ def serve_round(chaos=None):
             elapsed = time.perf_counter() - start
             fault = service.fault_stats()
     return jobs, elapsed, fault
-
-
-def append_record(record):
-    trajectory = []
-    if os.path.exists(TRAJECTORY):
-        with open(TRAJECTORY, "r", encoding="utf-8") as fh:
-            trajectory = json.load(fh)
-    trajectory.append(record)
-    with open(TRAJECTORY, "w", encoding="utf-8") as fh:
-        json.dump(trajectory, fh, indent=2)
-        fh.write("\n")
 
 
 class TestServeChaosThroughput:

@@ -13,11 +13,13 @@ the cliff HaoCL's "as fast as the hardware allows" pitch has to clear.
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_serve_throughput.py -q
 """
 
+import os
 import time
 
 import numpy as np
 import pytest
 
+from _trajectory import append_record
 from repro.core import HaoCLSession
 from repro.ocl.fastpath import FastPathRegistry
 from repro.serve import HaoCLService, Job
@@ -30,8 +32,9 @@ __kernel void saxpy(__global float* y, __global const float* x,
 }
 """
 
+QUICK = bool(int(os.environ.get("BENCH_QUICK", "0")))
 N = 128
-JOBS = 48
+JOBS = 16 if QUICK else 48
 
 
 def saxpy_job(tenant):
@@ -168,3 +171,36 @@ class TestQueueWaitPercentiles:
         with capsys.disabled():
             print("\n[serve] %d tenant(s): queue wait p50=%.2fms p99=%.2fms"
                   % (ntenants, p50 * 1e3, p99 * 1e3))
+
+
+class TestTrajectory:
+    def test_append_throughput_record(self, capsys):
+        """One timed single- and eight-tenant round into the serving
+        trajectory file, alongside the chaos bench's records."""
+        with HaoCLSession(gpu_nodes=2, fpga_nodes=1, mode="real",
+                          transport="inproc") as session:
+            t0 = time.perf_counter()
+            solo = serve_round(session, ["solo"])
+            solo_s = time.perf_counter() - t0
+            tenants = ["t%d" % i for i in range(8)]
+            t0 = time.perf_counter()
+            multi = serve_round(session, tenants)
+            multi_s = time.perf_counter() - t0
+        record = {
+            "bench": "serve_throughput",
+            "date": time.strftime("%Y-%m-%d"),
+            "quick": QUICK,
+            "jobs": JOBS,
+            "nodes": 3,
+            "single_tenant_jobs_per_s": round(JOBS / solo_s, 1),
+            "eight_tenant_jobs_per_s": round(JOBS / multi_s, 1),
+            "queue_wait_p99_s": max(
+                stats["queue_wait_p99_s"] for stats in multi.values()),
+        }
+        assert solo["solo"]["completed"] == JOBS
+        append_record(record)
+        with capsys.disabled():
+            print("\n[serve] trajectory: 1 tenant %.1f jobs/s, "
+                  "8 tenants %.1f jobs/s"
+                  % (record["single_tenant_jobs_per_s"],
+                     record["eight_tenant_jobs_per_s"]))

@@ -1,0 +1,124 @@
+"""Telemetry must be free when it is off.
+
+Every instrumentation site on the launch path costs one attribute
+check when tracing is disabled (``Tracer.span`` returns the shared
+null handle) or one pre-resolved counter bump.  This bench measures
+those per-hook costs directly, measures a real per-launch time on the
+in-proc cluster, and asserts that even a generous hook budget per
+launch stays under 3% of the launch itself -- the guard CI runs so an
+eager future instrumentation PR cannot tax the un-instrumented path.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_telemetry_overhead.py -q
+Quick mode (CI):  BENCH_QUICK=1 ... (fewer timing iterations)
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import HaoCLSession
+from repro.obs import MetricsRegistry, Tracer
+
+QUICK = bool(int(os.environ.get("BENCH_QUICK", "0")))
+HOOK_ITERS = 20000 if QUICK else 200000
+LAUNCHES = 60 if QUICK else 200
+
+#: instrumentation sites one serve-path launch crosses end to end,
+#: counted generously per hook kind: spans (admit, queue, place,
+#: dispatch, finish, collect, launch, node execute/read/write),
+#: counters (host calls, tenant/job/batch bumps, ICD ledger) and
+#: histograms (queue wait, node launch seconds)
+SPAN_SITES = 10
+COUNTER_SITES = 25
+HISTOGRAM_SITES = 5
+
+#: disabled-path telemetry budget per launch
+MAX_OVERHEAD = 0.03
+
+SAXPY = """
+__kernel void saxpy(__global float* y, __global const float* x,
+                    float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) y[i] = y[i] + a * x[i];
+}
+"""
+
+N = 256
+
+
+def time_per_call(fn, iters):
+    start = time.perf_counter()
+    for _ in range(iters):
+        fn()
+    return (time.perf_counter() - start) / iters
+
+
+def measure_hook_costs():
+    """Per-call cost of each disabled-path hook kind, in seconds."""
+    tracer = Tracer(enabled=False)
+    registry = MetricsRegistry()
+    counter = registry.counter("bench_total", labels=("tenant",)) \
+                      .labels(tenant="t0")
+    hist = registry.histogram("bench_seconds", bounds=[1e-6, 1e-3])
+
+    def null_span():
+        with tracer.span("launch", kernel="saxpy"):
+            pass
+
+    return {
+        "span_disabled_s": time_per_call(null_span, HOOK_ITERS),
+        "counter_inc_s": time_per_call(counter.inc, HOOK_ITERS),
+        "histogram_observe_s": time_per_call(
+            lambda: hist.observe(1e-4), HOOK_ITERS),
+    }
+
+
+def measure_launch_time():
+    """Per-launch wall time of the real enqueue path, telemetry at its
+    default (metrics on, tracing off) -- the production configuration."""
+    with HaoCLSession(gpu_nodes=2, mode="real",
+                      transport="inproc") as session:
+        ctx = session.context()
+        program = session.program(ctx, SAXPY)
+        y = session.buffer_from(ctx, np.zeros(N, dtype=np.float32))
+        x = session.buffer_from(ctx, np.ones(N, dtype=np.float32))
+        kernel = session.kernel(program, "saxpy", y, x, np.float32(2.0),
+                                np.int32(N))
+        queue = session.queue(ctx, session.devices[0])
+        session.enqueue(queue, kernel, (N,))  # warm the compile cache
+        session.finish(queue)
+        start = time.perf_counter()
+        for _ in range(LAUNCHES):
+            session.enqueue(queue, kernel, (N,))
+        session.finish(queue)
+        return (time.perf_counter() - start) / LAUNCHES
+
+
+class TestDisabledPathOverhead:
+    def test_disabled_telemetry_under_three_percent_of_a_launch(self,
+                                                                capsys):
+        hooks = measure_hook_costs()
+        launch_s = measure_launch_time()
+        budget_s = (hooks["span_disabled_s"] * SPAN_SITES
+                    + hooks["counter_inc_s"] * COUNTER_SITES
+                    + hooks["histogram_observe_s"] * HISTOGRAM_SITES)
+        overhead = budget_s / launch_s
+        with capsys.disabled():
+            print("\nper-hook (ns): span=%.0f counter=%.0f histogram=%.0f"
+                  % (hooks["span_disabled_s"] * 1e9,
+                     hooks["counter_inc_s"] * 1e9,
+                     hooks["histogram_observe_s"] * 1e9))
+            print("launch=%.1fus  budget(%d+%d+%d hooks)=%.2fus  "
+                  "overhead=%.2f%%"
+                  % (launch_s * 1e6, SPAN_SITES, COUNTER_SITES,
+                     HISTOGRAM_SITES, budget_s * 1e6, overhead * 100))
+        assert overhead < MAX_OVERHEAD, (
+            "disabled-path telemetry budget %.2f%% exceeds %.0f%%"
+            % (overhead * 100, MAX_OVERHEAD * 100)
+        )
+
+    def test_null_span_is_shared_and_allocation_free(self):
+        tracer = Tracer(enabled=False)
+        handles = {id(tracer.span("a")), id(tracer.span("b", k=1))}
+        assert len(handles) == 1  # one shared null handle, no allocs

@@ -21,12 +21,14 @@ import threading
 
 from repro.cluster.config import NodeConfig
 from repro.cluster.nmp import NodeManagementProcess
+from repro.obs import configure_logging
 from repro.transport.tcp import NodeServer
 
 
-def serve(node_config, host="127.0.0.1", port=0, announce=print):
+def serve(node_config, host="127.0.0.1", port=0, announce=print,
+          trace=False):
     """Start one NMP server; returns (server, nmp). Non-blocking."""
-    nmp = NodeManagementProcess(node_config)
+    nmp = NodeManagementProcess(node_config, trace=trace)
     server = NodeServer(nmp, host=host, port=port)
     announce("NMP %s serving %s devices on %s:%d (mode=%s)"
              % (node_config.node_id, "+".join(node_config.devices),
@@ -52,14 +54,25 @@ def main(argv=None):
                         help="advertised grace period before the host "
                              "declares this node lost (also the host's "
                              "TCP request timeout toward it)")
+    parser.add_argument("--log-level", default=None,
+                        choices=("debug", "info", "warning", "error"),
+                        help="enable runtime logging at this level "
+                             "(silent when omitted)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record job-lifecycle spans from startup "
+                             "(a connecting host can also flip this on "
+                             "via the set_telemetry op)")
     args = parser.parse_args(argv)
+    if args.log_level:
+        configure_logging(args.log_level)
     node_config = NodeConfig(
         args.node_id, args.devices.split(","),
         host=args.host, port=args.port, mode=args.mode,
         dmp_capacity_bytes=args.dmp_capacity_bytes,
         heartbeat_timeout_s=args.heartbeat_timeout,
     )
-    server, _nmp = serve(node_config, host=args.host, port=args.port)
+    server, _nmp = serve(node_config, host=args.host, port=args.port,
+                         trace=args.trace)
     # line-oriented announce so a parent process can scrape the port
     print("LISTENING %s %d" % server.address, flush=True)
     try:

@@ -22,6 +22,10 @@ peer-facing halves (the execution).
 
 import collections
 
+from repro.obs import get_logger
+
+log = get_logger("dmp")
+
 
 class _Resident:
     """One replica's residency record."""
@@ -160,11 +164,15 @@ class DataManagementProcess:
             if channel is None:
                 from repro.transport.tcp import TcpChannel
 
+                log.debug("node %s opening direct peer channel to %s at %s",
+                          self.node_id, dst_node, tuple(addr))
                 channel = TcpChannel(tuple(addr), node_id=dst_node)
                 self._peer_channels[dst_node] = channel
             return channel.request(message), 0.0
         from repro.transport.base import TransportError
 
+        log.warning("node %s has no peer link to %s; caller falls back "
+                    "to host relay", self.node_id, dst_node)
         raise TransportError(
             "node %s has no peer link to %s" % (self.node_id, dst_node)
         )

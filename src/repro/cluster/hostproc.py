@@ -20,6 +20,7 @@ import threading
 
 from repro.cluster.nmp import NodeManagementProcess
 from repro.cluster.registry import DeviceRegistry
+from repro.obs import Telemetry, clock_for, get_logger
 from repro.ocl.errors import CLError
 from repro.transport.base import NodeLostError, TransportError
 from repro.transport.inproc import InProcFabric
@@ -30,14 +31,25 @@ from repro.transport.tcp import TcpFabric
 #: default grace period before an unresponsive node is declared lost
 DEFAULT_HEARTBEAT_TIMEOUT_S = 5.0
 
+log = get_logger("cluster")
+
 
 class HostProcess:
     """The single host node of a HaoCL cluster."""
 
     def __init__(self, config, fabric, heartbeat_interval_s=None,
-                 heartbeat_timeout_s=None):
+                 heartbeat_timeout_s=None, telemetry=None):
         self.config = config
         self.fabric = fabric
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.telemetry.bind_clock(clock_for(fabric))
+        self._m_calls = self.telemetry.metrics.counter(
+            "haocl_host_calls_total",
+            "Requests the host sent to nodes", labels=("method",),
+        )
+        if self.telemetry.trace_enabled and hasattr(fabric, "attach_tracer"):
+            # the chaos layer emits fault events into the host's trace
+            fabric.attach_tracer(self.telemetry.tracer)
         self.registry = DeviceRegistry()
         self._channels = {}
         #: nodes declared dead; every call to them short-circuits with
@@ -62,7 +74,8 @@ class HostProcess:
     @classmethod
     def launch(cls, config, transport="inproc", netmodel=None, fastpaths=None,
                vectorize=True, dmp_capacity_bytes=None, chaos=None,
-               heartbeat_interval_s=None, heartbeat_timeout_s=None):
+               heartbeat_interval_s=None, heartbeat_timeout_s=None,
+               telemetry=None):
         """Spin up NMPs for every configured node on the chosen transport.
 
         ``transport`` is one of ``inproc``, ``sim``, ``tcp``.  For ``sim``
@@ -80,10 +93,11 @@ class HostProcess:
         heartbeat sweep on wall-clock fabrics (sim fabrics are driven
         manually via :meth:`heartbeat` to stay deterministic).
         """
+        trace = telemetry.trace_enabled if telemetry is not None else False
         handlers = {
             node.node_id: NodeManagementProcess(
                 node, fastpaths=fastpaths, vectorize=vectorize,
-                dmp_capacity_bytes=dmp_capacity_bytes,
+                dmp_capacity_bytes=dmp_capacity_bytes, trace=trace,
             )
             for node in config
         }
@@ -103,10 +117,11 @@ class HostProcess:
             handler.attach_fabric(fabric)
         host = cls(config, fabric,
                    heartbeat_interval_s=heartbeat_interval_s,
-                   heartbeat_timeout_s=heartbeat_timeout_s)
+                   heartbeat_timeout_s=heartbeat_timeout_s,
+                   telemetry=telemetry)
         host._node_kwargs = {
             "fastpaths": fastpaths, "vectorize": vectorize,
-            "dmp_capacity_bytes": dmp_capacity_bytes,
+            "dmp_capacity_bytes": dmp_capacity_bytes, "trace": trace,
         }
         if heartbeat_interval_s and getattr(fabric, "sim", None) is None:
             host.start_heartbeat()
@@ -114,7 +129,7 @@ class HostProcess:
 
     @classmethod
     def connect_remote(cls, config, heartbeat_interval_s=None,
-                       heartbeat_timeout_s=None):
+                       heartbeat_timeout_s=None, telemetry=None):
         """Connect to NMP daemons already running in other processes.
 
         Every node in the configuration must carry its (host, port) --
@@ -134,7 +149,16 @@ class HostProcess:
                               timeout_s=node.heartbeat_timeout_s)
         host = cls(config, fabric,
                    heartbeat_interval_s=heartbeat_interval_s,
-                   heartbeat_timeout_s=heartbeat_timeout_s)
+                   heartbeat_timeout_s=heartbeat_timeout_s,
+                   telemetry=telemetry)
+        if host.telemetry.trace_enabled:
+            # daemons were started with tracing off; flip them on so
+            # their spans accumulate for drain_traces()
+            for node in config:
+                try:
+                    host.call(node.node_id, "set_telemetry", trace=True)
+                except (CLError, TransportError, NodeLostError):
+                    pass  # an old daemon without the op stays untraced
         if heartbeat_interval_s:
             host.start_heartbeat()
         return host
@@ -156,7 +180,12 @@ class HostProcess:
         """
         if node_id in self.lost_nodes:
             raise NodeLostError(node_id, "marked lost by the host")
-        response = self.channel(node_id).request(Message.request(method, **payload))
+        self._m_calls.labels(method=method).inc()
+        message = Message.request(method, **payload)
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            message.trace = tracer.current_wire()
+        response = self.channel(node_id).request(message)
         if response.is_error:
             raise CLError(
                 response.payload.get("code", -9999),
@@ -212,6 +241,10 @@ class HostProcess:
         returns the devices removed (empty on a repeat call)."""
         if node_id in self.lost_nodes:
             return []
+        log.warning("node %s marked lost (%s)", node_id, reason)
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            tracer.event("node.lost", node=node_id, reason=reason)
         devices = self.registry.by_node(node_id)
         self.lost_nodes.add(node_id)
         channel = self._channels.pop(node_id, None)
@@ -307,6 +340,26 @@ class HostProcess:
             for node in self.config
             if node.node_id not in self.lost_nodes
         }
+
+    def drain_traces(self):
+        """Pull every live node's span buffer into the host tracer, so
+        one :meth:`Tracer.chrome_trace` export covers the whole cluster.
+        Unreachable nodes are skipped (their spans died with them).
+        Returns the number of spans ingested."""
+        tracer = self.telemetry.tracer
+        total = 0
+        for node in list(self.config):
+            node_id = node.node_id
+            if node_id in self.lost_nodes:
+                continue
+            try:
+                payload = self.call(node_id, "drain_trace")
+            except (CLError, TransportError, NodeLostError):
+                continue
+            spans = payload.get("spans") or []
+            tracer.ingest(spans)
+            total += len(spans)
+        return total
 
     def peer_addr(self, node_id):
         """(host, port) a peer node listens on, or None.  Included in

@@ -18,10 +18,12 @@ though every message exchange is synchronous.
 """
 
 import itertools
+import threading
 
 from repro.clc.analysis import classify_param_access
 from repro.clc.interp import LocalMem
 from repro.cluster.dmp import DataManagementProcess
+from repro.obs import Telemetry, log_buckets
 from repro.ocl import CLRuntime, enums
 from repro.ocl.errors import CLError
 from repro.ocl.device import model_by_name
@@ -67,9 +69,21 @@ class NodeManagementProcess(NodeHandler):
     """One device node's daemon."""
 
     def __init__(self, node_config, fastpaths=None, vectorize=True,
-                 dmp_capacity_bytes=None):
+                 dmp_capacity_bytes=None, trace=False):
         self.node_id = node_config.node_id
         self.mode = node_config.mode
+        #: the node's own telemetry: its tracer buffer is drained by the
+        #: host (``drain_trace``), its registry scraped via ``metrics``
+        self.telemetry = Telemetry(trace=trace,
+                                   proc="node:%s" % self.node_id)
+        self._m_launch_s = self.telemetry.metrics.histogram(
+            "haocl_nmp_launch_seconds",
+            "Modeled kernel launch duration on this node",
+            labels=("kernel", "tier"), bounds=log_buckets(1e-7, 4.0, 24),
+        )
+        #: incoming trace context, per handler thread (the TCP server
+        #: runs one thread per connection, peers concurrent with host)
+        self._tls = threading.local()
         if dmp_capacity_bytes is None:
             dmp_capacity_bytes = getattr(node_config, "dmp_capacity_bytes",
                                          None)
@@ -118,6 +132,7 @@ class NodeManagementProcess(NodeHandler):
 
     def handle(self, message, now_s):
         self.messages_handled += 1
+        self._tls.trace = message.trace
         method = getattr(self, "_op_%s" % message.method, None)
         if method is None:
             return message.fail(enums.CL_INVALID_OPERATION,
@@ -133,6 +148,19 @@ class NodeManagementProcess(NodeHandler):
         return message.reply(**payload), ready_s
 
     # -- helpers -----------------------------------------------------------------
+
+    def _trace_span(self, name, start_s, end_s, **args):
+        """Record one node-side span under the trace context the
+        current message carried (explicit fabric timestamps: the NMP is
+        handed ``now_s`` per message rather than owning a clock)."""
+        tracer = self.telemetry.tracer
+        if not tracer.enabled:
+            return
+        tracer.record(name, start_s, end_s - start_s,
+                      parent=getattr(self._tls, "trace", None), args=args)
+
+    def _incoming_trace(self):
+        return getattr(self._tls, "trace", None)
 
     def _device(self, handle):
         try:
@@ -339,10 +367,12 @@ class NodeManagementProcess(NodeHandler):
         event = self.runtime.enqueue_write_buffer(
             queue, buffer, payload["data"], payload.get("offset", 0)
         )
-        self._charge(queue.device, event, now_s)
+        ready = self._charge(queue.device, event, now_s)
         # a host write means host and replica agree: clean, recently used
         self.dmp.table.touch(payload["buffer"])
         self.dmp.table.mark_clean(payload["buffer"])
+        self._trace_span("nmp.write", now_s, ready,
+                         nbytes=buffer.size, node=self.node_id)
         return {"duration_s": event.duration_s}, now_s
 
     def _op_write_synthetic(self, payload, now_s):
@@ -370,6 +400,8 @@ class NodeManagementProcess(NodeHandler):
             nbytes = self._payload_nbytes(payload, buffer)
             event = self._modeled_transfer_event(queue, nbytes, "read_buffer")
             ready = self._charge(queue.device, event, now_s)
+            self._trace_span("nmp.read", now_s, ready, nbytes=nbytes,
+                             node=self.node_id)
             return {
                 "duration_s": event.duration_s,
                 "nbytes": nbytes,
@@ -379,6 +411,8 @@ class NodeManagementProcess(NodeHandler):
             queue, buffer, payload.get("nbytes"), payload.get("offset", 0)
         )
         ready = self._charge(queue.device, event, now_s)
+        self._trace_span("nmp.read", now_s, ready, nbytes=len(data),
+                         node=self.node_id)
         if payload.get("offset", 0) == 0 and len(data) >= buffer.size:
             # the host now holds the whole replica: it is no longer the
             # sole copy, so eviction needs no writeback
@@ -427,6 +461,9 @@ class NodeManagementProcess(NodeHandler):
             queue=payload["src_queue"], buffer=payload["src_buffer"],
             nbytes=nbytes, synthetic=synthetic,
         )
+        # the peer's dmp_fetch span must land in the same trace as the
+        # pull that caused it
+        request.trace = self._incoming_trace()
         response, wire_s = self.dmp.peer_call(
             payload["src_node"], request, now_s, addr=payload.get("src_addr")
         )
@@ -446,6 +483,8 @@ class NodeManagementProcess(NodeHandler):
             self.dmp.table.mark_dirty(payload["buffer"])
         self.dmp.bytes_pulled += nbytes
         self.dmp.p2p_transfers += 1
+        self._trace_span("dmp.pull", now_s, ready, nbytes=nbytes,
+                         src=payload["src_node"], node=self.node_id)
         return {"nbytes": nbytes, "duration_s": event.duration_s,
                 "wire_s": wire_s}, ready
 
@@ -470,6 +509,7 @@ class NodeManagementProcess(NodeHandler):
             clean=payload.get("clean", False),
             virtual_nbytes=nbytes if synthetic else 0,
         )
+        request.trace = self._incoming_trace()
         response, wire_s = self.dmp.peer_call(
             payload["dst_node"], request, now_s, addr=payload.get("dst_addr")
         )
@@ -479,6 +519,8 @@ class NodeManagementProcess(NodeHandler):
         self.dmp.table.touch(payload["buffer"])
         self.dmp.bytes_pushed += nbytes
         self.dmp.p2p_transfers += 1
+        self._trace_span("dmp.push", now_s, ready, nbytes=nbytes,
+                         dst=payload["dst_node"], node=self.node_id)
         return {"nbytes": nbytes, "duration_s": event.duration_s,
                 "wire_s": wire_s}, ready
 
@@ -491,10 +533,14 @@ class NodeManagementProcess(NodeHandler):
         if bool(payload.get("synthetic")) or buffer.synthetic:
             event = self._modeled_transfer_event(queue, nbytes, "dmp_fetch")
             ready = self._charge(queue.device, event, now_s)
+            self._trace_span("dmp.fetch", now_s, ready, nbytes=nbytes,
+                             node=self.node_id)
             return {"nbytes": nbytes, "virtual_nbytes": nbytes,
                     "duration_s": event.duration_s}, ready
         data, event = self.runtime.enqueue_read_buffer(queue, buffer, nbytes, 0)
         ready = self._charge(queue.device, event, now_s)
+        self._trace_span("dmp.fetch", now_s, ready, nbytes=nbytes,
+                         node=self.node_id)
         return {"data": data, "nbytes": nbytes,
                 "duration_s": event.duration_s}, ready
 
@@ -515,6 +561,8 @@ class NodeManagementProcess(NodeHandler):
             self.dmp.table.mark_clean(payload["buffer"])
         else:
             self.dmp.table.mark_dirty(payload["buffer"])
+        self._trace_span("dmp.store", now_s, ready, nbytes=nbytes,
+                         node=self.node_id)
         return {"nbytes": nbytes, "duration_s": event.duration_s}, ready
 
     # -- kernel launch ------------------------------------------------------------------------
@@ -562,7 +610,7 @@ class NodeManagementProcess(NodeHandler):
             tuple(local_size) if local_size is not None else None,
             tuple(global_offset) if global_offset is not None else None,
         )
-        self._charge(queue.device, event, now_s)
+        ready = self._charge(queue.device, event, now_s)
         # residency: every buffer arg was just used; written ones hold
         # the only current copy until the host reads them back
         written = self._written_arg_indices(payload["kernel"], kernel)
@@ -598,6 +646,16 @@ class NodeManagementProcess(NodeHandler):
                 # an edge-triggered counter stays bounded (no id set)
                 record["jobs"] += 1
                 record["last_job"] = job
+        self._m_launch_s.labels(kernel=kernel.name, tier=tier).observe(
+            event.duration_s
+        )
+        # span start is where the device timeline placed the command,
+        # not message arrival: queued-behind time stays visible
+        self._trace_span(
+            "nmp.execute", ready - event.duration_s, ready,
+            kernel=kernel.name, tier=tier, tenant=tenant,
+            job=payload.get("job"), node=self.node_id,
+        )
         return {"duration_s": event.duration_s, "tier": event.tier}, now_s
 
     def _op_finish(self, payload, now_s):
@@ -639,6 +697,23 @@ class NodeManagementProcess(NodeHandler):
         if claim is not None and claim[0] == payload["user"]:
             del self._claims[device.id]
         return {}, now_s
+
+    # -- telemetry ops -----------------------------------------------------------------------
+
+    def _op_set_telemetry(self, payload, now_s):
+        """Flip tracing on/off at runtime (broadcast by a host that
+        connected to daemons started without ``--trace``)."""
+        if "trace" in payload:
+            self.telemetry.tracer.enabled = bool(payload["trace"])
+        return {"trace": self.telemetry.tracer.enabled}, now_s
+
+    def _op_drain_trace(self, payload, now_s):
+        """Hand the node's span buffer to the host and clear it."""
+        return {"spans": self.telemetry.tracer.drain()}, now_s
+
+    def _op_metrics(self, payload, now_s):
+        """The node's own metrics registry, as a snapshot dict."""
+        return {"metrics": self.telemetry.metrics.snapshot()}, now_s
 
     # -- stats ---------------------------------------------------------------------------------
 

@@ -34,10 +34,32 @@ import weakref
 
 import numpy as np
 
+from repro.obs import MetricsRegistry
 from repro.ocl import enums
 from repro.ocl.errors import CLError
 
 HOST = "host"
+
+#: the ICD's transfer/fault ledger: counter attribute -> help text.
+#: Each one is a registry counter named ``haocl_icd_<name>_total``;
+#: attribute reads (``icd.bytes_to_nodes``) keep working as views.
+ICD_COUNTERS = {
+    "bytes_to_nodes": "Payload bytes shipped host -> node",
+    "bytes_from_nodes": "Payload bytes shipped node -> host",
+    "transfer_count": "Buffer transfers of any kind",
+    "dmp_bytes_p2p": "Bytes migrated node-to-node without host relay",
+    "dmp_transfers": "Peer-to-peer migrations executed by the DMPs",
+    "bytes_host_relayed": "Bytes that bounced through the host (DMP off)",
+    "dmp_dedup_hits": "Replica fills served from the content-dedup cache",
+    "dmp_dedup_bytes_saved": "Wire bytes saved by content dedup",
+    "dmp_evictions": "Replicas evicted by node residency capacity",
+    "dmp_writebacks": "Dirty evictions written back into the host shadow",
+    "nodes_lost": "Nodes declared lost by the failure detector",
+    "replicas_lost": "Buffers whose last fresh replica died with a node",
+    "dmp_replicas": "Replica pushes made for k>1 placement",
+    "dmp_replica_bytes": "Payload bytes of those replica pushes",
+    "dmp_drains": "Buffers drained back to the host on graceful leave",
+}
 
 #: default budget for each node's content-dedup cache of retained replicas
 DEFAULT_DEDUP_CACHE_BYTES = 64 << 20
@@ -46,7 +68,8 @@ DEFAULT_DEDUP_CACHE_BYTES = 64 << 20
 class ICDDispatcher:
     """Per-driver-instance remote object manager."""
 
-    def __init__(self, host_process, dmp=True, dedup_cache_bytes=None):
+    def __init__(self, host_process, dmp=True, dedup_cache_bytes=None,
+                 metrics=None):
         self.host = host_process
         #: (kind, wrapper uid, node_id) -> node-local handle
         self._handles = {}
@@ -71,32 +94,35 @@ class ICDDispatcher:
             DEFAULT_DEDUP_CACHE_BYTES if dedup_cache_bytes is None
             else int(dedup_cache_bytes)
         )
-        #: transfer accounting for breakdown analyses
-        self.bytes_to_nodes = 0
-        self.bytes_from_nodes = 0
-        self.transfer_count = 0
-        #: payload bytes that migrated node->node without host relay
-        self.dmp_bytes_p2p = 0
-        self.dmp_transfers = 0
-        #: payload bytes that crossed the wire twice because a cross-node
-        #: migration had to bounce through the host (DMP off/unavailable)
-        self.bytes_host_relayed = 0
-        self.dmp_dedup_hits = 0
-        self.dmp_dedup_bytes_saved = 0
-        self.dmp_evictions = 0
-        self.dmp_writebacks = 0
-        #: fault-tolerance accounting: nodes declared lost, buffers whose
-        #: last fresh replica died with a node (those need recompute or
-        #: replay), replica pushes made for k>1 placement, and buffers
-        #: drained back to the host on a graceful node leave
-        self.nodes_lost = 0
-        self.replicas_lost = 0
-        self.dmp_replicas = 0
-        self.dmp_replica_bytes = 0
-        self.dmp_drains = 0
+        #: transfer + fault accounting, re-based onto the metrics
+        #: registry (the session's, or a private one standalone)
+        if metrics is None:
+            metrics = getattr(
+                getattr(host_process, "telemetry", None), "metrics", None
+            ) or MetricsRegistry()
+        self.metrics = metrics
+        self._counters = {
+            name: metrics.counter("haocl_icd_%s_total" % name, help)
+            for name, help in ICD_COUNTERS.items()
+        }
         #: buffer uids of the dispatch in flight: their replicas must
         #: not be evicted by a sibling argument's admission
         self._protect_uids = ()
+
+    # -- accounting (registry-backed) -----------------------------------------
+
+    def bump(self, name, amount=1):
+        """Increment one ledger counter (see :data:`ICD_COUNTERS`)."""
+        self._counters[name].inc(int(amount))
+
+    def __getattr__(self, name):
+        # legacy reads (icd.bytes_to_nodes etc.) resolve to the registry
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return counters[name].value
+        raise AttributeError(
+            "%r object has no attribute %r" % (type(self).__name__, name)
+        )
 
     @contextlib.contextmanager
     def protecting(self, uids):
@@ -226,7 +252,7 @@ class ICDDispatcher:
         writebacks into the shadow."""
         for entry in evicted or ():
             handle = entry["buffer"]
-            self.dmp_evictions += 1
+            self.bump("dmp_evictions")
             cache = self._content_cache.get(node_id)
             if cache:
                 for digest in [d for d, (h, _n) in cache.items() if h == handle]:
@@ -245,8 +271,8 @@ class ICDDispatcher:
                 raw = np.asarray(data).view(np.uint8).reshape(-1)
                 buffer.shadow[: len(raw)] = raw
                 buffer.fresh.add(HOST)
-                self.dmp_writebacks += 1
-                self.bytes_from_nodes += buffer.size
+                self.bump("dmp_writebacks")
+                self.bump("bytes_from_nodes", buffer.size)
             elif not buffer.fresh:
                 # defensive: a clean-evicted sole copy can only mean the
                 # host wrote or read it since (the node tracks that); the
@@ -334,8 +360,8 @@ class ICDDispatcher:
                 nbytes=buffer.size, clean=True,
             )
             cache.move_to_end(digest)
-            self.dmp_dedup_hits += 1
-            self.dmp_dedup_bytes_saved += buffer.size
+            self.bump("dmp_dedup_hits")
+            self.bump("dmp_dedup_bytes_saved", buffer.size)
             buffer.fresh.add(node_id)
             return True
         if not self.dmp_enabled:
@@ -349,8 +375,8 @@ class ICDDispatcher:
             if self._pull_p2p(buffer, device, handle, queue,
                               other_node, cached[0], clean=True):
                 other_cache.move_to_end(digest)
-                self.dmp_dedup_hits += 1
-                self.dmp_dedup_bytes_saved += buffer.size
+                self.bump("dmp_dedup_hits")
+                self.bump("dmp_dedup_bytes_saved", buffer.size)
                 return True
         return False
 
@@ -377,7 +403,7 @@ class ICDDispatcher:
             if self._migrate_p2p(buffer, device, handle, queue):
                 return handle
             self._fetch_to_host(buffer)
-            self.bytes_host_relayed += buffer.size
+            self.bump("bytes_host_relayed", buffer.size)
         if buffer.synthetic:
             self.host.call(
                 node_id, "write_synthetic",
@@ -389,8 +415,8 @@ class ICDDispatcher:
                 node_id, "write_buffer",
                 queue=queue, buffer=handle, data=buffer.shadow,
             )
-        self.bytes_to_nodes += buffer.size
-        self.transfer_count += 1
+        self.bump("bytes_to_nodes", buffer.size)
+        self.bump("transfer_count")
         buffer.fresh.add(node_id)
         return handle
 
@@ -428,9 +454,9 @@ class ICDDispatcher:
             # a broken peer link degrades to the host-relayed path; the
             # data still arrives, just through the bottleneck
             return False
-        self.dmp_bytes_p2p += buffer.size
-        self.dmp_transfers += 1
-        self.transfer_count += 1
+        self.bump("dmp_bytes_p2p", buffer.size)
+        self.bump("dmp_transfers")
+        self.bump("transfer_count")
         buffer.fresh.add(device.node_id)
         return True
 
@@ -460,8 +486,8 @@ class ICDDispatcher:
             raw = np.asarray(payload["data"]).view(np.uint8).reshape(-1)
             # in place: sub-buffer shadows are views into their parent
             buffer.shadow[: len(raw)] = raw
-        self.bytes_from_nodes += buffer.size
-        self.transfer_count += 1
+        self.bump("bytes_from_nodes", buffer.size)
+        self.bump("transfer_count")
         buffer.fresh.add(HOST)
 
     # -- fault tolerance ----------------------------------------------------------------
@@ -473,7 +499,7 @@ class ICDDispatcher:
         in ``replicas_lost`` -- its bytes are gone and must be replayed
         (recomputed from host inputs) or read from a surviving replica.
         """
-        self.nodes_lost += 1
+        self.bump("nodes_lost")
         for key in [k for k in self._handles if k[2] == node_id]:
             if key[0] == "buffer":
                 self._replica_uids.pop((node_id, self._handles[key]), None)
@@ -485,7 +511,7 @@ class ICDDispatcher:
             if node_id in buffer.fresh:
                 buffer.fresh.discard(node_id)
                 if not buffer.fresh:
-                    self.replicas_lost += 1
+                    self.bump("replicas_lost")
 
     def drain_node(self, node_id):
         """Graceful leave: write every buffer whose sole fresh copy
@@ -496,7 +522,7 @@ class ICDDispatcher:
         for buffer in list(self._buffers.values()):
             if buffer.fresh == {node_id}:
                 self._fetch_to_host(buffer)
-                self.dmp_drains += 1
+                self.bump("dmp_drains")
                 drained += 1
         return drained
 
@@ -541,8 +567,8 @@ class ICDDispatcher:
             except CLError:
                 continue  # replication is best-effort resilience
             buffer.fresh.add(node_id)
-            self.dmp_replicas += 1
-            self.dmp_replica_bytes += buffer.size
+            self.bump("dmp_replicas")
+            self.bump("dmp_replica_bytes", buffer.size)
             made += 1
         return made
 
@@ -572,6 +598,8 @@ class ICDDispatcher:
         return None
 
     def transfer_stats(self):
+        """Legacy transfer ledger, now a view over the registry
+        counters (``haocl_icd_*_total``); key names are unchanged."""
         return {
             "bytes_to_nodes": self.bytes_to_nodes,
             "bytes_from_nodes": self.bytes_from_nodes,

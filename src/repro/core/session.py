@@ -12,7 +12,10 @@ import numpy as np
 from repro.clc.interp import LocalMem
 from repro.cluster import ClusterConfig, HostProcess
 from repro.core.wrapper import HaoCL
+from repro.obs import Telemetry, configure_logging
 from repro.ocl import enums
+from repro.ocl.errors import CLError
+from repro.transport.base import NodeLostError, TransportError
 
 
 class HaoCLSession:
@@ -23,21 +26,32 @@ class HaoCLSession:
                  gpu_nodes=0, fpga_nodes=0, cpu_nodes=0, mode="modeled",
                  vectorize=True, dmp=True, dmp_capacity_bytes=None,
                  dedup_cache_bytes=None, chaos=None,
-                 heartbeat_interval_s=None, heartbeat_timeout_s=None):
+                 heartbeat_interval_s=None, heartbeat_timeout_s=None,
+                 telemetry=None, trace=False, log_level=None):
+        if log_level is not None:
+            configure_logging(log_level)
         if config is None and host is None:
             config = ClusterConfig.build(
                 gpu_nodes=gpu_nodes, fpga_nodes=fpga_nodes,
                 cpu_nodes=cpu_nodes, mode=mode,
             )
+        if telemetry is None:
+            telemetry = Telemetry(trace=trace)
+        self.telemetry = telemetry
         self.host = host or HostProcess.launch(
             config, transport=transport, netmodel=netmodel,
             fastpaths=fastpaths, vectorize=vectorize,
             dmp_capacity_bytes=dmp_capacity_bytes, chaos=chaos,
             heartbeat_interval_s=heartbeat_interval_s,
             heartbeat_timeout_s=heartbeat_timeout_s,
+            telemetry=telemetry,
         )
+        # an externally supplied host owns its own bundle; adopt it so
+        # session reads and the driver agree on one registry
+        self.telemetry = getattr(self.host, "telemetry", telemetry)
         self.cl = HaoCL(self.host, policy=policy, user=user, dmp=dmp,
                         dedup_cache_bytes=dedup_cache_bytes)
+        self.telemetry.metrics.register_collector(self._collect_cluster)
 
     # -- device helpers -------------------------------------------------------
 
@@ -148,6 +162,92 @@ class HaoCLSession:
         the node.  Returns the devices removed."""
         self.cl.icd.drain_node(node_id)
         return self.host.mark_lost(node_id, reason="graceful leave")
+
+    # -- telemetry ----------------------------------------------------------------
+
+    def _collect_cluster(self, registry):
+        """Read-time collector: scrape every live node's accounting into
+        labeled ``haocl_node_*`` gauges, so one registry snapshot covers
+        the node-side dicts (``node_stats``/``execution_stats``/
+        ``data_plane``/``cluster_accounting``) with zero hot-path cost."""
+        try:
+            per_node = self.host.node_stats()
+        except (CLError, TransportError, NodeLostError):
+            return  # a scrape must never take the cluster down
+        g = registry.gauge
+        for node_id, stats in per_node.items():
+            g("haocl_node_messages", "Messages the node handled",
+              labels=("node",)).labels(node=node_id).set(stats["messages"])
+            for handle, dev in stats["devices"].items():
+                labels = {"node": node_id, "device": handle,
+                          "type": dev["type_name"]}
+                g("haocl_node_device_busy_seconds", "Device busy time",
+                  labels=("node", "device", "type")).labels(**labels).set(
+                      dev["busy_s"])
+                g("haocl_node_device_energy_joules", "Modeled device energy",
+                  labels=("node", "device", "type")).labels(**labels).set(
+                      dev["energy_j"])
+                g("haocl_node_device_ready_at_seconds",
+                  "Device queue-drain horizon (fabric time)",
+                  labels=("node", "device", "type")).labels(**labels).set(
+                      dev["ready_at_s"])
+            for kernel, prof in stats["kernels"].items():
+                labels = {"node": node_id, "kernel": kernel}
+                g("haocl_node_kernel_launches", "Launches per kernel",
+                  labels=("node", "kernel")).labels(**labels).set(
+                      prof["count"])
+                g("haocl_node_kernel_busy_seconds", "Busy time per kernel",
+                  labels=("node", "kernel")).labels(**labels).set(
+                      prof["total_s"])
+                g("haocl_node_kernel_items", "Work items per kernel",
+                  labels=("node", "kernel")).labels(**labels).set(
+                      prof["items"])
+            for tenant, rec in stats["tenants"].items():
+                labels = {"node": node_id, "tenant": tenant}
+                g("haocl_node_tenant_launches", "Launches per tenant",
+                  labels=("node", "tenant")).labels(**labels).set(
+                      rec["launches"])
+                g("haocl_node_tenant_busy_seconds", "Busy time per tenant",
+                  labels=("node", "tenant")).labels(**labels).set(
+                      rec["busy_s"])
+                g("haocl_node_tenant_jobs", "Jobs per tenant",
+                  labels=("node", "tenant")).labels(**labels).set(rec["jobs"])
+                for tier, count in rec.get("tiers", {}).items():
+                    g("haocl_node_tenant_tier_launches",
+                      "Launches per tenant and execution tier",
+                      labels=("node", "tenant", "tier")).labels(
+                          node=node_id, tenant=tenant, tier=tier).set(count)
+            for tier, count in stats["tiers"].items():
+                g("haocl_node_tier_launches", "Launches per execution tier",
+                  labels=("node", "tier")).labels(
+                      node=node_id, tier=tier).set(count)
+            for key, value in stats["dmp"].items():
+                if isinstance(value, (int, float)) and value is not None:
+                    g("haocl_node_dmp_%s" % key, "Node DMP residency: %s" % key,
+                      labels=("node",)).labels(node=node_id).set(value)
+            for key, value in stats.get("compile_cache", {}).items():
+                if isinstance(value, (int, float)):
+                    g("haocl_node_compile_%s" % key,
+                      "Node compile cache: %s" % key,
+                      labels=("node",)).labels(node=node_id).set(value)
+        sim = getattr(self.host.fabric, "sim", None)
+        if sim is not None and hasattr(sim, "stats"):
+            for key, value in sim.stats().items():
+                g("haocl_sim_%s" % key, "Simulator: %s" % key).set(value)
+
+    def metrics_snapshot(self):
+        """JSON-serializable snapshot of the whole cluster's metrics."""
+        return self.telemetry.metrics.snapshot()
+
+    def prometheus(self):
+        """Prometheus text exposition of the cluster's metrics."""
+        return self.telemetry.metrics.render_prometheus()
+
+    def dump_trace(self, path):
+        """Drain every node's span buffer and write one Chrome-trace
+        JSON file covering host + nodes; returns the path."""
+        self.host.drain_traces()
+        return self.telemetry.tracer.write_chrome(path)
 
     # -- lifecycle ----------------------------------------------------------------
 

@@ -282,8 +282,14 @@ class HaoCL:
     def __init__(self, host_process, policy="user-directed", profiler=None,
                  user=None, dmp=True, dedup_cache_bytes=None):
         self.host = host_process
+        #: the host's telemetry bundle (metrics + tracer + clock)
+        self.telemetry = getattr(host_process, "telemetry", None)
+        if self.telemetry is None:
+            from repro.obs import Telemetry
+            self.telemetry = Telemetry()
         self.icd = ICDDispatcher(host_process, dmp=dmp,
-                                 dedup_cache_bytes=dedup_cache_bytes)
+                                 dedup_cache_bytes=dedup_cache_bytes,
+                                 metrics=self.telemetry.metrics)
         self.profiler = profiler or Profiler()
         self.user = user
         #: billing identity carried by NMP commands when it differs from
@@ -413,8 +419,8 @@ class HaoCL:
             queue=node_queue, buffer=handle,
             nbytes=nbytes, virtual_nbytes=nbytes,
         )
-        self.icd.bytes_to_nodes += nbytes
-        self.icd.transfer_count += 1
+        self.icd.bump("bytes_to_nodes", nbytes)
+        self.icd.bump("transfer_count")
         buffer.fresh.add(device.node_id)
         buffer.fresh.add(HOST)
 
@@ -441,8 +447,8 @@ class HaoCL:
                     queue=node_queue, buffer=handle,
                     nbytes=size, synthetic_ack=True,
                 )
-                self.icd.bytes_from_nodes += size
-                self.icd.transfer_count += 1
+                self.icd.bump("bytes_from_nodes", size)
+                self.icd.bump("transfer_count")
             buffer.fresh.add(HOST)
             event = HEvent("read_buffer", queue.device, 0.0)
             queue.events.append(event)
@@ -546,8 +552,12 @@ class HaoCL:
         device = self.policy.select(task)
         check(device in task.candidates, enums.CL_INVALID_DEVICE,
               "policy chose a device outside the context")
-        duration, tier = self._dispatch(queue, kernel, device,
-                                        global_size, local_size, global_offset)
+        with self.telemetry.tracer.span(
+            "launch", kernel=kernel.name, node=device.node_id,
+        ):
+            duration, tier = self._dispatch(queue, kernel, device,
+                                            global_size, local_size,
+                                            global_offset)
         self.policy.observe(task, device, duration)
         self.launches += 1
         queue.touched[device.global_id] = device

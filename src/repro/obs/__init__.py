@@ -1,0 +1,29 @@
+"""repro.obs -- the unified telemetry plane.
+
+- :mod:`repro.obs.metrics`: counters / gauges / log-bucketed
+  histograms with labels, JSON snapshots, Prometheus exposition;
+- :mod:`repro.obs.tracing`: span-based distributed tracing with
+  trace-context propagation through message frames and Chrome-trace
+  export;
+- :mod:`repro.obs.clock`: sim-vs-wall clock abstraction;
+- :mod:`repro.obs.logs`: per-component structured logging.
+"""
+
+from repro.obs.clock import Clock, FabricClock, WallClock, clock_for
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+)
+from repro.obs.telemetry import Telemetry
+from repro.obs.tracing import NULL_SPAN, TraceContext, Tracer
+
+__all__ = [
+    "Clock", "Counter", "FabricClock", "Gauge", "Histogram",
+    "MetricsRegistry", "NULL_SPAN", "Telemetry", "TraceContext", "Tracer",
+    "WallClock", "clock_for", "configure_logging", "get_logger",
+    "log_buckets",
+]

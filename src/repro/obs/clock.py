@@ -1,0 +1,52 @@
+"""Clock abstraction for telemetry timestamps.
+
+Spans and events need one answer to "what time is it" that is correct
+in both worlds HaoCL runs in: wall-clock fabrics (inproc, tcp) measure
+with ``perf_counter``, while the sim fabric's only meaningful time is
+the discrete-event simulator's virtual clock.  A clock is a callable
+returning seconds; :func:`clock_for` picks the right one for a fabric.
+"""
+
+import time
+
+
+class Clock:
+    """Callable seconds source."""
+
+    def now_s(self):
+        raise NotImplementedError
+
+    def __call__(self):
+        return self.now_s()
+
+
+class WallClock(Clock):
+    """Monotonic wall time, zeroed at construction."""
+
+    def __init__(self):
+        self._t0 = time.perf_counter()
+
+    def now_s(self):
+        return time.perf_counter() - self._t0
+
+
+class FabricClock(Clock):
+    """The fabric's own clock: sim time on SimFabric, monotonic
+    elapsed time on inproc/tcp -- so traces recorded through a session
+    line up with the timestamps the NMP device timelines use."""
+
+    def __init__(self, fabric):
+        self.fabric = fabric
+
+    def now_s(self):
+        return self.fabric.now_s()
+
+
+def clock_for(fabric):
+    """The right telemetry clock for ``fabric`` (None -> wall time)."""
+    if fabric is None:
+        return WallClock()
+    return FabricClock(fabric)
+
+
+__all__ = ["Clock", "WallClock", "FabricClock", "clock_for"]

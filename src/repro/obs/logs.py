@@ -1,0 +1,54 @@
+"""Structured logging for the runtime (stdlib ``logging``).
+
+Every component logs under the ``repro`` hierarchy --
+``repro.serve``, ``repro.cluster``, ``repro.dmp``, ``repro.icd`` -- so
+one :func:`configure_logging` call (the ``HaoCLSession(log_level=)``
+knob, or the daemon's ``--log-level`` flag) turns the whole runtime's
+logs on at a chosen level.  Left unconfigured, a NullHandler keeps the
+library silent, per stdlib convention.
+"""
+
+import logging
+
+ROOT = "repro"
+
+logging.getLogger(ROOT).addHandler(logging.NullHandler())
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(component):
+    """Logger for one component ('serve' -> ``repro.serve``)."""
+    if component.startswith(ROOT):
+        return logging.getLogger(component)
+    return logging.getLogger("%s.%s" % (ROOT, component))
+
+
+def configure_logging(level="info", stream=None, fmt=_FORMAT):
+    """Attach one stream handler to the ``repro`` root at ``level``.
+
+    Idempotent: a repeat call adjusts the level of the handler it
+    installed instead of stacking duplicates.  ``level`` accepts a
+    name ('debug', 'info', ...) or a numeric logging level.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError("unknown log level %r" % level)
+        level = resolved
+    root = logging.getLogger(ROOT)
+    handler = next(
+        (h for h in root.handlers
+         if getattr(h, "_haocl_handler", False)), None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream)
+        handler._haocl_handler = True
+        handler.setFormatter(logging.Formatter(fmt))
+        root.addHandler(handler)
+    root.setLevel(level)
+    handler.setLevel(level)
+    return root
+
+
+__all__ = ["configure_logging", "get_logger"]

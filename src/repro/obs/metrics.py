@@ -1,0 +1,325 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The registry is the single home for every runtime statistic the six
+legacy introspection dicts used to carry (``transfer_stats``,
+``fault_stats``, ``data_plane``, ``execution_stats``,
+``cluster_accounting``, ``node_stats``): layers register *families*
+(a metric name + label names), resolve label children once, and bump
+plain Python numbers on the hot path.  Reading is pull-based --
+:meth:`MetricsRegistry.snapshot` returns a JSON-serializable dict and
+:meth:`MetricsRegistry.render_prometheus` the text exposition format --
+and *collectors* (callables run at read time) fold in state that lives
+elsewhere, like per-node NMP accounting scraped over the fabric.
+
+Histograms are log-bucketed (exponential bounds), the right shape for
+latencies spanning microseconds to seconds; bounds use Prometheus
+``le`` semantics (cumulative, upper-inclusive).
+"""
+
+import bisect
+import threading
+
+
+def log_buckets(start=1e-6, factor=2.0, count=30):
+    """Exponential bucket bounds: ``start * factor**i`` for i < count."""
+    if start <= 0 or factor <= 1.0 or count < 1:
+        raise ValueError("need start > 0, factor > 1, count >= 1")
+    bounds = []
+    edge = float(start)
+    for _ in range(int(count)):
+        bounds.append(edge)
+        edge *= factor
+    return bounds
+
+
+class _Child:
+    """One (family, label values) time series."""
+
+    __slots__ = ("labels",)
+
+    def __init__(self, labels):
+        self.labels = labels
+
+
+class Counter(_Child):
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, labels):
+        super().__init__(labels)
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError("counters only go up (amount=%r)" % amount)
+        self.value += amount
+
+    def sample(self):
+        return self.value
+
+
+class Gauge(_Child):
+    """Value that can go up and down (set at will)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, labels):
+        super().__init__(labels)
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def dec(self, amount=1):
+        self.value -= amount
+
+    def sample(self):
+        return self.value
+
+
+class Histogram(_Child):
+    """Log-bucketed distribution with ``le``-style cumulative exposition.
+
+    ``bounds`` are the finite upper bounds; observations land in the
+    first bucket whose bound is >= the value (a +Inf bucket catches the
+    rest).  Exact-boundary values are inclusive, matching Prometheus.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, labels, bounds):
+        super().__init__(labels)
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # trailing +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value):
+        value = float(value)
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def sample(self):
+        cumulative = []
+        running = 0
+        for bound, bucket in zip(self.bounds, self.counts):
+            running += bucket
+            cumulative.append([bound, running])
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": cumulative,  # +Inf bucket implied by count
+        }
+
+
+_KIND_CHILD = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """A named metric plus its per-label-value children.
+
+    With no label names the family proxies a single default child, so
+    ``registry.counter("x").inc()`` works without a ``labels()`` call.
+    """
+
+    def __init__(self, kind, name, help="", labelnames=(), bounds=None):
+        self.kind = kind
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.bounds = bounds
+        self._children = {}
+        self._lock = threading.Lock()
+        self._default = None
+        if not self.labelnames:
+            self._default = self._make(())
+            self._children[()] = self._default
+
+    def _make(self, values):
+        labels = dict(zip(self.labelnames, values))
+        if self.kind == "histogram":
+            return Histogram(labels, self.bounds)
+        return _KIND_CHILD[self.kind](labels)
+
+    def labels(self, **labelvalues):
+        values = tuple(str(labelvalues[n]) for n in self.labelnames)
+        child = self._children.get(values)
+        if child is None:
+            with self._lock:
+                child = self._children.get(values)
+                if child is None:
+                    child = self._make(values)
+                    self._children[values] = child
+        return child
+
+    # -- label-free conveniences ------------------------------------------------
+
+    def inc(self, amount=1):
+        self._default.inc(amount)
+
+    def set(self, value):
+        self._default.set(value)
+
+    def dec(self, amount=1):
+        self._default.dec(amount)
+
+    def observe(self, value):
+        self._default.observe(value)
+
+    @property
+    def value(self):
+        return self._default.value
+
+    def children(self):
+        return list(self._children.values())
+
+
+class MetricsRegistry:
+    """The process-wide family table plus read-time collectors."""
+
+    def __init__(self):
+        self._families = {}
+        self._collectors = []
+        self._lock = threading.Lock()
+        self._collecting = False
+
+    # -- registration -----------------------------------------------------------
+
+    def _family(self, kind, name, help, labelnames, bounds=None):
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(kind, name, help, labelnames, bounds)
+                self._families[name] = family
+            elif family.kind != kind or family.labelnames != tuple(labelnames):
+                raise ValueError(
+                    "metric %r re-registered as %s%r (was %s%r)"
+                    % (name, kind, tuple(labelnames),
+                       family.kind, family.labelnames)
+                )
+        return family
+
+    def counter(self, name, help="", labels=()):
+        return self._family("counter", name, help, labels)
+
+    def gauge(self, name, help="", labels=()):
+        return self._family("gauge", name, help, labels)
+
+    def histogram(self, name, help="", labels=(), bounds=None):
+        return self._family("histogram", name, help, labels,
+                            bounds=list(bounds) if bounds else log_buckets())
+
+    def register_collector(self, fn):
+        """Run ``fn(registry)`` at every snapshot/exposition, so scrape
+        time can fold in state owned elsewhere (node stats, queue
+        depths) without a write on the hot path."""
+        self._collectors.append(fn)
+        return fn
+
+    def unregister_collector(self, fn):
+        try:
+            self._collectors.remove(fn)
+        except ValueError:
+            pass
+
+    def _collect(self):
+        if self._collecting:
+            return  # a collector reading the registry must not recurse
+        self._collecting = True
+        try:
+            for fn in list(self._collectors):
+                fn(self)
+        finally:
+            self._collecting = False
+
+    # -- reads ------------------------------------------------------------------
+
+    def value(self, name, **labelvalues):
+        """One sample's value (histograms: the sample dict); 0 when the
+        series does not exist yet -- the natural zero of a counter."""
+        family = self._families.get(name)
+        if family is None:
+            return 0
+        values = tuple(str(labelvalues.get(n, "")) for n in family.labelnames)
+        child = family._children.get(values)
+        return child.sample() if child is not None else 0
+
+    def snapshot(self):
+        """JSON-serializable dump of every family and sample."""
+        self._collect()
+        out = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            out[name] = {
+                "type": family.kind,
+                "help": family.help,
+                "samples": [
+                    {"labels": dict(child.labels), "value": child.sample()}
+                    for child in family.children()
+                ],
+            }
+        return out
+
+    def render_prometheus(self):
+        """Prometheus text exposition format (version 0.0.4)."""
+        self._collect()
+        lines = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append("# HELP %s %s" % (name, family.help))
+            lines.append("# TYPE %s %s" % (name, family.kind))
+            for child in family.children():
+                labels = _format_labels(child.labels)
+                if family.kind == "histogram":
+                    running = 0
+                    for bound, count in zip(child.bounds, child.counts):
+                        running += count
+                        lines.append("%s_bucket%s %s" % (
+                            name, _format_labels(child.labels, le=_le(bound)),
+                            running,
+                        ))
+                    lines.append("%s_bucket%s %d" % (
+                        name, _format_labels(child.labels, le="+Inf"),
+                        child.count,
+                    ))
+                    lines.append("%s_sum%s %s" % (name, labels,
+                                                  _num(child.sum)))
+                    lines.append("%s_count%s %d" % (name, labels, child.count))
+                else:
+                    lines.append("%s%s %s" % (name, labels,
+                                              _num(child.value)))
+        return "\n".join(lines) + "\n"
+
+
+def _le(bound):
+    return _num(bound)
+
+
+def _num(value):
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return repr(value)
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _format_labels(labels, **extra):
+    merged = dict(labels)
+    merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        '%s="%s"' % (key, str(value).replace("\\", "\\\\").replace('"', '\\"'))
+        for key, value in merged.items()
+    )
+    return "{%s}" % body
+
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricFamily", "MetricsRegistry",
+    "log_buckets",
+]

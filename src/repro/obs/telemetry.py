@@ -1,0 +1,43 @@
+"""The per-process telemetry bundle: metrics + tracer + clock.
+
+One :class:`Telemetry` instance travels with each process-like actor:
+the session/host owns one (shared by the driver, the ICD and the
+serving layer), and every NMP owns its own whose tracer buffer the
+host drains over the fabric.  Metrics are always on (they replaced the
+legacy ad-hoc counters, so they cost what those did); tracing is
+opt-in (``trace=True``) with a no-op fast path when off.
+"""
+
+from repro.obs.clock import WallClock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+class Telemetry:
+    """Metrics registry + tracer + the clock they share."""
+
+    def __init__(self, metrics=None, tracer=None, trace=False, clock=None,
+                 proc="host"):
+        self.clock = clock or WallClock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = (tracer if tracer is not None
+                       else Tracer(enabled=trace, clock=self.clock,
+                                   proc=proc))
+
+    def bind_clock(self, clock):
+        """Late-bind the clock (the fabric exists only after launch)."""
+        self.clock = clock
+        self.tracer.clock = clock
+        return self
+
+    @property
+    def trace_enabled(self):
+        return self.tracer.enabled
+
+    def __repr__(self):
+        return "Telemetry(trace=%s, %d metric families)" % (
+            self.tracer.enabled, len(self.metrics._families)
+        )
+
+
+__all__ = ["Telemetry"]

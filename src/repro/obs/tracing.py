@@ -1,0 +1,333 @@
+"""Span-based distributed tracing of the job lifecycle.
+
+A *trace* is one job's story -- admit, queue, dispatch, node-side
+execution, peer data-plane transfers, retries -- stitched across
+processes by a :class:`TraceContext` (trace id + parent span id) that
+rides the message frames: the host attaches its current context to
+every outgoing NMP request, the node records its spans under that
+context, and the host drains them back (``drain_trace``) into one
+buffer exportable as Chrome-trace JSON (viewable in Perfetto or
+``chrome://tracing``).
+
+The disabled path is the default and must stay near-free: ``span()``
+returns a shared no-op handle after a single attribute check, so an
+un-traced launch pays one method call per instrumentation site.
+
+Timestamps come from the tracer's clock (sim time on the sim fabric,
+``perf_counter`` elsewhere -- :mod:`repro.obs.clock`); node-side spans
+are recorded with explicit fabric timestamps instead, since the NMP is
+handed its ``now_s`` per message.
+"""
+
+import collections
+import itertools
+import json
+import threading
+import time
+
+_WIRE_SEP = "/"
+
+
+class TraceContext:
+    """Identity of a span's position in a trace: (trace id, span id)."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id, span_id):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def to_wire(self):
+        """Compact string form carried in the message frame."""
+        return self.trace_id + _WIRE_SEP + self.span_id
+
+    @classmethod
+    def from_wire(cls, raw):
+        """Parse the frame field; None for a missing/garbled context."""
+        if not raw:
+            return None
+        trace_id, sep, span_id = raw.partition(_WIRE_SEP)
+        if not sep or not trace_id or not span_id:
+            return None
+        return cls(trace_id, span_id)
+
+    def __eq__(self, other):
+        return (isinstance(other, TraceContext)
+                and other.trace_id == self.trace_id
+                and other.span_id == self.span_id)
+
+    def __repr__(self):
+        return "TraceContext(%s)" % self.to_wire()
+
+
+class _NullSpan:
+    """Shared no-op handle: the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager for one live span (enabled path)."""
+
+    __slots__ = ("tracer", "name", "args", "ctx", "parent", "start_s")
+
+    def __init__(self, tracer, name, args):
+        self.tracer = tracer
+        self.name = name
+        self.args = args
+
+    def __enter__(self):
+        tracer = self.tracer
+        self.parent = tracer.current()
+        trace_id = (self.parent.trace_id if self.parent is not None
+                    else tracer.new_id())
+        self.ctx = TraceContext(trace_id, tracer.new_id())
+        tracer._push(self.ctx)
+        self.start_s = tracer.clock()
+        return self.ctx
+
+    def __exit__(self, *exc_info):
+        tracer = self.tracer
+        end_s = tracer.clock()
+        tracer._pop()
+        tracer.record(
+            self.name, self.start_s, end_s - self.start_s,
+            ctx=self.ctx,
+            parent=self.parent.span_id if self.parent is not None else None,
+            args=self.args,
+        )
+        return False
+
+
+class _ResumeHandle:
+    """Installs a foreign context (a job's root, an incoming wire
+    context) as current, so spans opened inside parent to it."""
+
+    __slots__ = ("tracer", "ctx")
+
+    def __init__(self, tracer, ctx):
+        self.tracer = tracer
+        self.ctx = ctx
+
+    def __enter__(self):
+        self.tracer._push(self.ctx)
+        return self.ctx
+
+    def __exit__(self, *exc_info):
+        self.tracer._pop()
+        return False
+
+
+class Tracer:
+    """Per-process span recorder with a bounded buffer.
+
+    The host owns one (fed by its own spans plus drained node spans);
+    every NMP owns one whose buffer the host drains over the fabric.
+    """
+
+    #: finished spans kept; oldest drop first so a forgotten tracer
+    #: cannot grow without bound
+    MAX_SPANS = 200000
+
+    def __init__(self, enabled=False, clock=None, proc="host",
+                 max_spans=None):
+        self.enabled = bool(enabled)
+        self.clock = clock or time.perf_counter
+        self.proc = proc
+        self._spans = collections.deque(
+            maxlen=self.MAX_SPANS if max_spans is None else int(max_spans)
+        )
+        self._counter = itertools.count(1)
+        self._local = threading.local()
+
+    # -- ids / context stack ----------------------------------------------------
+
+    def new_id(self):
+        """Process-locally unique id, prefixed so ids minted on
+        different processes of one trace cannot collide."""
+        return "%s-%x" % (self.proc, next(self._counter))
+
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, ctx):
+        self._stack().append(ctx)
+
+    def _pop(self):
+        stack = self._stack()
+        if stack:
+            stack.pop()
+
+    def current(self):
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def current_wire(self):
+        """Wire form of the current context (None outside any span)."""
+        ctx = self.current()
+        return ctx.to_wire() if ctx is not None else None
+
+    def new_trace(self):
+        """Root context for a fresh trace (e.g. one submitted job)."""
+        return TraceContext(self.new_id(), self.new_id())
+
+    # -- recording --------------------------------------------------------------
+
+    def span(self, name, **args):
+        """Context manager timing a block as one span.  Opens a child
+        of the current context (or a fresh root trace) and makes it
+        current for the duration."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _SpanHandle(self, name, args)
+
+    def resume(self, ctx):
+        """Context manager installing ``ctx`` as current without
+        recording a span -- the glue for per-job roots and incoming
+        wire contexts.  ``ctx`` may be None (no-op)."""
+        if not self.enabled or ctx is None:
+            return NULL_SPAN
+        if isinstance(ctx, str):
+            ctx = TraceContext.from_wire(ctx)
+            if ctx is None:
+                return NULL_SPAN
+        return _ResumeHandle(self, ctx)
+
+    def record(self, name, start_s, duration_s, ctx=None, parent=None,
+               args=None, proc=None):
+        """Append one finished span with explicit timestamps.
+
+        ``ctx`` is the span's own context; pass a parent
+        :class:`TraceContext` (or wire string) instead via ``parent`` to
+        mint a fresh child span under it -- the node-side form, where
+        the parent arrived in the message frame.
+        """
+        if not self.enabled:
+            return None
+        if isinstance(parent, str) and _WIRE_SEP in parent:
+            parent = TraceContext.from_wire(parent)
+        if isinstance(parent, TraceContext):
+            parent_id = parent.span_id
+            if ctx is None:
+                ctx = TraceContext(parent.trace_id, self.new_id())
+        else:
+            parent_id = parent
+        if ctx is None:
+            ctx = self.new_trace()
+        span = {
+            "name": name,
+            "trace": ctx.trace_id,
+            "span": ctx.span_id,
+            "parent": parent_id,
+            "start_s": float(start_s),
+            "dur_s": float(duration_s) if duration_s is not None else None,
+            "proc": proc or self.proc,
+        }
+        if args:
+            span["args"] = dict(args)
+        self._spans.append(span)
+        return ctx
+
+    def event(self, name, ts_s=None, ctx=None, **args):
+        """Instant event (zero duration) under the current context."""
+        if not self.enabled:
+            return None
+        if ctx is None:
+            ctx = self.current()
+        parent = ctx.span_id if ctx is not None else None
+        trace_id = ctx.trace_id if ctx is not None else self.new_id()
+        return self.record(
+            name, self.clock() if ts_s is None else ts_s, None,
+            ctx=TraceContext(trace_id, self.new_id()), parent=parent,
+            args=args,
+        )
+
+    # -- buffers ----------------------------------------------------------------
+
+    def spans(self):
+        return list(self._spans)
+
+    def drain(self):
+        """Return and clear the buffer (the NMP ``drain_trace`` op)."""
+        spans = list(self._spans)
+        self._spans.clear()
+        return spans
+
+    def ingest(self, spans):
+        """Fold spans drained from another tracer into this buffer."""
+        self._spans.extend(spans)
+
+    def clear(self):
+        self._spans.clear()
+
+    # -- export -----------------------------------------------------------------
+
+    def chrome_trace(self):
+        """Chrome-trace/Perfetto JSON object ({"traceEvents": [...]}).
+
+        Processes map to pids, traces to tids within each process, so a
+        job's spans line up on one row per process in the viewer.
+        Timestamps are microseconds, as the format requires.
+        """
+        pids = {}
+        tids = {}
+        events = []
+        for span in self._spans:
+            proc = span.get("proc") or "host"
+            pid = pids.get(proc)
+            if pid is None:
+                pid = pids[proc] = len(pids) + 1
+                events.append({
+                    "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                    "args": {"name": proc},
+                })
+            tid_key = (pid, span["trace"])
+            tid = tids.get(tid_key)
+            if tid is None:
+                tid = tids[tid_key] = sum(1 for k in tids if k[0] == pid) + 1
+            args = dict(span.get("args") or {})
+            args["trace"] = span["trace"]
+            args["span"] = span["span"]
+            if span.get("parent"):
+                args["parent"] = span["parent"]
+            event = {
+                "name": span["name"],
+                "pid": pid,
+                "tid": tid,
+                "ts": span["start_s"] * 1e6,
+                "args": args,
+            }
+            if span["dur_s"] is None:
+                event["ph"] = "i"
+                event["s"] = "t"
+            else:
+                event["ph"] = "X"
+                event["dur"] = span["dur_s"] * 1e6
+            events.append(event)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path):
+        """Dump the buffer as a Chrome-trace JSON file; returns path."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.chrome_trace(), fh)
+        return path
+
+    def __repr__(self):
+        return "Tracer(%s, %s, %d spans)" % (
+            self.proc, "on" if self.enabled else "off", len(self._spans)
+        )
+
+
+__all__ = ["NULL_SPAN", "TraceContext", "Tracer"]

@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.scheduler import TaskContext, create_policy
 from repro.core.scheduler.base import SchedulingPolicy
 from repro.core.tenancy import try_acquire
+from repro.obs import MetricsRegistry, get_logger, log_buckets
 from repro.ocl import enums
 from repro.ocl.errors import CLError
 from repro.serve.admission import AdmissionController, AdmissionError
@@ -30,39 +31,96 @@ from repro.serve.job import DONE, EXPIRED, FAILED, QUEUED, REJECTED, RUNNING
 from repro.serve.queue import FairShareQueue
 from repro.transport.base import NodeLostError, TransportError
 
+log = get_logger("serve")
+
+#: per-tenant job outcome counters: field -> help text.  Each becomes
+#: the registry counter ``haocl_serve_jobs_<field>_total{tenant}``.
+TENANT_COUNTERS = {
+    "submitted": "Jobs submitted (pre-admission)",
+    "completed": "Jobs completed with results",
+    "rejected": "Jobs refused by admission control",
+    "expired": "Jobs dropped past their deadline",
+    "failed": "Jobs failed (build/launch error or retries exhausted)",
+    "retried": "Replay attempts after a node loss",
+}
+
 
 class TenantStats:
-    """Host-side serving statistics for one tenant."""
+    """Host-side serving statistics for one tenant.
+
+    Counter fields live in the session's metrics registry (labeled by
+    tenant); the attribute reads (``stats.submitted``) and
+    :meth:`as_dict` that existed before the registry are views over
+    those series.
+    """
 
     #: completed-job wait samples kept for percentiles; bounded so a
     #: long-running service does not grow with every job served
     WAIT_WINDOW = 4096
 
-    def __init__(self, weight=1.0):
+    def __init__(self, weight=1.0, metrics=None, tenant=""):
         self.weight = weight
-        self.submitted = 0
-        self.completed = 0
-        self.rejected = 0
-        self.expired = 0
-        self.failed = 0
-        self.retried = 0
+        self.tenant = tenant
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self._counters = {
+            field: metrics.counter(
+                "haocl_serve_jobs_%s_total" % field, help,
+                labels=("tenant",),
+            ).labels(tenant=tenant)
+            for field, help in TENANT_COUNTERS.items()
+        }
+        self._service_s = metrics.counter(
+            "haocl_serve_service_seconds_total",
+            "Total service time (dispatch to finish)", labels=("tenant",),
+        ).labels(tenant=tenant)
+        self._wait_hist = metrics.histogram(
+            "haocl_serve_queue_wait_seconds",
+            "Queue wait of completed jobs", labels=("tenant",),
+            bounds=log_buckets(1e-6, 4.0, 24),
+        ).labels(tenant=tenant)
         self.queue_waits = collections.deque(maxlen=self.WAIT_WINDOW)
-        self.service_s = 0.0
+        # the registry series outlive this instance (a re-registered
+        # tenant on a fresh service shares them); per-instance reads
+        # subtract what was already there
+        self._base = {field: child.value
+                      for field, child in self._counters.items()}
+        self._service_base = self._service_s.value
+
+    def bump(self, field, amount=1):
+        self._counters[field].inc(amount)
+
+    def observe_wait(self, wait_s):
+        self.queue_waits.append(wait_s)
+        self._wait_hist.observe(wait_s)
+
+    def add_service_time(self, seconds):
+        self._service_s.inc(seconds)
+
+    def __getattr__(self, name):
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            base = self.__dict__.get("_base") or {}
+            return counters[name].value - base.get(name, 0)
+        raise AttributeError(
+            "%r object has no attribute %r" % (type(self).__name__, name)
+        )
+
+    @property
+    def service_s(self):
+        return self._service_s.value - self._service_base
 
     def as_dict(self):
         waits = np.asarray(self.queue_waits, dtype=np.float64)
-        return {
-            "weight": self.weight,
-            "submitted": self.submitted,
-            "completed": self.completed,
-            "rejected": self.rejected,
-            "expired": self.expired,
-            "failed": self.failed,
-            "retried": self.retried,
+        out = {"weight": self.weight}
+        for field in TENANT_COUNTERS:
+            out[field] = getattr(self, field)
+        out.update({
             "queue_wait_p50_s": float(np.percentile(waits, 50)) if waits.size else 0.0,
             "queue_wait_p99_s": float(np.percentile(waits, 99)) if waits.size else 0.0,
             "service_time_s": self.service_s,
-        }
+        })
+        return out
 
 
 class HaoCLService:
@@ -75,6 +133,11 @@ class HaoCLService:
                  replicas=1):
         self.session = session
         self.driver = session.cl
+        self.telemetry = getattr(session, "telemetry", None)
+        if self.telemetry is None:
+            self.telemetry = self.driver.telemetry
+        self.tracer = self.telemetry.tracer
+        self.metrics = self.telemetry.metrics
         self.user = user
         self.lease_shared = bool(lease_shared)
         self.lease_ttl_s = lease_ttl_s
@@ -99,16 +162,79 @@ class HaoCLService:
         self._kernels = {}    # (digest, kernel name) -> HKernel
         self._queues = {}     # device global_id -> HQueue
         self._leases = {}     # device global_id -> DeviceLease
-        self.batches_dispatched = 0
-        self.jobs_dispatched = 0
-        self.deferrals = 0
-        #: fault-tolerance ledger
-        self.node_losses = 0
-        self.jobs_retried = 0
-        self.jobs_recovered = 0
+        #: service-level ledger, registry-backed; the attribute names
+        #: (``service.jobs_dispatched`` etc.) read through properties
+        counter = self.metrics.counter
+        self._m_batches = counter("haocl_serve_batches_dispatched_total",
+                                  "Batches dispatched")
+        self._m_jobs = counter("haocl_serve_jobs_dispatched_total",
+                               "Jobs dispatched to completion")
+        self._m_deferrals = counter("haocl_serve_deferrals_total",
+                                    "Batches deferred (no capacity/lease)")
+        self._m_node_losses = counter(
+            "haocl_serve_node_losses_total",
+            "Node losses the service reacted to")
+        self._m_jobs_replayed = counter(
+            "haocl_serve_jobs_replayed_total",
+            "RUNNING jobs requeued for replay from host inputs after a "
+            "node loss")
+        self._m_jobs_replica = counter(
+            "haocl_serve_jobs_replica_recovered_total",
+            "RUNNING jobs completed from a surviving output replica "
+            "without replay")
+        self._m_jobs_requeued = counter(
+            "haocl_serve_jobs_requeued_total",
+            "QUEUED jobs returned to the queue undispatched when their "
+            "batch died")
+        # registry series are cluster-cumulative; a second service on
+        # the same session must still read its own ledger from zero, so
+        # the legacy views subtract the counts found at construction
+        self._m_base = {
+            name: family.value for name, family in (
+                ("batches", self._m_batches),
+                ("jobs", self._m_jobs),
+                ("deferrals", self._m_deferrals),
+                ("node_losses", self._m_node_losses),
+                ("jobs_replayed", self._m_jobs_replayed),
+                ("jobs_replica", self._m_jobs_replica),
+                ("jobs_requeued", self._m_jobs_requeued),
+            )
+        }
         # the host's failure detector drives this service's cleanup
         # (leases, admission capacity, per-node kernel binding caches)
         self.session.host.on_node_lost(self._on_node_lost)
+
+    # -- ledger views (legacy attribute names) ---------------------------------
+
+    @property
+    def batches_dispatched(self):
+        return self._m_batches.value - self._m_base["batches"]
+
+    @property
+    def jobs_dispatched(self):
+        return self._m_jobs.value - self._m_base["jobs"]
+
+    @property
+    def deferrals(self):
+        return self._m_deferrals.value - self._m_base["deferrals"]
+
+    @property
+    def node_losses(self):
+        return self._m_node_losses.value - self._m_base["node_losses"]
+
+    @property
+    def jobs_retried(self):
+        """Alias of ``jobs_replayed`` (the pre-split name)."""
+        return self._m_jobs_replayed.value - self._m_base["jobs_replayed"]
+
+    @property
+    def jobs_recovered(self):
+        """Alias of ``jobs_replica_recovered`` (the pre-split name)."""
+        return self._m_jobs_replica.value - self._m_base["jobs_replica"]
+
+    @property
+    def jobs_requeued(self):
+        return self._m_jobs_requeued.value - self._m_base["jobs_requeued"]
 
     # -- tenants ---------------------------------------------------------------
 
@@ -116,7 +242,8 @@ class HaoCLService:
         self.queue.register(name, weight)
         stats = self._stats.get(name)
         if stats is None:
-            self._stats[name] = TenantStats(weight)
+            self._stats[name] = TenantStats(weight, metrics=self.metrics,
+                                            tenant=name)
         else:
             stats.weight = weight
         return self
@@ -132,17 +259,28 @@ class HaoCLService:
         """Admit and queue one job; raises a typed AdmissionError (and
         counts the rejection) when the job may not enter."""
         stats = self._tenant_stats(job.tenant)
-        stats.submitted += 1
+        stats.bump("submitted")
+        if self.tracer.enabled:
+            # the job's root context: every span of its lifecycle --
+            # host-side and node-side -- hangs off this trace id
+            job.trace = self.tracer.new_trace()
         try:
-            self.admission.admit(job, len(self.queue),
-                                 self.queue.depth(job.tenant))
+            with self.tracer.resume(getattr(job, "trace", None)):
+                with self.tracer.span("serve.admit", job=job.job_id,
+                                      tenant=job.tenant):
+                    self.admission.admit(job, len(self.queue),
+                                         self.queue.depth(job.tenant))
         except AdmissionError as exc:
-            stats.rejected += 1
+            stats.bump("rejected")
             job.state = REJECTED
             job.error = exc
+            log.debug("job #%d (%s) rejected: %s", job.job_id, job.tenant,
+                      exc)
             raise
         job.submitted_s = self.session.now_s()
         self.queue.push(job)
+        log.debug("job #%d (%s) queued: %s%r", job.job_id, job.tenant,
+                  job.kernel_name, tuple(job.global_size))
         return job
 
     # -- the serving loop ------------------------------------------------------
@@ -169,7 +307,7 @@ class HaoCLService:
                 if self.batches_dispatched > mark:
                     dispatched += 1
             else:
-                self.deferrals += 1
+                self._m_deferrals.inc()
                 stall += 1
                 if stall > max(1, len(self.queue)):
                     break
@@ -186,7 +324,11 @@ class HaoCLService:
         for job in batch:
             if job.past_deadline(now):
                 job.state = EXPIRED
-                self._tenant_stats(job.tenant).expired += 1
+                self._tenant_stats(job.tenant).bump("expired")
+                if self.tracer.enabled:
+                    self.tracer.event("serve.expire",
+                                      ctx=getattr(job, "trace", None),
+                                      job=job.job_id, tenant=job.tenant)
             else:
                 live.append(job)
         if not live:
@@ -220,11 +362,18 @@ class HaoCLService:
             self.queue.requeue(job)
         total_bytes = sum(job.footprint_bytes for job in fit)
 
-        device = self._place(kernel, fit, total_bytes)
+        # placement/finish spans hang off the lead job's trace: one job
+        # carries the batch-wide phases, the rest reference it
+        lead_trace = getattr(fit[0], "trace", None)
+        with self.tracer.resume(lead_trace):
+            with self.tracer.span("serve.place", njobs=len(fit),
+                                  bytes=total_bytes):
+                device = self._place(kernel, fit, total_bytes)
         if device is None:
             for job in fit:
                 self.queue.requeue(job)
             return False
+        log.debug("batch of %d job(s) placed on %s", len(fit), device)
 
         self.admission.reserve(total_bytes, device)
         queue = self._queue_for(context, device)
@@ -238,40 +387,50 @@ class HaoCLService:
         in_flight = []
         try:
             for job in fit:
-                try:
-                    bindings = (
-                        lead_bindings if job is live[0]
-                        else self._bind_args(kernel, job, context)
-                    )
-                except CLError as exc:
-                    self._fail(job, exc)
-                    continue
-                job.started_s = self.session.now_s()
-                job.state = RUNNING
-                job.device = device
-                self.driver.tenant = job.tenant
-                self.driver.job_tag = job.job_id
-                try:
-                    event = self.session.enqueue(queue, kernel,
-                                                 job.global_size,
-                                                 job.local_size)
-                except CLError as exc:
-                    self._fail(job, exc)
-                    self._release_buffers(bindings)
-                    continue
-                self._observe_placement(kernel, job, device, event)
-                in_flight.append((job, bindings))
-            self.session.finish(queue)
-            if self.replicas > 1:
-                self._replicate_outputs(kernel, in_flight)
+                with self.tracer.resume(getattr(job, "trace", None)):
+                    with self.tracer.span("serve.dispatch", job=job.job_id,
+                                          tenant=job.tenant,
+                                          kernel=job.kernel_name):
+                        try:
+                            bindings = (
+                                lead_bindings if job is live[0]
+                                else self._bind_args(kernel, job, context)
+                            )
+                        except CLError as exc:
+                            self._fail(job, exc)
+                            continue
+                        job.started_s = self.session.now_s()
+                        job.state = RUNNING
+                        job.device = device
+                        self._trace_queue_wait(job)
+                        self.driver.tenant = job.tenant
+                        self.driver.job_tag = job.job_id
+                        try:
+                            event = self.session.enqueue(queue, kernel,
+                                                         job.global_size,
+                                                         job.local_size)
+                        except CLError as exc:
+                            self._fail(job, exc)
+                            self._release_buffers(bindings)
+                            continue
+                        self._observe_placement(kernel, job, device, event)
+                        in_flight.append((job, bindings))
+            with self.tracer.resume(lead_trace):
+                with self.tracer.span("serve.finish", njobs=len(in_flight)):
+                    self.session.finish(queue)
+                    if self.replicas > 1:
+                        self._replicate_outputs(kernel, in_flight)
             for job, bindings in in_flight:
-                try:
-                    self._collect(job, queue, kernel, bindings)
-                except CLError as exc:
-                    self._fail(job, exc)
-                    continue
-                finally:
-                    self._release_buffers(bindings)
+                with self.tracer.resume(getattr(job, "trace", None)):
+                    try:
+                        with self.tracer.span("serve.collect",
+                                              job=job.job_id):
+                            self._collect(job, queue, kernel, bindings)
+                    except CLError as exc:
+                        self._fail(job, exc)
+                        continue
+                    finally:
+                        self._release_buffers(bindings)
                 self._complete(job)
         except NodeLostError as exc:
             # the executing node died mid-batch: clean its state out of
@@ -293,17 +452,31 @@ class HaoCLService:
                 # kernel and program built for this batch
                 self._release_remote_quiet("kernel", kernel.uid)
                 self._release_remote_quiet("program", program.uid)
-        self.batches_dispatched += 1
+        self._m_batches.inc()
         return True
+
+    def _trace_queue_wait(self, job):
+        """Record the queue phase retroactively: its bounds (submit ->
+        dispatch) are only known once the job leaves the queue."""
+        if not self.tracer.enabled or job.submitted_s is None:
+            return
+        self.tracer.record(
+            "serve.queue", job.submitted_s,
+            (job.started_s or job.submitted_s) - job.submitted_s,
+            parent=getattr(job, "trace", None),
+            args={"job": job.job_id, "tenant": job.tenant},
+        )
 
     def _complete(self, job):
         job.finished_s = self.session.now_s()
         job.state = DONE
         stats = self._tenant_stats(job.tenant)
-        stats.completed += 1
-        stats.queue_waits.append(job.queue_wait_s)
-        stats.service_s += job.service_time_s
-        self.jobs_dispatched += 1
+        stats.bump("completed")
+        stats.observe_wait(job.queue_wait_s)
+        stats.add_service_time(job.service_time_s)
+        self._m_jobs.inc()
+        log.debug("job #%d (%s) done in %.3es", job.job_id, job.tenant,
+                  job.service_time_s)
 
     # -- fault recovery --------------------------------------------------------
 
@@ -312,7 +485,9 @@ class HaoCLService:
         leases, queues and admission capacity, and forget per-node
         kernel argument-binding state (the ICD already dropped the
         node's handles via the driver's own callback)."""
-        self.node_losses += 1
+        self._m_node_losses.inc()
+        log.info("serving layer reacting to loss of node %s "
+                 "(%d devices retired)", node_id, len(devices))
         for device in devices:
             self.admission.remove_device(device)
             lease = self._leases.pop(device.global_id, None)
@@ -334,6 +509,11 @@ class HaoCLService:
                 # pulled into the batch but never dispatched: back in
                 # line (requeue refunds the fair-share charge)
                 self.queue.requeue(job)
+                self._m_jobs_requeued.inc()
+                if self.tracer.enabled:
+                    self.tracer.event("serve.requeue",
+                                      ctx=getattr(job, "trace", None),
+                                      job=job.job_id, node=exc.node_id)
                 continue
             if job.state != RUNNING:
                 continue
@@ -364,13 +544,19 @@ class HaoCLService:
             return False
         try:
             queue = self._queue_for(context, pick)
-            self._collect(job, queue, kernel, bindings)
+            with self.tracer.resume(getattr(job, "trace", None)):
+                with self.tracer.span("serve.replica_recover",
+                                      job=job.job_id,
+                                      node=pick.node_id):
+                    self._collect(job, queue, kernel, bindings)
         except (CLError, NodeLostError):
             return False
         finally:
             self._release_buffers(bindings)
         self._complete(job)
-        self.jobs_recovered += 1
+        self._m_jobs_replica.inc()
+        log.info("job #%d recovered from a replica on %s", job.job_id,
+                 pick.node_id)
         return True
 
     def _retry(self, job, exc):
@@ -391,8 +577,14 @@ class HaoCLService:
         job.error = None
         job.started_s = None
         self.queue.requeue(job)
-        self.jobs_retried += 1
-        stats.retried += 1
+        self._m_jobs_replayed.inc()
+        stats.bump("retried")
+        if self.tracer.enabled:
+            self.tracer.event("serve.retry", ctx=getattr(job, "trace", None),
+                              job=job.job_id, attempt=job.attempts,
+                              node=exc.node_id)
+        log.info("job #%d lost with %s; replaying (attempt %d/%d)",
+                 job.job_id, exc.node_id, job.attempts, self.max_retries)
 
     def _replicate_outputs(self, kernel, in_flight):
         """k>1 placement: push every written buffer to extra nodes over
@@ -609,7 +801,8 @@ class HaoCLService:
     def _fail(self, job, exc):
         job.state = FAILED
         job.error = exc
-        self._tenant_stats(job.tenant).failed += 1
+        self._tenant_stats(job.tenant).bump("failed")
+        log.debug("job #%d (%s) failed: %s", job.job_id, job.tenant, exc)
 
     # -- introspection ---------------------------------------------------------
 
@@ -638,11 +831,35 @@ class HaoCLService:
         return merged
 
     def fault_stats(self):
-        """Fault-tolerance ledger: node losses the service reacted to,
-        jobs replayed, jobs rescued from a replica, plus the ICD-side
-        recovery counters (``nodes_lost``, ``dmp_replicas`` ...)."""
+        """Fault-tolerance ledger (registry-backed view).
+
+        A node loss hits each affected job in exactly one of three
+        ways, counted separately:
+
+        - ``jobs_replayed`` -- the job was RUNNING on the dead node and
+          goes back through the queue for a full replay from its
+          host-side inputs (a new dispatch attempt is charged against
+          ``max_retries``);
+        - ``jobs_replica_recovered`` -- the job was RUNNING but its
+          outputs survived on a replica node (k>1 placement), so it
+          completes by collecting from the replica, with no replay and
+          no retry charge;
+        - ``jobs_requeued`` -- the job was pulled into the doomed batch
+          but never dispatched; it returns to the queue undispatched
+          and uncharged (not a recovery, not an attempt).
+
+        ``jobs_retried`` and ``jobs_recovered`` are kept as aliases of
+        the first two (their pre-split names).  ``node_losses`` counts
+        loss events the service reacted to, and the ``nodes_lost`` /
+        ``replicas_lost`` / ``dmp_*`` keys mirror the ICD's recovery
+        counters (transport-level view of the same incidents).
+        """
         stats = {
             "node_losses": self.node_losses,
+            "jobs_replayed": self.jobs_retried,
+            "jobs_replica_recovered": self.jobs_recovered,
+            "jobs_requeued": self.jobs_requeued,
+            # pre-split aliases
             "jobs_retried": self.jobs_retried,
             "jobs_recovered": self.jobs_recovered,
         }

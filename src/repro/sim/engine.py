@@ -109,6 +109,10 @@ class Simulator:
         self._heap = []
         self._seq = itertools.count()
         self._active = 0
+        #: scheduling counters, scraped into ``haocl_sim_*`` gauges by
+        #: the session's telemetry collector
+        self.events_scheduled = 0
+        self.events_fired = 0
 
     # -- process management ------------------------------------------------------
 
@@ -135,11 +139,13 @@ class Simulator:
     # -- scheduling internals ------------------------------------------------------
 
     def _at(self, when, event, value=None):
+        self.events_scheduled += 1
         heapq.heappush(self._heap, (when, next(self._seq), event, value))
 
     def _ready(self, task, value):
         event = SimEvent(self)
         event.trigger(value)
+        self.events_scheduled += 1
         heapq.heappush(
             self._heap, (self.now, next(self._seq), _Step(task), value)
         )
@@ -168,6 +174,7 @@ class Simulator:
                 return self.now
             heapq.heappop(self._heap)
             self.now = when
+            self.events_fired += 1
             if isinstance(payload, _Step):
                 self._step(payload.task, value)
             elif not payload.triggered:  # a timer-backed SimEvent
@@ -177,6 +184,21 @@ class Simulator:
     @property
     def idle(self):
         return not self._heap
+
+    def now_s(self):
+        """Clock accessor matching the fabric convention, so the sim
+        can stand in wherever a clock callable is expected."""
+        return self.now
+
+    def stats(self):
+        """Scheduling counters for the telemetry collector."""
+        return {
+            "now_seconds": self.now,
+            "events_scheduled": self.events_scheduled,
+            "events_fired": self.events_fired,
+            "heap_depth": len(self._heap),
+            "active_processes": self._active,
+        }
 
 
 class _Step:

@@ -22,6 +22,7 @@ Data Management Processes attach, so peer transfers are intercepted too.
 
 import random
 
+from repro.obs.tracing import TraceContext
 from repro.transport.base import Fabric, NodeLostError, TransportError
 
 #: fault kinds a rule may carry
@@ -229,12 +230,27 @@ class ChaosFabric(Fabric):
     def __init__(self, inner, plan):
         self.inner = inner
         self.plan = plan
+        #: host tracer, when tracing is on: fired faults become instant
+        #: events in the trace of the request they hit
+        self.tracer = None
         #: per-node count of host->node messages (the fault index space)
         self.message_counts = {}
         self._channels = {}
 
     def __getattr__(self, name):
+        if name in ("inner", "plan", "tracer"):
+            raise AttributeError(name)  # mid-init lookup must not recurse
         return getattr(self.inner, name)
+
+    def attach_tracer(self, tracer):
+        self.tracer = tracer
+
+    def _trace_fault(self, name, message, **args):
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        ctx = tracer.current() or TraceContext.from_wire(message.trace)
+        tracer.event(name, ctx=ctx, **args)
 
     def connect(self, node_id):
         if node_id not in self._channels:
@@ -270,15 +286,21 @@ class ChaosFabric(Fabric):
         if kind == "dead":
             raise NodeLostError(node_id, "killed by chaos plan")
         if kind == "kill":
+            self._trace_fault("chaos.kill", message, node=node_id,
+                              method=message.method, index=index)
             raise NodeLostError(
                 node_id, "chaos kill at message %d (%s)" % (index,
                                                             message.method)
             )
         if kind == "hang":
+            self._trace_fault("chaos.hang", message, node=node_id,
+                              method=message.method, index=index)
             raise NodeLostError(
                 node_id, "chaos hang at message %d (request timed out)" % index
             )
         if kind == "error":
+            self._trace_fault("chaos.blackout", message, node=node_id,
+                              method=message.method)
             return message.fail(action[1], action[2])
         return channel.request(message)
 
@@ -288,6 +310,8 @@ class ChaosFabric(Fabric):
         if kind == "dead":
             raise NodeLostError(action[1], "peer killed by chaos plan")
         if kind == "drop":
+            self._trace_fault("chaos.drop_peer", message, src=src_id,
+                              dst=dst_id, method=message.method)
             raise TransportError(
                 "chaos dropped peer_request %s->%s" % (src_id, dst_id)
             )
@@ -295,6 +319,8 @@ class ChaosFabric(Fabric):
             src_id, dst_id, message, now_s
         )
         if kind == "delay":
+            self._trace_fault("chaos.delay_peer", message, src=src_id,
+                              dst=dst_id, delay_s=action[1])
             elapsed_s += action[1]
         return response, elapsed_s
 

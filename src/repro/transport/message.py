@@ -6,10 +6,14 @@ arguments", optionally accompanied by bulk data (buffer contents).
 
 Wire layout::
 
-    MAGIC(2) | kind(1) | msg_id(4) | method_len(2) | method | payload_len(4) | payload
+    MAGIC(2) | kind(1) | msg_id(4) | method_len(2) | trace_len(1) |
+    method | trace | payload_len(4) | payload
 
 The payload is the tagged binary encoding from
 :mod:`repro.transport.serialization`; bulk NumPy data rides inside it.
+``trace`` is the optional distributed-tracing context (trace id +
+parent span id, :mod:`repro.obs.tracing`): the host stamps it on
+requests so node- and peer-side spans land in the caller's trace.
 """
 
 import itertools
@@ -23,8 +27,9 @@ from repro.transport.serialization import (
 )
 
 MAGIC = b"HC"  # "HaoCL" frame marker
-_HEADER = struct.Struct(">2sBIH")
+_HEADER = struct.Struct(">2sBIHB")
 _LEN = struct.Struct(">I")
+_MAX_TRACE = 255  # trace_len is one byte
 
 _next_id = itertools.count(1)
 
@@ -41,13 +46,15 @@ class MessageKind:
 class Message:
     """One framed message with method name and payload dict."""
 
-    __slots__ = ("kind", "method", "msg_id", "payload")
+    __slots__ = ("kind", "method", "msg_id", "payload", "trace")
 
-    def __init__(self, kind, method, payload=None, msg_id=None):
+    def __init__(self, kind, method, payload=None, msg_id=None, trace=None):
         self.kind = kind
         self.method = method
         self.payload = payload if payload is not None else {}
         self.msg_id = next(_next_id) if msg_id is None else msg_id
+        #: wire form of the sender's trace context, or None
+        self.trace = trace
 
     @classmethod
     def request(cls, method, **payload):
@@ -74,10 +81,18 @@ class Message:
         # the payload is encoded straight into the frame buffer: one
         # contiguous build, no separate payload bytes to concatenate
         method_raw = self.method.encode("utf-8")
+        trace_raw = self.trace.encode("utf-8") if self.trace else b""
+        if len(trace_raw) > _MAX_TRACE:
+            raise SerializationError(
+                "trace context of %d bytes exceeds the one-byte length "
+                "field" % len(trace_raw)
+            )
         out = bytearray(
-            _HEADER.pack(MAGIC, self.kind, self.msg_id, len(method_raw))
+            _HEADER.pack(MAGIC, self.kind, self.msg_id, len(method_raw),
+                         len(trace_raw))
         )
         out += method_raw
+        out += trace_raw
         length_at = len(out)
         out += _LEN.pack(0)  # patched once the payload length is known
         encode_into(self.payload, out)
@@ -88,12 +103,17 @@ class Message:
     def from_bytes(cls, raw):
         if len(raw) < _HEADER.size:
             raise SerializationError("short message frame")
-        magic, kind, msg_id, method_len = _HEADER.unpack_from(raw, 0)
+        magic, kind, msg_id, method_len, trace_len = _HEADER.unpack_from(raw, 0)
         if magic != MAGIC:
             raise SerializationError("bad magic %r" % magic)
         offset = _HEADER.size
         method = bytes(raw[offset : offset + method_len]).decode("utf-8")
         offset += method_len
+        trace = (
+            bytes(raw[offset : offset + trace_len]).decode("utf-8")
+            if trace_len else None
+        )
+        offset += trace_len
         (payload_len,) = _LEN.unpack_from(raw, offset)
         offset += _LEN.size
         if offset + payload_len != len(raw):
@@ -101,7 +121,7 @@ class Message:
         # a memoryview slice: bulk arrays in the payload decode as views
         # over the frame itself, not a second copy of it
         payload = decode(memoryview(raw)[offset : offset + payload_len])
-        return cls(kind, method, payload, msg_id)
+        return cls(kind, method, payload, msg_id, trace)
 
     @property
     def nbytes(self):

@@ -1,0 +1,171 @@
+"""Unit tests for the metrics registry: families, labels, histograms."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, log_buckets
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_label_free_counter_proxies_default_child(self, registry):
+        counter = registry.counter("jobs_total", "jobs")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.value("jobs_total") == 5
+
+    def test_counters_reject_negative_increments(self, registry):
+        counter = registry.counter("ops_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labeled_children_are_independent_and_cached(self, registry):
+        family = registry.counter("jobs_total", labels=("tenant",))
+        family.labels(tenant="a").inc(2)
+        family.labels(tenant="b").inc(7)
+        assert registry.value("jobs_total", tenant="a") == 2
+        assert registry.value("jobs_total", tenant="b") == 7
+        assert family.labels(tenant="a") is family.labels(tenant="a")
+
+    def test_same_name_returns_same_family(self, registry):
+        assert registry.counter("x_total") is registry.counter("x_total")
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_label_conflict_rejected(self, registry):
+        registry.counter("x_total", labels=("tenant",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", labels=("node",))
+
+    def test_missing_series_reads_as_zero(self, registry):
+        assert registry.value("never_registered_total") == 0
+        registry.counter("y_total", labels=("tenant",))
+        assert registry.value("y_total", tenant="ghost") == 0
+
+
+class TestGauges:
+    def test_gauge_set_inc_dec(self, registry):
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        gauge.inc(3)
+        gauge.dec(5)
+        assert gauge.value == 8
+
+
+class TestLogBuckets:
+    def test_exponential_bounds(self):
+        assert log_buckets(1.0, 2.0, 4) == [1.0, 2.0, 4.0, 8.0]
+
+    def test_invalid_parameters(self):
+        for start, factor, count in ((0, 2.0, 4), (1.0, 1.0, 4), (1.0, 2.0, 0)):
+            with pytest.raises(ValueError):
+                log_buckets(start, factor, count)
+
+
+class TestHistograms:
+    def test_boundary_values_are_le_inclusive(self, registry):
+        """Prometheus ``le`` semantics: an observation exactly on a
+        bucket bound lands in that bucket, not the next one."""
+        hist = registry.histogram("lat_seconds", bounds=[1.0, 2.0, 4.0])
+        child = hist.labels()
+        child.observe(1.0)   # exactly on the first bound
+        child.observe(2.0)   # exactly on the second
+        child.observe(0.5)   # below everything
+        assert child.counts == [2, 1, 0, 0]
+
+    def test_overflow_lands_in_inf_bucket(self, registry):
+        hist = registry.histogram("lat_seconds", bounds=[1.0, 2.0])
+        child = hist.labels()
+        child.observe(100.0)
+        assert child.counts == [0, 0, 1]
+        sample = child.sample()
+        # the +Inf bucket is implied: cumulative bucket counts stop at
+        # the last finite bound, total count covers the overflow
+        assert sample["buckets"] == [[1.0, 0], [2.0, 0]]
+        assert sample["count"] == 1
+
+    def test_sample_is_cumulative(self, registry):
+        hist = registry.histogram("lat_seconds", bounds=[1.0, 2.0, 4.0])
+        for value in (0.5, 1.5, 1.6, 3.0):
+            hist.observe(value)
+        sample = hist.labels().sample()
+        assert sample["buckets"] == [[1.0, 1], [2.0, 3], [4.0, 4]]
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(6.6)
+
+    def test_default_bounds_are_log_buckets(self, registry):
+        hist = registry.histogram("lat_seconds")
+        assert hist.bounds == log_buckets()
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_serializable(self, registry):
+        registry.counter("a_total", "help a").inc(3)
+        registry.gauge("b", labels=("node",)).labels(node="n0").set(1.5)
+        registry.histogram("c_seconds", bounds=[1.0]).observe(0.5)
+        snap = registry.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["a_total"]["type"] == "counter"
+        assert snap["a_total"]["samples"][0]["value"] == 3
+        assert snap["b"]["samples"][0]["labels"] == {"node": "n0"}
+
+    def test_collector_runs_at_read_time(self, registry):
+        seen = []
+
+        def collect(reg):
+            seen.append(True)
+            reg.gauge("scraped").set(42)
+
+        registry.register_collector(collect)
+        assert not seen
+        snap = registry.snapshot()
+        assert seen == [True]
+        assert snap["scraped"]["samples"][0]["value"] == 42
+        registry.unregister_collector(collect)
+        registry.snapshot()
+        assert len(seen) == 1
+
+    def test_collector_reading_registry_does_not_recurse(self, registry):
+        def collect(reg):
+            reg.snapshot()  # must not re-enter the collector
+
+        registry.register_collector(collect)
+        registry.snapshot()
+
+
+class TestPrometheusExposition:
+    def test_counter_and_gauge_lines(self, registry):
+        registry.counter("jobs_total", "All jobs",
+                         labels=("tenant",)).labels(tenant="a").inc(3)
+        registry.gauge("depth").set(2)
+        text = registry.render_prometheus()
+        assert "# HELP jobs_total All jobs" in text
+        assert "# TYPE jobs_total counter" in text
+        assert 'jobs_total{tenant="a"} 3' in text
+        assert "depth 2" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition_shape(self, registry):
+        hist = registry.histogram("lat_seconds", bounds=[1.0, 2.0])
+        hist.observe(0.5)
+        hist.observe(1.5)
+        text = registry.render_prometheus()
+        assert 'lat_seconds_bucket{le="1.0"} 1' in text
+        assert 'lat_seconds_bucket{le="2.0"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_sum 2.0" in text
+        assert "lat_seconds_count 2" in text
+
+    def test_label_values_are_escaped(self, registry):
+        registry.counter("x_total", labels=("k",)).labels(k='a"b\\c').inc()
+        text = registry.render_prometheus()
+        assert 'x_total{k="a\\"b\\\\c"} 1' in text

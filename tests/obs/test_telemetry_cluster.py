@@ -1,0 +1,378 @@
+"""Telemetry plane end to end: spans across the fabric, registry
+superset of the legacy dicts, and zero effect on results.
+
+The acceptance scenario mirrors the paper's serving story: a
+multi-node sim cluster runs a matmul -> spmv pipeline through the
+service, chaos kills one node mid-pipeline, and the run exports a
+single Chrome-trace JSON where the replayed job's admit / queue /
+dispatch / node-execute / retry spans share one trace id across the
+host and node processes.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import HaoCLSession
+from repro.serve import HaoCLService, Job
+from repro.serve.job import DONE
+from repro.serve.service import TENANT_COUNTERS
+from repro.testing import ChaosPlan
+from repro.workloads import get_workload
+
+MATMUL = """
+__kernel void mm_stage(__global float* C, __global const float* A,
+                     __global const float* B, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    float acc = 0.0f;
+    for (int k = 0; k < n; ++k) acc += A[i*n+k] * B[k*n+j];
+    C[i*n+j] = acc;
+}
+"""
+
+SPMV = """
+__kernel void spmv_stage(__global float* y, __global const int* rowptr,
+                   __global const int* col, __global const float* val,
+                   __global const float* x, int rows) {
+    int i = get_global_id(0);
+    if (i < rows) {
+        float acc = 0.0f;
+        for (int k = rowptr[i]; k < rowptr[i+1]; ++k)
+            acc += val[k] * x[col[k]];
+        y[i] = acc;
+    }
+}
+"""
+
+N = 12
+
+
+def matmul_job(tenant, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((N, N)).astype(np.float32)
+    b = rng.standard_normal((N, N)).astype(np.float32)
+    c = np.zeros((N, N), dtype=np.float32)
+    return Job(tenant, MATMUL, "mm_stage", [c, a, b, np.int32(N)], (N, N))
+
+
+def spmv_job(tenant, dense):
+    """CSR spmv over the (fully dense) matmul output of the same tenant."""
+    rows = dense.shape[0]
+    rowptr = np.arange(0, rows * rows + 1, rows, dtype=np.int32)
+    col = np.tile(np.arange(rows, dtype=np.int32), rows)
+    val = np.ascontiguousarray(dense.reshape(-1))
+    x = np.linspace(1.0, 2.0, rows).astype(np.float32)
+    y = np.zeros(rows, dtype=np.float32)
+    return Job(tenant, SPMV, "spmv_stage",
+               [y, rowptr, col, val, x, np.int32(rows)], (rows,))
+
+
+def spans_by_trace(spans, trace_id):
+    return [s for s in spans if s["trace"] == trace_id]
+
+
+class TestSpanParentingAcrossFabric:
+    def test_node_execute_span_parents_to_host_launch_span(self):
+        """The host's launch span context rides the message frame; the
+        NMP's execute span must come back parented under it."""
+        with HaoCLSession(gpu_nodes=2, mode="modeled", transport="sim",
+                          trace=True) as session:
+            ctx = session.context()
+            program = session.program(ctx, MATMUL)
+            a = session.synthetic_buffer(ctx, N * N * 4)
+            b = session.synthetic_buffer(ctx, N * N * 4)
+            c = session.synthetic_buffer(ctx, N * N * 4)
+            kernel = session.kernel(program, "mm_stage", c, a, b, np.int32(N))
+            queue = session.queue(ctx, session.devices[0])
+            session.enqueue(queue, kernel, (N, N))
+            session.finish(queue)
+            session.host.drain_traces()
+            spans = session.telemetry.tracer.spans()
+
+        launches = [s for s in spans if s["name"] == "launch"]
+        executes = [s for s in spans if s["name"] == "nmp.execute"]
+        assert launches and executes
+        launch, execute = launches[0], executes[0]
+        assert launch["proc"] == "host"
+        assert execute["proc"].startswith("node:")
+        assert execute["trace"] == launch["trace"]
+        assert execute["parent"] == launch["span"]
+        # node spans carry fabric (sim) timestamps inside the host span
+        assert execute["start_s"] >= 0.0
+        assert execute["dur_s"] > 0.0
+
+    def test_tracing_in_sim_time_uses_the_sim_clock(self):
+        with HaoCLSession(gpu_nodes=1, mode="modeled", transport="sim",
+                          trace=True) as session:
+            ctx = session.context()
+            program = session.program(ctx, MATMUL)
+            a = session.synthetic_buffer(ctx, N * N * 4)
+            b = session.synthetic_buffer(ctx, N * N * 4)
+            c = session.synthetic_buffer(ctx, N * N * 4)
+            kernel = session.kernel(program, "mm_stage", c, a, b, np.int32(N))
+            queue = session.queue(ctx, session.devices[0])
+            session.enqueue(queue, kernel, (N, N))
+            session.finish(queue)
+            horizon = session.now_s()
+            spans = session.telemetry.tracer.spans()
+        assert horizon > 0.0
+        for span in spans:
+            # sim timestamps, not perf_counter epochs
+            assert 0.0 <= span["start_s"] <= horizon + 1.0
+
+
+class TestTelemetryDoesNotPerturbResults:
+    @pytest.mark.parametrize("name", ["matrixmul", "spmv"])
+    def test_results_bit_identical_with_telemetry_on(self, name):
+        workload = get_workload(name)
+        inputs = workload.generate(16 if name == "matrixmul" else 48, seed=3)
+
+        def run(**telemetry_kwargs):
+            with HaoCLSession(gpu_nodes=2, mode="real",
+                              transport="inproc",
+                              **telemetry_kwargs) as session:
+                return workload.run(session, inputs, session.devices)
+
+        plain = run()
+        traced = run(trace=True)
+
+        def arrays(outputs):
+            if isinstance(outputs, dict):
+                return [(key, np.asarray(outputs[key]))
+                        for key in sorted(outputs)]
+            return [("output", np.asarray(outputs))]
+
+        for (key_a, a), (key_b, b) in zip(arrays(plain), arrays(traced)):
+            assert key_a == key_b
+            assert a.dtype == b.dtype
+            assert a.tobytes() == b.tobytes(), key_a  # bit-identical
+
+
+def run_pipeline(trace_path=None, chaos=None):
+    """matmul -> spmv through the service; returns (jobs, fault, spans)."""
+    with HaoCLSession(gpu_nodes=3, mode="real", transport="sim",
+                      chaos=chaos, trace=trace_path is not None) as session:
+        with HaoCLService(session, max_retries=3, replicas=2) as service:
+            tenants = ["t0", "t1"]
+            for tenant in tenants:
+                service.register_tenant(tenant)
+            stage1 = [matmul_job(tenants[i % 2], seed=i) for i in range(6)]
+            for job in stage1:
+                service.submit(job)
+            service.run()
+            assert all(job.state == DONE for job in stage1)
+            stage2 = [spmv_job(job.tenant, job.result["C"])
+                      for job in stage1]
+            for job in stage2:
+                service.submit(job)
+            service.run()
+            assert all(job.state == DONE for job in stage2)
+            fault = service.fault_stats()
+            spans = []
+            if trace_path is not None:
+                session.dump_trace(trace_path)
+                spans = session.telemetry.tracer.spans()
+    # the math survived any kill: validate one spmv against NumPy
+    dense = stage1[0].result["C"]
+    x = np.linspace(1.0, 2.0, N).astype(np.float32)
+    assert np.allclose(stage2[0].result["y"], dense @ x,
+                       rtol=1e-4, atol=1e-4)
+    return stage1 + stage2, fault, spans
+
+
+class TestChaosPipelineTrace:
+    """The acceptance scenario from the issue."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self, tmp_path_factory):
+        # discover deterministically where the first job lands, then
+        # replay the identical pipeline with that node killed
+        clean_jobs, clean_fault, _ = run_pipeline()
+        assert clean_fault["node_losses"] == 0
+        victim = clean_jobs[0].device.node_id
+        plan = ChaosPlan(seed=7)
+        plan.kill(victim, method="enqueue_ndrange", occurrence=2)
+        path = str(tmp_path_factory.mktemp("trace") / "pipeline_trace.json")
+        jobs, fault, spans = run_pipeline(trace_path=path, chaos=plan)
+        return jobs, fault, path, spans
+
+    def test_one_trace_stitches_the_replayed_job_across_processes(
+            self, pipeline):
+        jobs, fault, path, spans = pipeline
+        assert fault["node_losses"] >= 1
+        assert fault["jobs_replayed"] >= 1
+
+        replayed = [job for job in jobs if job.attempts >= 1]
+        assert replayed
+        # among the replayed jobs, at least one trace tells the whole
+        # story: admit -> queue -> dispatch -> node execute -> retry
+        full = []
+        for job in replayed:
+            names = {s["name"] for s in spans_by_trace(spans,
+                                                       job.trace.trace_id)}
+            if {"serve.admit", "serve.queue", "serve.dispatch",
+                    "serve.retry", "nmp.execute"} <= names:
+                full.append(job)
+        assert full, "no replayed job produced a complete lifecycle trace"
+        job = full[0]
+        trace = spans_by_trace(spans, job.trace.trace_id)
+        procs = {s["proc"] for s in trace}
+        assert "host" in procs
+        assert any(p.startswith("node:") for p in procs)
+        # the chaos fault itself is an instant event in a job's trace
+        kills = [s for s in spans if s["name"] == "chaos.kill"]
+        assert kills
+        job_traces = {j.trace.trace_id for j in jobs}
+        assert kills[0]["trace"] in job_traces
+        # replica placement moved bytes over the peer data plane, and
+        # those node-side transfer spans joined the jobs' traces too
+        pushes = [s for s in spans if s["name"] == "dmp.push"]
+        assert pushes
+        assert any(p["trace"] in job_traces for p in pushes)
+
+    def test_chrome_export_is_one_valid_file_covering_all_processes(
+            self, pipeline):
+        _jobs, _fault, path, _spans = pipeline
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        events = doc["traceEvents"]
+        proc_names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert "host" in proc_names
+        assert sum(1 for p in proc_names if p.startswith("node:")) >= 2
+        names = {e["name"] for e in events}
+        for expected in ("serve.admit", "serve.dispatch", "nmp.execute",
+                         "dmp.push", "serve.retry", "chaos.kill"):
+            assert expected in names, expected
+
+
+class TestSnapshotSupersetsLegacyDicts:
+    """One registry snapshot must cover every field of the six legacy
+    introspection dicts (they are views over the same series now)."""
+
+    @pytest.fixture(scope="class")
+    def served(self):
+        with HaoCLSession(gpu_nodes=2, fpga_nodes=1, mode="real",
+                          transport="inproc") as session:
+            with HaoCLService(session) as service:
+                for tenant in ("alice", "bob"):
+                    service.register_tenant(tenant)
+                for index in range(8):
+                    service.submit(matmul_job(
+                        "alice" if index % 2 else "bob", seed=index))
+                service.run()
+                legacy = {
+                    "tenants": service.stats(),
+                    "accounting": service.cluster_accounting(),
+                    "fault": service.fault_stats(),
+                    "data_plane": service.data_plane(),
+                    "execution": service.execution_stats(),
+                    "transfer": session.cl.icd.transfer_stats(),
+                    "nodes": session.host.node_stats(),
+                }
+                snap = session.metrics_snapshot()
+        yield legacy, snap
+
+    @staticmethod
+    def series(snap, name):
+        family = snap.get(name, {"samples": []})
+        return {
+            tuple(sorted(sample["labels"].items())): sample["value"]
+            for sample in family["samples"]
+        }
+
+    def value(self, snap, name, **labels):
+        return self.series(snap, name).get(tuple(sorted(
+            (k, str(v)) for k, v in labels.items())), 0)
+
+    def test_transfer_stats_mirrors_icd_counters(self, served):
+        legacy, snap = served
+        for key, value in legacy["transfer"].items():
+            name = "transfer_count" if key == "transfers" else key
+            assert self.value(snap, "haocl_icd_%s_total" % name) == value, key
+
+    def test_tenant_stats_mirror_serve_counters(self, served):
+        legacy, snap = served
+        for tenant, record in legacy["tenants"].items():
+            for field in TENANT_COUNTERS:
+                assert self.value(
+                    snap, "haocl_serve_jobs_%s_total" % field,
+                    tenant=tenant) == record[field], (tenant, field)
+            assert self.value(snap, "haocl_serve_service_seconds_total",
+                              tenant=tenant) == \
+                pytest.approx(record["service_time_s"])
+            wait = self.value(snap, "haocl_serve_queue_wait_seconds",
+                              tenant=tenant)
+            assert wait["count"] == record["completed"]
+
+    def test_fault_stats_mirror_registry(self, served):
+        legacy, snap = served
+        fault = legacy["fault"]
+        assert self.value(snap, "haocl_serve_node_losses_total") == \
+            fault["node_losses"]
+        assert self.value(snap, "haocl_serve_jobs_replayed_total") == \
+            fault["jobs_replayed"] == fault["jobs_retried"]
+        assert self.value(snap,
+                          "haocl_serve_jobs_replica_recovered_total") == \
+            fault["jobs_replica_recovered"] == fault["jobs_recovered"]
+        assert self.value(snap, "haocl_serve_jobs_requeued_total") == \
+            fault["jobs_requeued"]
+        for key in ("nodes_lost", "replicas_lost", "dmp_replicas",
+                    "dmp_replica_bytes", "dmp_drains"):
+            assert self.value(snap, "haocl_icd_%s_total" % key) == fault[key]
+
+    def test_data_plane_nodes_mirror_node_gauges(self, served):
+        legacy, snap = served
+        for node_id, dmp in legacy["data_plane"]["nodes"].items():
+            for key, value in dmp.items():
+                if isinstance(value, (int, float)) and value is not None:
+                    assert self.value(snap, "haocl_node_dmp_%s" % key,
+                                      node=node_id) == value, (node_id, key)
+
+    def test_execution_stats_mirror_tier_gauges(self, served):
+        legacy, snap = served
+        for tier, count in legacy["execution"]["tiers"].items():
+            total = sum(
+                value for labels, value in
+                self.series(snap, "haocl_node_tier_launches").items()
+                if dict(labels)["tier"] == tier
+            )
+            assert total == count, tier
+        for key, value in legacy["execution"]["compile_cache"].items():
+            if isinstance(value, (int, float)):
+                series = self.series(snap, "haocl_node_compile_%s" % key)
+                assert value in series.values(), key
+
+    def test_cluster_accounting_mirrors_tenant_gauges(self, served):
+        legacy, snap = served
+        for tenant, record in legacy["accounting"].items():
+            launches = sum(
+                value for labels, value in
+                self.series(snap, "haocl_node_tenant_launches").items()
+                if dict(labels)["tenant"] == tenant
+            )
+            assert launches == record["launches"], tenant
+            jobs = sum(
+                value for labels, value in
+                self.series(snap, "haocl_node_tenant_jobs").items()
+                if dict(labels)["tenant"] == tenant
+            )
+            assert jobs == record["jobs"], tenant
+
+    def test_node_stats_mirror_node_gauges(self, served):
+        legacy, snap = served
+        for node_id, stats in legacy["nodes"].items():
+            scraped = self.value(snap, "haocl_node_messages", node=node_id)
+            # each node_stats() sweep between the legacy read and the
+            # snapshot scrape adds one message per node
+            assert abs(stats["messages"] - scraped) <= 4, node_id
+            for kernel, prof in stats["kernels"].items():
+                assert self.value(snap, "haocl_node_kernel_launches",
+                                  node=node_id, kernel=kernel) == \
+                    prof["count"], (node_id, kernel)
+            for handle, dev in stats["devices"].items():
+                assert self.value(
+                    snap, "haocl_node_device_busy_seconds", node=node_id,
+                    device=handle, type=dev["type_name"]) == \
+                    pytest.approx(dev["busy_s"]), (node_id, handle)

@@ -1,0 +1,177 @@
+"""Unit tests for the tracer and trace-context wire propagation."""
+
+import json
+
+import pytest
+
+from repro.obs import NULL_SPAN, TraceContext, Tracer
+from repro.transport.message import Message, MessageKind, SerializationError
+
+
+class FakeClock:
+    """Deterministic manual clock: every read advances by ``step``."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def tracer(**kwargs):
+    kwargs.setdefault("enabled", True)
+    kwargs.setdefault("clock", FakeClock())
+    return Tracer(**kwargs)
+
+
+class TestTraceContext:
+    def test_wire_roundtrip(self):
+        ctx = TraceContext("host-1", "host-2")
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    def test_garbled_wire_parses_as_none(self):
+        for raw in (None, "", "no-separator", "/x", "x/"):
+            assert TraceContext.from_wire(raw) is None
+
+
+class TestSpans:
+    def test_disabled_tracer_returns_shared_null_span(self):
+        off = Tracer(enabled=False)
+        assert off.span("x") is NULL_SPAN
+        assert off.resume(TraceContext("t", "s")) is NULL_SPAN
+        with off.span("x") as ctx:
+            assert ctx is None
+        assert off.record("x", 0.0, 1.0) is None
+        assert off.spans() == []
+
+    def test_nested_spans_parent_and_share_trace(self):
+        t = tracer()
+        with t.span("outer") as outer_ctx:
+            with t.span("inner") as inner_ctx:
+                assert inner_ctx.trace_id == outer_ctx.trace_id
+        outer, inner = {s["name"]: s for s in t.spans()}.get("outer"), \
+            {s["name"]: s for s in t.spans()}.get("inner")
+        assert outer["parent"] is None
+        assert inner["parent"] == outer["span"]
+        assert inner["trace"] == outer["trace"]
+        # the manual clock steps once per read: durations are positive
+        assert inner["dur_s"] > 0 and outer["dur_s"] > 0
+        assert t.current() is None  # stack unwound
+
+    def test_resume_installs_foreign_context(self):
+        t = tracer()
+        root = t.new_trace()
+        with t.resume(root):
+            with t.span("child"):
+                pass
+        (span,) = t.spans()
+        assert span["trace"] == root.trace_id
+        assert span["parent"] == root.span_id
+
+    def test_resume_accepts_wire_string(self):
+        t = tracer()
+        with t.resume("trace-9/span-7"):
+            assert t.current_wire() == "trace-9/span-7"
+
+    def test_record_with_wire_parent_mints_child(self):
+        """The node-side form: the parent arrived in a message frame."""
+        t = tracer(proc="node:gpu0")
+        ctx = t.record("nmp.execute", 1.0, 0.5, parent="trace-1/span-1")
+        (span,) = t.spans()
+        assert span["trace"] == "trace-1"
+        assert span["parent"] == "span-1"
+        assert span["span"] == ctx.span_id
+        assert span["proc"] == "node:gpu0"
+        assert span["span"].startswith("node:gpu0-")
+
+    def test_event_is_instant_under_current_context(self):
+        t = tracer()
+        with t.span("outer") as ctx:
+            t.event("chaos.kill", node="gpu0")
+        event = [s for s in t.spans() if s["name"] == "chaos.kill"][0]
+        assert event["dur_s"] is None
+        assert event["trace"] == ctx.trace_id
+        assert event["parent"] == ctx.span_id
+        assert event["args"] == {"node": "gpu0"}
+
+    def test_drain_and_ingest(self):
+        node = tracer(proc="node:gpu0")
+        node.record("nmp.execute", 0.0, 1.0, parent="t/s")
+        host = tracer()
+        host.ingest(node.drain())
+        assert node.spans() == []
+        assert [s["name"] for s in host.spans()] == ["nmp.execute"]
+
+    def test_buffer_is_bounded(self):
+        t = tracer(max_spans=3)
+        for index in range(5):
+            t.record("s%d" % index, 0.0, 1.0)
+        assert [s["name"] for s in t.spans()] == ["s2", "s3", "s4"]
+
+
+class TestMessageTracePropagation:
+    def test_trace_rides_the_frame(self):
+        message = Message(MessageKind.REQUEST, "enqueue_ndrange",
+                          {"n": 3}, trace="host-1/host-2")
+        out = Message.from_bytes(message.to_bytes())
+        assert out.trace == "host-1/host-2"
+        assert out.method == "enqueue_ndrange"
+        assert out.payload == {"n": 3}
+        assert out.msg_id == message.msg_id
+        assert TraceContext.from_wire(out.trace) == \
+            TraceContext("host-1", "host-2")
+
+    def test_no_trace_is_the_default(self):
+        message = Message.request("node_stats")
+        assert message.trace is None
+        assert Message.from_bytes(message.to_bytes()).trace is None
+
+    def test_replies_do_not_echo_the_trace(self):
+        request = Message(MessageKind.REQUEST, "x", trace="t/s")
+        assert request.reply(ok=True).trace is None
+        assert request.fail(-1, "nope").trace is None
+
+    def test_oversized_trace_rejected(self):
+        message = Message(MessageKind.REQUEST, "x", trace="t" * 300)
+        with pytest.raises(SerializationError):
+            message.to_bytes()
+
+    def test_max_size_trace_roundtrips(self):
+        raw = "t/" + "s" * 253  # exactly 255 bytes
+        message = Message(MessageKind.REQUEST, "x", trace=raw)
+        assert Message.from_bytes(message.to_bytes()).trace == raw
+
+
+class TestChromeExport:
+    def test_chrome_trace_shape(self, tmp_path):
+        t = tracer()
+        with t.span("launch", kernel="saxpy"):
+            pass
+        t.record("nmp.execute", 0.5, 0.25, parent="t/s", proc="node:gpu0")
+        t.event("chaos.kill", node="gpu0")
+        path = t.write_chrome(str(tmp_path / "trace.json"))
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        events = doc["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in metas} == {"host", "node:gpu0"}
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"launch", "nmp.execute"}
+        launch = [e for e in complete if e["name"] == "launch"][0]
+        assert launch["args"]["kernel"] == "saxpy"
+        assert launch["dur"] > 0  # microseconds
+        instant = [e for e in events if e["ph"] == "i"]
+        assert [e["name"] for e in instant] == ["chaos.kill"]
+
+    def test_processes_get_distinct_pids(self):
+        t = tracer()
+        t.record("a", 0.0, 1.0, proc="host")
+        t.record("b", 0.0, 1.0, proc="node:gpu0")
+        t.record("c", 0.0, 1.0, proc="node:gpu1")
+        doc = t.chrome_trace()
+        pids = {e["args"]["name"]: e["pid"]
+                for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert len(set(pids.values())) == 3
