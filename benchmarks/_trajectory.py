@@ -24,3 +24,21 @@ def append_record(record, path=SERVE_TRAJECTORY):
         json.dump(trajectory, fh, indent=2)
         fh.write("\n")
     return path
+
+
+def last_record(bench, quick=None, path=SERVE_TRAJECTORY):
+    """The most recent record with ``record["bench"] == bench``, or
+    None.  ``quick`` filters on the record's quick-mode flag (None
+    matches either), so a quick CI run only gates against quick
+    baselines and full runs against full ones."""
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        trajectory = json.load(fh)
+    for record in reversed(trajectory):
+        if record.get("bench") != bench:
+            continue
+        if quick is not None and bool(record.get("quick")) != bool(quick):
+            continue
+        return record
+    return None

@@ -1,0 +1,94 @@
+"""Open-loop serving throughput and tail latency at tenant scale.
+
+Drives the event-driven :class:`AsyncHaoCLService` with seeded Poisson
+traffic from hundreds of tenants on the sim fabric (simulated time, so
+the run is deterministic and fast), twice: fault-free, then with one
+node killed mid-run by a seeded :class:`ChaosPlan`.  Each run appends a
+record -- throughput, p50/p99 end-to-end latency, deadline-miss rate,
+recovery counters -- to ``BENCH_serve.json``, and the fault-free
+throughput is gated against the last matching record: a drop past 15%
+fails the bench.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_serve_load.py -q
+Quick mode (CI):  BENCH_QUICK=1 ... (fewer tenants/jobs, same shape)
+"""
+
+import os
+import time
+
+from _trajectory import append_record, last_record
+from repro.core import HaoCLSession
+from repro.testing import ChaosPlan, OpenLoopLoad
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+TENANTS = 64 if QUICK else 256
+RATE_HZ = 400.0 if QUICK else 800.0
+DURATION_S = 0.25 if QUICK else 0.75
+NODES = 3
+SEED = 17
+DEADLINE_S = 5.0
+#: allowed fault-free throughput drop against the last recorded run
+REGRESSION_SLACK = 0.15
+
+
+def load_round(chaos=None):
+    """One open-loop run; returns its verified LoadReport."""
+    with HaoCLSession(gpu_nodes=NODES, transport="sim",
+                      chaos=chaos) as session:
+        service = session.service(max_retries=3)
+        if chaos is not None:
+            chaos.kill_random(sorted(session.host.fabric.node_ids()),
+                              method="enqueue_ndrange", max_occurrence=5)
+        report = OpenLoopLoad(service, tenants=TENANTS, rate_hz=RATE_HZ,
+                              duration_s=DURATION_S, seed=SEED,
+                              deadline_s=DEADLINE_S).run().verify()
+        service.close()
+    return report
+
+
+class TestServeLoadOpenLoop:
+    def test_open_loop_throughput_with_and_without_node_kill(self):
+        clean = load_round()
+        assert clean.completed > 0
+        assert clean.failed == 0
+        assert clean.fault_stats["nodes_lost"] == 0
+
+        chaos = load_round(ChaosPlan(seed=SEED))
+        assert chaos.failed == 0  # one kill loses nothing
+        assert chaos.fault_stats["nodes_lost"] == 1
+
+        record = {
+            "bench": "serve_load_open",
+            "date": time.strftime("%Y-%m-%d"),
+            "quick": QUICK,
+            "tenants": TENANTS,
+            "rate_hz": RATE_HZ,
+            "duration_s": DURATION_S,
+            "nodes": NODES,
+            "seed": SEED,
+            "submitted": clean.submitted,
+            "jobs_per_s": round(clean.jobs_per_s, 1),
+            "p50_s": round(clean.p50_s, 6),
+            "p99_s": round(clean.p99_s, 6),
+            "deadline_miss_rate": round(clean.deadline_miss_rate, 4),
+            "one_kill_jobs_per_s": round(chaos.jobs_per_s, 1),
+            "one_kill_p99_s": round(chaos.p99_s, 6),
+            "recovery": chaos.fault_stats,
+        }
+
+        baseline = last_record("serve_load_open", quick=QUICK)
+        append_record(record)
+        print("\nopen loop: %d tenants  %5.1f jobs/s  p50 %.3fms  p99 %.3fms"
+              "   one kill: %5.1f jobs/s  (replayed %d, losses %d)"
+              % (TENANTS, record["jobs_per_s"], record["p50_s"] * 1e3,
+                 record["p99_s"] * 1e3, record["one_kill_jobs_per_s"],
+                 chaos.fault_stats["jobs_replayed"],
+                 chaos.fault_stats["nodes_lost"]))
+
+        if baseline is not None:
+            floor = (1.0 - REGRESSION_SLACK) * baseline["jobs_per_s"]
+            assert record["jobs_per_s"] >= floor, (
+                "open-loop throughput regressed >%.0f%%: %.1f jobs/s vs "
+                "baseline %.1f (%s)"
+                % (REGRESSION_SLACK * 100, record["jobs_per_s"],
+                   baseline["jobs_per_s"], baseline.get("date")))

@@ -65,6 +65,10 @@ class HostProcess:
         self.last_seen = {}
         self._hb_thread = None
         self._hb_stop = threading.Event()
+        #: serializes request/response pairs on the shared channels, so
+        #: several service replicas (threads) can drive one host; RLock
+        #: because a node-lost callback fired mid-call may call again
+        self._call_lock = threading.RLock()
         #: NMP construction kwargs, reused when a node joins at runtime
         self._node_kwargs = {}
         self._discover()
@@ -178,14 +182,15 @@ class HostProcess:
         failures surface as :class:`NodeLostError` for the recovery
         layers.  Calls to nodes already marked lost short-circuit.
         """
-        if node_id in self.lost_nodes:
-            raise NodeLostError(node_id, "marked lost by the host")
-        self._m_calls.labels(method=method).inc()
-        message = Message.request(method, **payload)
-        tracer = self.telemetry.tracer
-        if tracer.enabled:
-            message.trace = tracer.current_wire()
-        response = self.channel(node_id).request(message)
+        with self._call_lock:
+            if node_id in self.lost_nodes:
+                raise NodeLostError(node_id, "marked lost by the host")
+            self._m_calls.labels(method=method).inc()
+            message = Message.request(method, **payload)
+            tracer = self.telemetry.tracer
+            if tracer.enabled:
+                message.trace = tracer.current_wire()
+            response = self.channel(node_id).request(message)
         if response.is_error:
             raise CLError(
                 response.payload.get("code", -9999),

@@ -163,6 +163,23 @@ class HaoCLSession:
         self.cl.icd.drain_node(node_id)
         return self.host.mark_lost(node_id, reason="graceful leave")
 
+    # -- serving ------------------------------------------------------------------
+
+    def service(self, async_=True, **kwargs):
+        """A serving front-end over this session's cluster.
+
+        ``async_=True`` (the default) builds an event-driven
+        :class:`~repro.serve.AsyncHaoCLService` (non-blocking submit,
+        futures, rate limits, deadlines); ``async_=False`` the blocking
+        :class:`~repro.serve.HaoCLService`.  Keyword arguments pass
+        through -- notably ``queue=``/``admission=`` to share one
+        fair-share queue between several replicas of either flavour.
+        """
+        from repro.serve import AsyncHaoCLService, HaoCLService
+
+        cls = AsyncHaoCLService if async_ else HaoCLService
+        return cls(self, **kwargs)
+
     # -- telemetry ----------------------------------------------------------------
 
     def _collect_cluster(self, registry):

@@ -116,6 +116,23 @@ class Histogram(_Child):
             "buckets": cumulative,  # +Inf bucket implied by count
         }
 
+    def quantile(self, q):
+        """Bucket-resolution quantile estimate: the upper bound of the
+        first bucket whose cumulative count reaches ``q * count`` (the
+        last finite bound when the +Inf bucket holds the rank).  None
+        until something has been observed."""
+        if not 0 <= q <= 1:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        running = 0
+        for bound, bucket in zip(self.bounds, self.counts):
+            running += bucket
+            if running >= rank:
+                return bound
+        return self.bounds[-1] if self.bounds else None
+
 
 _KIND_CHILD = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
@@ -170,6 +187,9 @@ class MetricFamily:
 
     def observe(self, value):
         self._default.observe(value)
+
+    def quantile(self, q):
+        return self._default.quantile(q)
 
     @property
     def value(self):

@@ -13,8 +13,13 @@ needs:
   admission with typed rejections;
 - :mod:`repro.serve.batcher`   -- coalesces compatible jobs to amortise
   NMP round-trips;
+- :mod:`repro.serve.ratelimit` -- per-tenant token buckets bounding
+  submission rates with typed retry-after rejections;
 - :mod:`repro.serve.service`   -- the HaoCLService event loop gluing
-  leases, placement and dispatch together.
+  leases, placement and dispatch together;
+- :mod:`repro.serve.async_service` -- the event-driven front-end:
+  non-blocking submit -> JobFuture, result streams, EDF deadline
+  shedding, asyncio and caller-driven reactor drivers.
 """
 
 from repro.serve.admission import (
@@ -22,20 +27,35 @@ from repro.serve.admission import (
     AdmissionError,
     JobTooLarge,
     QueueFull,
+    RateLimited,
+)
+from repro.serve.async_service import (
+    AsyncHaoCLService,
+    JobExpired,
+    JobFuture,
+    ReactorStalled,
 )
 from repro.serve.batcher import Batch, Batcher
 from repro.serve.job import Job
 from repro.serve.queue import FairShareQueue
+from repro.serve.ratelimit import RateLimiter, TokenBucket
 from repro.serve.service import HaoCLService
 
 __all__ = [
     "AdmissionController",
     "AdmissionError",
+    "AsyncHaoCLService",
     "Batch",
     "Batcher",
     "FairShareQueue",
     "HaoCLService",
     "Job",
+    "JobExpired",
+    "JobFuture",
     "JobTooLarge",
     "QueueFull",
+    "RateLimited",
+    "RateLimiter",
+    "ReactorStalled",
+    "TokenBucket",
 ]

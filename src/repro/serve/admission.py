@@ -38,6 +38,21 @@ class QueueFull(AdmissionError):
     reason = "queue-full"
 
 
+class RateLimited(AdmissionError):
+    """Backpressure: the tenant's token bucket is empty right now.
+
+    Carries ``retry_after_s``, the earliest delay after which the
+    bucket will hold a token again -- the serving layer's equivalent of
+    an HTTP 429 with a Retry-After header.
+    """
+
+    reason = "rate-limited"
+
+    def __init__(self, message, job=None, retry_after_s=0.0):
+        super().__init__(message, job=job)
+        self.retry_after_s = float(retry_after_s)
+
+
 class AdmissionController:
     """Memory-capacity and queue-depth admission for a device set."""
 

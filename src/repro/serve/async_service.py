@@ -1,0 +1,360 @@
+"""Event-driven serving: futures, streams, rate limits, deadlines.
+
+:class:`AsyncHaoCLService` rebuilds the serving front-end around a
+reactor.  Submission is non-blocking -- :meth:`AsyncHaoCLService.submit`
+admits the job (token-bucket rate limiting layered on admission
+control) and immediately returns a :class:`JobFuture`; dispatch happens
+when the reactor is *pumped*, and results flow back through futures and
+:meth:`AsyncHaoCLService.stream` iterators in completion order.
+
+The reactor has three equivalent drivers, all sharing one dispatch
+core (the synchronous :class:`~repro.serve.service.HaoCLService`, which
+stays available as the thin blocking facade):
+
+- **caller-driven** (default): ``future.result()`` and ``stream()``
+  pump batches inline until the awaited jobs settle.  Single-threaded
+  and deterministic, which is what lets the load harness replay
+  million-user traffic on the sim fabric's virtual clock.
+- **asyncio**: run :meth:`serve_forever` as a task and ``await`` the
+  futures (or ``async for`` over :meth:`as_completed`); the reactor
+  yields to the loop between batches.
+- **external**: call :meth:`pump` from your own loop or thread; futures
+  resolve through their done callbacks.
+
+Every pump starts with EDF shedding -- queued jobs already past their
+deadline are dropped, marked EXPIRED and counted as deadline misses --
+so a backlog never wastes device time on results nobody can use.
+
+Several ``AsyncHaoCLService`` replicas can share one cluster: give them
+a common :class:`~repro.serve.queue.FairShareQueue` (and admission
+controller) and distinct ``user`` identities; queue pops are atomic, so
+a job is dispatched by exactly one replica, and device access arbitrates
+through the existing :class:`~repro.core.tenancy.DeviceLease` TTLs.
+"""
+
+import asyncio
+import collections
+import threading
+import time
+
+from repro.obs import get_logger
+from repro.serve.job import DONE, EXPIRED, TERMINAL_STATES
+from repro.serve.ratelimit import RateLimiter
+from repro.serve.service import HaoCLService
+
+log = get_logger("serve")
+
+
+class JobExpired(Exception):
+    """Raised by ``result()`` when the job was shed past its deadline."""
+
+    def __init__(self, job):
+        super().__init__(
+            "job #%d (%s) missed its %.3gs deadline and was shed"
+            % (job.job_id, job.tenant, job.deadline_s or 0.0)
+        )
+        self.job = job
+
+
+class ReactorStalled(RuntimeError):
+    """The reactor can make no progress toward the awaited future.
+
+    Either the job's queue drained without it settling (it was dropped
+    from another replica's batch), or every queued batch keeps
+    deferring (no device capacity, or an exclusive lease held
+    elsewhere that outlives the caller's patience).
+    """
+
+
+class JobFuture:
+    """Handle to one submitted job: resolves when the job settles.
+
+    Not bound to any thread or event loop.  ``result()`` pumps the
+    owning service's reactor inline when nobody else is serving (the
+    deterministic caller-driven mode) and blocks on the completion
+    event otherwise; ``await future`` bridges into the running asyncio
+    loop.  Futures survive replica handoff -- whichever service
+    completes the underlying job resolves the future, because
+    resolution rides the job's own terminal callbacks.
+    """
+
+    def __init__(self, job, service):
+        self.job = job
+        self._service = service
+        self._settled = threading.Event()
+        self._callbacks = []
+        job.add_done_callback(self._on_terminal)
+
+    # -- resolution ------------------------------------------------------------
+
+    def _on_terminal(self, _job):
+        self._settled.set()
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def done(self):
+        return self.job.state in TERMINAL_STATES
+
+    def add_done_callback(self, fn):
+        """Run ``fn(future)`` on settlement (immediately if settled)."""
+        if self.done():
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+        return fn
+
+    # -- reads -----------------------------------------------------------------
+
+    def result(self, timeout=None):
+        """The job's result dict, pumping/waiting until it settles.
+
+        Raises the job's typed error for FAILED/REJECTED outcomes,
+        :class:`JobExpired` for deadline sheds, ``TimeoutError`` when
+        ``timeout`` (wall seconds) lapses first.
+        """
+        if not self.done():
+            self._service._settle(self, timeout)
+        exc = self.exception()
+        if exc is not None:
+            raise exc
+        return self.job.result
+
+    def exception(self):
+        """The error the job settled with, or None (DONE or pending)."""
+        if self.job.state == EXPIRED:
+            return JobExpired(self.job)
+        if self.job.state == DONE:
+            return None
+        return self.job.error
+
+    # -- asyncio bridge --------------------------------------------------------
+
+    def __await__(self):
+        loop = asyncio.get_event_loop()
+        bridged = loop.create_future()
+
+        def _resolve(_future):
+            loop.call_soon_threadsafe(self._transfer, bridged)
+
+        self.add_done_callback(_resolve)
+        return bridged.__await__()
+
+    def _transfer(self, bridged):
+        if bridged.cancelled() or bridged.done():
+            return
+        exc = self.exception()
+        if exc is not None:
+            bridged.set_exception(exc)
+        else:
+            bridged.set_result(self.job.result)
+
+    def __repr__(self):
+        return "JobFuture(#%d %s, %s)" % (
+            self.job.job_id, self.job.tenant, self.job.state
+        )
+
+
+class AsyncHaoCLService(HaoCLService):
+    """Non-blocking front-end over the shared dispatch core.
+
+    Adds on top of :class:`HaoCLService`:
+
+    - ``submit() -> JobFuture`` with per-tenant token-bucket rate
+      limiting (typed :class:`~repro.serve.admission.RateLimited`
+      rejections carrying ``retry_after_s``);
+    - deadline scheduling: EDF lane ordering is the queue's (this
+      service sets ``default_deadline_s`` when jobs carry none), and
+      every pump sheds the past-deadline set before forming batches;
+    - ``stream()`` / ``as_completed()`` result iterators;
+    - an asyncio driver (:meth:`serve_forever`).
+    """
+
+    #: consecutive zero-progress pumps before a blocking wait declares
+    #: the reactor stalled (exclusive lease held elsewhere, no capacity)
+    max_idle_spins = 64
+
+    def __init__(self, session, rate_hz=None, burst=None,
+                 default_deadline_s=None, **kwargs):
+        super().__init__(session, **kwargs)
+        self.limiter = RateLimiter(rate_hz=rate_hz, burst=burst,
+                                   clock=session.now_s)
+        #: deadline applied to jobs submitted without one (None: jobs
+        #: without deadlines never expire, exactly as in the sync path)
+        self.default_deadline_s = default_deadline_s
+        #: futures not yet settled (pruned on resolution); what a bare
+        #: ``stream()`` iterates
+        self._outstanding = set()
+        self._serving = False
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, job):
+        """Admit and queue ``job``; returns its :class:`JobFuture`.
+
+        Non-blocking: dispatch happens on later pumps.  Raises the
+        typed :class:`RateLimited` / :class:`AdmissionError` rejections
+        (counted per tenant) when the job may not enter.
+        """
+        from repro.serve.admission import RateLimited
+
+        if job.deadline_s is None and self.default_deadline_s is not None:
+            job.deadline_s = float(self.default_deadline_s)
+        stats = self._tenant_stats(job.tenant)
+        try:
+            self.limiter.check(job, now_s=self.session.now_s())
+        except RateLimited as exc:
+            stats.bump("submitted")
+            stats.bump("rate_limited")
+            self._m_rate_limited.inc()
+            job.state = "rejected"
+            job.error = exc
+            job.notify_terminal()
+            log.debug("job #%d (%s) rate-limited: retry in %.3fs",
+                      job.job_id, job.tenant, exc.retry_after_s)
+            raise
+        super().submit(job)
+        future = JobFuture(job, self)
+        self._outstanding.add(future)
+        future.add_done_callback(self._outstanding.discard)
+        return future
+
+    # -- the reactor -----------------------------------------------------------
+
+    def pump(self, max_batches=None):
+        """One reactor turn: shed expired jobs, then dispatch up to
+        ``max_batches`` batches.  Returns the number of jobs shed plus
+        batches dispatched -- zero means no progress was possible."""
+        shed = self.shed_expired()
+        dispatched = self.run(max_batches=max_batches)
+        return shed + dispatched
+
+    def pump_until(self, predicate, timeout=None):
+        """Pump until ``predicate()`` holds.  Raises ``TimeoutError``
+        past ``timeout`` wall seconds, :class:`ReactorStalled` when
+        pumping cannot make progress toward the predicate."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        idle = 0
+        while not predicate():
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError("reactor pump timed out")
+            if self.pump(max_batches=1):
+                idle = 0
+                continue
+            idle += 1
+            if not len(self.queue):
+                raise ReactorStalled(
+                    "queue drained without the awaited condition settling"
+                )
+            if idle > self.max_idle_spins:
+                raise ReactorStalled(
+                    "%d queued job(s) kept deferring (no capacity or an "
+                    "exclusive lease held elsewhere)" % len(self.queue)
+                )
+        return True
+
+    def _settle(self, future, timeout=None):
+        """Drive ``future`` to settlement: pump inline unless another
+        driver (serve_forever, a pump thread) owns the reactor, in
+        which case wait on the completion event."""
+        if self._serving:
+            if not future._settled.wait(timeout):
+                raise TimeoutError("job #%d did not settle in %.3gs"
+                                   % (future.job.job_id, timeout))
+            return
+        self.pump_until(future.done, timeout=timeout)
+
+    # -- result streams --------------------------------------------------------
+
+    def stream(self, futures=None):
+        """Yield futures as they settle, in completion order.
+
+        ``futures=None`` streams everything currently outstanding.
+        Caller-driven: the generator pumps the reactor between yields
+        (or naps briefly when another driver is serving), so iterating
+        it *is* running the service.
+        """
+        if futures is None:
+            futures = list(self._outstanding)
+        ready = collections.deque()
+        pending = set()
+        for future in futures:
+            if future.done():
+                ready.append(future)
+            else:
+                pending.add(future)
+                future.add_done_callback(ready.append)
+        idle = 0
+        while ready or pending:
+            if ready:
+                future = ready.popleft()
+                pending.discard(future)
+                idle = 0
+                yield future
+                continue
+            if self._serving:
+                time.sleep(0.001)  # another driver pumps; just wait
+                continue
+            if self.pump(max_batches=1):
+                idle = 0
+                continue
+            idle += 1
+            if not len(self.queue) or idle > self.max_idle_spins:
+                raise ReactorStalled(
+                    "%d job(s) in the stream cannot settle" % len(pending)
+                )
+
+    def drain_futures(self, futures=None):
+        """Pump until every given (default: all outstanding) future
+        settles; returns them in completion order."""
+        return list(self.stream(futures))
+
+    # -- asyncio driver --------------------------------------------------------
+
+    async def serve_forever(self, idle_sleep_s=0.001):
+        """Run the reactor as an asyncio task until cancelled.
+
+        Yields to the event loop after every batch (and naps
+        ``idle_sleep_s`` when idle), so coroutines that ``await``
+        futures interleave with dispatch on one thread.
+        """
+        self._serving = True
+        try:
+            while True:
+                progressed = self.pump(max_batches=1)
+                await asyncio.sleep(0 if progressed else idle_sleep_s)
+        finally:
+            self._serving = False
+
+    async def as_completed(self, futures):
+        """Async iterator over ``futures`` in completion order (run
+        :meth:`serve_forever` alongside, or pump from elsewhere)."""
+        loop = asyncio.get_event_loop()
+        settled = asyncio.Queue()
+        for future in futures:
+            future.add_done_callback(
+                lambda f: loop.call_soon_threadsafe(settled.put_nowait, f)
+            )
+        for _ in range(len(futures)):
+            yield await settled.get()
+
+    # -- introspection ---------------------------------------------------------
+
+    def load_stats(self):
+        """Front-end pressure ledger for this service instance."""
+        return {
+            "outstanding": len(self._outstanding),
+            "queued": len(self.queue),
+            "rate_limited": self.rate_limited,
+            "deadline_misses": self.deadline_misses,
+            "jobs_dispatched": self.jobs_dispatched,
+            "deferrals": self.deferrals,
+        }
+
+    def __repr__(self):
+        return "AsyncHaoCLService(%d tenants, %d queued, %d outstanding)" % (
+            len(self._stats), len(self.queue), len(self._outstanding)
+        )
+
+
+__all__ = ["AsyncHaoCLService", "JobExpired", "JobFuture", "ReactorStalled"]

@@ -25,6 +25,9 @@ REJECTED = "rejected"
 EXPIRED = "expired"
 FAILED = "failed"
 
+#: states a job cannot leave; reaching one fires the done callbacks
+TERMINAL_STATES = frozenset((DONE, REJECTED, EXPIRED, FAILED))
+
 
 class Job:
     """One tenant-submitted kernel invocation."""
@@ -59,6 +62,11 @@ class Job:
         self.result = None
         self.error = None
         self.device = None
+        self._done_callbacks = []
+        #: times the job has been declared terminal; the serving layer's
+        #: exactly-once invariant ("no lost or duplicated results")
+        #: asserts this lands on exactly 1 for every submitted job
+        self.terminal_count = 0
 
     # -- resource estimate -----------------------------------------------------
 
@@ -113,6 +121,28 @@ class Job:
             self._input_digests = digests
         return self._input_digests
 
+    # -- completion notification -----------------------------------------------
+
+    def add_done_callback(self, fn):
+        """Run ``fn(job)`` once the job reaches a terminal state (DONE,
+        REJECTED, EXPIRED or FAILED).  Fires immediately when the job is
+        already terminal.  This is what :class:`~repro.serve.JobFuture`
+        hangs off, and it works across service replicas: whichever
+        replica completes the job resolves its future."""
+        if self.state in TERMINAL_STATES:
+            fn(self)
+        else:
+            self._done_callbacks.append(fn)
+        return fn
+
+    def notify_terminal(self):
+        """Fire (and clear) the done callbacks; called by the serving
+        layer at every terminal transition."""
+        self.terminal_count += 1
+        callbacks, self._done_callbacks = self._done_callbacks, []
+        for fn in callbacks:
+            fn(self)
+
     # -- timings ---------------------------------------------------------------
 
     @property
@@ -126,6 +156,15 @@ class Job:
         if self.started_s is None or self.finished_s is None:
             return None
         return self.finished_s - self.started_s
+
+    @property
+    def absolute_deadline_s(self):
+        """The fabric-clock instant the job must start by, or None --
+        the key EDF lane ordering sorts on.  Defined once the job is
+        submitted (the deadline is relative to submission)."""
+        if self.deadline_s is None or self.submitted_s is None:
+            return None
+        return self.submitted_s + self.deadline_s
 
     def past_deadline(self, now_s):
         return (

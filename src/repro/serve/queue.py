@@ -1,12 +1,27 @@
 """Per-tenant lanes drained by weighted fair share.
 
-Each tenant owns a FIFO lane (priority-ordered, FIFO within a
-priority); lanes are drained with deficit round-robin: on a lane's
-turn its deficit counter grows by ``quantum * weight`` and the lane
-may dispatch jobs until the deficit no longer covers the next job's
-cost.  A heavy tenant therefore cannot starve light ones -- over time
-each lane's share of served cost converges to its weight share, the
-property the fairness tests assert.
+Each tenant owns a lane ordered (priority, earliest deadline, FIFO);
+lanes are drained with deficit round-robin: on a lane's turn its
+deficit counter grows by ``quantum * weight`` and the lane may dispatch
+jobs until the deficit no longer covers the next job's cost.  A heavy
+tenant therefore cannot starve light ones -- over time each lane's
+share of served cost converges to its weight share, the property the
+fairness tests assert.
+
+Within a lane, jobs of equal priority are EDF-ordered: a job with an
+earlier absolute deadline dispatches first, deadline-less jobs trail
+deadline-carrying ones, and FIFO order breaks the remaining ties.
+Jobs already past their deadline are removed wholesale by
+:meth:`FairShareQueue.shed_expired` (serving a dead job wastes the
+cluster), which the reactor runs every pump.
+
+Lane *rotation* is explicit: a deque of lanes whose head is the lane
+whose turn it is, rotated one step per turn.  Registration appends at
+the tail (a new tenant waits one full cycle before its first turn) and
+:meth:`unregister` removes a lane without disturbing whose turn it is,
+so drain order is deterministic under lane insertion and removal --
+the earlier index-modulo rotation shifted arbitrarily when the lane
+list changed, which made EDF tests order-dependent.
 
 The cost unit is configurable: ``cost="jobs"`` (the default; every job
 costs 1, so weights express *job-count* shares and ``quantum=1`` serves
@@ -14,11 +29,17 @@ costs 1, so weights express *job-count* shares and ``quantum=1`` serves
 footprint, so weights express *byte* shares -- size ``quantum`` near
 the typical job footprint, or the round-robin granularity becomes one
 whole lane).
+
+All mutating methods take the queue's re-entrant lock, so several
+service replicas may share one queue (each pop removes the job, which
+is what makes double-dispatch impossible) from concurrent threads.
 """
 
 import bisect
+import collections
 import itertools
 import math
+import threading
 
 from repro.serve.job import QUEUED
 
@@ -31,8 +52,9 @@ class TenantLane:
             raise ValueError("tenant weight must be positive")
         self.name = name
         self.weight = float(weight)
-        #: ((-priority, seq), job), kept sorted: high priority first,
-        #: FIFO within a priority
+        #: ((-priority, deadline, seq), job), kept sorted: high priority
+        #: first, EDF (earliest absolute deadline; None sorts last)
+        #: within a priority, FIFO within a deadline
         self.items = []
         self.deficit = 0.0
         #: whether this lane already received its quantum this turn
@@ -65,9 +87,13 @@ class FairShareQueue:
         self.quantum = int(quantum)
         self.cost_unit = cost
         self._lanes = {}
-        self._order = []  # rotation order (registration order)
-        self._turn = 0
+        self._order = []  # registration order (the introspection order)
+        #: explicit rotation state: the head lane is whose turn it is;
+        #: _advance rotates one step left, registration appends at the
+        #: tail, unregistration removes without moving the head
+        self._rotation = collections.deque()
         self._seq = itertools.count()
+        self._lock = threading.RLock()
 
     def _cost(self, job):
         return 1 if self.cost_unit == "jobs" else job.cost
@@ -76,14 +102,37 @@ class FairShareQueue:
 
     def register(self, tenant, weight=1.0):
         """Add a tenant lane (idempotent; re-registering updates weight)."""
-        lane = self._lanes.get(tenant)
-        if lane is None:
-            lane = TenantLane(tenant, weight)
-            self._lanes[tenant] = lane
-            self._order.append(lane)
-        else:
-            lane.weight = float(weight)
-        return lane
+        with self._lock:
+            lane = self._lanes.get(tenant)
+            if lane is None:
+                lane = TenantLane(tenant, weight)
+                self._lanes[tenant] = lane
+                self._order.append(lane)
+                self._rotation.append(lane)
+            else:
+                lane.weight = float(weight)
+            return lane
+
+    def unregister(self, tenant, force=False):
+        """Remove a tenant lane; the rotation head is undisturbed, so
+        the other lanes keep their drain order.  A lane with queued jobs
+        is refused unless ``force`` is set, in which case the abandoned
+        jobs are returned to the caller to dispose of."""
+        with self._lock:
+            lane = self._lanes.get(tenant)
+            if lane is None:
+                return []
+            if lane.items and not force:
+                raise ValueError(
+                    "tenant %r still has %d queued job(s); pass force=True "
+                    "to drop them" % (tenant, len(lane.items))
+                )
+            abandoned = [job for _key, job in lane.items]
+            lane.items = []
+            del self._lanes[tenant]
+            self._order.remove(lane)
+            self._rotation.remove(lane)
+            return abandoned
 
     def tenants(self):
         return [lane.name for lane in self._order]
@@ -94,27 +143,56 @@ class FairShareQueue:
     # -- enqueue ---------------------------------------------------------------
 
     def push(self, job):
-        """Queue a job in its tenant's lane (auto-registers the tenant)."""
-        lane = self._lanes.get(job.tenant)
-        if lane is None:  # an empty lane is falsy: check for None, not truth
-            lane = self.register(job.tenant)
-        if getattr(job, "_queue_seq", None) is None:
-            job._queue_seq = next(self._seq)
-        job.state = QUEUED
-        lane.push((-job.priority, job._queue_seq), job)
-        return job
+        """Queue a job in its tenant's lane (auto-registers the tenant).
+
+        The lane key is (priority, absolute deadline, FIFO sequence):
+        EDF within a priority, with deadline-less jobs (deadline
+        ``inf``) trailing every deadline-carrying one."""
+        with self._lock:
+            lane = self._lanes.get(job.tenant)
+            if lane is None:  # an empty lane is falsy: check None, not truth
+                lane = self.register(job.tenant)
+            if getattr(job, "_queue_seq", None) is None:
+                job._queue_seq = next(self._seq)
+            deadline = getattr(job, "absolute_deadline_s", None)
+            job.state = QUEUED
+            lane.push((-job.priority,
+                       math.inf if deadline is None else deadline,
+                       job._queue_seq), job)
+            return job
 
     def requeue(self, job):
         """Put a deferred job back; its original sequence number keeps
         its place at the front of the lane, and the cost charged when it
         was pulled is refunded (a deferral is not service)."""
-        lane = self._lanes.get(job.tenant)
-        if lane is not None:
-            cost = self._cost(job)
-            lane.deficit += cost
-            lane.served_jobs -= 1
-            lane.served_cost -= cost
-        return self.push(job)
+        with self._lock:
+            lane = self._lanes.get(job.tenant)
+            if lane is not None:
+                cost = self._cost(job)
+                lane.deficit += cost
+                lane.served_jobs -= 1
+                lane.served_cost -= cost
+            return self.push(job)
+
+    def shed_expired(self, now_s):
+        """Remove and return every queued job already past its deadline
+        -- exactly the past-deadline set, nothing else.  Shed jobs were
+        never served, so no deficit is charged; the caller (the service
+        reactor) marks them EXPIRED and counts the deadline misses."""
+        with self._lock:
+            shed = []
+            for lane in self._order:
+                if not lane.items:
+                    continue
+                keep = []
+                for key, job in lane.items:
+                    if job.past_deadline(now_s):
+                        shed.append(job)
+                    else:
+                        keep.append((key, job))
+                if len(keep) != len(lane.items):
+                    lane.items = keep
+            return shed
 
     def depth(self, tenant=None):
         if tenant is not None:
@@ -129,41 +207,42 @@ class FairShareQueue:
 
     def next_job(self):
         """The next job in weighted fair-share order, or None."""
-        if not len(self):
-            return None
-        unproductive = 0
-        while True:
-            lane = self._order[self._turn % len(self._order)]
-            if lane.items:
-                if not lane.charged:
-                    lane.deficit += self.quantum * lane.weight
-                    lane.charged = True
-                head = lane.head()
-                if lane.deficit >= self._cost(head):
-                    job = lane.pop()
-                    lane.deficit -= self._cost(job)
-                    lane.served_jobs += 1
-                    lane.served_cost += self._cost(job)
-                    if not lane.items:
-                        # an emptied lane must not bank *credit* while
-                        # idle -- but banked debt (negative deficit from
-                        # batched take_compatible pulls) is preserved, or
-                        # a tenant could batch heavily, drain its lane,
-                        # and escape fair share entirely
-                        lane.deficit = min(lane.deficit, 0.0)
-                        self._advance()
-                    return job
-                unproductive += 1
-                if unproductive >= len(self._order):
-                    # a whole rotation served nothing: credit the missing
-                    # rounds arithmetically instead of spinning
-                    # O(cost/quantum) times around the lanes
-                    self._fast_forward()
-                    unproductive = 0
-            else:
-                # idle turn: forfeit saved-up credit, keep owed debt
-                lane.deficit = min(lane.deficit, 0.0)
-            self._advance()
+        with self._lock:
+            if not len(self):
+                return None
+            unproductive = 0
+            while True:
+                lane = self._rotation[0]
+                if lane.items:
+                    if not lane.charged:
+                        lane.deficit += self.quantum * lane.weight
+                        lane.charged = True
+                    head = lane.head()
+                    if lane.deficit >= self._cost(head):
+                        job = lane.pop()
+                        lane.deficit -= self._cost(job)
+                        lane.served_jobs += 1
+                        lane.served_cost += self._cost(job)
+                        if not lane.items:
+                            # an emptied lane must not bank *credit* while
+                            # idle -- but banked debt (negative deficit from
+                            # batched take_compatible pulls) is preserved, or
+                            # a tenant could batch heavily, drain its lane,
+                            # and escape fair share entirely
+                            lane.deficit = min(lane.deficit, 0.0)
+                            self._advance()
+                        return job
+                    unproductive += 1
+                    if unproductive >= len(self._rotation):
+                        # a whole rotation served nothing: credit the missing
+                        # rounds arithmetically instead of spinning
+                        # O(cost/quantum) times around the lanes
+                        self._fast_forward()
+                        unproductive = 0
+                else:
+                    # idle turn: forfeit saved-up credit, keep owed debt
+                    lane.deficit = min(lane.deficit, 0.0)
+                self._advance()
 
     def _fast_forward(self):
         """Advance every backlogged lane by the number of whole rounds
@@ -175,18 +254,17 @@ class FairShareQueue:
                 (self._cost(lane.head()) - lane.deficit)
                 / (self.quantum * lane.weight)
             )
-            for lane in self._order if lane.items
+            for lane in self._rotation if lane.items
         )
         if rounds <= 0:
             return
-        for lane in self._order:
+        for lane in self._rotation:
             if lane.items:
                 lane.deficit += rounds * self.quantum * lane.weight
 
     def _advance(self):
-        lane = self._order[self._turn % len(self._order)]
-        lane.charged = False
-        self._turn = (self._turn + 1) % len(self._order)
+        self._rotation[0].charged = False
+        self._rotation.rotate(-1)
 
     def take_compatible(self, signature, limit):
         """Remove up to ``limit`` jobs matching ``signature`` across all
@@ -196,25 +274,25 @@ class FairShareQueue:
         go negative) so batching borrows from -- rather than escapes --
         fair share; the debt is repaid on the lane's later turns.
         """
-        taken = []
-        if limit <= 0:
+        with self._lock:
+            taken = []
+            if limit <= 0:
+                return taken
+            for lane in list(self._rotation):
+                index = 0
+                while index < len(lane.items) and len(taken) < limit:
+                    _key, job = lane.items[index]
+                    if job.signature() == signature:
+                        lane.items.pop(index)
+                        lane.deficit -= self._cost(job)
+                        lane.served_jobs += 1
+                        lane.served_cost += self._cost(job)
+                        taken.append(job)
+                    else:
+                        index += 1
+                if len(taken) >= limit:
+                    break
             return taken
-        for offset in range(len(self._order)):
-            lane = self._order[(self._turn + offset) % len(self._order)]
-            index = 0
-            while index < len(lane.items) and len(taken) < limit:
-                _key, job = lane.items[index]
-                if job.signature() == signature:
-                    lane.items.pop(index)
-                    lane.deficit -= self._cost(job)
-                    lane.served_jobs += 1
-                    lane.served_cost += self._cost(job)
-                    taken.append(job)
-                else:
-                    index += 1
-            if len(taken) >= limit:
-                break
-        return taken
 
     def accounting(self):
         """Per-lane serving ledger: {tenant: {deficit, served_jobs,

@@ -1,0 +1,142 @@
+"""Per-tenant token-bucket rate limiting.
+
+Admission control (:mod:`repro.serve.admission`) bounds what the
+cluster can *hold*; rate limiting bounds how fast any one tenant may
+*submit*.  Each tenant owns a :class:`TokenBucket`: tokens refill
+continuously at ``rate_hz`` up to a ``burst`` cap, and a submission
+spends one token (or its configured cost).  An empty bucket produces a
+typed :class:`~repro.serve.admission.RateLimited` rejection carrying
+``retry_after_s``, so well-behaved clients can back off precisely
+instead of hammering the front door.
+
+The bucket's invariants (the hypothesis property tests assert these):
+
+- tokens never go negative, and never exceed ``burst``;
+- refill is monotone -- with no takes, tokens never decrease as the
+  clock advances, and a clock that stalls or steps backwards (wall
+  clocks do) never *destroys* tokens;
+- a take is granted iff the refilled balance covers its cost, and a
+  denial's ``retry_after_s`` is exactly the time the missing tokens
+  take to accrue.
+
+Time is injected (``now_s`` arguments / the limiter's ``clock``), so
+buckets run on simulated time under the sim fabric and on the wall
+clock in production -- the same property suite covers both.
+"""
+
+from repro.serve.admission import RateLimited
+
+
+class TokenBucket:
+    """One tenant's continuously-refilling token balance."""
+
+    def __init__(self, rate_hz, burst=None, now_s=0.0):
+        if rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        self.rate_hz = float(rate_hz)
+        self.burst = float(rate_hz if burst is None else burst)
+        if self.burst <= 0:
+            raise ValueError("burst must be positive")
+        #: current balance; starts full so a fresh tenant gets its burst
+        self.tokens = self.burst
+        self.updated_s = float(now_s)
+
+    def refill(self, now_s):
+        """Accrue tokens for the time since the last update; returns
+        the new balance.  Monotone: a backwards clock step accrues
+        nothing (and keeps the later timestamp), it never debits."""
+        elapsed = now_s - self.updated_s
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate_hz)
+            self.updated_s = now_s
+        return self.tokens
+
+    def try_take(self, now_s, cost=1.0):
+        """Spend ``cost`` tokens if the balance covers it.
+
+        Returns ``(granted, retry_after_s)``: granted takes debit the
+        balance (which stays >= 0 by construction); denials leave it
+        untouched and report how long until the missing tokens accrue.
+        A cost above ``burst`` can never be granted -- the retry-after
+        still prices the shortfall, and the caller should reject such
+        jobs outright.
+        """
+        if cost <= 0:
+            raise ValueError("cost must be positive")
+        self.refill(now_s)
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True, 0.0
+        return False, (cost - self.tokens) / self.rate_hz
+
+    def __repr__(self):
+        return "TokenBucket(%.3g/%.3g tokens, %.3g Hz)" % (
+            self.tokens, self.burst, self.rate_hz
+        )
+
+
+class RateLimiter:
+    """Per-tenant buckets with a shared default rate.
+
+    ``rate_hz=None`` (the default) means unlimited -- the limiter is a
+    no-op until a rate is set, so plugging it into the service costs
+    nothing for deployments that do not use it.  Per-tenant overrides
+    (:meth:`configure`) take precedence over the default.
+    """
+
+    def __init__(self, rate_hz=None, burst=None, clock=None):
+        self.default_rate_hz = None if rate_hz is None else float(rate_hz)
+        self.default_burst = burst
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self._overrides = {}   # tenant -> (rate_hz, burst); rate None = exempt
+        self._buckets = {}     # tenant -> TokenBucket
+
+    def configure(self, tenant, rate_hz, burst=None):
+        """Set (or replace) one tenant's rate; ``rate_hz=None`` exempts
+        the tenant from the default limit."""
+        self._overrides[tenant] = (
+            None if rate_hz is None else float(rate_hz), burst
+        )
+        self._buckets.pop(tenant, None)  # rebuilt with the new params
+        return self
+
+    def _params(self, tenant):
+        if tenant in self._overrides:
+            return self._overrides[tenant]
+        return self.default_rate_hz, self.default_burst
+
+    def bucket(self, tenant, now_s=None):
+        """The tenant's bucket, or None when the tenant is unlimited."""
+        rate_hz, burst = self._params(tenant)
+        if rate_hz is None:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            now = self.clock() if now_s is None else now_s
+            bucket = TokenBucket(rate_hz, burst=burst, now_s=now)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def check(self, job, now_s=None, cost=1.0):
+        """Admit ``job`` against its tenant's bucket or raise the typed
+        :class:`RateLimited` rejection with its retry-after."""
+        bucket = self.bucket(job.tenant, now_s=now_s)
+        if bucket is None:
+            return job
+        now = self.clock() if now_s is None else now_s
+        granted, retry_after_s = bucket.try_take(now, cost=cost)
+        if not granted:
+            raise RateLimited(
+                "tenant %r over its rate limit (%.3g Hz); retry in %.3fs"
+                % (job.tenant, bucket.rate_hz, retry_after_s),
+                job=job, retry_after_s=retry_after_s,
+            )
+        return job
+
+    def __repr__(self):
+        return "RateLimiter(default=%r Hz, %d tenant overrides)" % (
+            self.default_rate_hz, len(self._overrides)
+        )
+
+
+__all__ = ["RateLimiter", "TokenBucket"]

@@ -39,6 +39,7 @@ TENANT_COUNTERS = {
     "submitted": "Jobs submitted (pre-admission)",
     "completed": "Jobs completed with results",
     "rejected": "Jobs refused by admission control",
+    "rate_limited": "Jobs refused by per-tenant rate limiting",
     "expired": "Jobs dropped past their deadline",
     "failed": "Jobs failed (build/launch error or retries exhausted)",
     "retried": "Replay attempts after a node loss",
@@ -130,7 +131,7 @@ class HaoCLService:
                  fairness="jobs", max_batch=16, batching=True,
                  admission=None, lease_shared=True, lease_ttl_s=30.0,
                  user="serve", max_cached_programs=32, max_retries=2,
-                 replicas=1):
+                 replicas=1, queue=None):
         self.session = session
         self.driver = session.cl
         self.telemetry = getattr(session, "telemetry", None)
@@ -146,7 +147,11 @@ class HaoCLService:
         #: fresh copies kept per written buffer (k=2 survives one node
         #: loss between finish and collect without a replay)
         self.replicas = max(1, int(replicas))
-        self.queue = FairShareQueue(quantum=quantum, cost=fairness)
+        # an externally supplied queue (and admission controller) lets N
+        # service replicas share one front-end over one cluster: each
+        # pop removes the job, so no two replicas can dispatch it
+        self.queue = queue if queue is not None else FairShareQueue(
+            quantum=quantum, cost=fairness)
         self.admission = admission or AdmissionController(session.devices)
         if isinstance(policy, SchedulingPolicy):
             self.placement = policy
@@ -186,6 +191,17 @@ class HaoCLService:
             "haocl_serve_jobs_requeued_total",
             "QUEUED jobs returned to the queue undispatched when their "
             "batch died")
+        self._m_deadline_misses = counter(
+            "haocl_serve_deadline_misses_total",
+            "Jobs shed past their deadline (never dispatched)")
+        self._m_rate_limited = counter(
+            "haocl_serve_rate_limited_total",
+            "Submissions refused by per-tenant rate limiting")
+        self._h_e2e = self.metrics.histogram(
+            "haocl_serve_e2e_latency_seconds",
+            "Submit-to-result latency of completed jobs",
+            labels=("tenant",), bounds=log_buckets(1e-5, 2.0, 28),
+        )
         # registry series are cluster-cumulative; a second service on
         # the same session must still read its own ledger from zero, so
         # the legacy views subtract the counts found at construction
@@ -198,6 +214,8 @@ class HaoCLService:
                 ("jobs_replayed", self._m_jobs_replayed),
                 ("jobs_replica", self._m_jobs_replica),
                 ("jobs_requeued", self._m_jobs_requeued),
+                ("deadline_misses", self._m_deadline_misses),
+                ("rate_limited", self._m_rate_limited),
             )
         }
         # the host's failure detector drives this service's cleanup
@@ -235,6 +253,14 @@ class HaoCLService:
     @property
     def jobs_requeued(self):
         return self._m_jobs_requeued.value - self._m_base["jobs_requeued"]
+
+    @property
+    def deadline_misses(self):
+        return self._m_deadline_misses.value - self._m_base["deadline_misses"]
+
+    @property
+    def rate_limited(self):
+        return self._m_rate_limited.value - self._m_base["rate_limited"]
 
     # -- tenants ---------------------------------------------------------------
 
@@ -274,6 +300,7 @@ class HaoCLService:
             stats.bump("rejected")
             job.state = REJECTED
             job.error = exc
+            job.notify_terminal()
             log.debug("job #%d (%s) rejected: %s", job.job_id, job.tenant,
                       exc)
             raise
@@ -316,6 +343,16 @@ class HaoCLService:
     def drain(self):
         return self.run()
 
+    def shed_expired(self):
+        """Drop every queued job already past its deadline (EDF
+        shedding: serving it would waste the cluster on a result nobody
+        can use).  Returns the number shed; each is marked EXPIRED and
+        counted as a deadline miss."""
+        shed = self.queue.shed_expired(self.session.now_s())
+        for job in shed:
+            self._expire(job)
+        return len(shed)
+
     # -- dispatch --------------------------------------------------------------
 
     def _dispatch_batch(self, batch):
@@ -323,12 +360,7 @@ class HaoCLService:
         live = []
         for job in batch:
             if job.past_deadline(now):
-                job.state = EXPIRED
-                self._tenant_stats(job.tenant).bump("expired")
-                if self.tracer.enabled:
-                    self.tracer.event("serve.expire",
-                                      ctx=getattr(job, "trace", None),
-                                      job=job.job_id, tenant=job.tenant)
+                self._expire(job)
             else:
                 live.append(job)
         if not live:
@@ -475,8 +507,41 @@ class HaoCLService:
         stats.observe_wait(job.queue_wait_s)
         stats.add_service_time(job.service_time_s)
         self._m_jobs.inc()
+        if job.submitted_s is not None:
+            self._h_e2e.labels(tenant=job.tenant).observe(
+                job.finished_s - job.submitted_s)
+        self._trace_deadline(job, missed=False)
+        job.notify_terminal()
         log.debug("job #%d (%s) done in %.3es", job.job_id, job.tenant,
                   job.service_time_s)
+
+    def _expire(self, job):
+        """Shed one job past its deadline: terminal EXPIRED state, the
+        per-tenant ``expired`` counter and the service's deadline-miss
+        ledger (``fault_stats()['deadline_misses']``)."""
+        job.state = EXPIRED
+        self._tenant_stats(job.tenant).bump("expired")
+        self._m_deadline_misses.inc()
+        if self.tracer.enabled:
+            self.tracer.event("serve.expire",
+                              ctx=getattr(job, "trace", None),
+                              job=job.job_id, tenant=job.tenant)
+        self._trace_deadline(job, missed=True)
+        job.notify_terminal()
+
+    def _trace_deadline(self, job, missed):
+        """Per-job deadline span: submission to the deadline instant,
+        tagged with whether the job made it -- renders as a ruler under
+        the job's lifecycle spans in the Perfetto view."""
+        if (not self.tracer.enabled or job.deadline_s is None
+                or job.submitted_s is None):
+            return
+        self.tracer.record(
+            "serve.deadline", job.submitted_s, job.deadline_s,
+            parent=getattr(job, "trace", None),
+            args={"job": job.job_id, "tenant": job.tenant,
+                  "missed": bool(missed)},
+        )
 
     # -- fault recovery --------------------------------------------------------
 
@@ -802,6 +867,7 @@ class HaoCLService:
         job.state = FAILED
         job.error = exc
         self._tenant_stats(job.tenant).bump("failed")
+        job.notify_terminal()
         log.debug("job #%d (%s) failed: %s", job.job_id, job.tenant, exc)
 
     # -- introspection ---------------------------------------------------------
@@ -854,11 +920,19 @@ class HaoCLService:
         ``replicas_lost`` / ``dmp_*`` keys mirror the ICD's recovery
         counters (transport-level view of the same incidents).
         """
+        dispatched = self.jobs_dispatched
+        misses = self.deadline_misses
         stats = {
             "node_losses": self.node_losses,
             "jobs_replayed": self.jobs_retried,
             "jobs_replica_recovered": self.jobs_recovered,
             "jobs_requeued": self.jobs_requeued,
+            # deadline accounting: shed jobs and the miss rate over
+            # everything that left the queue (served or shed)
+            "deadline_misses": misses,
+            "deadline_miss_rate": (
+                misses / (misses + dispatched) if misses + dispatched else 0.0
+            ),
             # pre-split aliases
             "jobs_retried": self.jobs_retried,
             "jobs_recovered": self.jobs_recovered,

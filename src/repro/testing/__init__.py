@@ -8,5 +8,16 @@ retry, replica failover) under deterministic, replayable failures.
 """
 
 from repro.testing.chaos import ChaosFabric, ChaosPlan
+from repro.testing.load import (
+    ClosedLoopLoad,
+    LoadReport,
+    OpenLoopLoad,
+)
 
-__all__ = ["ChaosFabric", "ChaosPlan"]
+__all__ = [
+    "ChaosFabric",
+    "ChaosPlan",
+    "ClosedLoopLoad",
+    "LoadReport",
+    "OpenLoopLoad",
+]

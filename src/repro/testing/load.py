@@ -1,0 +1,373 @@
+"""Seeded workload generators for serving-layer load tests.
+
+Two classic load shapes drive an :class:`~repro.serve.AsyncHaoCLService`
+(or the sync service) with hundreds of tenants:
+
+- :class:`OpenLoopLoad` -- Poisson arrivals at a fixed aggregate rate,
+  submitted regardless of how the service keeps up.  Open loop is the
+  shape that exposes queueing collapse: arrivals do not slow down when
+  the service falls behind, so backpressure (admission, rate limits,
+  deadline shedding) must do the protecting.
+- :class:`ClosedLoopLoad` -- each tenant keeps a fixed number of jobs
+  in flight and submits the next only when one settles (with an
+  optional think time), the shape interactive clients produce.
+
+Both run on *simulated* time when the session's fabric carries a
+simulator (arrival gaps advance the sim clock, so a thousand-job run
+finishes in milliseconds of wall time and deadlines behave exactly),
+and degrade to no-op time advances on wall-clock fabrics.  Everything
+is seeded -- arrival times, tenant choices, job payloads -- so a run
+is replayable bit-for-bit, and chaos faults compose by passing a
+:class:`~repro.testing.chaos.ChaosPlan` to the session as usual.
+
+The result is a :class:`LoadReport` whose :meth:`~LoadReport.verify`
+asserts the serving invariants end to end:
+
+- **exactly-once**: every generated job reached a terminal state
+  exactly once -- no lost results, no duplicated results;
+- **conservation**: submitted = completed + rejected + rate-limited +
+  expired + failed, with a result payload on every completed job;
+- **fair-share conservation**: the queue's per-lane ledger accounts
+  for every dispatched job, within the slack of batch-pulled jobs that
+  expired before dispatch;
+- **deadline accounting**: the expired set the harness observed is the
+  deadline-miss count the service's ``fault_stats()`` reports.
+"""
+
+import random
+
+import numpy as np
+
+from repro.serve.admission import AdmissionError, RateLimited
+from repro.serve.job import DONE, EXPIRED, FAILED, REJECTED, Job
+
+#: default kernel the generated jobs run -- small, bandwidth-light,
+#: batchable (every job shares one program signature)
+SAXPY_SRC = """
+__kernel void saxpy(__global float* y, __global const float* x,
+                    float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) y[i] = y[i] + a * x[i];
+}
+"""
+
+
+def saxpy_job(tenant, index, n=64, priority=0, deadline_s=None):
+    """Deterministic default job payload: arrays seeded by ``index``."""
+    rng = np.random.default_rng(index)
+    y = rng.standard_normal(n).astype(np.float32)
+    x = rng.standard_normal(n).astype(np.float32)
+    return Job(tenant, SAXPY_SRC, "saxpy",
+               [y, x, np.float32(2.0), np.int32(n)], (n,),
+               priority=priority, deadline_s=deadline_s)
+
+
+class LoadReport:
+    """Outcome ledger of one generated load run."""
+
+    def __init__(self, kind, seed, tenants):
+        self.kind = kind
+        self.seed = seed
+        self.tenants = list(tenants)
+        self.jobs = []            #: every job the generator built
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0         #: admission rejections (non-rate-limit)
+        self.rate_limited = 0
+        self.expired = 0          #: observed terminal EXPIRED jobs
+        self.failed = 0
+        self.latencies_s = []     #: submit-to-finish, completed jobs
+        self.duration_s = 0.0     #: fabric-clock span of the run
+        self.fault_stats = {}     #: service.fault_stats() at the end
+        self.accounting = {}      #: queue.accounting() at the end
+        self.chaos_events = []    #: the plan's replay log, when given
+        self.service_misses = 0   #: service deadline_misses delta
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def jobs_per_s(self):
+        if self.duration_s <= 0:
+            return 0.0
+        return self.completed / self.duration_s
+
+    def latency_percentile(self, q):
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+    @property
+    def p50_s(self):
+        return self.latency_percentile(50)
+
+    @property
+    def p99_s(self):
+        return self.latency_percentile(99)
+
+    @property
+    def deadline_miss_rate(self):
+        served = self.completed + self.expired
+        return self.expired / served if served else 0.0
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def observe(self, job):
+        """Fold one terminal job into the ledger."""
+        self.jobs.append(job)
+        self.submitted += 1
+        state = job.state
+        if state == DONE:
+            self.completed += 1
+            if job.finished_s is not None and job.submitted_s is not None:
+                self.latencies_s.append(job.finished_s - job.submitted_s)
+        elif state == EXPIRED:
+            self.expired += 1
+        elif state == FAILED:
+            self.failed += 1
+        elif state == REJECTED:
+            if isinstance(job.error, RateLimited):
+                self.rate_limited += 1
+            else:
+                self.rejected += 1
+
+    def verify(self):
+        """Assert the serving invariants; returns self so test code can
+        chain ``report = load.run().verify()``."""
+        # exactly-once: every job terminal, exactly one terminal event
+        lost = [j for j in self.jobs if j.terminal_count == 0]
+        assert not lost, "%d job(s) never reached a terminal state: %s" % (
+            len(lost), lost[:5])
+        duplicated = [j for j in self.jobs if j.terminal_count > 1]
+        assert not duplicated, "%d job(s) settled more than once: %s" % (
+            len(duplicated), duplicated[:5])
+        # conservation of outcomes
+        accounted = (self.completed + self.rejected + self.rate_limited
+                     + self.expired + self.failed)
+        assert accounted == self.submitted, (
+            "outcome conservation broken: %d submitted vs %d accounted"
+            % (self.submitted, accounted))
+        missing = [j for j in self.jobs
+                   if j.state == DONE and j.result is None]
+        assert not missing, "%d completed job(s) without a result payload" % (
+            len(missing))
+        # fair-share conservation: the lane ledgers hold every dispatch;
+        # jobs batch-pulled but expired at dispatch are charged without
+        # completing, hence the expired-wide bracket
+        if self.accounting:
+            served = sum(rec["served_jobs"]
+                         for rec in self.accounting.values())
+            floor = self.completed + self.failed
+            assert floor <= served <= floor + self.expired, (
+                "fair-share ledger out of conservation: served_jobs=%d, "
+                "completed+failed=%d, expired=%d"
+                % (served, floor, self.expired))
+            leftover = sum(rec["queued"] for rec in self.accounting.values())
+            assert leftover == 0, (
+                "%d job(s) still queued after the run drained" % leftover)
+        # deadline accounting: observed expiries == the service's counter
+        assert self.expired == self.service_misses, (
+            "deadline-miss accounting drifted: harness saw %d expiries, "
+            "service counted %d" % (self.expired, self.service_misses))
+        return self
+
+    def as_record(self):
+        """JSON-friendly summary (what the bench trajectory appends)."""
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "tenants": len(self.tenants),
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "rate_limited": self.rate_limited,
+            "expired": self.expired,
+            "failed": self.failed,
+            "duration_s": round(self.duration_s, 6),
+            "jobs_per_s": round(self.jobs_per_s, 1),
+            "p50_s": round(self.p50_s, 6),
+            "p99_s": round(self.p99_s, 6),
+            "deadline_miss_rate": round(self.deadline_miss_rate, 4),
+        }
+
+    def __repr__(self):
+        return ("LoadReport(%s, %d jobs: %d done / %d expired / %d limited "
+                "/ %d rejected / %d failed, %.1f jobs/s)"
+                % (self.kind, self.submitted, self.completed, self.expired,
+                   self.rate_limited, self.rejected, self.failed,
+                   self.jobs_per_s))
+
+
+class _LoadBase:
+    """Shared plumbing: seeded RNG, sim-time advance, submission."""
+
+    kind = "load"
+
+    def __init__(self, service, tenants=8, seed=0, deadline_s=None,
+                 make_job=None, weights=None):
+        self.service = service
+        self.session = service.session
+        if isinstance(tenants, int):
+            tenants = ["tenant-%03d" % i for i in range(tenants)]
+        self.tenants = list(tenants)
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.deadline_s = deadline_s
+        self.make_job = make_job if make_job is not None else saxpy_job
+        for index, tenant in enumerate(self.tenants):
+            weight = 1.0 if weights is None else weights[index]
+            self.service.register_tenant(tenant, weight)
+        self._job_index = 0
+        #: simulator driving the fabric clock, when there is one
+        self.sim = getattr(self.session.host.fabric, "sim", None)
+
+    def _advance(self, dt):
+        """Advance the fabric clock by ``dt`` simulated seconds (no-op
+        on wall-clock fabrics, whose time passes by itself)."""
+        if dt > 0 and self.sim is not None:
+            self.sim.timeout(dt)
+            self.sim.run()
+
+    def _build_job(self, tenant):
+        index = self._job_index
+        self._job_index += 1
+        return self.make_job(tenant, index, deadline_s=self.deadline_s)
+
+    def _pump(self, max_batches=None):
+        """One reactor turn: works with both service flavours (the sync
+        service gets the shed-then-run sequence spelled out)."""
+        pump = getattr(self.service, "pump", None)
+        if pump is not None:
+            return pump(max_batches=max_batches)
+        return (self.service.shed_expired()
+                + self.service.run(max_batches=max_batches))
+
+    def _drain(self):
+        """Pump until the queue stops shrinking (drained, or every
+        remaining batch defers forever)."""
+        while len(self.service.queue):
+            before = len(self.service.queue)
+            self._pump()
+            if len(self.service.queue) >= before:
+                break
+
+    def _submit(self, job, report):
+        """Submit one job; rejections are terminal and fold into the
+        report immediately, accepted jobs fold in when they settle."""
+        try:
+            self.service.submit(job)
+        except AdmissionError:
+            report.observe(job)
+            return None
+        job.add_done_callback(report.observe)
+        return job
+
+    def _finish(self, report, started_s, miss_base):
+        report.duration_s = self.session.now_s() - started_s
+        report.fault_stats = self.service.fault_stats()
+        report.accounting = self.service.queue.accounting()
+        report.service_misses = self.service.deadline_misses - miss_base
+        plan = getattr(self.session.host.fabric, "plan", None)
+        if plan is not None:
+            report.chaos_events = list(plan.events)
+        return report
+
+
+class OpenLoopLoad(_LoadBase):
+    """Poisson arrivals at ``rate_hz`` aggregate for ``duration_s``.
+
+    The merged arrival stream is a single Poisson process (exponential
+    gaps at the aggregate rate) whose arrivals are assigned to tenants
+    uniformly at random -- statistically identical to each tenant
+    running an independent Poisson source at ``rate_hz / len(tenants)``,
+    and much cheaper to generate for hundreds of tenants.  The service
+    is pumped after every arrival, then drained.
+    """
+
+    kind = "open-loop"
+
+    def __init__(self, service, tenants=8, rate_hz=100.0, duration_s=1.0,
+                 pump_per_arrival=True, **kwargs):
+        super().__init__(service, tenants=tenants, **kwargs)
+        if rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        self.rate_hz = float(rate_hz)
+        self.duration_s = float(duration_s)
+        #: False models a service outage during the arrival window: jobs
+        #: pile up and are only served by the final drain, which is how
+        #: a test manufactures a backlog old enough to blow deadlines
+        self.pump_per_arrival = bool(pump_per_arrival)
+
+    def run(self):
+        report = LoadReport(self.kind, self.seed, self.tenants)
+        miss_base = self.service.deadline_misses
+        started_s = self.session.now_s()
+        clock = 0.0
+        while True:
+            gap = self.rng.expovariate(self.rate_hz)
+            if clock + gap > self.duration_s:
+                break
+            clock += gap
+            self._advance(gap)
+            tenant = self.rng.choice(self.tenants)
+            self._submit(self._build_job(tenant), report)
+            if self.pump_per_arrival:
+                self._pump(max_batches=1)
+        self._drain()
+        return self._finish(report, started_s, miss_base)
+
+
+class ClosedLoopLoad(_LoadBase):
+    """Each tenant holds ``concurrency`` jobs in flight until it has
+    submitted ``jobs_per_tenant``, waiting ``think_time_s`` of fabric
+    time between a settlement and the replacement submission."""
+
+    kind = "closed-loop"
+
+    def __init__(self, service, tenants=8, concurrency=1, jobs_per_tenant=4,
+                 think_time_s=0.0, **kwargs):
+        super().__init__(service, tenants=tenants, **kwargs)
+        self.concurrency = int(concurrency)
+        self.jobs_per_tenant = int(jobs_per_tenant)
+        self.think_time_s = float(think_time_s)
+
+    def run(self):
+        report = LoadReport(self.kind, self.seed, self.tenants)
+        miss_base = self.service.deadline_misses
+        started_s = self.session.now_s()
+        budget = {tenant: self.jobs_per_tenant for tenant in self.tenants}
+        in_flight = {tenant: 0 for tenant in self.tenants}
+
+        def on_settle(job):
+            in_flight[job.tenant] -= 1
+
+        def top_up():
+            submitted = 0
+            # deterministic tenant order: dict order is insertion order
+            for tenant in self.tenants:
+                while budget[tenant] > 0 and in_flight[tenant] < self.concurrency:
+                    budget[tenant] -= 1
+                    job = self._build_job(tenant)
+                    job.add_done_callback(on_settle)
+                    in_flight[tenant] += 1  # rejections settle inline
+                    self._submit(job, report)
+                    submitted += 1
+            return submitted
+
+        top_up()
+        while any(in_flight.values()) or any(budget.values()):
+            before = len(self.service.queue)
+            progressed = self._pump(max_batches=1)
+            if self.think_time_s:
+                self._advance(self.think_time_s)
+            refilled = top_up()
+            if progressed or refilled or len(self.service.queue) < before:
+                continue
+            if not len(self.service.queue):
+                break  # nothing queued and nothing left to submit
+            self._drain()  # everything left defers; one last full sweep
+            break
+        return self._finish(report, started_s, miss_base)
+
+
+__all__ = ["ClosedLoopLoad", "LoadReport", "OpenLoopLoad", "SAXPY_SRC",
+           "saxpy_job"]

@@ -1,0 +1,124 @@
+"""Differential: the async front-end versus the sync service.
+
+The event-driven :class:`AsyncHaoCLService` and the blocking
+:class:`HaoCLService` share one dispatch core, so the same job stream
+submitted to each must produce *bit-identical* output buffers on the
+real workload kernels (matmul, spmv, cfd) and identical fair-share
+ledgers -- the reactor rebuild changed when work happens, never what
+runs or who gets charged for it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.session import HaoCLSession
+from repro.serve import AsyncHaoCLService, HaoCLService, Job
+from repro.serve.job import DONE
+from repro.workloads import get_workload
+
+RNG_SEED = 1234
+
+
+def workload_jobs():
+    """One deterministic job stream over the three workloads, four
+    tenants; rebuilt per run so each service gets fresh twin arrays."""
+    rng = np.random.default_rng(RNG_SEED)
+    jobs = []
+
+    matmul = get_workload("matrixmul").source
+    n = 16
+    for index in range(3):
+        a = rng.random((n, n), dtype=np.float32)
+        b = rng.random((n, n), dtype=np.float32)
+        jobs.append((Job("tenant-%d" % (index % 4), matmul, "matmul",
+                         [a, b, np.zeros(n * n, dtype=np.float32),
+                          np.int32(n), np.int32(n)], (n, n)), "C"))
+
+    spmv = get_workload("spmv").source
+    nrows, nnz = 24, 96
+    for index in range(3):
+        row_ptr = np.linspace(0, nnz, nrows + 1).astype(np.int32)
+        jobs.append((Job("tenant-%d" % ((index + 1) % 4), spmv,
+                         "spmv_row_lengths",
+                         [row_ptr, np.zeros(nrows, dtype=np.int32),
+                          np.int32(nrows)], (nrows,)), "lengths"))
+
+    cfd = get_workload("cfd").source
+    ncells = 20
+    for index in range(3):
+        variables = np.empty(ncells * 5, dtype=np.float32)
+        variables[0::5] = rng.random(ncells) + 1.0
+        variables[1::5] = rng.random(ncells) * 0.2
+        variables[2::5] = rng.random(ncells) * 0.2
+        variables[3::5] = rng.random(ncells) * 0.2
+        variables[4::5] = rng.random(ncells) + 2.0
+        areas = (rng.random(ncells) + 0.1).astype(np.float32)
+        jobs.append((Job("tenant-%d" % ((index + 2) % 4), cfd,
+                         "cfd_step_factor",
+                         [variables, areas,
+                          np.zeros(ncells, dtype=np.float32),
+                          np.int32(ncells)], (ncells,)), "step_factors"))
+    return jobs
+
+
+def run_sync():
+    with HaoCLSession(gpu_nodes=2) as session:
+        with HaoCLService(session) as service:
+            pairs = workload_jobs()
+            for job, _out in pairs:
+                service.submit(job)
+            service.run()
+            return pairs, service.queue.accounting()
+
+
+def run_async():
+    with HaoCLSession(gpu_nodes=2) as session:
+        service = AsyncHaoCLService(session)
+        pairs = workload_jobs()
+        futures = [service.submit(job) for job, _out in pairs]
+        for future in service.stream(futures):
+            assert future.done()
+        accounting = service.queue.accounting()
+        service.close()
+        return pairs, accounting
+
+
+class TestSyncAsyncDifferential:
+    def test_results_bit_identical_and_ledgers_agree(self):
+        sync_pairs, sync_ledger = run_sync()
+        async_pairs, async_ledger = run_async()
+        assert len(sync_pairs) == len(async_pairs) == 9
+        for (sync_job, out), (async_job, _out) in zip(sync_pairs,
+                                                      async_pairs):
+            assert sync_job.state == DONE
+            assert async_job.state == DONE
+            assert sync_job.kernel_name == async_job.kernel_name
+            assert sync_job.tenant == async_job.tenant
+            sync_out = sync_job.result[out]
+            async_out = async_job.result[out]
+            # bit-identical, not approximately equal: same tier, same
+            # lane semantics, same bytes
+            assert sync_out.dtype == async_out.dtype
+            assert np.array_equal(
+                sync_out.view(np.uint8), async_out.view(np.uint8)
+            ), "%s output diverged between sync and async" % out
+        assert sync_ledger == async_ledger
+
+    def test_async_matches_direct_numpy_ground_truth(self):
+        pairs, _ledger = run_async()
+        for job, out in pairs:
+            if job.kernel_name != "matmul":
+                continue
+            a = job.args[0].reshape(16, 16)
+            b = job.args[1].reshape(16, 16)
+            np.testing.assert_allclose(
+                job.result[out].reshape(16, 16),
+                a.astype(np.float64) @ b.astype(np.float64),
+                rtol=1e-5,
+            )
+
+    def test_repeat_async_runs_are_bit_stable(self):
+        first, _ = run_async()
+        second, _ = run_async()
+        for (job_a, out), (job_b, _out) in zip(first, second):
+            assert np.array_equal(job_a.result[out], job_b.result[out])

@@ -1,0 +1,270 @@
+"""The event-driven serving front-end: futures, streams, rate limits,
+deadline shedding, and the asyncio driver."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.session import HaoCLSession
+from repro.serve import (
+    AsyncHaoCLService,
+    JobExpired,
+    JobFuture,
+    QueueFull,
+    RateLimited,
+)
+from repro.serve.job import DONE, EXPIRED, REJECTED, Job
+
+SAXPY = """
+__kernel void saxpy(__global float* y, __global const float* x,
+                    float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) y[i] = y[i] + a * x[i];
+}
+"""
+N = 32
+
+
+def saxpy_job(tenant, seed=0, deadline_s=None, priority=0):
+    rng = np.random.default_rng(seed)
+    y = rng.standard_normal(N).astype(np.float32)
+    x = rng.standard_normal(N).astype(np.float32)
+    job = Job(tenant, SAXPY, "saxpy",
+              [y, x, np.float32(2.0), np.int32(N)], (N,),
+              deadline_s=deadline_s, priority=priority)
+    job.expect = y + 2.0 * x
+    return job
+
+
+@pytest.fixture()
+def session():
+    with HaoCLSession(gpu_nodes=2) as sess:
+        yield sess
+
+
+@pytest.fixture()
+def sim_session():
+    with HaoCLSession(gpu_nodes=2, transport="sim") as sess:
+        yield sess
+
+
+class TestSubmitAndFutures:
+    def test_submit_is_nonblocking_and_returns_a_future(self, session):
+        service = AsyncHaoCLService(session)
+        future = service.submit(saxpy_job("t0"))
+        assert isinstance(future, JobFuture)
+        assert not future.done()
+        assert len(service.queue) == 1  # nothing dispatched yet
+
+    def test_result_pumps_inline_and_is_correct(self, session):
+        service = AsyncHaoCLService(session)
+        job = saxpy_job("t0", seed=3)
+        result = service.submit(job).result()
+        np.testing.assert_allclose(result["y"], job.expect, rtol=1e-6)
+        assert job.state == DONE
+
+    def test_done_callbacks_fire_once_on_settlement(self, session):
+        service = AsyncHaoCLService(session)
+        fired = []
+        future = service.submit(saxpy_job("t0"))
+        future.add_done_callback(fired.append)
+        future.result()
+        assert fired == [future]
+        future.add_done_callback(fired.append)  # already settled: inline
+        assert fired == [future, future]
+        assert future.job.terminal_count == 1
+
+    def test_exception_for_admission_rejection(self, session):
+        service = AsyncHaoCLService(
+            session,
+            admission=__import__("repro.serve.admission",
+                                 fromlist=["AdmissionController"])
+            .AdmissionController(session.devices, max_queue_depth=1),
+        )
+        service.submit(saxpy_job("t0"))
+        with pytest.raises(QueueFull):
+            service.submit(saxpy_job("t0"))
+
+    def test_drain_futures_settles_everything(self, session):
+        service = AsyncHaoCLService(session)
+        futures = [service.submit(saxpy_job("t%d" % (i % 3), seed=i))
+                   for i in range(9)]
+        settled = service.drain_futures()
+        assert set(settled) == set(futures)
+        assert service.load_stats()["outstanding"] == 0
+
+
+class TestRateLimiting:
+    def test_over_rate_submissions_reject_with_retry_after(self, session):
+        service = AsyncHaoCLService(session, rate_hz=2.0, burst=2.0)
+        service.submit(saxpy_job("t0"))
+        service.submit(saxpy_job("t0"))
+        with pytest.raises(RateLimited) as exc_info:
+            service.submit(saxpy_job("t0"))
+        assert exc_info.value.retry_after_s > 0
+        assert service.rate_limited == 1
+        assert service.stats()["t0"]["rate_limited"] == 1
+        # the registry series moved too
+        assert session.telemetry.metrics.value(
+            "haocl_serve_rate_limited_total") >= 1
+
+    def test_rate_limited_job_is_terminal_exactly_once(self, session):
+        service = AsyncHaoCLService(session, rate_hz=1.0, burst=1.0)
+        service.submit(saxpy_job("t0"))
+        job = saxpy_job("t0")
+        with pytest.raises(RateLimited):
+            service.submit(job)
+        assert job.state == REJECTED
+        assert job.terminal_count == 1
+        assert isinstance(job.error, RateLimited)
+
+    def test_limiter_runs_on_fabric_time(self, sim_session):
+        """Tokens refill as *simulated* seconds pass."""
+        service = AsyncHaoCLService(sim_session, rate_hz=1.0, burst=1.0)
+        sim = sim_session.host.fabric.sim
+        service.submit(saxpy_job("t0", seed=0))
+        with pytest.raises(RateLimited):
+            service.submit(saxpy_job("t0", seed=1))
+        sim.timeout(1.5)
+        sim.run()  # 1.5 simulated seconds: one token back
+        service.submit(saxpy_job("t0", seed=2))
+
+    def test_per_tenant_override(self, session):
+        service = AsyncHaoCLService(session, rate_hz=1.0, burst=1.0)
+        service.limiter.configure("vip", rate_hz=None)  # exempt
+        for i in range(5):
+            service.submit(saxpy_job("vip", seed=i))
+        service.submit(saxpy_job("t0"))
+        with pytest.raises(RateLimited):
+            service.submit(saxpy_job("t0"))
+
+
+class TestDeadlines:
+    def test_expired_jobs_are_shed_not_dispatched(self, sim_session):
+        service = AsyncHaoCLService(sim_session)
+        sim = sim_session.host.fabric.sim
+        doomed = service.submit(saxpy_job("t0", deadline_s=0.5))
+        safe = service.submit(saxpy_job("t1", deadline_s=60.0))
+        sim.timeout(1.0)
+        sim.run()  # one simulated second: past doomed's deadline
+        service.pump()
+        assert doomed.job.state == EXPIRED
+        assert safe.job.state == DONE
+        with pytest.raises(JobExpired):
+            doomed.result()
+        assert service.deadline_misses == 1
+        assert doomed.job.terminal_count == 1
+
+    def test_default_deadline_is_applied(self, sim_session):
+        service = AsyncHaoCLService(sim_session, default_deadline_s=0.25)
+        future = service.submit(saxpy_job("t0"))
+        assert future.job.deadline_s == 0.25
+
+    def test_miss_rate_in_fault_stats(self, sim_session):
+        service = AsyncHaoCLService(sim_session)
+        sim = sim_session.host.fabric.sim
+        service.submit(saxpy_job("t0", deadline_s=0.1))
+        service.submit(saxpy_job("t0", seed=1))
+        sim.timeout(1.0)
+        sim.run()
+        service.pump()
+        stats = service.fault_stats()
+        assert stats["deadline_misses"] == 1
+        assert stats["deadline_miss_rate"] == pytest.approx(0.5)
+        assert sim_session.telemetry.metrics.value(
+            "haocl_serve_deadline_misses_total") >= 1
+
+    def test_e2e_latency_histogram_observes_completions(self, session):
+        service = AsyncHaoCLService(session)
+        service.submit(saxpy_job("t0")).result()
+        child = service._h_e2e.labels(tenant="t0")
+        assert child.count == 1
+        assert child.quantile(0.99) is not None
+
+
+class TestStreams:
+    def test_stream_yields_every_future_in_completion_order(self, session):
+        service = AsyncHaoCLService(session, batching=False)
+        futures = [service.submit(saxpy_job("t%d" % i, seed=i))
+                   for i in range(6)]
+        seen = list(service.stream(futures))
+        assert sorted(f.job.job_id for f in seen) == sorted(
+            f.job.job_id for f in futures)
+        assert all(f.done() for f in seen)
+        # completion order is settlement order: each yield was terminal
+        # no later than the next
+        assert [f.job.state for f in seen] == [DONE] * 6
+
+    def test_stream_includes_already_settled_futures(self, session):
+        service = AsyncHaoCLService(session)
+        first = service.submit(saxpy_job("t0"))
+        first.result()
+        second = service.submit(saxpy_job("t1"))
+        seen = list(service.stream([first, second]))
+        assert seen[0] is first  # settled futures yield immediately
+
+
+class TestAsyncioDriver:
+    def test_await_future_under_serve_forever(self, session):
+        service = AsyncHaoCLService(session)
+
+        async def scenario():
+            server = asyncio.ensure_future(service.serve_forever())
+            try:
+                job = saxpy_job("t0", seed=9)
+                result = await service.submit(job)
+                np.testing.assert_allclose(result["y"], job.expect,
+                                           rtol=1e-6)
+            finally:
+                server.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await server
+            assert service._serving is False
+
+        asyncio.new_event_loop().run_until_complete(scenario())
+
+    def test_await_raises_typed_errors(self, sim_session):
+        service = AsyncHaoCLService(sim_session)
+        sim = sim_session.host.fabric.sim
+
+        async def scenario():
+            future = service.submit(saxpy_job("t0", deadline_s=0.1))
+            sim.timeout(1.0)
+            sim.run()
+            service.pump()
+            with pytest.raises(JobExpired):
+                await future
+
+        asyncio.new_event_loop().run_until_complete(scenario())
+
+    def test_as_completed_yields_all(self, session):
+        service = AsyncHaoCLService(session)
+
+        async def scenario():
+            futures = [service.submit(saxpy_job("t%d" % i, seed=i))
+                       for i in range(4)]
+            server = asyncio.ensure_future(service.serve_forever())
+            try:
+                seen = []
+                async for future in service.as_completed(futures):
+                    seen.append(future)
+                assert set(seen) == set(futures)
+            finally:
+                server.cancel()
+                try:
+                    await server
+                except asyncio.CancelledError:
+                    pass
+
+        asyncio.new_event_loop().run_until_complete(scenario())
+
+
+class TestSessionHelper:
+    def test_session_service_builds_both_flavours(self, session):
+        from repro.serve import HaoCLService
+
+        async_service = session.service()
+        sync_service = session.service(async_=False)
+        assert isinstance(async_service, AsyncHaoCLService)
+        assert type(sync_service) is HaoCLService

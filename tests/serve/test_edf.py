@@ -1,0 +1,221 @@
+"""EDF deadline scheduling and explicit lane rotation.
+
+Hypothesis properties over generated (priority, deadline) workloads:
+within a tenant lane the queue never inverts deadlines at equal
+priority, shedding removes *exactly* the past-deadline set, and the
+deque-based rotation stays deterministic under lane insertion and
+removal (the old index-modulo rotation shifted arbitrarily when the
+lane list changed).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.job import EXPIRED, QUEUED, Job
+from repro.serve.queue import FairShareQueue
+
+SRC = "__kernel void k(__global int* a) { a[get_global_id(0)] = 1; }"
+
+
+def make_job(tenant, priority=0, deadline_s=None, submitted_s=0.0):
+    job = Job(tenant, SRC, "k", [], (1,), priority=priority,
+              deadline_s=deadline_s, footprint_bytes=64)
+    job.submitted_s = submitted_s  # the service sets this before push
+    return job
+
+
+def drain(queue):
+    out = []
+    while True:
+        job = queue.next_job()
+        if job is None:
+            return out
+        out.append(job)
+
+
+# (priority, relative deadline or None) per job, one tenant
+workloads = st.lists(
+    st.tuples(st.integers(0, 3),
+              st.one_of(st.none(),
+                        st.floats(min_value=0.01, max_value=100.0,
+                                  allow_nan=False, allow_infinity=False))),
+    min_size=1, max_size=30,
+)
+
+
+class TestEDFOrdering:
+    @given(workloads)
+    @settings(max_examples=150, deadline=None)
+    def test_same_tenant_deadlines_never_invert(self, specs):
+        queue = FairShareQueue(quantum=1000)
+        for priority, deadline_s in specs:
+            queue.push(make_job("a", priority=priority,
+                                deadline_s=deadline_s))
+        served = drain(queue)
+        assert len(served) == len(specs)
+        for earlier, later in zip(served, served[1:]):
+            assert earlier.priority >= later.priority
+            if earlier.priority == later.priority:
+                e = earlier.absolute_deadline_s
+                l = later.absolute_deadline_s
+                # deadline-less jobs trail every deadline-carrying one;
+                # equal deadlines fall back to FIFO submission order
+                if e is None:
+                    assert l is None
+                    assert earlier.job_id < later.job_id
+                elif l is not None:
+                    assert e <= l
+                    if e == l:
+                        assert earlier.job_id < later.job_id
+
+    def test_earlier_deadline_beats_fifo(self):
+        queue = FairShareQueue(quantum=1000)
+        late = make_job("a", deadline_s=10.0)
+        early = make_job("a", deadline_s=1.0)
+        queue.push(late)
+        queue.push(early)
+        assert drain(queue) == [early, late]
+
+    def test_priority_still_dominates_deadline(self):
+        queue = FairShareQueue(quantum=1000)
+        urgent_low = make_job("a", priority=0, deadline_s=0.1)
+        relaxed_high = make_job("a", priority=1, deadline_s=99.0)
+        queue.push(urgent_low)
+        queue.push(relaxed_high)
+        assert drain(queue) == [relaxed_high, urgent_low]
+
+    def test_requeue_preserves_edf_position(self):
+        queue = FairShareQueue(quantum=1000)
+        first = make_job("a", deadline_s=1.0)
+        second = make_job("a", deadline_s=2.0)
+        queue.push(first)
+        queue.push(second)
+        taken = queue.next_job()
+        assert taken is first
+        queue.requeue(taken)
+        assert drain(queue) == [first, second]
+
+
+class TestShedExpired:
+    @given(workloads,
+           st.floats(min_value=0.0, max_value=120.0,
+                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=150, deadline=None)
+    def test_shed_is_exactly_the_past_deadline_set(self, specs, now_s):
+        queue = FairShareQueue(quantum=1000)
+        jobs = [make_job("t%d" % (i % 3), priority=p, deadline_s=d)
+                for i, (p, d) in enumerate(specs)]
+        for job in jobs:
+            queue.push(job)
+        expected = {j.job_id for j in jobs if j.past_deadline(now_s)}
+        shed = queue.shed_expired(now_s)
+        assert {j.job_id for j in shed} == expected
+        survivors = drain(queue)
+        assert {j.job_id for j in survivors} == (
+            {j.job_id for j in jobs} - expected)
+        assert all(not j.past_deadline(now_s) for j in survivors)
+
+    def test_shed_charges_no_deficit(self):
+        queue = FairShareQueue(quantum=1000)
+        queue.push(make_job("a", deadline_s=0.5))
+        queue.shed_expired(now_s=1.0)
+        ledger = queue.accounting()["a"]
+        assert ledger["served_jobs"] == 0
+        assert ledger["deficit"] == 0.0
+
+    def test_shed_job_state_is_callers_problem(self):
+        """shed_expired only removes; the service marks EXPIRED."""
+        queue = FairShareQueue(quantum=1000)
+        job = make_job("a", deadline_s=0.5)
+        queue.push(job)
+        (shed,) = queue.shed_expired(now_s=1.0)
+        assert shed is job
+        assert job.state == QUEUED  # still, until the service expires it
+        assert job.state != EXPIRED
+
+
+class TestExplicitRotation:
+    def test_registration_order_is_drain_order(self):
+        # quantum=1 with unit job cost: exactly one job per lane turn,
+        # so the served sequence is the rotation order verbatim
+        queue = FairShareQueue(quantum=1)
+        for tenant in ("a", "b", "c"):
+            queue.push(make_job(tenant))
+            queue.push(make_job(tenant))
+        served = [job.tenant for job in drain(queue)]
+        assert served == ["a", "b", "c", "a", "b", "c"]
+
+    def test_unregister_does_not_disturb_the_head(self):
+        queue = FairShareQueue(quantum=1)
+        for tenant in ("a", "b", "c", "d"):
+            queue.register(tenant)
+        for tenant in ("a", "b", "c", "d"):
+            queue.push(make_job(tenant))
+            queue.push(make_job(tenant))
+        assert queue.next_job().tenant == "a"
+        assert queue.next_job().tenant == "b"
+        # head is now "c"; removing "a" (drained of one, still holds
+        # one) must not shift whose turn it is
+        queue.unregister("a", force=True)
+        assert queue.next_job().tenant == "c"
+        assert queue.next_job().tenant == "d"
+        assert queue.next_job().tenant == "b"
+
+    def test_new_tenant_joins_at_the_tail(self):
+        queue = FairShareQueue(quantum=1)
+        for tenant in ("a", "b"):
+            queue.push(make_job(tenant))
+            queue.push(make_job(tenant))
+        assert queue.next_job().tenant == "a"
+        queue.push(make_job("late"))  # registers mid-cycle, behind b
+        served = [job.tenant for job in drain(queue)]
+        assert served == ["b", "late", "a", "b"]
+
+    def test_unregister_refuses_nonempty_without_force(self):
+        queue = FairShareQueue(quantum=1000)
+        queue.push(make_job("a"))
+        with pytest.raises(ValueError):
+            queue.unregister("a")
+        abandoned = queue.unregister("a", force=True)
+        assert len(abandoned) == 1
+        assert len(queue) == 0
+        assert "a" not in queue.tenants()
+
+    def test_unregister_unknown_tenant_is_a_noop(self):
+        assert FairShareQueue().unregister("ghost") == []
+
+    @given(st.lists(st.sampled_from(["push_a", "push_b", "push_c",
+                                     "drain_one", "drop_b"]),
+                    min_size=1, max_size=40))
+    @settings(max_examples=150, deadline=None)
+    def test_rotation_is_deterministic_under_churn(self, script):
+        """Two queues fed the same insert/remove/drain script serve the
+        same tenant sequence -- rotation state is a pure function of
+        the operation history."""
+
+        def execute(queue):
+            served = []
+            dropped_b = False
+            for op in script:
+                if op == "drain_one":
+                    job = queue.next_job()
+                    if job is not None:
+                        served.append(job.tenant)
+                elif op == "drop_b":
+                    if not dropped_b:
+                        queue.unregister("b", force=True)
+                        dropped_b = True
+                else:
+                    tenant = op.split("_")[1]
+                    if not (dropped_b and tenant == "b"):
+                        queue.push(make_job(tenant))
+            while True:
+                job = queue.next_job()
+                if job is None:
+                    break
+                served.append(job.tenant)
+            return served
+
+        assert execute(FairShareQueue(quantum=1000)) == execute(
+            FairShareQueue(quantum=1000))

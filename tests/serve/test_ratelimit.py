@@ -1,0 +1,167 @@
+"""Property-based tests of the token-bucket rate limiter.
+
+The bucket's contract (never negative, bounded by burst, monotone
+refill, exact retry-after pricing) is asserted over hypothesis-generated
+event sequences -- arbitrary interleavings of clock steps (including
+stalls and backwards jumps, which wall clocks produce) and takes of
+arbitrary cost.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import RateLimited, RateLimiter, TokenBucket
+from repro.serve.job import Job
+
+# a bucket event: advance the clock by dt (possibly backwards), then
+# optionally attempt a take of the given cost
+events = st.lists(
+    st.tuples(
+        st.floats(min_value=-5.0, max_value=5.0,
+                  allow_nan=False, allow_infinity=False),
+        st.one_of(st.none(),
+                  st.floats(min_value=0.01, max_value=8.0,
+                            allow_nan=False, allow_infinity=False)),
+    ),
+    max_size=50,
+)
+
+rates = st.floats(min_value=0.1, max_value=100.0,
+                  allow_nan=False, allow_infinity=False)
+bursts = st.floats(min_value=0.5, max_value=50.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+def job(tenant="t0"):
+    return Job(tenant, "__kernel void k(){}", "k", [], (1,))
+
+
+class TestTokenBucketProperties:
+    @given(rates, bursts, events)
+    @settings(max_examples=200, deadline=None)
+    def test_tokens_never_negative_and_never_exceed_burst(self, rate, burst,
+                                                          sequence):
+        bucket = TokenBucket(rate, burst=burst)
+        now = 0.0
+        for dt, cost in sequence:
+            now += dt
+            if cost is None:
+                bucket.refill(now)
+            else:
+                bucket.try_take(now, cost=cost)
+            assert 0.0 <= bucket.tokens <= bucket.burst + 1e-9
+
+    @given(rates, bursts,
+           st.lists(st.floats(min_value=0.0, max_value=10.0,
+                              allow_nan=False, allow_infinity=False),
+                    max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_refill_is_monotone_without_takes(self, rate, burst, gaps):
+        bucket = TokenBucket(rate, burst=burst)
+        bucket.tokens = 0.0  # start empty: refill should only ever add
+        now, previous = 0.0, 0.0
+        for gap in gaps:
+            now += gap
+            balance = bucket.refill(now)
+            assert balance >= previous - 1e-12
+            previous = balance
+
+    @given(rates, bursts,
+           st.floats(min_value=0.1, max_value=100.0,
+                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100, deadline=None)
+    def test_backwards_clock_never_destroys_tokens(self, rate, burst, jump):
+        bucket = TokenBucket(rate, burst=burst, now_s=100.0)
+        bucket.try_take(100.0, cost=min(1.0, burst))
+        before = bucket.tokens
+        assert bucket.refill(100.0 - jump) == before
+
+    @given(rates, bursts, events)
+    @settings(max_examples=200, deadline=None)
+    def test_grant_iff_balance_covers_cost(self, rate, burst, sequence):
+        bucket = TokenBucket(rate, burst=burst)
+        now = 0.0
+        for dt, cost in sequence:
+            now += dt
+            if cost is None:
+                continue
+            bucket.refill(now)
+            balance = bucket.tokens
+            granted, retry_after = bucket.try_take(now, cost=cost)
+            if granted:
+                assert balance >= cost
+                assert retry_after == 0.0
+                assert bucket.tokens == pytest.approx(balance - cost)
+            else:
+                assert balance < cost
+                assert bucket.tokens == balance  # denial never debits
+                assert retry_after == pytest.approx((cost - balance) / rate)
+
+    @given(rates, st.floats(min_value=1.0, max_value=20.0,
+                            allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100, deadline=None)
+    def test_retry_after_is_exact(self, rate, burst):
+        """Waiting exactly retry_after_s makes the denied take succeed."""
+        bucket = TokenBucket(rate, burst=burst)
+        granted, _ = bucket.try_take(0.0, cost=bucket.burst)  # drain it
+        assert granted
+        granted, retry_after = bucket.try_take(0.0, cost=1.0)
+        assert not granted and retry_after > 0
+        granted, _ = bucket.try_take(retry_after * (1 + 1e-9), cost=1.0)
+        assert granted
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, burst=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0).try_take(0.0, cost=0.0)
+
+
+class TestRateLimiter:
+    def test_unlimited_by_default(self):
+        limiter = RateLimiter()
+        for _ in range(1000):
+            limiter.check(job(), now_s=0.0)
+
+    def test_burst_then_typed_rejection_with_retry_after(self):
+        limiter = RateLimiter(rate_hz=2.0, burst=3.0)
+        for _ in range(3):
+            limiter.check(job(), now_s=0.0)
+        with pytest.raises(RateLimited) as exc_info:
+            limiter.check(job(), now_s=0.0)
+        assert exc_info.value.retry_after_s == pytest.approx(0.5)
+        # the advertised retry-after is honest: waiting it out admits
+        limiter.check(job(), now_s=0.5 + 1e-9)
+
+    def test_tenants_are_isolated(self):
+        limiter = RateLimiter(rate_hz=1.0, burst=1.0)
+        limiter.check(job("a"), now_s=0.0)
+        with pytest.raises(RateLimited):
+            limiter.check(job("a"), now_s=0.0)
+        limiter.check(job("b"), now_s=0.0)  # b's bucket is untouched
+
+    def test_per_tenant_override_and_exemption(self):
+        limiter = RateLimiter(rate_hz=1.0, burst=1.0)
+        limiter.configure("vip", rate_hz=100.0, burst=10.0)
+        limiter.configure("internal", rate_hz=None)  # exempt
+        for _ in range(10):
+            limiter.check(job("vip"), now_s=0.0)
+        with pytest.raises(RateLimited):
+            limiter.check(job("vip"), now_s=0.0)
+        for _ in range(100):
+            limiter.check(job("internal"), now_s=0.0)
+
+    def test_sim_clock_injection(self):
+        clock = {"now": 0.0}
+        limiter = RateLimiter(rate_hz=1.0, burst=1.0,
+                              clock=lambda: clock["now"])
+        limiter.check(job())
+        with pytest.raises(RateLimited):
+            limiter.check(job())
+        clock["now"] = 1.5  # simulated second passes: a token accrued
+        limiter.check(job())

@@ -1,0 +1,223 @@
+"""Concurrent service replicas sharing one cluster.
+
+Two (or more) :class:`AsyncHaoCLService` replicas share a single
+:class:`FairShareQueue` and admission controller over one session.
+Queue pops are atomic (the queue's lock), so a job is dispatched by
+exactly one replica -- the no-double-dispatch invariant asserted here
+via ``terminal_count`` -- and device access arbitrates through
+:class:`DeviceLease`: exclusive leases defer the other replica until
+release, TTLs force the holder to keep renewing its claim.
+
+The seeded interleaving tests replay the same replica schedule twice
+and assert identical outcomes; the chaos test does the same through a
+node kill, replaying the fault from the plan's event log.
+"""
+
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.session import HaoCLSession
+from repro.serve import AdmissionController, AsyncHaoCLService, FairShareQueue
+from repro.serve.job import DONE, Job
+from repro.testing import ChaosPlan
+
+SAXPY = """
+__kernel void saxpy(__global float* y, __global const float* x,
+                    float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) y[i] = y[i] + a * x[i];
+}
+"""
+N = 32
+
+
+def saxpy_job(tenant, seed):
+    rng = np.random.default_rng(seed)
+    y = rng.standard_normal(N).astype(np.float32)
+    x = rng.standard_normal(N).astype(np.float32)
+    job = Job(tenant, SAXPY, "saxpy",
+              [y, x, np.float32(2.0), np.int32(N)], (N,))
+    job.expect = y + 2.0 * x
+    return job
+
+
+def make_replicas(session, count=2, **kwargs):
+    """Replicas over one shared queue + admission controller."""
+    queue = FairShareQueue()
+    admission = AdmissionController(session.devices, max_queue_depth=4096)
+    return [
+        AsyncHaoCLService(session, queue=queue, admission=admission,
+                          user="replica-%d" % index, **kwargs)
+        for index in range(count)
+    ]
+
+
+def pump_interleaved(replicas, seed):
+    """Drain the shared queue with a seeded random replica schedule;
+    returns the (replica index, progress) trace for replay checks."""
+    rng = random.Random(seed)
+    trace = []
+    idle = 0
+    while idle < 2 * len(replicas):
+        index = rng.randrange(len(replicas))
+        progressed = replicas[index].pump(max_batches=1)
+        trace.append((index, progressed))
+        idle = 0 if progressed else idle + 1
+    return trace
+
+
+class TestNoDoubleDispatch:
+    def test_interleaved_replicas_dispatch_each_job_exactly_once(self):
+        with HaoCLSession(gpu_nodes=2) as session:
+            a, b = make_replicas(session)
+            jobs = [saxpy_job("t%d" % (i % 4), seed=i) for i in range(24)]
+            for index, job in enumerate(jobs):
+                (a if index % 2 else b).submit(job)
+            pump_interleaved([a, b], seed=13)
+            for job in jobs:
+                assert job.state == DONE
+                assert job.terminal_count == 1  # exactly-once settlement
+                np.testing.assert_allclose(job.result["y"], job.expect,
+                                           rtol=1e-6)
+            # both replicas pulled from the shared backlog
+            total = session.telemetry.metrics.value(
+                "haocl_serve_jobs_dispatched_total")
+            assert total == len(jobs)
+            a.close()
+            b.close()
+
+    def test_seeded_interleaving_replays_identically(self):
+        def run_once():
+            with HaoCLSession(gpu_nodes=2) as session:
+                replicas = make_replicas(session)
+                jobs = [saxpy_job("t%d" % (i % 3), seed=i)
+                        for i in range(12)]
+                for index, job in enumerate(jobs):
+                    replicas[index % 2].submit(job)
+                trace = pump_interleaved(replicas, seed=99)
+                outcome = [(job.tenant, job.state,
+                            float(np.sum(job.result["y"])))
+                           for job in jobs]
+                for replica in replicas:
+                    replica.close()
+            return trace, outcome
+
+        assert run_once() == run_once()
+
+    def test_futures_resolve_across_replicas(self):
+        """A future submitted through replica A settles when replica B
+        dispatches the job -- resolution rides the job's callbacks."""
+        with HaoCLSession(gpu_nodes=2) as session:
+            a, b = make_replicas(session)
+            future = a.submit(saxpy_job("t0", seed=5))
+            assert b.pump() > 0  # B serves the job A admitted
+            assert future.done()
+            np.testing.assert_allclose(future.result()["y"],
+                                       future.job.expect, rtol=1e-6)
+            a.close()
+            b.close()
+
+    def test_threaded_replicas_race_safely(self):
+        """Two replica threads hammer one shared queue; the queue lock
+        and the host's call lock keep every job exactly-once."""
+        with HaoCLSession(gpu_nodes=2) as session:
+            replicas = make_replicas(session)
+            jobs = [saxpy_job("t%d" % (i % 4), seed=i) for i in range(32)]
+            for index, job in enumerate(jobs):
+                replicas[index % 2].submit(job)
+            errors = []
+
+            def worker(replica):
+                try:
+                    while len(replica.queue):
+                        replica.pump(max_batches=1)
+                except Exception as exc:  # surfaced to the main thread
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(replica,))
+                       for replica in replicas]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors
+            for job in jobs:
+                assert job.state == DONE
+                assert job.terminal_count == 1
+                np.testing.assert_allclose(job.result["y"], job.expect,
+                                           rtol=1e-6)
+            for replica in replicas:
+                replica.close()
+
+
+class TestLeaseArbitration:
+    def test_exclusive_lease_defers_then_hands_off_on_release(self):
+        with HaoCLSession(gpu_nodes=1) as session:  # one device: forced contention
+            a, b = make_replicas(session, lease_shared=False)
+            first = a.submit(saxpy_job("t0", seed=0))
+            assert a.pump() > 0
+            assert first.done()
+            # A still holds the exclusive lease; B cannot dispatch
+            second = b.submit(saxpy_job("t1", seed=1))
+            assert b.pump(max_batches=1) == 0
+            assert b.deferrals > 0
+            assert not second.done()
+            a.close()  # releases A's leases: the handoff
+            assert b.pump() > 0
+            assert second.done()
+            np.testing.assert_allclose(second.result()["y"],
+                                       second.job.expect, rtol=1e-6)
+            b.close()
+
+    def test_lease_ttl_renewal_on_sim_time(self):
+        """Past its TTL the holder renews (re-asserts) the claim rather
+        than dispatching on a stale liveness contract."""
+        with HaoCLSession(gpu_nodes=1, transport="sim") as session:
+            (service,) = make_replicas(session, count=1, lease_ttl_s=0.5)
+            sim = session.host.fabric.sim
+            service.submit(saxpy_job("t0", seed=0)).result()
+            (lease,) = service._leases.values()
+            assert lease.renewals == 0
+            sim.timeout(1.0)
+            sim.run()  # TTL lapses on the fabric clock
+            service.submit(saxpy_job("t0", seed=1)).result()
+            assert lease.renewals == 1
+            service.close()
+
+
+class TestChaosReplay:
+    def _run(self, seed):
+        plan = ChaosPlan(seed=seed)
+        with HaoCLSession(gpu_nodes=3, chaos=plan) as session:
+            replicas = make_replicas(session, max_retries=3)
+            node_ids = sorted(session.host.fabric.node_ids())
+            plan.kill_random(node_ids, method="enqueue_ndrange",
+                             max_occurrence=4)
+            jobs = [saxpy_job("t%d" % (i % 4), seed=i) for i in range(20)]
+            for index, job in enumerate(jobs):
+                replicas[index % 2].submit(job)
+            pump_interleaved(replicas, seed=seed)
+            outcome = [(job.tenant, job.state) for job in jobs]
+            fault = replicas[0].fault_stats()
+            events = list(plan.events)
+            for replica in replicas:
+                replica.close()
+        return events, outcome, fault, jobs
+
+    def test_node_kill_with_two_replicas_loses_nothing(self):
+        events, outcome, fault, jobs = self._run(seed=7)
+        assert fault["nodes_lost"] == 1
+        assert all(state == DONE for _tenant, state in outcome)
+        for job in jobs:
+            assert job.terminal_count == 1
+            np.testing.assert_allclose(job.result["y"], job.expect,
+                                       rtol=1e-6)
+
+    def test_chaos_event_log_replays_identically(self):
+        first_events, first_outcome, _, _ = self._run(seed=21)
+        second_events, second_outcome, _, _ = self._run(seed=21)
+        assert first_events == second_events  # the replay log, verbatim
+        assert first_outcome == second_outcome

