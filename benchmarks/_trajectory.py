@@ -12,6 +12,10 @@ import os
 SERVE_TRAJECTORY = os.path.join(os.path.dirname(__file__), os.pardir,
                                 "BENCH_serve.json")
 
+#: out-of-core streaming benchmarks append here (bench_ooc.py)
+OOC_TRAJECTORY = os.path.join(os.path.dirname(__file__), os.pardir,
+                              "BENCH_ooc.json")
+
 
 def append_record(record, path=SERVE_TRAJECTORY):
     """Append ``record`` to the JSON-list trajectory file at ``path``."""

@@ -1,0 +1,114 @@
+"""Out-of-core streaming cost: in-core vs chunked vs chunked+prefetch.
+
+Runs the same matmul job mix three ways -- uncapped (in-core), capped
+with ``ooc_prefetch=False`` (the same chunk plan, streamed serially)
+and capped with prefetch on (issue-ahead pipeline) -- and records
+throughput plus the stream's simulated makespan into ``BENCH_ooc.json``
+at the repo root.  The trajectory gates two things across PRs: host-side chunked
+throughput must not regress past 15%, and the prefetched pipeline must
+stay at least as fast as the non-prefetched one on the fabric clock
+(the whole point of issue-ahead).
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_ooc.py -q
+Quick mode (CI):  BENCH_QUICK=1 ... (fewer jobs, same shape)
+"""
+
+import os
+import time
+
+import numpy as np
+
+from _trajectory import OOC_TRAJECTORY, append_record, last_record
+from repro.core import HaoCLSession
+from repro.serve import HaoCLService, Job
+from repro.serve.job import DONE
+from repro.workloads.base import load_kernel_source
+
+MATMUL = load_kernel_source("matrixmul.cl")
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+JOBS = 2 if QUICK else 6
+N = 64
+CAPACITY = 20480  # bytes per node table; the job needs 49152
+REGRESSION_SLACK = 0.15
+
+
+def matmul_job(tenant, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((N, N)).astype(np.float32)
+    b = rng.standard_normal((N, N)).astype(np.float32)
+    c = np.zeros((N, N), dtype=np.float32)
+    return Job(tenant, MATMUL, "matmul",
+               [a, b, c, np.int32(N), np.int32(N)], (N, N))
+
+
+def serve_round(dmp_capacity_bytes=None, ooc_prefetch=True):
+    """One serve run; returns (jobs, wall s, sim makespan s, ooc stats)."""
+    with HaoCLSession(gpu_nodes=3, mode="real", transport="sim",
+                      dmp_capacity_bytes=dmp_capacity_bytes) as session:
+        with HaoCLService(session, ooc_prefetch=ooc_prefetch) as service:
+            jobs = [service.submit(matmul_job("bench", seed=i))
+                    for i in range(JOBS)]
+            start = time.perf_counter()
+            service.run()
+            elapsed = time.perf_counter() - start
+            stats = service.ooc_stats()
+            makespan = session.now_s()
+    assert all(job.state == DONE for job in jobs)
+    return jobs, elapsed, makespan, stats
+
+
+class TestOOCThroughput:
+    def test_in_core_vs_chunked_vs_prefetched(self):
+        _, incore_s, incore_sim, incore_stats = serve_round()
+        assert incore_stats["jobs"] == 0
+
+        _, nopf_s, nopf_sim, nopf_stats = serve_round(
+            dmp_capacity_bytes=CAPACITY, ooc_prefetch=False)
+        assert nopf_stats["jobs"] == JOBS
+        assert nopf_stats["prefetch_overlapped_s"] == 0.0
+
+        _, pf_s, pf_sim, pf_stats = serve_round(
+            dmp_capacity_bytes=CAPACITY, ooc_prefetch=True)
+        assert pf_stats["jobs"] == JOBS
+        assert pf_stats["overlap_ratio"] > 0.5
+
+        record = {
+            "bench": "ooc_stream",
+            "date": time.strftime("%Y-%m-%d"),
+            "quick": QUICK,
+            "jobs": JOBS,
+            "n": N,
+            "capacity_bytes": CAPACITY,
+            "chunks_per_job": nopf_stats["chunks"] // JOBS,
+            "in_core_jobs_per_s": round(JOBS / incore_s, 1),
+            "in_core_sim_s": round(incore_sim, 6),
+            "chunked_jobs_per_s": round(JOBS / nopf_s, 1),
+            "chunked_sim_s": round(nopf_sim, 6),
+            "prefetch_jobs_per_s": round(JOBS / pf_s, 1),
+            "prefetch_sim_s": round(pf_sim, 6),
+            "overlap_ratio": round(pf_stats["overlap_ratio"], 4),
+        }
+        baseline = last_record("ooc_stream", quick=QUICK,
+                               path=OOC_TRAJECTORY)
+        append_record(record, path=OOC_TRAJECTORY)
+        print("\nooc: in-core %.1f jobs/s (sim %.4fs)  chunked %.1f "
+              "(sim %.4fs)  +prefetch %.1f (sim %.4fs, overlap %.0f%%)"
+              % (record["in_core_jobs_per_s"], record["in_core_sim_s"],
+                 record["chunked_jobs_per_s"], record["chunked_sim_s"],
+                 record["prefetch_jobs_per_s"], record["prefetch_sim_s"],
+                 record["overlap_ratio"] * 100))
+
+        # prefetch must beat (or match) the no-prefetch pipeline on the
+        # fabric clock: issue-ahead exists to hide the wire time
+        assert pf_sim <= nopf_sim, (
+            "prefetched stream slower than non-prefetched: sim %.6fs vs "
+            "%.6fs" % (pf_sim, nopf_sim))
+
+        if baseline is not None:
+            floor = (1.0 - REGRESSION_SLACK) * baseline["chunked_jobs_per_s"]
+            assert record["chunked_jobs_per_s"] >= floor, (
+                "chunked throughput regressed >%.0f%%: %.1f jobs/s vs "
+                "baseline %.1f (%s)"
+                % (REGRESSION_SLACK * 100, record["chunked_jobs_per_s"],
+                   baseline["chunked_jobs_per_s"], baseline.get("date")))

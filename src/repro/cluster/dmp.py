@@ -96,9 +96,18 @@ class ResidencyTable:
         ``protected`` handles (replicas bound to live kernel arguments,
         plus the one being admitted) are never chosen, so an admission
         can never evict the working set of the launch it serves.
+
+        Re-admission replaces the old record but *keeps its dirty
+        flag*: a replica that still owes a writeback must not launder
+        itself clean by being admitted again (the bytes would be
+        silently dropped at its eventual eviction).
         """
-        self.drop(handle)  # re-admission replaces the old record
-        self._entries[handle] = _Resident(nbytes)
+        previous = self._entries.pop(handle, None)
+        if previous is not None:
+            self.resident_bytes -= previous.nbytes
+        self._entries[handle] = _Resident(
+            nbytes, dirty=previous is not None and previous.dirty
+        )
         self.resident_bytes += nbytes
         victims = []
         if self.capacity_bytes is None:

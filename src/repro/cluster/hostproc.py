@@ -379,6 +379,23 @@ class HostProcess:
             return None
         return [node.host, node.port] if node.port else None
 
+    def min_dmp_capacity_bytes(self):
+        """The tightest buffer-residency cap across live nodes, or None
+        when no node is capped.  This is the out-of-core planner's
+        budget: a chunk's working set must fit the smallest residency
+        table a stream might land on (the launch-time default overrides
+        per-node config, mirroring NMP construction)."""
+        default = self._node_kwargs.get("dmp_capacity_bytes")
+        caps = []
+        for node in self.config:
+            if node.node_id in self.lost_nodes:
+                continue
+            cap = (default if default is not None
+                   else getattr(node, "dmp_capacity_bytes", None))
+            if cap is not None:
+                caps.append(int(cap))
+        return min(caps) if caps else None
+
     def now_s(self):
         """Elapsed seconds on the fabric clock (wall or simulated)."""
         return self.fabric.now_s()

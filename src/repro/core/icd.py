@@ -53,6 +53,8 @@ ICD_COUNTERS = {
     "dmp_dedup_hits": "Replica fills served from the content-dedup cache",
     "dmp_dedup_bytes_saved": "Wire bytes saved by content dedup",
     "dmp_evictions": "Replicas evicted by node residency capacity",
+    "dmp_prefetches": "Replica fills issued ahead of the launch that "
+                      "needs them (out-of-core streaming)",
     "dmp_writebacks": "Dirty evictions written back into the host shadow",
     "nodes_lost": "Nodes declared lost by the failure detector",
     "replicas_lost": "Buffers whose last fresh replica died with a node",
@@ -127,9 +129,16 @@ class ICDDispatcher:
     @contextlib.contextmanager
     def protecting(self, uids):
         """Scope a dispatch's working set: replica admissions inside the
-        block tell the node residency table to spare these buffers."""
+        block tell the node residency table to spare these buffers.
+
+        Scopes nest by *union*: an inner scope (a launch's arguments)
+        extends the outer one (an out-of-core stream's live chunks and
+        replicated set) instead of replacing it, so prefetched buffers
+        stay protected through the launches that run beside them."""
         previous = self._protect_uids
-        self._protect_uids = tuple(uids)
+        merged = dict.fromkeys(previous)
+        merged.update(dict.fromkeys(uids))
+        self._protect_uids = tuple(merged)
         try:
             yield
         finally:
@@ -418,6 +427,20 @@ class ICDDispatcher:
         self.bump("bytes_to_nodes", buffer.size)
         self.bump("transfer_count")
         buffer.fresh.add(node_id)
+        return handle
+
+    def prefetch(self, buffer, device):
+        """Issue-ahead fill: make ``device``'s node fresh for ``buffer``
+        *before* the launch that needs it (out-of-core streaming ships
+        chunk ``k+1`` while chunk ``k`` executes).  Same routing as
+        :meth:`ensure_fresh` -- dedup copy, peer-to-peer pull, or host
+        write -- counted separately so the overlap is observable.
+        Callers protect the stream's working set via :meth:`protecting`
+        so the prefetched replica survives sibling admissions."""
+        already = device.node_id in buffer.fresh
+        handle = self.ensure_fresh(buffer, device)
+        if not already:
+            self.bump("dmp_prefetches")
         return handle
 
     def _migrate_p2p(self, buffer, device, handle, queue):

@@ -27,9 +27,13 @@ class HaoCLSession:
                  vectorize=True, dmp=True, dmp_capacity_bytes=None,
                  dedup_cache_bytes=None, chaos=None,
                  heartbeat_interval_s=None, heartbeat_timeout_s=None,
-                 telemetry=None, trace=False, log_level=None):
+                 telemetry=None, trace=False, log_level=None, ooc=True):
         if log_level is not None:
             configure_logging(log_level)
+        #: default for services built on this session: admit jobs whose
+        #: working set exceeds node residency in degraded mode (chunked
+        #: out-of-core streaming) instead of refusing them
+        self.ooc = bool(ooc)
         if config is None and host is None:
             config = ClusterConfig.build(
                 gpu_nodes=gpu_nodes, fpga_nodes=fpga_nodes,

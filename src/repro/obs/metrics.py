@@ -71,6 +71,12 @@ class Gauge(_Child):
     def set(self, value):
         self.value = value
 
+    def set_max(self, value):
+        """High-watermark update: keep the larger of the current value
+        and ``value`` (e.g. the largest chunk working set planned)."""
+        if value > self.value:
+            self.value = value
+
     def inc(self, amount=1):
         self.value += amount
 
@@ -181,6 +187,9 @@ class MetricFamily:
 
     def set(self, value):
         self._default.set(value)
+
+    def set_max(self, value):
+        self._default.set_max(value)
 
     def dec(self, amount=1):
         self._default.dec(amount)

@@ -473,7 +473,8 @@ class CLRuntime:
 
     def enqueue_nd_range_kernel(self, queue, kernel, global_size,
                                 local_size=None, global_offset=None):
-        self._validate_launch(queue, kernel, global_size, local_size)
+        self._validate_launch(queue, kernel, global_size, local_size,
+                              global_offset)
         device = queue.device
         num_items = int(np.prod(np.asarray(global_size, dtype=np.int64)))
         if device.mode == "modeled":
@@ -496,7 +497,8 @@ class CLRuntime:
         """clEnqueueTask == 1x1x1 NDRange (the FPGA streaming launch)."""
         return self.enqueue_nd_range_kernel(queue, kernel, (1,), (1,))
 
-    def _validate_launch(self, queue, kernel, global_size, local_size):
+    def _validate_launch(self, queue, kernel, global_size, local_size,
+                         global_offset=None):
         check(queue.alive, enums.CL_INVALID_COMMAND_QUEUE, "released queue")
         check(kernel.alive, enums.CL_INVALID_KERNEL, "released kernel")
         dims = np.atleast_1d(np.asarray(global_size))
@@ -504,6 +506,18 @@ class CLRuntime:
               str(global_size))
         check(bool(np.all(dims > 0)), enums.CL_INVALID_GLOBAL_WORK_SIZE,
               str(global_size))
+        if global_offset is not None:
+            # sub-NDRange launches (out-of-core chunk streams) pass real
+            # offsets; validate here so a bad one fails the enqueue with
+            # a typed error instead of crashing inside the interpreter
+            odims = np.atleast_1d(np.asarray(global_offset))
+            check(odims.size == dims.size, enums.CL_INVALID_GLOBAL_OFFSET,
+                  "offset dim mismatch: %r vs global %r"
+                  % (global_offset, global_size))
+            check(np.issubdtype(odims.dtype, np.integer),
+                  enums.CL_INVALID_GLOBAL_OFFSET, str(global_offset))
+            check(bool(np.all(odims >= 0)), enums.CL_INVALID_GLOBAL_OFFSET,
+                  str(global_offset))
         if local_size is not None:
             ldims = np.atleast_1d(np.asarray(local_size))
             check(ldims.size == dims.size, enums.CL_INVALID_WORK_GROUP_SIZE,

@@ -15,6 +15,9 @@ needs:
   NMP round-trips;
 - :mod:`repro.serve.ratelimit` -- per-tenant token buckets bounding
   submission rates with typed retry-after rejections;
+- :mod:`repro.serve.ooc`       -- graceful degradation under memory
+  pressure: the chunk planner and prefetched stream executor that run
+  jobs whose working set exceeds node capacity (degraded admits);
 - :mod:`repro.serve.service`   -- the HaoCLService event loop gluing
   leases, placement and dispatch together;
 - :mod:`repro.serve.async_service` -- the event-driven front-end:
@@ -25,6 +28,7 @@ needs:
 from repro.serve.admission import (
     AdmissionController,
     AdmissionError,
+    DegradedAdmit,
     JobTooLarge,
     QueueFull,
     RateLimited,
@@ -37,6 +41,14 @@ from repro.serve.async_service import (
 )
 from repro.serve.batcher import Batch, Batcher
 from repro.serve.job import Job
+from repro.serve.ooc import (
+    ChunkPlan,
+    ChunkSpec,
+    ChunkStreamRunner,
+    chunk_spec_for,
+    plan_chunks,
+    register_chunk_spec,
+)
 from repro.serve.queue import FairShareQueue
 from repro.serve.ratelimit import RateLimiter, TokenBucket
 from repro.serve.service import HaoCLService
@@ -47,6 +59,10 @@ __all__ = [
     "AsyncHaoCLService",
     "Batch",
     "Batcher",
+    "ChunkPlan",
+    "ChunkSpec",
+    "ChunkStreamRunner",
+    "DegradedAdmit",
     "FairShareQueue",
     "HaoCLService",
     "Job",
@@ -58,4 +74,7 @@ __all__ = [
     "RateLimiter",
     "ReactorStalled",
     "TokenBucket",
+    "chunk_spec_for",
+    "plan_chunks",
+    "register_chunk_spec",
 ]

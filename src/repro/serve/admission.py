@@ -11,9 +11,17 @@ queueing:
 - *fits_now*: can this job's buffers be placed on a given device right
   now, given the bytes already reserved there?  Jobs that are too big
   *now* but not forever are deferred, not rejected.
+
+With ``ooc=True`` the first question gains a third answer besides
+yes/no: a job whose working set exceeds what a node can hold, but whose
+NDRange the out-of-core planner (:mod:`repro.serve.ooc`) can tile into
+fitting chunks, is admitted *degraded* -- :meth:`admit` returns a typed
+:class:`DegradedAdmit` carrying the chunk plan instead of raising
+:class:`JobTooLarge`.
 """
 
 from repro.core.scheduler.device_model import model_for
+from repro.serve.ooc import plan_chunks
 
 
 class AdmissionError(Exception):
@@ -27,9 +35,61 @@ class AdmissionError(Exception):
 
 
 class JobTooLarge(AdmissionError):
-    """The job's footprint exceeds every device's memory capacity."""
+    """The job's footprint exceeds every device's memory capacity.
+
+    Always carries ``required_bytes`` vs. ``available_bytes``; when the
+    out-of-core planner could have tiled the job (but ``ooc`` is off),
+    ``chunks_hint`` holds the chunk count that would have admitted it.
+    """
 
     reason = "over-capacity"
+
+    def __init__(self, message, job=None, required_bytes=0,
+                 available_bytes=0, chunks_hint=None):
+        super().__init__(message, job=job)
+        self.required_bytes = int(required_bytes)
+        self.available_bytes = int(available_bytes)
+        self.chunks_hint = chunks_hint
+
+    @classmethod
+    def build(cls, what, job=None, required_bytes=0, available_bytes=0,
+              chunks_hint=None):
+        """The one construction path for every over-capacity refusal:
+        ``what`` names the refusal, the sizes are always reported, and
+        a chunk hint (when known) tells the tenant the job *would* fit
+        out-of-core."""
+        message = "%s: requires %d B, %d B available" % (
+            what, required_bytes, available_bytes)
+        if chunks_hint:
+            message += ("; %d chunks would admit it out-of-core "
+                        "(ooc=True)" % chunks_hint)
+        return cls(message, job=job, required_bytes=required_bytes,
+                   available_bytes=available_bytes, chunks_hint=chunks_hint)
+
+
+class DegradedAdmit:
+    """Typed admission outcome: the job enters, but out-of-core.
+
+    Returned by :meth:`AdmissionController.admit` instead of raising
+    :class:`JobTooLarge` when ``ooc=True`` and the chunk planner can
+    tile the job's NDRange into fitting working sets.  Carries the plan
+    the decision was made on; the dispatcher re-plans against live
+    capacity at execution time.
+    """
+
+    degraded = True
+
+    def __init__(self, job, plan, required_bytes, capacity_bytes):
+        self.job = job
+        self.plan = plan
+        self.required_bytes = int(required_bytes)
+        self.capacity_bytes = int(capacity_bytes)
+
+    def __repr__(self):
+        return "DegradedAdmit(job #%d, %d chunks, %d B over %d B)" % (
+            self.job.job_id, self.plan.nchunks, self.required_bytes,
+            self.capacity_bytes,
+        )
 
 
 class QueueFull(AdmissionError):
@@ -57,7 +117,8 @@ class AdmissionController:
     """Memory-capacity and queue-depth admission for a device set."""
 
     def __init__(self, devices, max_queue_depth=256, max_tenant_depth=None,
-                 headroom=0.9):
+                 headroom=0.9, ooc=False, ooc_capacity_bytes=None,
+                 ooc_depth=2):
         if not devices:
             raise ValueError("admission needs at least one device")
         if not 0 < headroom <= 1.0:
@@ -68,6 +129,16 @@ class AdmissionController:
             None if max_tenant_depth is None else int(max_tenant_depth)
         )
         self.headroom = float(headroom)
+        #: admit oversized-but-tileable jobs degraded instead of refusing
+        self.ooc = bool(ooc)
+        #: the cluster's residency-table bound (smallest capped node):
+        #: out-of-core chunks must fit it, and with ``ooc`` on a job
+        #: beyond it degrades even when the device itself is larger
+        self.ooc_capacity_bytes = (
+            None if ooc_capacity_bytes is None else int(ooc_capacity_bytes)
+        )
+        #: chunks resident at once in a stream (execute + prefetch)
+        self.ooc_depth = max(1, int(ooc_depth))
         #: device global_id -> capacity the controller will fill
         self._capacity = {
             device.global_id: int(model_for(device).global_mem_bytes * headroom)
@@ -99,19 +170,33 @@ class AdmissionController:
     # -- submission-time admission --------------------------------------------
 
     def admit(self, job, queue_depth, tenant_depth=0):
-        """Raise a typed :class:`AdmissionError` if the job may not enter."""
+        """Admit ``job`` or raise a typed :class:`AdmissionError`.
+
+        Returns the job itself on a normal admit, or a
+        :class:`DegradedAdmit` when the job only fits out-of-core
+        (``ooc=True`` and the planner tiled it)."""
         if not self._capacity:
-            raise JobTooLarge(
+            raise JobTooLarge.build(
                 "no devices left in the cluster to run job #%d" % job.job_id,
-                job=job,
+                job=job, required_bytes=job.footprint_bytes,
+                available_bytes=0,
             )
-        limit = max(self._capacity.values())
-        if job.footprint_bytes > limit:
-            raise JobTooLarge(
-                "job #%d needs %d B but the largest device holds %d B"
-                % (job.job_id, job.footprint_bytes, limit),
-                job=job,
-            )
+        # the effective in-core bound: the largest device, tightened by
+        # the smallest node residency table when one is capped
+        effective = self.chunk_capacity_bytes()
+        degraded = None
+        if job.footprint_bytes > effective:
+            plan = plan_chunks(job, effective, depth=self.ooc_depth)
+            if self.ooc and plan is not None:
+                degraded = DegradedAdmit(job, plan, job.footprint_bytes,
+                                         effective)
+            else:
+                raise JobTooLarge.build(
+                    "job #%d exceeds what a node can hold" % job.job_id,
+                    job=job, required_bytes=job.footprint_bytes,
+                    available_bytes=effective,
+                    chunks_hint=(plan.nchunks if plan is not None else None),
+                )
         if queue_depth >= self.max_queue_depth:
             raise QueueFull(
                 "queue depth %d at its bound %d; retry later"
@@ -125,9 +210,20 @@ class AdmissionController:
                 % (job.tenant, tenant_depth, self.max_tenant_depth),
                 job=job,
             )
-        return job
+        return degraded if degraded is not None else job
 
     # -- placement-time capacity ----------------------------------------------
+
+    def chunk_capacity_bytes(self):
+        """Per-chunk working-set budget for out-of-core planning: the
+        largest device capacity, further bounded by the cluster's
+        smallest node residency table when one is capped."""
+        if not self._capacity:
+            return 0
+        limit = max(self._capacity.values())
+        if self.ooc_capacity_bytes is not None:
+            limit = min(limit, self.ooc_capacity_bytes)
+        return limit
 
     def capacity_bytes(self, device):
         return self._capacity[device.global_id]
@@ -145,9 +241,10 @@ class AdmissionController:
 
     def reserve(self, nbytes, device):
         if not self.fits_now(nbytes, device):
-            raise JobTooLarge(
-                "%d B do not fit on %s (%d B free)"
-                % (nbytes, device.name, self.free_bytes(device))
+            raise JobTooLarge.build(
+                "%d B do not fit on %s" % (nbytes, device.name),
+                required_bytes=nbytes,
+                available_bytes=self.free_bytes(device),
             )
         self._reserved[device.global_id] += int(nbytes)
 

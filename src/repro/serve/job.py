@@ -62,6 +62,13 @@ class Job:
         self.result = None
         self.error = None
         self.device = None
+        #: degraded admission: the out-of-core ChunkPlan the admission
+        #: controller attached (None for in-core jobs); the dispatcher
+        #: re-plans against live capacity, this records the decision
+        self.chunk_plan = None
+        #: filled by the chunk stream runner: chunks run, replays,
+        #: prefetch bytes/seconds and how much of it overlapped compute
+        self.ooc_report = None
         self._done_callbacks = []
         #: times the job has been declared terminal; the serving layer's
         #: exactly-once invariant ("no lost or duplicated results")

@@ -1,0 +1,892 @@
+"""Out-of-core chunked execution: graceful degradation under memory
+pressure.
+
+When a job's buffer footprint exceeds what any node's residency table
+can hold, the admission controller used to refuse it outright
+(``JobTooLarge``).  This module turns that refusal path into a degraded
+mode, the way libhclooc streams oversized kernels through accelerator
+memory: the NDRange is tiled along one axis into chunks whose per-chunk
+working set fits the residency capacity, and the chunks run as a
+host-planned pipeline -- chunk ``k+1``'s buffers are prefetched (host
+writes for fresh slices, ``dmp_pull``/``dmp_push`` peer transfers for
+replicated arguments that already live on another node) while chunk
+``k`` executes, with the PR-5 LRU eviction/writeback machinery and
+``protect`` lists keeping the in-flight and prefetching chunks
+resident.
+
+Partitioning is declared, not inferred.  Exactly like libhclooc's
+programmer annotations (and this repo's own host programs, which ship
+rebased ``row_ptr`` slices and ``coffset`` scalars), each kernel's
+:class:`ChunkSpec` states how every argument relates to the chunked
+axis:
+
+- :class:`Partition` -- the argument stores ``stride`` elements per
+  axis index; chunk ``[lo, hi)`` ships the slice ``[lo*stride,
+  hi*stride)``.  Written arguments must be partitions (each chunk owns
+  its slice, so results reassemble exactly).
+- :class:`Replicate` -- every chunk needs the whole array (matmul's B,
+  spmv's x).
+- :class:`CSRData` / :class:`CSRPointer` -- CSR-shaped indirection:
+  the data window of chunk ``[lo, hi)`` is ``[ptr[lo], ptr[hi])``, and
+  the pointer array itself ships rebased (``ptr[lo:hi+1] - ptr[lo]``),
+  the same transform the spmv host program applies per partition.
+- :class:`ChunkLength` / :class:`ChunkOrigin` -- scalars rewritten per
+  chunk (the ``nrows``/``ncells`` bound, the ``coffset`` base).
+
+Chunks launch with their *rebased* index space (offset zero, chunk
+extent), so every execution tier -- fastpath, vectorized, interpreter
+-- stays eligible and results are bit-identical to the in-core run.  A
+spec that mislabels an axis-dependent argument as :class:`Replicate`
+would compute silently wrong slices; specs are part of the kernel's
+contract, and the differential tests pin the built-ins.
+"""
+
+import hashlib
+
+import numpy as np
+
+from repro.obs import get_logger
+from repro.ocl import enums
+from repro.ocl.errors import CLError
+from repro.serve.job import RUNNING
+from repro.transport.base import NodeLostError, TransportError
+
+log = get_logger("serve")
+
+HOST = "host"
+
+
+# -- argument rules ------------------------------------------------------------
+
+
+class Replicate:
+    """Every chunk needs the whole argument resident."""
+
+    def __repr__(self):
+        return "Replicate()"
+
+
+class Partition:
+    """``stride`` elements per chunk-axis index.
+
+    ``stride`` is an element count, or ``stride_arg`` names the scalar
+    argument index holding it (matmul's row length ``n``).
+    """
+
+    def __init__(self, stride=1, stride_arg=None):
+        if stride_arg is None and int(stride) <= 0:
+            raise ValueError("stride must be positive")
+        self.stride = int(stride)
+        self.stride_arg = stride_arg
+
+    def resolve_stride(self, args):
+        if self.stride_arg is not None:
+            return int(args[self.stride_arg])
+        return self.stride
+
+    def __repr__(self):
+        if self.stride_arg is not None:
+            return "Partition(stride_arg=%d)" % self.stride_arg
+        return "Partition(stride=%d)" % self.stride
+
+
+class CSRData:
+    """CSR values/columns: chunk ``[lo, hi)`` needs elements
+    ``[ptr[lo], ptr[hi])`` of this array, where ``ptr`` is the argument
+    index of the row-pointer array."""
+
+    def __init__(self, ptr):
+        self.ptr = int(ptr)
+
+    def __repr__(self):
+        return "CSRData(ptr=%d)" % self.ptr
+
+
+class CSRPointer:
+    """The CSR row-pointer array itself: chunk ``[lo, hi)`` ships
+    ``ptr[lo:hi+1] - ptr[lo]`` (rebased, like the spmv host program)."""
+
+    def __repr__(self):
+        return "CSRPointer()"
+
+
+class ChunkLength:
+    """Scalar rewritten to the chunk's axis extent (``hi - lo``)."""
+
+    def __repr__(self):
+        return "ChunkLength()"
+
+
+class ChunkOrigin:
+    """Scalar rewritten to the chunk's absolute axis origin (``lo``),
+    the ``coffset`` idiom of the cfd kernels."""
+
+    def __repr__(self):
+        return "ChunkOrigin()"
+
+
+class ChunkSpec:
+    """How one kernel's arguments map onto a chunked axis.
+
+    ``axis`` indexes the NDRange dimension being tiled; ``rules`` maps
+    argument index -> rule.  Array arguments without a rule default to
+    :class:`Replicate`, scalars to passthrough.
+    """
+
+    def __init__(self, axis, rules):
+        self.axis = int(axis)
+        self.rules = dict(rules)
+
+    def rule_for(self, index, value):
+        rule = self.rules.get(index)
+        if rule is None and isinstance(value, np.ndarray):
+            return Replicate()
+        return rule
+
+
+#: kernel name -> ChunkSpec.  The built-ins below are the annotation
+#: table for this repo's acceptance workloads; tenants with their own
+#: kernels call :func:`register_chunk_spec`.
+_SPECS = {}
+
+
+def register_chunk_spec(kernel_name, spec):
+    """Declare how ``kernel_name`` partitions (libhclooc-style)."""
+    _SPECS[kernel_name] = spec
+    return spec
+
+
+def chunk_spec_for(kernel_name):
+    return _SPECS.get(kernel_name)
+
+
+# matmul(A, B, C, n, rows) over an (n, rows) NDRange: rows partition,
+# B replicates, the ``rows`` bound becomes the chunk height.
+register_chunk_spec("matmul", ChunkSpec(axis=1, rules={
+    0: Partition(stride_arg=3),   # A: n elements per row
+    1: Replicate(),               # B: every chunk reads all columns
+    2: Partition(stride_arg=3),   # C: n elements per row (written)
+    4: ChunkLength(),             # rows bound
+}))
+
+# spmv_csr(row_ptr, cols, vals, x, y, nrows) over (nrows,): CSR rows
+# partition with a rebased pointer slice and a replicated x.
+register_chunk_spec("spmv_csr", ChunkSpec(axis=0, rules={
+    0: CSRPointer(),
+    1: CSRData(ptr=0),            # cols
+    2: CSRData(ptr=0),            # vals
+    3: Replicate(),               # x: gathered by global column id
+    4: Partition(stride=1),       # y (written)
+    5: ChunkLength(),             # nrows bound
+}))
+
+# cfd_step_factor(variables, areas, step_factors, ncells) over
+# (ncells,): 5 conserved variables per cell.
+register_chunk_spec("cfd_step_factor", ChunkSpec(axis=0, rules={
+    0: Partition(stride=5),
+    1: Partition(stride=1),
+    2: Partition(stride=1),       # step_factors (written)
+    3: ChunkLength(),
+}))
+
+
+# -- the plan ------------------------------------------------------------------
+
+
+class Chunk:
+    """One tile of the NDRange: axis range ``[lo, hi)`` in the job's
+    (possibly offset) index space, plus its working-set accounting."""
+
+    __slots__ = ("index", "lo", "hi", "global_size", "origin", "ws_bytes",
+                 "part_bytes")
+
+    def __init__(self, index, lo, hi, global_size, origin, ws_bytes,
+                 part_bytes):
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+        self.global_size = global_size
+        #: absolute NDRange origin of this chunk (the sub-range offset)
+        self.origin = origin
+        #: bytes resident while this chunk runs (slices + replicated)
+        self.ws_bytes = ws_bytes
+        #: the chunk-private part (slices only; replicated args shared)
+        self.part_bytes = part_bytes
+
+    def __repr__(self):
+        return "Chunk(#%d, [%d, %d), %d B)" % (
+            self.index, self.lo, self.hi, self.ws_bytes
+        )
+
+
+class ChunkPlan:
+    """A degraded-mode schedule: chunks that tile the NDRange so each
+    working set fits ``capacity_bytes`` with ``depth`` chunks resident
+    (the executing one plus the prefetching ones)."""
+
+    def __init__(self, kernel_name, axis, origin, extent, chunks,
+                 capacity_bytes, depth, replicated_bytes, total_bytes):
+        self.kernel_name = kernel_name
+        self.axis = axis
+        self.origin = origin
+        self.extent = extent
+        self.chunks = chunks
+        self.capacity_bytes = capacity_bytes
+        self.depth = depth
+        self.replicated_bytes = replicated_bytes
+        self.total_bytes = total_bytes
+
+    @property
+    def nchunks(self):
+        return len(self.chunks)
+
+    @property
+    def max_chunk_bytes(self):
+        return max(c.part_bytes for c in self.chunks)
+
+    @property
+    def reserve_bytes(self):
+        """Bytes the stream keeps resident at once (the admission
+        reservation): the replicated set plus ``depth`` chunk slices."""
+        return self.replicated_bytes + self.depth * self.max_chunk_bytes
+
+    def describe(self):
+        return {
+            "kernel": self.kernel_name,
+            "axis": self.axis,
+            "chunks": self.nchunks,
+            "capacity_bytes": self.capacity_bytes,
+            "depth": self.depth,
+            "replicated_bytes": self.replicated_bytes,
+            "max_chunk_bytes": self.max_chunk_bytes,
+            "reserve_bytes": self.reserve_bytes,
+            "total_bytes": self.total_bytes,
+        }
+
+    def __repr__(self):
+        return "ChunkPlan(%s, %d chunks of <=%d B, capacity %d B)" % (
+            self.kernel_name, self.nchunks, self.max_chunk_bytes,
+            self.capacity_bytes,
+        )
+
+
+def _flat(value):
+    return np.ascontiguousarray(value).reshape(-1)
+
+
+def _boundaries(origin, extent, nchunks):
+    """Even axis split: chunk sizes differ by at most one, deterministic
+    for a given (origin, extent, nchunks)."""
+    base, rem = divmod(extent, nchunks)
+    bounds = []
+    lo = origin
+    for i in range(nchunks):
+        hi = lo + base + (1 if i < rem else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def _chunk_slice_bytes(job, spec, lo, hi, origin):
+    """(private slice bytes, per-slice max) of chunk ``[lo, hi)``."""
+    total = 0
+    biggest = 0
+    for index, value in enumerate(job.args):
+        if not isinstance(value, np.ndarray):
+            continue
+        rule = spec.rule_for(index, value)
+        nbytes = _window_bytes(job, rule, value, lo, hi, origin)
+        if nbytes is None:
+            continue  # replicated: accounted once, not per chunk
+        total += nbytes
+        biggest = max(biggest, nbytes)
+    return total, biggest
+
+
+def _window_bytes(job, rule, value, lo, hi, origin):
+    """Slice bytes of one argument for chunk ``[lo, hi)``; None when
+    the rule replicates (shared across chunks)."""
+    itemsize = value.dtype.itemsize
+    if isinstance(rule, Partition):
+        stride = rule.resolve_stride(job.args)
+        return (hi - lo) * stride * itemsize
+    if isinstance(rule, CSRPointer):
+        return (hi - lo + 1) * itemsize
+    if isinstance(rule, CSRData):
+        ptr = _flat(job.args[rule.ptr])
+        return int(ptr[hi - origin] - ptr[lo - origin]) * itemsize
+    return None
+
+
+def _replicated_bytes(job, spec):
+    total = 0
+    for index, value in enumerate(job.args):
+        if not isinstance(value, np.ndarray):
+            continue
+        if isinstance(spec.rule_for(index, value), Replicate):
+            total += value.nbytes
+    return total
+
+
+def _windows_valid(job, spec, origin, extent):
+    """The spec's windows must exactly cover every partitioned array;
+    a mismatch means the spec does not describe this job's shapes."""
+    for index, value in enumerate(job.args):
+        if not isinstance(value, np.ndarray):
+            continue
+        rule = spec.rule_for(index, value)
+        n = _flat(value).size
+        if isinstance(rule, Partition):
+            if extent * rule.resolve_stride(job.args) > n:
+                return False
+        elif isinstance(rule, CSRPointer):
+            if n < extent + 1:
+                return False
+        elif isinstance(rule, CSRData):
+            ptr = _flat(job.args[rule.ptr])
+            if ptr.size < extent + 1 or int(ptr[extent]) > n or int(ptr[0]) < 0:
+                return False
+    return True
+
+
+def plan_chunks(job, capacity_bytes, depth=2, origin=0):
+    """Tile ``job``'s NDRange into a :class:`ChunkPlan` whose per-chunk
+    working set fits ``capacity_bytes`` with ``depth`` chunks resident,
+    or None when the kernel has no spec / cannot be tiled that small.
+
+    ``origin`` offsets the axis index space (sub-NDRange planning); the
+    chunks exactly tile ``[origin, origin + extent)``.  Deterministic:
+    the same job shapes, capacity and depth always produce the same
+    plan.
+    """
+    if capacity_bytes is None or capacity_bytes <= 0:
+        return None
+    spec = chunk_spec_for(job.kernel_name)
+    if spec is None:
+        return None
+    depth = max(1, int(depth))
+    gsize = tuple(int(d) for d in job.global_size)
+    if spec.axis >= len(gsize):
+        return None
+    extent = gsize[spec.axis]
+    if extent < 2:
+        return None
+    if not _windows_valid(job, spec, origin, extent):
+        return None
+    replicated = _replicated_bytes(job, spec)
+    budget = capacity_bytes - replicated
+    if budget <= 0:
+        return None  # the shared working set alone overflows the node
+    total_part, _ = _chunk_slice_bytes(job, spec, origin, origin + extent,
+                                       origin)
+    # lower bound on the chunk count, then grow until the worst chunk
+    # (and every single slice buffer) fits the per-chunk budget
+    start = max(1, -(-depth * total_part // budget)) if total_part else 1
+    for nchunks in range(min(start, extent), extent + 1):
+        bounds = _boundaries(origin, extent, nchunks)
+        per_chunk = [
+            _chunk_slice_bytes(job, spec, lo, hi, origin)
+            for lo, hi in bounds
+        ]
+        worst = max(p[0] for p in per_chunk)
+        biggest_slice = max(p[1] for p in per_chunk)
+        if replicated + depth * worst > capacity_bytes:
+            continue
+        if biggest_slice > capacity_bytes or any(
+                isinstance(spec.rule_for(i, v), Replicate)
+                and v.nbytes > capacity_bytes
+                for i, v in enumerate(job.args)
+                if isinstance(v, np.ndarray)):
+            return None  # one buffer alone exceeds the residency table
+        chunks = []
+        for index, (lo, hi) in enumerate(bounds):
+            cg = list(gsize)
+            cg[spec.axis] = hi - lo
+            co = [0] * len(gsize)
+            co[spec.axis] = lo
+            chunks.append(Chunk(
+                index, lo, hi, tuple(cg), tuple(co),
+                ws_bytes=replicated + per_chunk[index][0],
+                part_bytes=per_chunk[index][0],
+            ))
+        return ChunkPlan(
+            job.kernel_name, spec.axis, origin, extent, chunks,
+            capacity_bytes, depth, replicated, job.footprint_bytes,
+        )
+    return None
+
+
+def chunk_count_hint(job, capacity_bytes, depth=2):
+    """How many chunks would have admitted ``job`` at this capacity --
+    the actionable half of a ``JobTooLarge`` message; None when the
+    job cannot be chunked at all."""
+    plan = plan_chunks(job, capacity_bytes, depth=depth)
+    return None if plan is None else plan.nchunks
+
+
+def chunk_args(job, plan, chunk):
+    """Materialise chunk ``chunk``'s argument list.
+
+    Returns ``(args, slices)`` where ``args`` aligns with the kernel
+    signature (sliced arrays, rewritten scalars) and ``slices`` maps
+    argument index -> the flat element window ``(start, stop)`` the
+    slice occupies in the full array (used to reassemble outputs).
+    """
+    spec = chunk_spec_for(job.kernel_name)
+    lo, hi = chunk.lo, chunk.hi
+    rel_lo, rel_hi = lo - plan.origin, hi - plan.origin
+    args = []
+    slices = {}
+    for index, value in enumerate(job.args):
+        if not isinstance(value, np.ndarray):
+            rule = spec.rules.get(index)
+            if isinstance(rule, ChunkLength):
+                args.append(_rewrite_scalar(value, hi - lo))
+            elif isinstance(rule, ChunkOrigin):
+                args.append(_rewrite_scalar(value, lo))
+            else:
+                args.append(value)
+            continue
+        rule = spec.rule_for(index, value)
+        flat = _flat(value)
+        if isinstance(rule, Partition):
+            stride = rule.resolve_stride(job.args)
+            start, stop = rel_lo * stride, rel_hi * stride
+            args.append(flat[start:stop])
+            slices[index] = (start, stop)
+        elif isinstance(rule, CSRPointer):
+            window = flat[rel_lo:rel_hi + 1] - flat[rel_lo]
+            args.append(np.ascontiguousarray(window))
+            slices[index] = (rel_lo, rel_hi + 1)
+        elif isinstance(rule, CSRData):
+            ptr = _flat(job.args[rule.ptr])
+            start, stop = int(ptr[rel_lo]), int(ptr[rel_hi])
+            args.append(flat[start:stop])
+            slices[index] = (start, stop)
+        else:
+            args.append(value)
+            slices[index] = None  # replicated: the whole array
+    return args, slices
+
+
+def _rewrite_scalar(value, new):
+    if isinstance(value, np.generic):
+        return value.dtype.type(new)
+    return type(value)(new)
+
+
+def _digest(array):
+    return hashlib.sha1(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+# -- the streaming executor ----------------------------------------------------
+
+
+class _ChunkState:
+    """A prepared chunk: its buffers live and (ideally) prefetched."""
+
+    __slots__ = ("chunk", "args", "slices", "buffers", "device")
+
+    def __init__(self, chunk, args, slices, buffers, device):
+        self.chunk = chunk
+        self.args = args
+        self.slices = slices
+        #: [(arg index, HBuffer, source slice array)]
+        self.buffers = buffers
+        self.device = device
+
+
+class ChunkStreamRunner:
+    """Executes one degraded-admit job as a prefetched chunk pipeline.
+
+    Owned by :class:`~repro.serve.service.HaoCLService`; reuses its
+    placement, lease, trace and fault plumbing so a chunked job behaves
+    like any other job from the outside (states, counters, exactly-once
+    fair-share charge).  A ``NodeLostError`` mid-stream replays *only*
+    the lost chunk -- host shadows of every slice survive, so the
+    replay re-ships chunk ``k`` to a surviving device and the pipeline
+    continues; the job is never requeued, so its fair-share cost is
+    charged exactly once.
+    """
+
+    def __init__(self, service, job, kernel, context, plan):
+        self.service = service
+        self.session = service.session
+        self.driver = service.driver
+        self.tracer = service.tracer
+        self.job = job
+        self.kernel = kernel
+        self.context = context
+        self.plan = plan
+        self.devices = []          # the pipeline's device rotation
+        self.reserved = []         # devices carrying our reservation
+        self.replicated = {}       # arg index -> HBuffer
+        self.assembled = {}        # arg index -> flat output array
+        self.chunks_run = 0
+        self.replays = 0
+        self.prefetch_bytes = 0
+        self.prefetch_s = 0.0
+        self.overlap_s = 0.0
+        self._used_queues = []
+
+    # -- device selection ------------------------------------------------------
+
+    def _pick_devices(self):
+        """Primary device via the placement hook, plus one device on a
+        *different* node when available -- alternating chunks between
+        two nodes turns the prefetch path into real peer traffic
+        (``dmp_pull`` migrations of the replicated set)."""
+        service = self.service
+        need = self.plan.reserve_bytes
+        primary = service._place(self.kernel, [self.job], need)
+        if primary is None:
+            return False
+        devices = [primary]
+        for device in service.admission.candidates(need):
+            if device.node_id == primary.node_id:
+                continue
+            if service._ensure_lease(device) is not None:
+                devices.append(device)
+                break
+        for device in devices:
+            service.admission.reserve(need, device)
+            self.reserved.append(device)
+        self.devices = devices
+        return True
+
+    def _device_for(self, chunk_index):
+        return self.devices[chunk_index % len(self.devices)]
+
+    def _surviving_devices(self):
+        host = self.session.host
+        return [d for d in self.devices if not host.is_lost(d.node_id)]
+
+    # -- working-set protection ------------------------------------------------
+
+    def _protect_uids(self, states):
+        """Every buffer the stream still needs resident: the replicated
+        set plus each live chunk's slices.  Unioned with the launch's
+        own protect scope, this keeps prefetched chunk ``k+1`` from
+        being evicted by chunk ``k``'s admissions (and vice versa)."""
+        uids = [buf.uid for buf in self.replicated.values()]
+        for state in states:
+            uids.extend(buf.uid for _i, buf, _s in state.buffers)
+        return uids
+
+    # -- buffer preparation ----------------------------------------------------
+
+    def _make_buffer(self, source, digest):
+        buf = self.session.buffer_from(self.context, source)
+        buf.content_digest = digest
+        return buf
+
+    def _prepare_replicated(self):
+        digests = self.job.input_digests()
+        spec = chunk_spec_for(self.job.kernel_name)
+        for index, value in enumerate(self.job.args):
+            if not isinstance(value, np.ndarray):
+                continue
+            if isinstance(spec.rule_for(index, value), Replicate):
+                self.replicated[index] = self._make_buffer(
+                    value, digests[index]
+                )
+
+    def _prefetch(self, buffers, device, states, overlapped):
+        """Ensure fresh replicas of ``buffers`` on ``device`` ahead of
+        the launch that needs them, the stream's working set protected
+        against eviction.  Counted (and timed on the fabric clock) so
+        the overlap ratio -- prefetch wire time hidden under a running
+        chunk -- is observable."""
+        icd = self.driver.icd
+        t0 = self.session.now_s()
+        moved = 0
+        with icd.protecting(self._protect_uids(states)):
+            for buf in buffers:
+                if device.node_id not in buf.fresh:
+                    moved += buf.size
+                icd.prefetch(buf, device)
+        elapsed = self.session.now_s() - t0
+        self.prefetch_bytes += moved
+        self.prefetch_s += elapsed
+        if overlapped:
+            self.overlap_s += elapsed
+
+    def _prepare_chunk(self, chunk_index, states, overlapped):
+        """Slice, allocate and prefetch chunk ``chunk_index``."""
+        chunk = self.plan.chunks[chunk_index]
+        device = self._device_for(chunk_index)
+        args, slices = chunk_args(self.job, self.plan, chunk)
+        access = self._access()
+        params = self.kernel.info.params
+        buffers = []
+        for index, value in enumerate(args):
+            if not isinstance(value, np.ndarray) or index in self.replicated:
+                continue  # replicated args share one buffer across chunks
+            buf = self._make_buffer(value, _digest(value))
+            buffers.append((index, buf, value))
+        state = _ChunkState(chunk, args, slices, buffers, device)
+        with self.tracer.span("serve.ooc.prefetch", chunk=chunk.index,
+                              node=device.node_id,
+                              overlapped=bool(overlapped)):
+            inputs = [
+                buf for index, buf, _v in buffers
+                if self._param_read(access, params, index)
+            ]
+            repl = [
+                buf for index, buf in sorted(self.replicated.items())
+                if self._param_read(access, params, index)
+            ]
+            self._prefetch(repl + inputs, device, states + [state],
+                           overlapped)
+        return state
+
+    def _access(self):
+        return self.kernel.program.param_access(self.kernel.name)
+
+    @staticmethod
+    def _param_read(access, params, index):
+        param = access.get(params[index][0])
+        return param is None or param.read or not param.write
+
+    def _written_indices(self):
+        access = self._access()
+        written = []
+        for index, (name, _ctype) in enumerate(self.kernel.info.params):
+            param = access.get(name)
+            if param is not None and param.write:
+                written.append(index)
+        return written
+
+    # -- chunk execution -------------------------------------------------------
+
+    def _execute_chunk(self, state):
+        """Bind, launch and drain one chunk on its device."""
+        service = self.service
+        queue = service._queue_for(self.context, state.device)
+        if queue not in self._used_queues:
+            self._used_queues.append(queue)
+        for index, value in enumerate(state.args):
+            if isinstance(value, np.ndarray):
+                buf = self.replicated.get(index)
+                if buf is None:
+                    buf = next(b for i, b, _v in state.buffers if i == index)
+                self.kernel.set_arg(index, buf)
+            else:
+                self.kernel.set_arg(index, value)
+        chunk = state.chunk
+        with self.tracer.span("serve.ooc.execute", chunk=chunk.index,
+                              node=state.device.node_id,
+                              origin=list(chunk.origin),
+                              size=list(chunk.global_size)):
+            with self.driver.icd.protecting(self._protect_uids([state])):
+                self.session.enqueue(queue, self.kernel, chunk.global_size)
+        return queue
+
+    def _writeback_chunk(self, state, queue):
+        """Drain the chunk and fold its written slices into the
+        assembled outputs (then free the node-side replicas, donating
+        digest-tagged slices to the dedup cache for a cheap replay)."""
+        chunk = state.chunk
+        self.session.finish(queue)
+        with self.tracer.span("serve.ooc.writeback", chunk=chunk.index,
+                              node=state.device.node_id):
+            for index in self._written_indices():
+                window = state.slices.get(index)
+                buf = next(
+                    (b for i, b, _v in state.buffers if i == index), None
+                )
+                if buf is None or window is None:
+                    raise CLError(
+                        enums.CL_INVALID_OPERATION,
+                        "kernel %s writes argument %d but its chunk rule "
+                        "is not a partition" % (self.kernel.name, index),
+                    )
+                source = self.job.args[index]
+                out = self.session.read_array(queue, buf, source.dtype)
+                self.assembled[index][window[0]:window[1]] = out
+        self._release_state(state)
+
+    def _release_state(self, state):
+        for _index, buf, _value in state.buffers:
+            try:
+                self.driver.icd.release_buffer(buf)
+            except (CLError, TransportError):
+                pass  # replicas died with their node
+
+    # -- fault handling --------------------------------------------------------
+
+    def _node_lost(self, exc, states):
+        """A node died mid-stream: retire it everywhere, drop the
+        prepared states that pointed at it and charge one replay
+        attempt.  Returns True while the retry budget holds."""
+        service = self.service
+        self.session.host.mark_lost(exc.node_id, reason=exc.reason)
+        self.job.attempts += 1
+        self.replays += 1
+        service._m_ooc_replays.inc()
+        service._tenant_stats(self.job.tenant).bump("retried")
+        if self.tracer.enabled:
+            self.tracer.event(
+                "serve.ooc.chunk_replay", ctx=getattr(self.job, "trace", None),
+                job=self.job.job_id, node=exc.node_id,
+                attempt=self.job.attempts,
+            )
+        for state in states:
+            self._release_state(state)
+        self.devices = self._surviving_devices()
+        self.reserved = [d for d in self.reserved if d in self.devices]
+        log.info("job #%d lost node %s mid-stream; replaying chunk "
+                 "(attempt %d/%d)", self.job.job_id, exc.node_id,
+                 self.job.attempts, service.max_retries)
+        if self.job.attempts > service.max_retries:
+            return False
+        if not self.devices:
+            if not self._pick_devices():
+                return False
+        return True
+
+    # -- the pipeline ----------------------------------------------------------
+
+    def run(self):
+        """Stream every chunk; returns True when the job reached a
+        terminal state, False to defer (no capacity right now)."""
+        service = self.service
+        job = self.job
+        try:
+            written = self._written_indices()
+        except CLError as exc:
+            service._fail(job, exc)
+            return True
+        spec = chunk_spec_for(job.kernel_name)
+        for index in written:
+            rule = spec.rule_for(index, job.args[index])
+            if not isinstance(rule, Partition):
+                service._fail(job, CLError(
+                    enums.CL_INVALID_OPERATION,
+                    "kernel %s writes argument %d but its chunk rule %r "
+                    "cannot reassemble; out-of-core refused"
+                    % (self.kernel.name, index, rule),
+                ))
+                return True
+        if not self._pick_devices():
+            service.queue.requeue(job)
+            return False
+
+        now = self.session.now_s()
+        job.started_s = now
+        job.state = RUNNING
+        job.device = self.devices[0]
+        service._trace_queue_wait(job)
+        previous_policy = self.driver.policy
+        previous_user = self.driver.user
+        self.driver.user = service.user
+        self.driver.set_policy("user-directed")
+        self.driver.tenant = job.tenant
+        self.driver.job_tag = job.job_id
+        try:
+            with self.tracer.resume(getattr(job, "trace", None)):
+                with self.tracer.span("serve.ooc", job=job.job_id,
+                                      chunks=self.plan.nchunks,
+                                      depth=self.plan.depth):
+                    self._stream(written)
+        except CLError as exc:
+            service._fail(job, exc)
+        finally:
+            for buf in self.replicated.values():
+                try:
+                    self.driver.icd.release_buffer(buf)
+                except (CLError, TransportError):
+                    pass
+            for device in self.reserved:
+                service.admission.release(self.plan.reserve_bytes, device)
+            for queue in self._used_queues:
+                del queue.events[:]
+            self.driver.tenant = None
+            self.driver.job_tag = None
+            self.driver.user = previous_user
+            self.driver.set_policy(previous_policy)
+        return True
+
+    def _stream(self, written):
+        service = self.service
+        job = self.job
+        plan = self.plan
+        self._prepare_replicated()
+        for index in written:
+            self.assembled[index] = _flat(job.args[index]).copy()
+        if len(self.devices) > 1 and self.replicated:
+            # seed the second pipeline node ahead of time over the peer
+            # data plane (dmp_push), so the first alternating chunk
+            # does not pay the replicated set's wire time
+            try:
+                first = self._device_for(0)
+                with self.driver.icd.protecting(self._protect_uids([])):
+                    for buf in self.replicated.values():
+                        self.driver.icd.prefetch(buf, first)
+                        self.driver.icd.replicate(buf, k=len(self.devices))
+            except NodeLostError as exc:
+                if not self._node_lost(exc, []):
+                    raise CLError(
+                        enums.CL_DEVICE_NOT_AVAILABLE,
+                        "job #%d lost %s while seeding its stream; retry "
+                        "budget (%d) exhausted" % (job.job_id, exc.node_id,
+                                                   service.max_retries),
+                    )
+
+        prepared = None
+        index = 0
+        while index < plan.nchunks:
+            try:
+                if prepared is None:
+                    prepared = self._prepare_chunk(index, [], overlapped=False)
+                state = prepared
+                prepared = None
+                queue = self._execute_chunk(state)
+                if (index + 1 < plan.nchunks and plan.depth > 1
+                        and getattr(service, "ooc_prefetch", True)):
+                    # issue-ahead: ship chunk k+1 while chunk k still
+                    # occupies the device timeline (the wire time hides
+                    # under the compute window; sim fabrics model both)
+                    prepared = self._prepare_chunk(
+                        index + 1, [state], overlapped=True
+                    )
+                self._writeback_chunk(state, queue)
+                self.chunks_run += 1
+                service._m_ooc_chunks.inc()
+                index += 1
+            except NodeLostError as exc:
+                doomed = [s for s in (prepared,) if s is not None]
+                prepared = None
+                if not self._node_lost(exc, doomed):
+                    raise CLError(
+                        enums.CL_DEVICE_NOT_AVAILABLE,
+                        "job #%d lost chunk %d with %s; retry budget (%d) "
+                        "exhausted" % (job.job_id, index, exc.node_id,
+                                       service.max_retries),
+                    )
+                continue  # replay chunk ``index`` on a surviving device
+
+        job.result = {}
+        params = self.kernel.info.params
+        for index in written:
+            source = job.args[index]
+            job.result[params[index][0]] = (
+                self.assembled[index].reshape(source.shape)
+            )
+        job.ooc_report = {
+            "chunks": self.chunks_run,
+            "planned": plan.nchunks,
+            "replays": self.replays,
+            "prefetch_bytes": self.prefetch_bytes,
+            "prefetch_s": self.prefetch_s,
+            "prefetch_overlapped_s": self.overlap_s,
+            "devices": [d.global_id for d in self.devices],
+        }
+        service._m_ooc_jobs.inc()
+        service._m_ooc_prefetch_bytes.inc(self.prefetch_bytes)
+        service._m_ooc_prefetch_s.inc(self.prefetch_s)
+        service._m_ooc_overlap_s.inc(self.overlap_s)
+        service._g_ooc_chunk_bytes.set_max(plan.max_chunk_bytes)
+        if self.prefetch_s > 0:
+            service._g_ooc_overlap.set(self.overlap_s / self.prefetch_s)
+        service._complete(job)

@@ -25,9 +25,14 @@ from repro.core.tenancy import try_acquire
 from repro.obs import MetricsRegistry, get_logger, log_buckets
 from repro.ocl import enums
 from repro.ocl.errors import CLError
-from repro.serve.admission import AdmissionController, AdmissionError
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionError,
+    DegradedAdmit,
+)
 from repro.serve.batcher import Batcher
 from repro.serve.job import DONE, EXPIRED, FAILED, QUEUED, REJECTED, RUNNING
+from repro.serve.ooc import ChunkStreamRunner, plan_chunks
 from repro.serve.queue import FairShareQueue
 from repro.transport.base import NodeLostError, TransportError
 
@@ -131,7 +136,8 @@ class HaoCLService:
                  fairness="jobs", max_batch=16, batching=True,
                  admission=None, lease_shared=True, lease_ttl_s=30.0,
                  user="serve", max_cached_programs=32, max_retries=2,
-                 replicas=1, queue=None):
+                 replicas=1, queue=None, ooc=None, ooc_depth=2,
+                 ooc_prefetch=True):
         self.session = session
         self.driver = session.cl
         self.telemetry = getattr(session, "telemetry", None)
@@ -152,7 +158,25 @@ class HaoCLService:
         # pop removes the job, so no two replicas can dispatch it
         self.queue = queue if queue is not None else FairShareQueue(
             quantum=quantum, cost=fairness)
-        self.admission = admission or AdmissionController(session.devices)
+        #: degraded-mode admission: oversized-but-tileable jobs run
+        #: out-of-core instead of being refused (session knob default)
+        self.ooc = (bool(getattr(session, "ooc", True))
+                    if ooc is None else bool(ooc))
+        #: chunks resident per out-of-core stream (1 disables prefetch)
+        self.ooc_depth = max(1, int(ooc_depth))
+        #: issue chunk k+1's transfers while chunk k executes; turning
+        #: this off keeps the same chunk plan but streams serially (the
+        #: benchmark's apples-to-apples no-prefetch baseline)
+        self.ooc_prefetch = bool(ooc_prefetch)
+        if admission is not None:
+            self.admission = admission
+        else:
+            min_dmp = getattr(session.host, "min_dmp_capacity_bytes", None)
+            self.admission = AdmissionController(
+                session.devices, ooc=self.ooc,
+                ooc_capacity_bytes=min_dmp() if min_dmp else None,
+                ooc_depth=self.ooc_depth,
+            )
         if isinstance(policy, SchedulingPolicy):
             self.placement = policy
         else:
@@ -197,6 +221,34 @@ class HaoCLService:
         self._m_rate_limited = counter(
             "haocl_serve_rate_limited_total",
             "Submissions refused by per-tenant rate limiting")
+        # out-of-core (degraded-mode) ledger
+        self._m_ooc_degraded = counter(
+            "haocl_ooc_degraded_admits_total",
+            "Jobs admitted degraded (working set over capacity, chunked)")
+        self._m_ooc_jobs = counter(
+            "haocl_ooc_jobs_total",
+            "Out-of-core jobs streamed to completion")
+        self._m_ooc_chunks = counter(
+            "haocl_ooc_chunks_total",
+            "Chunks executed by out-of-core streams")
+        self._m_ooc_replays = counter(
+            "haocl_ooc_chunk_replays_total",
+            "Chunks replayed after a node loss mid-stream")
+        self._m_ooc_prefetch_bytes = counter(
+            "haocl_ooc_prefetch_bytes_total",
+            "Bytes shipped ahead of chunk execution")
+        self._m_ooc_prefetch_s = counter(
+            "haocl_ooc_prefetch_seconds_total",
+            "Fabric time spent prefetching chunk working sets")
+        self._m_ooc_overlap_s = counter(
+            "haocl_ooc_prefetch_overlapped_seconds_total",
+            "Prefetch time issued while a chunk was executing")
+        self._g_ooc_overlap = self.metrics.gauge(
+            "haocl_ooc_prefetch_overlap_ratio",
+            "Overlapped share of prefetch time, last completed stream")
+        self._g_ooc_chunk_bytes = self.metrics.gauge(
+            "haocl_ooc_max_chunk_bytes",
+            "Largest per-chunk working set planned (high watermark)")
         self._h_e2e = self.metrics.histogram(
             "haocl_serve_e2e_latency_seconds",
             "Submit-to-result latency of completed jobs",
@@ -216,6 +268,13 @@ class HaoCLService:
                 ("jobs_requeued", self._m_jobs_requeued),
                 ("deadline_misses", self._m_deadline_misses),
                 ("rate_limited", self._m_rate_limited),
+                ("ooc_degraded", self._m_ooc_degraded),
+                ("ooc_jobs", self._m_ooc_jobs),
+                ("ooc_chunks", self._m_ooc_chunks),
+                ("ooc_replays", self._m_ooc_replays),
+                ("ooc_prefetch_bytes", self._m_ooc_prefetch_bytes),
+                ("ooc_prefetch_s", self._m_ooc_prefetch_s),
+                ("ooc_overlap_s", self._m_ooc_overlap_s),
             )
         }
         # the host's failure detector drives this service's cleanup
@@ -294,8 +353,26 @@ class HaoCLService:
             with self.tracer.resume(getattr(job, "trace", None)):
                 with self.tracer.span("serve.admit", job=job.job_id,
                                       tenant=job.tenant):
-                    self.admission.admit(job, len(self.queue),
-                                         self.queue.depth(job.tenant))
+                    outcome = self.admission.admit(
+                        job, len(self.queue), self.queue.depth(job.tenant))
+                    if isinstance(outcome, DegradedAdmit):
+                        # over capacity but tileable: the job enters in
+                        # degraded mode and will stream out-of-core
+                        job.chunk_plan = outcome.plan
+                        self._m_ooc_degraded.inc()
+                        if self.tracer.enabled:
+                            self.tracer.event(
+                                "serve.ooc.degraded_admit",
+                                ctx=getattr(job, "trace", None),
+                                job=job.job_id,
+                                required=outcome.required_bytes,
+                                capacity=outcome.capacity_bytes,
+                                chunks=outcome.plan.nchunks)
+                        log.info(
+                            "job #%d (%s) admitted degraded: %d B over "
+                            "%d B capacity, %d chunks", job.job_id,
+                            job.tenant, outcome.required_bytes,
+                            outcome.capacity_bytes, outcome.plan.nchunks)
         except AdmissionError as exc:
             stats.bump("rejected")
             job.state = REJECTED
@@ -374,6 +451,17 @@ class HaoCLService:
                 self._fail(job, exc)
             return True
         context = self._cluster_context()
+        chunked = [j for j in live if getattr(j, "chunk_plan", None)]
+        if chunked:
+            # degraded admits stream chunk-by-chunk, one at a time; the
+            # in-core remainder of the batch dispatches normally below
+            live = [j for j in live if j not in chunked]
+            progress = False
+            for job in chunked:
+                if self._dispatch_ooc(job, kernel, context):
+                    progress = True
+            if not live:
+                return progress
         lead_bindings = None
         while live:
             try:
@@ -486,6 +574,33 @@ class HaoCLService:
                 self._release_remote_quiet("program", program.uid)
         self._m_batches.inc()
         return True
+
+    def _dispatch_ooc(self, job, kernel, context):
+        """Stream one degraded-admit job through the chunk pipeline.
+
+        Re-plans against *live* capacity (nodes may have joined or died
+        since admission); an unplannable job fails typed instead of
+        OOM-ing a node.  Returns True when the job reached a terminal
+        state, False when the stream deferred (requeued, no capacity).
+        """
+        capacity = None
+        if hasattr(self.admission, "chunk_capacity_bytes"):
+            capacity = self.admission.chunk_capacity_bytes()
+        if not capacity:
+            capacity = max(
+                self.admission.capacity_bytes(d)
+                for d in self.admission.devices
+            ) if self.admission.devices else 0
+        plan = plan_chunks(job, capacity, depth=self.ooc_depth)
+        if plan is None:
+            self._fail(job, CLError(
+                enums.CL_MEM_OBJECT_ALLOCATION_FAILURE,
+                "job #%d no longer fits out-of-core (%d B budget)"
+                % (job.job_id, capacity),
+            ))
+            return True
+        job.chunk_plan = plan
+        return ChunkStreamRunner(self, job, kernel, context, plan).run()
 
     def _trace_queue_wait(self, job):
         """Record the queue phase retroactively: its bounds (submit ->
@@ -942,6 +1057,33 @@ class HaoCLService:
                     "dmp_replica_bytes", "dmp_drains"):
             stats[key] = icd.get(key, 0)
         return stats
+
+    def ooc_stats(self):
+        """Out-of-core serving ledger (registry-backed view).
+
+        ``degraded_admits`` counts jobs that entered in degraded mode;
+        ``jobs``/``chunks`` count completed streams and their executed
+        chunks (chunks > planned means replays happened);
+        ``chunk_replays`` counts per-chunk replays after node losses.
+        The prefetch triple measures the pipeline: ``overlap_ratio`` is
+        the share of prefetch fabric time issued while another chunk
+        was executing -- the time the stream did *not* stall on the
+        wire."""
+        base = self._m_base
+        prefetch_s = self._m_ooc_prefetch_s.value - base["ooc_prefetch_s"]
+        overlap_s = self._m_ooc_overlap_s.value - base["ooc_overlap_s"]
+        return {
+            "degraded_admits":
+                self._m_ooc_degraded.value - base["ooc_degraded"],
+            "jobs": self._m_ooc_jobs.value - base["ooc_jobs"],
+            "chunks": self._m_ooc_chunks.value - base["ooc_chunks"],
+            "chunk_replays": self._m_ooc_replays.value - base["ooc_replays"],
+            "prefetch_bytes": (self._m_ooc_prefetch_bytes.value
+                               - base["ooc_prefetch_bytes"]),
+            "prefetch_s": prefetch_s,
+            "prefetch_overlapped_s": overlap_s,
+            "overlap_ratio": overlap_s / prefetch_s if prefetch_s else 0.0,
+        }
 
     def data_plane(self):
         """Data-plane counters: host-link vs peer-to-peer bytes, dedup

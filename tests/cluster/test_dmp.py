@@ -80,6 +80,41 @@ class TestResidencyTable:
         assert table.resident_bytes == 0
         assert table.admit(2, 200) == []
 
+    def test_readmission_keeps_the_dirty_flag(self):
+        """A dirty replica re-admitted (e.g. re-shipped mid-stream) must
+        not launder itself clean -- at its eventual eviction the owed
+        writeback would be skipped and the written bytes dropped."""
+        table = ResidencyTable(capacity_bytes=300)
+        table.admit(1, 100)
+        table.mark_dirty(1)
+        table.admit(1, 100)  # re-admit the same handle
+        assert table.is_dirty(1)
+        table.admit(2, 100)
+        victims = table.admit(3, 200)
+        # the re-admitted replica still evicts as dirty (writeback owed)
+        assert [(h, record.dirty) for h, record in victims] == [(1, True)]
+
+    def test_readmission_of_clean_replica_stays_clean(self):
+        table = ResidencyTable(capacity_bytes=300)
+        table.admit(1, 100)
+        table.admit(1, 100)
+        assert not table.is_dirty(1)
+
+    def test_two_buffer_table_prefetch_evicts_lru_not_protected(self):
+        """The streaming shape: a table holding exactly two chunk
+        buffers, the executing chunk protected, the next chunk
+        prefetching.  The prefetch must evict the *retired* chunk (LRU),
+        never the protected one, and report its dirty flag."""
+        table = ResidencyTable(capacity_bytes=200)
+        table.admit("retired", 100)
+        table.mark_dirty("retired")       # wrote its slice, owes writeback
+        table.admit("executing", 100)
+        table.mark_dirty("executing")
+        victims = table.admit("next", 100, protected={"executing"})
+        assert [(h, r.dirty) for h, r in victims] == [("retired", True)]
+        assert "executing" in table and "next" in table
+        assert table.resident_bytes == 200
+
 
 # -- peer-to-peer migration ----------------------------------------------------
 
@@ -577,3 +612,49 @@ class TestDifferential:
         assert len(with_dmp) == len(without_dmp) == 12
         for a, b in zip(with_dmp, without_dmp):
             assert a.tobytes() == b.tobytes()
+
+
+# -- eviction vs. prefetch (out-of-core streaming shape) -----------------------
+
+
+class TestEvictionVsPrefetch:
+    def test_protected_prefetch_writes_back_the_dirty_victim(self):
+        """End-to-end regression for the streaming audit: a node whose
+        table holds exactly two chunk-sized buffers, the live chunk
+        protected, a prefetch of the next chunk arriving.  The dirty
+        retired chunk is the victim and its written bytes must land in
+        the host shadow -- never be dropped."""
+        with HaoCLSession(gpu_nodes=1, mode="real", transport="inproc",
+                          dmp_capacity_bytes=32) as sess:
+            ctx = sess.context()
+            dev = sess.devices[0]
+            icd = sess.cl.icd
+            retired = sess.buffer_from(ctx, np.zeros(4, dtype=np.int32))
+            queue = _write_on_node(sess, ctx, retired, dev)
+            sess.finish(queue)
+            assert retired.fresh == {dev.node_id}  # dirty, node-only copy
+            live = sess.buffer_from(ctx, np.arange(4, dtype=np.int32))
+            icd.ensure_fresh(live, dev)
+            # the table (2 x 16 B) is now full; prefetch chunk k+1 with
+            # the executing chunk protected
+            incoming = sess.buffer_from(ctx, np.full(4, 7, dtype=np.int32))
+            with icd.protecting([live.uid]):
+                icd.prefetch(incoming, dev)
+            assert icd.dmp_evictions >= 1
+            assert icd.dmp_writebacks >= 1
+            # the victim was the retired chunk, and its bytes survived
+            assert HOST in retired.fresh and dev.node_id not in retired.fresh
+            assert list(retired.shadow.view(np.int32)) == [1, 1, 1, 1]
+            # the protected live chunk never left the node
+            assert dev.node_id in live.fresh
+            assert dev.node_id in incoming.fresh
+
+    def test_prefetch_counter_counts_only_real_movement(self):
+        with HaoCLSession(gpu_nodes=1, mode="real", transport="inproc") as sess:
+            ctx = sess.context()
+            dev = sess.devices[0]
+            icd = sess.cl.icd
+            buf = sess.buffer_from(ctx, np.arange(8, dtype=np.float32))
+            icd.prefetch(buf, dev)
+            icd.prefetch(buf, dev)  # already fresh: a no-op
+            assert icd.dmp_prefetches == 1

@@ -208,6 +208,43 @@ class TestKernelLaunch:
         with pytest.raises(CLError):
             rt.enqueue_nd_range_kernel(q, kern, (4096,), (2048,))
 
+    def test_global_offset_dim_mismatch_rejected(self, rt):
+        ctx, q, kern = setup_kernel(rt)
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 32)
+        kern.set_arg(0, buf)
+        kern.set_arg(1, 8)
+        with pytest.raises(CLError) as err:
+            rt.enqueue_nd_range_kernel(q, kern, (8,), None, (1, 1))
+        assert err.value.code == enums.CL_INVALID_GLOBAL_OFFSET
+
+    def test_negative_global_offset_rejected(self, rt):
+        ctx, q, kern = setup_kernel(rt)
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 32)
+        kern.set_arg(0, buf)
+        kern.set_arg(1, 8)
+        with pytest.raises(CLError) as err:
+            rt.enqueue_nd_range_kernel(q, kern, (8,), None, (-2,))
+        assert err.value.code == enums.CL_INVALID_GLOBAL_OFFSET
+
+    def test_fractional_global_offset_rejected(self, rt):
+        ctx, q, kern = setup_kernel(rt)
+        buf = rt.create_buffer(ctx, enums.CL_MEM_READ_WRITE, 32)
+        kern.set_arg(0, buf)
+        kern.set_arg(1, 8)
+        with pytest.raises(CLError) as err:
+            rt.enqueue_nd_range_kernel(q, kern, (8,), None, (1.5,))
+        assert err.value.code == enums.CL_INVALID_GLOBAL_OFFSET
+
+    def test_valid_global_offset_shifts_the_index_space(self, rt):
+        ctx, q, kern = setup_kernel(rt, "fill")
+        buf = rt.create_buffer(
+            ctx, enums.CL_MEM_READ_WRITE, 32,
+            host_data=np.zeros(8, dtype=np.int32))
+        kern.set_arg(0, buf)
+        kern.set_arg(1, 9)
+        rt.enqueue_nd_range_kernel(q, kern, (4,), None, (4,))
+        assert list(buf.read().view(np.int32)) == [0, 0, 0, 0, 9, 9, 9, 9]
+
     def test_enqueue_task_is_single_item(self, rt):
         ctx = rt.create_context(rt.get_devices())
         q = rt.create_command_queue(ctx, rt.get_devices()[0])

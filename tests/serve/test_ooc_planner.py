@@ -1,0 +1,218 @@
+"""Property tests for the out-of-core chunk planner.
+
+The planner is pure (job shapes + capacity -> plan), so hypothesis can
+pin its contract directly: chunks exactly tile the axis (no gap, no
+overlap, offsets honored), every chunk's working set fits the capacity
+with ``depth`` chunks resident, and planning is deterministic -- the
+same shapes and budget always yield the same boundaries.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import Job, plan_chunks
+from repro.serve.ooc import (
+    ChunkSpec, Partition, Replicate, chunk_args, chunk_spec_for,
+    register_chunk_spec,
+)
+from repro.workloads.base import load_kernel_source
+
+MATMUL = load_kernel_source("matrixmul.cl")
+SPMV = load_kernel_source("spmv.cl")
+CFD = load_kernel_source("cfd.cl")
+
+F32 = np.dtype(np.float32).itemsize
+
+
+def matmul_job(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)).astype(np.float32)
+    b = rng.standard_normal((n, n)).astype(np.float32)
+    c = np.zeros((n, n), dtype=np.float32)
+    return Job("t", MATMUL, "matmul",
+               [a, b, c, np.int32(n), np.int32(n)], (n, n))
+
+
+def spmv_job(nrows, seed=0, max_row=6):
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(1, max_row, size=nrows)
+    row_ptr = np.zeros(nrows + 1, dtype=np.int32)
+    np.cumsum(lengths, out=row_ptr[1:])
+    nnz = int(row_ptr[-1])
+    cols = rng.integers(0, nrows, size=nnz).astype(np.int32)
+    vals = rng.standard_normal(nnz).astype(np.float32)
+    x = rng.standard_normal(nrows).astype(np.float32)
+    y = np.zeros(nrows, dtype=np.float32)
+    return Job("t", SPMV, "spmv_csr",
+               [row_ptr, cols, vals, x, y, np.int32(nrows)], (nrows,))
+
+
+def cfd_job(ncells, seed=0):
+    rng = np.random.default_rng(seed)
+    variables = (rng.random(ncells * 5) + 1.0).astype(np.float32)
+    areas = (rng.random(ncells) + 0.5).astype(np.float32)
+    step_factors = np.zeros(ncells, dtype=np.float32)
+    return Job("t", CFD, "cfd_step_factor",
+               [variables, areas, step_factors, np.int32(ncells)], (ncells,))
+
+
+def assert_exact_tiling(plan, origin, extent):
+    """Chunks cover [origin, origin + extent) with no gap or overlap."""
+    assert plan.chunks[0].lo == origin
+    assert plan.chunks[-1].hi == origin + extent
+    for prev, cur in zip(plan.chunks, plan.chunks[1:]):
+        assert prev.hi == cur.lo
+    for chunk in plan.chunks:
+        assert chunk.hi > chunk.lo
+        assert chunk.global_size[plan.axis] == chunk.hi - chunk.lo
+        assert chunk.origin[plan.axis] == chunk.lo
+
+
+def matmul_min_capacity(n, depth):
+    # replicated B + depth single-row slices of A and C
+    return n * n * F32 + depth * (2 * n * F32)
+
+
+def spmv_min_capacity(job, depth):
+    row_ptr = job.args[0]
+    worst_row = int(np.max(np.diff(row_ptr)))
+    # replicated x + depth worst 1-row chunks: ptr(2) + cols + vals + y
+    part = 2 * row_ptr.dtype.itemsize + worst_row * (4 + F32) + F32
+    return job.args[3].nbytes + depth * part
+
+
+class TestTiling:
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(4, 48), frac=st.floats(0.15, 1.2),
+           depth=st.integers(1, 3))
+    def test_matmul_tiles_exactly_and_fits(self, n, frac, depth):
+        job = matmul_job(n)
+        floor = matmul_min_capacity(n, depth)
+        capacity = max(floor, int(job.footprint_bytes * frac))
+        plan = plan_chunks(job, capacity, depth=depth)
+        assert plan is not None
+        assert_exact_tiling(plan, 0, n)
+        assert plan.reserve_bytes <= capacity
+        for chunk in plan.chunks:
+            assert plan.replicated_bytes + depth * chunk.part_bytes <= capacity
+            assert chunk.ws_bytes <= capacity
+
+    @settings(max_examples=40, deadline=None)
+    @given(nrows=st.integers(4, 96), seed=st.integers(0, 32),
+           depth=st.integers(1, 3))
+    def test_spmv_csr_windows_are_exact(self, nrows, seed, depth):
+        job = spmv_job(nrows, seed=seed)
+        capacity = spmv_min_capacity(job, depth) * 2
+        plan = plan_chunks(job, capacity, depth=depth)
+        assert plan is not None
+        assert_exact_tiling(plan, 0, nrows)
+        row_ptr, cols, vals = job.args[0], job.args[1], job.args[2]
+        covered = 0
+        for chunk in plan.chunks:
+            args, slices = chunk_args(job, plan, chunk)
+            lo, hi = chunk.lo, chunk.hi
+            # rebased pointer slice reproduces the rows' local offsets
+            assert np.array_equal(args[0], row_ptr[lo:hi + 1] - row_ptr[lo])
+            start, stop = slices[1]
+            assert (start, stop) == (int(row_ptr[lo]), int(row_ptr[hi]))
+            assert np.array_equal(args[1], cols[start:stop])
+            assert np.array_equal(args[2], vals[start:stop])
+            # chunk bound scalar rewritten, dtype preserved
+            assert args[5] == hi - lo and args[5].dtype == np.int32
+            covered += stop - start
+        assert covered == int(row_ptr[-1])  # every nonzero exactly once
+
+    @settings(max_examples=30, deadline=None)
+    @given(ncells=st.integers(4, 64), frac=st.floats(0.2, 1.0))
+    def test_cfd_chunks_fit(self, ncells, frac):
+        job = cfd_job(ncells)
+        floor = 2 * (5 * F32 + F32 + F32)  # depth=2, one cell per chunk
+        capacity = max(floor, int(job.footprint_bytes * frac))
+        plan = plan_chunks(job, capacity)
+        assert plan is not None
+        assert_exact_tiling(plan, 0, ncells)
+        for chunk in plan.chunks:
+            assert (chunk.hi - chunk.lo) * 7 * F32 == chunk.part_bytes
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(8, 32), origin=st.integers(1, 1000))
+    def test_origin_offsets_are_honored(self, n, origin):
+        job = matmul_job(n)
+        capacity = matmul_min_capacity(n, 2) * 2
+        plan = plan_chunks(job, capacity, origin=origin)
+        assert plan is not None
+        assert_exact_tiling(plan, origin, n)
+        # slicing stays relative to the job's arrays, not the offset
+        args, slices = chunk_args(job, plan, plan.chunks[0])
+        lo, hi = plan.chunks[0].lo, plan.chunks[0].hi
+        assert slices[0] == ((lo - origin) * n, (hi - origin) * n)
+
+
+class TestDeterminism:
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(4, 40), frac=st.floats(0.15, 1.2))
+    def test_same_inputs_same_plan(self, n, frac):
+        capacity = max(matmul_min_capacity(n, 2), int(n * n * 3 * F32 * frac))
+        first = plan_chunks(matmul_job(n), capacity)
+        second = plan_chunks(matmul_job(n), capacity)
+        assert first is not None and second is not None
+        assert [(c.lo, c.hi) for c in first.chunks] == [
+            (c.lo, c.hi) for c in second.chunks
+        ]
+        assert first.reserve_bytes == second.reserve_bytes
+
+    @settings(max_examples=25, deadline=None)
+    @given(nrows=st.integers(4, 64), seed=st.integers(0, 16))
+    def test_spmv_replan_is_stable(self, nrows, seed):
+        capacity = spmv_min_capacity(spmv_job(nrows, seed=seed), 2) * 3
+        plans = [plan_chunks(spmv_job(nrows, seed=seed), capacity)
+                 for _ in range(2)]
+        assert all(p is not None for p in plans)
+        assert [(c.lo, c.hi) for c in plans[0].chunks] == [
+            (c.lo, c.hi) for c in plans[1].chunks
+        ]
+
+
+class TestRefusals:
+    def test_kernel_without_spec_is_not_planned(self):
+        saxpy = """
+        __kernel void saxpy(__global float* y, __global const float* x,
+                            float a, int n) {
+            int i = get_global_id(0);
+            if (i < n) y[i] = y[i] + a * x[i];
+        }
+        """
+        n = 64
+        job = Job("t", saxpy, "saxpy",
+                  [np.zeros(n, np.float32), np.ones(n, np.float32),
+                   np.float32(2.0), np.int32(n)], (n,))
+        assert chunk_spec_for("saxpy") is None
+        assert plan_chunks(job, 1 << 10) is None
+
+    def test_replicated_buffer_larger_than_capacity(self):
+        # matmul's B must be wholly resident; capacity below it -> None
+        job = matmul_job(16)
+        assert plan_chunks(job, job.args[1].nbytes - 1) is None
+
+    def test_single_row_axis_is_not_chunked(self):
+        job = matmul_job(8)
+        job.global_size = (8, 1)
+        assert plan_chunks(job, 1) is None
+
+    def test_spec_that_cannot_reassemble_writes_is_still_planned(self):
+        # planning is shape-only; the runner (not the planner) refuses
+        # written non-partition args, pinned in the stream tests
+        register_chunk_spec("_ooc_test_repl", ChunkSpec(axis=0, rules={
+            0: Replicate(),
+            1: Partition(stride=1),
+        }))
+        try:
+            n = 32
+            job = Job("t", "__kernel void k() {}", "_ooc_test_repl",
+                      [np.zeros(n, np.float32), np.zeros(n, np.float32)], (n,))
+            plan = plan_chunks(job, n * F32 + 4 * F32)
+            assert plan is not None
+        finally:
+            from repro.serve import ooc
+            ooc._SPECS.pop("_ooc_test_repl", None)

@@ -1,0 +1,230 @@
+"""Out-of-core streaming end to end: degraded admission, chunked
+execution with prefetch, bit-identical results.
+
+The acceptance bar: matrixmul, spmv and cfd each run with a buffer
+footprint strictly larger than any node's residency table
+(``dmp_capacity_bytes``) and produce results bit-identical to the
+in-core run, the degradation visible in the typed admission outcome,
+the ``haocl_ooc_*`` counters and the trace spans.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HaoCLSession
+from repro.serve import (
+    DegradedAdmit, HaoCLService, Job, JobTooLarge, plan_chunks,
+)
+from repro.serve.admission import AdmissionController
+from repro.serve.job import DONE, REJECTED
+from repro.workloads.base import load_kernel_source
+
+MATMUL = load_kernel_source("matrixmul.cl")
+SPMV = load_kernel_source("spmv.cl")
+CFD = load_kernel_source("cfd.cl")
+
+
+def matmul_job(tenant, n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)).astype(np.float32)
+    b = rng.standard_normal((n, n)).astype(np.float32)
+    c = np.zeros((n, n), dtype=np.float32)
+    return Job(tenant, MATMUL, "matmul",
+               [a, b, c, np.int32(n), np.int32(n)], (n, n))
+
+
+def spmv_job(tenant, nrows=256, seed=0):
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(1, 5, size=nrows)
+    row_ptr = np.zeros(nrows + 1, dtype=np.int32)
+    np.cumsum(lengths, out=row_ptr[1:])
+    nnz = int(row_ptr[-1])
+    cols = rng.integers(0, nrows, size=nnz).astype(np.int32)
+    vals = rng.standard_normal(nnz).astype(np.float32)
+    x = rng.standard_normal(nrows).astype(np.float32)
+    y = np.zeros(nrows, dtype=np.float32)
+    return Job(tenant, SPMV, "spmv_csr",
+               [row_ptr, cols, vals, x, y, np.int32(nrows)], (nrows,))
+
+
+def cfd_job(tenant, ncells=512, seed=0):
+    rng = np.random.default_rng(seed)
+    variables = np.empty((ncells, 5), dtype=np.float32)
+    variables[:, 0] = rng.random(ncells) + 1.0
+    variables[:, 1:4] = (rng.random((ncells, 3)) - 0.5) * 0.2
+    variables[:, 4] = rng.random(ncells) + 10.0
+    variables = variables.reshape(-1)
+    areas = (rng.random(ncells) + 0.5).astype(np.float32)
+    step_factors = np.zeros(ncells, dtype=np.float32)
+    return Job(tenant, CFD, "cfd_step_factor",
+               [variables, areas, step_factors, np.int32(ncells)], (ncells,))
+
+
+#: (factory, dmp_capacity_bytes) -- each footprint strictly exceeds the
+#: per-node residency table, so in-core admission would refuse the job
+WORKLOADS = [
+    ("matrixmul", matmul_job, 20480),
+    ("spmv", spmv_job, 1600),
+    ("cfd", cfd_job, 4096),
+]
+
+
+def run_one(factory, dmp_capacity_bytes=None, trace=False, **service_kw):
+    with HaoCLSession(gpu_nodes=3, mode="real", transport="sim",
+                      dmp_capacity_bytes=dmp_capacity_bytes,
+                      trace=trace) as session:
+        with HaoCLService(session, **service_kw) as service:
+            job = service.submit(factory("alice"))
+            service.run()
+            stats = service.ooc_stats()
+        spans = session.telemetry.tracer.spans() if trace else []
+    return job, stats, spans
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("name,factory,cap", WORKLOADS,
+                             ids=[w[0] for w in WORKLOADS])
+    def test_oversized_job_matches_in_core_run(self, name, factory, cap):
+        probe = factory("alice")
+        assert probe.footprint_bytes > cap, "workload must exceed the table"
+
+        reference, ref_stats, _ = run_one(factory)
+        degraded, ooc_stats, _ = run_one(factory, dmp_capacity_bytes=cap)
+
+        assert reference.state == DONE and degraded.state == DONE
+        # the reference ran in-core, the capped run streamed chunks
+        assert ref_stats["jobs"] == 0
+        assert ooc_stats["degraded_admits"] == 1
+        assert ooc_stats["jobs"] == 1
+        assert degraded.ooc_report is not None
+        assert degraded.ooc_report["chunks"] > 1
+        assert degraded.ooc_report["chunks"] == degraded.ooc_report["planned"]
+        assert sorted(reference.result) == sorted(degraded.result)
+        for key in reference.result:
+            assert np.array_equal(reference.result[key],
+                                  degraded.result[key]), key
+
+    def test_prefetch_overlap_is_observable(self):
+        job, stats, _ = run_one(matmul_job, dmp_capacity_bytes=20480)
+        assert job.state == DONE
+        assert stats["chunks"] == job.ooc_report["chunks"] > 1
+        assert stats["prefetch_bytes"] > 0
+        assert stats["prefetch_s"] > 0
+        # issue-ahead hid most of the wire time under running chunks
+        assert 0 < stats["prefetch_overlapped_s"] <= stats["prefetch_s"]
+        assert stats["overlap_ratio"] > 0.5
+        # the stream alternated between two nodes -> real peer traffic
+        assert len(set(job.ooc_report["devices"])) > 1
+
+
+class TestDegradedAdmission:
+    def test_admit_returns_typed_degraded_outcome(self):
+        with HaoCLSession(gpu_nodes=2, mode="real", transport="sim") as s:
+            ctrl = AdmissionController(s.devices, ooc=True,
+                                       ooc_capacity_bytes=20480)
+            job = matmul_job("alice")
+            outcome = ctrl.admit(job, queue_depth=0)
+            assert isinstance(outcome, DegradedAdmit)
+            assert outcome.degraded
+            assert outcome.job is job
+            assert outcome.required_bytes == job.footprint_bytes
+            assert outcome.capacity_bytes == 20480
+            assert outcome.plan.nchunks > 1
+            # a job that fits in-core is admitted normally
+            small = matmul_job("alice", n=8)
+            assert ctrl.admit(small, queue_depth=0) is small
+
+    def test_ooc_off_refuses_with_sizes_and_chunk_hint(self):
+        """Satellite: every over-capacity refusal reports required vs.
+        available bytes, and -- when the planner could have tiled the
+        job -- the chunk count that would have admitted it."""
+        with HaoCLSession(gpu_nodes=2, mode="real", transport="sim") as s:
+            ctrl = AdmissionController(s.devices, ooc=False,
+                                       ooc_capacity_bytes=20480)
+            job = matmul_job("alice")
+            with pytest.raises(JobTooLarge) as excinfo:
+                ctrl.admit(job, queue_depth=0)
+        exc = excinfo.value
+        assert exc.required_bytes == job.footprint_bytes
+        assert exc.available_bytes == 20480
+        plan = plan_chunks(job, 20480)
+        assert exc.chunks_hint == plan.nchunks
+        message = str(exc)
+        assert "requires %d B" % job.footprint_bytes in message
+        assert "20480 B available" in message
+        assert "%d chunks would admit it out-of-core" % plan.nchunks in message
+
+    def test_unchunkable_refusal_reports_sizes_without_hint(self):
+        with HaoCLSession(gpu_nodes=2, mode="real", transport="sim") as s:
+            ctrl = AdmissionController(s.devices)
+            huge = Job("alice", MATMUL, "saxpy", [], (1,),
+                       footprint_bytes=1 << 50)
+            with pytest.raises(JobTooLarge) as excinfo:
+                ctrl.admit(huge, queue_depth=0)
+        exc = excinfo.value
+        assert exc.required_bytes == 1 << 50
+        assert exc.available_bytes > 0
+        assert exc.chunks_hint is None
+        assert "would admit it out-of-core" not in str(exc)
+
+    def test_service_with_ooc_off_rejects_oversized_job(self):
+        with HaoCLSession(gpu_nodes=3, mode="real", transport="sim",
+                          dmp_capacity_bytes=20480, ooc=False) as session:
+            with HaoCLService(session) as service:
+                job = matmul_job("alice")
+                with pytest.raises(JobTooLarge) as excinfo:
+                    service.submit(job)
+                service.run()
+                stats = service.ooc_stats()
+        assert job.state == REJECTED
+        assert excinfo.value.chunks_hint > 1
+        assert stats["degraded_admits"] == 0
+
+    def test_session_knob_defaults_service_to_degraded_mode(self):
+        job, stats, _ = run_one(spmv_job, dmp_capacity_bytes=1600)
+        assert job.state == DONE
+        assert stats["degraded_admits"] == 1
+
+
+class TestOOCTrace:
+    def test_stream_spans_share_the_job_trace(self):
+        job, _stats, spans = run_one(cfd_job, dmp_capacity_bytes=4096,
+                                     trace=True)
+        assert job.state == DONE
+        trace_id = job.trace.trace_id
+        mine = [s for s in spans if s["trace"] == trace_id]
+        names = {s["name"] for s in mine}
+        assert {"serve.admit", "serve.ooc", "serve.ooc.prefetch",
+                "serve.ooc.execute", "serve.ooc.writeback"} <= names
+        # the degraded admission is an instant event on the same trace
+        events = [s for s in mine if s["name"] == "serve.ooc.degraded_admit"]
+        assert events
+        # one execute span per chunk, each tagged with its chunk index
+        executes = [s for s in mine if s["name"] == "serve.ooc.execute"]
+        assert len(executes) == job.ooc_report["chunks"]
+        assert sorted(s["args"]["chunk"] for s in executes) == list(
+            range(job.ooc_report["chunks"])
+        )
+
+
+class TestOOCMetrics:
+    def test_haocl_ooc_counters_reach_the_registry(self):
+        with HaoCLSession(gpu_nodes=3, mode="real", transport="sim",
+                          dmp_capacity_bytes=20480) as session:
+            with HaoCLService(session) as service:
+                job = service.submit(matmul_job("alice"))
+                service.run()
+            snapshot = session.metrics_snapshot()
+        assert job.state == DONE
+        expected = job.ooc_report["chunks"]
+
+        def value(name):
+            samples = snapshot[name]["samples"]
+            return samples[0]["value"]
+
+        assert value("haocl_ooc_degraded_admits_total") >= 1
+        assert value("haocl_ooc_jobs_total") >= 1
+        assert value("haocl_ooc_chunks_total") >= expected
+        assert value("haocl_ooc_prefetch_bytes_total") > 0
+        assert value("haocl_ooc_prefetch_overlap_ratio") > 0
+        assert value("haocl_ooc_max_chunk_bytes") > 0
