@@ -16,6 +16,10 @@ SERVE_TRAJECTORY = os.path.join(os.path.dirname(__file__), os.pardir,
 OOC_TRAJECTORY = os.path.join(os.path.dirname(__file__), os.pardir,
                               "BENCH_ooc.json")
 
+#: sharded weak-scaling benchmarks append here (bench_shard_scaling.py)
+SHARD_TRAJECTORY = os.path.join(os.path.dirname(__file__), os.pardir,
+                                "BENCH_shard.json")
+
 
 def append_record(record, path=SERVE_TRAJECTORY):
     """Append ``record`` to the JSON-list trajectory file at ``path``."""

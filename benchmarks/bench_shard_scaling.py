@@ -1,0 +1,138 @@
+"""Sharded launch weak scaling: 1, 2 and 4 nodes, problem grown with
+the cluster.
+
+Each run iterates the cfd step-factor kernel over ``CELLS_PER_NODE * N``
+cells on ``N`` gpu nodes -- whole-buffer placement at N=1, a block
+:class:`~repro.core.sharding.Distribution` above -- with synthetic
+(size-only) buffers in modeled mode, so paper-scale footprints cost no
+host RAM and the device model's compute time dominates the fabric's
+per-message latency.  The first iteration (lazy node setup + scatter)
+is warm-up; the measured makespan covers the steady-state iterations,
+where the host sends one enqueue per shard and the nodes compute
+concurrently.  Weak-scaling speedup ``N * t1 / tN`` should approach
+``N``; the acceptance gates are >= 1.6x at 2 nodes and >= 2.8x at 4.
+
+The 4-node run repeats with a halo-1 distribution and a halo refresh
+between iterations, recording halo-exchange bytes (peer-to-peer) next
+to host-relayed bytes -- the shard data path must keep the latter at
+zero.  Records append to ``BENCH_shard.json``; speedups gate against
+the previous record with 15% slack.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_shard_scaling.py -q
+Quick mode (CI):  BENCH_QUICK=1 ... (smaller shards, same shape)
+"""
+
+import os
+import time
+
+import numpy as np
+
+from _trajectory import SHARD_TRAJECTORY, append_record, last_record
+from repro.core import HaoCLSession
+from repro.core.sharding import Distribution
+from repro.workloads.base import load_kernel_source
+
+CFD = load_kernel_source("cfd.cl")
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+CELLS_PER_NODE = 50_000_000 if QUICK else 400_000_000
+ITERS = 2 if QUICK else 4
+REGRESSION_SLACK = 0.15
+MIN_SPEEDUP = {2: 1.6, 4: 2.8}
+
+
+def scaling_round(nodes, distribution=None, halo_refresh=False):
+    """One weak-scaling run; returns (sim makespan s, icd counters)."""
+    ncells = CELLS_PER_NODE * nodes
+    with HaoCLSession(gpu_nodes=nodes, mode="modeled",
+                      transport="sim") as sess:
+        ctx = sess.context()
+        b_var = sess.synthetic_buffer(ctx, ncells * 5 * 4,
+                                      distribution=distribution)
+        b_areas = sess.synthetic_buffer(ctx, ncells * 4,
+                                        distribution=distribution)
+        b_step = sess.synthetic_buffer(ctx, ncells * 4,
+                                       distribution=distribution)
+        prog = sess.program(ctx, CFD)
+        queue = sess.queue(ctx, sess.devices[0])
+        kern = sess.kernel(prog, "cfd_step_factor", b_var, b_areas, b_step,
+                           np.int32(ncells))
+        # warm-up: lazy node setup and the one-time scatter
+        sess.enqueue(queue, kern, (ncells,))
+        sess.finish(queue)
+        start = sess.now_s()
+        for _iteration in range(ITERS):
+            sess.enqueue(queue, kern, (ncells,))
+            if halo_refresh:
+                sess.exchange_shard_halos(ctx, b_var, ncells, written=False)
+        sess.finish(queue)
+        makespan = sess.now_s() - start
+        icd = sess.cl.icd
+        counters = {
+            "p2p": icd.dmp_bytes_p2p,
+            "halo_bytes": icd.dmp_halo_bytes,
+            "halo_exchanges": icd.dmp_halo_exchanges,
+            "relayed": icd.bytes_host_relayed,
+            "launches": sess.cl.launches,
+        }
+    return makespan, counters
+
+
+class TestShardWeakScaling:
+    def test_weak_scaling_and_halo_traffic(self):
+        t1, base = scaling_round(1)
+        assert base["launches"] == ITERS + 1
+
+        results = {}
+        for nodes in (2, 4):
+            t_n, counters = scaling_round(
+                nodes, distribution=Distribution.block())
+            # one sub-launch per node per iteration, nothing host-relayed
+            assert counters["launches"] == nodes * (ITERS + 1)
+            assert counters["relayed"] == 0
+            results[nodes] = (t_n, nodes * t1 / t_n)
+
+        # the halo variant: refresh variables' overlap between launches
+        t_halo, halo = scaling_round(
+            4, distribution=Distribution.block(halo=1), halo_refresh=True)
+        assert halo["halo_bytes"] > 0
+        assert halo["halo_bytes"] <= halo["p2p"]
+        assert halo["relayed"] == 0
+
+        record = {
+            "bench": "shard_scaling",
+            "date": time.strftime("%Y-%m-%d"),
+            "quick": QUICK,
+            "cells_per_node": CELLS_PER_NODE,
+            "iters": ITERS,
+            "t1_sim_s": round(t1, 6),
+            "t2_sim_s": round(results[2][0], 6),
+            "t4_sim_s": round(results[4][0], 6),
+            "speedup_2": round(results[2][1], 3),
+            "speedup_4": round(results[4][1], 3),
+            "halo_exchange_bytes": halo["halo_bytes"],
+            "halo_p2p_bytes": halo["p2p"],
+            "host_relayed_bytes": halo["relayed"],
+        }
+        baseline = last_record("shard_scaling", quick=QUICK,
+                               path=SHARD_TRAJECTORY)
+        append_record(record, path=SHARD_TRAJECTORY)
+        print("\nshard weak scaling: t1 %.4fs  2 nodes %.2fx  4 nodes "
+              "%.2fx  (halo %d B p2p, %d B relayed)"
+              % (t1, record["speedup_2"], record["speedup_4"],
+                 record["halo_exchange_bytes"],
+                 record["host_relayed_bytes"]))
+
+        for nodes, floor in MIN_SPEEDUP.items():
+            speedup = record["speedup_%d" % nodes]
+            assert speedup >= floor, (
+                "weak scaling at %d nodes below the %.1fx acceptance "
+                "floor: %.2fx" % (nodes, floor, speedup))
+
+        if baseline is not None:
+            for key in ("speedup_2", "speedup_4"):
+                floor = (1.0 - REGRESSION_SLACK) * baseline[key]
+                assert record[key] >= floor, (
+                    "%s regressed >%.0f%%: %.2fx vs baseline %.2fx (%s)"
+                    % (key, REGRESSION_SLACK * 100, record[key],
+                       baseline[key], baseline.get("date")))

@@ -1,0 +1,90 @@
+"""Sharded buffers end to end: one logical buffer, many owner nodes.
+
+Part 1 attaches a block :class:`~repro.core.sharding.Distribution` to
+the session-level buffers of a matrix multiply: the wrapper splits the
+NDRange by row ownership, launches one sub-range per node, keeps each
+node's replica limited to its shard, and reassembles a result identical
+to NumPy -- with zero bytes relayed through the host.
+
+Part 2 drives the serving layer with a per-node residency table too
+small for the whole job: admission prefers an in-core *sharded* plan
+over out-of-core streaming, and the job's shard report shows the
+owner-computes split.
+
+Run:  python examples/sharded_matmul_demo.py
+"""
+
+import numpy as np
+
+from repro.core import HaoCLSession
+from repro.core.sharding import Distribution
+from repro.serve import HaoCLService, Job
+from repro.workloads.base import load_kernel_source
+
+MATMUL = load_kernel_source("matrixmul.cl")
+
+
+def session_level(n=96, nodes=3):
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((n, n)).astype(np.float32)
+    b = rng.standard_normal((n, n)).astype(np.float32)
+    c = np.zeros((n, n), dtype=np.float32)
+
+    dist = Distribution.block()
+    with HaoCLSession(gpu_nodes=nodes, mode="real",
+                      transport="inproc") as sess:
+        ctx = sess.context()
+        # A and C are split by row ownership; B is needed whole by every
+        # shard, so it stays undistributed (replicated on demand)
+        b_a = sess.buffer_from(ctx, a, distribution=dist)
+        b_b = sess.buffer_from(ctx, b)
+        b_c = sess.buffer_from(ctx, c, distribution=dist)
+        prog = sess.program(ctx, MATMUL)
+        queue = sess.queue(ctx, sess.devices[0])
+        kern = sess.kernel(prog, "matmul", b_a, b_b, b_c,
+                           np.int32(n), np.int32(n))
+        sess.enqueue(queue, kern, (n, n))
+        sess.finish(queue)
+        out = sess.read_array(queue, b_c, np.float32).reshape(n, n)
+        launches = sess.cl.launches
+        relayed = sess.cl.icd.bytes_host_relayed
+
+    assert np.allclose(out, a @ b, atol=1e-3)
+    print("%dx%d matmul sharded over %d nodes: correct "
+          "(%d sub-launches, %d bytes host-relayed)"
+          % (n, n, nodes, launches, relayed))
+
+
+def serving_level(n=64, cap=32768):
+    rng = np.random.default_rng(11)
+    a = rng.standard_normal((n, n)).astype(np.float32)
+    b = rng.standard_normal((n, n)).astype(np.float32)
+    c = np.zeros((n, n), dtype=np.float32)
+    job = Job("alice", MATMUL, "matmul",
+              [a, b, c, np.int32(n), np.int32(n)], (n, n))
+    print("job footprint %d B, per-node residency table %d B"
+          % (job.footprint_bytes, cap))
+
+    with HaoCLSession(gpu_nodes=3, mode="real", transport="sim",
+                      dmp_capacity_bytes=cap) as sess:
+        with HaoCLService(sess, shard=True, ooc=True) as service:
+            service.submit(job)
+            service.run()
+            stats = service.shard_stats()
+
+    report = job.shard_report
+    print("admitted sharded: %d shards on nodes %s (%s)"
+          % (report["shards"], report["nodes"], report["distribution"]))
+    print("scatter %d B, gather %d B, %d sub-launches; shard admits: %d"
+          % (report["scatter_bytes"], report["gather_bytes"],
+             report["sublaunches"], stats["shard_admits"]))
+    assert np.allclose(job.result["C"].reshape(n, n), a @ b, atol=1e-3)
+
+
+def main():
+    session_level()
+    serving_level()
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,8 @@ though every message exchange is synchronous.
 import itertools
 import threading
 
+import numpy as np
+
 from repro.clc.analysis import classify_param_access
 from repro.clc.interp import LocalMem
 from repro.cluster.dmp import DataManagementProcess
@@ -460,6 +462,7 @@ class NodeManagementProcess(NodeHandler):
             "dmp_fetch",
             queue=payload["src_queue"], buffer=payload["src_buffer"],
             nbytes=nbytes, synthetic=synthetic,
+            offset=payload.get("src_offset", 0),
         )
         # the peer's dmp_fetch span must land in the same trace as the
         # pull that caused it
@@ -472,7 +475,8 @@ class NodeManagementProcess(NodeHandler):
             event = self._modeled_transfer_event(queue, nbytes, "dmp_pull")
         else:
             event = self.runtime.enqueue_write_buffer(
-                queue, buffer, response.payload["data"]
+                queue, buffer, response.payload["data"],
+                payload.get("dst_offset", 0),
             )
         ready = self._charge(queue.device, event, now_s)
         ready = max(ready, now_s + wire_s)
@@ -500,7 +504,7 @@ class NodeManagementProcess(NodeHandler):
             data = None
         else:
             data, event = self.runtime.enqueue_read_buffer(
-                queue, buffer, nbytes, 0
+                queue, buffer, nbytes, payload.get("src_offset", 0)
             )
         request = Message.request(
             "dmp_store",
@@ -508,6 +512,7 @@ class NodeManagementProcess(NodeHandler):
             nbytes=nbytes, synthetic=synthetic, data=data,
             clean=payload.get("clean", False),
             virtual_nbytes=nbytes if synthetic else 0,
+            offset=payload.get("dst_offset", 0),
         )
         request.trace = self._incoming_trace()
         response, wire_s = self.dmp.peer_call(
@@ -537,7 +542,9 @@ class NodeManagementProcess(NodeHandler):
                              node=self.node_id)
             return {"nbytes": nbytes, "virtual_nbytes": nbytes,
                     "duration_s": event.duration_s}, ready
-        data, event = self.runtime.enqueue_read_buffer(queue, buffer, nbytes, 0)
+        data, event = self.runtime.enqueue_read_buffer(
+            queue, buffer, nbytes, payload.get("offset", 0)
+        )
         ready = self._charge(queue.device, event, now_s)
         self._trace_span("dmp.fetch", now_s, ready, nbytes=nbytes,
                          node=self.node_id)
@@ -553,7 +560,7 @@ class NodeManagementProcess(NodeHandler):
             event = self._modeled_transfer_event(queue, nbytes, "dmp_store")
         else:
             event = self.runtime.enqueue_write_buffer(
-                queue, buffer, payload["data"]
+                queue, buffer, payload["data"], payload.get("offset", 0)
             )
         ready = self._charge(queue.device, event, now_s)
         self.dmp.table.touch(payload["buffer"])
@@ -562,6 +569,38 @@ class NodeManagementProcess(NodeHandler):
         else:
             self.dmp.table.mark_dirty(payload["buffer"])
         self._trace_span("dmp.store", now_s, ready, nbytes=nbytes,
+                         node=self.node_id)
+        return {"nbytes": nbytes, "duration_s": event.duration_s}, ready
+
+    _REDUCE_OPS = {"sum": np.add, "max": np.maximum, "min": np.minimum}
+
+    def _op_reduce_buffer(self, payload, now_s):
+        """Device-side reduce: fold ``src`` into ``dst`` elementwise
+        (``dst = op(dst, src)``), the node-local leg of a host-planned
+        reduce collective -- peer partials arrive over ``dmp_store``
+        and collapse here, so the data never takes a host round trip."""
+        queue = self._tables["queue"].get(payload["queue"])
+        dst = self._tables["buffer"].get(payload["dst"])
+        src = self._tables["buffer"].get(payload["src"])
+        fold = self._REDUCE_OPS.get(payload.get("op", "sum"))
+        if fold is None:
+            raise CLError(enums.CL_INVALID_VALUE,
+                          "unknown reduce op %r" % (payload.get("op"),))
+        nbytes = int(payload.get("nbytes") or min(dst.size, src.size))
+        if dst.synthetic or src.synthetic:
+            event = self._modeled_transfer_event(queue, nbytes,
+                                                 "reduce_buffer")
+        else:
+            dtype = np.dtype(payload.get("dtype", "float32"))
+            left = dst.read(nbytes, 0).view(dtype)
+            right = src.read(nbytes, 0).view(dtype)
+            event = self.runtime.enqueue_write_buffer(
+                queue, dst, fold(left, right).view(np.uint8)
+            )
+        ready = self._charge(queue.device, event, now_s)
+        self.dmp.table.touch(payload["dst"])
+        self.dmp.table.mark_dirty(payload["dst"])
+        self._trace_span("nmp.reduce", now_s, ready, nbytes=nbytes,
                          node=self.node_id)
         return {"nbytes": nbytes, "duration_s": event.duration_s}, ready
 

@@ -44,7 +44,15 @@ def weighted_ranges(total, weights):
     """Contiguous (start, count) ranges proportional to ``weights``.
 
     Rounds with the largest-remainder method so counts sum exactly to
-    ``total`` and no device receives a negative share.
+    ``total`` and no device receives a negative share.  Invariants the
+    cross-node sharding layer depends on (property-tested):
+
+    - *exact cover*: counts sum to ``total`` with no gap or overlap;
+    - *order-preserving*: range ``i`` starts where ``i-1`` ended;
+    - *zero weight means zero work*: remainder units are only handed to
+      positive-weight entries (a dead device must never receive items);
+    - *deterministic*: ties in the remainders break by index, so the
+      same inputs always yield the same split on every host.
     """
     if not weights:
         raise ValueError("no weights")
@@ -57,7 +65,9 @@ def weighted_ranges(total, weights):
     counts = [int(value) for value in exact]
     remainders = [value - count for value, count in zip(exact, counts)]
     shortfall = total - sum(counts)
-    for index in sorted(range(len(weights)), key=lambda i: -remainders[i])[:shortfall]:
+    eligible = [i for i in range(len(weights)) if weights[i] > 0]
+    eligible.sort(key=lambda i: (-remainders[i], i))
+    for index in eligible[:shortfall]:
         counts[index] += 1
     ranges = []
     start = 0

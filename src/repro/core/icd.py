@@ -61,6 +61,10 @@ ICD_COUNTERS = {
     "dmp_replicas": "Replica pushes made for k>1 placement",
     "dmp_replica_bytes": "Payload bytes of those replica pushes",
     "dmp_drains": "Buffers drained back to the host on graceful leave",
+    "dmp_halo_exchanges": "Halo-region transfers between shard owners",
+    "dmp_halo_bytes": "Payload bytes of those halo transfers",
+    "dmp_reduces": "Device-side reduce folds of peer partials",
+    "dmp_reduce_bytes": "Payload bytes folded by reduce collectives",
 }
 
 #: default budget for each node's content-dedup cache of retained replicas
@@ -594,6 +598,108 @@ class ICDDispatcher:
             self.bump("dmp_replica_bytes", buffer.size)
             made += 1
         return made
+
+    # -- sharded collectives (host-planned, node-executed) ---------------------
+
+    def push_region(self, src_buffer, dst_buffer, src_node, dst_node,
+                    nbytes, src_offset=0, dst_offset=0):
+        """Move a byte region between two buffers' node replicas: one
+        host-planned offset ``dmp_push`` over the peer link, or -- when
+        the peer data plane is off -- a host-relayed read/write pair
+        (counted in ``bytes_host_relayed``; the dmp-on path moves zero
+        bytes through the host NIC).  The sharded layers build halo
+        exchange and reduce scatter chains out of this primitive."""
+        nbytes = int(nbytes)
+        if nbytes <= 0:
+            return
+        src_handle = self.buffer_replica(src_buffer, src_node)
+        dst_handle = self.buffer_replica(dst_buffer, dst_node)
+        src_device = self._any_device_on(src_buffer.context, src_node)
+        dst_device = self._any_device_on(dst_buffer.context, dst_node)
+        src_queue = self.node_queue(src_buffer.context, src_device)
+        dst_queue = self.node_queue(dst_buffer.context, dst_device)
+        if self.dmp_enabled:
+            self.host.call(
+                src_node, "dmp_push",
+                queue=src_queue, buffer=src_handle,
+                dst_node=dst_node, dst_queue=dst_queue,
+                dst_buffer=dst_handle, nbytes=nbytes,
+                synthetic=src_buffer.synthetic or dst_buffer.synthetic,
+                clean=False,
+                src_offset=int(src_offset), dst_offset=int(dst_offset),
+                dst_addr=self.host.peer_addr(dst_node),
+            )
+            self.bump("dmp_bytes_p2p", nbytes)
+            self.bump("dmp_transfers")
+            # the region diverges from the destination's host shadow
+            dst_buffer.fresh.discard(HOST)
+        else:
+            payload = self.host.call(
+                src_node, "read_buffer",
+                queue=src_queue, buffer=src_handle,
+                nbytes=nbytes, offset=int(src_offset),
+                synthetic_ack=src_buffer.synthetic,
+            )
+            if not dst_buffer.synthetic and not src_buffer.synthetic:
+                raw = np.asarray(payload["data"]).view(np.uint8).reshape(-1)
+                # through the host shadow, so HOST freshness survives
+                dst_buffer.shadow[dst_offset:dst_offset + nbytes] = raw
+                self.host.call(
+                    dst_node, "write_buffer",
+                    queue=dst_queue, buffer=dst_handle,
+                    data=raw, offset=int(dst_offset),
+                )
+            else:
+                self.host.call(
+                    dst_node, "write_synthetic",
+                    queue=dst_queue, buffer=dst_handle, nbytes=nbytes,
+                    virtual_nbytes=nbytes,
+                )
+            self.bump("bytes_host_relayed", nbytes)
+        dst_buffer.fresh.add(dst_node)
+        self.bump("transfer_count")
+
+    def exchange_halos(self, transfers):
+        """Run a host-planned halo-exchange round: each transfer is a
+        dict with ``src``/``dst`` buffers, ``src_node``/``dst_node``
+        owners, ``nbytes`` and the two offsets.  Returns the total
+        payload bytes moved.  With the DMP on, every region travels
+        peer-to-peer (``bytes_host_relayed`` stays untouched)."""
+        moved = 0
+        for transfer in transfers:
+            self.push_region(
+                transfer["src"], transfer["dst"],
+                transfer["src_node"], transfer["dst_node"],
+                transfer["nbytes"],
+                src_offset=transfer.get("src_offset", 0),
+                dst_offset=transfer.get("dst_offset", 0),
+            )
+            moved += int(transfer["nbytes"])
+            self.bump("dmp_halo_exchanges")
+        self.bump("dmp_halo_bytes", moved)
+        return moved
+
+    def reduce_into(self, dst, sources, device, dtype="float32", op="sum",
+                    nbytes=None):
+        """Fold peer partials into ``dst`` on ``device``'s node: each
+        source is made fresh there (peer pull when it lives elsewhere),
+        then collapsed device-side (``reduce_buffer``) without a host
+        round trip for the data.  ``dst`` ends owned by the node."""
+        node_id = device.node_id
+        queue = self.node_queue(dst.context, device)
+        dst_handle = self.ensure_fresh(dst, device)
+        nbytes = dst.size if nbytes is None else int(nbytes)
+        for source in sources:
+            src_handle = self.ensure_fresh(source, device)
+            self.host.call(
+                node_id, "reduce_buffer",
+                queue=queue, dst=dst_handle, src=src_handle,
+                nbytes=min(nbytes, source.size), dtype=str(dtype), op=op,
+            )
+            self.bump("dmp_reduces")
+            self.bump("dmp_reduce_bytes", min(nbytes, source.size))
+        dst.fresh = {node_id}
+        return dst_handle
 
     def read_to_host(self, buffer):
         """Host-side clEnqueueReadBuffer: returns the shadow bytes."""

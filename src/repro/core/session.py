@@ -27,13 +27,21 @@ class HaoCLSession:
                  vectorize=True, dmp=True, dmp_capacity_bytes=None,
                  dedup_cache_bytes=None, chaos=None,
                  heartbeat_interval_s=None, heartbeat_timeout_s=None,
-                 telemetry=None, trace=False, log_level=None, ooc=True):
+                 telemetry=None, trace=False, log_level=None, ooc=True,
+                 shard=False):
         if log_level is not None:
             configure_logging(log_level)
         #: default for services built on this session: admit jobs whose
         #: working set exceeds node residency in degraded mode (chunked
         #: out-of-core streaming) instead of refusing them
         self.ooc = bool(ooc)
+        #: default for services built on this session: admit jobs whose
+        #: working set exceeds a single node by sharding their buffers
+        #: across nodes (owner-computes data parallelism) before falling
+        #: back to out-of-core streaming.  Opt-in: sharded launches hold
+        #: every shard resident at once, so only clusters with headroom
+        #: should prefer it.
+        self.shard = bool(shard)
         if config is None and host is None:
             config = ClusterConfig.build(
                 gpu_nodes=gpu_nodes, fpga_nodes=fpga_nodes,
@@ -86,18 +94,29 @@ class HaoCLSession:
 
     # -- typed buffers ------------------------------------------------------------
 
-    def buffer_from(self, context, array, flags=enums.CL_MEM_READ_WRITE):
-        """Create and fill a buffer from a NumPy array."""
+    def buffer_from(self, context, array, flags=enums.CL_MEM_READ_WRITE,
+                    distribution=None):
+        """Create and fill a buffer from a NumPy array.
+
+        ``distribution`` (a :class:`repro.core.sharding.Distribution`)
+        marks the buffer as sharded across nodes; launches binding it
+        fan out per-shard to the owning nodes.
+        """
         array = np.ascontiguousarray(array)
         return self.cl.create_buffer(context, flags, array.nbytes,
-                                     host_data=array)
+                                     host_data=array,
+                                     distribution=distribution)
 
-    def empty_buffer(self, context, nbytes, flags=enums.CL_MEM_READ_WRITE):
-        return self.cl.create_buffer(context, flags, nbytes)
+    def empty_buffer(self, context, nbytes, flags=enums.CL_MEM_READ_WRITE,
+                     distribution=None):
+        return self.cl.create_buffer(context, flags, nbytes,
+                                     distribution=distribution)
 
-    def synthetic_buffer(self, context, nbytes, flags=enums.CL_MEM_READ_WRITE):
+    def synthetic_buffer(self, context, nbytes, flags=enums.CL_MEM_READ_WRITE,
+                         distribution=None):
         """Size-only buffer for paper-scale modeled runs."""
-        return self.cl.create_buffer(context, flags, nbytes, synthetic=True)
+        return self.cl.create_buffer(context, flags, nbytes, synthetic=True,
+                                     distribution=distribution)
 
     def read_array(self, queue, buffer, dtype, shape=None, count=None):
         """Read a buffer back as a typed NumPy array.
@@ -143,6 +162,13 @@ class HaoCLSession:
 
     def finish(self, queue):
         return self.cl.finish(queue)
+
+    def exchange_shard_halos(self, context, buffer, extent, written=True):
+        """Refresh a distributed buffer's halo overlap between sharded
+        launches (peer-to-peer over the DMP fabric); returns the payload
+        bytes moved."""
+        return self.cl.exchange_shard_halos(context, buffer, extent,
+                                            written=written)
 
     # -- fault tolerance / elasticity -----------------------------------------
 

@@ -1,0 +1,609 @@
+"""Distribution-aware sharding: one buffer, many nodes.
+
+HaoCL's single-system illusion stops at node boundaries as long as a
+buffer must live whole on one node.  This module is the core-layer half
+of cross-node data parallelism, following HDArray's distributed-array
+interface: a :class:`Distribution` describes how a buffer (and the
+NDRange axis it backs) spreads over nodes -- ``single`` (the classic
+whole-buffer placement), ``block`` (contiguous spans, optionally
+throughput-weighted via :func:`repro.core.autopart.weighted_ranges`) or
+``cyclic`` (round-robined fixed-size blocks) -- with an optional halo
+width for stencil-style neighbourhoods.
+
+The *argument rule* vocabulary (:class:`Partition`, :class:`Replicate`,
+:class:`CSRData`, :class:`CSRPointer`, :class:`ChunkLength`,
+:class:`ChunkOrigin`, :class:`ChunkSpec`) lives here rather than in the
+serving layer because both consumers need it: the out-of-core streamer
+(:mod:`repro.serve.ooc`, which re-exports these names) tiles *time*
+with it, and the shard planner below tiles *space* -- the same
+libhclooc-style annotations answer "which slice of each argument does
+axis range ``[lo, hi)`` need" in both cases.
+
+:func:`plan_shards` maps a job onto owner nodes (owner-computes: the
+node holding a shard runs that shard's sub-launch), sized against each
+node's residency capacity so the *aggregate* cluster admits jobs no
+single node could hold.  :func:`shard_args` materialises one shard's
+argument list, handling multi-span (cyclic) shards by concatenating
+windows -- CSR row pointers are rebased cumulatively across spans, so
+spmv shards bit-identically under any distribution.
+"""
+
+import hashlib
+
+import numpy as np
+
+from repro.core.autopart import weighted_ranges
+
+HOST = "host"
+
+
+# -- argument rules ------------------------------------------------------------
+
+
+class Replicate:
+    """Every shard/chunk needs the whole argument resident."""
+
+    def __repr__(self):
+        return "Replicate()"
+
+
+class Partition:
+    """``stride`` elements per axis index.
+
+    ``stride`` is an element count, or ``stride_arg`` names the scalar
+    argument index holding it (matmul's row length ``n``).
+    """
+
+    def __init__(self, stride=1, stride_arg=None):
+        if stride_arg is None and int(stride) <= 0:
+            raise ValueError("stride must be positive")
+        self.stride = int(stride)
+        self.stride_arg = stride_arg
+
+    def resolve_stride(self, args):
+        if self.stride_arg is not None:
+            return int(args[self.stride_arg])
+        return self.stride
+
+    def __repr__(self):
+        if self.stride_arg is not None:
+            return "Partition(stride_arg=%d)" % self.stride_arg
+        return "Partition(stride=%d)" % self.stride
+
+
+class CSRData:
+    """CSR values/columns: axis range ``[lo, hi)`` needs elements
+    ``[ptr[lo], ptr[hi])`` of this array, where ``ptr`` is the argument
+    index of the row-pointer array."""
+
+    def __init__(self, ptr):
+        self.ptr = int(ptr)
+
+    def __repr__(self):
+        return "CSRData(ptr=%d)" % self.ptr
+
+
+class CSRPointer:
+    """The CSR row-pointer array itself: range ``[lo, hi)`` ships
+    ``ptr[lo:hi+1] - ptr[lo]`` (rebased, like the spmv host program)."""
+
+    def __repr__(self):
+        return "CSRPointer()"
+
+
+class ChunkLength:
+    """Scalar rewritten to the local axis extent (``hi - lo``)."""
+
+    def __repr__(self):
+        return "ChunkLength()"
+
+
+class ChunkOrigin:
+    """Scalar rewritten to the absolute axis origin (``lo``), the
+    ``coffset`` idiom of the cfd kernels.  Incompatible with cyclic
+    distributions (a multi-span shard has no single origin)."""
+
+    def __repr__(self):
+        return "ChunkOrigin()"
+
+
+class ChunkSpec:
+    """How one kernel's arguments map onto a partitioned axis.
+
+    ``axis`` indexes the NDRange dimension being split; ``rules`` maps
+    argument index -> rule.  Array arguments without a rule default to
+    :class:`Replicate`, scalars to passthrough.
+    """
+
+    def __init__(self, axis, rules):
+        self.axis = int(axis)
+        self.rules = dict(rules)
+
+    def rule_for(self, index, value):
+        rule = self.rules.get(index)
+        if rule is None and isinstance(value, np.ndarray):
+            return Replicate()
+        return rule
+
+
+#: kernel name -> ChunkSpec.  The built-ins below are the annotation
+#: table for this repo's acceptance workloads; tenants with their own
+#: kernels call :func:`register_chunk_spec`.
+_SPECS = {}
+
+
+def register_chunk_spec(kernel_name, spec):
+    """Declare how ``kernel_name`` partitions (libhclooc-style)."""
+    _SPECS[kernel_name] = spec
+    return spec
+
+
+def chunk_spec_for(kernel_name):
+    return _SPECS.get(kernel_name)
+
+
+# matmul(A, B, C, n, rows) over an (n, rows) NDRange: rows partition,
+# B replicates, the ``rows`` bound becomes the local height.
+register_chunk_spec("matmul", ChunkSpec(axis=1, rules={
+    0: Partition(stride_arg=3),   # A: n elements per row
+    1: Replicate(),               # B: every shard reads all columns
+    2: Partition(stride_arg=3),   # C: n elements per row (written)
+    4: ChunkLength(),             # rows bound
+}))
+
+# spmv_csr(row_ptr, cols, vals, x, y, nrows) over (nrows,): CSR rows
+# partition with a rebased pointer slice and a replicated x.
+register_chunk_spec("spmv_csr", ChunkSpec(axis=0, rules={
+    0: CSRPointer(),
+    1: CSRData(ptr=0),            # cols
+    2: CSRData(ptr=0),            # vals
+    3: Replicate(),               # x: gathered by global column id
+    4: Partition(stride=1),       # y (written)
+    5: ChunkLength(),             # nrows bound
+}))
+
+# cfd_step_factor(variables, areas, step_factors, ncells) over
+# (ncells,): 5 conserved variables per cell.
+register_chunk_spec("cfd_step_factor", ChunkSpec(axis=0, rules={
+    0: Partition(stride=5),
+    1: Partition(stride=1),
+    2: Partition(stride=1),       # step_factors (written)
+    3: ChunkLength(),
+}))
+
+
+# -- shared slicing helpers ----------------------------------------------------
+
+
+def _flat(value):
+    return np.ascontiguousarray(value).reshape(-1)
+
+
+def _window_bytes(job, rule, value, lo, hi, origin):
+    """Slice bytes of one argument for axis range ``[lo, hi)``; None
+    when the rule replicates (shared across shards/chunks)."""
+    itemsize = value.dtype.itemsize
+    if isinstance(rule, Partition):
+        stride = rule.resolve_stride(job.args)
+        return (hi - lo) * stride * itemsize
+    if isinstance(rule, CSRPointer):
+        return (hi - lo + 1) * itemsize
+    if isinstance(rule, CSRData):
+        ptr = _flat(job.args[rule.ptr])
+        return int(ptr[hi - origin] - ptr[lo - origin]) * itemsize
+    return None
+
+
+def _replicated_bytes(job, spec):
+    total = 0
+    for index, value in enumerate(job.args):
+        if not isinstance(value, np.ndarray):
+            continue
+        if isinstance(spec.rule_for(index, value), Replicate):
+            total += value.nbytes
+    return total
+
+
+def _windows_valid(job, spec, origin, extent):
+    """The spec's windows must exactly cover every partitioned array;
+    a mismatch means the spec does not describe this job's shapes."""
+    for index, value in enumerate(job.args):
+        if not isinstance(value, np.ndarray):
+            continue
+        rule = spec.rule_for(index, value)
+        n = _flat(value).size
+        if isinstance(rule, Partition):
+            if extent * rule.resolve_stride(job.args) > n:
+                return False
+        elif isinstance(rule, CSRPointer):
+            if n < extent + 1:
+                return False
+        elif isinstance(rule, CSRData):
+            ptr = _flat(job.args[rule.ptr])
+            if ptr.size < extent + 1 or int(ptr[extent]) > n or int(ptr[0]) < 0:
+                return False
+    return True
+
+
+def _rewrite_scalar(value, new):
+    if isinstance(value, np.generic):
+        return value.dtype.type(new)
+    return type(value)(new)
+
+
+def _digest(array):
+    return hashlib.sha1(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+# -- distributions -------------------------------------------------------------
+
+
+class Distribution:
+    """How a buffer (and its NDRange axis) spreads over nodes.
+
+    - ``single``: the whole buffer on one node (the classic placement).
+    - ``block``: contiguous spans, one per node, split with the same
+      largest-remainder machinery devices use
+      (:func:`repro.core.autopart.weighted_ranges`) so a weighted split
+      never hands a dead node work.
+    - ``cyclic``: fixed-size blocks of ``block`` axis indices dealt
+      round-robin -- shard ``i`` owns blocks ``i, i+n, i+2n, ...``.
+
+    ``halo`` widens each shard's *read* windows by that many axis
+    indices on each side; :meth:`repro.core.icd.ICDDispatcher.
+    exchange_halos` refreshes the overlap peer-to-peer between
+    iterations.
+    """
+
+    SINGLE = "single"
+    BLOCK = "block"
+    CYCLIC = "cyclic"
+
+    __slots__ = ("kind", "halo", "block_size")
+
+    def __init__(self, kind=SINGLE, halo=0, block_size=1):
+        if kind not in (self.SINGLE, self.BLOCK, self.CYCLIC):
+            raise ValueError("unknown distribution kind %r" % (kind,))
+        if int(halo) < 0:
+            raise ValueError("halo must be >= 0")
+        if int(block_size) <= 0:
+            raise ValueError("block_size must be positive")
+        self.kind = kind
+        self.halo = int(halo)
+        self.block_size = int(block_size)
+
+    @classmethod
+    def single(cls):
+        return cls(cls.SINGLE)
+
+    @classmethod
+    def block(cls, halo=0):
+        return cls(cls.BLOCK, halo=halo)
+
+    @classmethod
+    def cyclic(cls, block_size=1, halo=0):
+        return cls(cls.CYCLIC, halo=halo, block_size=block_size)
+
+    @property
+    def sharded(self):
+        return self.kind != self.SINGLE
+
+    def __eq__(self, other):
+        return (isinstance(other, Distribution)
+                and self.kind == other.kind
+                and self.halo == other.halo
+                and self.block_size == other.block_size)
+
+    def __hash__(self):
+        return hash((self.kind, self.halo, self.block_size))
+
+    def __repr__(self):
+        extra = ""
+        if self.halo:
+            extra += ", halo=%d" % self.halo
+        if self.kind == self.CYCLIC and self.block_size != 1:
+            extra += ", block_size=%d" % self.block_size
+        return "Distribution(%s%s)" % (self.kind, extra)
+
+
+def shard_spans(extent, nshards, distribution, weights=None):
+    """Per-shard lists of half-open axis spans ``[(lo, hi), ...]``.
+
+    The spans of all shards exactly tile ``[0, extent)`` without overlap
+    (property-tested), are order-preserving within each shard, and are
+    deterministic for the same inputs.  A zero-weight shard gets an
+    empty span list.
+    """
+    extent = int(extent)
+    nshards = int(nshards)
+    if extent < 0:
+        raise ValueError("extent must be >= 0")
+    if nshards < 1:
+        raise ValueError("need at least one shard")
+    if nshards == 1 or not distribution.sharded:
+        return [[(0, extent)] if extent else []]
+    if distribution.kind == Distribution.BLOCK:
+        if weights is None:
+            weights = [1] * nshards
+        if len(weights) != nshards:
+            raise ValueError("want %d weights, got %d"
+                             % (nshards, len(weights)))
+        return [
+            [(start, start + count)] if count else []
+            for start, count in weighted_ranges(extent, weights)
+        ]
+    # cyclic: deal fixed-size blocks round-robin
+    size = distribution.block_size
+    spans = [[] for _ in range(nshards)]
+    nblocks = -(-extent // size) if extent else 0
+    for j in range(nblocks):
+        lo, hi = j * size, min((j + 1) * size, extent)
+        owner = spans[j % nshards]
+        if owner and owner[-1][1] == lo:
+            owner[-1] = (owner[-1][0], hi)
+        else:
+            owner.append((lo, hi))
+    return spans
+
+
+# -- the shard plan ------------------------------------------------------------
+
+
+class Shard:
+    """One node's slice of a sharded launch: the axis spans it owns
+    (one for block, several for cyclic), plus working-set accounting."""
+
+    __slots__ = ("index", "node_id", "spans", "rows", "part_bytes",
+                 "ws_bytes")
+
+    def __init__(self, index, node_id, spans, rows, part_bytes, ws_bytes):
+        self.index = index
+        self.node_id = node_id
+        self.spans = tuple(tuple(span) for span in spans)
+        self.rows = rows
+        #: the shard-private slice bytes (partitioned windows + halo)
+        self.part_bytes = part_bytes
+        #: bytes resident on the owner while the shard runs
+        self.ws_bytes = ws_bytes
+
+    def __repr__(self):
+        return "Shard(#%d on %s, %d rows over %d spans, %d B)" % (
+            self.index, self.node_id, self.rows, len(self.spans),
+            self.ws_bytes,
+        )
+
+
+class ShardPlan:
+    """An owner-computes schedule: one shard per participating node,
+    each sized to fit that node's residency capacity, together covering
+    the whole NDRange axis."""
+
+    def __init__(self, kernel_name, axis, extent, distribution, shards,
+                 capacities, replicated_bytes, total_bytes):
+        self.kernel_name = kernel_name
+        self.axis = axis
+        self.extent = extent
+        self.distribution = distribution
+        self.shards = shards
+        #: node id -> capacity the plan was sized against (None = uncapped)
+        self.capacities = dict(capacities)
+        self.replicated_bytes = replicated_bytes
+        self.total_bytes = total_bytes
+
+    @property
+    def nshards(self):
+        return len(self.shards)
+
+    @property
+    def nodes(self):
+        return [shard.node_id for shard in self.shards]
+
+    @property
+    def max_shard_bytes(self):
+        return max(shard.ws_bytes for shard in self.shards)
+
+    def describe(self):
+        return {
+            "kernel": self.kernel_name,
+            "axis": self.axis,
+            "extent": self.extent,
+            "distribution": repr(self.distribution),
+            "shards": self.nshards,
+            "nodes": self.nodes,
+            "replicated_bytes": self.replicated_bytes,
+            "max_shard_bytes": self.max_shard_bytes,
+            "total_bytes": self.total_bytes,
+        }
+
+    def __repr__(self):
+        return "ShardPlan(%s, %d shards over %s, %r)" % (
+            self.kernel_name, self.nshards, self.nodes, self.distribution,
+        )
+
+
+def _spans_part_bytes(job, spec, spans, halo, extent):
+    """Shard-private slice bytes over (possibly several) spans, read
+    windows conservatively widened by ``halo`` on each side."""
+    total = 0
+    for index, value in enumerate(job.args):
+        if not isinstance(value, np.ndarray):
+            continue
+        rule = spec.rule_for(index, value)
+        for lo, hi in spans:
+            if halo and isinstance(rule, Partition):
+                lo, hi = max(0, lo - halo), min(extent, hi + halo)
+            nbytes = _window_bytes(job, rule, value, lo, hi, 0)
+            if nbytes is None:
+                break  # replicated: accounted once, not per shard
+            total += nbytes
+    return total
+
+
+def plan_shards(job, node_capacities, distribution=None):
+    """Map ``job`` onto owner nodes as a :class:`ShardPlan`, or None.
+
+    ``node_capacities`` is an ordered mapping node id -> residency
+    capacity in bytes (None = uncapped).  The planner uses the smallest
+    node count (>= 2) whose shards all fit their owners -- block spans
+    weighted by capacity when capacities differ, equal otherwise --
+    and refuses kernels whose spec it cannot rebase (no spec, windows
+    that do not cover the arrays, :class:`ChunkOrigin` under a
+    multi-span cyclic split).  Deterministic for the same inputs.
+    """
+    spec = chunk_spec_for(job.kernel_name)
+    if spec is None:
+        return None
+    dist = distribution if distribution is not None else Distribution.block()
+    if not dist.sharded:
+        return None
+    gsize = tuple(int(d) for d in job.global_size)
+    if spec.axis >= len(gsize):
+        return None
+    extent = gsize[spec.axis]
+    if extent < 2:
+        return None
+    if not _windows_valid(job, spec, 0, extent):
+        return None
+    nodes = list(node_capacities)
+    if len(nodes) < 2:
+        return None
+    has_origin = any(isinstance(rule, ChunkOrigin)
+                     for rule in spec.rules.values())
+    replicated = _replicated_bytes(job, spec)
+    for nshards in range(2, len(nodes) + 1):
+        use = nodes[:nshards]
+        caps = [node_capacities[node] for node in use]
+        weights = None
+        if (dist.kind == Distribution.BLOCK
+                and all(cap is not None for cap in caps)
+                and len(set(caps)) > 1):
+            weights = caps
+        spans_per = shard_spans(extent, nshards, dist, weights=weights)
+        if has_origin and any(len(spans) > 1 for spans in spans_per):
+            return None  # no single origin to rebase against
+        shards = []
+        fits = True
+        for node, cap, spans in zip(use, caps, spans_per):
+            rows = sum(hi - lo for lo, hi in spans)
+            if rows == 0:
+                continue
+            part = _spans_part_bytes(job, spec, spans, dist.halo, extent)
+            ws = replicated + part
+            if cap is not None and ws > cap:
+                fits = False
+                break
+            shards.append(Shard(len(shards), node, spans, rows, part, ws))
+        if not fits or len(shards) < 2:
+            continue
+        return ShardPlan(
+            job.kernel_name, spec.axis, extent, dist, shards,
+            node_capacities, replicated, job.footprint_bytes,
+        )
+    return None
+
+
+def shard_count_hint(job, node_capacities, distribution=None):
+    """How many shards would have admitted ``job`` across the cluster
+    -- the actionable half of a ``JobTooLarge`` message; None when the
+    job cannot be sharded at all."""
+    plan = plan_shards(job, node_capacities, distribution=distribution)
+    return None if plan is None else plan.nshards
+
+
+def shard_args(job, plan, shard, written=()):
+    """Materialise shard ``shard``'s argument list.
+
+    Returns ``(args, windows)`` where ``args`` aligns with the kernel
+    signature (sliced arrays, rewritten scalars) and ``windows`` maps
+    argument index -> the list of flat element windows ``[(start,
+    stop), ...]`` the slice occupies in the full array (several windows
+    for cyclic shards; None for replicated arguments).  Outputs
+    reassemble by scattering each window back in order.
+
+    ``written`` lists the written argument indices: halo widening only
+    applies to *read* partition windows (owner-computes -- each shard
+    writes exactly its own rows).
+    """
+    spec = chunk_spec_for(job.kernel_name)
+    halo = plan.distribution.halo
+    extent = plan.extent
+    args = []
+    windows = {}
+    for index, value in enumerate(job.args):
+        if not isinstance(value, np.ndarray):
+            rule = spec.rules.get(index)
+            if isinstance(rule, ChunkLength):
+                args.append(_rewrite_scalar(value, shard.rows))
+            elif isinstance(rule, ChunkOrigin):
+                args.append(_rewrite_scalar(value, shard.spans[0][0]))
+            else:
+                args.append(value)
+            continue
+        rule = spec.rule_for(index, value)
+        flat = _flat(value)
+        if isinstance(rule, Partition):
+            stride = rule.resolve_stride(job.args)
+            spans = shard.spans
+            if halo and index not in written:
+                spans = [(max(0, lo - halo), min(extent, hi + halo))
+                         for lo, hi in spans]
+            wins = [(lo * stride, hi * stride) for lo, hi in spans]
+            pieces = [flat[start:stop] for start, stop in wins]
+            args.append(pieces[0] if len(pieces) == 1
+                        else np.ascontiguousarray(np.concatenate(pieces)))
+            windows[index] = wins
+        elif isinstance(rule, CSRPointer):
+            # rebased per span, cumulative across spans, so the shard's
+            # local pointer array indexes its concatenated data windows
+            parts = []
+            base = 0
+            for lo, hi in shard.spans:
+                segment = flat[lo:hi + 1] - int(flat[lo]) + base
+                parts.append(segment if not parts else segment[1:])
+                base = int(segment[-1])
+            args.append(np.ascontiguousarray(
+                parts[0] if len(parts) == 1 else np.concatenate(parts)))
+            windows[index] = [(lo, hi + 1) for lo, hi in shard.spans]
+        elif isinstance(rule, CSRData):
+            ptr = _flat(job.args[rule.ptr])
+            wins = [(int(ptr[lo]), int(ptr[hi])) for lo, hi in shard.spans]
+            pieces = [flat[start:stop] for start, stop in wins]
+            args.append(pieces[0] if len(pieces) == 1
+                        else np.ascontiguousarray(np.concatenate(pieces)))
+            windows[index] = wins
+        else:
+            args.append(value)
+            windows[index] = None  # replicated: the whole array
+    return args, windows
+
+
+def halo_exchange_plan(extent, nshards, distribution):
+    """Host-planned halo refresh for a block distribution: the boundary
+    strips each shard owner pushes into its neighbours' widened read
+    windows after writing its rows.  Entries are axis-row tuples
+    ``(src_shard, dst_shard, lo, hi)``; empty for non-block or zero-halo
+    distributions (a cyclic shard's halo is its whole neighbourhood --
+    refreshing it is a reshard, not an exchange)."""
+    halo = distribution.halo
+    if not halo or distribution.kind != Distribution.BLOCK:
+        return []
+    spans_per = shard_spans(extent, nshards, distribution)
+    owners = [(index, spans[0])
+              for index, spans in enumerate(spans_per) if spans]
+    plan = []
+    for (i, (lo_i, hi_i)), (j, (lo_j, hi_j)) in zip(owners, owners[1:]):
+        # i's trailing rows feed j's leading halo, and vice versa
+        plan.append((i, j, max(lo_i, hi_i - halo), hi_i))
+        plan.append((j, i, lo_j, min(hi_j, lo_j + halo)))
+    return plan
+
+
+def scatter_windows(assembled, windows, out):
+    """Fold a shard's written output back into ``assembled`` by
+    walking its windows in order (the inverse of :func:`shard_args`)."""
+    position = 0
+    for start, stop in windows:
+        span = stop - start
+        assembled[start:stop] = out[position:position + span]
+        position += span
+    return position

@@ -20,6 +20,17 @@ from repro.clc.analysis import analyze_kernel, classify_param_access
 from repro.clc.errors import CLCError
 from repro.clc.interp import LocalMem
 from repro.core.icd import HOST, ICDDispatcher
+from repro.core.sharding import (
+    ChunkLength,
+    ChunkOrigin,
+    Distribution,
+    Partition,
+    Replicate,
+    _rewrite_scalar,
+    chunk_spec_for,
+    halo_exchange_plan,
+    shard_spans,
+)
 from repro.core.scheduler import Profiler, TaskContext, create_policy
 from repro.core.scheduler.base import SchedulingPolicy
 from repro.ocl import enums
@@ -93,7 +104,7 @@ class HBuffer:
     """
 
     def __init__(self, context, flags, size, host_data=None, synthetic=False,
-                 parent=None, origin=0):
+                 parent=None, origin=0, distribution=None):
         check(size > 0, enums.CL_INVALID_BUFFER_SIZE, "zero-size buffer")
         self.uid = next(_uids)
         self.context = context
@@ -102,6 +113,12 @@ class HBuffer:
         self.synthetic = synthetic
         self.parent = parent
         self.origin = int(origin)
+        #: how the buffer spreads over nodes (None = classic single
+        #: placement); a sharded distribution makes launches binding
+        #: this buffer fan out per-shard (owner-computes)
+        self.distribution = distribution
+        #: (origin, size) -> cached shard-view sub-buffer
+        self._shard_views = {}
         self.children = []
         #: children whose newest data lives on a remote node
         self.dirty_children = set()
@@ -350,8 +367,10 @@ class HaoCL:
     def create_queue(self, context, device, properties=0):
         return HQueue(context, device, properties)
 
-    def create_buffer(self, context, flags, size, host_data=None, synthetic=False):
-        return HBuffer(context, flags, size, host_data, synthetic)
+    def create_buffer(self, context, flags, size, host_data=None,
+                      synthetic=False, distribution=None):
+        return HBuffer(context, flags, size, host_data, synthetic,
+                       distribution=distribution)
 
     def create_sub_buffer(self, buffer, origin, size):
         """clCreateSubBuffer: a region view sharing the parent's host
@@ -548,6 +567,11 @@ class HaoCL:
         missing = [i for i in range(kernel.num_args) if i not in kernel.args]
         check(not missing, enums.CL_INVALID_KERNEL_ARGS,
               "unset args %r of %s" % (missing, kernel.name))
+        if any(isinstance(value, HBuffer) and value.distribution is not None
+               and value.distribution.sharded
+               for value in kernel.args.values()):
+            return self._enqueue_sharded(queue, kernel, global_size,
+                                         local_size, global_offset)
         task = self._build_task(queue, kernel, global_size)
         device = self.policy.select(task)
         check(device in task.candidates, enums.CL_INVALID_DEVICE,
@@ -567,6 +591,189 @@ class HaoCL:
         event = HEvent("ndrange:%s" % kernel.name, device, duration, tier=tier)
         queue.events.append(event)
         return event
+
+    # -- the sharded fan-out (owner-computes) -----------------------------------
+
+    def _shard_distribution(self, kernel):
+        """The one distribution a sharded launch runs under; mixing
+        distinct sharded distributions in one launch is an error."""
+        dists = []
+        for value in kernel.args.values():
+            if (isinstance(value, HBuffer) and value.distribution is not None
+                    and value.distribution.sharded
+                    and value.distribution not in dists):
+                dists.append(value.distribution)
+        check(len(dists) == 1, enums.CL_INVALID_OPERATION,
+              "launch binds buffers with conflicting distributions %r"
+              % (dists,))
+        return dists[0]
+
+    def _shard_view(self, buffer, origin, size):
+        """Cached sub-buffer view of one shard window (sub-buffers share
+        the parent's host shadow, so gathers reuse the family path)."""
+        view = buffer._shard_views.get((origin, size))
+        if view is None:
+            view = self.create_sub_buffer(buffer, origin, size)
+            buffer._shard_views[(origin, size)] = view
+        return view
+
+    def _owner_device(self, context, node_id):
+        """The least-loaded live device on a shard's owner node."""
+        node_devices = [d for d in context.devices if d.node_id == node_id]
+        return min(node_devices, key=lambda d: (
+            self._device_ready.get(d.global_id, 0.0), d.global_id))
+
+    def _enqueue_sharded(self, queue, kernel, global_size, local_size,
+                         global_offset):
+        """Fan one launch out as per-shard sub-launches, each on the
+        node owning its slice of the distributed buffers.
+
+        Every span of every shard is *enqueued* before any queue is
+        drained -- NMP launches are acknowledged immediately while the
+        device timeline charges, so the shards genuinely overlap and
+        the makespan is the slowest node, not the sum.  Partitioned
+        arguments bind cached sub-buffer views ([lo*bpr, hi*bpr), with
+        reads widened by the distribution's halo), replicated arguments
+        bind whole; the freshness protocol then ships each node exactly
+        its shard.  CSR-shaped distributions need the argument values,
+        which only the serving layer holds -- those launch through
+        :class:`repro.serve.shard.ShardedLaunchRunner` instead.
+        """
+        check(global_offset is None, enums.CL_INVALID_GLOBAL_OFFSET,
+              "sharded launches rebase shards themselves; drop the offset")
+        dist = self._shard_distribution(kernel)
+        spec = chunk_spec_for(kernel.name)
+        check(spec is not None, enums.CL_INVALID_OPERATION,
+              "kernel %s binds a distributed buffer but has no ChunkSpec; "
+              "register one (repro.core.sharding.register_chunk_spec)"
+              % kernel.name)
+        gsize = [int(d) for d in np.atleast_1d(global_size)]
+        check(spec.axis < len(gsize), enums.CL_INVALID_WORK_DIMENSION,
+              "ChunkSpec axis %d outside a %dD launch"
+              % (spec.axis, len(gsize)))
+        extent = gsize[spec.axis]
+        is_lost = getattr(self.host, "is_lost", lambda _n: False)
+        nodes = sorted({d.node_id for d in queue.context.devices
+                        if not is_lost(d.node_id)})
+        check(bool(nodes), enums.CL_DEVICE_NOT_AVAILABLE,
+              "no live nodes in the context")
+        access = kernel.program.param_access(kernel.name)
+        saved_args = dict(kernel.args)
+        spans_per = shard_spans(extent, len(nodes), dist)
+        event = None
+        try:
+            for node_id, spans in zip(nodes, spans_per):
+                if not spans:
+                    continue
+                device = self._owner_device(queue.context, node_id)
+                for lo, hi in spans:
+                    self._bind_span_args(kernel, spec, access, saved_args,
+                                         dist, extent, lo, hi)
+                    sub_gsize = list(gsize)
+                    sub_gsize[spec.axis] = hi - lo
+                    with self.telemetry.tracer.span(
+                        "launch.shard", kernel=kernel.name,
+                        node=device.node_id, span=[lo, hi],
+                    ):
+                        duration, tier = self._dispatch(
+                            queue, kernel, device, sub_gsize, local_size,
+                            None,
+                        )
+                    self.launches += 1
+                    queue.touched[device.global_id] = device
+                    now = self.host.now_s()
+                    ready = max(self._device_ready.get(device.global_id, 0.0),
+                                now)
+                    self._device_ready[device.global_id] = ready + duration
+                    event = HEvent("ndrange:%s" % kernel.name, device,
+                                   duration, tier=tier)
+                    queue.events.append(event)
+        finally:
+            kernel.args = saved_args
+        return event
+
+    def _bind_span_args(self, kernel, spec, access, saved_args, dist,
+                        extent, lo, hi):
+        """Rebind the kernel's arguments for one shard span [lo, hi)."""
+        halo = dist.halo
+        for index in range(kernel.num_args):
+            value = saved_args[index]
+            rule = spec.rules.get(index)
+            if isinstance(value, HBuffer):
+                if rule is None or isinstance(rule, Replicate):
+                    kernel.args[index] = value
+                    continue
+                check(isinstance(rule, Partition),
+                      enums.CL_INVALID_OPERATION,
+                      "argument %d of %s has rule %r; CSR-shaped "
+                      "distributions launch via the serving layer"
+                      % (index, kernel.name, rule))
+                check(value.size % extent == 0, enums.CL_INVALID_BUFFER_SIZE,
+                      "buffer of %d bytes does not tile the %d-item axis"
+                      % (value.size, extent))
+                bpr = value.size // extent
+                name = kernel.info.params[index][0]
+                param = access.get(name)
+                written = param is not None and param.write
+                wlo, whi = lo, hi
+                if halo and not written:
+                    wlo, whi = max(0, lo - halo), min(extent, hi + halo)
+                kernel.args[index] = self._shard_view(
+                    value, wlo * bpr, (whi - wlo) * bpr
+                )
+            elif isinstance(rule, ChunkLength):
+                kernel.args[index] = _rewrite_scalar(value, hi - lo)
+            elif isinstance(rule, ChunkOrigin):
+                kernel.args[index] = _rewrite_scalar(value, lo)
+
+    def exchange_shard_halos(self, context, buffer, extent, written=True):
+        """Refresh the halo overlap of ``buffer``'s shard views between
+        sharded launches: each owner pushes its boundary strips into the
+        neighbouring widened read views as host-planned ``dmp_push``
+        chains (:meth:`repro.core.icd.ICDDispatcher.exchange_halos`) --
+        with the data plane on, zero bytes relay through the host.
+
+        ``written`` says whether the last launch *wrote* the buffer (its
+        owner views are the unwidened span views) or only read it (the
+        widened views hold the fresh rows).  Returns the payload bytes
+        moved; 0 for non-block or zero-halo distributions.
+        """
+        dist = buffer.distribution
+        check(dist is not None and dist.sharded, enums.CL_INVALID_OPERATION,
+              "halo exchange needs a sharded buffer distribution")
+        extent = int(extent)
+        check(extent > 0 and buffer.size % extent == 0,
+              enums.CL_INVALID_BUFFER_SIZE,
+              "buffer of %d bytes does not tile the %d-item axis"
+              % (buffer.size, extent))
+        is_lost = getattr(self.host, "is_lost", lambda _n: False)
+        nodes = sorted({d.node_id for d in context.devices
+                        if not is_lost(d.node_id)})
+        plan = halo_exchange_plan(extent, len(nodes), dist)
+        if not plan:
+            return 0
+        bpr = buffer.size // extent
+        halo = dist.halo
+        spans_per = shard_spans(extent, len(nodes), dist)
+
+        def view(shard, widened):
+            lo, hi = spans_per[shard][0]
+            if widened:
+                lo, hi = max(0, lo - halo), min(extent, hi + halo)
+            return lo, self._shard_view(buffer, lo * bpr, (hi - lo) * bpr)
+
+        transfers = []
+        for src_shard, dst_shard, lo, hi in plan:
+            src_lo, src = view(src_shard, widened=not written)
+            dst_lo, dst = view(dst_shard, widened=True)
+            transfers.append({
+                "src": src, "dst": dst,
+                "src_node": nodes[src_shard], "dst_node": nodes[dst_shard],
+                "nbytes": (hi - lo) * bpr,
+                "src_offset": (lo - src_lo) * bpr,
+                "dst_offset": (lo - dst_lo) * bpr,
+            })
+        return self.icd.exchange_halos(transfers)
 
     def _build_task(self, queue, kernel, global_size):
         return self._task_context(kernel, global_size,

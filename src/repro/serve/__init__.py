@@ -25,6 +25,12 @@ needs:
   shedding, asyncio and caller-driven reactor drivers.
 """
 
+from repro.core.sharding import (
+    Distribution,
+    ShardPlan,
+    plan_shards,
+    shard_args,
+)
 from repro.serve.admission import (
     AdmissionController,
     AdmissionError,
@@ -32,6 +38,7 @@ from repro.serve.admission import (
     JobTooLarge,
     QueueFull,
     RateLimited,
+    ShardedAdmit,
 )
 from repro.serve.async_service import (
     AsyncHaoCLService,
@@ -52,6 +59,7 @@ from repro.serve.ooc import (
 from repro.serve.queue import FairShareQueue
 from repro.serve.ratelimit import RateLimiter, TokenBucket
 from repro.serve.service import HaoCLService
+from repro.serve.shard import ShardedLaunchRunner
 
 __all__ = [
     "AdmissionController",
@@ -63,6 +71,7 @@ __all__ = [
     "ChunkSpec",
     "ChunkStreamRunner",
     "DegradedAdmit",
+    "Distribution",
     "FairShareQueue",
     "HaoCLService",
     "Job",
@@ -73,8 +82,13 @@ __all__ = [
     "RateLimited",
     "RateLimiter",
     "ReactorStalled",
+    "ShardPlan",
+    "ShardedAdmit",
+    "ShardedLaunchRunner",
     "TokenBucket",
     "chunk_spec_for",
     "plan_chunks",
+    "plan_shards",
     "register_chunk_spec",
+    "shard_args",
 ]

@@ -21,6 +21,7 @@ fitting chunks, is admitted *degraded* -- :meth:`admit` returns a typed
 """
 
 from repro.core.scheduler.device_model import model_for
+from repro.core.sharding import plan_shards
 from repro.serve.ooc import plan_chunks
 
 
@@ -39,32 +40,39 @@ class JobTooLarge(AdmissionError):
 
     Always carries ``required_bytes`` vs. ``available_bytes``; when the
     out-of-core planner could have tiled the job (but ``ooc`` is off),
-    ``chunks_hint`` holds the chunk count that would have admitted it.
+    ``chunks_hint`` holds the chunk count that would have admitted it,
+    and when the shard planner could have spread it across nodes (but
+    ``shard`` is off), ``shards_hint`` holds that shard count.
     """
 
     reason = "over-capacity"
 
     def __init__(self, message, job=None, required_bytes=0,
-                 available_bytes=0, chunks_hint=None):
+                 available_bytes=0, chunks_hint=None, shards_hint=None):
         super().__init__(message, job=job)
         self.required_bytes = int(required_bytes)
         self.available_bytes = int(available_bytes)
         self.chunks_hint = chunks_hint
+        self.shards_hint = shards_hint
 
     @classmethod
     def build(cls, what, job=None, required_bytes=0, available_bytes=0,
-              chunks_hint=None):
+              chunks_hint=None, shards_hint=None):
         """The one construction path for every over-capacity refusal:
         ``what`` names the refusal, the sizes are always reported, and
-        a chunk hint (when known) tells the tenant the job *would* fit
-        out-of-core."""
+        the hints (when known) tell the tenant the job *would* fit
+        sharded across nodes or out-of-core."""
         message = "%s: requires %d B, %d B available" % (
             what, required_bytes, available_bytes)
+        if shards_hint:
+            message += ("; %d shards would admit it in-core across the "
+                        "cluster (shard=True)" % shards_hint)
         if chunks_hint:
             message += ("; %d chunks would admit it out-of-core "
                         "(ooc=True)" % chunks_hint)
         return cls(message, job=job, required_bytes=required_bytes,
-                   available_bytes=available_bytes, chunks_hint=chunks_hint)
+                   available_bytes=available_bytes, chunks_hint=chunks_hint,
+                   shards_hint=shards_hint)
 
 
 class DegradedAdmit:
@@ -78,6 +86,7 @@ class DegradedAdmit:
     """
 
     degraded = True
+    sharded = False
 
     def __init__(self, job, plan, required_bytes, capacity_bytes):
         self.job = job
@@ -89,6 +98,35 @@ class DegradedAdmit:
         return "DegradedAdmit(job #%d, %d chunks, %d B over %d B)" % (
             self.job.job_id, self.plan.nchunks, self.required_bytes,
             self.capacity_bytes,
+        )
+
+
+class ShardedAdmit:
+    """Typed admission outcome: the job enters in-core, but sharded.
+
+    Returned by :meth:`AdmissionController.admit` instead of a
+    :class:`DegradedAdmit`/:class:`JobTooLarge` when ``shard=True`` and
+    the shard planner (:mod:`repro.core.sharding`) can spread the job's
+    distributed arguments across the cluster so every shard's working
+    set fits its owner node.  Sharded placement is preferred over
+    out-of-core streaming because the job stays resident and the nodes
+    compute concurrently.  Carries the plan the decision was made on;
+    the dispatcher re-plans against live nodes at execution time.
+    """
+
+    degraded = False
+    sharded = True
+
+    def __init__(self, job, plan, required_bytes, capacity_bytes):
+        self.job = job
+        self.plan = plan
+        self.required_bytes = int(required_bytes)
+        self.capacity_bytes = int(capacity_bytes)
+
+    def __repr__(self):
+        return "ShardedAdmit(job #%d, %d shards over %r, %d B over %d B)" % (
+            self.job.job_id, self.plan.nshards, self.plan.nodes,
+            self.required_bytes, self.capacity_bytes,
         )
 
 
@@ -118,7 +156,7 @@ class AdmissionController:
 
     def __init__(self, devices, max_queue_depth=256, max_tenant_depth=None,
                  headroom=0.9, ooc=False, ooc_capacity_bytes=None,
-                 ooc_depth=2):
+                 ooc_depth=2, shard=False, shard_distribution=None):
         if not devices:
             raise ValueError("admission needs at least one device")
         if not 0 < headroom <= 1.0:
@@ -139,6 +177,12 @@ class AdmissionController:
         )
         #: chunks resident at once in a stream (execute + prefetch)
         self.ooc_depth = max(1, int(ooc_depth))
+        #: admit oversized jobs sharded across nodes (preferred over
+        #: out-of-core when both would work: the job stays in-core and
+        #: the nodes compute its shards concurrently)
+        self.shard = bool(shard)
+        #: distribution sharded admits plan under (None -> block)
+        self.shard_distribution = shard_distribution
         #: device global_id -> capacity the controller will fill
         self._capacity = {
             device.global_id: int(model_for(device).global_mem_bytes * headroom)
@@ -186,17 +230,30 @@ class AdmissionController:
         effective = self.chunk_capacity_bytes()
         degraded = None
         if job.footprint_bytes > effective:
-            plan = plan_chunks(job, effective, depth=self.ooc_depth)
-            if self.ooc and plan is not None:
-                degraded = DegradedAdmit(job, plan, job.footprint_bytes,
-                                         effective)
+            # preference order for an oversized job: sharded in-core
+            # across nodes first (stays resident, computes in parallel),
+            # then chunked out-of-core streaming, then a typed refusal
+            # that hints at both escapes
+            shard_plan = plan_shards(job, self.shard_capacity_map(),
+                                     distribution=self.shard_distribution)
+            if self.shard and shard_plan is not None:
+                degraded = ShardedAdmit(job, shard_plan, job.footprint_bytes,
+                                        effective)
             else:
-                raise JobTooLarge.build(
-                    "job #%d exceeds what a node can hold" % job.job_id,
-                    job=job, required_bytes=job.footprint_bytes,
-                    available_bytes=effective,
-                    chunks_hint=(plan.nchunks if plan is not None else None),
-                )
+                plan = plan_chunks(job, effective, depth=self.ooc_depth)
+                if self.ooc and plan is not None:
+                    degraded = DegradedAdmit(job, plan, job.footprint_bytes,
+                                             effective)
+                else:
+                    raise JobTooLarge.build(
+                        "job #%d exceeds what a node can hold" % job.job_id,
+                        job=job, required_bytes=job.footprint_bytes,
+                        available_bytes=effective,
+                        chunks_hint=(plan.nchunks
+                                     if plan is not None else None),
+                        shards_hint=(shard_plan.nshards
+                                     if shard_plan is not None else None),
+                    )
         if queue_depth >= self.max_queue_depth:
             raise QueueFull(
                 "queue depth %d at its bound %d; retry later"
@@ -224,6 +281,15 @@ class AdmissionController:
         if self.ooc_capacity_bytes is not None:
             limit = min(limit, self.ooc_capacity_bytes)
         return limit
+
+    def shard_capacity_map(self):
+        """Ordered ``node_id -> per-shard working-set budget`` for the
+        shard planner: each node's budget is the conservative per-chunk
+        bound (largest device, tightened by the residency-table cap), so
+        any planned shard also fits its owner node's ``ResidencyTable``."""
+        budget = self.chunk_capacity_bytes()
+        return {node_id: budget
+                for node_id in sorted({d.node_id for d in self.devices})}
 
     def capacity_bytes(self, device):
         return self._capacity[device.global_id]

@@ -69,6 +69,14 @@ class Job:
         #: filled by the chunk stream runner: chunks run, replays,
         #: prefetch bytes/seconds and how much of it overlapped compute
         self.ooc_report = None
+        #: sharded admission: the cross-node ShardPlan the admission
+        #: controller attached (None for single-node jobs); the
+        #: dispatcher re-plans against live nodes, this records the
+        #: decision
+        self.shard_plan = None
+        #: filled by the sharded launch runner: shards run, nodes,
+        #: rebuilds after losses, scatter/gather bytes
+        self.shard_report = None
         self._done_callbacks = []
         #: times the job has been declared terminal; the serving layer's
         #: exactly-once invariant ("no lost or duplicated results")

@@ -41,153 +41,37 @@ would compute silently wrong slices; specs are part of the kernel's
 contract, and the differential tests pin the built-ins.
 """
 
-import hashlib
-
 import numpy as np
 
 from repro.obs import get_logger
 from repro.ocl import enums
 from repro.ocl.errors import CLError
+# The argument-rule vocabulary lives in :mod:`repro.core.sharding` now
+# (the cross-node shard planner shares it); re-exported here so the
+# historic ``repro.serve.ooc`` import paths keep working.
+from repro.core.sharding import (  # noqa: F401  (re-exports)
+    HOST,
+    CSRData,
+    CSRPointer,
+    ChunkLength,
+    ChunkOrigin,
+    ChunkSpec,
+    Partition,
+    Replicate,
+    _SPECS,
+    _digest,
+    _flat,
+    _replicated_bytes,
+    _rewrite_scalar,
+    _window_bytes,
+    _windows_valid,
+    chunk_spec_for,
+    register_chunk_spec,
+)
 from repro.serve.job import RUNNING
 from repro.transport.base import NodeLostError, TransportError
 
 log = get_logger("serve")
-
-HOST = "host"
-
-
-# -- argument rules ------------------------------------------------------------
-
-
-class Replicate:
-    """Every chunk needs the whole argument resident."""
-
-    def __repr__(self):
-        return "Replicate()"
-
-
-class Partition:
-    """``stride`` elements per chunk-axis index.
-
-    ``stride`` is an element count, or ``stride_arg`` names the scalar
-    argument index holding it (matmul's row length ``n``).
-    """
-
-    def __init__(self, stride=1, stride_arg=None):
-        if stride_arg is None and int(stride) <= 0:
-            raise ValueError("stride must be positive")
-        self.stride = int(stride)
-        self.stride_arg = stride_arg
-
-    def resolve_stride(self, args):
-        if self.stride_arg is not None:
-            return int(args[self.stride_arg])
-        return self.stride
-
-    def __repr__(self):
-        if self.stride_arg is not None:
-            return "Partition(stride_arg=%d)" % self.stride_arg
-        return "Partition(stride=%d)" % self.stride
-
-
-class CSRData:
-    """CSR values/columns: chunk ``[lo, hi)`` needs elements
-    ``[ptr[lo], ptr[hi])`` of this array, where ``ptr`` is the argument
-    index of the row-pointer array."""
-
-    def __init__(self, ptr):
-        self.ptr = int(ptr)
-
-    def __repr__(self):
-        return "CSRData(ptr=%d)" % self.ptr
-
-
-class CSRPointer:
-    """The CSR row-pointer array itself: chunk ``[lo, hi)`` ships
-    ``ptr[lo:hi+1] - ptr[lo]`` (rebased, like the spmv host program)."""
-
-    def __repr__(self):
-        return "CSRPointer()"
-
-
-class ChunkLength:
-    """Scalar rewritten to the chunk's axis extent (``hi - lo``)."""
-
-    def __repr__(self):
-        return "ChunkLength()"
-
-
-class ChunkOrigin:
-    """Scalar rewritten to the chunk's absolute axis origin (``lo``),
-    the ``coffset`` idiom of the cfd kernels."""
-
-    def __repr__(self):
-        return "ChunkOrigin()"
-
-
-class ChunkSpec:
-    """How one kernel's arguments map onto a chunked axis.
-
-    ``axis`` indexes the NDRange dimension being tiled; ``rules`` maps
-    argument index -> rule.  Array arguments without a rule default to
-    :class:`Replicate`, scalars to passthrough.
-    """
-
-    def __init__(self, axis, rules):
-        self.axis = int(axis)
-        self.rules = dict(rules)
-
-    def rule_for(self, index, value):
-        rule = self.rules.get(index)
-        if rule is None and isinstance(value, np.ndarray):
-            return Replicate()
-        return rule
-
-
-#: kernel name -> ChunkSpec.  The built-ins below are the annotation
-#: table for this repo's acceptance workloads; tenants with their own
-#: kernels call :func:`register_chunk_spec`.
-_SPECS = {}
-
-
-def register_chunk_spec(kernel_name, spec):
-    """Declare how ``kernel_name`` partitions (libhclooc-style)."""
-    _SPECS[kernel_name] = spec
-    return spec
-
-
-def chunk_spec_for(kernel_name):
-    return _SPECS.get(kernel_name)
-
-
-# matmul(A, B, C, n, rows) over an (n, rows) NDRange: rows partition,
-# B replicates, the ``rows`` bound becomes the chunk height.
-register_chunk_spec("matmul", ChunkSpec(axis=1, rules={
-    0: Partition(stride_arg=3),   # A: n elements per row
-    1: Replicate(),               # B: every chunk reads all columns
-    2: Partition(stride_arg=3),   # C: n elements per row (written)
-    4: ChunkLength(),             # rows bound
-}))
-
-# spmv_csr(row_ptr, cols, vals, x, y, nrows) over (nrows,): CSR rows
-# partition with a rebased pointer slice and a replicated x.
-register_chunk_spec("spmv_csr", ChunkSpec(axis=0, rules={
-    0: CSRPointer(),
-    1: CSRData(ptr=0),            # cols
-    2: CSRData(ptr=0),            # vals
-    3: Replicate(),               # x: gathered by global column id
-    4: Partition(stride=1),       # y (written)
-    5: ChunkLength(),             # nrows bound
-}))
-
-# cfd_step_factor(variables, areas, step_factors, ncells) over
-# (ncells,): 5 conserved variables per cell.
-register_chunk_spec("cfd_step_factor", ChunkSpec(axis=0, rules={
-    0: Partition(stride=5),
-    1: Partition(stride=1),
-    2: Partition(stride=1),       # step_factors (written)
-    3: ChunkLength(),
-}))
 
 
 # -- the plan ------------------------------------------------------------------
@@ -270,10 +154,6 @@ class ChunkPlan:
         )
 
 
-def _flat(value):
-    return np.ascontiguousarray(value).reshape(-1)
-
-
 def _boundaries(origin, extent, nchunks):
     """Even axis split: chunk sizes differ by at most one, deterministic
     for a given (origin, extent, nchunks)."""
@@ -301,52 +181,6 @@ def _chunk_slice_bytes(job, spec, lo, hi, origin):
         total += nbytes
         biggest = max(biggest, nbytes)
     return total, biggest
-
-
-def _window_bytes(job, rule, value, lo, hi, origin):
-    """Slice bytes of one argument for chunk ``[lo, hi)``; None when
-    the rule replicates (shared across chunks)."""
-    itemsize = value.dtype.itemsize
-    if isinstance(rule, Partition):
-        stride = rule.resolve_stride(job.args)
-        return (hi - lo) * stride * itemsize
-    if isinstance(rule, CSRPointer):
-        return (hi - lo + 1) * itemsize
-    if isinstance(rule, CSRData):
-        ptr = _flat(job.args[rule.ptr])
-        return int(ptr[hi - origin] - ptr[lo - origin]) * itemsize
-    return None
-
-
-def _replicated_bytes(job, spec):
-    total = 0
-    for index, value in enumerate(job.args):
-        if not isinstance(value, np.ndarray):
-            continue
-        if isinstance(spec.rule_for(index, value), Replicate):
-            total += value.nbytes
-    return total
-
-
-def _windows_valid(job, spec, origin, extent):
-    """The spec's windows must exactly cover every partitioned array;
-    a mismatch means the spec does not describe this job's shapes."""
-    for index, value in enumerate(job.args):
-        if not isinstance(value, np.ndarray):
-            continue
-        rule = spec.rule_for(index, value)
-        n = _flat(value).size
-        if isinstance(rule, Partition):
-            if extent * rule.resolve_stride(job.args) > n:
-                return False
-        elif isinstance(rule, CSRPointer):
-            if n < extent + 1:
-                return False
-        elif isinstance(rule, CSRData):
-            ptr = _flat(job.args[rule.ptr])
-            if ptr.size < extent + 1 or int(ptr[extent]) > n or int(ptr[0]) < 0:
-                return False
-    return True
 
 
 def plan_chunks(job, capacity_bytes, depth=2, origin=0):
@@ -467,16 +301,6 @@ def chunk_args(job, plan, chunk):
             args.append(value)
             slices[index] = None  # replicated: the whole array
     return args, slices
-
-
-def _rewrite_scalar(value, new):
-    if isinstance(value, np.generic):
-        return value.dtype.type(new)
-    return type(value)(new)
-
-
-def _digest(array):
-    return hashlib.sha1(np.ascontiguousarray(array).tobytes()).hexdigest()
 
 
 # -- the streaming executor ----------------------------------------------------

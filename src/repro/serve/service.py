@@ -25,14 +25,17 @@ from repro.core.tenancy import try_acquire
 from repro.obs import MetricsRegistry, get_logger, log_buckets
 from repro.ocl import enums
 from repro.ocl.errors import CLError
+from repro.core.sharding import plan_shards
 from repro.serve.admission import (
     AdmissionController,
     AdmissionError,
     DegradedAdmit,
+    ShardedAdmit,
 )
 from repro.serve.batcher import Batcher
 from repro.serve.job import DONE, EXPIRED, FAILED, QUEUED, REJECTED, RUNNING
 from repro.serve.ooc import ChunkStreamRunner, plan_chunks
+from repro.serve.shard import ShardedLaunchRunner
 from repro.serve.queue import FairShareQueue
 from repro.transport.base import NodeLostError, TransportError
 
@@ -137,7 +140,7 @@ class HaoCLService:
                  admission=None, lease_shared=True, lease_ttl_s=30.0,
                  user="serve", max_cached_programs=32, max_retries=2,
                  replicas=1, queue=None, ooc=None, ooc_depth=2,
-                 ooc_prefetch=True):
+                 ooc_prefetch=True, shard=None, shard_distribution=None):
         self.session = session
         self.driver = session.cl
         self.telemetry = getattr(session, "telemetry", None)
@@ -168,6 +171,12 @@ class HaoCLService:
         #: this off keeps the same chunk plan but streams serially (the
         #: benchmark's apples-to-apples no-prefetch baseline)
         self.ooc_prefetch = bool(ooc_prefetch)
+        #: sharded admission: oversized jobs spread across nodes in-core
+        #: (preferred over out-of-core when both work; session default)
+        self.shard = (bool(getattr(session, "shard", False))
+                      if shard is None else bool(shard))
+        #: distribution sharded admits plan under (None -> block)
+        self.shard_distribution = shard_distribution
         if admission is not None:
             self.admission = admission
         else:
@@ -175,7 +184,8 @@ class HaoCLService:
             self.admission = AdmissionController(
                 session.devices, ooc=self.ooc,
                 ooc_capacity_bytes=min_dmp() if min_dmp else None,
-                ooc_depth=self.ooc_depth,
+                ooc_depth=self.ooc_depth, shard=self.shard,
+                shard_distribution=self.shard_distribution,
             )
         if isinstance(policy, SchedulingPolicy):
             self.placement = policy
@@ -249,6 +259,29 @@ class HaoCLService:
         self._g_ooc_chunk_bytes = self.metrics.gauge(
             "haocl_ooc_max_chunk_bytes",
             "Largest per-chunk working set planned (high watermark)")
+        # sharded (cross-node data-parallel) ledger
+        self._m_shard_admits = counter(
+            "haocl_shard_admits_total",
+            "Jobs admitted sharded across nodes (working set over any "
+            "single node, spread in-core)")
+        self._m_shard_jobs = counter(
+            "haocl_shard_jobs_total",
+            "Sharded jobs executed to completion")
+        self._m_shard_launches = counter(
+            "haocl_shard_sublaunches_total",
+            "Per-shard sub-launches dispatched to owner nodes")
+        self._m_shard_rebuilds = counter(
+            "haocl_shard_rebuilds_total",
+            "Shards rebuilt on surviving nodes after a node loss")
+        self._m_shard_scatter_bytes = counter(
+            "haocl_shard_scatter_bytes_total",
+            "Bytes scattered to shard owners (slices + replicated set)")
+        self._m_shard_gather_bytes = counter(
+            "haocl_shard_gather_bytes_total",
+            "Bytes gathered back from shard owners")
+        self._g_shard_width = self.metrics.gauge(
+            "haocl_shard_width",
+            "Widest shard fan-out executed (high watermark)")
         self._h_e2e = self.metrics.histogram(
             "haocl_serve_e2e_latency_seconds",
             "Submit-to-result latency of completed jobs",
@@ -275,6 +308,12 @@ class HaoCLService:
                 ("ooc_prefetch_bytes", self._m_ooc_prefetch_bytes),
                 ("ooc_prefetch_s", self._m_ooc_prefetch_s),
                 ("ooc_overlap_s", self._m_ooc_overlap_s),
+                ("shard_admits", self._m_shard_admits),
+                ("shard_jobs", self._m_shard_jobs),
+                ("shard_launches", self._m_shard_launches),
+                ("shard_rebuilds", self._m_shard_rebuilds),
+                ("shard_scatter_bytes", self._m_shard_scatter_bytes),
+                ("shard_gather_bytes", self._m_shard_gather_bytes),
             )
         }
         # the host's failure detector drives this service's cleanup
@@ -355,7 +394,27 @@ class HaoCLService:
                                       tenant=job.tenant):
                     outcome = self.admission.admit(
                         job, len(self.queue), self.queue.depth(job.tenant))
-                    if isinstance(outcome, DegradedAdmit):
+                    if isinstance(outcome, ShardedAdmit):
+                        # over any single node but spreadable: the job
+                        # enters in-core, sharded across owner nodes
+                        job.shard_plan = outcome.plan
+                        self._m_shard_admits.inc()
+                        if self.tracer.enabled:
+                            self.tracer.event(
+                                "serve.shard.admit",
+                                ctx=getattr(job, "trace", None),
+                                job=job.job_id,
+                                required=outcome.required_bytes,
+                                capacity=outcome.capacity_bytes,
+                                shards=outcome.plan.nshards,
+                                nodes=outcome.plan.nodes)
+                        log.info(
+                            "job #%d (%s) admitted sharded: %d B over "
+                            "%d B per-node capacity, %d shards on %s",
+                            job.job_id, job.tenant, outcome.required_bytes,
+                            outcome.capacity_bytes, outcome.plan.nshards,
+                            outcome.plan.nodes)
+                    elif isinstance(outcome, DegradedAdmit):
                         # over capacity but tileable: the job enters in
                         # degraded mode and will stream out-of-core
                         job.chunk_plan = outcome.plan
@@ -451,6 +510,17 @@ class HaoCLService:
                 self._fail(job, exc)
             return True
         context = self._cluster_context()
+        sharded = [j for j in live if getattr(j, "shard_plan", None)]
+        if sharded:
+            # sharded admits fan out across their owner nodes, one job
+            # at a time; the rest of the batch dispatches normally below
+            live = [j for j in live if j not in sharded]
+            progress = False
+            for job in sharded:
+                if self._dispatch_sharded(job, kernel, context):
+                    progress = True
+            if not live:
+                return progress
         chunked = [j for j in live if getattr(j, "chunk_plan", None)]
         if chunked:
             # degraded admits stream chunk-by-chunk, one at a time; the
@@ -574,6 +644,36 @@ class HaoCLService:
                 self._release_remote_quiet("program", program.uid)
         self._m_batches.inc()
         return True
+
+    def _dispatch_sharded(self, job, kernel, context):
+        """Fan one sharded-admit job out across its owner nodes.
+
+        Re-plans against *live* nodes (some may have joined or died
+        since admission); a job that no longer spreads falls back to
+        the out-of-core stream when it can still chunk, and fails typed
+        otherwise.  Returns True when the job reached a terminal state,
+        False when it deferred (requeued, no capacity).
+        """
+        plan = plan_shards(job, self.admission.shard_capacity_map(),
+                           distribution=self.shard_distribution)
+        if plan is None:
+            # the cluster shrank under the job: degrade to the chunked
+            # out-of-core stream rather than refusing work we admitted
+            job.shard_plan = None
+            if self.ooc:
+                job.chunk_plan = plan_chunks(
+                    job, self.admission.chunk_capacity_bytes(),
+                    depth=self.ooc_depth)
+                if job.chunk_plan is not None:
+                    return self._dispatch_ooc(job, kernel, context)
+            self._fail(job, CLError(
+                enums.CL_MEM_OBJECT_ALLOCATION_FAILURE,
+                "job #%d no longer spreads across the cluster"
+                % job.job_id,
+            ))
+            return True
+        job.shard_plan = plan
+        return ShardedLaunchRunner(self, job, kernel, context, plan).run()
 
     def _dispatch_ooc(self, job, kernel, context):
         """Stream one degraded-admit job through the chunk pipeline.
@@ -1083,6 +1183,29 @@ class HaoCLService:
             "prefetch_s": prefetch_s,
             "prefetch_overlapped_s": overlap_s,
             "overlap_ratio": overlap_s / prefetch_s if prefetch_s else 0.0,
+        }
+
+    def shard_stats(self):
+        """Sharded-serving ledger (registry-backed view).
+
+        ``shard_admits`` counts jobs that entered sharded; ``jobs`` /
+        ``sublaunches`` count completed fan-outs and their per-shard
+        launches; ``shard_rebuilds`` counts shards rebuilt on surviving
+        nodes after a loss; the byte pair measures the scatter (slices
+        plus the replicated set) and the gather of written windows."""
+        base = self._m_base
+        return {
+            "shard_admits":
+                self._m_shard_admits.value - base["shard_admits"],
+            "jobs": self._m_shard_jobs.value - base["shard_jobs"],
+            "sublaunches":
+                self._m_shard_launches.value - base["shard_launches"],
+            "shard_rebuilds":
+                self._m_shard_rebuilds.value - base["shard_rebuilds"],
+            "scatter_bytes": (self._m_shard_scatter_bytes.value
+                              - base["shard_scatter_bytes"]),
+            "gather_bytes": (self._m_shard_gather_bytes.value
+                             - base["shard_gather_bytes"]),
         }
 
     def data_plane(self):

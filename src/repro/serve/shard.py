@@ -1,0 +1,425 @@
+"""Cross-node data-parallel execution of one sharded-admit job.
+
+The out-of-core streamer (:mod:`repro.serve.ooc`) tiles *time*: chunks
+take turns on a device that cannot hold the job.  This module tiles
+*space*: :class:`ShardedLaunchRunner` executes a
+:class:`~repro.core.sharding.ShardPlan` by giving every participating
+node its shard of the partitioned arguments (owner-computes), enqueueing
+all shard sub-launches *before* draining any queue -- NMP launches are
+acknowledged while the device timeline charges, so the shards genuinely
+overlap and the job's makespan is the slowest node, not the sum.
+
+Replicated arguments are seeded onto the first owner and then spread
+peer-to-peer over the DMP fabric (``dmp_push``), so shard traffic keeps
+``bytes_host_relayed`` at zero.  A shard lost to a ``NodeLostError``
+mid-launch is rebuilt on a surviving node from the job's host-side
+inputs -- the same content digests tag the rebuilt buffers, so nodes
+that already hold the bytes refill from the dedup cache -- without ever
+requeueing the job (its fair-share cost is charged exactly once).
+"""
+
+import numpy as np
+
+from repro.core.sharding import (
+    Partition,
+    Replicate,
+    _digest,
+    _flat,
+    chunk_spec_for,
+    shard_args,
+)
+from repro.obs import get_logger
+from repro.ocl import enums
+from repro.ocl.errors import CLError
+from repro.serve.job import RUNNING
+from repro.transport.base import NodeLostError, TransportError
+
+log = get_logger("serve.shard")
+
+
+class _ShardState:
+    """One shard's live execution state: its argument slices, the
+    buffers holding them, the owner device, and how far it got."""
+
+    __slots__ = ("shard", "args", "windows", "buffers", "device", "queue",
+                 "executed", "gathered")
+
+    def __init__(self, shard, args, windows, buffers, device):
+        self.shard = shard
+        self.args = args
+        self.windows = windows
+        #: [(arg index, HBuffer, source slice array)]
+        self.buffers = buffers
+        self.device = device
+        self.queue = None
+        self.executed = False
+        self.gathered = False
+
+
+class ShardedLaunchRunner:
+    """Executes one sharded-admit job across its owner nodes.
+
+    Owned by :class:`~repro.serve.service.HaoCLService`; reuses its
+    placement, lease, trace and fault plumbing so a sharded job behaves
+    like any other job from the outside (states, counters, exactly-once
+    fair-share charge).
+    """
+
+    def __init__(self, service, job, kernel, context, plan):
+        self.service = service
+        self.session = service.session
+        self.driver = service.driver
+        self.tracer = service.tracer
+        self.job = job
+        self.kernel = kernel
+        self.context = context
+        self.plan = plan
+        self.states = []
+        self.replicated = {}       # arg index -> shared HBuffer
+        self.assembled = {}        # written arg index -> flat output array
+        self.reserved = []         # [(nbytes, device)]
+        self.rebuilds = 0
+        self.sublaunches = 0
+        self.scatter_bytes = 0
+        self.gather_bytes = 0
+        self._used_queues = []
+
+    # -- device selection ------------------------------------------------------
+
+    def _device_on(self, node_id, need):
+        """A leasable device on ``node_id`` with room for ``need``."""
+        service = self.service
+        for device in service.admission.candidates(need):
+            if device.node_id != node_id:
+                continue
+            if service._ensure_lease(device) is not None:
+                return device
+        return None
+
+    def _fallback_device(self, need, exclude=()):
+        """A leasable device on any live node for a rebuilt shard."""
+        service = self.service
+        host = self.session.host
+        for device in service.admission.candidates(need):
+            if host.is_lost(device.node_id) or device.node_id in exclude:
+                continue
+            if service._ensure_lease(device) is not None:
+                return device
+        return None
+
+    def _reserve(self, nbytes, device):
+        self.service.admission.reserve(nbytes, device)
+        self.reserved.append((nbytes, device))
+
+    # -- argument preparation --------------------------------------------------
+
+    def _access(self):
+        return self.kernel.program.param_access(self.kernel.name)
+
+    def _written_indices(self):
+        access = self._access()
+        written = []
+        for index, (name, _ctype) in enumerate(self.kernel.info.params):
+            param = access.get(name)
+            if param is not None and param.write:
+                written.append(index)
+        return written
+
+    def _make_buffer(self, source, digest):
+        buf = self.session.buffer_from(self.context, source)
+        buf.content_digest = digest
+        return buf
+
+    def _prepare_replicated(self):
+        digests = self.job.input_digests()
+        spec = chunk_spec_for(self.job.kernel_name)
+        for index, value in enumerate(self.job.args):
+            if not isinstance(value, np.ndarray):
+                continue
+            if isinstance(spec.rule_for(index, value), Replicate):
+                self.replicated[index] = self._make_buffer(
+                    value, digests[index])
+
+    def _prepare_shard(self, shard, device, written):
+        """Slice and allocate one shard's private buffers."""
+        args, windows = shard_args(self.job, self.plan, shard,
+                                   written=written)
+        buffers = []
+        for index, value in enumerate(args):
+            if not isinstance(value, np.ndarray) or index in self.replicated:
+                continue
+            buf = self._make_buffer(value, _digest(value))
+            buffers.append((index, buf, value))
+            self.scatter_bytes += value.nbytes
+        return _ShardState(shard, args, windows, buffers, device)
+
+    def _release_state(self, state):
+        for _index, buf, _value in state.buffers:
+            try:
+                self.driver.icd.release_buffer(buf)
+            except (CLError, TransportError):
+                pass  # replicas died with their node
+
+    # -- execution -------------------------------------------------------------
+
+    def _enqueue_shard(self, state):
+        """Bind and launch one shard on its owner; no drain here -- the
+        caller finishes every queue after all shards are in flight."""
+        service = self.service
+        queue = service._queue_for(self.context, state.device)
+        if queue not in self._used_queues:
+            self._used_queues.append(queue)
+        state.queue = queue
+        for index, value in enumerate(state.args):
+            if isinstance(value, np.ndarray):
+                buf = self.replicated.get(index)
+                if buf is None:
+                    buf = next(b for i, b, _v in state.buffers if i == index)
+                self.kernel.set_arg(index, buf)
+            else:
+                self.kernel.set_arg(index, value)
+        shard = state.shard
+        gsize = list(self.job.global_size)
+        gsize[self.plan.axis] = shard.rows
+        with self.tracer.span("serve.shard.execute", shard=shard.index,
+                              node=state.device.node_id,
+                              spans=[list(s) for s in shard.spans],
+                              rows=shard.rows):
+            with self.driver.icd.protecting(self._protect_uids()):
+                self.session.enqueue(queue, self.kernel, tuple(gsize))
+        self.sublaunches += 1
+        service._m_shard_launches.inc()
+
+    def _protect_uids(self):
+        uids = [buf.uid for buf in self.replicated.values()]
+        for state in self.states:
+            uids.extend(buf.uid for _i, buf, _v in state.buffers)
+        return uids
+
+    def _gather_shard(self, state, written):
+        """Drain-complete: fold the shard's written windows back into
+        the assembled outputs, then free its node-side replicas."""
+        shard = state.shard
+        with self.tracer.span("serve.shard.gather", shard=shard.index,
+                              node=state.device.node_id):
+            for index in written:
+                windows = state.windows.get(index)
+                buf = next(
+                    (b for i, b, _v in state.buffers if i == index), None)
+                if buf is None or windows is None:
+                    raise CLError(
+                        enums.CL_INVALID_OPERATION,
+                        "kernel %s writes argument %d but its shard rule "
+                        "cannot reassemble" % (self.kernel.name, index),
+                    )
+                source = self.job.args[index]
+                out = self.session.read_array(state.queue, buf, source.dtype)
+                position = 0
+                assembled = self.assembled[index]
+                for start, stop in windows:
+                    span = stop - start
+                    assembled[start:stop] = out[position:position + span]
+                    position += span
+                self.gather_bytes += out.nbytes
+        state.gathered = True
+        self._release_state(state)
+
+    # -- fault handling --------------------------------------------------------
+
+    def _shard_lost(self, exc, written):
+        """A node died mid-launch: retire it, rebuild only the shards it
+        owned on surviving nodes (content digests make the refill a
+        dedup hit where replicas survive), and charge one attempt.
+        Returns True while the retry budget holds."""
+        service = self.service
+        self.session.host.mark_lost(exc.node_id, reason=exc.reason)
+        self.job.attempts += 1
+        self.rebuilds += 1
+        service._m_shard_rebuilds.inc()
+        service._tenant_stats(self.job.tenant).bump("retried")
+        if self.tracer.enabled:
+            self.tracer.event(
+                "serve.shard.rebuild", ctx=getattr(self.job, "trace", None),
+                job=self.job.job_id, node=exc.node_id,
+                attempt=self.job.attempts,
+            )
+        log.info("job #%d lost node %s mid-launch; rebuilding its shard(s) "
+                 "(attempt %d/%d)", self.job.job_id, exc.node_id,
+                 self.job.attempts, service.max_retries)
+        if self.job.attempts > service.max_retries:
+            return False
+        host = self.session.host
+        for position, state in enumerate(self.states):
+            if state.gathered or not host.is_lost(state.device.node_id):
+                continue
+            self._release_state(state)
+            device = self._fallback_device(state.shard.ws_bytes)
+            if device is None:
+                return False
+            self._reserve(state.shard.ws_bytes, device)
+            rebuilt = self._prepare_shard(state.shard, device, written)
+            self.states[position] = rebuilt
+        return True
+
+    # -- the launch ------------------------------------------------------------
+
+    def run(self):
+        """Execute every shard; returns True when the job reached a
+        terminal state, False to defer (no capacity right now)."""
+        service = self.service
+        job = self.job
+        try:
+            written = self._written_indices()
+        except CLError as exc:
+            service._fail(job, exc)
+            return True
+        spec = chunk_spec_for(job.kernel_name)
+        for index in written:
+            rule = spec.rule_for(index, job.args[index])
+            if not isinstance(rule, Partition):
+                service._fail(job, CLError(
+                    enums.CL_INVALID_OPERATION,
+                    "kernel %s writes argument %d but its shard rule %r "
+                    "cannot reassemble; sharded launch refused"
+                    % (self.kernel.name, index, rule),
+                ))
+                return True
+
+        # one leased device per owner node, each carrying its shard's
+        # working-set reservation
+        devices = []
+        for shard in self.plan.shards:
+            device = self._device_on(shard.node_id, shard.ws_bytes)
+            if device is None:
+                for nbytes, dev in self.reserved:
+                    service.admission.release(nbytes, dev)
+                self.reserved = []
+                service.queue.requeue(job)
+                return False
+            self._reserve(shard.ws_bytes, device)
+            devices.append(device)
+
+        job.started_s = self.session.now_s()
+        job.state = RUNNING
+        job.device = devices[0]
+        service._trace_queue_wait(job)
+        previous_policy = self.driver.policy
+        previous_user = self.driver.user
+        self.driver.user = service.user
+        self.driver.set_policy("user-directed")
+        self.driver.tenant = job.tenant
+        self.driver.job_tag = job.job_id
+        try:
+            with self.tracer.resume(getattr(job, "trace", None)):
+                with self.tracer.span("serve.shard", job=job.job_id,
+                                      shards=self.plan.nshards,
+                                      nodes=self.plan.nodes,
+                                      distribution=repr(
+                                          self.plan.distribution)):
+                    self._launch(devices, written)
+        except CLError as exc:
+            service._fail(job, exc)
+        finally:
+            for state in self.states:
+                if not state.gathered:
+                    self._release_state(state)
+            for buf in self.replicated.values():
+                try:
+                    self.driver.icd.release_buffer(buf)
+                except (CLError, TransportError):
+                    pass
+            for nbytes, device in self.reserved:
+                service.admission.release(nbytes, device)
+            for queue in self._used_queues:
+                del queue.events[:]
+            self.driver.tenant = None
+            self.driver.job_tag = None
+            self.driver.user = previous_user
+            self.driver.set_policy(previous_policy)
+        return True
+
+    def _launch(self, devices, written):
+        service = self.service
+        job = self.job
+        for index in written:
+            self.assembled[index] = _flat(job.args[index]).copy()
+
+        with self.tracer.span("serve.shard.scatter",
+                              shards=self.plan.nshards):
+            self._prepare_replicated()
+            self.states = [
+                self._prepare_shard(shard, device, written)
+                for shard, device in zip(self.plan.shards, devices)
+            ]
+            if len(devices) > 1 and self.replicated:
+                # seed the first owner over the host link once, then
+                # spread the replicated set peer-to-peer (dmp_push) so
+                # the remaining owners never touch the host link
+                try:
+                    with self.driver.icd.protecting(self._protect_uids()):
+                        for buf in self.replicated.values():
+                            self.driver.icd.prefetch(buf, devices[0])
+                            self.driver.icd.replicate(buf, k=len(devices))
+                            self.scatter_bytes += buf.size
+                except NodeLostError as exc:
+                    if not self._shard_lost(exc, written):
+                        raise CLError(
+                            enums.CL_DEVICE_NOT_AVAILABLE,
+                            "job #%d lost %s while scattering shards; "
+                            "retry budget (%d) exhausted"
+                            % (job.job_id, exc.node_id, service.max_retries),
+                        )
+
+        while True:
+            try:
+                # enqueue every outstanding shard first, drain second:
+                # the queues charge their device timelines concurrently,
+                # so the makespan is max-over-nodes
+                for state in self.states:
+                    if not state.executed:
+                        self._enqueue_shard(state)
+                for state in self.states:
+                    if not state.executed:
+                        self.session.finish(state.queue)
+                        state.executed = True
+                        if service.replicas > 1:
+                            for index, buf, _v in state.buffers:
+                                if index in written:
+                                    self.driver.icd.replicate(
+                                        buf, k=service.replicas)
+                for state in self.states:
+                    if not state.gathered:
+                        self._gather_shard(state, written)
+                break
+            except NodeLostError as exc:
+                if not self._shard_lost(exc, written):
+                    raise CLError(
+                        enums.CL_DEVICE_NOT_AVAILABLE,
+                        "job #%d lost a shard with %s; retry budget (%d) "
+                        "exhausted" % (job.job_id, exc.node_id,
+                                       service.max_retries),
+                    )
+                continue  # re-run only the rebuilt shards
+
+        job.result = {}
+        params = self.kernel.info.params
+        for index in written:
+            source = job.args[index]
+            job.result[params[index][0]] = (
+                self.assembled[index].reshape(source.shape)
+            )
+        job.shard_report = {
+            "shards": len(self.states),
+            "planned": self.plan.nshards,
+            "rebuilds": self.rebuilds,
+            "sublaunches": self.sublaunches,
+            "nodes": [state.device.node_id for state in self.states],
+            "scatter_bytes": self.scatter_bytes,
+            "gather_bytes": self.gather_bytes,
+            "distribution": repr(self.plan.distribution),
+        }
+        service._m_shard_jobs.inc()
+        service._m_shard_scatter_bytes.inc(self.scatter_bytes)
+        service._m_shard_gather_bytes.inc(self.gather_bytes)
+        service._g_shard_width.set_max(self.plan.nshards)
+        service._complete(job)

@@ -1,0 +1,192 @@
+"""Sharded collectives over the DMP fabric: offset region pushes, halo
+exchange rounds and device-side reduce folds.
+
+These are the host-planned primitives the sharded layers chain
+together; with the data plane on, every payload byte travels
+peer-to-peer and ``bytes_host_relayed`` stays at zero."""
+
+import numpy as np
+import pytest
+
+from repro.core import HaoCLSession
+
+
+def _session(nodes=2, dmp=True):
+    return HaoCLSession(gpu_nodes=nodes, mode="real", transport="inproc",
+                        dmp=dmp)
+
+
+def _resident(sess, ctx, data, device):
+    """A buffer whose replica is materialised and fresh on ``device``."""
+    buf = sess.buffer_from(ctx, data)
+    sess.cl.icd.ensure_fresh(buf, device)
+    return buf
+
+
+class TestPushRegion:
+    def test_region_moves_p2p_with_dmp_on(self):
+        with _session() as sess:
+            ctx = sess.context()
+            dev0, dev1 = sess.devices
+            src_data = np.arange(16, dtype=np.int32)
+            src = _resident(sess, ctx, src_data, dev0)
+            dst = _resident(sess, ctx, np.zeros(16, dtype=np.int32), dev1)
+            icd = sess.cl.icd
+            relayed = icd.bytes_host_relayed
+            p2p = icd.dmp_bytes_p2p
+
+            # ship elements [4, 8) of src into slots [8, 12) of dst
+            icd.push_region(src, dst, dev0.node_id, dev1.node_id,
+                            nbytes=16, src_offset=16, dst_offset=32)
+
+            assert icd.dmp_bytes_p2p == p2p + 16
+            assert icd.bytes_host_relayed == relayed
+            assert dst.fresh == {dev1.node_id}
+            queue = sess.queue(ctx, dev1)
+            out = sess.read_array(queue, dst, np.int32)
+            assert list(out[8:12]) == [4, 5, 6, 7]
+            assert not out[:8].any() and not out[12:].any()
+
+    def test_fallback_relays_through_host_when_dmp_off(self):
+        with _session(dmp=False) as sess:
+            ctx = sess.context()
+            dev0, dev1 = sess.devices
+            src = _resident(sess, ctx, np.arange(8, dtype=np.int32), dev0)
+            dst = _resident(sess, ctx, np.zeros(8, dtype=np.int32), dev1)
+            icd = sess.cl.icd
+
+            icd.push_region(src, dst, dev0.node_id, dev1.node_id, nbytes=8)
+
+            assert icd.dmp_bytes_p2p == 0
+            assert icd.bytes_host_relayed == 8
+            queue = sess.queue(ctx, dev1)
+            out = sess.read_array(queue, dst, np.int32)
+            assert list(out[:2]) == [0, 1]
+
+    def test_zero_bytes_is_a_no_op(self):
+        with _session() as sess:
+            ctx = sess.context()
+            dev0, dev1 = sess.devices
+            src = _resident(sess, ctx, np.arange(4, dtype=np.int32), dev0)
+            dst = _resident(sess, ctx, np.zeros(4, dtype=np.int32), dev1)
+            before = sess.cl.icd.transfer_count
+            sess.cl.icd.push_region(src, dst, dev0.node_id, dev1.node_id, 0)
+            assert sess.cl.icd.transfer_count == before
+
+
+class TestExchangeHalos:
+    def test_round_moves_every_region_p2p(self):
+        with _session() as sess:
+            ctx = sess.context()
+            dev0, dev1 = sess.devices
+            left = _resident(sess, ctx,
+                             np.arange(8, dtype=np.float32), dev0)
+            right = _resident(sess, ctx,
+                              np.arange(8, 16, dtype=np.float32), dev1)
+            icd = sess.cl.icd
+
+            # swap one 8-byte halo each way across the shard boundary
+            moved = icd.exchange_halos([
+                {"src": left, "dst": right,
+                 "src_node": dev0.node_id, "dst_node": dev1.node_id,
+                 "nbytes": 8, "src_offset": 24, "dst_offset": 0},
+                {"src": right, "dst": left,
+                 "src_node": dev1.node_id, "dst_node": dev0.node_id,
+                 "nbytes": 8, "src_offset": 8, "dst_offset": 24},
+            ])
+
+            assert moved == 16
+            assert icd.dmp_halo_exchanges == 2
+            assert icd.dmp_halo_bytes == 16
+            assert icd.bytes_host_relayed == 0
+            out = sess.read_array(sess.queue(ctx, dev1), right, np.float32)
+            assert list(out[:2]) == [6.0, 7.0]  # left's last two floats
+            out = sess.read_array(sess.queue(ctx, dev0), left, np.float32)
+            assert list(out[6:]) == [10.0, 11.0]
+
+
+class TestShardHaloRefresh:
+    """The session-level halo refresh between sharded stencil launches:
+    owners push their boundary strips into neighbouring widened views."""
+
+    def _cfd_launch(self, sess, ncells=32, halo=2):
+        from repro.core.sharding import Distribution
+        from repro.workloads.base import load_kernel_source
+
+        ctx = sess.context()
+        dist = Distribution.block(halo=halo)
+        rng = np.random.default_rng(1)
+        variables = np.empty((ncells, 5), dtype=np.float32)
+        variables[:, 0] = rng.random(ncells) + 1.0
+        variables[:, 1:4] = (rng.random((ncells, 3)) - 0.5) * 0.2
+        variables[:, 4] = rng.random(ncells) + 10.0
+        variables = variables.reshape(-1)
+        areas = (rng.random(ncells) + 0.5).astype(np.float32)
+        b_var = sess.buffer_from(ctx, variables, distribution=dist)
+        b_areas = sess.buffer_from(ctx, areas, distribution=dist)
+        b_step = sess.buffer_from(ctx, np.zeros(ncells, dtype=np.float32),
+                                  distribution=dist)
+        prog = sess.program(ctx, load_kernel_source("cfd.cl"))
+        queue = sess.queue(ctx, sess.devices[0])
+        kern = sess.kernel(prog, "cfd_step_factor", b_var, b_areas, b_step,
+                           np.int32(ncells))
+        sess.enqueue(queue, kern, (ncells,))
+        sess.finish(queue)
+        return ctx, b_var, b_step
+
+    def test_refresh_rides_the_fabric(self):
+        with _session() as sess:
+            ncells, halo = 32, 2
+            ctx, b_var, b_step = self._cfd_launch(sess, ncells, halo)
+            icd = sess.cl.icd
+            relayed = icd.bytes_host_relayed
+
+            # variables (read widened): 2 strips of halo * 20 B/cell
+            moved = sess.exchange_shard_halos(ctx, b_var, ncells,
+                                              written=False)
+            assert moved == 2 * halo * 20
+            # step_factors (written unwidened): 2 strips of halo * 4 B
+            assert sess.exchange_shard_halos(ctx, b_step, ncells) \
+                == 2 * halo * 4
+            assert icd.dmp_halo_exchanges == 4
+            assert icd.dmp_halo_bytes == moved + 2 * halo * 4
+            assert icd.bytes_host_relayed == relayed
+
+    def test_zero_halo_is_a_no_op(self):
+        with _session() as sess:
+            from repro.core.sharding import Distribution
+
+            ctx = sess.context()
+            buf = sess.buffer_from(ctx, np.zeros(16, dtype=np.float32),
+                                   distribution=Distribution.block())
+            assert sess.exchange_shard_halos(ctx, buf, 16) == 0
+            assert sess.cl.icd.dmp_halo_exchanges == 0
+
+
+class TestReduceInto:
+    @pytest.mark.parametrize("op,fold", [
+        ("sum", lambda a, b: a + b),
+        ("max", np.maximum),
+        ("min", np.minimum),
+    ])
+    def test_folds_partials_device_side(self, op, fold):
+        with _session(nodes=3) as sess:
+            ctx = sess.context()
+            dev0 = sess.devices[0]
+            rng = np.random.default_rng(3)
+            base = rng.standard_normal(16).astype(np.float32)
+            parts = [rng.standard_normal(16).astype(np.float32)
+                     for _ in range(2)]
+            dst = _resident(sess, ctx, base, dev0)
+            sources = [_resident(sess, ctx, part, dev)
+                       for part, dev in zip(parts, sess.devices[1:])]
+            icd = sess.cl.icd
+
+            icd.reduce_into(dst, sources, dev0, op=op)
+
+            assert icd.dmp_reduces == 2
+            assert icd.dmp_reduce_bytes == 2 * dst.size
+            assert dst.fresh == {dev0.node_id}
+            expected = fold(fold(base, parts[0]), parts[1])
+            out = sess.read_array(sess.queue(ctx, dev0), dst, np.float32)
+            assert np.array_equal(out, expected)

@@ -52,11 +52,19 @@ class TestWeightedRanges:
         with pytest.raises(ValueError):
             weighted_ranges(10, [0, 0])
 
-    @given(st.integers(0, 10_000),
-           st.lists(st.floats(min_value=0.01, max_value=100), min_size=1,
-                    max_size=8))
+    #: weights including exact zeros (dead devices), as the elastic
+    #: cluster produces them; at least one weight must be positive
+    weight_lists = st.lists(
+        st.one_of(st.just(0.0),
+                  st.floats(min_value=0.01, max_value=100)),
+        min_size=1, max_size=8,
+    ).filter(lambda ws: any(w > 0 for w in ws))
+
+    @given(st.integers(0, 10_000), weight_lists)
     @settings(max_examples=100, deadline=None)
     def test_ranges_are_exact_partition(self, total, weights):
+        """Exact cover: counts sum to the total, ranges are contiguous
+        and order-preserving, no work is dropped or duplicated."""
         ranges = weighted_ranges(total, weights)
         assert sum(count for _s, count in ranges) == total
         position = 0
@@ -65,11 +73,33 @@ class TestWeightedRanges:
             assert count >= 0
             position += count
 
+    @given(st.integers(0, 10_000), weight_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_zero_weight_never_gets_work(self, total, weights):
+        """A zero-weight entry (a dead or excluded device) must get an
+        empty range even when remainder items are being distributed."""
+        ranges = weighted_ranges(total, weights)
+        for weight, (_start, count) in zip(weights, ranges):
+            if weight == 0:
+                assert count == 0
+
+    @given(st.integers(0, 10_000), weight_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_split_is_deterministic(self, total, weights):
+        """Same inputs, same split -- replay and planning rely on it."""
+        assert weighted_ranges(total, weights) == weighted_ranges(
+            total, weights)
+
     @given(st.integers(100, 10_000))
     @settings(max_examples=50, deadline=None)
     def test_dominant_weight_dominates(self, total):
         ranges = weighted_ranges(total, [9, 1])
         assert ranges[0][1] > 7 * ranges[1][1] * 0.9
+
+    def test_remainder_tie_break_prefers_lower_index(self):
+        # equal remainders everywhere: the extra items must land on the
+        # lowest indices, deterministically
+        assert weighted_ranges(5, [1, 1, 1]) == [(0, 2), (2, 2), (4, 1)]
 
 
 class TestDeviceWeights:

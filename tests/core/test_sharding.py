@@ -1,0 +1,239 @@
+"""Tests for distribution-aware sharding: spans, plans, argument
+slicing and the reassembly round trip."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sharding import (
+    Distribution,
+    plan_shards,
+    scatter_windows,
+    shard_args,
+    shard_count_hint,
+    shard_spans,
+)
+from repro.serve import Job
+from repro.workloads.base import load_kernel_source
+
+MATMUL = load_kernel_source("matrixmul.cl")
+SPMV = load_kernel_source("spmv.cl")
+CFD = load_kernel_source("cfd.cl")
+
+
+def matmul_job(n=16, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)).astype(np.float32)
+    b = rng.standard_normal((n, n)).astype(np.float32)
+    c = np.zeros((n, n), dtype=np.float32)
+    return Job("t", MATMUL, "matmul",
+               [a, b, c, np.int32(n), np.int32(n)], (n, n))
+
+
+def spmv_job(nrows=64, seed=0):
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(1, 5, size=nrows)
+    row_ptr = np.zeros(nrows + 1, dtype=np.int32)
+    np.cumsum(lengths, out=row_ptr[1:])
+    nnz = int(row_ptr[-1])
+    cols = rng.integers(0, nrows, size=nnz).astype(np.int32)
+    vals = rng.standard_normal(nnz).astype(np.float32)
+    x = rng.standard_normal(nrows).astype(np.float32)
+    y = np.zeros(nrows, dtype=np.float32)
+    return Job("t", SPMV, "spmv_csr",
+               [row_ptr, cols, vals, x, y, np.int32(nrows)], (nrows,))
+
+
+def cfd_job(ncells=64, seed=0):
+    rng = np.random.default_rng(seed)
+    variables = rng.random(ncells * 5).astype(np.float32)
+    areas = (rng.random(ncells) + 0.5).astype(np.float32)
+    step_factors = np.zeros(ncells, dtype=np.float32)
+    return Job("t", CFD, "cfd_step_factor",
+               [variables, areas, step_factors, np.int32(ncells)], (ncells,))
+
+
+class TestDistribution:
+    def test_kinds_and_validation(self):
+        assert not Distribution.single().sharded
+        assert Distribution.block().sharded
+        assert Distribution.cyclic().sharded
+        with pytest.raises(ValueError):
+            Distribution("diagonal")
+        with pytest.raises(ValueError):
+            Distribution.block(halo=-1)
+        with pytest.raises(ValueError):
+            Distribution.cyclic(block_size=0)
+
+    def test_equality_and_hash(self):
+        assert Distribution.block() == Distribution.block()
+        assert Distribution.block() != Distribution.block(halo=1)
+        assert Distribution.cyclic(4) != Distribution.cyclic(2)
+        assert len({Distribution.block(), Distribution.block()}) == 1
+
+
+class TestShardSpans:
+    dists = st.one_of(
+        st.just(Distribution.block()),
+        st.integers(1, 7).map(lambda b: Distribution.cyclic(block_size=b)),
+    )
+
+    @given(st.integers(0, 2_000), st.integers(1, 8), dists)
+    @settings(max_examples=150, deadline=None)
+    def test_spans_exactly_tile_the_axis(self, extent, nshards, dist):
+        """All shards' spans together cover [0, extent) exactly once,
+        in order within each shard."""
+        spans_per = shard_spans(extent, nshards, dist)
+        assert len(spans_per) == nshards
+        covered = []
+        for spans in spans_per:
+            previous = -1
+            for lo, hi in spans:
+                assert 0 <= lo < hi <= extent
+                assert lo > previous  # order-preserving within a shard
+                previous = hi
+                covered.extend(range(lo, hi))
+        assert sorted(covered) == list(range(extent))
+
+    @given(st.integers(0, 2_000), st.integers(1, 8), dists)
+    @settings(max_examples=50, deadline=None)
+    def test_spans_deterministic(self, extent, nshards, dist):
+        assert (shard_spans(extent, nshards, dist)
+                == shard_spans(extent, nshards, dist))
+
+    def test_block_weights_respect_zero(self):
+        spans = shard_spans(12, 3, Distribution.block(), weights=[1, 0, 1])
+        assert spans[1] == []
+        assert sum(hi - lo for s in spans for lo, hi in s) == 12
+
+    def test_cyclic_deals_round_robin(self):
+        spans = shard_spans(8, 2, Distribution.cyclic(block_size=2))
+        assert spans == [[(0, 2), (4, 6)], [(2, 4), (6, 8)]]
+
+    def test_cyclic_coalesces_adjacent_blocks(self):
+        # one shard: every block is adjacent, so one span comes back
+        spans = shard_spans(8, 1, Distribution.cyclic(block_size=2))
+        assert spans == [[(0, 8)]]
+
+
+class TestPlanShards:
+    def test_plans_across_capped_nodes(self):
+        job = matmul_job(n=16)
+        # whole job ~3KiB; per-node budget only holds about half of it
+        plan = plan_shards(job, {"n0": 2048, "n1": 2048, "n2": 2048})
+        assert plan is not None
+        assert plan.nshards >= 2
+        assert all(shard.ws_bytes <= 2048 for shard in plan.shards)
+        assert sum(shard.rows for shard in plan.shards) == plan.extent
+
+    def test_uses_fewest_nodes_that_fit(self):
+        job = matmul_job(n=16)
+        plan = plan_shards(job, {"n0": None, "n1": None, "n2": None})
+        assert plan is not None and plan.nshards == 2
+
+    def test_refuses_single_node(self):
+        assert plan_shards(matmul_job(), {"n0": None}) is None
+
+    def test_refuses_unknown_kernel(self):
+        job = matmul_job()
+        job.kernel_name = "mystery"
+        job._signature = None
+        assert plan_shards(job, {"n0": None, "n1": None}) is None
+
+    def test_refuses_when_no_split_fits(self):
+        job = matmul_job(n=16)
+        # replicated B alone (1 KiB) exceeds the budget: nothing fits
+        assert plan_shards(job, {"n0": 512, "n1": 512, "n2": 512}) is None
+
+    def test_capacity_weighted_block_split(self):
+        job = cfd_job(ncells=64)  # no replicated argument
+        plan = plan_shards(job, {"big": 2048, "small": 1024})
+        assert plan is not None
+        rows = [shard.rows for shard in plan.shards]
+        assert rows[0] > rows[1]
+
+    def test_hint_matches_plan(self):
+        job = matmul_job(n=16)
+        caps = {"n0": 2048, "n1": 2048, "n2": 2048}
+        plan = plan_shards(job, caps)
+        assert shard_count_hint(job, caps) == plan.nshards
+        assert shard_count_hint(matmul_job(), {"n0": None}) is None
+
+    def test_halo_widens_working_set(self):
+        job = cfd_job(ncells=64)
+        caps = {"n0": None, "n1": None}
+        narrow = plan_shards(job, caps, distribution=Distribution.block())
+        wide = plan_shards(job, caps,
+                           distribution=Distribution.block(halo=2))
+        assert wide.max_shard_bytes > narrow.max_shard_bytes
+
+
+class TestShardArgsRoundTrip:
+    """Slicing then scattering written windows must reproduce a
+    reference computation exactly -- the planner's core invariant."""
+
+    dists = [Distribution.block(), Distribution.cyclic(block_size=1),
+             Distribution.cyclic(block_size=3)]
+
+    @pytest.mark.parametrize("dist", dists, ids=[repr(d) for d in dists])
+    def test_spmv_csr_reassembles_bit_identically(self, dist):
+        job = spmv_job(nrows=64)
+        row_ptr, cols, vals, x, _y, nrows = job.args
+        plan = plan_shards(job, {"n0": None, "n1": None, "n2": None},
+                           distribution=dist)
+        assert plan is not None
+
+        # the dense reference
+        reference = np.zeros(64, dtype=np.float32)
+        for row in range(64):
+            lo, hi = int(row_ptr[row]), int(row_ptr[row + 1])
+            reference[row] = np.dot(vals[lo:hi], x[cols[lo:hi]])
+
+        assembled = np.zeros(64, dtype=np.float32)
+        for shard in plan.shards:
+            args, windows = shard_args(job, plan, shard, written=(4,))
+            s_ptr, s_cols, s_vals, s_x, s_y, s_n = args
+            assert int(s_n) == shard.rows
+            assert s_ptr[0] == 0 and len(s_ptr) == shard.rows + 1
+            out = np.zeros(shard.rows, dtype=np.float32)
+            for row in range(shard.rows):
+                lo, hi = int(s_ptr[row]), int(s_ptr[row + 1])
+                out[row] = np.dot(s_vals[lo:hi], s_x[s_cols[lo:hi]])
+            scatter_windows(assembled, windows[4], out)
+        assert np.array_equal(assembled, reference)
+
+    @pytest.mark.parametrize("dist", dists, ids=[repr(d) for d in dists])
+    def test_matmul_reassembles_bit_identically(self, dist):
+        n = 16
+        job = matmul_job(n=n)
+        a, b = job.args[0], job.args[1]
+        plan = plan_shards(job, {"n0": None, "n1": None},
+                           distribution=dist)
+        assert plan is not None
+        reference = (a.astype(np.float32) @ b.astype(np.float32))
+        assembled = np.zeros(n * n, dtype=np.float32)
+        for shard in plan.shards:
+            args, windows = shard_args(job, plan, shard, written=(2,))
+            s_a = args[0].reshape(shard.rows, n)
+            out = (s_a @ b).reshape(-1)
+            scatter_windows(assembled, windows[2], out)
+        assert np.allclose(assembled.reshape(n, n), reference, atol=1e-5)
+
+    def test_replicated_args_pass_whole(self):
+        job = matmul_job(n=16)
+        plan = plan_shards(job, {"n0": None, "n1": None})
+        args, windows = shard_args(job, plan, plan.shards[0], written=(2,))
+        assert args[1] is job.args[1]  # B replicates untouched
+        assert windows[1] is None
+
+    def test_halo_widens_read_windows_only(self):
+        job = cfd_job(ncells=32)
+        plan = plan_shards(job, {"n0": None, "n1": None},
+                           distribution=Distribution.block(halo=2))
+        shard = plan.shards[1]  # interior boundary on its left
+        args, windows = shard_args(job, plan, shard, written=(2,))
+        (vlo, _vhi), = windows[0]   # variables: read, widened
+        (wlo, _whi), = windows[2]   # step_factors: written, exact
+        assert vlo == (shard.spans[0][0] - 2) * 5
+        assert wlo == shard.spans[0][0]

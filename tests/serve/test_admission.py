@@ -7,10 +7,13 @@ from repro.core.scheduler.device_model import model_for
 from repro.serve.admission import (
     AdmissionController,
     AdmissionError,
+    DegradedAdmit,
     JobTooLarge,
     QueueFull,
+    ShardedAdmit,
 )
 from repro.serve.job import Job
+from tests.serve.test_ooc_stream import matmul_job
 
 SRC = "__kernel void k(__global int* a) { a[get_global_id(0)] = 1; }"
 
@@ -97,6 +100,62 @@ class TestReservations:
         assert ctrl.candidates(1) == devices
         ctrl.reserve(ctrl.free_bytes(devices[0]), devices[0])
         assert ctrl.candidates(1) == devices[1:]
+
+
+class TestShardedAdmission:
+    """Preference order for an oversized job: sharded in-core first,
+    then out-of-core streaming, then a typed refusal hinting at both."""
+
+    CAP = 32768  # holds replicated B plus one matmul shard, not the job
+
+    def test_shard_preferred_over_ooc(self, devices):
+        ctrl = AdmissionController(devices, shard=True, ooc=True,
+                                   ooc_capacity_bytes=self.CAP)
+        job = matmul_job("alice")
+        assert job.footprint_bytes > self.CAP
+        outcome = ctrl.admit(job, queue_depth=0)
+        assert isinstance(outcome, ShardedAdmit)
+        assert outcome.sharded and not outcome.degraded
+        assert outcome.job is job
+        assert outcome.plan.nshards >= 2
+        assert outcome.required_bytes == job.footprint_bytes
+        assert outcome.capacity_bytes == self.CAP
+
+    def test_shard_off_falls_back_to_ooc(self, devices):
+        ctrl = AdmissionController(devices, shard=False, ooc=True,
+                                   ooc_capacity_bytes=self.CAP)
+        outcome = ctrl.admit(matmul_job("alice"), queue_depth=0)
+        assert isinstance(outcome, DegradedAdmit)
+        assert outcome.degraded and not outcome.sharded
+
+    def test_refusal_hints_at_both_escapes(self, devices):
+        ctrl = AdmissionController(devices, shard=False, ooc=False,
+                                   ooc_capacity_bytes=self.CAP)
+        with pytest.raises(JobTooLarge) as info:
+            ctrl.admit(matmul_job("alice"), queue_depth=0)
+        assert info.value.shards_hint >= 2
+        assert info.value.chunks_hint > 1
+        message = str(info.value)
+        assert "shards would admit it in-core across the cluster" in message
+        assert "(shard=True)" in message
+        assert "(ooc=True)" in message
+
+    def test_unshardable_kernel_still_streams(self, devices):
+        # no chunk spec for this kernel: the shard planner refuses, the
+        # ooc planner refuses too, and the hints stay unset
+        ctrl = AdmissionController(devices, shard=True, ooc=False,
+                                   ooc_capacity_bytes=1024)
+        with pytest.raises(JobTooLarge) as info:
+            ctrl.admit(make_job(2048), queue_depth=0)
+        assert info.value.shards_hint is None
+        assert info.value.chunks_hint is None
+
+    def test_shard_capacity_map_covers_every_node(self, devices):
+        ctrl = AdmissionController(devices, shard=True,
+                                   ooc_capacity_bytes=self.CAP)
+        caps = ctrl.shard_capacity_map()
+        assert sorted(caps) == sorted({d.node_id for d in devices})
+        assert all(budget == self.CAP for budget in caps.values())
 
 
 class TestValidation:

@@ -1,0 +1,133 @@
+"""Differential suite for sharded execution (ISSUE 10 acceptance).
+
+matrixmul, spmv and cfd each run with a buffer footprint strictly
+larger than any single node's residency table (``dmp_capacity_bytes``)
+as a *sharded* job spread across the cluster, and the result must be
+bit-identical to the single-node in-core run -- under both block and
+cyclic distributions, with the DMP fabric on and off, and with zero
+host-relayed bytes on the shard data path (scatter/replicate/gather
+all ride ``dmp_push``/``dmp_pull`` chains).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HaoCLSession
+from repro.core.sharding import Distribution
+from repro.serve import HaoCLService
+from repro.serve.job import DONE
+from tests.serve.test_ooc_stream import cfd_job, matmul_job, spmv_job
+
+#: (factory, shard capacity): smaller than the whole footprint, large
+#: enough for a 2-shard working set (replicated args + one shard slice)
+WORKLOADS = [
+    ("matrixmul", matmul_job, 32768),
+    ("spmv", spmv_job, 5000),
+    ("cfd", cfd_job, 8000),
+]
+
+DISTRIBUTIONS = [
+    Distribution.block(),
+    Distribution.cyclic(block_size=8),
+]
+
+
+def run_one(factory, dmp_capacity_bytes=None, dmp=True, **service_kw):
+    with HaoCLSession(gpu_nodes=3, mode="real", transport="sim",
+                      dmp=dmp,
+                      dmp_capacity_bytes=dmp_capacity_bytes) as session:
+        with HaoCLService(session, **service_kw) as service:
+            job = service.submit(factory("alice"))
+            service.run()
+            stats = service.shard_stats()
+            relayed = session.cl.icd.bytes_host_relayed
+    return job, stats, relayed
+
+
+class TestShardedBitIdentical:
+    @pytest.mark.parametrize("dist", DISTRIBUTIONS,
+                             ids=[d.kind for d in DISTRIBUTIONS])
+    @pytest.mark.parametrize("name,factory,cap", WORKLOADS,
+                             ids=[w[0] for w in WORKLOADS])
+    def test_sharded_matches_single_node_run(self, name, factory, cap,
+                                             dist):
+        probe = factory("alice")
+        assert probe.footprint_bytes > cap, "workload must exceed the table"
+
+        reference, ref_stats, _ = run_one(factory)
+        sharded, stats, relayed = run_one(
+            factory, dmp_capacity_bytes=cap, shard=True,
+            shard_distribution=dist)
+
+        assert reference.state == DONE and sharded.state == DONE
+        # the reference ran whole on one node; the capped run sharded
+        assert ref_stats["jobs"] == 0
+        assert stats["shard_admits"] == 1
+        assert stats["jobs"] == 1
+        report = sharded.shard_report
+        assert report is not None
+        assert report["shards"] >= 2
+        assert report["shards"] == report["planned"]
+        assert len(set(report["nodes"])) == report["shards"]
+        assert report["distribution"] == repr(dist)
+        # shard traffic is all peer-to-peer: nothing bounced off the host
+        assert relayed == 0
+
+        assert sorted(reference.result) == sorted(sharded.result)
+        for key in reference.result:
+            assert np.array_equal(reference.result[key],
+                                  sharded.result[key]), key
+
+    @pytest.mark.parametrize("name,factory,cap", WORKLOADS,
+                             ids=[w[0] for w in WORKLOADS])
+    def test_dmp_off_parity(self, name, factory, cap):
+        """Without the DMP fabric the shards still compute the same
+        bits -- the fabric changes the wire path, never the result."""
+        with_dmp, stats_on, _ = run_one(
+            factory, dmp_capacity_bytes=cap, shard=True)
+        without, stats_off, _ = run_one(
+            factory, dmp_capacity_bytes=cap, dmp=False, shard=True)
+
+        assert with_dmp.state == DONE and without.state == DONE
+        assert stats_on["shard_admits"] == stats_off["shard_admits"] == 1
+        for key in with_dmp.result:
+            assert np.array_equal(with_dmp.result[key],
+                                  without.result[key]), key
+
+
+class TestShardObservability:
+    def test_stats_and_report_agree(self):
+        job, stats, _ = run_one(matmul_job, dmp_capacity_bytes=32768,
+                                shard=True)
+        assert job.state == DONE
+        report = job.shard_report
+        assert stats["sublaunches"] == report["sublaunches"]
+        assert stats["scatter_bytes"] == report["scatter_bytes"] > 0
+        assert stats["gather_bytes"] == report["gather_bytes"] > 0
+        assert stats["shard_rebuilds"] == report["rebuilds"] == 0
+        # every shard became exactly one sub-launch (one span per shard
+        # under block distribution)
+        assert report["sublaunches"] == report["shards"]
+
+    def test_shard_spans_traced(self):
+        with HaoCLSession(gpu_nodes=3, mode="real", transport="sim",
+                          dmp_capacity_bytes=32768, trace=True) as session:
+            with HaoCLService(session, shard=True) as service:
+                job = service.submit(matmul_job("alice"))
+                service.run()
+            spans = session.telemetry.tracer.spans()
+        assert job.state == DONE
+        names = [s["name"] for s in spans]
+        assert "serve.shard" in names
+        assert names.count("serve.shard.execute") == \
+            job.shard_report["sublaunches"]
+        assert "serve.shard.scatter" in names
+        assert "serve.shard.gather" in names
+
+    def test_ooc_still_wins_when_sharding_disabled(self):
+        job, stats, _ = run_one(matmul_job, dmp_capacity_bytes=32768,
+                                shard=False, ooc=True)
+        assert job.state == DONE
+        assert stats["shard_admits"] == 0
+        assert job.shard_report is None
+        assert job.ooc_report is not None

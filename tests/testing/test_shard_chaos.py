@@ -1,0 +1,110 @@
+"""Chaos acceptance for sharded launches: kill a shard owner mid-launch.
+
+A sharded job fans out one sub-launch per owner node.  Killing the node
+that owns a *middle* shard while the fan-out is in flight must not lose
+or duplicate work: the lost shard is rebuilt on a surviving node from
+the job's host-side inputs (digest-tagged, so surviving replicas refill
+from the dedup cache), every shard completes, results stay bit-identical
+to the fault-free sharded run, the rebuild is visible in
+``shard_rebuilds``, the job's fair-share cost is charged exactly once,
+and the whole fault schedule replays from the chaos plan's seed.
+"""
+
+import numpy as np
+
+from repro.core import HaoCLSession
+from repro.serve import HaoCLService, Job
+from repro.serve.job import DONE
+from repro.testing import ChaosPlan
+from repro.workloads.base import load_kernel_source
+
+MATMUL = load_kernel_source("matrixmul.cl")
+
+N = 64
+#: per-node residency: holds the replicated B plus one shard of A and C,
+#: but nowhere near the whole job -- so admission must shard it
+CAPACITY = 32768
+
+
+def matmul_job(tenant, n=N, seed=5):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)).astype(np.float32)
+    b = rng.standard_normal((n, n)).astype(np.float32)
+    c = np.zeros((n, n), dtype=np.float32)
+    return Job(tenant, MATMUL, "matmul",
+               [a, b, c, np.int32(n), np.int32(n)], (n, n))
+
+
+def run_sharded(chaos=None):
+    with HaoCLSession(gpu_nodes=3, mode="real", transport="sim",
+                      dmp_capacity_bytes=CAPACITY, chaos=chaos) as session:
+        with HaoCLService(session, shard=True, max_retries=3) as service:
+            job = service.submit(matmul_job("alice"))
+            service.run()
+            stats = service.shard_stats()
+            fault = service.fault_stats()
+    return job, stats, fault
+
+
+def kill_middle_owner(seed=7):
+    # block sharding over the admission controller's sorted node list
+    # puts a middle shard on gpu1; killing it on its first shard
+    # sub-launch lands mid-fan-out
+    return ChaosPlan(seed=seed).kill("gpu1", method="enqueue_ndrange",
+                                     occurrence=1)
+
+
+class TestShardedLaunchSurvivesNodeLoss:
+    def test_job_shards_at_this_capacity(self):
+        probe = matmul_job("alice")
+        job, stats, _ = run_sharded()
+        assert probe.footprint_bytes > CAPACITY
+        assert job.state == DONE
+        assert stats["shard_admits"] == 1
+        assert job.shard_report["shards"] >= 2
+        assert stats["shard_rebuilds"] == 0
+
+    def test_kill_middle_shard_owner_rebuilds_only_that_shard(self):
+        reference, ref_stats, _ = run_sharded()
+        assert reference.state == DONE
+        assert ref_stats["shard_rebuilds"] == 0
+
+        plan = kill_middle_owner()
+        job, stats, fault = run_sharded(chaos=plan)
+
+        assert job.state == DONE
+        # the fault fired mid-fan-out and was logged for replay
+        kills = [e for e in plan.events if e["fault"] == "kill"]
+        assert kills and kills[0]["node"] == "gpu1"
+        # the loss cost a shard rebuild, not a job requeue: every shard
+        # completed and the job was charged exactly once
+        assert stats["shard_rebuilds"] >= 1
+        assert job.shard_report["rebuilds"] == stats["shard_rebuilds"]
+        assert job.shard_report["shards"] == job.shard_report["planned"]
+        assert job.attempts == stats["shard_rebuilds"]
+        assert fault["jobs_replayed"] == 0  # no full-job retry happened
+        assert job.terminal_count == 1
+        # the rebuilt shard landed on a surviving node
+        assert "gpu1" not in job.shard_report["nodes"]
+
+        # bit-identical to the fault-free sharded run
+        assert sorted(job.result) == sorted(reference.result)
+        for key in reference.result:
+            assert np.array_equal(reference.result[key], job.result[key]), key
+
+    def test_chaos_schedule_replays_from_its_seed(self):
+        first_plan = kill_middle_owner(seed=11)
+        first_job, first_stats, _ = run_sharded(chaos=first_plan)
+        second_plan = kill_middle_owner(seed=11)
+        second_job, second_stats, _ = run_sharded(chaos=second_plan)
+
+        assert first_job.state == DONE and second_job.state == DONE
+        # same seed, same schedule: identical fault logs and identical
+        # recovery cost
+        strip = lambda events: [
+            {k: v for k, v in e.items() if k != "time_s"} for e in events
+        ]
+        assert strip(first_plan.events) == strip(second_plan.events)
+        assert (first_stats["shard_rebuilds"]
+                == second_stats["shard_rebuilds"])
+        assert np.array_equal(first_job.result["C"], second_job.result["C"])
